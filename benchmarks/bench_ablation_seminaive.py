@@ -1,0 +1,94 @@
+"""E10 — ablation of §3's two performance measures.
+
+"For performance reasons, it is important to avoid duplication in
+producing and propagating data": (1) dependent incoming links are
+recomputed "by substituting R by T'" (semi-naive), and (2) "we delete
+from Ri those tuples which have been already sent" (sent-set dedup).
+
+Four configurations, identical final state, different cost.  Shape:
+the fully naive engine ships strictly more rows/bytes; the gap widens
+with path length and with cycles.
+"""
+
+import pytest
+
+from repro.baselines import (
+    FULL_REEVALUATION,
+    NO_DEDUP,
+    NO_DEDUP_FULL_REEVALUATION,
+    PAPER_ENGINE,
+)
+from repro.bench import build_and_update
+from repro.workloads import chain, ring
+
+CONFIGS = [
+    ("paper", PAPER_ENGINE),
+    ("full-reeval", FULL_REEVALUATION),
+    ("no-dedup", NO_DEDUP),
+    ("naive", NO_DEDUP_FULL_REEVALUATION),
+]
+
+
+@pytest.mark.parametrize("name,config", CONFIGS)
+def test_ablation_chain(benchmark, name, config):
+    blueprint = chain(6)
+
+    def run():
+        _, outcome = build_and_update(
+            blueprint, seed=10, tuples_per_node=30, config=config
+        )
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["result_bytes"] = outcome.report.total_bytes
+
+
+def total_rows_shipped(outcome):
+    return sum(
+        traffic.rows_received
+        for node_report in outcome.report.node_reports.values()
+        for traffic in node_report.per_rule.values()
+    )
+
+
+def test_ablation_report(benchmark, report):
+    def run():
+        rows = []
+        snapshots = {}
+        for blueprint_factory, label in ((chain, "chain-6"), (ring, "ring-6")):
+            blueprint = blueprint_factory(6)
+            for name, config in CONFIGS:
+                net, outcome = build_and_update(
+                    blueprint, seed=10, tuples_per_node=30, config=config
+                )
+                snapshots[(label, name)] = {
+                    n: node.snapshot() for n, node in net.nodes.items()
+                }
+                rows.append(
+                    [
+                        label,
+                        name,
+                        outcome.report.total_messages,
+                        total_rows_shipped(outcome),
+                        outcome.report.total_bytes,
+                        f"{outcome.wall_time:.6f}",
+                    ]
+                )
+        return rows, snapshots
+
+    rows, snapshots = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["topology", "engine", "result_msgs", "rows_shipped", "bytes", "wall_s"],
+        rows,
+        title="E10: semi-naive + sent-dedup ablation",
+    )
+    # all engines converge to the same state per topology
+    for label in ("chain-6", "ring-6"):
+        baseline = snapshots[(label, "paper")]
+        for name, _ in CONFIGS:
+            assert snapshots[(label, name)] == baseline, (label, name)
+    # and the naive engine pays for it
+    by_key = {(r[0], r[1]): r for r in rows}
+    for label in ("chain-6", "ring-6"):
+        assert by_key[(label, "naive")][4] > by_key[(label, "paper")][4]
+        assert by_key[(label, "naive")][3] >= by_key[(label, "paper")][3]

@@ -1,0 +1,116 @@
+"""E11 — the chase-termination guard rails (DESIGN.md design note).
+
+The paper assumes well-behaved rules; the reproduction ships (a) a
+weak-acyclicity check, (b) a subsumption dedup mode, (c) a fix-point
+guard.  This bench quantifies them: on a weakly acyclic workload the
+subsumption mode changes nothing but costs evaluation time; on a
+divergent workload it is the difference between termination and the
+guard tripping.
+"""
+
+import pytest
+
+from repro import CoDBNetwork, NodeConfig
+from repro.errors import FixpointGuardError
+
+
+def build_wa(config=None):
+    """Weakly acyclic: existentials flow into a sink relation."""
+    net = CoDBNetwork(seed=11, config=config)
+    net.add_node("SRC", "person(n: str)")
+    net.node("SRC").load_facts({"person": [(f"p{i}",) for i in range(50)]})
+    net.add_node("DST", "rec(n: str, ward)")
+    net.add_rule("DST:rec(n, w) <- SRC:person(n)")
+    net.start()
+    return net
+
+
+def build_divergent(config):
+    """Not weakly acyclic: the fed-back existential re-fires forever."""
+    net = CoDBNetwork(seed=12, config=config)
+    net.add_node("A", "seed(x)", facts="seed(1)")
+    net.add_node("B", "pair(x, w)")
+    net.add_rule("B:pair(x, w) <- A:seed(x)")
+    net.add_rule("A:seed(w) <- B:pair(x, w)")
+    net.start()
+    return net
+
+
+@pytest.mark.parametrize("subsumption", [False, True])
+def test_weakly_acyclic_cost(benchmark, subsumption):
+    config = NodeConfig(subsumption_dedup=subsumption)
+
+    def setup():
+        return (build_wa(config),), {}
+
+    def run(net):
+        return net.global_update("DST")
+
+    outcome = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert outcome.report.total_nulls_minted == 50
+
+
+def test_subsumption_terminates_divergent_chase(benchmark):
+    config = NodeConfig(subsumption_dedup=True, fixpoint_guard=10_000)
+
+    def setup():
+        return (build_divergent(config),), {}
+
+    def run(net):
+        return net.global_update("B")
+
+    outcome = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert outcome.update_id  # terminated
+
+
+def test_subsumption_report(benchmark, report):
+    def run():
+        rows = []
+        # weakly acyclic: same result either way
+        for subsumption in (False, True):
+            net = build_wa(NodeConfig(subsumption_dedup=subsumption))
+            outcome = net.global_update("DST")
+            rows.append(
+                [
+                    "weakly-acyclic",
+                    subsumption,
+                    "terminates",
+                    outcome.report.total_rows_imported,
+                    outcome.report.total_nulls_minted,
+                ]
+            )
+        # divergent: guard vs subsumption
+        net = build_divergent(NodeConfig(fixpoint_guard=200))
+        try:
+            net.global_update("B")
+            guard_result = "terminates"
+            imported = nulls = 0
+        except FixpointGuardError:
+            guard_result = "guard trips"
+            imported = nulls = -1
+        rows.append(["divergent", False, guard_result, imported, nulls])
+        net = build_divergent(
+            NodeConfig(subsumption_dedup=True, fixpoint_guard=10_000)
+        )
+        outcome = net.global_update("B")
+        rows.append(
+            [
+                "divergent",
+                True,
+                "terminates",
+                outcome.report.total_rows_imported,
+                outcome.report.total_nulls_minted,
+            ]
+        )
+        wa = net.rule_file.is_weakly_acyclic()
+        return rows, wa
+
+    rows, divergent_is_wa = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["rule set", "subsumption", "outcome", "rows_imported", "nulls_minted"],
+        rows,
+        title="E11: subsumption dedup vs the fix-point guard",
+    )
+    assert divergent_is_wa is False
+    assert rows[2][2] == "guard trips"
+    assert rows[3][2] == "terminates"

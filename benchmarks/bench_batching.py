@@ -1,0 +1,75 @@
+"""E15 — result batching: bounding the per-message data volume (§4).
+
+The §4 statistic "volume of the data in each message" is a tunable in
+this implementation: ``NodeConfig.batch_rows`` splits large result
+sets across messages.  Sweep the batch size on a star update and
+report the volume distribution — the message count rises as the max
+volume falls, with constant total payload (± framing overhead).
+"""
+
+import pytest
+
+from repro import CoDBNetwork, NodeConfig
+
+SPOKES = 4
+TUPLES = 200
+
+
+def build_star(batch_rows: int) -> CoDBNetwork:
+    net = CoDBNetwork(seed=150, config=NodeConfig(batch_rows=batch_rows))
+    net.add_node("HUB", "item(k: int, v: int)")
+    for i in range(SPOKES):
+        net.add_node(f"S{i}", "item(k: int, v: int)")
+        net.node(f"S{i}").load_facts(
+            {"item": [(i * 1000 + j, j) for j in range(TUPLES)]}
+        )
+    net.add_rules([f"HUB:item(k, v) <- S{i}:item(k, v)" for i in range(SPOKES)])
+    net.start()
+    return net
+
+
+@pytest.mark.parametrize("batch_rows", [0, 100, 25])
+def test_batched_update(benchmark, batch_rows):
+    def setup():
+        return (build_star(batch_rows),), {}
+
+    def run(net):
+        return net.global_update("HUB")
+
+    outcome = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    volumes = outcome.report.message_volumes()
+    benchmark.extra_info["messages"] = len(volumes)
+    benchmark.extra_info["max_volume"] = max(volumes)
+
+
+def test_batching_report(benchmark, report):
+    def run():
+        rows = []
+        for batch_rows in (0, 200, 100, 50, 25):
+            net = build_star(batch_rows)
+            outcome = net.global_update("HUB")
+            volumes = outcome.report.message_volumes()
+            rows.append(
+                [
+                    batch_rows or "unbounded",
+                    len(volumes),
+                    max(volumes),
+                    sum(volumes),
+                    net.node("HUB").wrapper.count("item"),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["batch_rows", "result_msgs", "max_msg_bytes", "total_bytes", "hub_rows"],
+        rows,
+        title=f"E15: result batching, star of {SPOKES} x {TUPLES} tuples",
+    )
+    # same data lands regardless of batching
+    assert all(row[4] == SPOKES * TUPLES for row in rows)
+    # smaller batches: more messages, smaller max volume
+    messages = [row[1] for row in rows]
+    max_volumes = [row[2] for row in rows]
+    assert messages == sorted(messages)
+    assert max_volumes == sorted(max_volumes, reverse=True)

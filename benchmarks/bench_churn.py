@@ -1,0 +1,88 @@
+"""E14 — node churn during global updates (§1: the topology "may
+dynamically change"; the algorithm terminates "even if nodes and
+coordination rules appear or disappear during the computation").
+
+A chain update with the k-th node crashing mid-flight: the update must
+still terminate, delivering everything from the surviving prefix.
+Shape: wall time stays in the no-crash regime (failure detection is
+immediate, not timeout-based); data loss equals exactly the dead
+suffix's contribution.
+"""
+
+import pytest
+
+from repro import CoDBNetwork
+
+LENGTH = 6
+TUPLES = 10
+
+
+def build_chain():
+    net = CoDBNetwork(seed=140)
+    for i in range(LENGTH):
+        net.add_node(f"N{i}", "item(k: int)")
+        net.node(f"N{i}").load_facts(
+            {"item": [(i * 100 + j,) for j in range(TUPLES)]}
+        )
+    for i in range(LENGTH - 1):
+        net.add_rule(f"N{i}:item(k) <- N{i + 1}:item(k)")
+    net.start()
+    return net
+
+
+def run_with_crash(victim: int | None):
+    net = build_chain()
+    node = net.node("N0")
+    update_id = node.start_global_update()
+    net.transport.run_for(0.0015)  # first requests delivered
+    if victim is not None:
+        net.node(f"N{victim}").detach()
+    net.run()
+    assert node.updates.is_done(update_id)
+    report = node.stats.report_for(update_id)
+    return net, node.wrapper.count("item"), report
+
+
+@pytest.mark.parametrize("victim", [None, 3, 5])
+def test_update_with_crash(benchmark, victim):
+    def run():
+        return run_with_crash(victim)
+
+    _, origin_rows, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    if victim is None:
+        assert origin_rows == TUPLES * LENGTH
+
+
+def test_churn_report(benchmark, report):
+    def run():
+        rows = []
+        for victim in [None, 5, 4, 3, 2, 1]:
+            net, origin_rows, node_report = run_with_crash(victim)
+            failures = sum(
+                r.links_closed_by_failure
+                for n in net.nodes.values()
+                if (r := n.stats.reports and n.stats.latest_report())
+            )
+            rows.append(
+                [
+                    "none" if victim is None else f"N{victim}",
+                    origin_rows,
+                    TUPLES * LENGTH - origin_rows,
+                    failures,
+                    f"{node_report.duration:.6f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["crashed node", "origin_rows", "rows_lost", "failure_closures", "origin_wall_s"],
+        rows,
+        title=f"E14: mid-update crash in a chain of {LENGTH} ({TUPLES} tuples/node)",
+    )
+    # no crash: everything arrives; crashing node k loses at most the
+    # suffix k..end (data already relayed before the crash may survive).
+    assert rows[0][1] == TUPLES * LENGTH
+    by_victim = {row[0]: row for row in rows}
+    assert by_victim["N5"][2] <= TUPLES * 1
+    assert by_victim["N1"][1] >= TUPLES  # N0's own data always survives

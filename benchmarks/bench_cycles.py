@@ -1,0 +1,108 @@
+"""E7 — cyclic coordination rules: the distributed fix-point (§1:
+"rules can be cyclic, i.e., a fix-point computation may be needed").
+
+Two series:
+
+* copy rings of growing size — messages and longest path grow with
+  cycle length; every node ends up with everything; all links close
+  via quiescence detection (condition (b)), none via cascade;
+* an existential ring — marked-null generation is exactly one null
+  per (rule, frontier row) despite the cycle (idempotent minting).
+"""
+
+import pytest
+
+from repro import CoDBNetwork
+from repro.bench import build_and_update
+from repro.workloads import ring
+
+SIZES = [2, 4, 8, 12]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_ring_update(benchmark, size):
+    blueprint = ring(size)
+
+    def run():
+        _, outcome = build_and_update(blueprint, seed=6, tuples_per_node=10)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["result_messages"] = outcome.report.total_messages
+    benchmark.extra_info["longest_path"] = outcome.report.longest_path
+    assert outcome.report.longest_path == size
+
+
+def build_existential_ring(size):
+    net = CoDBNetwork(seed=7)
+    for i in range(size):
+        net.add_node(f"N{i}", "item(k: int, tag)", facts=f"item({i}, 'own')")
+    for i in range(size):
+        # copy the key, mint a local tag for it
+        net.add_rule(f"N{i}:item(k, w) <- N{(i + 1) % size}:item(k, t)")
+    net.start()
+    return net
+
+
+def test_cycles_report(benchmark, report):
+    def run():
+        rows = []
+        for size in SIZES:
+            net, outcome = build_and_update(
+                ring(size), seed=6, tuples_per_node=10
+            )
+            quiescence = sum(
+                r.links_closed_by_quiescence
+                for r in outcome.report.node_reports.values()
+            )
+            cascade = sum(
+                r.links_closed_by_cascade
+                for r in outcome.report.node_reports.values()
+            )
+            rows.append(
+                [
+                    f"ring-{size}",
+                    outcome.report.total_messages,
+                    outcome.report.longest_path,
+                    cascade,
+                    quiescence,
+                    net.node("N0").wrapper.count("item"),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["workload", "result_msgs", "longest_path", "closed_cascade", "closed_quiescence", "origin_rows"],
+        rows,
+        title="E7a: copy rings — fix-point cost vs cycle length",
+    )
+    # cycles close by quiescence, not cascade; cost grows with length
+    assert all(row[4] > 0 for row in rows)
+    messages = [row[1] for row in rows]
+    assert messages == sorted(messages)
+    # every node holds all data: 10 tuples from each of `size` nodes
+    assert rows[-1][5] == 10 * SIZES[-1]
+
+
+def test_existential_ring_null_generation(benchmark, report):
+    def run():
+        results = []
+        for size in (2, 4, 6):
+            net = build_existential_ring(size)
+            outcome = net.global_update("N0")
+            results.append(
+                (size, outcome.report.total_nulls_minted, outcome.report.total_messages)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["ring size", "nulls_minted", "result_msgs"],
+        results,
+        title="E7b: existential ring — null generation is bounded",
+    )
+    for size, nulls, _ in results:
+        # each node mints one null per imported key; keys stabilise, so
+        # minting is bounded by (nodes × keys), not by rounds.
+        assert nulls <= size * size * 2

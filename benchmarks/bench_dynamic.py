@@ -1,0 +1,81 @@
+"""E8 — dynamic topology change at runtime (§4: the super-peer "can
+dynamically change the network topology at runtime").
+
+Measures the full §4 re-wiring flow — rules-file broadcast, per-node
+drop of old rules and pipes, creation of new ones — and shows the next
+global update runs correctly on the new shape.
+"""
+
+import pytest
+
+from repro import CoDBNetwork
+
+
+def build_star(spokes=6):
+    net = CoDBNetwork(seed=8)
+    net.add_node("H", "item(k: int)")
+    for i in range(spokes):
+        net.add_node(f"S{i}", "item(k: int)")
+        net.node(f"S{i}").load_facts({"item": [(i * 100 + j,) for j in range(20)]})
+    net.add_rules([f"H:item(k) <- S{i}:item(k)" for i in range(spokes)])
+    net.start()
+    return net
+
+
+def chain_rules(spokes=6):
+    rules = [f"S{i + 1}:item(k) <- S{i}:item(k)" for i in range(spokes - 1)]
+    rules.append(f"H:item(k) <- S{spokes - 1}:item(k)")
+    return "\n".join(rules)
+
+
+def test_rewire_cost(benchmark):
+    def setup():
+        return (build_star(),), {}
+
+    def run(net):
+        net.rewire(chain_rules())
+        return net
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+
+
+def test_update_after_rewire(benchmark):
+    def setup():
+        net = build_star()
+        net.rewire(chain_rules())
+        return (net,), {}
+
+    def run(net):
+        return net.global_update("H")
+
+    outcome = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert outcome.longest_path == 6  # the new chain's depth
+
+
+def test_dynamic_report(benchmark, report):
+    def run():
+        net = build_star()
+        star_outcome = net.global_update("H")
+        star_pipes = sum(len(node.pipes) for node in net.nodes.values())
+        net.rewire(chain_rules())
+        chain_pipes = sum(len(node.pipes) for node in net.nodes.values())
+        chain_outcome = net.global_update("H")
+        hub_rows = net.node("H").wrapper.count("item")
+        return star_outcome, star_pipes, chain_outcome, chain_pipes, hub_rows
+
+    star_outcome, star_pipes, chain_outcome, chain_pipes, hub_rows = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    report.add_table(
+        ["phase", "pipes (all ends)", "wall_s", "result_msgs", "longest_path"],
+        [
+            ["star", star_pipes, f"{star_outcome.wall_time:.6f}",
+             star_outcome.report.total_messages, star_outcome.longest_path],
+            ["after rewire -> chain", chain_pipes, f"{chain_outcome.wall_time:.6f}",
+             chain_outcome.report.total_messages, chain_outcome.longest_path],
+        ],
+        title="E8: super-peer re-wiring star -> chain at runtime",
+    )
+    assert star_outcome.longest_path == 1
+    assert chain_outcome.longest_path == 6
+    assert hub_rows == 120  # nothing lost across the re-wiring

@@ -1,0 +1,76 @@
+"""E12 — distributed update vs centralised data exchange.
+
+Sanity anchor for every other number: the distributed algorithm's
+final state equals the single-site chase (up to null renaming), and
+this bench also compares their costs — the centralised engine touches
+the same tuples without any messaging, bounding how much of the
+distributed time is protocol.
+"""
+
+import pytest
+
+from repro.baselines import CentralizedExchange
+from repro.bench import build_and_update
+from repro.relational.containment import rows_equal_up_to_nulls
+from repro.workloads import grid, random_graph
+
+BLUEPRINTS = [random_graph(6, 0.2, seed=13), grid(3, 3)]
+
+
+@pytest.mark.parametrize("blueprint", BLUEPRINTS, ids=lambda b: b.name)
+def test_distributed_update(benchmark, blueprint):
+    def run():
+        return build_and_update(blueprint, seed=13, tuples_per_node=25)
+
+    net, outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["rows_imported"] = outcome.report.total_rows_imported
+
+
+@pytest.mark.parametrize("blueprint", BLUEPRINTS, ids=lambda b: b.name)
+def test_centralized_chase(benchmark, blueprint):
+    net = blueprint.build(seed=13, tuples_per_node=25)
+    initial = {name: node.snapshot() for name, node in net.nodes.items()}
+    exchange = CentralizedExchange.for_network(net)
+
+    def run():
+        return exchange.run(initial)
+
+    result = benchmark(run)
+    assert result.tuples_added > 0
+
+
+def test_groundtruth_report(benchmark, report):
+    def run():
+        rows = []
+        for blueprint in BLUEPRINTS:
+            net = blueprint.build(seed=13, tuples_per_node=25)
+            initial = {name: node.snapshot() for name, node in net.nodes.items()}
+            truth = CentralizedExchange.for_network(net).run(initial)
+            outcome = net.global_update(blueprint.origin)
+            matches = all(
+                rows_equal_up_to_nulls(
+                    node.snapshot()[relation],
+                    truth.node_snapshot(name, node.wrapper.schema)[relation],
+                )
+                for name, node in net.nodes.items()
+                for relation in node.snapshot()
+            )
+            rows.append(
+                [
+                    blueprint.name,
+                    outcome.report.total_rows_imported,
+                    truth.tuples_added,
+                    outcome.report.total_messages,
+                    "yes" if matches else "NO",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["workload", "distributed_rows", "chase_rows", "result_msgs", "state_matches"],
+        rows,
+        title="E12: distributed update vs centralised chase ground truth",
+    )
+    assert all(row[4] == "yes" for row in rows)
+    assert all(row[1] == row[2] for row in rows)

@@ -1,0 +1,80 @@
+"""E9 — mediator nodes (§2: "local database may be absent ... a given
+node acts as a mediator for propagating of requests and data, and all
+required database operations (as join and project) are executed in
+Wrapper").
+
+A chain where the k interior nodes are mediators: data still reaches
+the sink, the mediators hold nothing afterwards, and cost stays in the
+same regime as the materialising chain.
+"""
+
+import pytest
+
+from repro import CoDBNetwork, MediatorStore, parse_schema
+
+LENGTH = 8  # total nodes: 1 source + 6 interior + 1 sink
+TUPLES = 30
+
+
+def build_chain(mediators: int) -> CoDBNetwork:
+    """Interior nodes [1..6]; the first *mediators* of them are store-less."""
+    net = CoDBNetwork(seed=9)
+    net.add_node("N0", "item(k: int)")
+    net.node("N0").load_facts({"item": [(j,) for j in range(TUPLES)]})
+    for i in range(1, LENGTH):
+        if 1 <= i <= mediators:
+            schema = parse_schema("item(k: int)")
+            net.add_node(f"N{i}", schema, store=MediatorStore(schema))
+        else:
+            net.add_node(f"N{i}", "item(k: int)")
+    for i in range(LENGTH - 1):
+        net.add_rule(f"N{i + 1}:item(k) <- N{i}:item(k)")
+    net.start()
+    return net
+
+
+@pytest.mark.parametrize("mediators", [0, 3, 6])
+def test_mediator_chain_update(benchmark, mediators):
+    def setup():
+        return (build_chain(mediators),), {}
+
+    def run(net):
+        outcome = net.global_update(f"N{LENGTH - 1}")
+        return net, outcome
+
+    net, outcome = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert net.node(f"N{LENGTH - 1}").wrapper.count("item") == TUPLES
+    benchmark.extra_info["result_messages"] = outcome.report.total_messages
+
+
+def test_mediator_report(benchmark, report):
+    def run():
+        rows = []
+        for mediators in range(0, 7):
+            net = build_chain(mediators)
+            outcome = net.global_update(f"N{LENGTH - 1}")
+            retained = sum(
+                net.node(f"N{i}").wrapper.total_rows() for i in range(1, 7)
+            )
+            rows.append(
+                [
+                    mediators,
+                    f"{outcome.wall_time:.6f}",
+                    outcome.report.total_messages,
+                    net.node(f"N{LENGTH - 1}").wrapper.count("item"),
+                    retained,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["mediators", "wall_s", "result_msgs", "sink_rows", "interior_rows_after"],
+        rows,
+        title=f"E9: chain of {LENGTH} with k store-less mediators",
+    )
+    # the sink always gets everything, regardless of mediators
+    assert all(row[3] == TUPLES for row in rows)
+    # mediators retain nothing once the update is over
+    assert rows[-1][4] < rows[0][4]
+    assert rows[6][4] == 0

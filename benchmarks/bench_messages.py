@@ -1,0 +1,69 @@
+"""E3 — "number of query result messages received per coordination
+rule" (§4).
+
+The statistic the demo's per-node module accumulates, aggregated the
+way its super-peer would.  Shape: with sent-set dedup, every rule in
+an acyclic topology carries exactly one result message per activation
+plus one per upstream delta batch; cyclic topologies multiply messages
+with cycle length; the naive baseline (E10) inflates all of this.
+"""
+
+import pytest
+
+from repro.bench import build_and_update
+from repro.workloads import TOPOLOGY_BUILDERS
+
+SIZE = 8
+TUPLES = 30
+TOPOLOGIES = ["star", "chain", "tree", "ring", "complete"]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_messages_per_rule(benchmark, topology):
+    blueprint = TOPOLOGY_BUILDERS[topology](SIZE)
+
+    def run():
+        net, outcome = build_and_update(blueprint, seed=2, tuples_per_node=TUPLES)
+        return net, outcome
+
+    net, outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    per_rule = outcome.report.messages_per_rule()
+    benchmark.extra_info["messages_per_rule"] = per_rule
+    benchmark.extra_info["total_result_messages"] = outcome.report.total_messages
+    # every rule carried at least its activation message
+    assert all(count >= 1 for count in per_rule.values())
+    assert len(per_rule) == blueprint.edge_count
+
+
+def test_messages_report(benchmark, report):
+    def run():
+        rows = []
+        for topology in TOPOLOGIES:
+            blueprint = TOPOLOGY_BUILDERS[topology](SIZE)
+            _, outcome = build_and_update(
+                blueprint, seed=2, tuples_per_node=TUPLES
+            )
+            per_rule = outcome.report.messages_per_rule()
+            rows.append(
+                [
+                    blueprint.name,
+                    blueprint.edge_count,
+                    outcome.report.total_messages,
+                    min(per_rule.values()),
+                    max(per_rule.values()),
+                    f"{sum(per_rule.values()) / len(per_rule):.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["topology", "rules", "total_result_msgs", "min/rule", "max/rule", "mean/rule"],
+        rows,
+        title=f"E3: query-result messages per coordination rule (N={SIZE})",
+    )
+    by_name = {row[0]: row for row in rows}
+    # acyclic topologies: star rules carry exactly one message each
+    assert by_name[f"star-{SIZE - 1}"][4] == 1
+    # cyclic topologies need strictly more messages per rule on average
+    assert float(by_name[f"ring-{SIZE}"][5]) > float(by_name[f"chain-{SIZE}"][5])

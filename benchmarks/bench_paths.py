@@ -1,0 +1,56 @@
+"""E5 — "longest update propagation path" (§4).
+
+The statistic is structural: it equals the longest simple dependency
+chain data actually travelled.  Shape: star = 1, tree = depth,
+chain = N-1, ring = N (the origin's own data circles back),
+grid = Manhattan diameter.
+"""
+
+import pytest
+
+from repro.bench import build_and_update
+from repro.workloads import TOPOLOGY_BUILDERS, chain, grid, ring, star, tree
+
+CASES = [
+    ("star", star(7), 1),
+    ("tree", tree(2, 3), 3),
+    ("chain", chain(8), 7),
+    ("ring", ring(8), 8),
+    ("grid", grid(3, 3), 4),
+]
+
+
+@pytest.mark.parametrize("name,blueprint,expected", CASES)
+def test_longest_path(benchmark, name, blueprint, expected):
+    def run():
+        _, outcome = build_and_update(blueprint, seed=4, tuples_per_node=10)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["longest_path"] = outcome.report.longest_path
+    assert outcome.report.longest_path == expected
+
+
+def test_paths_report(benchmark, report):
+    def run():
+        rows = []
+        for name, blueprint, expected in CASES:
+            _, outcome = build_and_update(blueprint, seed=4, tuples_per_node=10)
+            rows.append(
+                [
+                    blueprint.name,
+                    blueprint.size,
+                    expected,
+                    outcome.report.longest_path,
+                    outcome.report.total_messages,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["topology", "nodes", "predicted_path", "measured_path", "result_msgs"],
+        rows,
+        title="E5: longest update propagation path per topology",
+    )
+    assert all(row[2] == row[3] for row in rows)

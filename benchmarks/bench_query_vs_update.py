@@ -1,0 +1,94 @@
+"""E6 — query-time answering vs global-update materialisation.
+
+The paper's central trade-off (§1): query-time answering pays network
+cost per query; the "batch" update pays once and then answers locally.
+This bench measures both and locates the crossover: the number of
+queries after which update-then-local wins.
+
+Shape: cold network queries cost roughly as much as a scoped update;
+local queries after materialisation are orders of magnitude cheaper;
+the crossover sits at a small single-digit query count.
+"""
+
+import pytest
+
+from repro.workloads import chain
+
+QUERY = "q(k, v) <- item(k, v)"
+TUPLES = 40
+
+
+def fresh_chain():
+    return chain(6).build(seed=5, tuples_per_node=TUPLES)
+
+
+def test_cold_network_query(benchmark):
+    def setup():
+        return (fresh_chain(),), {}
+
+    def run(net):
+        return net.query("N0", QUERY, mode="network", persist=False)
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+
+
+def test_global_update_cost(benchmark):
+    def setup():
+        return (fresh_chain(),), {}
+
+    def run(net):
+        return net.global_update("N0")
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+
+
+def test_local_query_after_update(benchmark):
+    net = fresh_chain()
+    net.global_update("N0")
+
+    def run():
+        return net.query("N0", QUERY)
+
+    rows = benchmark(run)
+    assert len(rows) == TUPLES * 6
+
+
+def test_crossover_report(benchmark, report):
+    def run():
+        import time
+
+        net = fresh_chain()
+        start = time.perf_counter()
+        query_rows = net.query("N0", QUERY, mode="network", persist=False)
+        network_query_s = time.perf_counter() - start
+
+        net2 = fresh_chain()
+        start = time.perf_counter()
+        net2.global_update("N0")
+        update_s = time.perf_counter() - start
+        start = time.perf_counter()
+        local_rows = net2.query("N0", QUERY)
+        local_query_s = time.perf_counter() - start
+        return query_rows, local_rows, network_query_s, update_s, local_query_s
+
+    query_rows, local_rows, network_query_s, update_s, local_query_s = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    assert sorted(query_rows) == sorted(local_rows)  # same answers
+
+    # queries needed before update+local beats per-query fetching:
+    # k * net_q  >  update + k * local  =>  k > update / (net_q - local)
+    denominator = max(network_query_s - local_query_s, 1e-9)
+    crossover = update_s / denominator
+    rows = [
+        ["network query (cold, per query)", f"{network_query_s * 1e3:.3f}"],
+        ["global update (once)", f"{update_s * 1e3:.3f}"],
+        ["local query after update (per query)", f"{local_query_s * 1e3:.3f}"],
+        ["crossover (queries)", f"{crossover:.2f}"],
+    ]
+    report.add_table(
+        ["quantity", "ms"],
+        rows,
+        title="E6: query-time answering vs batch update, chain of 6",
+    )
+    assert local_query_s < network_query_s

@@ -1,0 +1,57 @@
+"""E2 — update time vs network size.
+
+Chains grow linearly in depth (update time tracks the longest
+dependency path), trees logarithmically, stars stay flat: the series
+makes the propagation structure visible exactly the way the demo's
+per-topology sweeps would.
+"""
+
+import pytest
+
+from repro.bench import build_and_update, measure_blueprint_update
+from repro.workloads import chain, star, tree
+
+SIZES = [2, 4, 8, 16, 32]
+TUPLES = 20
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_chain_update_scaling(benchmark, size):
+    blueprint = chain(size)
+
+    def run():
+        _, outcome = build_and_update(blueprint, seed=1, tuples_per_node=TUPLES)
+        return outcome
+
+    outcome = benchmark(run)
+    benchmark.extra_info["virtual_wall_s"] = outcome.wall_time
+    benchmark.extra_info["longest_path"] = outcome.report.longest_path
+
+
+def test_scaling_series_report(benchmark, report):
+    def run():
+        rows = []
+        for size in SIZES:
+            for blueprint in (
+                chain(size),
+                star(size - 1),
+                tree(2, max(1, size.bit_length() - 1)),
+            ):
+                rows.append(
+                    measure_blueprint_update(
+                        blueprint, seed=1, tuples_per_node=TUPLES
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_measurements(rows, title="E2: update time vs network size")
+
+    chains = {m.nodes: m for m in rows if m.label.startswith("chain")}
+    stars = {m.nodes: m for m in rows if m.label.startswith("star")}
+    # chain time grows with size; star time stays within one round
+    assert chains[32].wall_time > chains[8].wall_time > chains[2].wall_time
+    assert chains[32].longest_path == 31
+    assert all(m.longest_path == 1 for m in stars.values())
+    # star wall time is ~flat: well below chain growth at every size
+    assert stars[32].wall_time < chains[32].wall_time / 3

@@ -1,0 +1,84 @@
+"""E13 — the protocol over real TCP sockets vs the simulator.
+
+The paper's JXTA claim is transport independence; ours is the same:
+the protocol layers cannot tell the transports apart.  This bench runs
+identical workloads on both and checks the *message traces agree
+exactly* (same result-message counts per rule, same rows) while only
+the clock differs.
+"""
+
+import pytest
+
+from repro import CoDBNetwork, TcpNetwork
+from repro.workloads import chain, star
+
+
+def run_blueprint(blueprint, transport=None):
+    net = blueprint.build(
+        seed=14, tuples_per_node=20, transport=transport, with_superpeer=False
+    )
+    try:
+        outcome = net.global_update(blueprint.origin)
+        snapshot = {name: node.snapshot() for name, node in net.nodes.items()}
+        return outcome, snapshot
+    finally:
+        if transport is not None:
+            net.stop()
+
+
+BLUEPRINTS = [chain(5), star(4)]
+
+
+@pytest.mark.parametrize("blueprint", BLUEPRINTS, ids=lambda b: b.name)
+def test_update_over_tcp(benchmark, blueprint):
+    def run():
+        outcome, _ = run_blueprint(blueprint, transport=TcpNetwork())
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["real_wall_s"] = outcome.wall_time
+
+
+@pytest.mark.parametrize("blueprint", BLUEPRINTS, ids=lambda b: b.name)
+def test_update_simulated(benchmark, blueprint):
+    def run():
+        outcome, _ = run_blueprint(blueprint)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["virtual_wall_s"] = outcome.wall_time
+
+
+def test_tcp_equivalence_report(benchmark, report):
+    def run():
+        rows = []
+        for blueprint in BLUEPRINTS:
+            sim_outcome, sim_state = run_blueprint(blueprint)
+            tcp_outcome, tcp_state = run_blueprint(blueprint, TcpNetwork())
+            rows.append(
+                [
+                    blueprint.name,
+                    sim_outcome.report.total_messages,
+                    tcp_outcome.report.total_messages,
+                    f"{sim_outcome.wall_time:.6f}",
+                    f"{tcp_outcome.wall_time:.6f}",
+                    "yes" if sim_state == tcp_state else "NO",
+                    "yes"
+                    if sim_outcome.report.messages_per_rule()
+                    == tcp_outcome.report.messages_per_rule()
+                    else "NO",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        [
+            "workload", "sim_msgs", "tcp_msgs", "sim_wall_s", "tcp_wall_s",
+            "state_equal", "trace_equal",
+        ],
+        rows,
+        title="E13: simulated vs TCP transport, identical workload",
+    )
+    assert all(row[5] == "yes" for row in rows)
+    assert all(row[6] == "yes" for row in rows)

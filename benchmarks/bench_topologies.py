@@ -1,0 +1,65 @@
+"""E1 — update performance across topologies (§4: "measure the
+performance of various networks arranged in different topologies").
+
+Regenerates, for a fixed network size, the per-topology series the
+demo collects: total update execution time (virtual clock — the
+latency model is identical across topologies, so differences are pure
+protocol), result messages, data volume, and longest propagation path.
+
+Expected shape: star ≪ tree < grid/chain < ring < complete in message
+count; chain maximises the longest path; star completes in one round.
+"""
+
+import pytest
+
+from repro.bench import build_and_update, measure_blueprint_update, sweep
+from repro.workloads import TOPOLOGY_BUILDERS
+
+SIZE = 8
+TUPLES = 50
+TOPOLOGIES = ["star", "broadcast", "tree", "chain", "grid", "ring", "random", "complete"]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_update_time_per_topology(benchmark, topology):
+    blueprint = TOPOLOGY_BUILDERS[topology](SIZE)
+
+    def run():
+        _, outcome = build_and_update(
+            blueprint, seed=1, tuples_per_node=TUPLES
+        )
+        return outcome
+
+    outcome = benchmark(run)
+    benchmark.extra_info["virtual_wall_s"] = outcome.wall_time
+    benchmark.extra_info["result_messages"] = outcome.report.total_messages
+    benchmark.extra_info["longest_path"] = outcome.report.longest_path
+
+
+def test_topology_series_report(benchmark, report):
+    measurements = benchmark.pedantic(
+        lambda: sweep(
+            [TOPOLOGY_BUILDERS[name](SIZE) for name in TOPOLOGIES],
+            seed=1,
+            tuples_per_node=TUPLES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report.add_measurements(
+        measurements,
+        title=f"E1: global update across topologies (N={SIZE}, {TUPLES} tuples/node)",
+    )
+    by_label = {m.label: m for m in measurements}
+    # The demo's qualitative claims, checked mechanically:
+    assert by_label[f"star-{SIZE - 1}"].longest_path == 1
+    assert by_label[f"chain-{SIZE}"].longest_path == SIZE - 1
+    assert (
+        by_label[f"complete-{SIZE}"].result_messages
+        > by_label[f"chain-{SIZE}"].result_messages
+        > by_label[f"star-{SIZE - 1}"].result_messages
+    )
+    assert (
+        by_label[f"star-{SIZE - 1}"].wall_time
+        < by_label[f"chain-{SIZE}"].wall_time
+    )

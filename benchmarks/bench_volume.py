@@ -1,0 +1,67 @@
+"""E4 — "the volume of the data in each message" (§4).
+
+Sweeps the per-node tuple count on a fixed chain and reports the
+distribution of per-message payload volumes.  Shape: mean volume grows
+linearly with tuples/node (initial activation batches dominate); with
+full overlap the dedup machinery collapses downstream messages to near
+empty.
+"""
+
+import pytest
+
+from repro.bench import build_and_update
+from repro.workloads import chain
+
+SIZES = [10, 50, 100, 200]
+
+
+@pytest.mark.parametrize("tuples", SIZES)
+def test_update_volume_scaling(benchmark, tuples):
+    blueprint = chain(6)
+
+    def run():
+        _, outcome = build_and_update(blueprint, seed=3, tuples_per_node=tuples)
+        return outcome
+
+    outcome = benchmark(run)
+    volumes = outcome.report.message_volumes()
+    benchmark.extra_info["mean_volume"] = sum(volumes) / len(volumes)
+    benchmark.extra_info["max_volume"] = max(volumes)
+
+
+def test_volume_report(benchmark, report):
+    def run():
+        rows = []
+        for tuples in SIZES:
+            for overlap, label in ((0.0, "disjoint"), (1.0, "overlapping")):
+                _, outcome = build_and_update(
+                    chain(6), seed=3, tuples_per_node=tuples, overlap=overlap
+                )
+                volumes = outcome.report.message_volumes()
+                rows.append(
+                    [
+                        f"chain-6/{label}",
+                        tuples,
+                        len(volumes),
+                        sum(volumes),
+                        f"{sum(volumes) / len(volumes):.1f}",
+                        max(volumes),
+                        outcome.report.total_rows_imported,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["workload", "tuples/node", "result_msgs", "total_bytes", "mean_bytes", "max_bytes", "rows_new"],
+        rows,
+        title="E4: data volume per result message, chain of 6",
+    )
+    disjoint = {r[1]: r for r in rows if r[0].endswith("disjoint")}
+    overlapping = {r[1]: r for r in rows if r[0].endswith("overlapping")}
+    # volume grows with tuples/node
+    assert disjoint[200][3] > disjoint[50][3] > disjoint[10][3]
+    # overlap means most imports are duplicates: far fewer new rows,
+    # and less total volume shipped at equal tuple counts
+    assert overlapping[100][6] < disjoint[100][6]
+    assert overlapping[100][3] < disjoint[100][3]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every experiment writes a plain-text report into
+``benchmarks/reports/`` alongside the pytest-benchmark timing table;
+EXPERIMENTS.md quotes those reports.  One report file per experiment
+module, shared by all its tests and flushed at session end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.reporting import ReportWriter
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+_writers: dict[str, ReportWriter] = {}
+
+
+@pytest.fixture
+def report(request):
+    """The requesting module's ReportWriter (one per experiment file)."""
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    writer = _writers.get(module)
+    if writer is None:
+        writer = ReportWriter(REPORT_DIR, module)
+        _writers[module] = writer
+    return writer
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_reports():
+    yield
+    for writer in _writers.values():
+        writer.flush()

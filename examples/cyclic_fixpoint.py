@@ -1,0 +1,57 @@
+"""Cyclic coordination rules: the distributed fix-point at work.
+
+A ring of four peers, each importing from the next: data must travel
+the whole cycle, and the update terminates via quiescence detection
+(the paper's condition (b) — "all query results did not bring any new
+data").  We show the per-link closure modes and compare the final
+state against the centralised chase ground truth.
+
+Run:  python examples/cyclic_fixpoint.py
+"""
+
+from repro import CoDBNetwork
+from repro.baselines import CentralizedExchange
+
+
+def main() -> None:
+    size = 4
+    net = CoDBNetwork(seed=3)
+    for i in range(size):
+        net.add_node(f"N{i}", "item(k: int)", facts=f"item({i}). item({i + 10})")
+    for i in range(size):
+        net.add_rule(f"N{i}:item(k) <- N{(i + 1) % size}:item(k)")
+    net.start()
+
+    initial = {name: node.snapshot() for name, node in net.nodes.items()}
+    outcome = net.global_update("N0")
+
+    print(f"Ring of {size}: update {outcome.update_id}")
+    print(f"  result messages       {outcome.result_messages}")
+    print(f"  longest propagation   {outcome.longest_path} hops")
+
+    print("\nPer-node link closure modes:")
+    for name, node in net.nodes.items():
+        report = node.update_report(outcome.update_id)
+        print(
+            f"  {name}: cascade={report.links_closed_by_cascade} "
+            f"quiescence={report.links_closed_by_quiescence}"
+        )
+
+    print("\nEvery node now holds the full ring's data:")
+    for name in sorted(net.nodes):
+        rows = sorted(net.node(name).rows("item"))
+        print(f"  {name}: {[k for (k,) in rows]}")
+
+    # Ground truth: the single-site chase of the initial instance.
+    truth = CentralizedExchange.for_network(net).run(initial)
+    matches = all(
+        net.node(name).snapshot()["item"]
+        == truth.node_snapshot(name, net.node(name).wrapper.schema)["item"]
+        for name in net.nodes
+    )
+    print(f"\nMatches the centralised chase: {matches}")
+    print(f"  (chase took {truth.rounds} rounds, {truth.rule_firings} rule firings)")
+
+
+if __name__ == "__main__":
+    main()

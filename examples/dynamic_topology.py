@@ -1,0 +1,61 @@
+"""Dynamic topology: the super-peer re-wires the network at runtime.
+
+§4: "If a coordination rules file is received when a peer has already
+set up coordination rules and pipes, then it drops 'old' rules and
+pipes, and creates new ones, where necessary.  Thus, a super-peer can
+dynamically change the network topology at runtime."
+
+We start as a star, run an update, re-broadcast a chain-shaped rule
+file, run another update, and use the topology discovery procedure to
+show the live shape each time.
+
+Run:  python examples/dynamic_topology.py
+"""
+
+from repro import CoDBNetwork
+
+
+def show_topology(net: CoDBNetwork, who: str) -> None:
+    discovery_id = net.node(who).topology.start()
+    net.run()
+    view = net.node(who).topology.view(discovery_id)
+    print(f"  nodes: {view.nodes()}")
+    for rule_id, source, target in sorted(view.rule_edges):
+        print(f"    {rule_id}: {source} -> {target}")
+
+
+def main() -> None:
+    net = CoDBNetwork(seed=11)
+    net.add_node("HUB", "item(k: int)")
+    for i in range(3):
+        net.add_node(f"S{i}", "item(k: int)",
+                     facts=f"item({i}). item({i + 10})")
+    net.add_rules([f"HUB:item(k) <- S{i}:item(k)" for i in range(3)])
+    net.start()
+
+    print("Topology after the first rules broadcast (a star):")
+    show_topology(net, "HUB")
+
+    outcome = net.global_update("HUB")
+    print(f"\nStar update: {outcome.result_messages} result messages, "
+          f"longest path {outcome.longest_path}")
+
+    print("\nSuper-peer broadcasts a new rules file (a chain) ...")
+    net.rewire(
+        """
+        S1:item(k) <- S0:item(k)
+        S2:item(k) <- S1:item(k)
+        HUB:item(k) <- S2:item(k)
+        """
+    )
+    print("Topology now:")
+    show_topology(net, "HUB")
+
+    outcome = net.global_update("HUB")
+    print(f"\nChain update: {outcome.result_messages} result messages, "
+          f"longest path {outcome.longest_path}")
+    print(f"HUB rows: {sorted(k for (k,) in net.node('HUB').rows('item'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517`` (or ``python setup.py develop``)
+work with plain setuptools.  Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

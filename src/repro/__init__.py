@@ -1,0 +1,121 @@
+"""coDB — a reproduction of the VLDB 2004 peer-to-peer database system.
+
+"Queries and Updates in the coDB Peer to Peer Database System",
+Franconi, Kuper, Lopatenko, Zaihrayeu (VLDB'04; technical report
+DIT-04-088).
+
+A network of databases, possibly with different schemas, are
+interconnected by means of GLAV coordination rules — inclusions of
+conjunctive queries, with possibly existential variables in the head;
+coordination rules may be cyclic.  Each node can be queried in its
+schema for data, which the node can fetch from its neighbours
+(query-time answering), or the whole network can run a *global update*
+that materialises all derivable data so later queries are purely
+local.
+
+Quickstart::
+
+    from repro import CoDBNetwork
+
+    net = CoDBNetwork(seed=7)
+    net.add_node("BZ", "person(name: str, city: str)",
+                 facts="person('anna', 'Trento'). person('bob', 'Bolzano')")
+    net.add_node("TN", "resident(name: str)")
+    net.add_rule("TN:resident(n) <- BZ:person(n, c), c = 'Trento'")
+    net.start()
+    outcome = net.global_update("TN")
+    assert net.query("TN", "q(n) <- resident(n)") == [("anna",)]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced measurements.
+"""
+
+from repro.core.network import CoDBNetwork, UpdateOutcome
+from repro.core.node import CoDBNode, NodeConfig
+from repro.core.rulefile import RuleFile
+from repro.core.rules import CoordinationRule
+from repro.core.statistics import (
+    NetworkUpdateReport,
+    NodeStatistics,
+    UpdateReport,
+)
+from repro.core.superpeer import SuperPeer
+from repro.errors import CoDBError
+from repro.p2p.inproc import InProcessNetwork, LatencyModel
+from repro.p2p.tcp import TcpNetwork
+from repro.relational.conjunctive import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    GlavMapping,
+    Variable,
+)
+from repro.relational.database import Database
+from repro.relational.nulls import NullFactory
+from repro.relational.parser import (
+    parse_facts,
+    parse_mapping,
+    parse_query,
+    parse_schema,
+)
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import MarkedNull
+from repro.relational.wrapper import (
+    MediatorStore,
+    MemoryStore,
+    SqliteStore,
+    Wrapper,
+)
+from repro.relational.minimize import minimize_mapping, minimize_query
+from repro.relational.explain import explain
+from repro.relational.persist import (
+    dump_network,
+    dump_store,
+    load_network,
+    load_store,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoDBNetwork",
+    "CoDBNode",
+    "NodeConfig",
+    "UpdateOutcome",
+    "CoordinationRule",
+    "RuleFile",
+    "SuperPeer",
+    "UpdateReport",
+    "NodeStatistics",
+    "NetworkUpdateReport",
+    "CoDBError",
+    "InProcessNetwork",
+    "LatencyModel",
+    "TcpNetwork",
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "GlavMapping",
+    "Variable",
+    "Database",
+    "DatabaseSchema",
+    "RelationSchema",
+    "MarkedNull",
+    "NullFactory",
+    "parse_schema",
+    "parse_facts",
+    "parse_query",
+    "parse_mapping",
+    "Wrapper",
+    "MemoryStore",
+    "SqliteStore",
+    "MediatorStore",
+    "minimize_query",
+    "minimize_mapping",
+    "explain",
+    "dump_store",
+    "load_store",
+    "dump_network",
+    "load_network",
+    "__version__",
+]

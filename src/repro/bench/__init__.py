@@ -1,0 +1,24 @@
+"""Benchmark support: measurements, sweep runners, report formatting.
+
+The actual experiments live in the repository's ``benchmarks/``
+directory (one pytest-benchmark file per table/figure of
+EXPERIMENTS.md); this package holds the reusable machinery so the
+experiment files stay declarative.
+"""
+
+from repro.bench.metrics import UpdateMeasurement, measure_outcome
+from repro.bench.runner import (
+    build_and_update,
+    measure_blueprint_update,
+    sweep,
+)
+from repro.bench.reporting import ReportWriter
+
+__all__ = [
+    "UpdateMeasurement",
+    "measure_outcome",
+    "build_and_update",
+    "measure_blueprint_update",
+    "sweep",
+    "ReportWriter",
+]

@@ -1,0 +1,88 @@
+"""Measurement records extracted from update outcomes.
+
+One :class:`UpdateMeasurement` row corresponds to one global update
+run and carries exactly the statistics §4 of the paper names: total
+execution time, result messages (total and per coordination rule),
+data volumes per message, and the longest update propagation path —
+plus the transport-level totals our substrate can additionally see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.network import UpdateOutcome
+
+
+@dataclass
+class UpdateMeasurement:
+    """Flat record of one global update, ready for a report table."""
+
+    label: str
+    nodes: int
+    rules: int
+    #: Virtual (simulator) or real (TCP) seconds, per the transport clock.
+    wall_time: float
+    result_messages: int
+    result_bytes: int
+    transport_messages: int
+    transport_bytes: int
+    rows_imported: int
+    nulls_minted: int
+    longest_path: int
+    messages_per_rule: dict[str, int] = field(default_factory=dict)
+    volume_per_message_mean: float = 0.0
+    volume_per_message_max: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> list:
+        """The default report-table row."""
+        return [
+            self.label,
+            self.nodes,
+            self.rules,
+            f"{self.wall_time:.6f}",
+            self.result_messages,
+            self.result_bytes,
+            self.transport_messages,
+            self.rows_imported,
+            self.longest_path,
+        ]
+
+    HEADERS = [
+        "workload",
+        "nodes",
+        "rules",
+        "wall_s",
+        "result_msgs",
+        "result_bytes",
+        "all_msgs",
+        "rows_new",
+        "longest_path",
+    ]
+
+
+def measure_outcome(
+    label: str, outcome: UpdateOutcome, *, nodes: int, rules: int, **extra: Any
+) -> UpdateMeasurement:
+    """Convert an :class:`UpdateOutcome` into a measurement record."""
+    volumes = outcome.report.message_volumes()
+    mean = sum(volumes) / len(volumes) if volumes else 0.0
+    return UpdateMeasurement(
+        label=label,
+        nodes=nodes,
+        rules=rules,
+        wall_time=outcome.wall_time,
+        result_messages=outcome.report.total_messages,
+        result_bytes=outcome.report.total_bytes,
+        transport_messages=outcome.transport_messages,
+        transport_bytes=outcome.transport_bytes,
+        rows_imported=outcome.report.total_rows_imported,
+        nulls_minted=outcome.report.total_nulls_minted,
+        longest_path=outcome.report.longest_path,
+        messages_per_rule=outcome.report.messages_per_rule(),
+        volume_per_message_mean=mean,
+        volume_per_message_max=max(volumes, default=0),
+        extra=dict(extra),
+    )

@@ -1,0 +1,89 @@
+"""Sweep runners for the experiment files."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.bench.metrics import UpdateMeasurement, measure_outcome
+from repro.core.network import CoDBNetwork, UpdateOutcome
+from repro.core.node import NodeConfig
+from repro.p2p.inproc import LatencyModel
+from repro.workloads.topologies import NetworkBlueprint
+
+
+def build_and_update(
+    blueprint: NetworkBlueprint,
+    *,
+    seed: int = 0,
+    tuples_per_node: int = 50,
+    overlap: float = 0.0,
+    config: NodeConfig | None = None,
+    latency: LatencyModel | None = None,
+) -> tuple[CoDBNetwork, UpdateOutcome]:
+    """Instantiate *blueprint* and run one global update from its origin."""
+    network = blueprint.build(
+        seed=seed,
+        tuples_per_node=tuples_per_node,
+        overlap=overlap,
+        config=config,
+        latency=latency,
+    )
+    outcome = network.global_update(blueprint.origin)
+    return network, outcome
+
+
+def measure_blueprint_update(
+    blueprint: NetworkBlueprint,
+    *,
+    seed: int = 0,
+    tuples_per_node: int = 50,
+    overlap: float = 0.0,
+    config: NodeConfig | None = None,
+    latency: LatencyModel | None = None,
+    label: str | None = None,
+) -> UpdateMeasurement:
+    """One measurement row for one blueprint."""
+    _, outcome = build_and_update(
+        blueprint,
+        seed=seed,
+        tuples_per_node=tuples_per_node,
+        overlap=overlap,
+        config=config,
+        latency=latency,
+    )
+    return measure_outcome(
+        label or blueprint.name,
+        outcome,
+        nodes=blueprint.size,
+        rules=blueprint.edge_count,
+        seed=seed,
+        tuples_per_node=tuples_per_node,
+        overlap=overlap,
+    )
+
+
+def sweep(
+    blueprints: Iterable[NetworkBlueprint],
+    *,
+    seed: int = 0,
+    tuples_per_node: int = 50,
+    overlap: float = 0.0,
+    config: NodeConfig | None = None,
+    latency: LatencyModel | None = None,
+    label_fn: Callable[[NetworkBlueprint], str] | None = None,
+) -> list[UpdateMeasurement]:
+    """Measure a family of blueprints with identical parameters."""
+    rows = []
+    for blueprint in blueprints:
+        rows.append(
+            measure_blueprint_update(
+                blueprint,
+                seed=seed,
+                tuples_per_node=tuples_per_node,
+                overlap=overlap,
+                config=config,
+                latency=latency,
+                label=label_fn(blueprint) if label_fn else None,
+            )
+        )
+    return rows

@@ -1,0 +1,203 @@
+"""Command-line interface: the demo operator's workflow, scripted.
+
+§4 describes an operator who "start[s] up all the nodes,
+establish[es] coordination rules between pairs of nodes, run[s] a set
+of experiments and, finally, collect[s] statistical information".
+Three subcommands cover that:
+
+``demo``
+    Build a standard topology with seeded data, run a global update,
+    print the super-peer's final statistical report::
+
+        python -m repro demo --topology chain --size 6 --tuples 20
+
+``run``
+    Drive a network described by a JSON spec file (nodes with schema
+    and facts text, a rule file, an origin; see
+    :func:`load_network_spec`)::
+
+        python -m repro run network.json --query "q(x) <- item(x, v)"
+
+``check-rules``
+    Parse a coordination-rule file and report its structure: peers,
+    acquaintances, dependency cyclicity and weak acyclicity::
+
+        python -m repro check-rules rules.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.core.network import CoDBNetwork
+from repro.core.rulefile import RuleFile
+from repro.errors import CoDBError
+from repro.workloads.topologies import TOPOLOGY_BUILDERS
+
+
+def load_network_spec(path: str) -> dict:
+    """Load and validate a network spec file.
+
+    Schema::
+
+        {
+          "seed": 7,
+          "nodes": [
+            {"name": "BZ", "schema": "person(name: str, city: str)",
+             "facts": "person('anna', 'Trento')."},
+            {"name": "TN", "schema": "resident(name: str)"}
+          ],
+          "rules": "TN:resident(n) <- BZ:person(n, c), c = 'Trento'",
+          "origin": "TN"
+        }
+    """
+    with open(path, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    for field in ("nodes", "rules"):
+        if field not in spec:
+            raise CoDBError(f"network spec {path!r} is missing {field!r}")
+    for node in spec["nodes"]:
+        for field in ("name", "schema"):
+            if field not in node:
+                raise CoDBError(
+                    f"network spec {path!r}: every node needs {field!r}"
+                )
+    return spec
+
+
+def build_network_from_spec(spec: dict) -> CoDBNetwork:
+    network = CoDBNetwork(seed=int(spec.get("seed", 0)))
+    for node in spec["nodes"]:
+        network.add_node(
+            node["name"], node["schema"], facts=node.get("facts")
+        )
+    for rule in RuleFile.from_text(spec["rules"]):
+        network.rule_file.add(rule)
+    network.start()
+    return network
+
+
+def _cmd_demo(args: argparse.Namespace, out) -> int:
+    builder = TOPOLOGY_BUILDERS.get(args.topology)
+    if builder is None:
+        print(
+            f"unknown topology {args.topology!r}; "
+            f"choose from {sorted(TOPOLOGY_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    blueprint = builder(args.size)
+    print(f"building {blueprint.name}: {blueprint.description}", file=out)
+    network = blueprint.build(
+        seed=args.seed, tuples_per_node=args.tuples
+    )
+    outcome = network.global_update(blueprint.origin)
+    collection_id = network.collect_statistics()
+    print(network.superpeer.final_report(collection_id, outcome.update_id), file=out)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    spec = load_network_spec(args.spec)
+    network = build_network_from_spec(spec)
+    origin = args.origin or spec.get("origin")
+    if origin is None:
+        print("no origin given (spec 'origin' or --origin)", file=sys.stderr)
+        return 2
+    outcome = network.global_update(origin)
+    print(
+        f"update {outcome.update_id}: wall={outcome.wall_time:.6f}s "
+        f"result_msgs={outcome.result_messages} "
+        f"rows={outcome.rows_imported} longest_path={outcome.longest_path}",
+        file=out,
+    )
+    if args.query:
+        rows = network.query(origin, args.query)
+        print(f"{args.query}", file=out)
+        for row in rows:
+            print("  " + ", ".join(repr(v) for v in row), file=out)
+    if args.report:
+        collection_id = network.collect_statistics()
+        print(
+            network.superpeer.final_report(collection_id, outcome.update_id),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_check_rules(args: argparse.Namespace, out) -> int:
+    with open(args.rules, encoding="utf-8") as handle:
+        rule_file = RuleFile.from_text(handle.read())
+    print(f"{len(rule_file)} coordination rule(s)", file=out)
+    for rule in rule_file:
+        existentials = sorted(rule.mapping.existential_head_variables())
+        marker = f"  (existentials: {', '.join(existentials)})" if existentials else ""
+        print(f"  {rule.rule_id}: {rule.to_text()}{marker}", file=out)
+    print(f"peers: {', '.join(rule_file.peers())}", file=out)
+    for peer in rule_file.peers():
+        print(
+            f"  {peer}: acquaintances {rule_file.acquaintances_of(peer)}",
+            file=out,
+        )
+    cyclic = rule_file.has_cyclic_dependencies()
+    weakly_acyclic = rule_file.is_weakly_acyclic()
+    print(f"dependency cycles: {'yes' if cyclic else 'no'}", file=out)
+    print(f"weakly acyclic:    {'yes' if weakly_acyclic else 'no'}", file=out)
+    if not weakly_acyclic:
+        print(
+            "warning: global updates may need subsumption dedup or the "
+            "fix-point guard (see NodeConfig)",
+            file=out,
+        )
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="coDB peer-to-peer database system (VLDB 2004 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run a canned topology demo")
+    demo.add_argument("--topology", default="chain")
+    demo.add_argument("--size", type=int, default=6)
+    demo.add_argument("--tuples", type=int, default=20)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    run = commands.add_parser("run", help="drive a network from a spec file")
+    run.add_argument("spec", help="network spec JSON")
+    run.add_argument("--origin", help="update origin (overrides the spec)")
+    run.add_argument("--query", help="query to answer at the origin afterwards")
+    run.add_argument(
+        "--report", action="store_true", help="print the super-peer report"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    check = commands.add_parser(
+        "check-rules", help="analyse a coordination-rule file"
+    )
+    check.add_argument("rules", help="rule file path")
+    check.set_defaults(func=_cmd_check_rules)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except (CoDBError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The coDB protocol layer: nodes, coordination rules, updates, queries.
+
+This package is the paper's primary contribution, built on the
+:mod:`repro.p2p` substrate and the :mod:`repro.relational` engine:
+
+* :mod:`rules` / :mod:`rulefile` — coordination rules placed in the
+  network, and the rule files the super-peer broadcasts;
+* :mod:`links` — per-node incoming/outgoing link state and the
+  incoming-on-outgoing dependency relation of §3;
+* :mod:`termination` — the diffusing-computation machinery (Dijkstra–
+  Scholten acknowledgement counting) behind "the proposed algorithm
+  will eventually terminate" (§1);
+* :mod:`update` — the global update algorithm of §3;
+* :mod:`query` — query-time distributed answering;
+* :mod:`topology` — the topology discovery procedure;
+* :mod:`statistics` — the per-node statistical module of §4;
+* :mod:`node` — the coDB node (P2P layer + DBM + Wrapper, Figure 1);
+* :mod:`superpeer` — the demo's super-peer (§4);
+* :mod:`network` — a convenience builder tying everything together.
+"""
+
+from repro.core.rules import CoordinationRule
+from repro.core.rulefile import RuleFile
+from repro.core.links import IncomingLink, LinkTable, OutgoingLink
+from repro.core.node import CoDBNode
+from repro.core.superpeer import SuperPeer
+from repro.core.network import CoDBNetwork, UpdateOutcome
+from repro.core.statistics import (
+    NetworkUpdateReport,
+    NodeStatistics,
+    UpdateReport,
+)
+
+__all__ = [
+    "CoordinationRule",
+    "RuleFile",
+    "IncomingLink",
+    "OutgoingLink",
+    "LinkTable",
+    "CoDBNode",
+    "SuperPeer",
+    "CoDBNetwork",
+    "UpdateOutcome",
+    "UpdateReport",
+    "NodeStatistics",
+    "NetworkUpdateReport",
+]

@@ -1,0 +1,192 @@
+"""Link state: the paper's incoming/outgoing links and their dependency.
+
+§3: "We call coordination rules *incoming links* at some node, if
+these rules are used by some other (acquainted) nodes for importing
+data from that given node.  We call coordination rules *outgoing
+links* at some node, if that node uses these rules in order to import
+data from its acquaintances.  We say that an incoming link is
+*dependent on* an outgoing link ... if the head of the outgoing link
+reference[s] a relation, which is referenced by a body subgoal of the
+incoming link."
+
+Note the perspective: one :class:`CoordinationRule` is an *outgoing*
+link at its target (importer) and an *incoming* link at its source.
+Link state is per global update; the structures here also carry the
+bookkeeping sets of §3 — what has been sent on an incoming link, what
+has been received on an outgoing link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rules import CoordinationRule
+from repro.relational.values import Row
+
+#: Link state machine: INACTIVE -(update request)-> OPEN -(closure)-> CLOSED.
+INACTIVE = "inactive"
+OPEN = "open"
+CLOSED = "closed"
+
+
+@dataclass
+class OutgoingLink:
+    """A rule this node uses to import data (node == rule.target)."""
+
+    rule: CoordinationRule
+
+    #: Frontier rows ever received over this link.  This is the
+    #: link's *lifetime* memory, not per-update state: a frontier row
+    #: fires the rule (and mints its null vector, if any) exactly once
+    #: over the rule's lifetime, which is what makes repeated global
+    #: updates idempotent — the paper's "remove from T those tuples
+    #: which are already in R", lifted to frontier granularity so it
+    #: also works for heads with existential variables.
+    received: set[Row] = field(default_factory=set)
+    state: str = INACTIVE
+    #: How the link closed: "cascade" (paper condition a: every
+    #: relevant chain below quiesced and told us) or "quiescence"
+    #: (condition b around cycles: global quiescence detection).
+    closed_by: str = ""
+    #: Longest update-propagation path observed on this link.
+    longest_path: int = 0
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule.rule_id
+
+    @property
+    def remote(self) -> str:
+        """The acquaintance that evaluates the body (rule.source)."""
+        return self.rule.source
+
+    def reset_for_update(self) -> None:
+        """Per-update reset: states only; the received-set persists."""
+        self.state = INACTIVE
+        self.closed_by = ""
+        self.longest_path = 0
+
+
+@dataclass
+class IncomingLink:
+    """A rule some acquaintance uses to import data from this node
+    (node == rule.source)."""
+
+    rule: CoordinationRule
+
+    #: Frontier rows ever sent over this link — "we delete from Ri
+    #: those tuples which have been already sent to the incoming link"
+    #: (§3).  Lifetime memory, like the outgoing side's received-set:
+    #: a second global update re-ships nothing the importer already
+    #: has, so repeated updates converge instead of re-minting nulls.
+    sent: set[Row] = field(default_factory=set)
+    state: str = INACTIVE
+    closed_by: str = ""
+    #: Outgoing-link rule ids of this node that this link depends on.
+    relevant_outgoing: tuple[str, ...] = ()
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule.rule_id
+
+    @property
+    def remote(self) -> str:
+        """The importer the results flow to (rule.target)."""
+        return self.rule.target
+
+    def reset_for_update(self) -> None:
+        """Per-update reset: states only; the sent-set persists."""
+        self.state = INACTIVE
+        self.closed_by = ""
+
+
+class LinkTable:
+    """All links of one node, with the dependency relation precomputed."""
+
+    def __init__(self, node_name: str, rules: list[CoordinationRule]) -> None:
+        self.node_name = node_name
+        self.outgoing: dict[str, OutgoingLink] = {}
+        self.incoming: dict[str, IncomingLink] = {}
+        for rule in rules:
+            if rule.target == node_name:
+                self.outgoing[rule.rule_id] = OutgoingLink(rule)
+            if rule.source == node_name:
+                self.incoming[rule.rule_id] = IncomingLink(rule)
+        self._compute_dependencies()
+
+    def _compute_dependencies(self) -> None:
+        """Incoming link I depends on outgoing link O iff O's head
+        writes a relation read by I's body (both at this node)."""
+        for incoming in self.incoming.values():
+            body_relations = set(incoming.rule.mapping.body_relations())
+            relevant = [
+                outgoing.rule_id
+                for outgoing in self.outgoing.values()
+                if body_relations & set(outgoing.rule.mapping.head_relations())
+            ]
+            incoming.relevant_outgoing = tuple(relevant)
+
+    # -- views --------------------------------------------------------------
+
+    def acquaintances(self) -> list[str]:
+        """Every peer this node needs a pipe with, deterministic order."""
+        remotes: dict[str, None] = {}
+        for link in self.outgoing.values():
+            remotes.setdefault(link.remote)
+        for link in self.incoming.values():
+            remotes.setdefault(link.remote)
+        return list(remotes)
+
+    def incoming_for_target(self, target: str) -> list[IncomingLink]:
+        """The incoming links serving one importer."""
+        return [l for l in self.incoming.values() if l.remote == target]
+
+    def incoming_dependent_on_relations(
+        self, relations: set[str]
+    ) -> list[IncomingLink]:
+        """Incoming links whose body reads any of *relations*."""
+        return [
+            link
+            for link in self.incoming.values()
+            if relations & set(link.rule.mapping.body_relations())
+        ]
+
+    def outgoing_writing_relations(self) -> dict[str, tuple[str, ...]]:
+        """rule_id -> head relations, for delta attribution."""
+        return {
+            rule_id: link.rule.mapping.head_relations()
+            for rule_id, link in self.outgoing.items()
+        }
+
+    def all_outgoing_closed(self) -> bool:
+        """The node-closure condition: "when all outgoing links of a
+        node are in the state 'closed', then the node is also in the
+        state 'closed'" (§3).  Vacuously true with no outgoing links."""
+        return all(link.state == CLOSED for link in self.outgoing.values())
+
+    def incoming_ready_to_close(self) -> list[IncomingLink]:
+        """Open incoming links whose relevant outgoing links are all
+        closed — the closure-cascade condition of §3."""
+        ready = []
+        for link in self.incoming.values():
+            if link.state != OPEN:
+                continue
+            if all(
+                self.outgoing[rule_id].state == CLOSED
+                for rule_id in link.relevant_outgoing
+            ):
+                ready.append(link)
+        return ready
+
+    def reset_for_update(self) -> None:
+        """Open a new update: reset link states, keep lifetime dedup sets."""
+        for link in self.outgoing.values():
+            link.reset_for_update()
+        for link in self.incoming.values():
+            link.reset_for_update()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkTable {self.node_name}: out={sorted(self.outgoing)} "
+            f"in={sorted(self.incoming)}>"
+        )

@@ -1,0 +1,290 @@
+"""The network builder: nodes + transport + super-peer, one object.
+
+This is the top of the public API — the programmatic equivalent of the
+demo operator who "start[s] up all the nodes, establish[es]
+coordination rules between pairs of nodes, run[s] a set of experiments
+and, finally, collect[s] statistical information" (§4).
+
+Works over both transports: with the default simulated transport every
+call that needs network progress pumps the event loop itself, so the
+API is synchronous; over TCP the same calls poll for completion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.node import CoDBNode, NodeConfig
+from repro.core.rulefile import RuleFile
+from repro.core.rules import CoordinationRule
+from repro.core.statistics import NetworkUpdateReport
+from repro.core.superpeer import SuperPeer
+from repro.errors import ProtocolError
+from repro.p2p.ids import IdAuthority
+from repro.p2p.inproc import InProcessNetwork, LatencyModel
+from repro.p2p.transport import Transport
+from repro.relational.conjunctive import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.relational.parser import parse_schema
+from repro.relational.values import Row
+from repro.relational.wrapper import Wrapper
+
+
+@dataclass
+class UpdateOutcome:
+    """Everything a benchmark wants to know about one global update."""
+
+    update_id: str
+    origin: str
+    report: NetworkUpdateReport
+    #: Wall time by the transport clock (virtual seconds on the
+    #: simulator — deterministic; real seconds over TCP).
+    wall_time: float
+    #: Transport-level totals for the whole update, including requests,
+    #: acks and completion floods (the statistics module's per-rule
+    #: numbers cover result messages only).
+    transport_messages: int
+    transport_bytes: int
+
+    @property
+    def result_messages(self) -> int:
+        return self.report.total_messages
+
+    @property
+    def longest_path(self) -> int:
+        return self.report.longest_path
+
+    @property
+    def rows_imported(self) -> int:
+        return self.report.total_rows_imported
+
+
+class CoDBNetwork:
+    """A coDB network under a single driver object."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        transport: Transport | None = None,
+        latency: LatencyModel | None = None,
+        with_superpeer: bool = True,
+        config: NodeConfig | None = None,
+        poll_timeout: float = 30.0,
+    ) -> None:
+        self.transport = transport if transport is not None else InProcessNetwork(
+            seed, latency
+        )
+        self.ids = IdAuthority(seed)
+        self.default_config = config
+        self.nodes: dict[str, CoDBNode] = {}
+        self.rule_file = RuleFile()
+        self.poll_timeout = poll_timeout
+        self._rule_counter = 0
+        self.superpeer: SuperPeer | None = None
+        if with_superpeer:
+            self.superpeer = SuperPeer("superpeer", self.transport, self.ids)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        schema: DatabaseSchema | str,
+        *,
+        store: Wrapper | None = None,
+        facts: str | dict | None = None,
+        config: NodeConfig | None = None,
+    ) -> CoDBNode:
+        """Create and attach a node; optionally bulk-load facts."""
+        if name in self.nodes:
+            raise ProtocolError(f"node {name!r} already exists")
+        if isinstance(schema, str):
+            schema = parse_schema(schema)
+        node = CoDBNode(
+            name,
+            schema,
+            self.transport,
+            self.ids,
+            store=store,
+            config=config if config is not None else self.default_config,
+        )
+        self.nodes[name] = node
+        if facts is not None:
+            node.load_facts(facts)
+        return node
+
+    def node(self, name: str) -> CoDBNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ProtocolError(f"unknown node {name!r}") from None
+
+    def add_rule(self, rule: str | CoordinationRule) -> CoordinationRule:
+        """Register one coordination rule (text or object)."""
+        if isinstance(rule, str):
+            rule = CoordinationRule.from_text(f"r{self._rule_counter}", rule)
+        self._rule_counter += 1
+        for peer in (rule.target, rule.source):
+            if peer not in self.nodes:
+                raise ProtocolError(
+                    f"rule {rule.rule_id!r} references unknown node {peer!r}"
+                )
+        self.rule_file.add(rule)
+        return rule
+
+    def add_rules(self, rules: Sequence[str | CoordinationRule]) -> None:
+        for rule in rules:
+            self.add_rule(rule)
+
+    def start(self) -> None:
+        """Install the current rule file on every node.
+
+        With a super-peer, the file is *broadcast* (the §4 mechanism)
+        and nodes self-configure on receipt; without one, the driver
+        installs rules directly.
+        """
+        if self.superpeer is not None:
+            self.superpeer.broadcast_rules(self.rule_file)
+            self.run()
+        else:
+            for node in self.nodes.values():
+                node.set_rules(self.rule_file.rules)
+
+    def rewire(self, rule_file: RuleFile | str) -> None:
+        """Replace the network's rules at runtime (§4 dynamic topology)."""
+        if isinstance(rule_file, str):
+            rule_file = RuleFile.from_text(rule_file)
+        self.rule_file = rule_file
+        if self.superpeer is not None:
+            self.superpeer.broadcast_rules(rule_file)
+            self.run()
+        else:
+            for node in self.nodes.values():
+                node.set_rules(rule_file.rules)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Pump the transport until idle; returns messages delivered."""
+        return self.transport.run_until_idle()
+
+    def _wait(self, predicate) -> None:
+        """Run the network until *predicate* holds (poll on TCP)."""
+        if isinstance(self.transport, InProcessNetwork):
+            self.transport.run_until_idle()
+            if not predicate():
+                raise ProtocolError(
+                    "network went idle before the operation completed"
+                )
+            return
+        deadline = time.monotonic() + self.poll_timeout
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise ProtocolError(
+                    f"operation did not complete within {self.poll_timeout}s"
+                )
+            time.sleep(0.002)
+
+    # ------------------------------------------------------------------
+    # Global updates
+    # ------------------------------------------------------------------
+
+    def global_update(self, origin: str) -> UpdateOutcome:
+        """Run one global update from *origin* to completion."""
+        node = self.node(origin)
+        messages_before = self.transport.stats.messages_sent
+        bytes_before = self.transport.stats.bytes_sent
+        started = self.transport.now()
+        update_id = node.start_global_update()
+        self._wait(
+            lambda: all(
+                n.detached
+                or n.update_done(update_id)
+                or n.stats.report_for(update_id) is None
+                for n in self.nodes.values()
+            )
+            and node.update_done(update_id)
+        )
+        finished = self.transport.now()
+        reports = [
+            report
+            for n in self.nodes.values()
+            if (report := n.stats.report_for(update_id)) is not None
+        ]
+        from repro.core.statistics import aggregate_reports
+
+        return UpdateOutcome(
+            update_id=update_id,
+            origin=origin,
+            report=aggregate_reports(update_id, origin, reports),
+            wall_time=finished - started,
+            transport_messages=self.transport.stats.messages_sent - messages_before,
+            transport_bytes=self.transport.stats.bytes_sent - bytes_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        node_name: str,
+        query: str | ConjunctiveQuery,
+        *,
+        mode: str = "local",
+        persist: bool = True,
+    ) -> list[Row]:
+        """Answer *query* at *node_name*.
+
+        ``mode="local"`` reads only local data; ``mode="network"``
+        runs the query-time distributed answering of §3.
+        """
+        node = self.node(node_name)
+        if mode == "local":
+            return node.query(query)
+        if mode != "network":
+            raise ProtocolError(f"unknown query mode {mode!r}")
+        query_id = node.start_network_query(query, persist=persist)
+        self._wait(lambda: node.queries.is_done(query_id))
+        answer = node.network_query_answer(query_id)
+        assert answer is not None
+        return answer
+
+    # ------------------------------------------------------------------
+    # Statistics & snapshots
+    # ------------------------------------------------------------------
+
+    def collect_statistics(self) -> str:
+        """Super-peer statistics sweep; returns the collection id."""
+        if self.superpeer is None:
+            raise ProtocolError("this network was built without a super-peer")
+        collection_id = self.superpeer.request_statistics()
+        alive = {name for name, node in self.nodes.items() if not node.detached}
+        self._wait(
+            lambda: alive
+            <= set(self.superpeer.collected_reports(collection_id))
+        )
+        return collection_id
+
+    def snapshot(self) -> dict[str, dict[str, list[Row]]]:
+        """``{node: {relation: sorted rows}}`` for the whole network."""
+        return {name: node.snapshot() for name, node in self.nodes.items()}
+
+    def total_rows(self) -> int:
+        return sum(node.wrapper.total_rows() for node in self.nodes.values())
+
+    def stop(self) -> None:
+        self.transport.stop()
+
+    def __enter__(self) -> "CoDBNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

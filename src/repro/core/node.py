@@ -1,0 +1,440 @@
+"""The coDB node: Figure 1's P2P Layer + Wrapper + LDB, in one object.
+
+A node owns:
+
+* a **Wrapper** over its local database (memory, sqlite, or mediator);
+* an **endpoint** on the transport (the JXTA Layer), with pipes to its
+  acquaintances and a discovery service;
+* a **link table** derived from its coordination rules;
+* the **DBM** role: the update and query engines, driven purely by
+  message handlers, plus the termination detector they share;
+* the **statistics module** of §4.
+
+The "UI" operations of §2 — pose queries, start updates, change rules,
+trigger discovery, read reports — are the public methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.links import LinkTable
+from repro.core.push import PUSH_KIND, PushEngine
+from repro.core.query import QUERY_KINDS, QueryEngine
+from repro.core.rulefile import RuleFile
+from repro.core.rules import CoordinationRule
+from repro.core.statistics import NodeStatistics, UpdateReport
+from repro.core.termination import DiffusingComputation
+from repro.core.topology import TopologyDiscovery
+from repro.core.update import UPDATE_KINDS, UpdateEngine
+from repro.errors import ProtocolError, RuleError
+from repro.p2p.advertisements import PeerAdvertisement
+from repro.p2p.discovery import DiscoveryService
+from repro.p2p.endpoint import Endpoint
+from repro.p2p.ids import IdAuthority
+from repro.p2p.messages import Message
+from repro.p2p.pipes import PipeTable
+from repro.p2p.transport import Transport
+from repro.relational.conjunctive import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.nulls import NullFactory
+from repro.relational.parser import parse_facts, parse_query
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import Row, Value
+from repro.relational.wrapper import MemoryStore, Wrapper
+
+
+@dataclass
+class NodeConfig:
+    """Tunables for one node (ablation benches flip these).
+
+    Attributes
+    ----------
+    semi_naive:
+        Re-evaluate dependent incoming links only on the delta
+        ("substituting R by T'", §3).  Off = recompute in full on every
+        change (ablation E10).
+    sent_dedup:
+        Keep per-incoming-link sent-sets ("delete from Ri those tuples
+        which have been already sent", §3).  Off = resend everything
+        each round (ablation E10).
+    subsumption_dedup:
+        Drop an imported null-carrying tuple if an existing tuple
+        subsumes it (restricted-chase remedy for non-weakly-acyclic
+        rule sets, ablation E11).
+    fixpoint_guard:
+        Per-node bound on processed result messages per update; trips
+        :class:`~repro.errors.FixpointGuardError` instead of diverging.
+    batch_rows:
+        Maximum frontier rows per ``query_result`` message; ``0`` means
+        unbounded (one message per evaluation).  Bounds the §4 "volume
+        of the data in each message" at the cost of more messages.
+    push_on_insert:
+        Propagate local inserts along already-activated incoming links
+        immediately (continuous/subscription mode), without waiting
+        for the next global update.
+    quarantine_inconsistent:
+        "Local inconsistency does not propagate" (§1d): a node whose
+        local database violates its declared key constraints serves
+        empty results on its incoming links until repaired.  The check
+        is skipped entirely for schemas without keys.
+    minimize_rule_bodies:
+        Minimise the body of every installed rule to its core
+        (Chandra–Merlin) before evaluation.  Redundant body atoms cost
+        a join per activation and per delta batch; minimisation is
+        equivalence-preserving, so results never change.
+    """
+
+    semi_naive: bool = True
+    sent_dedup: bool = True
+    subsumption_dedup: bool = False
+    fixpoint_guard: int = 100_000
+    batch_rows: int = 0
+    push_on_insert: bool = False
+    quarantine_inconsistent: bool = True
+    minimize_rule_bodies: bool = False
+
+
+class CoDBNode:
+    """One coDB peer.  See module docstring."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        transport: Transport,
+        ids: IdAuthority,
+        *,
+        store: Wrapper | None = None,
+        config: NodeConfig | None = None,
+    ) -> None:
+        if not name.isidentifier():
+            raise ProtocolError(
+                f"node name {name!r} must be an identifier (it doubles "
+                "as the peer prefix in rule syntax)"
+            )
+        self.name = name
+        self.config = config if config is not None else NodeConfig()
+        #: Set when the node leaves the network (drivers skip it).
+        self.detached = False
+        self.wrapper = store if store is not None else MemoryStore(schema)
+        if self.wrapper.schema is not schema:
+            raise RuleError(
+                f"node {name!r}: the store was built for a different schema"
+            )
+        self.endpoint = Endpoint(name, transport, ids)
+        self.pipes = PipeTable(self.endpoint)
+        self.discovery = DiscoveryService(self.endpoint, self._advertisement())
+        self.nulls = NullFactory(name)
+        self.stats = NodeStatistics(name)
+        self.links = LinkTable(name, [])
+        self.termination = DiffusingComputation(
+            self.send_ack, self._on_root_complete
+        )
+        self.updates = UpdateEngine(self)
+        self.queries = QueryEngine(self)
+        self.push = PushEngine(self)
+        self.topology = TopologyDiscovery(self)
+        self._wire_handlers()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _advertisement(self) -> PeerAdvertisement:
+        exported = tuple(
+            (relation.name, relation.arity)
+            for relation in self.wrapper.schema.exported_view()
+        )
+        return PeerAdvertisement(
+            peer_id=self.name, name=self.name, exported_relations=exported
+        )
+
+    def _wire_handlers(self) -> None:
+        engine_handlers = {
+            "update_request": self.updates.on_update_request,
+            "query_result": self.updates.on_query_result,
+            "link_closed": self.updates.on_link_closed,
+            "update_complete": self.updates.on_update_complete,
+            "query_request": self.queries.on_query_request,
+            "query_data": self.queries.on_query_data,
+            "query_complete": self.queries.on_query_complete,
+        }
+        assert set(engine_handlers) == set(UPDATE_KINDS) | set(QUERY_KINDS)
+        for kind, handler in engine_handlers.items():
+            self.endpoint.on(kind, self._with_pipe_accounting(handler))
+        self.endpoint.on(
+            PUSH_KIND, self._with_pipe_accounting(self.push.on_push_delta)
+        )
+        self.endpoint.on("ack", self._on_ack)
+        self.endpoint.on("rules_file", self._on_rules_file)
+        self.endpoint.on("stats_request", self._on_stats_request)
+        self.endpoint.on("undeliverable", self._on_undeliverable)
+        self.endpoint.on("peer_down", self._on_peer_down)
+
+    def _with_pipe_accounting(self, handler):
+        def wrapped(message: Message) -> None:
+            self.pipes.note_received(message)
+            handler(message)
+
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # Termination plumbing shared by both engines
+    # ------------------------------------------------------------------
+
+    def send_ack(self, recipient: str, computation_id: str) -> None:
+        # try_send: acking a peer that just left must not crash the
+        # handler — the departed peer no longer counts deficits anyway.
+        self.endpoint.try_send(
+            recipient, "ack", {"computation_id": computation_id}
+        )
+
+    def _on_ack(self, message: Message) -> None:
+        self.termination.on_ack(
+            message.payload["computation_id"], message.sender
+        )
+
+    def _on_root_complete(self, computation_id: str) -> None:
+        if computation_id.startswith("update"):
+            self.updates.root_complete(computation_id)
+        elif computation_id.startswith("query"):
+            self.queries.root_complete(computation_id)
+        else:  # pragma: no cover - ids come from IdAuthority
+            raise ProtocolError(
+                f"unrecognised computation id {computation_id!r}"
+            )
+
+    def _on_undeliverable(self, message: Message) -> None:
+        """A message we sent bounced: the recipient left the network.
+
+        The paper claims the algorithm terminates "even if nodes and
+        coordination rules appear or disappear during the computation"
+        (§1).  The transport returns undeliverable protocol messages to
+        the sender; we drain the termination deficit they left behind
+        and close the links toward the departed peer so closure
+        cascades are not blocked forever.
+        """
+        original_kind = message.payload.get("kind", "")
+        payload = message.payload.get("payload", {})
+        dead_peer = message.payload.get("recipient", "")
+        computation_id = payload.get("update_id") or payload.get("query_id")
+        if original_kind in ("update_request", "query_result", "link_closed",
+                             "query_request", "query_data"):
+            if computation_id:
+                self.termination.on_bounce(computation_id, dead_peer)
+        if original_kind in ("update_request", "query_result", "link_closed"):
+            self.updates.on_peer_unreachable(computation_id or "", dead_peer)
+
+    def _on_peer_down(self, message: Message) -> None:
+        """Failure-detector notification: a peer left the network."""
+        dead_peer = message.payload["peer"]
+        self.termination.on_peer_down(dead_peer)
+        active = self.updates.active
+        if active is not None and not active.done:
+            self.updates.on_peer_unreachable(active.update_id, dead_peer)
+
+    # ------------------------------------------------------------------
+    # Rules management ("user can modify the set of coordination rules")
+    # ------------------------------------------------------------------
+
+    def set_rules(self, rules: Iterable[CoordinationRule]) -> None:
+        """Install *rules* (those relevant to this node), re-wiring pipes.
+
+        §4: on receiving a rules file "each peer looks for relevant
+        coordination rules and creates necessary pipe connections ...
+        it drops 'old' rules and pipes, and creates new ones, where
+        necessary".
+        """
+        relevant = [r for r in rules if self.name in (r.target, r.source)]
+        if self.config.minimize_rule_bodies:
+            from repro.relational.minimize import minimize_mapping
+
+            relevant = [
+                CoordinationRule(
+                    rule.rule_id,
+                    rule.target,
+                    rule.source,
+                    minimize_mapping(rule.mapping),
+                )
+                for rule in relevant
+            ]
+        for rule in relevant:
+            self._validate_rule(rule)
+        self.pipes.drop_all()
+        self.links = LinkTable(self.name, relevant)
+        for rule_id, link in self.links.outgoing.items():
+            self.pipes.pipe_to(link.remote, rule_id=rule_id)
+        for rule_id, link in self.links.incoming.items():
+            self.pipes.pipe_to(link.remote, rule_id=rule_id)
+
+    def _validate_rule(self, rule: CoordinationRule) -> None:
+        """Each side validates its own half of the mapping.
+
+        The target owns the head (its schema), the source owns the
+        body (its *exported* schema) — neither needs the other's full
+        schema, which is what makes rule installation decentralised.
+        """
+        from repro.errors import ArityError
+
+        schema = self.wrapper.schema
+        if rule.target == self.name:
+            for atom in rule.mapping.head:
+                relation = schema[atom.relation]
+                if atom.arity != relation.arity:
+                    raise ArityError(atom.relation, relation.arity, atom.arity)
+        if rule.source == self.name:
+            for atom in rule.mapping.body:
+                relation = schema[atom.relation]
+                if atom.arity != relation.arity:
+                    raise ArityError(atom.relation, relation.arity, atom.arity)
+                if not relation.exported:
+                    raise RuleError(
+                        f"rule {rule.rule_id!r} reads {atom.relation!r}, "
+                        f"which {self.name!r} does not export"
+                    )
+
+    def _on_rules_file(self, message: Message) -> None:
+        rule_file = RuleFile.from_payload(message.payload)
+        self.set_rules(rule_file.rules)
+
+    # ------------------------------------------------------------------
+    # Statistics service (§4)
+    # ------------------------------------------------------------------
+
+    def _on_stats_request(self, message: Message) -> None:
+        reports = [
+            report.to_payload() for report in self.stats.reports.values()
+        ]
+        self.endpoint.send(
+            message.sender,
+            "stats_response",
+            {
+                "node": self.name,
+                "collection_id": message.payload.get("collection_id", ""),
+                "reports": reports,
+                "queries_answered": self.stats.queries_answered,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Local data management
+    # ------------------------------------------------------------------
+
+    def load_facts(self, facts: str | dict[str, list[Sequence[Value]]]) -> int:
+        """Bulk-load ground facts, given as text or ``{relation: rows}``."""
+        if isinstance(facts, str):
+            facts = parse_facts(facts)
+        return self.wrapper.load({k: list(v) for k, v in facts.items()})
+
+    def insert(self, relation: str, row: Sequence[Value]) -> bool:
+        """Insert one local row; pushes the delta downstream when the
+        node runs in continuous mode (``config.push_on_insert``)."""
+        new_rows = self.wrapper.insert_new(relation, [row])
+        if new_rows and self.config.push_on_insert:
+            self.push.push_deltas({relation: new_rows})
+        return bool(new_rows)
+
+    def push_deltas(self, deltas: dict[str, list]) -> int:
+        """Explicitly push ``{relation: rows}`` along incoming links."""
+        return self.push.push_deltas(
+            {rel: [tuple(r) for r in rows] for rel, rows in deltas.items()}
+        )
+
+    def rows(self, relation: str) -> list[Row]:
+        return self.wrapper.rows(relation)
+
+    def snapshot(self) -> dict[str, list[Row]]:
+        return self.wrapper.snapshot()
+
+    @property
+    def database(self) -> Database | None:
+        """The underlying in-memory database, when the store has one."""
+        return getattr(self.wrapper, "database", None)
+
+    # ------------------------------------------------------------------
+    # Queries (the §2 UI: "users can commence network queries")
+    # ------------------------------------------------------------------
+
+    def query(
+        self, query: str | ConjunctiveQuery, *, certain: bool = False
+    ) -> list[Row]:
+        """Answer *query* from local data only.
+
+        With ``certain=True``, answers containing marked nulls are
+        dropped: for positive conjunctive queries over naive tables,
+        the null-free answers are exactly the *certain answers* (true
+        in every completion of the incomplete database).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        query.validate_against(self.wrapper.schema)
+        answers = self.wrapper.evaluate_query(query)
+        if certain:
+            from repro.relational.values import MarkedNull
+
+            answers = [
+                row
+                for row in answers
+                if not any(isinstance(v, MarkedNull) for v in row)
+            ]
+        return answers
+
+    def start_network_query(
+        self, query: str | ConjunctiveQuery, *, persist: bool = True
+    ) -> str:
+        """Pose a network query; returns the query id (poll via
+        :meth:`network_query_answer`)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.queries.start(query, persist=persist)
+
+    def network_query_answer(self, query_id: str) -> list[Row] | None:
+        return self.queries.answer(query_id)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def start_global_update(self) -> str:
+        """Begin a global update with this node as origin; returns its id."""
+        return self.updates.initiate()
+
+    def update_done(self, update_id: str) -> bool:
+        return self.updates.is_done(update_id)
+
+    def update_report(self, update_id: str) -> UpdateReport | None:
+        """The per-node global update processing report (§4)."""
+        return self.stats.report_for(update_id)
+
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Crash-leave the network: no goodbyes, mail bounces.
+
+        In-flight protocol messages addressed here are returned to
+        their senders as ``undeliverable`` (simulated transport), which
+        drains their termination deficits and closes their links toward
+        this node — ongoing updates still terminate (§1's dynamic-
+        network claim).
+        """
+        self.detached = True
+        self.endpoint.detach()
+
+    def leave_network(self) -> None:
+        """Graceful leave: release engaged computations, then detach.
+
+        Deferred parent acknowledgements are sent first so that any
+        diffusing computation this node is part of can collapse without
+        waiting for bounces.
+        """
+        self.detached = True
+        self.termination.abandon_all()
+        self.endpoint.detach()
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoDBNode {self.name} relations={self.wrapper.schema.relation_names} "
+            f"out={len(self.links.outgoing)} in={len(self.links.incoming)}>"
+        )

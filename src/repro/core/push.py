@@ -1,0 +1,123 @@
+"""Continuous (push) propagation of local inserts.
+
+The global update is the paper's *batch* materialisation.  Between
+batches, a node whose local database changes can push the delta along
+its incoming links immediately, keeping downstream materialisations
+fresh — the "data migration" role of coordination formulas (§1a),
+running continuously.
+
+Semantics: a local insert at node *s* is treated exactly like the
+arrival of ``T'`` in §3 — dependent incoming links are recomputed
+semi-naively, sent-set dedup applies, the importer ingests with the
+usual frontier-row dedup and null minting, and *its* deltas cascade
+further.  The flow is monotone and deduplicated, so it quiesces
+without needing termination detection (there is no per-push "closed"
+state to report; the statistics module counts pushes instead).
+
+Enable with ``NodeConfig(push_on_insert=True)`` (then every
+``node.insert`` pushes) or call ``node.push_deltas(...)`` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import UnknownPeerError
+from repro.p2p.messages import Message
+from repro.relational.containment import tuple_subsumed
+from repro.relational.evaluation import apply_head
+from repro.relational.values import MarkedNull, Row, decode_row, encode_row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import CoDBNode
+
+PUSH_KIND = "push_delta"
+
+
+class PushEngine:
+    """Continuous-propagation message processing for one node."""
+
+    def __init__(self, node: "CoDBNode") -> None:
+        self.node = node
+        self.pushes_sent = 0
+        self.pushes_received = 0
+        self.rows_pushed = 0
+        self.rows_absorbed = 0
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+
+    def push_deltas(self, deltas: dict[str, list[Row]]) -> int:
+        """Offer *deltas* (``{relation: new rows}``) to dependent
+        importers; returns the number of messages sent."""
+        node = self.node
+        changed = {rel for rel, rows in deltas.items() if rows}
+        if not changed:
+            return 0
+        if node.config.quarantine_inconsistent and not node.wrapper.is_consistent():
+            return 0  # §1d: inconsistent data stays local
+        sent_messages = 0
+        for link in node.links.incoming_dependent_on_relations(changed):
+            produced: dict[Row, None] = {}
+            for relation in sorted(
+                changed & set(link.rule.mapping.body_relations())
+            ):
+                frontier = link.rule.frontier()
+                for binding in node.wrapper.evaluate_mapping_bindings(
+                    link.rule.mapping,
+                    changed_relation=relation,
+                    delta_rows=deltas[relation],
+                ):
+                    produced[tuple(binding[n] for n in frontier)] = None
+            fresh = [row for row in produced if row not in link.sent]
+            if not fresh:
+                continue
+            link.sent.update(fresh)
+            pipe = node.pipes.pipe_to(link.remote)
+            try:
+                pipe.send(
+                    PUSH_KIND,
+                    {
+                        "rule_id": link.rule_id,
+                        "rows": [encode_row(row) for row in fresh],
+                    },
+                )
+            except UnknownPeerError:
+                continue  # importer has left; its link will be re-wired
+            sent_messages += 1
+            self.pushes_sent += 1
+            self.rows_pushed += len(fresh)
+        return sent_messages
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    def on_push_delta(self, message: Message) -> None:
+        node = self.node
+        rule_id = message.payload["rule_id"]
+        link = node.links.outgoing.get(rule_id)
+        if link is None:
+            return  # rules changed while the push was in flight
+        self.pushes_received += 1
+        received = link.received
+        rows = [decode_row(encoded) for encoded in message.payload["rows"]]
+        fresh_frontier = [row for row in rows if row not in received]
+        received.update(fresh_frontier)
+        frontier_names = link.rule.frontier()
+        bindings = [dict(zip(frontier_names, row)) for row in fresh_frontier]
+        facts = apply_head(link.rule.mapping, bindings, node.nulls)
+        deltas: dict[str, list[Row]] = {}
+        for relation, row in facts:
+            if node.config.subsumption_dedup and any(
+                isinstance(value, MarkedNull) for value in row
+            ):
+                if tuple_subsumed(row, node.wrapper._view().relation(relation)):
+                    continue
+            new_rows = node.wrapper.insert_new(relation, [row])
+            if new_rows:
+                deltas.setdefault(relation, []).extend(new_rows)
+                self.rows_absorbed += len(new_rows)
+        if deltas:
+            self.push_deltas(deltas)  # cascade onward

@@ -1,0 +1,349 @@
+"""Query-time distributed answering (§3, [Franconi et al., 2003]).
+
+"Given a P2P database system, the answer to a local query may involve
+data that is distributed in the network, thus requiring the
+participation of all nodes at query time to propagate in the
+direction of the query node the relevant data for the answer" (§1).
+
+Mechanics, per §3: "When node gets a query request, it answers it
+using local data immediately, and it forwards it through all outgoing
+links.  Each query request is labelled by a sequence of IDs of nodes
+it passed through.  A node does not propagate a query request, if its
+ID is contained in the label of query request."
+
+Our implementation follows that text with one pragmatic narrowing:
+requests are only forwarded through outgoing links *relevant* to the
+data being assembled (the link's head writes a relation some
+activated rule's body reads — the same dependency relation the update
+algorithm uses).  Forwarding through provably irrelevant links could
+only import data the query cannot see.
+
+Differences from the global update, both inherent to the paper's
+design:
+
+* propagation follows **simple paths** (the label cut), so on cyclic
+  rule sets a network query computes the simple-path-bounded answer,
+  whereas the global update runs the full fix-point — experiment E7
+  exhibits the gap;
+* fetched data *migrates* into the nodes on the way (the paper's
+  data-migration role of coordination formulas).  ``persist=False``
+  rolls the imported tuples back after the answer is computed, so
+  repeated-query experiments (E6) measure steady-state query cost.
+
+Termination is again Dijkstra–Scholten, rooted at the querying node;
+when the root detects quiescence it evaluates the query locally and
+floods ``query_complete`` along the request tree for cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError, UnknownPeerError
+from repro.p2p.messages import Message
+from repro.relational.conjunctive import ConjunctiveQuery
+from repro.relational.evaluation import apply_head
+from repro.relational.values import Row, decode_row, encode_row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import CoDBNode
+
+QUERY_KINDS = ("query_request", "query_data", "query_complete")
+
+
+@dataclass
+class QueryParticipation:
+    """One node's volatile state for one network query."""
+
+    query_id: str
+    origin: str
+    persist: bool
+    #: Incoming-link rule ids activated for this query, with sent-sets.
+    sent: dict[str, set[Row]] = field(default_factory=dict)
+    #: Outgoing-link rule ids requested, with received-sets.
+    received: dict[str, set[Row]] = field(default_factory=dict)
+    #: Rows this query imported here (rollback when not persist).
+    inserted: list[tuple[str, Row]] = field(default_factory=list)
+    #: Neighbours we forwarded requests to (cleanup flood follows them).
+    forwarded_to: list[str] = field(default_factory=list)
+    done: bool = False
+
+
+@dataclass
+class RootQuery:
+    """Extra state on the querying node."""
+
+    query: ConjunctiveQuery
+    answer: list[Row] | None = None
+    messages_used: int = 0
+
+
+class QueryEngine:
+    """Query-time answering for one node."""
+
+    def __init__(self, node: "CoDBNode") -> None:
+        self.node = node
+        self.participations: dict[str, QueryParticipation] = {}
+        self.roots: dict[str, RootQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Root side
+    # ------------------------------------------------------------------
+
+    def start(self, query: ConjunctiveQuery, *, persist: bool = True) -> str:
+        """Pose *query* network-wide; returns the query id.
+
+        The answer becomes available via :meth:`answer` once the
+        diffusing computation completes (drive the transport with
+        ``run_until_idle`` or poll on TCP).
+        """
+        node = self.node
+        query.validate_against(node.wrapper.schema)
+        query_id = node.endpoint.ids.query_id()
+        node.termination.start_root(query_id)
+        participation = QueryParticipation(
+            query_id=query_id, origin=node.name, persist=persist
+        )
+        self.participations[query_id] = participation
+        self.roots[query_id] = RootQuery(query=query)
+        node.stats.network_queries_started += 1
+        needed = set(query.body_relations())
+        self._forward_requests(participation, needed, label=[node.name])
+        node.termination.check_quiescence(query_id)
+        return query_id
+
+    def answer(self, query_id: str) -> list[Row] | None:
+        """The answer rows, or ``None`` while the query is in flight."""
+        root = self.roots.get(query_id)
+        if root is None:
+            raise ProtocolError(f"unknown query {query_id!r}")
+        return root.answer
+
+    def is_done(self, query_id: str) -> bool:
+        root = self.roots.get(query_id)
+        return root is not None and root.answer is not None
+
+    def root_complete(self, query_id: str) -> None:
+        """Quiescence detected: compute the answer, then clean up."""
+        node = self.node
+        root = self.roots[query_id]
+        participation = self.participations[query_id]
+        root.answer = node.wrapper.evaluate_query(root.query)
+        self._cleanup(participation, forwarded_from=None)
+        node.termination.forget(query_id)
+
+    # ------------------------------------------------------------------
+    # Request propagation
+    # ------------------------------------------------------------------
+
+    def _forward_requests(
+        self,
+        participation: QueryParticipation,
+        needed_relations: set[str],
+        label: list[str],
+    ) -> None:
+        """Request every relevant, not-yet-requested outgoing link."""
+        node = self.node
+        by_remote: dict[str, list[str]] = {}
+        for rule_id, link in node.links.outgoing.items():
+            if rule_id in participation.received:
+                continue
+            if not needed_relations & set(link.rule.mapping.head_relations()):
+                continue
+            participation.received[rule_id] = set()
+            by_remote.setdefault(link.remote, []).append(rule_id)
+        for remote, rule_ids in by_remote.items():
+            pipe = node.pipes.pipe_to(remote)
+            try:
+                pipe.send(
+                    "query_request",
+                    {
+                        "query_id": participation.query_id,
+                        "origin": participation.origin,
+                        "label": label,
+                        "rule_ids": rule_ids,
+                        "persist": participation.persist,
+                    },
+                )
+            except UnknownPeerError:
+                continue  # the acquaintance left; query what remains
+            node.termination.note_sent(participation.query_id, remote)
+            if remote not in participation.forwarded_to:
+                participation.forwarded_to.append(remote)
+
+    def on_query_request(self, message: Message) -> None:
+        node = self.node
+        query_id = message.payload["query_id"]
+        tree = node.termination.on_engaging_message(query_id, message.sender)
+        participation = self.participations.get(query_id)
+        if participation is None:
+            participation = QueryParticipation(
+                query_id=query_id,
+                origin=message.payload["origin"],
+                persist=bool(message.payload.get("persist", True)),
+            )
+            self.participations[query_id] = participation
+        label = [str(item) for item in message.payload.get("label", ())]
+        activated_bodies: set[str] = set()
+        for rule_id in message.payload["rule_ids"]:
+            link = node.links.incoming.get(rule_id)
+            if link is None or link.remote != message.sender:
+                raise ProtocolError(
+                    f"{node.name}: query_request for rule {rule_id!r} that "
+                    f"does not serve {message.sender!r}"
+                )
+            if rule_id in participation.sent:
+                continue  # already activated for this query
+            sent: set[Row] = set()
+            participation.sent[rule_id] = sent
+            frontier = link.rule.frontier()
+            bindings = node.wrapper.evaluate_mapping_bindings(link.rule.mapping)
+            rows = [tuple(b[name] for name in frontier) for b in bindings]
+            fresh = [row for row in rows if row not in sent]
+            sent.update(fresh)
+            self._send_data(participation, rule_id, link.remote, fresh, path_len=1)
+            activated_bodies |= set(link.rule.mapping.body_relations())
+        # The label cut: "a node does not propagate a query request, if
+        # its ID is contained in the label".
+        if activated_bodies and node.name not in label:
+            self._forward_requests(
+                participation, activated_bodies, label=label + [node.name]
+            )
+        node.stats.queries_answered += 1
+        node.termination.after_processing(query_id, message.sender, tree)
+
+    def _send_data(
+        self,
+        participation: QueryParticipation,
+        rule_id: str,
+        remote: str,
+        rows: list[Row],
+        *,
+        path_len: int,
+        always: bool = True,
+    ) -> None:
+        if not rows and not always:
+            return
+        node = self.node
+        pipe = node.pipes.pipe_to(remote)
+        try:
+            pipe.send(
+                "query_data",
+                {
+                    "query_id": participation.query_id,
+                    "rule_id": rule_id,
+                    "rows": [encode_row(row) for row in rows],
+                    "path_len": path_len,
+                },
+            )
+        except UnknownPeerError:
+            return  # requester left; its cleanup flood will never come
+        node.termination.note_sent(participation.query_id, remote)
+
+    # ------------------------------------------------------------------
+    # Data ingestion
+    # ------------------------------------------------------------------
+
+    def on_query_data(self, message: Message) -> None:
+        node = self.node
+        query_id = message.payload["query_id"]
+        tree = node.termination.on_engaging_message(query_id, message.sender)
+        participation = self.participations.get(query_id)
+        if participation is None:
+            raise ProtocolError(
+                f"{node.name}: query_data for unknown query {query_id!r}"
+            )
+        rule_id = message.payload["rule_id"]
+        link = node.links.outgoing.get(rule_id)
+        if link is None:
+            raise ProtocolError(
+                f"{node.name}: query_data for unknown outgoing rule {rule_id!r}"
+            )
+        received = participation.received.setdefault(rule_id, set())
+        rows = [decode_row(encoded) for encoded in message.payload["rows"]]
+        fresh_frontier = [row for row in rows if row not in received]
+        received.update(fresh_frontier)
+        path_len = int(message.payload.get("path_len", 1))
+
+        frontier_names = link.rule.frontier()
+        bindings = [dict(zip(frontier_names, row)) for row in fresh_frontier]
+        facts = apply_head(link.rule.mapping, bindings, node.nulls)
+        # Re-fire on everything *this query* newly received — not just
+        # rows new to the store.  Concurrent computations share the
+        # store, so a row another query imported a moment ago is old to
+        # the store but new to this query's data flow; the per-query
+        # sent-sets downstream keep this loop bounded.
+        deltas: dict[str, list[Row]] = {}
+        for relation, row in facts:
+            deltas.setdefault(relation, []).append(row)
+            new_rows = node.wrapper.insert_new(relation, [row])
+            participation.inserted.extend(
+                (relation, new_row) for new_row in new_rows
+            )
+        root = self.roots.get(query_id)
+        if root is not None:
+            root.messages_used += 1
+
+        if deltas:
+            changed = set(deltas)
+            for rule_id2, sent in participation.sent.items():
+                serving = node.links.incoming.get(rule_id2)
+                if serving is None:
+                    continue
+                body = set(serving.rule.mapping.body_relations())
+                if not changed & body:
+                    continue
+                produced: dict[Row, None] = {}
+                frontier = serving.rule.frontier()
+                for relation in sorted(changed & body):
+                    for binding in node.wrapper.evaluate_mapping_bindings(
+                        serving.rule.mapping,
+                        changed_relation=relation,
+                        delta_rows=deltas[relation],
+                    ):
+                        produced[tuple(binding[n] for n in frontier)] = None
+                fresh = [row for row in produced if row not in sent]
+                sent.update(fresh)
+                self._send_data(
+                    participation,
+                    rule_id2,
+                    serving.remote,
+                    fresh,
+                    path_len=path_len + 1,
+                    always=False,
+                )
+        node.termination.after_processing(query_id, message.sender, tree)
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+
+    def on_query_complete(self, message: Message) -> None:
+        query_id = message.payload["query_id"]
+        participation = self.participations.get(query_id)
+        if participation is None or participation.done:
+            return
+        self._cleanup(participation, forwarded_from=message.sender)
+
+    def _cleanup(
+        self, participation: QueryParticipation, forwarded_from: str | None
+    ) -> None:
+        node = self.node
+        participation.done = True
+        if not participation.persist and participation.inserted:
+            by_relation: dict[str, list[Row]] = {}
+            for relation, row in participation.inserted:
+                by_relation.setdefault(relation, []).append(row)
+            for relation, rows in by_relation.items():
+                node.wrapper.delete_rows(relation, rows)
+            participation.inserted.clear()
+        for remote in participation.forwarded_to:
+            if remote != forwarded_from:
+                pipe = node.pipes.pipe_to(remote)
+                try:
+                    pipe.send(
+                        "query_complete", {"query_id": participation.query_id}
+                    )
+                except UnknownPeerError:
+                    continue

@@ -1,0 +1,97 @@
+"""Rule files: the unit the super-peer broadcasts.
+
+§4: the super-peer "can read coordination rules for all peers from a
+file and broadcast this file to all peers on the network.  Once
+received this file, each peer looks for relevant coordination rules
+and creates necessary pipe connections.  If a coordination rules file
+is received when a peer has already set up coordination rules and
+pipes, then it drops 'old' rules and pipes, and creates new ones."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.errors import RuleError
+from repro.core.rules import CoordinationRule
+from repro.relational.analysis import RuleGraph, is_weakly_acyclic
+from repro.relational.parser import parse_mappings
+
+
+@dataclass
+class RuleFile:
+    """An ordered collection of coordination rules for a whole network."""
+
+    rules: list[CoordinationRule] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, *, prefix: str = "r") -> "RuleFile":
+        """Parse a rule file; rules get ids ``r0, r1, ...`` in file order."""
+        parsed = parse_mappings(text)
+        rules = [
+            CoordinationRule.from_parsed(f"{prefix}{i}", p)
+            for i, p in enumerate(parsed)
+        ]
+        return cls(rules)
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str], *, prefix: str = "r") -> "RuleFile":
+        return cls.from_text("\n".join(texts), prefix=prefix)
+
+    def add(self, rule: CoordinationRule) -> None:
+        if any(existing.rule_id == rule.rule_id for existing in self.rules):
+            raise RuleError(f"duplicate rule id {rule.rule_id!r} in rule file")
+        self.rules.append(rule)
+
+    # -- views --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[CoordinationRule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rules_for(self, node: str) -> list[CoordinationRule]:
+        """The rules *relevant* to a node: it is target or source."""
+        return [r for r in self.rules if node in (r.target, r.source)]
+
+    def peers(self) -> list[str]:
+        names: dict[str, None] = {}
+        for rule in self.rules:
+            names.setdefault(rule.target)
+            names.setdefault(rule.source)
+        return list(names)
+
+    def acquaintances_of(self, node: str) -> list[str]:
+        """Peers this node shares at least one rule with (pipe targets)."""
+        others: dict[str, None] = {}
+        for rule in self.rules_for(node):
+            other = rule.source if rule.target == node else rule.target
+            others.setdefault(other)
+        return list(others)
+
+    def rule_graph(self) -> RuleGraph:
+        return RuleGraph(r.as_network_rule() for r in self.rules)
+
+    def is_weakly_acyclic(self) -> bool:
+        """Chase-termination guarantee for this rule set (DESIGN.md)."""
+        return is_weakly_acyclic(r.as_network_rule() for r in self.rules)
+
+    def has_cyclic_dependencies(self) -> bool:
+        return self.rule_graph().has_cycle()
+
+    # -- wire format ----------------------------------------------------------
+
+    def to_text(self) -> str:
+        return "\n".join(rule.to_text() for rule in self.rules)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"rules": [rule.to_payload() for rule in self.rules]}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "RuleFile":
+        return cls([CoordinationRule.from_payload(p) for p in payload["rules"]])

@@ -1,0 +1,292 @@
+"""The statistical module of §4.
+
+"Each node has an additional statistical module.  This module
+accumulates various information about global updates such as: total
+execution time of an update, number of query result messages received
+per coordination rule and the volume of the data in each message,
+longest update propagation path, and so on.  During the lifetime of a
+network, each node accumulates this information."
+
+"Each node maintains a global update processing report ... The report
+includes information about starting and finishing times of an update,
+volume of data transferred, which acquaintances have been queried and
+to which nodes query results have been sent."
+
+Both paragraphs map one-to-one onto :class:`UpdateReport`.  The
+super-peer "processes all incoming statistical messages, aggregates
+them and creates a final statistical report" —
+:class:`NetworkUpdateReport` and :func:`aggregate_reports`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util import format_table
+
+
+@dataclass
+class RuleTraffic:
+    """Per-coordination-rule message statistics at one node."""
+
+    messages_received: int = 0
+    bytes_received: int = 0
+    #: Volume of each individual result message, in arrival order.
+    message_volumes: list[int] = field(default_factory=list)
+    rows_received: int = 0
+    rows_new: int = 0
+
+    def record(self, volume: int, rows: int, new_rows: int) -> None:
+        self.messages_received += 1
+        self.bytes_received += volume
+        self.message_volumes.append(volume)
+        self.rows_received += rows
+        self.rows_new += new_rows
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "messages_received": self.messages_received,
+            "bytes_received": self.bytes_received,
+            "message_volumes": list(self.message_volumes),
+            "rows_received": self.rows_received,
+            "rows_new": self.rows_new,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "RuleTraffic":
+        traffic = cls(
+            messages_received=payload["messages_received"],
+            bytes_received=payload["bytes_received"],
+            rows_received=payload["rows_received"],
+            rows_new=payload["rows_new"],
+        )
+        traffic.message_volumes = list(payload["message_volumes"])
+        return traffic
+
+
+@dataclass
+class UpdateReport:
+    """One node's report for one global update (§4, quoted above)."""
+
+    update_id: str
+    node: str
+    origin: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    status: str = "open"  # open | closed
+    #: rule_id -> traffic received over that outgoing link.
+    per_rule: dict[str, RuleTraffic] = field(default_factory=dict)
+    #: Acquaintances this node sent update requests to.
+    queried_acquaintances: list[str] = field(default_factory=list)
+    #: Importers this node sent query results to.
+    results_sent_to: list[str] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    rows_imported: int = 0
+    nulls_minted: int = 0
+    longest_path: int = 0
+    links_closed_by_cascade: int = 0
+    links_closed_by_quiescence: int = 0
+    links_closed_by_failure: int = 0
+    rounds: int = 0  # query-result messages processed
+    #: The node served empty results because its local database was
+    #: inconsistent (§1d — "local inconsistency does not propagate").
+    quarantined: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Total execution time of the update, at this node."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    def rule_traffic(self, rule_id: str) -> RuleTraffic:
+        return self.per_rule.setdefault(rule_id, RuleTraffic())
+
+    def total_bytes_received(self) -> int:
+        return sum(t.bytes_received for t in self.per_rule.values())
+
+    def total_messages_received(self) -> int:
+        return sum(t.messages_received for t in self.per_rule.values())
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "update_id": self.update_id,
+            "node": self.node,
+            "origin": self.origin,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "status": self.status,
+            "per_rule": {k: v.to_payload() for k, v in self.per_rule.items()},
+            "queried_acquaintances": list(self.queried_acquaintances),
+            "results_sent_to": list(self.results_sent_to),
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "rows_imported": self.rows_imported,
+            "nulls_minted": self.nulls_minted,
+            "longest_path": self.longest_path,
+            "links_closed_by_cascade": self.links_closed_by_cascade,
+            "links_closed_by_quiescence": self.links_closed_by_quiescence,
+            "links_closed_by_failure": self.links_closed_by_failure,
+            "rounds": self.rounds,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "UpdateReport":
+        report = cls(
+            update_id=payload["update_id"],
+            node=payload["node"],
+            origin=payload["origin"],
+            started_at=payload["started_at"],
+            finished_at=payload["finished_at"],
+            status=payload["status"],
+            queried_acquaintances=list(payload["queried_acquaintances"]),
+            results_sent_to=list(payload["results_sent_to"]),
+            messages_sent=payload["messages_sent"],
+            bytes_sent=payload["bytes_sent"],
+            rows_imported=payload["rows_imported"],
+            nulls_minted=payload["nulls_minted"],
+            longest_path=payload["longest_path"],
+            links_closed_by_cascade=payload["links_closed_by_cascade"],
+            links_closed_by_quiescence=payload["links_closed_by_quiescence"],
+            links_closed_by_failure=payload.get("links_closed_by_failure", 0),
+            rounds=payload["rounds"],
+            quarantined=payload.get("quarantined", False),
+        )
+        report.per_rule = {
+            k: RuleTraffic.from_payload(v) for k, v in payload["per_rule"].items()
+        }
+        return report
+
+
+class NodeStatistics:
+    """Lifetime accumulator: every report this node ever produced."""
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self.reports: dict[str, UpdateReport] = {}
+        self.queries_answered = 0
+        self.network_queries_started = 0
+
+    def open_report(self, update_id: str, origin: str, now: float) -> UpdateReport:
+        report = UpdateReport(
+            update_id=update_id, node=self.node, origin=origin, started_at=now
+        )
+        self.reports[update_id] = report
+        return report
+
+    def report_for(self, update_id: str) -> UpdateReport | None:
+        return self.reports.get(update_id)
+
+    def latest_report(self) -> UpdateReport | None:
+        if not self.reports:
+            return None
+        return next(reversed(self.reports.values()))
+
+    def total_updates(self) -> int:
+        return len(self.reports)
+
+
+@dataclass
+class NetworkUpdateReport:
+    """The super-peer's "final statistical report" for one update."""
+
+    update_id: str
+    origin: str
+    node_reports: dict[str, UpdateReport]
+
+    @property
+    def wall_time(self) -> float:
+        """Total execution time: first start to last finish, network-wide."""
+        starts = [r.started_at for r in self.node_reports.values()]
+        ends = [r.finished_at for r in self.node_reports.values()]
+        if not starts:
+            return 0.0
+        return max(ends) - min(starts)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(
+            r.total_messages_received() for r in self.node_reports.values()
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes_received() for r in self.node_reports.values())
+
+    @property
+    def total_rows_imported(self) -> int:
+        return sum(r.rows_imported for r in self.node_reports.values())
+
+    @property
+    def total_nulls_minted(self) -> int:
+        return sum(r.nulls_minted for r in self.node_reports.values())
+
+    @property
+    def longest_path(self) -> int:
+        """Longest update propagation path anywhere in the network."""
+        return max(
+            (r.longest_path for r in self.node_reports.values()), default=0
+        )
+
+    def messages_per_rule(self) -> dict[str, int]:
+        """Aggregated "query result messages received per coordination
+        rule" (§4)."""
+        totals: dict[str, int] = {}
+        for report in self.node_reports.values():
+            for rule_id, traffic in report.per_rule.items():
+                totals[rule_id] = totals.get(rule_id, 0) + traffic.messages_received
+        return dict(sorted(totals.items()))
+
+    def volume_per_rule(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for report in self.node_reports.values():
+            for rule_id, traffic in report.per_rule.items():
+                totals[rule_id] = totals.get(rule_id, 0) + traffic.bytes_received
+        return dict(sorted(totals.items()))
+
+    def message_volumes(self) -> list[int]:
+        """Every individual result-message volume, network-wide."""
+        volumes: list[int] = []
+        for report in self.node_reports.values():
+            for traffic in report.per_rule.values():
+                volumes.extend(traffic.message_volumes)
+        return volumes
+
+    def format(self) -> str:
+        """Human-readable final report (what the demo's super-peer shows)."""
+        rows = []
+        for name in sorted(self.node_reports):
+            report = self.node_reports[name]
+            rows.append(
+                [
+                    name,
+                    f"{report.duration:.6f}",
+                    report.total_messages_received(),
+                    report.total_bytes_received(),
+                    report.rows_imported,
+                    report.nulls_minted,
+                    report.longest_path,
+                ]
+            )
+        table = format_table(
+            ["node", "duration_s", "msgs_recv", "bytes_recv", "rows_new", "nulls", "longest_path"],
+            rows,
+            title=(
+                f"global update {self.update_id} (origin {self.origin}): "
+                f"wall={self.wall_time:.6f}s msgs={self.total_messages} "
+                f"bytes={self.total_bytes} longest_path={self.longest_path}"
+            ),
+        )
+        return table
+
+
+def aggregate_reports(
+    update_id: str, origin: str, reports: list[UpdateReport]
+) -> NetworkUpdateReport:
+    """The super-peer aggregation step (§4)."""
+    return NetworkUpdateReport(
+        update_id=update_id,
+        origin=origin,
+        node_reports={report.node: report for report in reports},
+    )

@@ -1,0 +1,232 @@
+"""Distributed termination detection: diffusing computations.
+
+The paper propagates queries "using [an] extension of [the] 'diffusing
+computation' approach [Lynch, 1996]" (§3) and closes cyclic link
+dependencies when "all query results did not bring any new data" —
+i.e. when the data flow has quiesced.  The classical algorithm for
+detecting exactly that is Dijkstra–Scholten acknowledgement counting,
+which this module implements, decoupled from any particular protocol:
+
+* Every *engaging* message (update request, query result, link-closed
+  notification, ...) must eventually be acknowledged by its receiver.
+* The first engaging message that reaches a disengaged node makes the
+  sender that node's *parent*; the ack for it is deferred.
+* Every other engaging message is acknowledged as soon as its local
+  processing finishes.
+* A node's *deficit* counts its own sent-but-unacked messages.  When
+  an engaged node is passive (between messages) with deficit zero, it
+  acknowledges its parent and disengages (it may be re-engaged later).
+* The computation's *root* detects termination when it is passive
+  with deficit zero: at that point no message is in flight anywhere
+  and every node is disengaged — the paper's condition (b) holds
+  globally, so remaining cyclic links can be closed.
+
+One :class:`DiffusingComputation` instance lives in each node and
+multiplexes any number of concurrent computations (global updates and
+network queries) by computation id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class _ComputationState:
+    engaged: bool = False
+    is_root: bool = False
+    parent: str | None = None
+    deficit: int = 0
+    #: Outstanding (unacked) messages per recipient — the failure
+    #: detector drains a dead peer's share without waiting forever.
+    deficit_by_peer: dict[str, int] = field(default_factory=dict)
+    completed: bool = False
+
+
+class DiffusingComputation:
+    """Dijkstra–Scholten bookkeeping for one node.
+
+    Parameters
+    ----------
+    send_ack:
+        Callback ``(recipient, computation_id)`` — deliver one ack.
+    on_root_complete:
+        Callback ``(computation_id)`` — invoked exactly once, on the
+        root node, when global termination is detected.
+    """
+
+    def __init__(
+        self,
+        send_ack: Callable[[str, str], None],
+        on_root_complete: Callable[[str], None],
+    ) -> None:
+        self._send_ack = send_ack
+        self._on_root_complete = on_root_complete
+        self._computations: dict[str, _ComputationState] = {}
+
+    def _state(self, computation_id: str) -> _ComputationState:
+        return self._computations.setdefault(computation_id, _ComputationState())
+
+    # -- root ---------------------------------------------------------------
+
+    def start_root(self, computation_id: str) -> None:
+        """Declare this node the root of a new computation."""
+        state = self._state(computation_id)
+        if state.engaged:
+            raise ProtocolError(
+                f"computation {computation_id!r} already running here"
+            )
+        state.engaged = True
+        state.is_root = True
+
+    # -- message hooks --------------------------------------------------------
+
+    def on_engaging_message(self, computation_id: str, sender: str) -> bool:
+        """Record receipt of an engaging message; returns ``True`` when
+        this message is the tree edge (ack deferred).
+
+        Call *before* processing the message; pair each call with one
+        :meth:`after_processing`.
+        """
+        state = self._state(computation_id)
+        if not state.engaged:
+            state.engaged = True
+            state.parent = sender
+            return True
+        return False
+
+    def after_processing(
+        self, computation_id: str, sender: str, was_tree_edge: bool
+    ) -> None:
+        """Ack non-tree messages; check the leave condition."""
+        state = self._state(computation_id)
+        if not was_tree_edge:
+            self._send_ack(sender, computation_id)
+        self.check_quiescence(computation_id)
+
+    def note_sent(
+        self, computation_id: str, recipient: str = "", count: int = 1
+    ) -> None:
+        """Record that *count* engaging messages were just sent to
+        *recipient* (tracked per peer for the failure detector)."""
+        state = self._state(computation_id)
+        state.deficit += count
+        if recipient:
+            state.deficit_by_peer[recipient] = (
+                state.deficit_by_peer.get(recipient, 0) + count
+            )
+
+    def on_ack(self, computation_id: str, sender: str = "") -> None:
+        state = self._state(computation_id)
+        if sender:
+            # A late ack from a peer whose share was already written
+            # off by the failure detector is a duplicate: ignore it.
+            if state.deficit_by_peer.get(sender, 0) <= 0:
+                return
+            state.deficit_by_peer[sender] -= 1
+        state.deficit -= 1
+        if state.deficit < 0:
+            raise ProtocolError(
+                f"computation {computation_id!r}: more acks than messages"
+            )
+        self.check_quiescence(computation_id)
+
+    # -- quiescence -----------------------------------------------------------
+
+    def check_quiescence(self, computation_id: str) -> None:
+        """Leave the computation / detect termination when possible.
+
+        Safe to call at any passive moment (end of every handler).
+        """
+        state = self._state(computation_id)
+        if not state.engaged or state.deficit > 0:
+            return
+        if state.is_root:
+            if not state.completed:
+                state.completed = True
+                state.engaged = False
+                self._on_root_complete(computation_id)
+            return
+        # Interior node: collapse to parent and disengage.
+        parent = state.parent
+        state.engaged = False
+        state.parent = None
+        if parent is not None:
+            self._send_ack(parent, computation_id)
+
+    # -- dynamic networks -------------------------------------------------------
+
+    def on_bounce(self, computation_id: str, recipient: str = "") -> None:
+        """An engaging message we sent was returned undeliverable.
+
+        Drains the deficit like an ack, but tolerates computations that
+        have already been forgotten (the bounce raced completion).
+        """
+        state = self._computations.get(computation_id)
+        if state is None or state.deficit <= 0:
+            return
+        if recipient:
+            # Already written off by the failure detector? Then this
+            # bounce's deficit entry is gone; do not drain twice.
+            if state.deficit_by_peer.get(recipient, 0) <= 0:
+                return
+            state.deficit_by_peer[recipient] -= 1
+        state.deficit -= 1
+        self.check_quiescence(computation_id)
+
+    def on_peer_down(self, peer: str) -> None:
+        """Failure-detector notification: *peer* left the network.
+
+        Two effects, across every computation: (1) the dead peer will
+        never ack anything, so its outstanding share of our deficit is
+        written off; (2) if the dead peer was our parent, nobody needs
+        our deferred ack any more — adopt no one and disengage when
+        quiescent.
+        """
+        for computation_id, state in list(self._computations.items()):
+            owed = state.deficit_by_peer.pop(peer, 0)
+            if owed:
+                state.deficit = max(0, state.deficit - owed)
+            if state.parent == peer:
+                state.parent = None
+            if owed or state.engaged:
+                self.check_quiescence(computation_id)
+
+    def abandon_all(self) -> list[str]:
+        """Release every engaged computation (graceful network leave).
+
+        Sends the deferred parent acks so upstream deficits drain, and
+        disengages; returns the abandoned computation ids.
+        """
+        abandoned = []
+        for computation_id, state in list(self._computations.items()):
+            if not state.engaged:
+                continue
+            parent = state.parent
+            state.engaged = False
+            state.parent = None
+            abandoned.append(computation_id)
+            if parent is not None:
+                self._send_ack(parent, computation_id)
+        return abandoned
+
+    # -- introspection ----------------------------------------------------------
+
+    def is_engaged(self, computation_id: str) -> bool:
+        state = self._computations.get(computation_id)
+        return bool(state and state.engaged)
+
+    def is_completed(self, computation_id: str) -> bool:
+        state = self._computations.get(computation_id)
+        return bool(state and state.completed)
+
+    def deficit(self, computation_id: str) -> int:
+        state = self._computations.get(computation_id)
+        return state.deficit if state else 0
+
+    def forget(self, computation_id: str) -> None:
+        """Drop bookkeeping for a finished computation."""
+        self._computations.pop(computation_id, None)

@@ -1,0 +1,563 @@
+"""The global update algorithm (§3 of the paper, [Franconi et al., 2004]).
+
+Protocol recap, with the paper's vocabulary:
+
+* The origin node floods ``update_request`` messages over its pipes;
+  every node, on first contact, forwards the request to all its
+  acquaintances ("propagate the global update to their acquaintances")
+  and dedups re-receipts by the update identifier ("propagation is
+  stopped ... if that node has already received this request message").
+* A request from acquaintance *t* **activates** every incoming link
+  serving *t*: the node "executes the coordination rule and sends the
+  results back" — the body is evaluated over the full local database,
+  projected onto the rule's frontier variables, deduplicated against
+  the link's *sent* set, and shipped as a ``query_result``.
+* A ``query_result`` arriving over outgoing link *O* carries frontier
+  rows.  New rows (dedup against the link's *received* set — "we first
+  remove from T those tuples which are already in R") instantiate the
+  rule head, minting "fresh new marked null values" for existential
+  head variables; genuinely new tuples (``T'``) are inserted, and
+  every *dependent* incoming link is re-evaluated **semi-naively** —
+  "computed by substituting R by T'" — with the link's sent-set
+  removing "those tuples which have been already sent".
+* Link closure, the paper's condition (a): an incoming link closes
+  when every relevant outgoing link is closed (leaf links close right
+  after their initial results); a ``link_closed`` message closes the
+  matching outgoing link at the importer, cascading network-wide
+  through acyclic dependencies.
+* Cyclic dependencies cannot close by cascade (each link waits on the
+  others around the cycle).  They close via the paper's condition (b)
+  — "all query results did not bring any new data" — detected exactly
+  by the Dijkstra–Scholten machinery of
+  :mod:`repro.core.termination`: when the origin detects global
+  quiescence it floods ``update_complete``, and every node force-
+  closes its remaining links (recorded as ``closed_by="quiescence"``
+  in the statistics).
+
+The engine object holds all per-update state for one node and is
+driven entirely by message handlers, so it runs unchanged on the
+simulated and the TCP transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.links import CLOSED, INACTIVE, OPEN, IncomingLink
+from repro.errors import FixpointGuardError, ProtocolError, UnknownPeerError
+from repro.p2p.messages import Message
+from repro.relational.containment import tuple_subsumed
+from repro.relational.evaluation import apply_head
+from repro.relational.values import MarkedNull, Row, decode_row, encode_row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import CoDBNode
+
+#: Message kinds owned by this engine.
+UPDATE_KINDS = ("update_request", "query_result", "link_closed", "update_complete")
+
+
+@dataclass
+class UpdateParticipation:
+    """One node's volatile state for one global update."""
+
+    update_id: str
+    origin: str
+    done: bool = False
+    #: Longest propagation path among the deltas currently being
+    #: processed feeds the ``path_len`` of the results they trigger.
+    max_seen_path: int = 0
+
+
+class UpdateEngine:
+    """Global-update message processing for one node."""
+
+    def __init__(self, node: "CoDBNode") -> None:
+        self.node = node
+        self.active: UpdateParticipation | None = None
+        self.completed_updates: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Initiation
+    # ------------------------------------------------------------------
+
+    def initiate(self) -> str:
+        """Start a global update at this node; returns the update id.
+
+        "A global update is started when some (dedicated) node sends to
+        all its acquaintances global update requests" (§2); the unique
+        identifier is generated here, at the origin.
+        """
+        node = self.node
+        update_id = node.endpoint.ids.update_id()
+        node.termination.start_root(update_id)
+        self._begin_participation(update_id, origin=node.name)
+        report = node.stats.report_for(update_id)
+        assert report is not None
+        for remote in node.pipes.remotes():
+            self._send_request(update_id, remote, path=[node.name])
+        node.termination.check_quiescence(update_id)
+        return update_id
+
+    # ------------------------------------------------------------------
+    # Handlers (wired by the node)
+    # ------------------------------------------------------------------
+
+    def on_update_request(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        if update_id in self.completed_updates:
+            # Stale flood tail after completion; nothing to do, but the
+            # sender still gets its ack so its deficit drains.
+            self.node.send_ack(message.sender, update_id)
+            return
+        tree = self.node.termination.on_engaging_message(update_id, message.sender)
+        origin = message.payload["origin"]
+        path = list(message.payload.get("path", ()))
+        first_contact = self.active is None or self.active.update_id != update_id
+        if first_contact:
+            self._begin_participation(update_id, origin=origin)
+            forward_path = path + [self.node.name]
+            targets = [
+                remote
+                for remote in self.node.pipes.remotes()
+                if remote != message.sender
+            ]
+            # The flood proper excludes the sender, but if we *import*
+            # from the sender we must still request from it: its
+            # incoming links toward us only activate on our explicit
+            # request (this is what makes mutual imports — cycles of
+            # length two — work).
+            if any(
+                link.remote == message.sender
+                for link in self.node.links.outgoing.values()
+            ):
+                targets.append(message.sender)
+            for remote in targets:
+                self._send_request(update_id, remote, path=forward_path)
+        self._activate_links_for(update_id, message.sender)
+        self.node.termination.after_processing(update_id, message.sender, tree)
+
+    def on_query_result(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        if update_id in self.completed_updates:
+            self.node.send_ack(message.sender, update_id)
+            return
+        tree = self.node.termination.on_engaging_message(update_id, message.sender)
+        self._ingest_results(message)
+        self.node.termination.after_processing(update_id, message.sender, tree)
+
+    def on_link_closed(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        if update_id in self.completed_updates:
+            self.node.send_ack(message.sender, update_id)
+            return
+        tree = self.node.termination.on_engaging_message(update_id, message.sender)
+        rule_id = message.payload["rule_id"]
+        link = self.node.links.outgoing.get(rule_id)
+        if link is None:
+            raise ProtocolError(
+                f"{self.node.name}: link_closed for unknown outgoing "
+                f"rule {rule_id!r}"
+            )
+        if link.state != CLOSED:
+            link.state = CLOSED
+            link.closed_by = "cascade"
+        self._cascade_closures(update_id)
+        self._maybe_finish_locally(update_id)
+        self.node.termination.after_processing(update_id, message.sender, tree)
+
+    def on_update_complete(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        self._finalize(update_id, forwarded_from=message.sender)
+
+    def root_complete(self, update_id: str) -> None:
+        """Termination detected at the origin (condition (b) globally)."""
+        self._finalize(update_id, forwarded_from=None)
+
+    # ------------------------------------------------------------------
+    # Participation plumbing
+    # ------------------------------------------------------------------
+
+    def _begin_participation(self, update_id: str, origin: str) -> None:
+        node = self.node
+        if self.active is not None and not self.active.done:
+            raise ProtocolError(
+                f"{node.name}: update {update_id} arrived while "
+                f"{self.active.update_id} is still open (coDB runs one "
+                "global update at a time)"
+            )
+        self.active = UpdateParticipation(update_id=update_id, origin=origin)
+        node.links.reset_for_update()
+        for link in node.links.outgoing.values():
+            link.state = OPEN
+        node.wrapper.on_update_started()
+        node.stats.open_report(update_id, origin, node.endpoint.now())
+
+    def _send_request(self, update_id: str, remote: str, path: list[str]) -> None:
+        node = self.node
+        report = node.stats.report_for(update_id)
+        pipe = node.pipes.pipe_to(remote)
+        try:
+            message = pipe.send(
+                "update_request",
+                {"update_id": update_id, "origin": self._origin(update_id), "path": path},
+            )
+        except UnknownPeerError:
+            self.on_peer_unreachable(update_id, remote)
+            return
+        node.termination.note_sent(update_id, remote)
+        if report is not None:
+            report.messages_sent += 1
+            report.bytes_sent += message.size_bytes()
+            if remote not in report.queried_acquaintances and any(
+                link.remote == remote for link in node.links.outgoing.values()
+            ):
+                report.queried_acquaintances.append(remote)
+
+    def _origin(self, update_id: str) -> str:
+        if self.active is not None and self.active.update_id == update_id:
+            return self.active.origin
+        return ""
+
+    # ------------------------------------------------------------------
+    # Serving incoming links
+    # ------------------------------------------------------------------
+
+    def _quarantined(self, update_id: str) -> bool:
+        """§1d: a locally inconsistent node must not export its data."""
+        node = self.node
+        if not node.config.quarantine_inconsistent:
+            return False
+        if node.wrapper.is_consistent():
+            return False
+        report = node.stats.report_for(update_id)
+        if report is not None:
+            report.quarantined = True
+        return True
+
+    def _activate_links_for(self, update_id: str, requester: str) -> None:
+        """First request from *requester*: run full evaluations for every
+        incoming link serving it, then check immediate (leaf) closure."""
+        node = self.node
+        quarantined = self._quarantined(update_id)
+        for link in node.links.incoming_for_target(requester):
+            if link.state != INACTIVE:
+                continue
+            link.state = OPEN
+            if quarantined:
+                self._send_results(update_id, link, [], path_len=1)
+                continue
+            rows = self._frontier_rows(link, changed_relation=None, delta_rows=None)
+            if node.config.sent_dedup:
+                fresh = [row for row in rows if row not in link.sent]
+                link.sent.update(fresh)
+            else:
+                fresh = rows
+            self._send_results(update_id, link, fresh, path_len=1)
+        self._cascade_closures(update_id)
+
+    def _frontier_rows(
+        self,
+        link: IncomingLink,
+        changed_relation: str | None,
+        delta_rows: list[Row] | None,
+    ) -> list[Row]:
+        frontier = link.rule.frontier()
+        bindings = self.node.wrapper.evaluate_mapping_bindings(
+            link.rule.mapping,
+            changed_relation=changed_relation,
+            delta_rows=delta_rows,
+        )
+        return [tuple(binding[name] for name in frontier) for binding in bindings]
+
+    def _send_results(
+        self,
+        update_id: str,
+        link: IncomingLink,
+        rows: list[Row],
+        *,
+        path_len: int,
+        always: bool = True,
+    ) -> None:
+        """Ship frontier *rows* to the link's importer.
+
+        Initial activations always send (the paper's "possibly empty
+        set of tuples" — the importer's statistics rely on at least
+        one result message per activated rule); delta propagation
+        sends only non-empty batches.  ``config.batch_rows`` bounds the
+        rows per message (§4's per-message data volume), splitting
+        large results across several messages.
+        """
+        if not rows and not always:
+            return
+        node = self.node
+        report = node.stats.report_for(update_id)
+        pipe = node.pipes.pipe_to(link.remote)
+        batch_size = node.config.batch_rows
+        if batch_size <= 0 or not rows:
+            batches: list[list[Row]] = [rows]
+        else:
+            batches = [
+                rows[start:start + batch_size]
+                for start in range(0, len(rows), batch_size)
+            ]
+        for batch in batches:
+            try:
+                message = pipe.send(
+                    "query_result",
+                    {
+                        "update_id": update_id,
+                        "rule_id": link.rule_id,
+                        "rows": [encode_row(row) for row in batch],
+                        "path_len": path_len,
+                    },
+                )
+            except UnknownPeerError:
+                self.on_peer_unreachable(update_id, link.remote)
+                return
+            node.termination.note_sent(update_id, link.remote)
+            if report is not None:
+                report.messages_sent += 1
+                report.bytes_sent += message.size_bytes()
+                if link.remote not in report.results_sent_to:
+                    report.results_sent_to.append(link.remote)
+
+    # ------------------------------------------------------------------
+    # Ingesting results (the heart of §3)
+    # ------------------------------------------------------------------
+
+    def _ingest_results(self, message: Message) -> None:
+        node = self.node
+        update_id = message.payload["update_id"]
+        rule_id = message.payload["rule_id"]
+        path_len = int(message.payload.get("path_len", 1))
+        link = node.links.outgoing.get(rule_id)
+        if link is None:
+            raise ProtocolError(
+                f"{node.name}: query_result for unknown outgoing rule {rule_id!r}"
+            )
+        report = node.stats.report_for(update_id)
+        rows = [decode_row(encoded) for encoded in message.payload["rows"]]
+
+        # Dedup against what this link already delivered (multi-path
+        # protection; the paper's receiver-side "remove from T those
+        # tuples which are already in R" at frontier granularity, which
+        # is what keeps null minting idempotent).
+        fresh_frontier = [row for row in rows if row not in link.received]
+        link.received.update(fresh_frontier)
+
+        frontier_names = link.rule.frontier()
+        bindings = [dict(zip(frontier_names, row)) for row in fresh_frontier]
+        nulls_before = node.nulls.minted
+        facts = apply_head(link.rule.mapping, bindings, node.nulls)
+
+        deltas: dict[str, list[Row]] = {}
+        inserted = 0
+        for relation, row in facts:
+            if node.config.subsumption_dedup and any(
+                isinstance(value, MarkedNull) for value in row
+            ):
+                view = node.wrapper._view()
+                if tuple_subsumed(row, view.relation(relation)):
+                    continue
+            new_rows = node.wrapper.insert_new(relation, [row])
+            if new_rows:
+                deltas.setdefault(relation, []).extend(new_rows)
+                inserted += len(new_rows)
+
+        link.longest_path = max(link.longest_path, path_len)
+        if report is not None:
+            report.rounds += 1
+            report.rows_imported += inserted
+            report.nulls_minted += node.nulls.minted - nulls_before
+            report.longest_path = max(report.longest_path, path_len)
+            report.rule_traffic(rule_id).record(
+                volume=message.payload_bytes(),
+                rows=len(rows),
+                new_rows=inserted,
+            )
+            if report.rounds > node.config.fixpoint_guard:
+                raise FixpointGuardError(node.config.fixpoint_guard)
+
+        if deltas:
+            self._propagate_deltas(update_id, deltas, path_len)
+
+    def _propagate_deltas(
+        self, update_id: str, deltas: dict[str, list[Row]], path_len: int
+    ) -> None:
+        """Semi-naive re-evaluation of dependent incoming links (§3:
+        "incoming links, which are dependent on O, are computed by
+        substituting R by T'")."""
+        node = self.node
+        if self._quarantined(update_id):
+            return
+        changed = set(deltas)
+        for link in node.links.incoming_dependent_on_relations(changed):
+            if link.state != OPEN:
+                continue  # inactive: full eval at activation sees this data
+            produced: dict[Row, None] = {}
+            if node.config.semi_naive:
+                for relation in sorted(
+                    changed & set(link.rule.mapping.body_relations())
+                ):
+                    for row in self._frontier_rows(
+                        link, changed_relation=relation, delta_rows=deltas[relation]
+                    ):
+                        produced[row] = None
+            else:
+                # Ablation E10: recompute the link in full on every change.
+                for row in self._frontier_rows(
+                    link, changed_relation=None, delta_rows=None
+                ):
+                    produced[row] = None
+            if node.config.sent_dedup:
+                fresh = [row for row in produced if row not in link.sent]
+                link.sent.update(fresh)
+            else:
+                # Ablation E10: no sent-set — resend whatever came out.
+                fresh = list(produced)
+            self._send_results(
+                update_id, link, fresh, path_len=path_len + 1, always=False
+            )
+
+    # ------------------------------------------------------------------
+    # Closure (condition (a): the cascade)
+    # ------------------------------------------------------------------
+
+    def _cascade_closures(self, update_id: str) -> None:
+        node = self.node
+        report = node.stats.report_for(update_id)
+        progressed = True
+        while progressed:
+            progressed = False
+            for link in node.links.incoming_ready_to_close():
+                link.state = CLOSED
+                link.closed_by = "cascade"
+                if report is not None:
+                    report.links_closed_by_cascade += 1
+                pipe = node.pipes.pipe_to(link.remote)
+                try:
+                    message = pipe.send(
+                        "link_closed",
+                        {"update_id": update_id, "rule_id": link.rule_id},
+                    )
+                except UnknownPeerError:
+                    progressed = True
+                    continue  # importer left; nothing to notify
+                node.termination.note_sent(update_id, link.remote)
+                if report is not None:
+                    report.messages_sent += 1
+                    report.bytes_sent += message.size_bytes()
+                progressed = True
+        self._maybe_finish_locally(update_id)
+
+    def _maybe_finish_locally(self, update_id: str) -> None:
+        """Stamp the node-closure time the first moment every link is
+        closed — "when all outgoing links of a node are in the state
+        'closed', then the node is also in the state 'closed'" (§3)."""
+        node = self.node
+        report = node.stats.report_for(update_id)
+        if report is None or report.status == "closed":
+            return
+        all_in_closed = all(
+            link.state == CLOSED for link in node.links.incoming.values()
+        )
+        if node.links.all_outgoing_closed() and all_in_closed:
+            report.status = "closed"
+            report.finished_at = node.endpoint.now()
+
+    # ------------------------------------------------------------------
+    # Completion (condition (b): global quiescence)
+    # ------------------------------------------------------------------
+
+    def _finalize(self, update_id: str, forwarded_from: str | None) -> None:
+        node = self.node
+        if update_id in self.completed_updates:
+            return
+        self.completed_updates.add(update_id)
+        report = node.stats.report_for(update_id)
+        for link in list(node.links.outgoing.values()):
+            if link.state == OPEN:
+                link.state = CLOSED
+                link.closed_by = "quiescence"
+                if report is not None:
+                    report.links_closed_by_quiescence += 1
+            elif link.state == INACTIVE:
+                link.state = CLOSED
+        for link in list(node.links.incoming.values()):
+            if link.state == OPEN:
+                link.state = CLOSED
+                link.closed_by = "quiescence"
+                if report is not None:
+                    report.links_closed_by_quiescence += 1
+            elif link.state == INACTIVE:
+                link.state = CLOSED
+        if report is not None and report.status != "closed":
+            report.status = "closed"
+            report.finished_at = node.endpoint.now()
+        if self.active is not None and self.active.update_id == update_id:
+            self.active.done = True
+            self.active = None
+        node.wrapper.on_update_finished()
+        node.termination.forget(update_id)
+        # Flood the completion (non-engaging; dedup via completed_updates).
+        for remote in node.pipes.remotes():
+            if remote != forwarded_from:
+                pipe = node.pipes.pipe_to(remote)
+                try:
+                    pipe.send("update_complete", {"update_id": update_id})
+                except UnknownPeerError:
+                    continue  # departed peers need no completion notice
+
+    # ------------------------------------------------------------------
+    # Dynamic networks (§1: nodes may disappear mid-computation)
+    # ------------------------------------------------------------------
+
+    def on_peer_unreachable(self, update_id: str, dead_peer: str) -> None:
+        """Close every link toward a peer that left the network.
+
+        Called when a protocol message to *dead_peer* bounced (or its
+        send failed outright).  Outgoing links toward it will never
+        deliver results or closure notifications; incoming links toward
+        it have nobody left to serve.  Both close with
+        ``closed_by="failure"`` so the closure cascade — and therefore
+        the whole update — still terminates.
+        """
+        node = self.node
+        if self.active is None or self.active.update_id != update_id:
+            return
+        report = node.stats.report_for(update_id)
+        changed = False
+        for link in node.links.outgoing.values():
+            if link.remote == dead_peer and link.state != CLOSED:
+                link.state = CLOSED
+                link.closed_by = "failure"
+                changed = True
+        for link in node.links.incoming.values():
+            if link.remote == dead_peer and link.state != CLOSED:
+                link.state = CLOSED
+                link.closed_by = "failure"
+                changed = True
+        if changed and report is not None:
+            report.links_closed_by_failure += 1
+        if changed:
+            self._cascade_closures(update_id)
+        # If the failure cut us off from the origin, its completion
+        # flood may never reach us.  Once every local link is closed
+        # and we are disengaged from the computation, the update is
+        # over *for this node* (the paper's node-closure condition),
+        # so finalize locally and let our own completion flood cover
+        # whatever part of the network is still reachable through us.
+        if (
+            report is not None
+            and report.status == "closed"
+            and not node.termination.is_engaged(update_id)
+            and update_id not in self.completed_updates
+        ):
+            self._finalize(update_id, forwarded_from=None)
+
+    # ------------------------------------------------------------------
+
+    def is_done(self, update_id: str) -> bool:
+        return update_id in self.completed_updates

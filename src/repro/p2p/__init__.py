@@ -1,0 +1,54 @@
+"""A JXTA-like peer-to-peer substrate.
+
+The paper builds coDB on JXTA and uses exactly four of its concepts
+(§2): peer definition/naming, pipes, messages enveloping arbitrary
+data, and resource advertisement/discovery.  This package implements
+those concepts natively:
+
+* :mod:`ids` — opaque, reproducible peer/pipe/message identifiers;
+* :mod:`messages` — typed message envelopes with JSON wire format and
+  byte-accurate size accounting (the demo's "volume of the data in
+  each message" statistic);
+* :mod:`advertisements` — peer and pipe advertisements;
+* :mod:`discovery` — a decentralised advertisement cache with
+  broadcast discovery requests (the "peer discovery window" of
+  Figure 3);
+* :mod:`transport` — the abstract transport;
+* :mod:`inproc` — a deterministic discrete-event simulated network
+  with a virtual clock and a configurable latency/bandwidth model;
+* :mod:`tcp` — a real TCP/localhost transport (threads + sockets),
+  wire-compatible with the simulated one;
+* :mod:`pipes` — communication links between acquainted peers,
+  carrying per-pipe traffic statistics;
+* :mod:`endpoint` — per-peer dispatch of incoming messages to
+  registered handlers.
+
+Everything above this package (the coDB protocol layers) is
+transport-agnostic.
+"""
+
+from repro.p2p.ids import IdAuthority
+from repro.p2p.messages import Message
+from repro.p2p.advertisements import PeerAdvertisement, PipeAdvertisement
+from repro.p2p.transport import Transport, TransportStats
+from repro.p2p.inproc import InProcessNetwork, LatencyModel
+from repro.p2p.tcp import TcpNetwork
+from repro.p2p.endpoint import Endpoint
+from repro.p2p.pipes import Pipe, PipeTable
+from repro.p2p.discovery import DiscoveryService
+
+__all__ = [
+    "IdAuthority",
+    "Message",
+    "PeerAdvertisement",
+    "PipeAdvertisement",
+    "Transport",
+    "TransportStats",
+    "InProcessNetwork",
+    "LatencyModel",
+    "TcpNetwork",
+    "Endpoint",
+    "Pipe",
+    "PipeTable",
+    "DiscoveryService",
+]

@@ -1,0 +1,72 @@
+"""Resource advertisements.
+
+JXTA resources (peers, pipes, groups, services) are described by
+advertisements that peers publish and discover "in a distributed,
+decentralised environment" (§2).  coDB needs two kinds: peer
+advertisements (who exists, what schema they export) and pipe
+advertisements (how to reach them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class PeerAdvertisement:
+    """Announces a peer: id, human name, exported schema summary."""
+
+    peer_id: str
+    name: str
+    #: Relation name -> arity, for the exported part of the schema
+    #: (the DBS) — enough for other peers to author rules against it.
+    exported_relations: tuple[tuple[str, int], ...] = ()
+    #: Extra attributes (the demo shows e.g. discovered-by info).
+    properties: tuple[tuple[str, str], ...] = ()
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "peer_id": self.peer_id,
+            "name": self.name,
+            "exported_relations": [list(item) for item in self.exported_relations],
+            "properties": [list(item) for item in self.properties],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "PeerAdvertisement":
+        return cls(
+            peer_id=payload["peer_id"],
+            name=payload["name"],
+            exported_relations=tuple(
+                (str(name), int(arity))
+                for name, arity in payload.get("exported_relations", ())
+            ),
+            properties=tuple(
+                (str(k), str(v)) for k, v in payload.get("properties", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PipeAdvertisement:
+    """Announces a pipe between two peers."""
+
+    pipe_id: str
+    from_peer: str
+    to_peer: str
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "pipe_id": self.pipe_id,
+            "from_peer": self.from_peer,
+            "to_peer": self.to_peer,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "PipeAdvertisement":
+        return cls(
+            pipe_id=payload["pipe_id"],
+            from_peer=payload["from_peer"],
+            to_peer=payload["to_peer"],
+        )

@@ -1,0 +1,100 @@
+"""Per-peer endpoint: handler registration and dispatch.
+
+The coDB node (§2's DBM + JXTA Layer) reacts to typed messages.  An
+:class:`Endpoint` binds one peer id to the transport and dispatches
+each incoming message to the handler registered for its kind —
+unknown kinds go to an optional default handler (and are counted, so
+protocol bugs surface in tests rather than vanish).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.p2p.ids import IdAuthority
+from repro.p2p.messages import Message
+from repro.p2p.transport import Transport
+
+Handler = Callable[[Message], None]
+
+
+class Endpoint:
+    """One peer's attachment to the transport."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        transport: Transport,
+        ids: IdAuthority,
+        *,
+        strict: bool = False,
+    ) -> None:
+        self.peer_id = peer_id
+        self.transport = transport
+        self.ids = ids
+        self.strict = strict
+        self._handlers: dict[str, Handler] = {}
+        self._default_handler: Handler | None = None
+        self.unhandled_count = 0
+        transport.register(peer_id, self._dispatch)
+
+    # -- handler registration ----------------------------------------------
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register *handler* for message kind *kind* (one per kind)."""
+        if kind in self._handlers:
+            raise ProtocolError(
+                f"peer {self.peer_id!r} already handles {kind!r}"
+            )
+        self._handlers[kind] = handler
+
+    def on_default(self, handler: Handler) -> None:
+        self._default_handler = handler
+
+    def _dispatch(self, message: Message) -> None:
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(message)
+            return
+        if self._default_handler is not None:
+            self._default_handler(message)
+            return
+        self.unhandled_count += 1
+        if self.strict:
+            raise ProtocolError(
+                f"peer {self.peer_id!r} has no handler for {message.kind!r}"
+            )
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, recipient: str, kind: str, payload: dict[str, Any]) -> Message:
+        """Build, stamp and send one message; returns it (for stats)."""
+        message = Message(
+            kind=kind,
+            sender=self.peer_id,
+            recipient=recipient,
+            payload=payload,
+            message_id=self.ids.message_id(),
+        )
+        self.transport.send(message)
+        return message
+
+    def try_send(
+        self, recipient: str, kind: str, payload: dict[str, Any]
+    ) -> Message | None:
+        """Like :meth:`send`, but returns ``None`` when the recipient
+        has left the network instead of raising (dynamic topologies)."""
+        from repro.errors import UnknownPeerError
+
+        try:
+            return self.send(recipient, kind, payload)
+        except UnknownPeerError:
+            return None
+
+    def detach(self) -> None:
+        self.transport.unregister(self.peer_id)
+
+    def now(self) -> float:
+        return self.transport.now()

@@ -1,0 +1,193 @@
+"""Deterministic in-process simulated network.
+
+A discrete-event simulator: ``send`` schedules a delivery event at
+``now + latency``; :meth:`InProcessNetwork.run_until_idle` pops events
+in timestamp order and invokes the recipient's handler, which may send
+further messages.  Per (sender, recipient) pair delivery is FIFO even
+under equal timestamps (a monotone sequence number breaks ties), so
+the protocol's ordering assumptions hold exactly as they would on a
+TCP pipe.
+
+The latency model charges ``base + jitter + bytes / bandwidth`` per
+message.  Jitter is drawn from a seeded PRNG, so two runs with the
+same seed produce byte-identical traces and timings — this is what
+makes every benchmark reproducible (DESIGN.md §2, substitution of the
+demo's lab testbed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+
+from repro.errors import TransportStoppedError, UnknownPeerError
+from repro.p2p.messages import Message
+from repro.p2p.transport import MessageHandler, Transport
+
+
+@dataclass
+class LatencyModel:
+    """Per-message delay: ``base + U(0, jitter) + size/bandwidth``.
+
+    Attributes
+    ----------
+    base_seconds:
+        Fixed one-way latency (default 1 ms).
+    jitter_seconds:
+        Upper bound of uniform jitter (default 0 — fully deterministic
+        timing; benchmarks that want realism set e.g. 0.2 ms).
+    bandwidth_bytes_per_second:
+        Serialisation cost; ``0`` disables the size term.
+    """
+
+    base_seconds: float = 0.001
+    jitter_seconds: float = 0.0
+    bandwidth_bytes_per_second: float = 0.0
+
+    def delay(self, size_bytes: int, rng: random.Random) -> float:
+        delay = self.base_seconds
+        if self.jitter_seconds > 0.0:
+            delay += rng.uniform(0.0, self.jitter_seconds)
+        if self.bandwidth_bytes_per_second > 0.0:
+            delay += size_bytes / self.bandwidth_bytes_per_second
+        return delay
+
+
+class InProcessNetwork(Transport):
+    """The simulated transport (see module docstring).
+
+    Parameters
+    ----------
+    seed:
+        Seeds the jitter PRNG (and nothing else).
+    latency:
+        The :class:`LatencyModel`; default is a constant 1 ms.
+    """
+
+    def __init__(self, seed: int = 0, latency: LatencyModel | None = None) -> None:
+        super().__init__()
+        self.latency = latency if latency is not None else LatencyModel()
+        self._rng = random.Random(seed)
+        self._handlers: dict[str, MessageHandler] = {}
+        # Event queue entries: (deliver_at, sequence, message).
+        self._queue: list[tuple[float, int, Message]] = []
+        self._sequence = 0
+        self._clock = 0.0
+        self._stopped = False
+        #: Per-pair last scheduled delivery time, to keep FIFO order
+        #: even when jitter would reorder messages on the same pipe.
+        self._pair_horizon: dict[tuple[str, str], float] = {}
+
+    # -- Transport API ----------------------------------------------------
+
+    def register(self, peer_id: str, handler: MessageHandler) -> None:
+        if peer_id in self._handlers:
+            raise UnknownPeerError(f"peer {peer_id!r} already registered")
+        self._handlers[peer_id] = handler
+
+    def unregister(self, peer_id: str) -> None:
+        """Remove a peer, announcing ``peer_down`` to every survivor.
+
+        The announcement plays the failure detector's role: survivors
+        write off acknowledgements the departed peer still owed
+        (JXTA's peer-monitoring service plays this part in the original
+        system).
+        """
+        if self._handlers.pop(peer_id, None) is None:
+            return
+        for survivor in self._handlers:
+            notice = Message(
+                kind="peer_down",
+                sender=peer_id,
+                recipient=survivor,
+                payload={"peer": peer_id},
+            )
+            heapq.heappush(self._queue, (self._clock, self._sequence, notice))
+            self._sequence += 1
+
+    def peers(self) -> list[str]:
+        return list(self._handlers)
+
+    def send(self, message: Message) -> None:
+        if self._stopped:
+            raise TransportStoppedError("network is stopped")
+        if message.recipient not in self._handlers:
+            raise UnknownPeerError(message.recipient)
+        self.stats.record_send(message)
+        delay = self.latency.delay(message.size_bytes(), self._rng)
+        deliver_at = self._clock + delay
+        pair = (message.sender, message.recipient)
+        horizon = self._pair_horizon.get(pair, 0.0)
+        if deliver_at < horizon:
+            deliver_at = horizon  # FIFO per pipe
+        self._pair_horizon[pair] = deliver_at
+        heapq.heappush(self._queue, (deliver_at, self._sequence, message))
+        self._sequence += 1
+
+    def now(self) -> float:
+        return self._clock
+
+    def pending(self) -> int:
+        """Messages currently in flight."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Deliver the single earliest in-flight message.
+
+        Returns ``False`` when nothing is in flight.  Mail addressed to
+        a peer that has left the network *bounces*: the sender receives
+        an ``undeliverable`` notification wrapping the original message
+        (kind, payload, intended recipient), which is what lets the
+        coDB protocol terminate under churn (§1: nodes may "appear or
+        disappear during the computation").  Acks and bounces
+        themselves are dropped silently.
+        """
+        if not self._queue:
+            return False
+        deliver_at, _, message = heapq.heappop(self._queue)
+        self._clock = max(self._clock, deliver_at)
+        handler = self._handlers.get(message.recipient)
+        if handler is not None:
+            self.stats.record_delivery()
+            handler(message)
+        elif (
+            message.kind not in ("undeliverable", "ack")
+            and message.sender in self._handlers
+        ):
+            bounce = Message(
+                kind="undeliverable",
+                sender=message.recipient,
+                recipient=message.sender,
+                payload={
+                    "kind": message.kind,
+                    "payload": message.payload,
+                    "recipient": message.recipient,
+                },
+            )
+            heapq.heappush(self._queue, (self._clock, self._sequence, bounce))
+            self._sequence += 1
+        return True
+
+    def run_until_idle(self, max_messages: int | None = None) -> int:
+        delivered = 0
+        while self._queue:
+            if max_messages is not None and delivered >= max_messages:
+                break
+            if self.step():
+                delivered += 1
+        return delivered
+
+    def run_for(self, duration: float) -> int:
+        """Deliver events until the virtual clock advances by *duration*."""
+        deadline = self._clock + duration
+        delivered = 0
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+            delivered += 1
+        self._clock = max(self._clock, deadline)
+        return delivered
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._queue.clear()

@@ -1,0 +1,106 @@
+"""Typed message envelopes.
+
+JXTA messages "can envelope arbitrary data (e.g. code, images,
+queries)" (§2).  Ours envelope JSON payloads.  Every message knows its
+serialised byte size — the statistics module reports "the volume of
+the data in each message" (§4) — and serialisation is stable, so sizes
+are identical across runs and transports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util import stable_json
+from repro.errors import ProtocolError
+
+#: Message kinds used by the coDB protocol (documented here so the
+#: wire vocabulary is in one place; the p2p layer itself treats kinds
+#: as opaque strings).
+KINDS = (
+    "hello",                # pipe establishment handshake
+    "rules_file",           # super-peer broadcast of coordination rules
+    "update_request",       # global update propagation (§2)
+    "query_result",         # tuples flowing back along a link (§3)
+    "link_closed",          # incoming-link closure notification (§3)
+    "ack",                  # diffusing-computation acknowledgement
+    "query_request",        # query-time answering request (§3)
+    "query_answer",         # query-time answering results
+    "query_complete",       # query-time answering end-of-stream
+    "stats_request",        # super-peer statistics collection (§4)
+    "stats_response",
+    "discovery_request",    # peer discovery (§2, Figure 3)
+    "discovery_response",
+    "topology_request",     # topology discovery procedure (§2 UI)
+    "topology_response",
+)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the wire.
+
+    Attributes
+    ----------
+    kind:
+        Protocol message type; see :data:`KINDS`.
+    sender, recipient:
+        Peer ids (or symbolic node names — the transport resolves).
+    payload:
+        JSON-serialisable dict.  Rows travel pre-encoded via
+        :func:`repro.relational.values.encode_row`.
+    message_id:
+        Unique id assigned by the sender's id authority.
+    """
+
+    kind: str
+    sender: str
+    recipient: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    message_id: str = ""
+
+    def size_bytes(self) -> int:
+        """Stable serialised size of the full envelope."""
+        return len(self.to_wire())
+
+    def payload_bytes(self) -> int:
+        """Stable serialised size of the payload alone."""
+        return len(stable_json(self.payload).encode("utf-8"))
+
+    def to_wire(self) -> bytes:
+        """Serialise for a byte transport (TCP)."""
+        return stable_json(
+            {
+                "kind": self.kind,
+                "sender": self.sender,
+                "recipient": self.recipient,
+                "payload": self.payload,
+                "message_id": self.message_id,
+            }
+        ).encode("utf-8")
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+            return cls(
+                kind=decoded["kind"],
+                sender=decoded["sender"],
+                recipient=decoded["recipient"],
+                payload=decoded["payload"],
+                message_id=decoded.get("message_id", ""),
+            )
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"malformed wire message: {exc}") from exc
+
+    def reply(self, kind: str, payload: dict[str, Any], message_id: str = "") -> "Message":
+        """A message back to this message's sender."""
+        return Message(
+            kind=kind,
+            sender=self.recipient,
+            recipient=self.sender,
+            payload=payload,
+            message_id=message_id,
+        )

@@ -1,0 +1,131 @@
+"""Pipes: the communication links between acquainted peers.
+
+From §2-3 of the paper: "When a node starts, it creates pipes with
+those nodes, w.r.t. which it has coordination rules, or which have
+coordination rules w.r.t. the given node.  Several coordination rules
+w.r.t. a given node can use one pipe to send requests and data.  If
+some coordination rules are dropped and a pipe is not assigned any
+coordination rule, then this pipe is also closed."
+
+A :class:`Pipe` is our end of such a link: it knows the remote peer,
+which rule ids are assigned to it, and per-pipe traffic counters (the
+statistics module aggregates them per coordination rule, §4).  The
+:class:`PipeTable` implements the create/reuse/close-when-unassigned
+life cycle quoted above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PipeClosedError
+from repro.p2p.endpoint import Endpoint
+from repro.p2p.messages import Message
+
+
+@dataclass
+class PipeTraffic:
+    """Traffic counters for one direction of one pipe."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.bytes += message.size_bytes()
+
+
+class Pipe:
+    """One end of a communication link to *remote*."""
+
+    def __init__(self, pipe_id: str, endpoint: Endpoint, remote: str) -> None:
+        self.pipe_id = pipe_id
+        self.endpoint = endpoint
+        self.remote = remote
+        self.open = True
+        #: Coordination-rule ids assigned to this pipe.
+        self.assigned_rules: set[str] = set()
+        self.sent = PipeTraffic()
+        self.received = PipeTraffic()
+
+    def send(self, kind: str, payload: dict[str, Any]) -> Message:
+        if not self.open:
+            raise PipeClosedError(
+                f"pipe {self.pipe_id} to {self.remote} is closed"
+            )
+        message = self.endpoint.send(self.remote, kind, payload)
+        self.sent.record(message)
+        return message
+
+    def note_received(self, message: Message) -> None:
+        """Called by the owner when a message arrives from this remote."""
+        self.received.record(message)
+
+    def close(self) -> None:
+        self.open = False
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else "closed"
+        return f"<Pipe {self.pipe_id} -> {self.remote} [{state}]>"
+
+
+class PipeTable:
+    """All pipes of one peer, keyed by remote peer id."""
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        self.endpoint = endpoint
+        self._pipes: dict[str, Pipe] = {}
+        self.closed_count = 0
+
+    def pipe_to(self, remote: str, *, rule_id: str | None = None) -> Pipe:
+        """Get or create the pipe to *remote*; optionally assign a rule.
+
+        "Several coordination rules w.r.t. a given node can use one
+        pipe" — one pipe per remote, rules accumulate on it.
+        """
+        pipe = self._pipes.get(remote)
+        if pipe is None or not pipe.open:
+            pipe = Pipe(self.endpoint.ids.pipe_id(), self.endpoint, remote)
+            self._pipes[remote] = pipe
+        if rule_id is not None:
+            pipe.assigned_rules.add(rule_id)
+        return pipe
+
+    def get(self, remote: str) -> Pipe | None:
+        pipe = self._pipes.get(remote)
+        if pipe is not None and pipe.open:
+            return pipe
+        return None
+
+    def unassign_rule(self, remote: str, rule_id: str) -> None:
+        """Drop a rule from the pipe; close the pipe if none remain."""
+        pipe = self._pipes.get(remote)
+        if pipe is None:
+            return
+        pipe.assigned_rules.discard(rule_id)
+        if not pipe.assigned_rules:
+            pipe.close()
+            self.closed_count += 1
+            del self._pipes[remote]
+
+    def drop_all(self) -> None:
+        """Close every pipe (rules file replaced; §4's re-wiring)."""
+        for pipe in self._pipes.values():
+            pipe.close()
+            self.closed_count += 1
+        self._pipes.clear()
+
+    def note_received(self, message: Message) -> None:
+        pipe = self._pipes.get(message.sender)
+        if pipe is not None:
+            pipe.note_received(message)
+
+    def remotes(self) -> list[str]:
+        return [remote for remote, pipe in self._pipes.items() if pipe.open]
+
+    def __len__(self) -> int:
+        return sum(1 for pipe in self._pipes.values() if pipe.open)
+
+    def __iter__(self):
+        return iter([p for p in self._pipes.values() if p.open])

@@ -1,0 +1,254 @@
+"""Real TCP transport: the protocol over actual sockets.
+
+Proves the coDB protocol stack is not simulator-bound (experiment
+E13).  Design:
+
+* Every registered peer gets a listening socket on ``127.0.0.1``
+  (ephemeral port) and a *delivery thread* that executes its handler
+  one message at a time — the same actor discipline as the simulator.
+* ``send`` frames the message (4-byte big-endian length prefix + JSON
+  body) over a cached outbound connection per (sender, recipient)
+  pair, giving per-pair FIFO just like a JXTA pipe.
+* ``run_until_idle`` polls a global in-flight counter: it is
+  incremented at ``send`` and decremented after the recipient's
+  handler returns, so quiescence means *handled*, not merely
+  delivered.
+
+The port registry doubles as the rendezvous service: peers address
+each other by peer id only, never by host/port — "IP independent
+naming space" (§2).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from queue import Empty, Queue
+
+from repro.errors import TransportStoppedError, UnknownPeerError
+from repro.p2p.messages import Message
+from repro.p2p.transport import MessageHandler, Transport
+
+_LENGTH = struct.Struct(">I")
+
+
+def _read_exact(connection: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = connection.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class _PeerServer:
+    """Listening socket + delivery worker for one peer."""
+
+    def __init__(self, network: "TcpNetwork", peer_id: str, handler: MessageHandler) -> None:
+        self.network = network
+        self.peer_id = peer_id
+        self.handler = handler
+        self.inbox: Queue[Message | None] = Queue()
+        self.socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.socket.bind(("127.0.0.1", 0))
+        self.socket.listen(16)
+        self.port = self.socket.getsockname()[1]
+        self._running = True
+        self.accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"accept-{peer_id}", daemon=True
+        )
+        self.delivery_thread = threading.Thread(
+            target=self._delivery_loop, name=f"deliver-{peer_id}", daemon=True
+        )
+        self.accept_thread.start()
+        self.delivery_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self.socket.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._receive_loop,
+                args=(connection,),
+                name=f"recv-{self.peer_id}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _receive_loop(self, connection: socket.socket) -> None:
+        with connection:
+            while self._running:
+                try:
+                    header = _read_exact(connection, _LENGTH.size)
+                    if header is None:
+                        return
+                    (length,) = _LENGTH.unpack(header)
+                    body = _read_exact(connection, length)
+                    if body is None:
+                        return
+                except OSError:
+                    return
+                self.inbox.put(Message.from_wire(body))
+
+    def _delivery_loop(self) -> None:
+        while True:
+            try:
+                message = self.inbox.get(timeout=0.2)
+            except Empty:
+                if not self._running:
+                    return
+                continue
+            if message is None:
+                return
+            try:
+                self.network.stats.record_delivery()
+                self.handler(message)
+            finally:
+                with self.network._inflight_lock:
+                    self.network._inflight -= 1
+
+    def stop(self) -> None:
+        self._running = False
+        self.inbox.put(None)
+        try:
+            self.socket.close()
+        except OSError:
+            pass
+
+
+class TcpNetwork(Transport):
+    """TCP/localhost transport; see module docstring."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._servers: dict[str, _PeerServer] = {}
+        self._connections: dict[tuple[str, str], socket.socket] = {}
+        self._connections_lock = threading.Lock()
+        self._send_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._stopped = False
+        self._epoch = time.monotonic()
+
+    # -- Transport API ----------------------------------------------------
+
+    def register(self, peer_id: str, handler: MessageHandler) -> None:
+        if self._stopped:
+            raise TransportStoppedError("network is stopped")
+        if peer_id in self._servers:
+            raise UnknownPeerError(f"peer {peer_id!r} already registered")
+        self._servers[peer_id] = _PeerServer(self, peer_id, handler)
+
+    def unregister(self, peer_id: str) -> None:
+        server = self._servers.pop(peer_id, None)
+        if server is None:
+            return
+        server.stop()
+        # Failure-detector announcement to every survivor (delivered
+        # through their normal inbox so handler serialisation holds).
+        for survivor in self._servers.values():
+            with self._inflight_lock:
+                self._inflight += 1
+            survivor.inbox.put(
+                Message(
+                    kind="peer_down",
+                    sender=peer_id,
+                    recipient=survivor.peer_id,
+                    payload={"peer": peer_id},
+                )
+            )
+
+    def peers(self) -> list[str]:
+        return list(self._servers)
+
+    def port_of(self, peer_id: str) -> int:
+        """The rendezvous lookup (peer id -> TCP port)."""
+        try:
+            return self._servers[peer_id].port
+        except KeyError:
+            raise UnknownPeerError(peer_id) from None
+
+    def send(self, message: Message) -> None:
+        if self._stopped:
+            raise TransportStoppedError("network is stopped")
+        if message.recipient not in self._servers:
+            raise UnknownPeerError(message.recipient)
+        body = message.to_wire()
+        self.stats.record_send(message)
+        with self._inflight_lock:
+            self._inflight += 1
+        key = (message.sender, message.recipient)
+        with self._connections_lock:
+            send_lock = self._send_locks.setdefault(key, threading.Lock())
+        # The per-pair lock keeps frames atomic when the main thread and
+        # a handler thread send under the same (sender, recipient) pair.
+        with send_lock:
+            connection = self._connection_for(message.sender, message.recipient)
+            try:
+                connection.sendall(_LENGTH.pack(len(body)) + body)
+            except OSError:
+                # One reconnect attempt (the receiver may have restarted).
+                with self._connections_lock:
+                    self._connections.pop(key, None)
+                connection = self._connection_for(message.sender, message.recipient)
+                connection.sendall(_LENGTH.pack(len(body)) + body)
+
+    def _connection_for(self, sender: str, recipient: str) -> socket.socket:
+        key = (sender, recipient)
+        with self._connections_lock:
+            connection = self._connections.get(key)
+            if connection is None:
+                connection = socket.create_connection(
+                    ("127.0.0.1", self.port_of(recipient)), timeout=5.0
+                )
+                self._connections[key] = connection
+            return connection
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def run_until_idle(self, max_messages: int | None = None) -> int:
+        """Poll until no message is in flight (sent but not yet handled).
+
+        Quiescence must hold twice in a row 1 ms apart, so a handler
+        that is *about* to send (between decrementing the counter for
+        the message it handled and sending its replies) cannot fool
+        the check — handlers send before returning, and the counter is
+        decremented only after the handler returns.
+        """
+        start_delivered = self.stats.messages_delivered
+        while True:
+            with self._inflight_lock:
+                idle = self._inflight == 0
+            if idle:
+                time.sleep(0.001)
+                with self._inflight_lock:
+                    if self._inflight == 0:
+                        return self.stats.messages_delivered - start_delivered
+            else:
+                time.sleep(0.001)
+            if max_messages is not None:
+                done = self.stats.messages_delivered - start_delivered
+                if done >= max_messages:
+                    return done
+
+    def stop(self) -> None:
+        self._stopped = True
+        for server in list(self._servers.values()):
+            server.stop()
+        self._servers.clear()
+        with self._connections_lock:
+            for connection in self._connections.values():
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+            self._connections.clear()

@@ -1,0 +1,97 @@
+"""The abstract transport every coDB protocol layer talks to.
+
+Two implementations ship: the deterministic simulated network
+(:class:`repro.p2p.inproc.InProcessNetwork`) and the real TCP one
+(:class:`repro.p2p.tcp.TcpNetwork`).  The contract:
+
+* ``register(peer_id, handler)`` — attach a peer; *handler* is called
+  with each delivered :class:`~repro.p2p.messages.Message`, one at a
+  time per peer (actor-style serialisation, like coDB's DBM).
+* ``send(message)`` — asynchronous, FIFO per (sender, recipient) pair
+  (pipes preserve order; the update protocol relies on a close marker
+  not overtaking the results sent before it).
+* ``now()`` — the transport clock (virtual seconds for the simulator,
+  monotonic seconds for TCP); all statistics timestamps use it.
+* ``run_until_idle()`` — drive the network until no messages are in
+  flight.  On the simulator this steps the event queue; on TCP it
+  polls quiescence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.p2p.messages import Message
+
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class TransportStats:
+    """Global traffic counters, shared by both transports."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_delivered: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes()
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+    def record_delivery(self) -> None:
+        self.messages_delivered += 1
+
+
+class Transport:
+    """Abstract base; see module docstring for the contract."""
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+
+    # -- peer management -------------------------------------------------
+
+    def register(self, peer_id: str, handler: MessageHandler) -> None:
+        raise NotImplementedError
+
+    def unregister(self, peer_id: str) -> None:
+        raise NotImplementedError
+
+    def peers(self) -> list[str]:
+        raise NotImplementedError
+
+    def is_registered(self, peer_id: str) -> bool:
+        return peer_id in self.peers()
+
+    # -- messaging --------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def broadcast(self, sender: str, kind: str, payload: dict) -> int:
+        """Send to every other registered peer; returns the fan-out.
+
+        JXTA propagates discovery queries through the group; both our
+        transports implement broadcast as unicast fan-out, which has
+        the same observable behaviour on a connected group.
+        """
+        count = 0
+        for peer in self.peers():
+            if peer != sender:
+                self.send(Message(kind=kind, sender=sender, recipient=peer, payload=payload))
+                count += 1
+        return count
+
+    # -- time and progress -------------------------------------------------
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def run_until_idle(self, max_messages: int | None = None) -> int:
+        """Deliver messages until quiescent; returns how many were delivered."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Tear the transport down (no-op on the simulator)."""

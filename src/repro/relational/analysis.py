@@ -1,0 +1,248 @@
+"""Static analysis of coordination-rule sets.
+
+Two analyses, both network-wide:
+
+* **Rule dependency graph** (:class:`RuleGraph`) — rule ``r2`` depends
+  on rule ``r1`` when ``r1``'s head writes a relation that ``r2``'s
+  body reads *at the same node*.  This is the global version of the
+  paper's incoming-on-outgoing link dependency; a cycle here is what
+  makes "a fix-point computation ... needed among the nodes" (§1).
+* **Weak acyclicity** (:func:`is_weakly_acyclic`) — the standard data-
+  exchange condition [Fagin et al., 2003, cited by the paper] on the
+  *position graph* that guarantees chase (and hence global update)
+  termination even with existential head variables.  The paper assumes
+  well-behaved rules; we make the assumption checkable.
+
+Relations are identified by ``(node, relation)`` pairs so same-named
+relations at different peers stay distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+
+from repro.relational.conjunctive import GlavMapping, Variable
+
+#: A relation qualified by the node that owns it.
+QualifiedRelation = tuple[str, str]
+#: A position: qualified relation + column index.
+Position = tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class NetworkRule:
+    """A GLAV mapping placed in the network: target imports from source.
+
+    This mirrors :class:`repro.core.rules.CoordinationRule` but keeps
+    the analysis layer free of protocol imports.
+    """
+
+    rule_id: str
+    target: str
+    source: str
+    mapping: GlavMapping
+
+
+class RuleGraph:
+    """Dependency graph over a set of network rules.
+
+    Edges: ``r1 → r2`` when ``r1`` feeds ``r2`` (head of ``r1`` at node
+    *n* writes a relation read by the body of ``r2`` whose source is
+    *n*).
+    """
+
+    def __init__(self, rules: Iterable[NetworkRule]) -> None:
+        self.rules = {rule.rule_id: rule for rule in rules}
+        self.successors: dict[str, list[str]] = {rid: [] for rid in self.rules}
+        writers: dict[QualifiedRelation, list[str]] = {}
+        for rule in self.rules.values():
+            for relation in rule.mapping.head_relations():
+                writers.setdefault((rule.target, relation), []).append(rule.rule_id)
+        for rule in self.rules.values():
+            feeding: list[str] = []
+            for relation in rule.mapping.body_relations():
+                feeding.extend(writers.get((rule.source, relation), ()))
+            # Deduplicate, keep deterministic order.
+            for writer in dict.fromkeys(feeding):
+                self.successors[writer].append(rule.rule_id)
+
+    def has_cycle(self) -> bool:
+        return any(len(scc) > 1 for scc in self.components()) or any(
+            rid in self.successors[rid] for rid in self.rules
+        )
+
+    def components(self) -> list[list[str]]:
+        """Strongly connected components, in reverse topological order."""
+        return strongly_connected_components(self.successors)
+
+    def cyclic_rules(self) -> set[str]:
+        """Rule ids that lie on some dependency cycle."""
+        cyclic: set[str] = set()
+        for component in self.components():
+            if len(component) > 1:
+                cyclic.update(component)
+        for rid in self.rules:
+            if rid in self.successors[rid]:
+                cyclic.add(rid)
+        return cyclic
+
+    def topological_order(self) -> list[str]:
+        """Rule ids in an order that respects dependencies (SCCs collapsed)."""
+        order: list[str] = []
+        for component in reversed(self.components()):
+            order.extend(sorted(component))
+        return order
+
+
+def strongly_connected_components(
+    successors: Mapping[Hashable, Sequence[Hashable]],
+) -> list[list]:
+    """Tarjan's SCC algorithm, iterative (no recursion-depth limits).
+
+    Returns components in reverse topological order (a component is
+    emitted only after every component it can reach).
+    """
+    index_of: dict[Hashable, int] = {}
+    lowlink: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[list] = []
+    counter = 0
+
+    for root in successors:
+        if root in index_of:
+            continue
+        work: list[tuple[Hashable, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = list(successors.get(node, ()))
+            for i in range(child_index, len(children)):
+                child = children[i]
+                if child not in index_of:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if recurse:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: list = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+@dataclass
+class PositionGraph:
+    """The data-exchange position graph of a rule set."""
+
+    regular_edges: set[tuple[Position, Position]] = field(default_factory=set)
+    special_edges: set[tuple[Position, Position]] = field(default_factory=set)
+
+    def positions(self) -> set[Position]:
+        nodes: set[Position] = set()
+        for a, b in self.regular_edges | self.special_edges:
+            nodes.add(a)
+            nodes.add(b)
+        return nodes
+
+    def successors(self) -> dict[Position, list[Position]]:
+        adjacency: dict[Position, list[Position]] = {p: [] for p in self.positions()}
+        for a, b in sorted(self.regular_edges | self.special_edges):
+            adjacency[a].append(b)
+        return adjacency
+
+
+def build_position_graph(rules: Iterable[NetworkRule]) -> PositionGraph:
+    """Position graph per Fagin et al.'s weak-acyclicity definition.
+
+    For each rule (a tgd ``body(x̄) → ∃ȳ head(x̄, ȳ)``), for each body
+    occurrence of an exported variable ``x`` at position ``π``:
+
+    * a *regular* edge ``π → π'`` for every head occurrence of ``x`` at
+      ``π'``;
+    * a *special* edge ``π → π''`` for every head occurrence of every
+      existential variable ``y`` at ``π''``.
+    """
+    graph = PositionGraph()
+    for rule in rules:
+        mapping = rule.mapping
+        existentials = mapping.existential_head_variables()
+        head_positions: dict[str, list[Position]] = {}
+        existential_positions: list[Position] = []
+        for atom in mapping.head:
+            for i, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    position = (rule.target, atom.relation, i)
+                    head_positions.setdefault(term.name, []).append(position)
+                    if term.name in existentials:
+                        existential_positions.append(position)
+        for atom in mapping.body:
+            for i, term in enumerate(atom.terms):
+                if not isinstance(term, Variable):
+                    continue
+                if term.name not in head_positions:
+                    continue
+                body_position = (rule.source, atom.relation, i)
+                for head_position in head_positions[term.name]:
+                    if term.name in existentials:
+                        continue  # cannot happen: existentials have no body occurrence
+                    graph.regular_edges.add((body_position, head_position))
+                for special in existential_positions:
+                    graph.special_edges.add((body_position, special))
+    return graph
+
+
+def is_weakly_acyclic(rules: Iterable[NetworkRule]) -> bool:
+    """Whether the rule set's position graph has no cycle through a special edge.
+
+    ``True`` guarantees every global update terminates with finitely
+    many fresh nulls; ``False`` means the fix-point guard or
+    subsumption dedup may be needed (experiment E11).
+    """
+    graph = build_position_graph(rules)
+    if not graph.special_edges:
+        return True
+    adjacency = graph.successors()
+    component_of: dict[Position, int] = {}
+    for index, component in enumerate(strongly_connected_components(adjacency)):
+        for position in component:
+            component_of[position] = index
+    for a, b in graph.special_edges:
+        if component_of.get(a) == component_of.get(b) and a in component_of:
+            # Same SCC: the special edge closes a cycle (including
+            # the self-loop case a == b).
+            if a == b or _in_same_nontrivial_scc(adjacency, component_of, a, b):
+                return False
+    return True
+
+
+def _in_same_nontrivial_scc(
+    adjacency: Mapping[Position, Sequence[Position]],
+    component_of: Mapping[Position, int],
+    a: Position,
+    b: Position,
+) -> bool:
+    members = [p for p, c in component_of.items() if c == component_of[a]]
+    if len(members) > 1:
+        return True
+    # Singleton component: cycle only if it has a self-loop a → a = b.
+    return a == b and b in adjacency.get(a, ())

@@ -1,0 +1,108 @@
+"""Evaluation of comparison predicates, with marked-null semantics.
+
+Comparisons in rule bodies "specify constraints over the domain of
+particular attributes" (§2).  Constants compare naturally; marked nulls
+need care:
+
+* ``null = null`` holds iff the labels coincide (the same unknown
+  value), and ``null = constant`` never holds — a null is *some*
+  value, but the system cannot assert which, so under certain-answer
+  semantics the comparison is not certainly true.
+* Order comparisons (``<``, ``<=``, ``>``, ``>=``) involving any null
+  are never certainly true, hence evaluate to ``False``.
+* ``!=`` is the negation of certain equality **only** for two
+  constants; for nulls we again require certainty: ``null != x`` holds
+  only when ``x`` is a *different* null?  No — two distinct nulls may
+  still denote the same value, so that is not certain either.  The
+  conservative rule: ``!=`` holds iff both sides are constants and
+  differ.
+
+This "certain semantics" keeps the update algorithm sound: a tuple is
+only materialised when the paper's semantics guarantees it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import QueryError
+from repro.relational.conjunctive import Comparison, Term, Variable
+from repro.relational.values import MarkedNull, Value
+
+
+def _resolve(term: Term, binding: Mapping[str, Value]) -> Value:
+    if isinstance(term, Variable):
+        try:
+            return binding[term.name]
+        except KeyError:
+            raise QueryError(
+                f"comparison references unbound variable {term.name!r}"
+            ) from None
+    return term
+
+
+def _comparable(left: Value, right: Value) -> bool:
+    """Whether ``<``-style operators are meaningful for these constants."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def evaluate_comparison(
+    comparison: Comparison, binding: Mapping[str, Value]
+) -> bool:
+    """Evaluate one comparison under *binding* (certain semantics)."""
+    left = _resolve(comparison.left, binding)
+    right = _resolve(comparison.right, binding)
+    op = comparison.op
+
+    left_null = isinstance(left, MarkedNull)
+    right_null = isinstance(right, MarkedNull)
+
+    if op == "=":
+        if left_null or right_null:
+            return left_null and right_null and left == right
+        return _constants_equal(left, right)
+    if op == "!=":
+        if left_null or right_null:
+            return False
+        return not _constants_equal(left, right)
+
+    # Order comparisons: never certain with nulls or mixed types.
+    if left_null or right_null or not _comparable(left, right):
+        return False
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def _constants_equal(left: Value, right: Value) -> bool:
+    """Equality for constants is Python equality.
+
+    One identity relation is used everywhere — storage dedup, index
+    probes, frontier sets and comparison predicates — and Python's
+    ``dict`` fixes it to ``==``.  Consequence: ``3 = 3.0`` and
+    ``1 = true`` hold (Python unifies numeric types and bools).  Typed
+    schema columns keep bools out of int columns, so the unification
+    only surfaces in untyped columns.
+    """
+    return left == right
+
+
+def comparisons_ready(
+    comparisons: tuple[Comparison, ...], bound: frozenset[str] | set[str]
+) -> list[Comparison]:
+    """The comparisons whose variables are all in *bound*.
+
+    The evaluator checks each comparison as early as possible — as soon
+    as the join has bound all its variables — to prune dead branches.
+    """
+    return [c for c in comparisons if c.variables() <= bound]

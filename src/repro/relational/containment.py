@@ -1,0 +1,272 @@
+"""Homomorphism machinery: CQ containment and tuple subsumption.
+
+Two uses inside coDB:
+
+* **Query containment** (:func:`is_contained_in`) — classic canonical-
+  database check (Chandra & Merlin): freeze the contained query's
+  variables into fresh constants, evaluate the containing query over
+  that canonical instance, and test whether the frozen head appears.
+  The query answerer uses it to skip redundant rule evaluations, and
+  tests use it as an oracle.
+* **Tuple subsumption** (:func:`tuple_subsumed`) — a tuple containing
+  marked nulls is subsumed by a stored tuple when some mapping of its
+  nulls (constants fixed, consistent across positions) turns it into
+  the stored tuple.  The optional ``subsumption`` dedup mode of the
+  update algorithm uses this to tame null proliferation with
+  non-weakly-acyclic rule sets (a per-tuple restricted-chase check; it
+  under-approximates full instance-level homomorphism, which is all
+  that soundness needs — we may keep a redundant tuple, never drop a
+  necessary one).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.relational.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    Variable,
+)
+from repro.relational.database import Database
+from repro.relational.evaluation import evaluate_body, project_head_row
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.storage import Relation
+from repro.relational.values import MarkedNull, Row, Value
+
+
+def find_homomorphism(
+    source_atoms: Sequence[Atom],
+    target_facts: Iterable[tuple[str, Row]],
+    *,
+    fixed: Mapping[str, Value] | None = None,
+) -> dict[str, Value] | None:
+    """A variable mapping sending every source atom into the target facts.
+
+    Parameters
+    ----------
+    source_atoms:
+        Atoms whose variables we try to map.
+    target_facts:
+        Ground ``(relation, row)`` facts to map into.
+    fixed:
+        Pre-committed variable assignments (e.g. head variables pinned
+        to the frozen head during containment checks).
+
+    Returns the homomorphism as a dict, or ``None``.
+    """
+    by_relation: dict[str, list[Row]] = {}
+    for relation, row in target_facts:
+        by_relation.setdefault(relation, []).append(row)
+
+    atoms = sorted(source_atoms, key=lambda a: len(by_relation.get(a.relation, ())))
+    assignment: dict[str, Value] = dict(fixed or {})
+
+    def extend(index: int) -> bool:
+        if index == len(atoms):
+            return True
+        atom = atoms[index]
+        for row in by_relation.get(atom.relation, ()):
+            if len(row) != atom.arity:
+                continue
+            added: list[str] = []
+            ok = True
+            for term, value in zip(atom.terms, row):
+                if isinstance(term, Variable):
+                    bound = assignment.get(term.name, _UNSET)
+                    if bound is _UNSET:
+                        assignment[term.name] = value
+                        added.append(term.name)
+                    elif bound != value:
+                        ok = False
+                        break
+                elif term != value:
+                    ok = False
+                    break
+            if ok and extend(index + 1):
+                return True
+            for name in added:
+                del assignment[name]
+        return False
+
+    if extend(0):
+        return dict(assignment)
+    return None
+
+
+class _Unset:
+    __slots__ = ()
+
+
+_UNSET = _Unset()
+
+
+def freeze_query(query: ConjunctiveQuery) -> tuple[list[tuple[str, Row]], Row]:
+    """The canonical instance of *query* and its frozen head row.
+
+    Every variable ``x`` becomes the fresh constant ``"⟪x⟫"``
+    (mathematical angle brackets, which no user constant contains).
+    """
+    def freeze_term(term) -> Value:
+        if isinstance(term, Variable):
+            return f"⟪{term.name}⟫"
+        return term
+
+    facts = [
+        (atom.relation, tuple(freeze_term(t) for t in atom.terms))
+        for atom in query.body
+    ]
+    head = tuple(freeze_term(t) for t in query.head.terms)
+    return facts, head
+
+
+def _canonical_database(facts: Sequence[tuple[str, Row]]) -> Database:
+    schema = DatabaseSchema()
+    arities: dict[str, int] = {}
+    for relation, row in facts:
+        arities.setdefault(relation, len(row))
+    for relation, arity in arities.items():
+        schema.add(
+            RelationSchema.of(relation, [f"c{i}" for i in range(arity)])
+        )
+    database = Database(schema)
+    for relation, row in facts:
+        database.insert(relation, row)
+    return database
+
+
+def is_contained_in(
+    query: ConjunctiveQuery, other: ConjunctiveQuery
+) -> bool:
+    """Whether ``query ⊆ other`` over every database (no comparisons).
+
+    Comparison predicates make containment harder than the pure CQ
+    case; this implementation is exact for comparison-free queries and
+    *conservative* otherwise (it ignores the comparisons of *query*
+    and requires those of *other* to hold on the canonical instance,
+    so a ``True`` answer is always correct, a ``False`` answer may be
+    a false negative).
+    """
+    if query.head.arity != other.head.arity:
+        return False
+    facts, frozen_head = freeze_query(query)
+    database = _canonical_database(facts)
+    for binding in evaluate_body(database, other.body, other.comparisons):
+        if project_head_row(other.head, binding) == frozen_head:
+            return True
+    return False
+
+
+def is_equivalent_to(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
+    """Mutual containment (comparison-free exactness caveat applies)."""
+    return is_contained_in(query, other) and is_contained_in(other, query)
+
+
+def tuple_subsumed(candidate: Row, relation: Relation) -> bool:
+    """Whether *candidate* is subsumed by a row already in *relation*.
+
+    A stored row ``s`` subsumes ``candidate`` when there is a mapping
+    ``h`` of candidate's marked nulls to values (constants fixed,
+    consistent: the same null maps to the same value everywhere) with
+    ``h(candidate) = s``.  A candidate with no nulls is subsumed only
+    by itself.
+    """
+    null_positions = [
+        i for i, value in enumerate(candidate) if isinstance(value, MarkedNull)
+    ]
+    if not null_positions:
+        return tuple(candidate) in relation
+
+    # Probe with the constant positions bound; check nulls per row.
+    bindings = {
+        i: value
+        for i, value in enumerate(candidate)
+        if not isinstance(value, MarkedNull)
+    }
+    for stored in relation.lookup(bindings):
+        mapping: dict[MarkedNull, Value] = {}
+        ok = True
+        for i in null_positions:
+            null = candidate[i]
+            assert isinstance(null, MarkedNull)
+            bound = mapping.get(null, _UNSET)
+            if bound is _UNSET:
+                mapping[null] = stored[i]
+            elif bound != stored[i]:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def rows_equal_up_to_nulls(
+    left: Iterable[Row], right: Iterable[Row]
+) -> bool:
+    """Whether two row sets are isomorphic up to a renaming of nulls.
+
+    Used when comparing a distributed run against the centralised
+    ground truth: both compute the same certain facts, but mint
+    different null labels.  We search for a *bijection* between the
+    null sets that maps one row set onto the other.
+    """
+    left_rows = list(left)
+    right_rows = list(right)
+    if len(left_rows) != len(right_rows):
+        return False
+
+    mapping: dict[MarkedNull, MarkedNull] = {}
+    inverse: dict[MarkedNull, MarkedNull] = {}
+
+    def row_maps(row: Row, target: Row) -> list[tuple[MarkedNull, MarkedNull]] | None:
+        additions: list[tuple[MarkedNull, MarkedNull]] = []
+        staged: dict[MarkedNull, MarkedNull] = {}
+        staged_inv: dict[MarkedNull, MarkedNull] = {}
+        for a, b in zip(row, target):
+            a_null = isinstance(a, MarkedNull)
+            b_null = isinstance(b, MarkedNull)
+            if a_null != b_null:
+                return None
+            if not a_null:
+                if a != b:
+                    return None
+                continue
+            assert isinstance(a, MarkedNull) and isinstance(b, MarkedNull)
+            current = mapping.get(a, staged.get(a))
+            if current is not None:
+                if current != b:
+                    return None
+            else:
+                reverse = inverse.get(b, staged_inv.get(b))
+                if reverse is not None and reverse != a:
+                    return None
+                staged[a] = b
+                staged_inv[b] = a
+                additions.append((a, b))
+        return additions
+
+    used = [False] * len(right_rows)
+
+    def backtrack(index: int) -> bool:
+        if index == len(left_rows):
+            return True
+        row = left_rows[index]
+        for j, target in enumerate(right_rows):
+            if used[j] or len(target) != len(row):
+                continue
+            additions = row_maps(row, target)
+            if additions is None:
+                continue
+            used[j] = True
+            for a, b in additions:
+                mapping[a] = b
+                inverse[b] = a
+            if backtrack(index + 1):
+                return True
+            used[j] = False
+            for a, b in additions:
+                del mapping[a]
+                del inverse[b]
+        return False
+
+    return backtrack(0)

@@ -1,0 +1,111 @@
+"""A database instance: the Local Database (LDB) of one coDB node."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import UnknownRelationError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.storage import Relation
+from repro.relational.values import Row, Value
+
+
+class Database:
+    """All relation instances for one schema.
+
+    The update algorithm's bookkeeping (deltas, dedup) lives in
+    :class:`~repro.relational.storage.Relation`; this class adds the
+    per-database view: named access, bulk loads, snapshots and equality
+    up to row order (used when comparing a distributed run against the
+    centralised ground truth).
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self._relations: dict[str, Relation] = {
+            rs.name: Relation(rs) for rs in schema
+        }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name, "database") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relations(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def add_relation(self, schema: RelationSchema) -> Relation:
+        """Add a relation at runtime (dynamic schemas, answer relations)."""
+        self.schema.add(schema)
+        relation = Relation(schema)
+        self._relations[schema.name] = relation
+        return relation
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, row: Sequence[Value]) -> bool:
+        return self.relation(name).insert(row)
+
+    def insert_new(self, name: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
+        """Deduplicating bulk insert; returns the actually-new rows."""
+        return self.relation(name).insert_new(rows)
+
+    def load(self, facts: Mapping[str, Iterable[Sequence[Value]]]) -> int:
+        """Bulk-load ``{relation: rows}``; returns how many rows were new."""
+        loaded = 0
+        for name, rows in facts.items():
+            loaded += len(self.relation(name).insert_new(rows))
+        return loaded
+
+    def clear(self) -> None:
+        for relation in self._relations.values():
+            relation.clear()
+
+    # ------------------------------------------------------------------
+    # Whole-database views
+    # ------------------------------------------------------------------
+
+    def total_rows(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def snapshot(self) -> dict[str, list[Row]]:
+        """``{relation: sorted rows}`` — canonical, order-independent."""
+        return {
+            name: relation.sorted_rows()
+            for name, relation in self._relations.items()
+        }
+
+    def copy(self) -> "Database":
+        clone = Database(self.schema)
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        return clone
+
+    def same_contents(self, other: "Database") -> bool:
+        """Equality up to row order, relation by relation."""
+        if set(self._relations) != set(other._relations):
+            return False
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}={len(rel)}" for name, rel in self._relations.items()
+        )
+        return f"<Database {sizes}>"

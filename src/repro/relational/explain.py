@@ -1,0 +1,118 @@
+"""Query explanation: expose the evaluator's join-order decisions.
+
+The evaluator picks atom order greedily by estimated matches (see
+:func:`repro.relational.evaluation._choose_next_atom`).  ``explain``
+replays that choice against the current database statistics without
+executing the query, returning the planned order, the per-step
+estimates and which comparisons become checkable at each step — the
+coDB equivalent of ``EXPLAIN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import format_table
+from repro.relational.conjunctive import Atom, ConjunctiveQuery, Variable
+from repro.relational.database import Database
+
+
+@dataclass
+class PlanStep:
+    """One atom in the chosen join order."""
+
+    atom: Atom
+    #: Column positions bound (by constants or earlier steps) when this
+    #: atom is reached.
+    bound_positions: tuple[int, ...]
+    #: The evaluator's cardinality estimate for the probe.
+    estimated_matches: float
+    #: Comparisons that become fully bound after this step.
+    comparisons_checked: tuple[str, ...] = ()
+
+
+@dataclass
+class QueryPlan:
+    """The ordered plan for one query over one database."""
+
+    query: ConjunctiveQuery
+    steps: list[PlanStep] = field(default_factory=list)
+
+    def atom_order(self) -> list[str]:
+        return [step.atom.relation for step in self.steps]
+
+    def estimated_cost(self) -> float:
+        """Sum of intermediate estimates (a coarse work proxy)."""
+        return sum(step.estimated_matches for step in self.steps)
+
+    def format(self) -> str:
+        rows = []
+        for i, step in enumerate(self.steps):
+            rows.append(
+                [
+                    i,
+                    repr(step.atom),
+                    ",".join(map(str, step.bound_positions)) or "-",
+                    f"{step.estimated_matches:.1f}",
+                    "; ".join(step.comparisons_checked) or "-",
+                ]
+            )
+        return format_table(
+            ["step", "atom", "bound cols", "est. rows", "comparisons"],
+            rows,
+            title=f"plan for {self.query!r}",
+        )
+
+
+def explain(database: Database, query: ConjunctiveQuery) -> QueryPlan:
+    """The join order the evaluator would choose right now.
+
+    Mirrors the greedy policy of the execution engine: repeatedly pick
+    the remaining atom with the smallest ``estimated_matches`` given
+    the variables bound so far (assuming each chosen atom binds all of
+    its variables for subsequent estimates).
+    """
+    atoms = list(query.body)
+    remaining = list(range(len(atoms)))
+    bound_vars: set[str] = set()
+    checked: set[int] = set()
+    plan = QueryPlan(query=query)
+
+    while remaining:
+        best_index = remaining[0]
+        best_cost = float("inf")
+        best_positions: tuple[int, ...] = ()
+        for index in remaining:
+            atom = atoms[index]
+            positions = tuple(
+                i
+                for i, term in enumerate(atom.terms)
+                if not isinstance(term, Variable) or term.name in bound_vars
+            )
+            if atom.relation in database:
+                cost = database.relation(atom.relation).estimated_matches(
+                    positions
+                )
+            else:
+                cost = 0.0
+            if cost < best_cost:
+                best_cost = cost
+                best_index = index
+                best_positions = positions
+        atom = atoms[best_index]
+        bound_vars |= atom.variables()
+        newly_checked = []
+        for ci, comparison in enumerate(query.comparisons):
+            if ci not in checked and comparison.variables() <= bound_vars:
+                checked.add(ci)
+                newly_checked.append(repr(comparison))
+        plan.steps.append(
+            PlanStep(
+                atom=atom,
+                bound_positions=best_positions,
+                estimated_matches=best_cost,
+                comparisons_checked=tuple(newly_checked),
+            )
+        )
+        remaining.remove(best_index)
+    return plan

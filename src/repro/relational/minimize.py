@@ -1,0 +1,87 @@
+"""Conjunctive-query minimisation.
+
+The classic homomorphism-based optimisation (Chandra & Merlin): a CQ
+is equivalent to its *core*, obtained by repeatedly dropping body
+atoms whose removal leaves an equivalent query.  coDB evaluates rule
+bodies constantly — once per activation and once per delta batch — so
+redundant atoms cost real messages and joins; rule authors writing
+GLAV mappings by hand produce them easily (e.g. two copies of the same
+atom under different variable names).
+
+:func:`minimize_query` / :func:`minimize_mapping` return smaller but
+equivalent objects; the identity is guaranteed by construction (each
+removal is validated by a containment check in both directions —
+comparisons make the check conservative, so with comparison predicates
+only provably safe removals happen).
+"""
+
+from __future__ import annotations
+
+from repro.relational.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    GlavMapping,
+)
+from repro.relational.containment import is_contained_in
+
+
+def _try_drop(
+    query: ConjunctiveQuery, index: int
+) -> ConjunctiveQuery | None:
+    """The query without body atom *index*, if still well-formed and
+    equivalent; else ``None``."""
+    body = query.body[:index] + query.body[index + 1:]
+    if not body:
+        return None
+    try:
+        candidate = ConjunctiveQuery(query.head, body, query.comparisons)
+    except Exception:
+        return None  # dropping the atom made the query unsafe
+    # candidate has fewer atoms: candidate ⊇ query always holds for
+    # comparison-free queries; we verify both directions to stay exact.
+    if is_contained_in(query, candidate) and is_contained_in(candidate, query):
+        return candidate
+    return None
+
+
+def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """An equivalent query with a minimal body (the core).
+
+    >>> from repro.relational.parser import parse_query
+    >>> minimize_query(parse_query("q(x) <- r(x, y), r(x, z)"))
+    q(?x) <- r(?x, ?y)
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate = _try_drop(current, index)
+            if candidate is not None:
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def minimize_mapping(mapping: GlavMapping) -> GlavMapping:
+    """Minimise a GLAV mapping's body (the head is untouched).
+
+    The body is minimised as a CQ whose "head" exports the frontier
+    variables — an atom dropped from the body must preserve both the
+    satisfying bindings *of the frontier* and the comparisons' safety.
+    """
+    frontier = tuple(sorted(mapping.frontier_variables()))
+    if not frontier:
+        # No shared variables: any single satisfiable body atom keeps
+        # the boolean trigger semantics; minimise conservatively by
+        # keeping everything.
+        return mapping
+    pseudo_head = Atom.of("__frontier__", *frontier)
+    pseudo_query = ConjunctiveQuery(
+        pseudo_head, mapping.body, mapping.comparisons
+    )
+    minimised = minimize_query(pseudo_query)
+    if minimised.body == mapping.body:
+        return mapping
+    return GlavMapping(mapping.head, minimised.body, minimised.comparisons)

@@ -1,0 +1,146 @@
+"""Snapshot persistence: dump and restore databases as JSON.
+
+coDB nodes are long-lived ("during the lifetime of a network, each
+node accumulates this information", §4); a production deployment needs
+to stop and restart them.  The SQLite wrapper is durable by itself;
+this module gives the in-memory stores (and whole networks) a portable
+snapshot format:
+
+* constants are stored as JSON scalars,
+* marked nulls in the wire encoding of
+  :func:`repro.relational.values.encode_value` (``{"$null": label}``),
+* the schema rides along and is checked on restore, so a snapshot
+  cannot silently load into the wrong shape.
+
+The format is line-oriented deterministic JSON, so snapshots diff
+cleanly under version control.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro._util import stable_json
+from repro.errors import SchemaError
+from repro.relational.schema import (
+    AttributeDef,
+    DatabaseSchema,
+    RelationSchema,
+)
+from repro.relational.values import decode_row, encode_row
+from repro.relational.wrapper import Wrapper
+
+FORMAT_VERSION = 1
+
+
+def schema_to_payload(schema: DatabaseSchema) -> list[dict[str, Any]]:
+    return [
+        {
+            "name": relation.name,
+            "attributes": [
+                {"name": a.name, "type": a.type_name} for a in relation.attributes
+            ],
+            "exported": relation.exported,
+            "key": list(relation.key),
+        }
+        for relation in schema
+    ]
+
+
+def schema_from_payload(payload: list[dict[str, Any]]) -> DatabaseSchema:
+    schema = DatabaseSchema()
+    for entry in payload:
+        schema.add(
+            RelationSchema(
+                entry["name"],
+                tuple(
+                    AttributeDef(a["name"], a.get("type", "any"))
+                    for a in entry["attributes"]
+                ),
+                exported=bool(entry.get("exported", True)),
+                key=tuple(entry.get("key", ())),
+            )
+        )
+    return schema
+
+
+def dump_store(store: Wrapper) -> str:
+    """Serialise a store's schema and contents to a JSON string."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "schema": schema_to_payload(store.schema),
+        "rows": {
+            name: [encode_row(row) for row in store.rows(name)]
+            for name in store.schema.relation_names
+        },
+    }
+    return stable_json(payload)
+
+
+def load_store(store: Wrapper, text: str) -> int:
+    """Restore a snapshot into *store*; returns rows loaded.
+
+    The snapshot's schema must equal the store's (same relations,
+    attributes, flags); mismatches raise :class:`SchemaError` rather
+    than half-loading.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported snapshot format {payload.get('format')!r}"
+        )
+    snapshot_schema = schema_from_payload(payload["schema"])
+    if snapshot_schema != store.schema:
+        raise SchemaError(
+            "snapshot schema does not match the store's schema"
+        )
+    loaded = 0
+    for relation, rows in payload["rows"].items():
+        loaded += len(
+            store.insert_new(relation, [decode_row(row) for row in rows])
+        )
+    return loaded
+
+
+def dump_store_to_file(store: Wrapper, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_store(store))
+
+
+def load_store_from_file(store: Wrapper, path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        return load_store(store, handle.read())
+
+
+def dump_network(network) -> str:
+    """Serialise every node's store of a
+    :class:`~repro.core.network.CoDBNetwork` plus the rule file."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "rules": network.rule_file.to_text(),
+        "nodes": {
+            name: json.loads(dump_store(node.wrapper))
+            for name, node in network.nodes.items()
+        },
+    }
+    return stable_json(payload)
+
+
+def load_network(network, text: str) -> int:
+    """Restore node contents into an already-built network.
+
+    The network must have the same node names and schemas (build it
+    with the same code that built the dumped one); rules are *not*
+    re-installed — the driver's rule file governs.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported snapshot format {payload.get('format')!r}"
+        )
+    loaded = 0
+    for name, node_payload in payload["nodes"].items():
+        node = network.node(name)
+        loaded += load_store(node.wrapper, stable_json(node_payload))
+    return loaded

@@ -1,0 +1,181 @@
+"""The tuple store: one relation instance with hash indexes.
+
+This is the storage engine under each coDB node.  Requirements come
+straight from the update algorithm in the paper's §3:
+
+* *set semantics with fast membership* — "we first remove from T those
+  tuples which are already in R";
+* *delta inserts* — :meth:`Relation.insert_new` reports exactly which
+  tuples were new, the ``T'`` of the paper;
+* *indexed lookups* — CQ evaluation binds some columns and scans the
+  rest; per-column hash indexes make bound-column lookups O(1);
+* *deterministic iteration* — insertion order is preserved (a ``dict``
+  used as an ordered set), so distributed runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.values import Row, Value, row_sort_key
+
+
+class Relation:
+    """One relation instance: an ordered set of rows plus hash indexes.
+
+    Indexes are built lazily, the first time a lookup binds a column;
+    after that they are maintained incrementally on insert/delete.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: dict[Row, None] = {}
+        # column position -> value -> ordered set of rows
+        self._indexes: dict[int, dict[Value, dict[Row, None]]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic collection protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def rows(self) -> list[Row]:
+        """All rows, in insertion order."""
+        return list(self._rows)
+
+    def sorted_rows(self) -> list[Row]:
+        """All rows in a canonical total order (for reports and tests)."""
+        return sorted(self._rows, key=row_sort_key)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Sequence[Value]) -> bool:
+        """Insert one row; return ``True`` iff it was not present."""
+        validated = self.schema.validate_row(tuple(row))
+        if validated in self._rows:
+            return False
+        self._rows[validated] = None
+        for position, index in self._indexes.items():
+            index.setdefault(validated[position], {})[validated] = None
+        return True
+
+    def insert_new(self, rows: Iterable[Sequence[Value]]) -> list[Row]:
+        """Insert many rows; return the ones that were actually new.
+
+        This is the paper's ``T' = T \\ R`` step followed by
+        ``R := R ∪ T'``: the returned list is the delta used to
+        recompute dependent incoming links.
+        """
+        fresh: list[Row] = []
+        for row in rows:
+            validated = self.schema.validate_row(tuple(row))
+            if validated not in self._rows and validated not in set(fresh):
+                fresh.append(validated)
+        for row in fresh:
+            self._rows[row] = None
+            for position, index in self._indexes.items():
+                index.setdefault(row[position], {})[row] = None
+        return fresh
+
+    def delete(self, row: Sequence[Value]) -> bool:
+        """Delete one row; return ``True`` iff it was present."""
+        key = tuple(row)
+        if key not in self._rows:
+            return False
+        del self._rows[key]
+        for position, index in self._indexes.items():
+            bucket = index.get(key[position])
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del index[key[position]]
+        return True
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _index_for(self, position: int) -> dict[Value, dict[Row, None]]:
+        """The hash index on *position*, building it on first use."""
+        if position < 0 or position >= self.schema.arity:
+            raise SchemaError(
+                f"relation {self.schema.name!r} has no column {position}"
+            )
+        index = self._indexes.get(position)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(row[position], {})[row] = None
+            self._indexes[position] = index
+        return index
+
+    def lookup(self, bindings: dict[int, Value]) -> Iterator[Row]:
+        """Rows whose column *position* equals *value* for every binding.
+
+        With no bindings this is a full scan.  With bindings, the most
+        selective index probe is used and remaining bindings are
+        checked per row.
+        """
+        if not bindings:
+            yield from self._rows
+            return
+        # Probe the index whose bucket is smallest.
+        best_position = None
+        best_bucket: dict[Row, None] | None = None
+        for position, value in bindings.items():
+            bucket = self._index_for(position).get(value)
+            if bucket is None:
+                return  # some bound value has no matches at all
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_position, best_bucket = position, bucket
+        assert best_bucket is not None
+        rest = [(p, v) for p, v in bindings.items() if p != best_position]
+        for row in best_bucket:
+            if all(row[p] == v for p, v in rest):
+                yield row
+
+    def count(self, bindings: dict[int, Value] | None = None) -> int:
+        """Number of rows matching *bindings* (all rows when ``None``)."""
+        if not bindings:
+            return len(self._rows)
+        return sum(1 for _ in self.lookup(bindings))
+
+    def estimated_matches(self, bound_positions: Iterable[int]) -> float:
+        """Cheap cardinality estimate for join ordering.
+
+        Assumes independent uniform columns: ``|R| / prod(ndv(col))``
+        over the bound columns, where ``ndv`` is the number of distinct
+        values currently indexed.  Good enough to order joins sensibly.
+        """
+        estimate = float(len(self._rows))
+        for position in bound_positions:
+            distinct = len(self._index_for(position))
+            if distinct > 0:
+                estimate /= distinct
+        return estimate
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Relation":
+        """An independent copy (indexes rebuilt lazily)."""
+        clone = Relation(self.schema)
+        clone._rows = dict(self._rows)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Relation {self.schema.name} rows={len(self._rows)}>"

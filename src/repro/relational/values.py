@@ -1,0 +1,160 @@
+"""Value model: constants and marked nulls.
+
+A coDB tuple holds either *constants* — plain Python ``int``, ``float``,
+``str`` or ``bool`` — or :class:`MarkedNull` values.  Marked nulls are
+the "fresh new marked null values" the paper's update algorithm creates
+when the head of a coordination rule contains existential variables
+(§3): they stand for *some* unknown value, and the same null may appear
+in several tuples, recording that the unknown values coincide.
+
+Marked nulls are labelled and compare by label, so the duplicate
+elimination in the update algorithm ("we first remove from T those
+tuples which are already in R") works with ordinary tuple equality,
+exactly as in the paper.  Semantically richer comparisons (does one
+tuple *subsume* another up to a renaming of nulls?) live in
+:mod:`repro.relational.containment`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+#: The Python types admitted as constants in tuples.
+CONSTANT_TYPES = (int, float, str, bool)
+
+#: JSON key marking an encoded null.  Constants are never dicts, so a
+#: one-entry dict with this key is unambiguous on the wire.
+NULL_KEY = "$null"
+
+
+class MarkedNull:
+    """A labelled (marked) null value.
+
+    Parameters
+    ----------
+    label:
+        Globally unique label, e.g. ``"N12@TN"``.  Two occurrences of
+        the same label denote the same unknown value; distinct labels
+        denote possibly different values.
+
+    Notes
+    -----
+    Instances are immutable, hashable, and ordered after all constants
+    (see :func:`value_sort_key`), so relations containing nulls sort
+    deterministically.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        if not label:
+            raise ValueError("a marked null needs a non-empty label")
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("MarkedNull is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MarkedNull) and other.label == self.label
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("MarkedNull", self.label))
+
+    def __repr__(self) -> str:
+        return f"#{self.label}"
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, MarkedNull):
+            return self.label < other.label
+        return NotImplemented
+
+
+#: A value stored in a tuple.
+Value = Union[int, float, str, bool, MarkedNull]
+
+#: A database tuple.
+Row = tuple  # tuple[Value, ...]
+
+
+def is_null(value: object) -> bool:
+    """Return ``True`` when *value* is a marked null."""
+    return isinstance(value, MarkedNull)
+
+
+def is_constant(value: object) -> bool:
+    """Return ``True`` when *value* is an admissible constant."""
+    return isinstance(value, CONSTANT_TYPES) and not isinstance(value, MarkedNull)
+
+
+def check_value(value: object) -> Value:
+    """Validate that *value* is storable; return it unchanged.
+
+    Raises
+    ------
+    TypeError
+        If the value is neither a constant of an admitted type nor a
+        marked null.
+    """
+    if is_constant(value) or is_null(value):
+        return value  # type: ignore[return-value]
+    raise TypeError(
+        f"{value!r} of type {type(value).__name__} is not a valid coDB "
+        "value (expected int, float, str, bool or MarkedNull)"
+    )
+
+
+def value_sort_key(value: Value) -> tuple:
+    """A total order over mixed-type values.
+
+    Python refuses to compare, say, ``3 < "a"``; benchmark reports and
+    deterministic iteration need *some* total order.  We order by a
+    type rank first (bools, numbers, strings, nulls) and within rank by
+    the natural order.  Nulls sort last, by label.
+    """
+    if isinstance(value, MarkedNull):
+        return (3, value.label)
+    if isinstance(value, bool):
+        return (0, value)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def row_sort_key(row: Row) -> tuple:
+    """Total order over rows, componentwise by :func:`value_sort_key`."""
+    return tuple(value_sort_key(v) for v in row)
+
+
+def encode_value(value: Value) -> Any:
+    """Encode a value for a JSON message payload.
+
+    Constants map to themselves; a marked null maps to
+    ``{"$null": label}``, a shape no user constant can collide with
+    (dicts are not valid constants).
+    """
+    if isinstance(value, MarkedNull):
+        return {NULL_KEY: value.label}
+    return value
+
+
+def decode_value(payload: Any) -> Value:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(payload, dict):
+        label = payload.get(NULL_KEY)
+        if label is None:
+            raise ValueError(f"malformed encoded value: {payload!r}")
+        return MarkedNull(label)
+    return check_value(payload)
+
+
+def encode_row(row: Row) -> list:
+    """Encode a row of values for a JSON message payload."""
+    return [encode_value(v) for v in row]
+
+
+def decode_row(payload: list) -> Row:
+    """Inverse of :func:`encode_row`."""
+    return tuple(decode_value(v) for v in payload)

@@ -1,0 +1,437 @@
+"""The storage Wrapper: coDB's adapter between the node and its LDB.
+
+From the paper's §2: "Wrapper manages connections to LDB and executes
+input database manipulation operations.  This is a module which is
+adjusted depending on the underlying database.  For instance, when LDB
+does not support nested queries, then this is the responsibility of
+Wrapper to provide this support. ... The LDB rectangle ... has dashed
+border to mean that local database may be absent. ... In this
+situation a given node acts as a mediator ... and all required
+database operations (as join and project) are executed in Wrapper."
+
+Three wrappers:
+
+* :class:`MemoryStore` — the in-memory engine of this package is the
+  LDB; everything runs natively.
+* :class:`SqliteStore` — a :mod:`sqlite3` file (or ``:memory:``) is
+  the LDB.  SQLite knows nothing of marked nulls and our comparison
+  semantics, so the store keeps each value in an *encoded* TEXT column
+  (type-tagged), lets SQLite do storage, dedup and indexed equality
+  probes, and runs joins/comparisons in the Wrapper — exactly the
+  compensation role the paper assigns it.
+* :class:`MediatorStore` — no LDB.  Data received during a global
+  update is held in transient memory so the node can evaluate its
+  incoming links (join/project in the Wrapper) and forward results;
+  by default the buffer is dropped when the update completes.
+
+All three expose the same narrow interface the node layer needs, and
+all three plug into the generic CQ evaluator (which only requires
+``relation_names`` / ``relation(name)`` with ``lookup`` /
+``estimated_matches``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import UnknownRelationError, WrapperError
+from repro.relational.conjunctive import ConjunctiveQuery, GlavMapping
+from repro.relational.database import Database
+from repro.relational.evaluation import (
+    Binding,
+    evaluate_mapping_bindings,
+    evaluate_query,
+    evaluate_query_delta,
+)
+from repro.relational.schema import DatabaseSchema
+from repro.relational.storage import Relation
+from repro.relational.values import MarkedNull, Row, Value, row_sort_key
+
+
+class Wrapper:
+    """Common interface of every storage wrapper.
+
+    Subclasses provide ``_view()`` — an object with ``relation_names``
+    and ``relation(name)`` usable by the CQ evaluator — plus the
+    mutation primitives.  The shared methods below are the operations
+    the node layer (DBM) performs.
+    """
+
+    #: Whether data survives past the end of a global update.
+    persistent = True
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+
+    # -- primitives subclasses implement --------------------------------
+
+    def _view(self):
+        raise NotImplementedError
+
+    def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
+        """Deduplicating insert; return the rows that were actually new."""
+        raise NotImplementedError
+
+    def rows(self, relation: str) -> list[Row]:
+        raise NotImplementedError
+
+    def count(self, relation: str) -> int:
+        raise NotImplementedError
+
+    def delete_rows(self, relation: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Delete *rows* (exact matches); returns how many were present.
+
+        Used by the query-time answerer's non-persistent mode, which
+        rolls back the tuples a network query imported.
+        """
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (connections)."""
+
+    # -- update life-cycle hooks (mediators care) ------------------------
+
+    def on_update_started(self) -> None:
+        """Called when the node joins a global update."""
+
+    def on_update_finished(self) -> None:
+        """Called when the node closes for a global update."""
+
+    # -- shared operations ------------------------------------------------
+
+    def evaluate_query(self, query: ConjunctiveQuery) -> list[Row]:
+        """All distinct answers to *query* over the local data."""
+        return evaluate_query(self._view(), query)
+
+    def evaluate_query_delta(
+        self, query: ConjunctiveQuery, changed_relation: str, delta_rows: Sequence[Row]
+    ) -> list[Row]:
+        return evaluate_query_delta(self._view(), query, changed_relation, delta_rows)
+
+    def evaluate_mapping_bindings(
+        self,
+        mapping: GlavMapping,
+        *,
+        changed_relation: str | None = None,
+        delta_rows: Sequence[Row] | None = None,
+    ) -> list[Binding]:
+        """Frontier bindings of *mapping*'s body over the local data."""
+        return evaluate_mapping_bindings(
+            self._view(),
+            mapping,
+            changed_relation=changed_relation,
+            delta_rows=delta_rows,
+        )
+
+    def total_rows(self) -> int:
+        return sum(self.count(name) for name in self.schema.relation_names)
+
+    def snapshot(self) -> dict[str, list[Row]]:
+        """``{relation: sorted rows}``, canonical across back ends."""
+        return {
+            name: sorted(self.rows(name), key=row_sort_key)
+            for name in self.schema.relation_names
+        }
+
+    def load(self, facts: dict[str, list[Sequence[Value]]]) -> int:
+        loaded = 0
+        for relation, rows in facts.items():
+            loaded += len(self.insert_new(relation, rows))
+        return loaded
+
+    # -- local integrity (§1's inconsistency handling) --------------------
+
+    def has_key_constraints(self) -> bool:
+        return any(relation.key for relation in self.schema)
+
+    def key_violations(self) -> list[tuple[str, Row, list[Row]]]:
+        """Key-constraint violations in the local database.
+
+        Returns ``(relation, key_value, conflicting_rows)`` triples —
+        groups of two or more distinct rows agreeing on a declared key.
+        coDB *tolerates* a locally inconsistent database (inserts are
+        never rejected); the update engine consults this to keep the
+        inconsistency from propagating.
+        """
+        violations: list[tuple[str, Row, list[Row]]] = []
+        for relation in self.schema:
+            positions = relation.key_positions()
+            if not positions:
+                continue
+            groups: dict[Row, list[Row]] = {}
+            for row in self.rows(relation.name):
+                key_value = tuple(row[i] for i in positions)
+                groups.setdefault(key_value, []).append(row)
+            for key_value, rows in groups.items():
+                if len(rows) > 1:
+                    violations.append((relation.name, key_value, rows))
+        return violations
+
+    def is_consistent(self) -> bool:
+        """Cheap check: trivially true when no relation declares a key."""
+        if not self.has_key_constraints():
+            return True
+        return not self.key_violations()
+
+
+class MemoryStore(Wrapper):
+    """Wrapper over the package's own in-memory engine."""
+
+    def __init__(self, schema: DatabaseSchema, database: Database | None = None) -> None:
+        super().__init__(schema)
+        self.database = database if database is not None else Database(schema)
+
+    def _view(self) -> Database:
+        return self.database
+
+    def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
+        return self.database.insert_new(relation, rows)
+
+    def rows(self, relation: str) -> list[Row]:
+        return self.database.relation(relation).rows()
+
+    def count(self, relation: str) -> int:
+        return len(self.database.relation(relation))
+
+    def delete_rows(self, relation: str, rows: Iterable[Sequence[Value]]) -> int:
+        target = self.database.relation(relation)
+        return sum(1 for row in rows if target.delete(row))
+
+    def clear(self) -> None:
+        self.database.clear()
+
+
+class MediatorStore(MemoryStore):
+    """Wrapper for a node without an LDB (§2's dashed rectangle).
+
+    The DBS is declared (it must be, "in order to allow a node to
+    participate on the network") and a transient in-memory buffer
+    holds pass-through data during an update so dependent links can be
+    evaluated; the buffer is dropped when the update finishes unless
+    ``retain`` is set.
+    """
+
+    persistent = False
+
+    def __init__(self, schema: DatabaseSchema, *, retain: bool = False) -> None:
+        super().__init__(schema)
+        self.retain = retain
+
+    def on_update_started(self) -> None:
+        if not self.retain:
+            self.database.clear()
+
+    def on_update_finished(self) -> None:
+        if not self.retain:
+            self.database.clear()
+
+
+# ---------------------------------------------------------------------------
+# SQLite-backed store
+# ---------------------------------------------------------------------------
+
+_TAG_INT = "i"
+_TAG_FLOAT = "f"
+_TAG_STR = "s"
+_TAG_BOOL = "b"
+_TAG_NULL = "n"
+
+
+def encode_sqlite_value(value: Value) -> str:
+    """Encode a value into a type-tagged TEXT cell.
+
+    The encoding is injective across types, so SQLite equality (and
+    ``INSERT OR IGNORE`` dedup) coincides with coDB value equality.
+    """
+    if isinstance(value, MarkedNull):
+        return f"{_TAG_NULL}:{value.label}"
+    if isinstance(value, bool):
+        return f"{_TAG_BOOL}:{int(value)}"
+    if isinstance(value, int):
+        return f"{_TAG_INT}:{value}"
+    if isinstance(value, float):
+        return f"{_TAG_FLOAT}:{value!r}"
+    if isinstance(value, str):
+        return f"{_TAG_STR}:{value}"
+    raise WrapperError(f"cannot encode {value!r} for sqlite storage")
+
+
+def decode_sqlite_value(cell: str) -> Value:
+    tag, _, payload = cell.partition(":")
+    if tag == _TAG_NULL:
+        return MarkedNull(payload)
+    if tag == _TAG_BOOL:
+        return payload == "1"
+    if tag == _TAG_INT:
+        return int(payload)
+    if tag == _TAG_FLOAT:
+        return float(payload)
+    if tag == _TAG_STR:
+        return payload
+    raise WrapperError(f"cannot decode sqlite cell {cell!r}")
+
+
+class _SqliteRelation:
+    """Adapter giving one SQLite table the evaluator's relation protocol."""
+
+    def __init__(self, store: "SqliteStore", name: str) -> None:
+        self._store = store
+        self.name = name
+        self.schema = store.schema[name]
+
+    def _columns(self) -> list[str]:
+        return [f"c{i}" for i in range(self.schema.arity)]
+
+    def __iter__(self) -> Iterator[Row]:
+        cursor = self._store._connection.execute(
+            f'SELECT * FROM "{self.name}" ORDER BY rowid'
+        )
+        for cells in cursor:
+            yield tuple(decode_sqlite_value(cell) for cell in cells)
+
+    def __len__(self) -> int:
+        (count,) = self._store._connection.execute(
+            f'SELECT COUNT(*) FROM "{self.name}"'
+        ).fetchone()
+        return count
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        where = " AND ".join(f"c{i} = ?" for i in range(len(row)))
+        cursor = self._store._connection.execute(
+            f'SELECT 1 FROM "{self.name}" WHERE {where} LIMIT 1',
+            [encode_sqlite_value(v) for v in row],
+        )
+        return cursor.fetchone() is not None
+
+    def rows(self) -> list[Row]:
+        return list(self)
+
+    def lookup(self, bindings: dict[int, Value]) -> Iterator[Row]:
+        if not bindings:
+            yield from self
+            return
+        positions = sorted(bindings)
+        where = " AND ".join(f"c{i} = ?" for i in positions)
+        params = [encode_sqlite_value(bindings[i]) for i in positions]
+        cursor = self._store._connection.execute(
+            f'SELECT * FROM "{self.name}" WHERE {where} ORDER BY rowid', params
+        )
+        for cells in cursor:
+            yield tuple(decode_sqlite_value(cell) for cell in cells)
+
+    def estimated_matches(self, bound_positions: Iterable[int]) -> float:
+        estimate = float(len(self))
+        for position in bound_positions:
+            (distinct,) = self._store._connection.execute(
+                f'SELECT COUNT(DISTINCT c{position}) FROM "{self.name}"'
+            ).fetchone()
+            if distinct:
+                estimate /= distinct
+        return estimate
+
+
+class _SqliteView:
+    """Database-protocol facade over a :class:`SqliteStore`."""
+
+    def __init__(self, store: "SqliteStore") -> None:
+        self._store = store
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return self._store.schema.relation_names
+
+    def relation(self, name: str) -> _SqliteRelation:
+        if name not in self._store.schema:
+            raise UnknownRelationError(name, "sqlite store")
+        return _SqliteRelation(self._store, name)
+
+
+class SqliteStore(Wrapper):
+    """Wrapper whose LDB is a :mod:`sqlite3` database.
+
+    Parameters
+    ----------
+    schema:
+        The node's schema; one table per relation is created (if
+        missing) with type-tagged TEXT columns and a uniqueness
+        constraint implementing set semantics.
+    path:
+        SQLite path, default ``":memory:"``.
+    """
+
+    def __init__(self, schema: DatabaseSchema, path: str = ":memory:") -> None:
+        super().__init__(schema)
+        self._connection = sqlite3.connect(path)
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        for relation in self.schema:
+            columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(relation.arity))
+            unique = ", ".join(f"c{i}" for i in range(relation.arity))
+            self._connection.execute(
+                f'CREATE TABLE IF NOT EXISTS "{relation.name}" '
+                f"({columns}, UNIQUE ({unique}))"
+            )
+            for i in range(relation.arity):
+                self._connection.execute(
+                    f'CREATE INDEX IF NOT EXISTS "idx_{relation.name}_{i}" '
+                    f'ON "{relation.name}" (c{i})'
+                )
+        self._connection.commit()
+
+    def _view(self) -> _SqliteView:
+        return _SqliteView(self)
+
+    def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
+        schema = self.schema[relation]
+        fresh: list[Row] = []
+        cursor = self._connection.cursor()
+        for row in rows:
+            validated = schema.validate_row(tuple(row))
+            encoded = [encode_sqlite_value(v) for v in validated]
+            placeholders = ", ".join("?" for _ in encoded)
+            cursor.execute(
+                f'INSERT OR IGNORE INTO "{relation}" VALUES ({placeholders})',
+                encoded,
+            )
+            if cursor.rowcount > 0:
+                fresh.append(validated)
+        self._connection.commit()
+        return fresh
+
+    def rows(self, relation: str) -> list[Row]:
+        if relation not in self.schema:
+            raise UnknownRelationError(relation, "sqlite store")
+        return list(_SqliteRelation(self, relation))
+
+    def count(self, relation: str) -> int:
+        if relation not in self.schema:
+            raise UnknownRelationError(relation, "sqlite store")
+        return len(_SqliteRelation(self, relation))
+
+    def delete_rows(self, relation: str, rows: Iterable[Sequence[Value]]) -> int:
+        if relation not in self.schema:
+            raise UnknownRelationError(relation, "sqlite store")
+        deleted = 0
+        cursor = self._connection.cursor()
+        for row in rows:
+            where = " AND ".join(f"c{i} = ?" for i in range(len(row)))
+            cursor.execute(
+                f'DELETE FROM "{relation}" WHERE {where}',
+                [encode_sqlite_value(v) for v in row],
+            )
+            deleted += cursor.rowcount
+        self._connection.commit()
+        return deleted
+
+    def clear(self) -> None:
+        for relation in self.schema:
+            self._connection.execute(f'DELETE FROM "{relation.name}"')
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()

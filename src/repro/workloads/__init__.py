@@ -1,0 +1,48 @@
+"""Workload generation for the demo's experiments.
+
+§4: "In the demo we will measure the performance of various networks
+arranged in different topologies: we need to start-up all the nodes,
+establish coordination rules between pairs of nodes, run a set of
+experiments and, finally, collect statistical information."
+
+* :mod:`topologies` — blueprints for the standard shapes (chain, ring,
+  star, broadcast, tree, grid, random) with one relation per node and
+  copy-style rules along the edges;
+* :mod:`datagen` — seeded tuple generators with controllable overlap
+  (overlap drives dedup rates, which drive message volumes);
+* :mod:`scenarios` — hand-written heterogeneous-schema scenarios,
+  including the Trentino registry scenario used by the examples.
+"""
+
+from repro.workloads.topologies import (
+    NetworkBlueprint,
+    NodeSpec,
+    broadcast_star,
+    chain,
+    complete,
+    grid,
+    random_graph,
+    ring,
+    star,
+    tree,
+    TOPOLOGY_BUILDERS,
+)
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.scenarios import trentino_scenario, supply_chain_scenario
+
+__all__ = [
+    "NetworkBlueprint",
+    "NodeSpec",
+    "chain",
+    "ring",
+    "star",
+    "broadcast_star",
+    "tree",
+    "grid",
+    "random_graph",
+    "complete",
+    "TOPOLOGY_BUILDERS",
+    "DataGenerator",
+    "trentino_scenario",
+    "supply_chain_scenario",
+]

@@ -1,0 +1,108 @@
+"""Seeded synthetic data generation.
+
+Every generator draws from one ``random.Random(seed)``, so a workload
+is a pure function of its parameters — the property that makes the
+benchmark suite reproducible run to run.
+
+The central knob is *overlap*: how much of one node's data coincides
+with its neighbours'.  Overlap controls how much the update
+algorithm's duplicate elimination ("remove from T those tuples which
+are already in R") actually removes, which in turn controls message
+counts and volumes — several experiments sweep it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.relational.values import Row
+
+_FIRST_NAMES = (
+    "anna", "bruno", "carla", "dario", "elena", "fabio", "giulia", "hugo",
+    "irene", "jacopo", "katia", "luca", "marta", "nicola", "olga", "paolo",
+    "rita", "sergio", "teresa", "ugo", "viola", "walter",
+)
+
+_CITIES = (
+    "Trento", "Bolzano", "Rovereto", "Merano", "Bressanone", "Pergine",
+    "Arco", "Riva", "Levico", "Cles",
+)
+
+
+class DataGenerator:
+    """Deterministic tuple factory for one workload."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Integer item data (the topology benchmarks)
+    # ------------------------------------------------------------------
+
+    def items_for_node(
+        self,
+        node_index: int,
+        count: int,
+        *,
+        overlap: float = 0.0,
+        domain: int = 1_000_000,
+    ) -> list[Row]:
+        """``count`` distinct ``(key, value)`` rows for one node.
+
+        A fraction *overlap* of every node's rows comes from one shared,
+        seed-determined pool (identical rows at every node — the update
+        algorithm's dedup eliminates them in flight); the rest is drawn
+        from a per-node private stripe of the key domain, so those
+        imports are always new.
+        """
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {overlap}")
+        shared_count = int(round(count * overlap))
+        shared = self.shared_pool(shared_count, domain=domain)
+        rng = random.Random(f"{self.seed}/{node_index}/items")
+        base = (node_index + 1) * domain
+        keys = rng.sample(range(base, base + domain), count - shared_count)
+        return shared + [(key, rng.randrange(1_000)) for key in keys]
+
+    def shared_pool(self, count: int, *, domain: int = 1_000_000) -> list[Row]:
+        """A common pool of rows (for fully-overlapping workloads)."""
+        rng = random.Random(f"{self.seed}/pool")
+        keys = rng.sample(range(domain), count)
+        return [(key, rng.randrange(1_000)) for key in keys]
+
+    # ------------------------------------------------------------------
+    # People data (the scenario examples)
+    # ------------------------------------------------------------------
+
+    def people(self, count: int) -> list[Row]:
+        """``(name, city)`` rows; names get numeric suffixes when the
+        pool runs out, cities recycle the Trentino list."""
+        rng = random.Random(f"{self.seed}/people")
+        rows: list[Row] = []
+        for i in range(count):
+            base = _FIRST_NAMES[i % len(_FIRST_NAMES)]
+            name = base if i < len(_FIRST_NAMES) else f"{base}{i}"
+            rows.append((name, rng.choice(_CITIES)))
+        return rows
+
+    def measurements(
+        self, count: int, *, sensors: int = 10
+    ) -> list[Row]:
+        """``(sensor, tick, reading)`` rows for streaming-ish workloads."""
+        rng = random.Random(f"{self.seed}/measurements")
+        return [
+            (rng.randrange(sensors), tick, rng.randrange(10_000))
+            for tick in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def ints(self, count: int, *, upper: int = 1_000_000) -> Iterator[int]:
+        rng = random.Random(f"{self.seed}/ints")
+        for _ in range(count):
+            yield rng.randrange(upper)

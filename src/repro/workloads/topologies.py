@@ -1,0 +1,271 @@
+"""Topology blueprints: "various networks arranged in different
+topologies" (§4).
+
+A :class:`NetworkBlueprint` is a declarative description — node specs,
+rule texts, a suggested update origin — that :meth:`NetworkBlueprint.build`
+turns into a live :class:`~repro.core.network.CoDBNetwork` with seeded
+data.  Every builder uses one relation ``item(k: int, v: int)`` per
+node and copy rules along the edges, so topology is the *only*
+variable across the family (the demo's experimental design).
+
+Edge direction convention: an edge ``A ← B`` means *A imports from B*
+(the rule's target is A).  The suggested origin is the node where a
+global update pulls the most data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.core.network import CoDBNetwork
+from repro.core.node import NodeConfig
+from repro.p2p.inproc import LatencyModel
+from repro.p2p.transport import Transport
+from repro.workloads.datagen import DataGenerator
+
+ITEM_SCHEMA = "item(k: int, v: int)"
+
+
+@dataclass
+class NodeSpec:
+    """One node in a blueprint."""
+
+    name: str
+    schema_text: str = ITEM_SCHEMA
+
+
+@dataclass
+class NetworkBlueprint:
+    """A declarative network: nodes + rules + origin."""
+
+    name: str
+    nodes: list[NodeSpec]
+    rule_texts: list[str]
+    origin: str
+    description: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.rule_texts)
+
+    def build(
+        self,
+        *,
+        seed: int = 0,
+        tuples_per_node: int = 50,
+        overlap: float = 0.0,
+        config: NodeConfig | None = None,
+        transport: Transport | None = None,
+        latency: LatencyModel | None = None,
+        with_superpeer: bool = True,
+    ) -> CoDBNetwork:
+        """Instantiate the blueprint as a live network with seeded data."""
+        network = CoDBNetwork(
+            seed=seed,
+            transport=transport,
+            latency=latency,
+            config=config,
+            with_superpeer=with_superpeer,
+        )
+        generator = DataGenerator(seed)
+        for index, spec in enumerate(self.nodes):
+            network.add_node(spec.name, spec.schema_text)
+            if tuples_per_node > 0:
+                rows = generator.items_for_node(
+                    index, tuples_per_node, overlap=overlap
+                )
+                network.node(spec.name).load_facts({"item": rows})
+        network.add_rules(self.rule_texts)
+        network.start()
+        return network
+
+
+def _copy_rule(target: str, source: str) -> str:
+    return f"{target}:item(k, v) <- {source}:item(k, v)"
+
+
+def _nodes(count: int, prefix: str = "N") -> list[NodeSpec]:
+    return [NodeSpec(f"{prefix}{i}") for i in range(count)]
+
+
+def chain(size: int) -> NetworkBlueprint:
+    """``N0 ← N1 ← ... ← N{size-1}``: data flows down to N0."""
+    if size < 1:
+        raise ValueError("a chain needs at least one node")
+    rules = [_copy_rule(f"N{i}", f"N{i + 1}") for i in range(size - 1)]
+    return NetworkBlueprint(
+        name=f"chain-{size}",
+        nodes=_nodes(size),
+        rule_texts=rules,
+        origin="N0",
+        description="linear chain; the update origin sits at the sink",
+    )
+
+
+def ring(size: int) -> NetworkBlueprint:
+    """A chain with the cycle closed: the canonical cyclic rule set."""
+    if size < 2:
+        raise ValueError("a ring needs at least two nodes")
+    rules = [_copy_rule(f"N{i}", f"N{(i + 1) % size}") for i in range(size)]
+    return NetworkBlueprint(
+        name=f"ring-{size}",
+        nodes=_nodes(size),
+        rule_texts=rules,
+        origin="N0",
+        description="cyclic chain; needs the fix-point machinery",
+    )
+
+
+def star(spokes: int) -> NetworkBlueprint:
+    """A hub importing from every spoke (fan-in)."""
+    if spokes < 1:
+        raise ValueError("a star needs at least one spoke")
+    nodes = [NodeSpec("HUB")] + _nodes(spokes, "S")
+    rules = [_copy_rule("HUB", f"S{i}") for i in range(spokes)]
+    return NetworkBlueprint(
+        name=f"star-{spokes}",
+        nodes=nodes,
+        rule_texts=rules,
+        origin="HUB",
+        description="fan-in star; one round of parallel imports",
+    )
+
+
+def broadcast_star(spokes: int) -> NetworkBlueprint:
+    """Every spoke importing from the hub (fan-out)."""
+    if spokes < 1:
+        raise ValueError("a star needs at least one spoke")
+    nodes = [NodeSpec("HUB")] + _nodes(spokes, "S")
+    rules = [_copy_rule(f"S{i}", "HUB") for i in range(spokes)]
+    return NetworkBlueprint(
+        name=f"broadcast-{spokes}",
+        nodes=nodes,
+        rule_texts=rules,
+        origin="S0",
+        description="fan-out star; the origin pulls through the hub",
+    )
+
+
+def tree(branching: int, depth: int) -> NetworkBlueprint:
+    """A complete tree; every parent imports from its children.
+
+    The root is node ``N0``; the update origin.  ``depth`` counts
+    edges on the root-to-leaf path.
+    """
+    if branching < 1 or depth < 0:
+        raise ValueError("need branching >= 1 and depth >= 0")
+    names = ["N0"]
+    rules: list[str] = []
+    frontier = ["N0"]
+    counter = 1
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = f"N{counter}"
+                counter += 1
+                names.append(child)
+                rules.append(_copy_rule(parent, child))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return NetworkBlueprint(
+        name=f"tree-{branching}x{depth}",
+        nodes=[NodeSpec(n) for n in names],
+        rule_texts=rules,
+        origin="N0",
+        description="complete tree, parents import from children",
+    )
+
+
+def grid(rows: int, cols: int) -> NetworkBlueprint:
+    """A rows×cols grid; each cell imports from its right and lower
+    neighbours, so everything flows toward cell (0, 0)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    def name(r: int, c: int) -> str:
+        return f"G{r}_{c}"
+
+    nodes = [NodeSpec(name(r, c)) for r in range(rows) for c in range(cols)]
+    rules = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                rules.append(_copy_rule(name(r, c), name(r, c + 1)))
+            if r + 1 < rows:
+                rules.append(_copy_rule(name(r, c), name(r + 1, c)))
+    return NetworkBlueprint(
+        name=f"grid-{rows}x{cols}",
+        nodes=nodes,
+        rule_texts=rules,
+        origin=name(0, 0),
+        description="2D grid; many redundant paths exercise dedup",
+    )
+
+
+def complete(size: int) -> NetworkBlueprint:
+    """Every node imports from every other node (dense, cyclic)."""
+    if size < 2:
+        raise ValueError("complete graph needs at least two nodes")
+    rules = [
+        _copy_rule(f"N{i}", f"N{j}")
+        for i in range(size)
+        for j in range(size)
+        if i != j
+    ]
+    return NetworkBlueprint(
+        name=f"complete-{size}",
+        nodes=_nodes(size),
+        rule_texts=rules,
+        origin="N0",
+        description="complete digraph; the densest cyclic case",
+    )
+
+
+def random_graph(size: int, probability: float, seed: int = 0) -> NetworkBlueprint:
+    """A connected random digraph.
+
+    A random spanning tree guarantees every node can reach the origin
+    (so the whole network participates); extra edges appear i.i.d.
+    with *probability*.  Cycles are allowed — that is the point.
+    """
+    if size < 1:
+        raise ValueError("need at least one node")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    for child in range(1, size):
+        parent = rng.randrange(child)
+        edges.add((parent, child))  # parent imports from child
+    for i in range(size):
+        for j in range(size):
+            if i != j and rng.random() < probability:
+                edges.add((i, j))
+    rules = [_copy_rule(f"N{i}", f"N{j}") for i, j in sorted(edges)]
+    return NetworkBlueprint(
+        name=f"random-{size}-p{probability}",
+        nodes=_nodes(size),
+        rule_texts=rules,
+        origin="N0",
+        description=f"random connected digraph, edge probability {probability}",
+    )
+
+
+#: Name -> builder for the standard size-parameterised family, used by
+#: the topology-sweep benchmarks (E1).
+TOPOLOGY_BUILDERS: dict[str, Callable[[int], NetworkBlueprint]] = {
+    "chain": chain,
+    "ring": ring,
+    "star": lambda n: star(max(1, n - 1)),
+    "broadcast": lambda n: broadcast_star(max(1, n - 1)),
+    "tree": lambda n: tree(2, max(1, (n - 1).bit_length() - 1)),
+    "grid": lambda n: grid(max(1, round(n ** 0.5)), max(1, round(n ** 0.5))),
+    "random": lambda n: random_graph(n, 0.15, seed=n),
+    "complete": complete,
+}

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CoDBNetwork, Database, parse_facts, parse_schema
+
+
+@pytest.fixture
+def person_schema():
+    return parse_schema("person(name: str, age: int)")
+
+
+@pytest.fixture
+def person_db(person_schema):
+    db = Database(person_schema)
+    db.load(
+        parse_facts(
+            "person('anna', 24). person('bob', 17). person('carl', 30). "
+            "person('dina', 24)"
+        )
+    )
+    return db
+
+
+@pytest.fixture
+def graph_db():
+    """A small directed graph for join-heavy queries."""
+    schema = parse_schema("edge(src: int, dst: int)\nnode(id: int)")
+    db = Database(schema)
+    edges = [(1, 2), (2, 3), (3, 4), (4, 1), (2, 4), (1, 3)]
+    db.load({"edge": edges, "node": [(i,) for i in range(1, 5)]})
+    return db
+
+
+@pytest.fixture
+def two_node_network():
+    """BZ publishes people; TN imports the Trento residents."""
+    net = CoDBNetwork(seed=42)
+    net.add_node(
+        "BZ",
+        "person(name: str, city: str)",
+        facts=(
+            "person('anna', 'Trento'). person('bob', 'Bolzano'). "
+            "person('carla', 'Trento')"
+        ),
+    )
+    net.add_node("TN", "resident(name: str)")
+    net.add_rule("TN:resident(n) <- BZ:person(n, c), c = 'Trento'")
+    net.start()
+    return net
+
+
+@pytest.fixture
+def chain3_network():
+    """C --r0--> B --r1--> A with an existential at B."""
+    net = CoDBNetwork(seed=7)
+    net.add_node("C", "raw(x: int)", facts="raw(1). raw(2). raw(3)")
+    net.add_node("B", "mid(x: int, tag)")
+    net.add_node("A", "top(x: int)")
+    net.add_rule("B:mid(x, t) <- C:raw(x)")
+    net.add_rule("A:top(x) <- B:mid(x, t)")
+    net.start()
+    return net

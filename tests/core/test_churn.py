@@ -1,0 +1,103 @@
+"""Node churn during computations (§1: the network "may dynamically
+change"; §1 again: the algorithm terminates "even if nodes and
+coordination rules appear or disappear during the computation")."""
+
+import pytest
+
+from repro import CoDBNetwork
+from repro.core.links import CLOSED
+
+
+def build_chain():
+    net = CoDBNetwork(seed=101)
+    net.add_node("C", "item(k: int)", facts="item(1). item(2)")
+    net.add_node("B", "item(k: int)", facts="item(3)")
+    net.add_node("A", "item(k: int)")
+    net.add_rule("B:item(k) <- C:item(k)")
+    net.add_rule("A:item(k) <- B:item(k)")
+    net.start()
+    return net
+
+
+class TestCrashBeforeUpdate:
+    def test_update_terminates_without_dead_source(self):
+        net = build_chain()
+        net.node("C").detach()
+        outcome = net.global_update("A")
+        # A still gets B's own data; C's contribution is lost.
+        assert sorted(net.node("A").rows("item")) == [(3,)]
+        report_b = net.node("B").update_report(outcome.update_id)
+        assert report_b.links_closed_by_failure >= 1
+
+    def test_update_terminates_when_leaf_target_dead(self):
+        net = build_chain()
+        net.node("A").detach()
+        outcome = net.global_update("B")  # origin in the middle
+        assert sorted(net.node("B").rows("item")) == [(1,), (2,), (3,)]
+        assert outcome.update_id
+
+    def test_links_toward_dead_peer_marked_failure(self):
+        net = build_chain()
+        net.node("C").detach()
+        net.global_update("A")
+        link = net.node("B").links.outgoing["r0"]
+        assert link.state == CLOSED
+        assert link.closed_by == "failure"
+
+
+class TestCrashMidUpdate:
+    def test_crash_while_messages_in_flight(self):
+        net = build_chain()
+        node = net.node("A")
+        update_id = node.start_global_update()
+        # Let the first requests travel, then kill C before it answers
+        # everything downstream.
+        net.transport.run_for(0.0015)  # requests to B delivered
+        net.node("C").detach()
+        net.run()
+        assert node.update_done(update_id)
+        # B's own row made it; C died before or during serving.
+        assert (3,) in net.node("A").rows("item")
+
+    def test_graceful_leave_mid_update(self):
+        net = build_chain()
+        node = net.node("A")
+        update_id = node.start_global_update()
+        net.transport.run_for(0.0015)
+        net.node("C").leave_network()
+        net.run()
+        assert node.update_done(update_id)
+
+    @pytest.mark.parametrize("victim", ["B", "C"])
+    def test_various_victims_never_hang(self, victim):
+        net = build_chain()
+        node = net.node("A")
+        update_id = node.start_global_update()
+        net.transport.run_for(0.001)
+        net.node(victim).detach()
+        net.run()
+        assert node.update_done(update_id)
+
+
+class TestChurnAndQueries:
+    def test_network_query_with_dead_source_terminates(self):
+        net = build_chain()
+        net.node("C").detach()
+        rows = net.query("A", "q(k) <- item(k)", mode="network")
+        assert rows == [(3,)]
+
+    def test_statistics_skip_dead_nodes(self):
+        net = build_chain()
+        net.global_update("A")
+        net.node("C").detach()
+        collection_id = net.collect_statistics()
+        assert net.superpeer.responding_nodes(collection_id) == ["A", "B"]
+
+    def test_second_update_after_crash_works(self):
+        net = build_chain()
+        net.node("C").detach()
+        net.global_update("A")
+        net.node("B").insert("item", (4,))
+        outcome = net.global_update("A")
+        assert (4,) in net.node("A").rows("item")
+        assert outcome.update_id

@@ -1,0 +1,121 @@
+"""The command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_network_from_spec, load_network_spec, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_chain_demo(self):
+        code, text = run_cli("demo", "--topology", "chain", "--size", "4",
+                             "--tuples", "5")
+        assert code == 0
+        assert "chain-4" in text
+        assert "global update" in text
+        assert "longest_path" in text
+
+    def test_unknown_topology(self, capsys):
+        code, _ = run_cli("demo", "--topology", "moebius")
+        assert code == 2
+
+    @pytest.mark.parametrize("topology", ["star", "ring", "tree"])
+    def test_other_topologies(self, topology):
+        code, text = run_cli("demo", "--topology", topology, "--size", "4",
+                             "--tuples", "3")
+        assert code == 0
+
+
+class TestRun:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        spec = {
+            "seed": 3,
+            "nodes": [
+                {
+                    "name": "BZ",
+                    "schema": "person(name: str, city: str)",
+                    "facts": "person('anna', 'Trento'). person('bob', 'Bolzano')",
+                },
+                {"name": "TN", "schema": "resident(name: str)"},
+            ],
+            "rules": "TN:resident(n) <- BZ:person(n, c), c = 'Trento'",
+            "origin": "TN",
+        }
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_run_with_query_and_report(self, spec_path):
+        code, text = run_cli(
+            "run", spec_path, "--query", "q(n) <- resident(n)", "--report"
+        )
+        assert code == 0
+        assert "'anna'" in text
+        assert "'bob'" not in text
+        assert "global update" in text
+
+    def test_origin_override(self, spec_path):
+        code, text = run_cli("run", spec_path, "--origin", "BZ")
+        assert code == 0
+
+    def test_missing_origin(self, tmp_path):
+        spec = {
+            "nodes": [{"name": "A", "schema": "r(x)"}],
+            "rules": "",
+        }
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(spec))
+        code, _ = run_cli("run", str(path))
+        assert code == 2
+
+    def test_bad_spec_reported(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": [{"name": "A"}]}')
+        code, _ = run_cli("run", str(path))
+        assert code == 1
+
+    def test_missing_file(self):
+        code, _ = run_cli("run", "/does/not/exist.json")
+        assert code == 1
+
+    def test_spec_loader_validation(self, spec_path):
+        spec = load_network_spec(spec_path)
+        net = build_network_from_spec(spec)
+        assert set(net.nodes) == {"BZ", "TN"}
+        assert len(net.rule_file) == 1
+
+
+class TestCheckRules:
+    def test_acyclic_rules(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text("B:item(x) <- A:item(x)\nC:item(x) <- B:item(x)\n")
+        code, text = run_cli("check-rules", str(path))
+        assert code == 0
+        assert "2 coordination rule(s)" in text
+        assert "dependency cycles: no" in text
+        assert "weakly acyclic:    yes" in text
+
+    def test_divergent_rules_flagged(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text(
+            "B:pair(x, w) <- A:seed(x)\nA:seed(w) <- B:pair(x, w)\n"
+        )
+        code, text = run_cli("check-rules", str(path))
+        assert code == 1
+        assert "weakly acyclic:    no" in text
+        assert "existentials: w" in text
+
+    def test_parse_error_reported(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text("this is not a rule\n")
+        code, _ = run_cli("check-rules", str(path))
+        assert code == 1

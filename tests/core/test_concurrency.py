@@ -1,0 +1,80 @@
+"""Concurrent computations: updates, queries and pushes interleaved."""
+
+import pytest
+
+from repro import CoDBNetwork, NodeConfig
+from repro.errors import ProtocolError
+
+
+def build_chain(config=None):
+    net = CoDBNetwork(seed=141, config=config)
+    net.add_node("C", "item(k: int)", facts="item(1). item(2)")
+    net.add_node("B", "item(k: int)", facts="item(3)")
+    net.add_node("A", "item(k: int)")
+    net.add_rule("B:item(k) <- C:item(k)")
+    net.add_rule("A:item(k) <- B:item(k)")
+    net.start()
+    return net
+
+
+class TestUpdateSerialisation:
+    def test_one_update_at_a_time_per_network(self):
+        net = build_chain()
+        net.node("A").start_global_update()
+        # a second update reaching a busy node trips the guard
+        net.node("C").start_global_update()
+        with pytest.raises(ProtocolError):
+            net.run()
+
+    def test_sequential_updates_fine(self):
+        net = build_chain()
+        first = net.global_update("A")
+        second = net.global_update("C")
+        assert first.update_id != second.update_id
+        assert net.node("A").update_done(first.update_id)
+        assert net.node("C").update_done(second.update_id)
+
+
+class TestQueriesDuringUpdates:
+    def test_query_and_update_coexist(self):
+        net = build_chain()
+        node = net.node("A")
+        update_id = node.start_global_update()
+        query_id = node.start_network_query("q(k) <- item(k)")
+        net.run()
+        assert node.update_done(update_id)
+        answer = node.network_query_answer(query_id)
+        assert answer is not None
+        assert set(answer) <= {(1,), (2,), (3,)}
+
+    def test_multiple_roots_query_simultaneously(self):
+        net = build_chain()
+        qa = net.node("A").start_network_query("q(k) <- item(k)")
+        qb = net.node("B").start_network_query("q(k) <- item(k)")
+        net.run()
+        assert sorted(net.node("A").network_query_answer(qa)) == [
+            (1,), (2,), (3,),
+        ]
+        assert sorted(net.node("B").network_query_answer(qb)) == [
+            (1,), (2,), (3,),
+        ]
+
+    def test_push_during_query(self):
+        net = build_chain(NodeConfig(push_on_insert=True))
+        net.global_update("A")
+        query_id = net.node("A").start_network_query("q(k) <- item(k)")
+        net.node("C").insert("item", (9,))
+        net.run()
+        assert net.node("A").network_query_answer(query_id) is not None
+        assert (9,) in net.node("A").rows("item")
+
+
+class TestLocalQueriesAlwaysAvailable:
+    def test_local_query_mid_update(self):
+        net = build_chain()
+        node = net.node("A")
+        node.start_global_update()
+        # local reads never block on network activity
+        assert node.query("q(k) <- item(k)") == []
+        net.run()
+        assert sorted(node.query("q(k) <- item(k)")) == [(1,), (2,), (3,)]

@@ -1,0 +1,96 @@
+"""Latency models and rule-body minimisation in live networks."""
+
+import pytest
+
+from repro import CoDBNetwork, LatencyModel, NodeConfig
+
+
+class TestLatencyModels:
+    def build(self, latency):
+        net = CoDBNetwork(seed=131, latency=latency)
+        net.add_node("S", "item(k: int)", facts="item(1). item(2)")
+        net.add_node("M", "item(k: int)")
+        net.add_node("D", "item(k: int)")
+        net.add_rule("M:item(k) <- S:item(k)")
+        net.add_rule("D:item(k) <- M:item(k)")
+        net.start()
+        return net
+
+    def test_wall_time_scales_with_base_latency(self):
+        slow = self.build(LatencyModel(base_seconds=0.1)).global_update("D")
+        fast = self.build(LatencyModel(base_seconds=0.001)).global_update("D")
+        assert slow.wall_time > fast.wall_time * 10
+
+    def test_bandwidth_term_penalises_volume(self):
+        thin = self.build(
+            LatencyModel(base_seconds=0.0, bandwidth_bytes_per_second=1e6)
+        )
+        thick = self.build(
+            LatencyModel(base_seconds=0.0, bandwidth_bytes_per_second=1e3)
+        )
+        fast = thin.global_update("D")
+        slow = thick.global_update("D")
+        assert slow.wall_time > fast.wall_time
+
+    def test_jitter_preserves_results(self):
+        jittered = self.build(
+            LatencyModel(base_seconds=0.001, jitter_seconds=0.01)
+        )
+        jittered.global_update("D")
+        plain = self.build(LatencyModel(base_seconds=0.001))
+        plain.global_update("D")
+        assert (
+            jittered.node("D").snapshot() == plain.node("D").snapshot()
+        )
+
+    def test_jitter_deterministic_per_seed(self):
+        def run():
+            net = CoDBNetwork(
+                seed=7, latency=LatencyModel(jitter_seconds=0.005)
+            )
+            net.add_node("S", "item(k: int)", facts="item(1)")
+            net.add_node("D", "item(k: int)")
+            net.add_rule("D:item(k) <- S:item(k)")
+            net.start()
+            return net.global_update("D").wall_time
+
+        assert run() == run()
+
+
+class TestRuleBodyMinimisation:
+    RULE = "D:out(n) <- S:src(n, a), S:src(n, b)"  # redundant second atom
+
+    def build(self, minimize):
+        config = NodeConfig(minimize_rule_bodies=minimize)
+        net = CoDBNetwork(seed=132, config=config)
+        net.add_node("S", "src(n, a)", facts="src(1, 'x'). src(2, 'y')")
+        net.add_node("D", "out(n)")
+        net.add_rule(self.RULE)
+        net.start()
+        return net
+
+    def test_results_identical(self):
+        plain = self.build(False)
+        minimised = self.build(True)
+        plain.global_update("D")
+        minimised.global_update("D")
+        assert plain.node("D").snapshot() == minimised.node("D").snapshot()
+
+    def test_installed_rule_is_smaller(self):
+        net = self.build(True)
+        link = net.node("S").links.incoming["r0"]
+        assert len(link.rule.mapping.body) == 1
+        plain = self.build(False)
+        assert len(plain.node("S").links.incoming["r0"].rule.mapping.body) == 2
+
+    def test_non_redundant_rules_untouched(self):
+        config = NodeConfig(minimize_rule_bodies=True)
+        net = CoDBNetwork(seed=133, config=config)
+        net.add_node("S", "a(n)\nb(n)", facts="a(1). b(1)")
+        net.add_node("D", "out(n)")
+        net.add_rule("D:out(n) <- S:a(n), S:b(n)")
+        net.start()
+        link = net.node("S").links.incoming["r0"]
+        assert len(link.rule.mapping.body) == 2
+        net.global_update("D")
+        assert net.node("D").rows("out") == [(1,)]

@@ -1,0 +1,116 @@
+"""Link tables: perspective, dependency, closure conditions."""
+
+from repro.core.links import CLOSED, INACTIVE, OPEN, LinkTable
+from repro.core.rules import CoordinationRule
+
+
+def rules(*texts):
+    return [CoordinationRule.from_text(f"r{i}", t) for i, t in enumerate(texts)]
+
+
+class TestPerspective:
+    def test_rule_is_outgoing_at_target_incoming_at_source(self):
+        rule_set = rules("A:item(x) <- B:item(x)")
+        at_a = LinkTable("A", rule_set)
+        at_b = LinkTable("B", rule_set)
+        assert list(at_a.outgoing) == ["r0"] and not at_a.incoming
+        assert list(at_b.incoming) == ["r0"] and not at_b.outgoing
+        assert at_a.outgoing["r0"].remote == "B"
+        assert at_b.incoming["r0"].remote == "A"
+
+    def test_unrelated_rules_ignored(self):
+        table = LinkTable("X", rules("A:item(x) <- B:item(x)"))
+        assert not table.outgoing and not table.incoming
+
+    def test_acquaintances_deterministic(self):
+        table = LinkTable(
+            "B",
+            rules(
+                "A:item(x) <- B:item(x)",
+                "B:item(x) <- C:item(x)",
+                "B:item(x) <- D:item(x)",
+            ),
+        )
+        assert table.acquaintances() == ["C", "D", "A"]
+
+
+class TestDependency:
+    def test_incoming_depends_on_outgoing_via_relation(self):
+        # At B: incoming r0 (A imports B.item); outgoing r1 (B imports C.item
+        # into B.item).  r0's body reads item, r1's head writes item.
+        table = LinkTable(
+            "B", rules("A:item(x) <- B:item(x)", "B:item(x) <- C:item(x)")
+        )
+        assert table.incoming["r0"].relevant_outgoing == ("r1",)
+
+    def test_no_dependency_across_different_relations(self):
+        table = LinkTable(
+            "B", rules("A:x(n) <- B:left(n)", "B:right(n) <- C:x(n)")
+        )
+        assert table.incoming["r0"].relevant_outgoing == ()
+
+    def test_multi_relation_bodies(self):
+        table = LinkTable(
+            "B",
+            rules(
+                "A:out(n) <- B:p(n), B:q(n)",
+                "B:p(n) <- C:src(n)",
+                "B:q(n) <- D:src(n)",
+            ),
+        )
+        assert set(table.incoming["r0"].relevant_outgoing) == {"r1", "r2"}
+
+    def test_incoming_dependent_on_relations(self):
+        table = LinkTable(
+            "B", rules("A:out(n) <- B:p(n)", "C:other(n) <- B:q(n)")
+        )
+        dependents = table.incoming_dependent_on_relations({"p"})
+        assert [l.rule_id for l in dependents] == ["r0"]
+
+
+class TestClosureConditions:
+    def make(self):
+        return LinkTable(
+            "B", rules("A:item(x) <- B:item(x)", "B:item(x) <- C:item(x)")
+        )
+
+    def test_initial_states(self):
+        table = self.make()
+        assert table.incoming["r0"].state == INACTIVE
+        assert table.outgoing["r1"].state == INACTIVE
+
+    def test_all_outgoing_closed_vacuous(self):
+        table = LinkTable("B", rules("A:item(x) <- B:item(x)"))
+        assert table.all_outgoing_closed()
+
+    def test_incoming_ready_to_close_requires_open_state(self):
+        table = self.make()
+        table.outgoing["r1"].state = CLOSED
+        assert table.incoming_ready_to_close() == []  # r0 still inactive
+        table.incoming["r0"].state = OPEN
+        assert [l.rule_id for l in table.incoming_ready_to_close()] == ["r0"]
+
+    def test_incoming_not_ready_while_dependency_open(self):
+        table = self.make()
+        table.incoming["r0"].state = OPEN
+        table.outgoing["r1"].state = OPEN
+        assert table.incoming_ready_to_close() == []
+
+    def test_reset_for_update_keeps_lifetime_dedup_sets(self):
+        table = self.make()
+        table.incoming["r0"].state = CLOSED
+        table.incoming["r0"].sent.add((1,))
+        table.outgoing["r1"].received.add((2,))
+        table.reset_for_update()
+        assert table.incoming["r0"].state == INACTIVE
+        # The sent/received sets are the rule's lifetime memory: they
+        # survive update boundaries (idempotent re-updates).
+        assert table.incoming["r0"].sent == {(1,)}
+        assert table.outgoing["r1"].received == {(2,)}
+
+    def test_incoming_for_target(self):
+        table = LinkTable(
+            "B", rules("A:item(x) <- B:item(x)", "C:item(x) <- B:item(x)")
+        )
+        assert [l.rule_id for l in table.incoming_for_target("A")] == ["r0"]
+        assert [l.rule_id for l in table.incoming_for_target("C")] == ["r1"]

@@ -1,0 +1,172 @@
+"""Node construction, rule validation, the network builder API."""
+
+import pytest
+
+from repro import (
+    CoDBNetwork,
+    CoDBNode,
+    MediatorStore,
+    SqliteStore,
+    parse_schema,
+)
+from repro.errors import ArityError, CoDBError, ProtocolError, RuleError
+from repro.p2p.ids import IdAuthority
+from repro.p2p.inproc import InProcessNetwork
+
+
+class TestNodeConstruction:
+    def test_invalid_name_rejected(self):
+        transport = InProcessNetwork()
+        with pytest.raises(ProtocolError):
+            CoDBNode(
+                "has space", parse_schema("r(a)"), transport, IdAuthority()
+            )
+
+    def test_store_schema_mismatch_rejected(self):
+        transport = InProcessNetwork()
+        store = SqliteStore(parse_schema("r(a)"))
+        with pytest.raises(RuleError):
+            CoDBNode("N", parse_schema("r(a)"), transport, IdAuthority(), store=store)
+
+    def test_database_property(self):
+        net = CoDBNetwork(seed=1)
+        node = net.add_node("N", "r(a)")
+        assert node.database is not None
+        schema = parse_schema("r(a)")
+        sqlite_node = CoDBNetwork(seed=2)
+        n2 = sqlite_node.add_node("M", schema, store=SqliteStore(schema))
+        assert n2.database is None
+
+
+class TestRuleValidation:
+    def make_net(self):
+        net = CoDBNetwork(seed=3)
+        net.add_node("S", "src(a, b)\nlocal hidden(a)")
+        net.add_node("D", "dst(a)")
+        return net
+
+    def test_head_arity_checked_at_target(self):
+        net = self.make_net()
+        net.add_rule("D:dst(a, b) <- S:src(a, b)")
+        with pytest.raises(ArityError):
+            net.start()
+
+    def test_body_arity_checked_at_source(self):
+        net = self.make_net()
+        net.add_rule("D:dst(a) <- S:src(a)")
+        with pytest.raises(ArityError):
+            net.start()
+
+    def test_unexported_body_relation_rejected(self):
+        net = self.make_net()
+        net.add_rule("D:dst(a) <- S:hidden(a)")
+        with pytest.raises(RuleError):
+            net.start()
+
+    def test_rule_referencing_unknown_node_rejected_early(self):
+        net = self.make_net()
+        with pytest.raises(ProtocolError):
+            net.add_rule("D:dst(a) <- GHOST:src(a, b)")
+
+    def test_valid_rules_install_cleanly(self):
+        net = self.make_net()
+        net.add_rule("D:dst(a) <- S:src(a, b), b != 'x'")
+        net.start()
+        assert list(net.node("D").links.outgoing) == ["r0"]
+
+
+class TestNetworkBuilder:
+    def test_duplicate_node_rejected(self):
+        net = CoDBNetwork(seed=4)
+        net.add_node("N", "r(a)")
+        with pytest.raises(ProtocolError):
+            net.add_node("N", "r(a)")
+
+    def test_unknown_node_lookup(self):
+        net = CoDBNetwork(seed=4)
+        with pytest.raises(ProtocolError):
+            net.node("ghost")
+
+    def test_without_superpeer_direct_install(self):
+        net = CoDBNetwork(seed=5, with_superpeer=False)
+        net.add_node("A", "r(a)", facts="r(1)")
+        net.add_node("B", "r(a)")
+        net.add_rule("B:r(a) <- A:r(a)")
+        net.start()
+        net.global_update("B")
+        assert net.node("B").rows("r") == [(1,)]
+        with pytest.raises(ProtocolError):
+            net.collect_statistics()
+
+    def test_context_manager_stops_transport(self):
+        with CoDBNetwork(seed=6) as net:
+            net.add_node("A", "r(a)")
+        from repro.errors import TransportStoppedError
+
+        with pytest.raises(TransportStoppedError):
+            net.transport.send(
+                __import__("repro.p2p.messages", fromlist=["Message"]).Message(
+                    "k", "A", "A", {}
+                )
+            )
+
+    def test_snapshot_and_total_rows(self):
+        net = CoDBNetwork(seed=7)
+        net.add_node("A", "r(a)", facts="r(1). r(2)")
+        net.add_node("B", "s(a)", facts="s(3)")
+        assert net.total_rows() == 3
+        snap = net.snapshot()
+        assert snap["A"]["r"] == [(1,), (2,)]
+        assert snap["B"]["s"] == [(3,)]
+
+    def test_load_facts_via_dict(self):
+        net = CoDBNetwork(seed=8)
+        node = net.add_node("A", "r(a: int)")
+        node.load_facts({"r": [(5,), (6,)]})
+        assert node.rows("r") == [(5,), (6,)]
+
+    def test_node_level_error_hierarchy(self):
+        # every library error is a CoDBError
+        net = CoDBNetwork(seed=9)
+        try:
+            net.node("ghost")
+        except CoDBError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("ProtocolError must subclass CoDBError")
+
+
+class TestHeterogeneousStores:
+    def test_mixed_backends_in_one_network(self, tmp_path):
+        sqlite_schema = parse_schema("item(k: int)")
+        mediator_schema = parse_schema("item(k: int)")
+        net = CoDBNetwork(seed=10)
+        net.add_node("MEM", "item(k: int)", facts="item(1)")
+        net.add_node(
+            "SQL", sqlite_schema,
+            store=SqliteStore(sqlite_schema, str(tmp_path / "n.db")),
+        )
+        net.add_node("MED", mediator_schema, store=MediatorStore(mediator_schema))
+        net.add_node("SINK", "item(k: int)")
+        net.add_rule("SQL:item(k) <- MEM:item(k)")
+        net.add_rule("MED:item(k) <- SQL:item(k)")
+        net.add_rule("SINK:item(k) <- MED:item(k)")
+        net.start()
+        net.global_update("SINK")
+        assert net.node("SQL").rows("item") == [(1,)]
+        assert net.node("SINK").rows("item") == [(1,)]
+        assert net.node("MED").wrapper.total_rows() == 0  # dropped buffer
+
+    def test_sequential_updates_through_mediator(self):
+        schema = parse_schema("item(k: int)")
+        net = CoDBNetwork(seed=11)
+        net.add_node("SRC", "item(k: int)", facts="item(1)")
+        net.add_node("MED", schema, store=MediatorStore(schema))
+        net.add_node("SINK", "item(k: int)")
+        net.add_rule("MED:item(k) <- SRC:item(k)")
+        net.add_rule("SINK:item(k) <- MED:item(k)")
+        net.start()
+        net.global_update("SINK")
+        net.node("SRC").insert("item", (2,))
+        net.global_update("SINK")
+        assert sorted(net.node("SINK").rows("item")) == [(1,), (2,)]

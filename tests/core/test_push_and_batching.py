@@ -1,0 +1,167 @@
+"""Continuous push propagation and result batching."""
+
+import pytest
+
+from repro import CoDBNetwork, MarkedNull, NodeConfig
+
+
+def build_chain(config=None):
+    net = CoDBNetwork(seed=111, config=config)
+    net.add_node("C", "item(k: int)", facts="item(1)")
+    net.add_node("B", "item(k: int)")
+    net.add_node("A", "item(k: int)")
+    net.add_rule("B:item(k) <- C:item(k)")
+    net.add_rule("A:item(k) <- B:item(k)")
+    net.start()
+    return net
+
+
+class TestPushPropagation:
+    def test_insert_pushes_through_chain(self):
+        net = build_chain(NodeConfig(push_on_insert=True))
+        net.global_update("A")  # establish materialisation
+        net.node("C").insert("item", (42,))
+        net.run()
+        assert (42,) in net.node("B").rows("item")
+        assert (42,) in net.node("A").rows("item")
+
+    def test_push_respects_rule_comparisons(self):
+        net = CoDBNetwork(seed=112, config=NodeConfig(push_on_insert=True))
+        net.add_node("S", "item(k: int)")
+        net.add_node("D", "item(k: int)")
+        net.add_rule("D:item(k) <- S:item(k), k >= 10")
+        net.start()
+        net.global_update("D")
+        net.node("S").insert("item", (5,))
+        net.node("S").insert("item", (15,))
+        net.run()
+        assert net.node("D").rows("item") == [(15,)]
+
+    def test_push_without_flag_stays_local(self):
+        net = build_chain()  # push_on_insert = False
+        net.global_update("A")
+        net.node("C").insert("item", (42,))
+        net.run()
+        assert (42,) not in net.node("A").rows("item")
+
+    def test_explicit_push_deltas(self):
+        net = build_chain()
+        net.global_update("A")
+        new = net.node("C").wrapper.insert_new("item", [(7,)])
+        sent = net.node("C").push_deltas({"item": new})
+        net.run()
+        assert sent == 1
+        assert (7,) in net.node("A").rows("item")
+
+    def test_push_dedups_against_lifetime_sent_set(self):
+        net = build_chain(NodeConfig(push_on_insert=True))
+        net.global_update("A")
+        before = net.transport.stats.messages_sent
+        # (1,) already travelled during the update: pushing it again is
+        # a no-op on the wire.
+        assert net.node("C").push_deltas({"item": [(1,)]}) == 0
+        net.run()
+        assert net.transport.stats.messages_sent == before
+
+    def test_push_with_existentials_mints_nulls_once(self):
+        net = CoDBNetwork(seed=113, config=NodeConfig(push_on_insert=True))
+        net.add_node("S", "item(k: int)")
+        net.add_node("D", "copy(k: int, tag)")
+        net.add_rule("D:copy(k, w) <- S:item(k)")
+        net.start()
+        net.global_update("D")
+        net.node("S").insert("item", (9,))
+        net.run()
+        rows = net.node("D").rows("copy")
+        assert len(rows) == 1
+        assert isinstance(rows[0][1], MarkedNull)
+        # pushing the same row again changes nothing
+        net.node("S").push_deltas({"item": [(9,)]})
+        net.run()
+        assert len(net.node("D").rows("copy")) == 1
+
+    def test_push_counters(self):
+        net = build_chain(NodeConfig(push_on_insert=True))
+        net.global_update("A")
+        net.node("C").insert("item", (50,))
+        net.run()
+        assert net.node("C").push.pushes_sent == 1
+        assert net.node("B").push.pushes_received == 1
+        assert net.node("B").push.rows_absorbed == 1
+        assert net.node("A").push.rows_absorbed == 1
+
+    def test_push_to_dead_peer_tolerated(self):
+        net = build_chain(NodeConfig(push_on_insert=True))
+        net.global_update("A")
+        net.node("B").detach()
+        net.node("C").insert("item", (60,))  # must not raise
+        net.run()
+        assert (60,) not in net.node("A").rows("item")
+
+
+class TestBatching:
+    def test_batched_results_arrive_completely(self):
+        net = CoDBNetwork(seed=114, config=NodeConfig(batch_rows=7))
+        net.add_node("S", "item(k: int)")
+        net.node("S").load_facts({"item": [(i,) for i in range(50)]})
+        net.add_node("D", "item(k: int)")
+        net.add_rule("D:item(k) <- S:item(k)")
+        net.start()
+        outcome = net.global_update("D")
+        assert net.node("D").wrapper.count("item") == 50
+        # ceil(50 / 7) = 8 result messages instead of 1
+        assert outcome.report.messages_per_rule() == {"r0": 8}
+
+    def test_batching_bounds_message_volume(self):
+        def volumes(batch_rows):
+            net = CoDBNetwork(
+                seed=115, config=NodeConfig(batch_rows=batch_rows)
+            )
+            net.add_node("S", "item(k: int)")
+            net.node("S").load_facts({"item": [(i,) for i in range(100)]})
+            net.add_node("D", "item(k: int)")
+            net.add_rule("D:item(k) <- S:item(k)")
+            net.start()
+            outcome = net.global_update("D")
+            return outcome.report.message_volumes()
+
+        unbounded = volumes(0)
+        bounded = volumes(10)
+        assert len(unbounded) == 1
+        assert len(bounded) == 10
+        assert max(bounded) < max(unbounded)
+
+    def test_batched_and_unbatched_agree_on_state(self):
+        def final_state(batch_rows):
+            net = build_chain(NodeConfig(batch_rows=batch_rows))
+            net.node("C").load_facts({"item": [(i,) for i in range(2, 30)]})
+            net.global_update("A")
+            return net.node("A").snapshot()
+
+        assert final_state(0) == final_state(5)
+
+
+class TestCertainAnswers:
+    @pytest.fixture
+    def net(self):
+        net = CoDBNetwork(seed=116)
+        net.add_node("S", "person(n: str)", facts="person('x'). person('y')")
+        net.add_node("D", "rec(n: str, ward)", facts="rec('z', 'w1')")
+        net.add_rule("D:rec(n, w) <- S:person(n)")
+        net.start()
+        net.global_update("D")
+        return net
+
+    def test_plain_query_returns_null_rows(self, net):
+        rows = net.node("D").query("q(n, w) <- rec(n, w)")
+        assert len(rows) == 3
+
+    def test_certain_drops_null_carrying_answers(self, net):
+        rows = net.node("D").query("q(n, w) <- rec(n, w)", certain=True)
+        assert rows == [("z", "w1")]
+
+    def test_certain_keeps_null_free_projections(self, net):
+        # the nulls are in the ward column; projecting it away makes
+        # every answer certain.
+        rows = net.node("D").query("q(n) <- rec(n, w)", certain=True)
+        assert sorted(rows) == [("x",), ("y",), ("z",)]

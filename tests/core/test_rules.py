@@ -1,0 +1,94 @@
+"""Coordination rules and rule files."""
+
+import pytest
+
+from repro.core.rulefile import RuleFile
+from repro.core.rules import CoordinationRule
+from repro.errors import ParseError, RuleError
+
+
+class TestCoordinationRule:
+    def test_from_text(self):
+        rule = CoordinationRule.from_text(
+            "r0", "TN:resident(n) <- BZ:person(n, c), c = 'Trento'"
+        )
+        assert rule.target == "TN"
+        assert rule.source == "BZ"
+        assert rule.mapping.body_relations() == ("person",)
+
+    def test_self_rule_rejected(self):
+        with pytest.raises(RuleError):
+            CoordinationRule.from_text("r0", "A:x(n) <- A:y(n)")
+
+    def test_missing_prefixes_rejected(self):
+        with pytest.raises((RuleError, ParseError)):
+            CoordinationRule.from_text("r0", "x(n) <- y(n)")
+
+    def test_frontier_order_canonical(self):
+        rule = CoordinationRule.from_text("r0", "A:out(b, a) <- B:src(a, b)")
+        assert rule.frontier() == ("a", "b")  # sorted, not positional
+
+    def test_text_round_trip(self):
+        texts = [
+            "TN:resident(n) <- BZ:person(n, c), c = 'Trento'",
+            "A:x(n, 3), A:y(n, w) <- B:src(n, m), m >= -2, n != 'skip'",
+            "A:flag(n, true) <- B:src(n, v), v <= 2.5",
+        ]
+        for text in texts:
+            rule = CoordinationRule.from_text("r0", text)
+            again = CoordinationRule.from_text("r0", rule.to_text())
+            assert again.mapping == rule.mapping
+            assert (again.target, again.source) == (rule.target, rule.source)
+
+    def test_payload_round_trip(self):
+        rule = CoordinationRule.from_text("r7", "A:x(n) <- B:y(n, c), c = 'q'")
+        decoded = CoordinationRule.from_payload(rule.to_payload())
+        assert decoded == rule
+
+    def test_quote_escaping_in_round_trip(self):
+        rule = CoordinationRule.from_text("r0", r"A:x(n) <- B:y(n, c), c = 'it\'s'")
+        again = CoordinationRule.from_payload(rule.to_payload())
+        assert again.mapping.comparisons[0].right == "it's"
+
+
+class TestRuleFile:
+    RULES = """
+    # a little network
+    A:item(x, v) <- B:item(x, v)
+    B:item(x, v) <- C:item(x, v)
+    C:item(x, v) <- A:item(x, v)
+    """
+
+    def test_from_text_assigns_ids_in_order(self):
+        rule_file = RuleFile.from_text(self.RULES)
+        assert [r.rule_id for r in rule_file] == ["r0", "r1", "r2"]
+
+    def test_rules_for_and_acquaintances(self):
+        rule_file = RuleFile.from_text(self.RULES)
+        assert [r.rule_id for r in rule_file.rules_for("A")] == ["r0", "r2"]
+        assert rule_file.acquaintances_of("A") == ["B", "C"]
+
+    def test_peers(self):
+        assert RuleFile.from_text(self.RULES).peers() == ["A", "B", "C"]
+
+    def test_cyclicity_analysis(self):
+        cyclic = RuleFile.from_text(self.RULES)
+        assert cyclic.has_cyclic_dependencies()
+        assert cyclic.is_weakly_acyclic()  # no existentials
+        acyclic = RuleFile.from_text("A:item(x, v) <- B:item(x, v)")
+        assert not acyclic.has_cyclic_dependencies()
+
+    def test_duplicate_rule_id_rejected(self):
+        rule_file = RuleFile.from_text("A:x(n) <- B:y(n)")
+        with pytest.raises(RuleError):
+            rule_file.add(CoordinationRule.from_text("r0", "B:y(n) <- A:x(n)"))
+
+    def test_payload_round_trip(self):
+        rule_file = RuleFile.from_text(self.RULES)
+        decoded = RuleFile.from_payload(rule_file.to_payload())
+        assert [r.rule_id for r in decoded] == [r.rule_id for r in rule_file]
+        assert decoded.to_text() == rule_file.to_text()
+
+    def test_custom_prefix(self):
+        rule_file = RuleFile.from_text("A:x(n) <- B:y(n)", prefix="edge")
+        assert rule_file.rules[0].rule_id == "edge0"

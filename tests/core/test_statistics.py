@@ -1,0 +1,105 @@
+"""The statistics module: reports, payload round-trips, aggregation."""
+
+import pytest
+
+from repro.core.statistics import (
+    NodeStatistics,
+    RuleTraffic,
+    UpdateReport,
+    aggregate_reports,
+)
+
+
+def make_report(node="A", update_id="u1", **overrides):
+    report = UpdateReport(update_id=update_id, node=node, origin="A")
+    report.started_at = overrides.pop("started_at", 1.0)
+    report.finished_at = overrides.pop("finished_at", 3.0)
+    report.status = "closed"
+    for key, value in overrides.items():
+        setattr(report, key, value)
+    return report
+
+
+class TestUpdateReport:
+    def test_duration(self):
+        assert make_report().duration == pytest.approx(2.0)
+        assert make_report(finished_at=0.5).duration == 0.0  # clamped
+
+    def test_rule_traffic_recording(self):
+        report = make_report()
+        traffic = report.rule_traffic("r0")
+        traffic.record(volume=100, rows=5, new_rows=3)
+        traffic.record(volume=50, rows=2, new_rows=0)
+        assert traffic.messages_received == 2
+        assert traffic.bytes_received == 150
+        assert traffic.message_volumes == [100, 50]
+        assert report.total_bytes_received() == 150
+        assert report.total_messages_received() == 2
+
+    def test_payload_round_trip(self):
+        report = make_report(
+            rows_imported=7,
+            nulls_minted=2,
+            longest_path=3,
+            queried_acquaintances=["B"],
+            results_sent_to=["C"],
+        )
+        report.rule_traffic("r0").record(volume=10, rows=1, new_rows=1)
+        decoded = UpdateReport.from_payload(report.to_payload())
+        assert decoded == report
+
+    def test_traffic_payload_round_trip(self):
+        traffic = RuleTraffic()
+        traffic.record(7, 2, 1)
+        assert RuleTraffic.from_payload(traffic.to_payload()) == traffic
+
+
+class TestNodeStatistics:
+    def test_open_and_lookup(self):
+        stats = NodeStatistics("A")
+        report = stats.open_report("u1", "A", now=5.0)
+        assert stats.report_for("u1") is report
+        assert stats.report_for("u2") is None
+        assert report.started_at == 5.0
+
+    def test_latest_report(self):
+        stats = NodeStatistics("A")
+        assert stats.latest_report() is None
+        stats.open_report("u1", "A", 1.0)
+        second = stats.open_report("u2", "A", 2.0)
+        assert stats.latest_report() is second
+        assert stats.total_updates() == 2
+
+
+class TestAggregation:
+    def make_network_report(self):
+        a = make_report("A", started_at=0.0, finished_at=4.0, longest_path=2)
+        a.rule_traffic("r0").record(volume=10, rows=2, new_rows=2)
+        a.rows_imported = 2
+        b = make_report("B", started_at=1.0, finished_at=2.0, longest_path=5)
+        b.rule_traffic("r1").record(volume=30, rows=3, new_rows=1)
+        b.rule_traffic("r0").record(volume=5, rows=1, new_rows=0)
+        b.rows_imported = 1
+        return aggregate_reports("u1", "A", [a, b])
+
+    def test_wall_time_spans_first_start_to_last_finish(self):
+        report = self.make_network_report()
+        assert report.wall_time == pytest.approx(4.0)
+
+    def test_totals(self):
+        report = self.make_network_report()
+        assert report.total_messages == 3
+        assert report.total_bytes == 45
+        assert report.total_rows_imported == 3
+        assert report.longest_path == 5
+
+    def test_per_rule_breakdowns(self):
+        report = self.make_network_report()
+        assert report.messages_per_rule() == {"r0": 2, "r1": 1}
+        assert report.volume_per_rule() == {"r0": 15, "r1": 30}
+        assert sorted(report.message_volumes()) == [5, 10, 30]
+
+    def test_empty_aggregate(self):
+        report = aggregate_reports("u", "A", [])
+        assert report.wall_time == 0.0
+        assert report.longest_path == 0

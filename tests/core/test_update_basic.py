@@ -1,0 +1,213 @@
+"""Global updates on acyclic networks: the §3 algorithm end to end."""
+
+import pytest
+
+from repro import CoDBNetwork
+from repro.core.links import CLOSED
+
+
+class TestTwoNodes:
+    def test_selection_rule_materialises_matching_rows(self, two_node_network):
+        net = two_node_network
+        outcome = net.global_update("TN")
+        assert sorted(net.node("TN").rows("resident")) == [("anna",), ("carla",)]
+        assert outcome.origin == "TN"
+        assert outcome.rows_imported == 2
+
+    def test_source_unchanged(self, two_node_network):
+        net = two_node_network
+        before = net.node("BZ").snapshot()
+        net.global_update("TN")
+        assert net.node("BZ").snapshot() == before
+
+    def test_second_update_brings_nothing_new(self, two_node_network):
+        net = two_node_network
+        net.global_update("TN")
+        second = net.global_update("TN")
+        assert second.rows_imported == 0
+        assert sorted(net.node("TN").rows("resident")) == [("anna",), ("carla",)]
+
+    def test_update_after_source_insert_picks_up_delta(self, two_node_network):
+        net = two_node_network
+        net.global_update("TN")
+        net.node("BZ").insert("person", ("dario", "Trento"))
+        net.node("BZ").insert("person", ("elsa", "Merano"))
+        third = net.global_update("TN")
+        assert third.rows_imported == 1
+        assert ("dario",) in net.node("TN").rows("resident")
+        assert ("elsa",) not in net.node("TN").rows("resident")
+
+    def test_update_from_source_side_origin(self, two_node_network):
+        # Starting at BZ must still deliver TN its data (undirected flood).
+        net = two_node_network
+        net.global_update("BZ")
+        assert sorted(net.node("TN").rows("resident")) == [("anna",), ("carla",)]
+
+    def test_all_links_closed_after_update(self, two_node_network):
+        net = two_node_network
+        net.global_update("TN")
+        for node in net.nodes.values():
+            for link in node.links.outgoing.values():
+                assert link.state == CLOSED
+            for link in node.links.incoming.values():
+                assert link.state == CLOSED
+
+    def test_acyclic_closure_is_by_cascade(self, two_node_network):
+        net = two_node_network
+        outcome = net.global_update("TN")
+        report_tn = net.node("TN").update_report(outcome.update_id)
+        report_bz = net.node("BZ").update_report(outcome.update_id)
+        assert report_bz.links_closed_by_cascade == 1  # its incoming link
+        assert report_tn.links_closed_by_quiescence == 0
+        assert report_bz.links_closed_by_quiescence == 0
+
+
+class TestChain:
+    def test_data_flows_transitively(self, chain3_network):
+        net = chain3_network
+        net.global_update("A")
+        assert sorted(net.node("A").rows("top")) == [(1,), (2,), (3,)]
+        assert len(net.node("B").rows("mid")) == 3
+
+    def test_longest_path_matches_chain_length(self, chain3_network):
+        net = chain3_network
+        outcome = net.global_update("A")
+        assert outcome.longest_path == 2  # C->B then B->A
+
+    def test_origin_in_the_middle_still_updates_everyone(self, chain3_network):
+        net = chain3_network
+        net.global_update("B")
+        assert sorted(net.node("A").rows("top")) == [(1,), (2,), (3,)]
+
+    def test_update_reports_per_rule_traffic(self, chain3_network):
+        net = chain3_network
+        outcome = net.global_update("A")
+        report_a = net.node("A").update_report(outcome.update_id)
+        # A imports over r1 only.
+        assert set(report_a.per_rule) == {"r1"}
+        traffic = report_a.per_rule["r1"]
+        assert traffic.rows_received == 3
+        assert traffic.messages_received >= 1
+        assert len(traffic.message_volumes) == traffic.messages_received
+
+    def test_queried_acquaintances_and_results_sent_to(self, chain3_network):
+        net = chain3_network
+        outcome = net.global_update("A")
+        report_b = net.node("B").update_report(outcome.update_id)
+        assert report_b.queried_acquaintances == ["C"]
+        assert report_b.results_sent_to == ["A"]
+
+    def test_durations_are_monotone(self, chain3_network):
+        net = chain3_network
+        outcome = net.global_update("A")
+        for report in outcome.report.node_reports.values():
+            assert report.finished_at >= report.started_at
+        assert outcome.report.wall_time > 0
+
+
+class TestStar:
+    @pytest.fixture
+    def star_network(self):
+        net = CoDBNetwork(seed=5)
+        net.add_node("HUB", "item(k: int)")
+        for i in range(4):
+            net.add_node(f"S{i}", "item(k: int)", facts=f"item({i}). item({i + 100})")
+        net.add_rules([f"HUB:item(k) <- S{i}:item(k)" for i in range(4)])
+        net.start()
+        return net
+
+    def test_hub_collects_all_spokes(self, star_network):
+        net = star_network
+        outcome = net.global_update("HUB")
+        assert len(net.node("HUB").rows("item")) == 8
+        assert outcome.longest_path == 1
+
+    def test_each_rule_used_once(self, star_network):
+        net = star_network
+        outcome = net.global_update("HUB")
+        per_rule = outcome.report.messages_per_rule()
+        assert set(per_rule) == {"r0", "r1", "r2", "r3"}
+        assert all(count == 1 for count in per_rule.values())
+
+    def test_spokes_are_not_polluted(self, star_network):
+        net = star_network
+        net.global_update("HUB")
+        for i in range(4):
+            assert len(net.node(f"S{i}").rows("item")) == 2
+
+
+class TestJoinRules:
+    def test_body_join_with_comparison(self):
+        net = CoDBNetwork(seed=8)
+        net.add_node(
+            "SRC",
+            "emp(name: str, org: str)\nsalary(name: str, amount: int)",
+            facts=(
+                "emp('a', 'acme'). emp('b', 'acme'). emp('c', 'other'). "
+                "salary('a', 50). salary('b', 150). salary('c', 200)"
+            ),
+        )
+        net.add_node("DST", "rich(name: str, amount: int)")
+        net.add_rule(
+            "DST:rich(n, s) <- SRC:emp(n, o), SRC:salary(n, s), s >= 100, o = 'acme'"
+        )
+        net.start()
+        net.global_update("DST")
+        assert net.node("DST").rows("rich") == [("b", 150)]
+
+    def test_multi_head_rule_fills_both_relations(self):
+        net = CoDBNetwork(seed=9)
+        net.add_node("SRC", "person(n: str, c: str)", facts="person('x', 'T')")
+        net.add_node("DST", "citizen(n: str)\nhome(n: str, c: str)")
+        net.add_rule("DST:citizen(n), DST:home(n, c) <- SRC:person(n, c)")
+        net.start()
+        net.global_update("DST")
+        assert net.node("DST").rows("citizen") == [("x",)]
+        assert net.node("DST").rows("home") == [("x", "T")]
+
+
+class TestEdgeCases:
+    def test_isolated_origin_completes_immediately(self):
+        net = CoDBNetwork(seed=10)
+        net.add_node("LONER", "item(k: int)", facts="item(1)")
+        net.start()
+        outcome = net.global_update("LONER")
+        assert outcome.rows_imported == 0
+        assert outcome.report.node_reports["LONER"].status == "closed"
+
+    def test_empty_source_sends_empty_results(self, two_node_network):
+        net = two_node_network
+        net.node("BZ").wrapper.clear()
+        outcome = net.global_update("TN")
+        assert net.node("TN").rows("resident") == []
+        # the (empty) initial result message still flowed
+        assert outcome.report.messages_per_rule() == {"r0": 1}
+
+    def test_two_rules_between_same_pair(self):
+        net = CoDBNetwork(seed=11)
+        net.add_node("S", "a(x: int)\nb(x: int)", facts="a(1). b(2)")
+        net.add_node("D", "merged(x: int)")
+        net.add_rule("D:merged(x) <- S:a(x)")
+        net.add_rule("D:merged(x) <- S:b(x)")
+        net.start()
+        net.global_update("D")
+        assert sorted(net.node("D").rows("merged")) == [(1,), (2,)]
+
+    def test_diamond_dedups_frontier_rows(self):
+        # D imports from B and C, both import from A: A's rows reach D
+        # twice but must be stored once (per rule dedup + insert dedup).
+        net = CoDBNetwork(seed=12)
+        net.add_node("A", "item(k: int)", facts="item(1). item(2)")
+        net.add_node("B", "item(k: int)")
+        net.add_node("C", "item(k: int)")
+        net.add_node("D", "item(k: int)")
+        net.add_rule("B:item(k) <- A:item(k)")
+        net.add_rule("C:item(k) <- A:item(k)")
+        net.add_rule("D:item(k) <- B:item(k)")
+        net.add_rule("D:item(k) <- C:item(k)")
+        net.start()
+        outcome = net.global_update("D")
+        assert sorted(net.node("D").rows("item")) == [(1,), (2,)]
+        # two rows arrived over each of D's two rules, 2 stored as new
+        report_d = net.node("D").update_report(outcome.update_id)
+        assert report_d.rows_imported == 2

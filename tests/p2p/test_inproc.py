@@ -1,0 +1,164 @@
+"""The simulated transport: determinism, ordering, latency."""
+
+import pytest
+
+from repro.errors import TransportStoppedError, UnknownPeerError
+from repro.p2p.inproc import InProcessNetwork, LatencyModel
+from repro.p2p.messages import Message
+
+
+def msg(sender, recipient, n=0, kind="k"):
+    return Message(kind, sender, recipient, {"n": n})
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        net = InProcessNetwork()
+        got = []
+        net.register("A", got.append)
+        net.register("B", lambda m: None)
+        net.send(msg("B", "A", 1))
+        assert net.run_until_idle() == 1
+        assert got[0].payload["n"] == 1
+
+    def test_unknown_recipient_rejected_at_send(self):
+        net = InProcessNetwork()
+        net.register("A", lambda m: None)
+        with pytest.raises(UnknownPeerError):
+            net.send(msg("A", "nobody"))
+
+    def test_fifo_per_pair(self):
+        net = InProcessNetwork(seed=3, latency=LatencyModel(jitter_seconds=0.01))
+        got = []
+        net.register("A", lambda m: got.append(m.payload["n"]))
+        net.register("B", lambda m: None)
+        for i in range(20):
+            net.send(msg("B", "A", i))
+        net.run_until_idle()
+        assert got == list(range(20))
+
+    def test_handler_can_send_more(self):
+        net = InProcessNetwork()
+        log = []
+
+        def relay(message):
+            log.append(message.payload["n"])
+            if message.payload["n"] < 3:
+                net.send(msg("A", "A", message.payload["n"] + 1))
+
+        net.register("A", relay)
+        net.send(msg("A", "A", 0))
+        net.run_until_idle()
+        assert log == [0, 1, 2, 3]
+
+    def test_unregistered_peer_mail_bounces_to_sender(self):
+        net = InProcessNetwork()
+        received = []
+        net.register("A", received.append)
+        net.register("B", lambda m: None)
+        net.send(msg("A", "B", 7, kind="query_result"))
+        net.unregister("B")
+        net.run_until_idle()
+        kinds = [m.kind for m in received]
+        assert "peer_down" in kinds  # failure-detector announcement
+        (bounce,) = [m for m in received if m.kind == "undeliverable"]
+        assert bounce.payload["kind"] == "query_result"
+        assert bounce.payload["recipient"] == "B"
+        assert bounce.payload["payload"]["n"] == 7
+
+    def test_acks_to_dead_peers_dropped_silently(self):
+        net = InProcessNetwork()
+        got = []
+        net.register("A", got.append)
+        net.register("B", lambda m: None)
+        net.send(msg("A", "B", kind="ack"))
+        net.unregister("B")
+        net.run_until_idle()
+        assert [m.kind for m in got] == ["peer_down"]  # no ack bounce
+
+    def test_peer_down_announced_to_survivors(self):
+        net = InProcessNetwork()
+        notices = {}
+        for name in ("A", "B", "C"):
+            net.register(name, lambda m, n=name: notices.setdefault(n, m))
+        net.unregister("C")
+        net.run_until_idle()
+        assert set(notices) == {"A", "B"}
+        assert all(m.kind == "peer_down" for m in notices.values())
+        assert all(m.payload["peer"] == "C" for m in notices.values())
+
+    def test_stop_clears_queue(self):
+        net = InProcessNetwork()
+        net.register("A", lambda m: None)
+        net.send(msg("A", "A"))
+        net.stop()
+        with pytest.raises(TransportStoppedError):
+            net.send(msg("A", "A"))
+        assert net.pending() == 0
+
+
+class TestClockAndDeterminism:
+    def test_virtual_clock_advances_by_latency(self):
+        net = InProcessNetwork(latency=LatencyModel(base_seconds=0.5))
+        net.register("A", lambda m: None)
+        net.register("B", lambda m: None)
+        net.send(msg("A", "B"))
+        net.run_until_idle()
+        assert net.now() == pytest.approx(0.5)
+
+    def test_bandwidth_term(self):
+        model = LatencyModel(base_seconds=0.0, bandwidth_bytes_per_second=1000.0)
+        net = InProcessNetwork(latency=model)
+        net.register("A", lambda m: None)
+        net.register("B", lambda m: None)
+        message = msg("A", "B")
+        net.send(message)
+        net.run_until_idle()
+        assert net.now() == pytest.approx(message.size_bytes() / 1000.0)
+
+    def test_same_seed_same_trace(self):
+        def run(seed):
+            net = InProcessNetwork(seed=seed, latency=LatencyModel(jitter_seconds=0.01))
+            trace = []
+            net.register("A", lambda m: trace.append((net.now(), m.payload["n"])))
+            net.register("B", lambda m: None)
+            for i in range(10):
+                net.send(msg("B", "A", i))
+            net.run_until_idle()
+            return trace
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_run_for_partial_progress(self):
+        net = InProcessNetwork(latency=LatencyModel(base_seconds=1.0))
+        got = []
+        net.register("A", lambda m: got.append(m.payload["n"]))
+        net.register("B", lambda m: None)
+        net.send(msg("B", "A", 1))  # delivers at t=1
+        net.run_for(0.5)
+        assert got == [] and net.now() == pytest.approx(0.5)
+        net.run_for(1.0)
+        assert got == [1]
+
+    def test_stats_counters(self):
+        net = InProcessNetwork()
+        net.register("A", lambda m: None)
+        net.register("B", lambda m: None)
+        net.send(msg("A", "B", kind="hello"))
+        net.send(msg("A", "B", kind="hello"))
+        net.run_until_idle()
+        assert net.stats.messages_sent == 2
+        assert net.stats.messages_delivered == 2
+        assert net.stats.by_kind["hello"] == 2
+        assert net.stats.bytes_sent > 0
+
+    def test_broadcast_excludes_sender(self):
+        net = InProcessNetwork()
+        got = []
+        for name in ("A", "B", "C"):
+            net.register(name, lambda m, n=name: got.append(n))
+        count = net.broadcast("A", "k", {})
+        net.run_until_idle()
+        assert count == 2
+        assert sorted(got) == ["B", "C"]

@@ -1,0 +1,68 @@
+"""Message envelopes and their wire format."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.p2p.messages import Message
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        message = Message(
+            kind="query_result",
+            sender="A",
+            recipient="B",
+            payload={"rows": [[1, "x"]], "update_id": "u1"},
+            message_id="msg-1",
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded == message
+
+    def test_sizes_are_stable(self):
+        a = Message("k", "A", "B", {"b": 1, "a": 2})
+        b = Message("k", "A", "B", {"a": 2, "b": 1})
+        assert a.size_bytes() == b.size_bytes()
+        assert a.to_wire() == b.to_wire()  # sorted keys
+
+    def test_payload_bytes_smaller_than_envelope(self):
+        message = Message("k", "A", "B", {"x": 1})
+        assert message.payload_bytes() < message.size_bytes()
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message.from_wire(b"not json at all")
+        with pytest.raises(ProtocolError):
+            Message.from_wire(b'{"kind": "x"}')  # missing fields
+
+    def test_unicode_payload(self):
+        message = Message("k", "A", "B", {"s": "Trento⟪è⟫"})
+        assert Message.from_wire(message.to_wire()).payload["s"] == "Trento⟪è⟫"
+
+    def test_reply_swaps_endpoints(self):
+        message = Message("ask", "A", "B", {})
+        reply = message.reply("answer", {"ok": True})
+        assert reply.sender == "B"
+        assert reply.recipient == "A"
+        assert reply.kind == "answer"
+
+
+class TestIdAuthority:
+    def test_kind_prefixes(self):
+        from repro.p2p.ids import IdAuthority
+
+        ids = IdAuthority(seed=1)
+        assert ids.peer_id().startswith("peer-")
+        assert ids.update_id().startswith("update-")
+        assert ids.query_id().startswith("query-")
+
+    def test_determinism(self):
+        from repro.p2p.ids import IdAuthority
+
+        assert IdAuthority(seed=5).update_id() == IdAuthority(seed=5).update_id()
+        assert IdAuthority(seed=5).update_id() != IdAuthority(seed=6).update_id()
+
+    def test_uniqueness_within_kind(self):
+        from repro.p2p.ids import IdAuthority
+
+        ids = IdAuthority()
+        assert len({ids.message_id() for _ in range(100)}) == 100

@@ -1,0 +1,181 @@
+"""Pipes, pipe tables, endpoints and discovery."""
+
+import pytest
+
+from repro.errors import PipeClosedError, ProtocolError
+from repro.p2p.advertisements import PeerAdvertisement, PipeAdvertisement
+from repro.p2p.discovery import DiscoveryService
+from repro.p2p.endpoint import Endpoint
+from repro.p2p.ids import IdAuthority
+from repro.p2p.inproc import InProcessNetwork
+from repro.p2p.pipes import PipeTable
+
+
+@pytest.fixture
+def net():
+    return InProcessNetwork(seed=1)
+
+
+@pytest.fixture
+def ids():
+    return IdAuthority(seed=1)
+
+
+def endpoint(net, ids, name):
+    return Endpoint(name, net, ids)
+
+
+class TestEndpoint:
+    def test_dispatch_by_kind(self, net, ids):
+        a = endpoint(net, ids, "A")
+        b = endpoint(net, ids, "B")
+        got = []
+        b.on("ping", lambda m: got.append("ping"))
+        b.on("pong", lambda m: got.append("pong"))
+        a.send("B", "pong", {})
+        a.send("B", "ping", {})
+        net.run_until_idle()
+        assert got == ["pong", "ping"]
+
+    def test_duplicate_handler_rejected(self, net, ids):
+        a = endpoint(net, ids, "A")
+        a.on("x", lambda m: None)
+        with pytest.raises(ProtocolError):
+            a.on("x", lambda m: None)
+
+    def test_unhandled_counted(self, net, ids):
+        a = endpoint(net, ids, "A")
+        b = endpoint(net, ids, "B")
+        a.send("B", "mystery", {})
+        net.run_until_idle()
+        assert b.unhandled_count == 1
+
+    def test_strict_endpoint_raises(self, net, ids):
+        a = endpoint(net, ids, "A")
+        Endpoint("B", net, ids, strict=True)
+        a.send("B", "mystery", {})
+        with pytest.raises(ProtocolError):
+            net.run_until_idle()
+
+    def test_default_handler(self, net, ids):
+        a = endpoint(net, ids, "A")
+        b = endpoint(net, ids, "B")
+        got = []
+        b.on_default(lambda m: got.append(m.kind))
+        a.send("B", "anything", {})
+        net.run_until_idle()
+        assert got == ["anything"]
+
+    def test_messages_get_unique_ids(self, net, ids):
+        a = endpoint(net, ids, "A")
+        endpoint(net, ids, "B")
+        m1 = a.send("B", "x", {})
+        m2 = a.send("B", "x", {})
+        assert m1.message_id != m2.message_id
+
+
+class TestPipes:
+    def test_one_pipe_per_remote_rules_accumulate(self, net, ids):
+        a = endpoint(net, ids, "A")
+        endpoint(net, ids, "B")
+        table = PipeTable(a)
+        p1 = table.pipe_to("B", rule_id="r0")
+        p2 = table.pipe_to("B", rule_id="r1")
+        assert p1 is p2
+        assert p1.assigned_rules == {"r0", "r1"}
+        assert len(table) == 1
+
+    def test_pipe_closes_when_last_rule_unassigned(self, net, ids):
+        a = endpoint(net, ids, "A")
+        endpoint(net, ids, "B")
+        table = PipeTable(a)
+        pipe = table.pipe_to("B", rule_id="r0")
+        table.pipe_to("B", rule_id="r1")
+        table.unassign_rule("B", "r0")
+        assert table.get("B") is not None  # still one rule left
+        table.unassign_rule("B", "r1")
+        assert table.get("B") is None
+        assert not pipe.open
+        with pytest.raises(PipeClosedError):
+            pipe.send("x", {})
+
+    def test_traffic_counters(self, net, ids):
+        a = endpoint(net, ids, "A")
+        b = endpoint(net, ids, "B")
+        b.on("data", lambda m: None)
+        table = PipeTable(a)
+        pipe = table.pipe_to("B", rule_id="r0")
+        message = pipe.send("data", {"rows": [1, 2, 3]})
+        net.run_until_idle()
+        assert pipe.sent.messages == 1
+        assert pipe.sent.bytes == message.size_bytes()
+
+    def test_drop_all(self, net, ids):
+        a = endpoint(net, ids, "A")
+        endpoint(net, ids, "B")
+        endpoint(net, ids, "C")
+        table = PipeTable(a)
+        table.pipe_to("B", rule_id="r0")
+        table.pipe_to("C", rule_id="r1")
+        table.drop_all()
+        assert len(table) == 0
+        assert table.closed_count == 2
+
+    def test_remotes_listing(self, net, ids):
+        a = endpoint(net, ids, "A")
+        endpoint(net, ids, "B")
+        table = PipeTable(a)
+        table.pipe_to("B", rule_id="r")
+        assert table.remotes() == ["B"]
+
+
+class TestDiscovery:
+    def make_peers(self, net, ids, names):
+        services = {}
+        for name in names:
+            ep = endpoint(net, ids, name)
+            adv = PeerAdvertisement(
+                peer_id=name, name=name, exported_relations=(("item", 2),)
+            )
+            services[name] = DiscoveryService(ep, adv)
+        return services
+
+    def test_discover_finds_everyone(self, net, ids):
+        services = self.make_peers(net, ids, ["A", "B", "C", "D"])
+        services["A"].discover()
+        net.run_until_idle()
+        assert sorted(services["A"].known_peer_ids()) == ["A", "B", "C", "D"]
+
+    def test_announce_populates_other_caches(self, net, ids):
+        services = self.make_peers(net, ids, ["A", "B"])
+        services["A"].announce()
+        net.run_until_idle()
+        assert "A" in services["B"].known_peer_ids()
+
+    def test_gossip_forwards_cached_advertisements(self, net, ids):
+        services = self.make_peers(net, ids, ["A", "B", "C"])
+        # B learns about C first; then A asks only B.
+        services["B"].discover()
+        net.run_until_idle()
+        services["C"].endpoint.detach()  # C goes away
+        services["A"].discover()
+        net.run_until_idle()
+        assert "C" in services["A"].known_peer_ids()  # learned via B's cache
+
+    def test_lookup_and_find_by_name(self, net, ids):
+        services = self.make_peers(net, ids, ["A", "B"])
+        services["A"].discover()
+        net.run_until_idle()
+        assert services["A"].lookup("B").exported_relations == (("item", 2),)
+        assert services["A"].find_by_name("B").peer_id == "B"
+        assert services["A"].find_by_name("nope") is None
+
+    def test_advertisement_payload_round_trip(self):
+        adv = PeerAdvertisement(
+            peer_id="p", name="n",
+            exported_relations=(("r", 2),),
+            properties=(("k", "v"),),
+        )
+        assert PeerAdvertisement.from_payload(adv.to_payload()) == adv
+        pipe_adv = PipeAdvertisement("pipe-1", "A", "B")
+        assert PipeAdvertisement.from_payload(pipe_adv.to_payload()) == pipe_adv

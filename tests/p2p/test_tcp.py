@@ -1,0 +1,98 @@
+"""The TCP transport over localhost."""
+
+import threading
+
+import pytest
+
+from repro.errors import UnknownPeerError
+from repro.p2p.messages import Message
+from repro.p2p.tcp import TcpNetwork
+
+
+@pytest.fixture
+def net():
+    network = TcpNetwork()
+    yield network
+    network.stop()
+
+
+def msg(sender, recipient, n=0):
+    return Message("k", sender, recipient, {"n": n})
+
+
+class TestTcpDelivery:
+    def test_basic_delivery(self, net):
+        got = []
+        net.register("A", got.append)
+        net.register("B", lambda m: None)
+        net.send(msg("B", "A", 42))
+        net.run_until_idle()
+        assert [m.payload["n"] for m in got] == [42]
+
+    def test_fifo_per_pair(self, net):
+        got = []
+        net.register("A", lambda m: got.append(m.payload["n"]))
+        net.register("B", lambda m: None)
+        for i in range(50):
+            net.send(msg("B", "A", i))
+        net.run_until_idle()
+        assert got == list(range(50))
+
+    def test_handler_chain(self, net):
+        log = []
+
+        def relay(message):
+            log.append(message.payload["n"])
+            if message.payload["n"] < 5:
+                net.send(msg("A", "A", message.payload["n"] + 1))
+
+        net.register("A", relay)
+        net.send(msg("A", "A", 0))
+        net.run_until_idle()
+        assert log == [0, 1, 2, 3, 4, 5]
+
+    def test_concurrent_senders(self, net):
+        got = []
+        lock = threading.Lock()
+
+        def collect(message):
+            with lock:
+                got.append(message.payload["n"])
+
+        net.register("sink", collect)
+        for name in ("S0", "S1", "S2"):
+            net.register(name, lambda m: None)
+
+        def blast(name, base):
+            for i in range(20):
+                net.send(msg(name, "sink", base + i))
+
+        threads = [
+            threading.Thread(target=blast, args=(f"S{i}", 100 * i))
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        net.run_until_idle()
+        assert len(got) == 60
+        # per-sender FIFO even under concurrency
+        for base in (0, 100, 200):
+            mine = [n for n in got if base <= n < base + 100]
+            assert mine == sorted(mine)
+
+    def test_unknown_recipient(self, net):
+        net.register("A", lambda m: None)
+        with pytest.raises(UnknownPeerError):
+            net.send(msg("A", "ghost"))
+
+    def test_ports_are_distinct(self, net):
+        net.register("A", lambda m: None)
+        net.register("B", lambda m: None)
+        assert net.port_of("A") != net.port_of("B")
+
+    def test_clock_monotone(self, net):
+        t0 = net.now()
+        t1 = net.now()
+        assert t1 >= t0 >= 0.0

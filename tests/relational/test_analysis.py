@@ -1,0 +1,137 @@
+"""Rule-set analysis: SCCs, dependency graphs, weak acyclicity."""
+
+from repro.relational.analysis import (
+    NetworkRule,
+    RuleGraph,
+    build_position_graph,
+    is_weakly_acyclic,
+    strongly_connected_components,
+)
+from repro.relational.parser import parse_mapping
+
+
+def rule(rule_id, text):
+    parsed = parse_mapping(text)
+    return NetworkRule(rule_id, parsed.target, parsed.source, parsed.mapping)
+
+
+class TestSCC:
+    def test_dag(self):
+        graph = {"a": ["b"], "b": ["c"], "c": []}
+        components = strongly_connected_components(graph)
+        assert [set(c) for c in components] == [{"c"}, {"b"}, {"a"}]
+
+    def test_cycle(self):
+        graph = {"a": ["b"], "b": ["c"], "c": ["a"]}
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert set(components[0]) == {"a", "b", "c"}
+
+    def test_mixed(self):
+        graph = {"a": ["b"], "b": ["a"], "c": ["a"], "d": []}
+        components = [set(c) for c in strongly_connected_components(graph)]
+        assert {"a", "b"} in components
+        assert {"c"} in components
+        assert {"d"} in components
+
+    def test_reverse_topological_order(self):
+        graph = {"a": ["b"], "b": [], "c": ["a"]}
+        components = strongly_connected_components(graph)
+        order = [frozenset(c) for c in components]
+        assert order.index(frozenset({"b"})) < order.index(frozenset({"a"}))
+        assert order.index(frozenset({"a"})) < order.index(frozenset({"c"}))
+
+    def test_large_chain_no_recursion_error(self):
+        n = 5000
+        graph = {i: [i + 1] for i in range(n)}
+        graph[n] = []
+        components = strongly_connected_components(graph)
+        assert len(components) == n + 1
+
+
+class TestRuleGraph:
+    def test_chain_is_acyclic(self):
+        rules = [
+            rule("r0", "A:item(x) <- B:item(x)"),
+            rule("r1", "B:item(x) <- C:item(x)"),
+        ]
+        graph = RuleGraph(rules)
+        assert not graph.has_cycle()
+        # r1 writes B.item which r0's body reads at B: r1 feeds r0.
+        assert graph.successors["r1"] == ["r0"]
+        assert graph.topological_order() == ["r1", "r0"]
+
+    def test_ring_is_cyclic(self):
+        rules = [
+            rule("r0", "A:item(x) <- B:item(x)"),
+            rule("r1", "B:item(x) <- A:item(x)"),
+        ]
+        graph = RuleGraph(rules)
+        assert graph.has_cycle()
+        assert graph.cyclic_rules() == {"r0", "r1"}
+
+    def test_same_relation_name_different_nodes_not_confused(self):
+        # Both rules write/read "item" but at unrelated node pairs.
+        rules = [
+            rule("r0", "A:item(x) <- B:item(x)"),
+            rule("r1", "C:item(x) <- D:item(x)"),
+        ]
+        graph = RuleGraph(rules)
+        assert not graph.has_cycle()
+        assert graph.successors["r0"] == []
+
+    def test_self_feeding_rule_pair_detected(self):
+        rules = [
+            rule("r0", "A:p(x) <- B:q(x)"),
+            rule("r1", "B:q(y) <- A:p(y)"),
+        ]
+        assert RuleGraph(rules).has_cycle()
+
+
+class TestWeakAcyclicity:
+    def test_acyclic_rules_are_weakly_acyclic(self):
+        rules = [
+            rule("r0", "A:item(x) <- B:item(x)"),
+            rule("r1", "B:item(x) <- C:item(x)"),
+        ]
+        assert is_weakly_acyclic(rules)
+
+    def test_copy_cycle_without_existentials_is_weakly_acyclic(self):
+        rules = [
+            rule("r0", "A:item(x) <- B:item(x)"),
+            rule("r1", "B:item(x) <- A:item(x)"),
+        ]
+        assert is_weakly_acyclic(rules)
+
+    def test_existential_fed_back_is_not_weakly_acyclic(self):
+        # B mints w; A copies both columns back into B's input.
+        rules = [
+            rule("r0", "B:pair(x, w) <- A:seed(x)"),
+            rule("r1", "A:seed(w) <- B:pair(x, w)"),
+        ]
+        assert not is_weakly_acyclic(rules)
+
+    def test_existential_not_on_cycle_is_fine(self):
+        # The existential flows into a sink relation nobody reads.
+        rules = [
+            rule("r0", "B:tagged(x, w) <- A:seed(x)"),
+            rule("r1", "A:seed(x) <- B:other(x)"),
+        ]
+        assert is_weakly_acyclic(rules)
+
+    def test_self_loop_special_edge(self):
+        rules = [rule("r0", "B:p(y, w) <- A:p(x, y)")]
+        assert is_weakly_acyclic(rules)  # different nodes: no cycle
+        rules2 = [
+            rule("r0", "B:p(y, w) <- A:p(x, y)"),
+            rule("r1", "A:p(y, w) <- B:p(x, y)"),
+        ]
+        assert not is_weakly_acyclic(rules2)
+
+    def test_position_graph_edges(self):
+        rules = [rule("r0", "B:out(x, w) <- A:src(x, y)")]
+        graph = build_position_graph(rules)
+        assert (("A", "src", 0), ("B", "out", 0)) in graph.regular_edges
+        assert (("A", "src", 0), ("B", "out", 1)) in graph.special_edges
+        # y does not occur in the head: no edges from its position.
+        assert all(edge[0] != ("A", "src", 1) for edge in graph.regular_edges)

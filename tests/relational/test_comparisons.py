@@ -1,0 +1,97 @@
+"""Comparison predicates under certain-answer semantics."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.comparisons import comparisons_ready, evaluate_comparison
+from repro.relational.conjunctive import Comparison, Variable
+from repro.relational.values import MarkedNull
+
+
+def ev(op, left, right, binding=None):
+    return evaluate_comparison(Comparison(op, left, right), binding or {})
+
+
+class TestConstants:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 3, 3, True),
+            ("=", 3, 3.0, True),
+            ("=", 3, 4, False),
+            ("=", "a", "a", True),
+            ("!=", 3, 4, True),
+            ("!=", 3, 3, False),
+            ("<", 3, 4, True),
+            ("<", 4, 3, False),
+            ("<=", 3, 3, True),
+            (">", 4, 3, True),
+            (">=", 3, 3, True),
+            ("<", "abc", "abd", True),
+            (">", "b", "a", True),
+        ],
+    )
+    def test_basic(self, op, left, right, expected):
+        assert ev(op, left, right) is expected
+
+    def test_mixed_types_never_ordered(self):
+        assert ev("<", 3, "a") is False
+        assert ev(">", "a", 3) is False
+        assert ev("<=", True, 3) is False
+
+    def test_bools_order_among_themselves(self):
+        assert ev("<", False, True) is True
+
+
+class TestNulls:
+    def test_same_null_equal(self):
+        null = MarkedNull("n")
+        assert ev("=", null, null) is True
+
+    def test_distinct_nulls_not_certainly_equal(self):
+        assert ev("=", MarkedNull("a"), MarkedNull("b")) is False
+
+    def test_null_never_certainly_equals_constant(self):
+        assert ev("=", MarkedNull("a"), 3) is False
+
+    def test_null_never_certainly_unequal(self):
+        # two different nulls may still denote the same value
+        assert ev("!=", MarkedNull("a"), MarkedNull("b")) is False
+        assert ev("!=", MarkedNull("a"), 3) is False
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    def test_ordering_with_null_never_certain(self, op):
+        assert ev(op, MarkedNull("a"), 3) is False
+        assert ev(op, 3, MarkedNull("a")) is False
+
+
+class TestVariables:
+    def test_bound_variable_resolved(self):
+        assert ev(">", Variable("x"), 3, {"x": 5}) is True
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(QueryError):
+            ev("=", Variable("x"), 3, {})
+
+    def test_two_variables(self):
+        assert ev("<", Variable("x"), Variable("y"), {"x": 1, "y": 2}) is True
+
+
+class TestReadiness:
+    def test_ready_when_all_vars_bound(self):
+        comparisons = (
+            Comparison("<", Variable("x"), 3),
+            Comparison("<", Variable("y"), 3),
+        )
+        ready = comparisons_ready(comparisons, frozenset({"x"}))
+        assert ready == [comparisons[0]]
+
+    def test_ground_comparison_always_ready(self):
+        comparisons = (Comparison("<", 1, 2),)
+        assert comparisons_ready(comparisons, frozenset()) == list(comparisons)
+
+
+class TestValidation:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("<>", 1, 2)

@@ -1,0 +1,133 @@
+"""The query/mapping IR: construction, safety, variable classification."""
+
+import pytest
+
+from repro.errors import ArityError, QueryError, UnsafeQueryError
+from repro.relational.conjunctive import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    GlavMapping,
+    Variable,
+    collect_variables,
+)
+from repro.relational.parser import parse_schema
+
+
+class TestAtoms:
+    def test_of_builds_variables_from_strings(self):
+        atom = Atom.of("r", "x", 42, "y")
+        assert atom.terms == (Variable("x"), 42, Variable("y"))
+
+    def test_variables(self):
+        atom = Atom.of("r", "x", "y", "x", 1)
+        assert atom.variables() == frozenset({"x", "y"})
+
+    def test_is_ground(self):
+        assert Atom.of("r", 1, "a_string_is_var").is_ground() is False
+        assert Atom("r", (1, "const")).is_ground() is True
+
+    def test_substitute(self):
+        atom = Atom.of("r", "x", "y")
+        bound = atom.substitute({"x": 5})
+        assert bound.terms == (5, Variable("y"))
+
+    def test_invalid_variable_name(self):
+        with pytest.raises(QueryError):
+            Variable("not a name")
+
+
+class TestConjunctiveQuery:
+    def test_valid_query(self):
+        q = ConjunctiveQuery(
+            Atom.of("q", "x"),
+            (Atom.of("r", "x", "y"),),
+            (Comparison(">", Variable("y"), 0),),
+        )
+        assert q.answer_relation == "q"
+        assert q.distinguished_variables() == frozenset({"x"})
+        assert q.existential_variables() == frozenset({"y"})
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery(Atom.of("q", "z"), (Atom.of("r", "x"),))
+
+    def test_unsafe_comparison_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery(
+                Atom.of("q", "x"),
+                (Atom.of("r", "x"),),
+                (Comparison(">", Variable("zz"), 0),),
+            )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(Atom.of("q", "x"), ())
+
+    def test_body_relations_deduplicated_in_order(self):
+        q = ConjunctiveQuery(
+            Atom.of("q", "x"),
+            (Atom.of("b", "x"), Atom.of("a", "x"), Atom.of("b", "x")),
+        )
+        assert q.body_relations() == ("b", "a")
+
+    def test_validate_against_schema(self):
+        schema = parse_schema("r(a, b)\nlocal s(a)")
+        q = ConjunctiveQuery(Atom.of("q", "x"), (Atom.of("r", "x", "y"),))
+        q.validate_against(schema)
+        bad_arity = ConjunctiveQuery(Atom.of("q", "x"), (Atom.of("r", "x"),))
+        with pytest.raises(ArityError):
+            bad_arity.validate_against(schema)
+        local = ConjunctiveQuery(Atom.of("q", "x"), (Atom.of("s", "x"),))
+        local.validate_against(schema)  # fine locally
+        with pytest.raises(QueryError):
+            local.validate_against(schema, exported_only=True)
+
+
+class TestGlavMapping:
+    def make(self):
+        return GlavMapping(
+            head=(Atom.of("resident", "n"), Atom.of("ward_of", "n", "w")),
+            body=(Atom.of("person", "n", "c"),),
+            comparisons=(Comparison("=", Variable("c"), "Trento"),),
+        )
+
+    def test_variable_classification(self):
+        m = self.make()
+        assert m.frontier_variables() == frozenset({"n"})
+        assert m.existential_head_variables() == frozenset({"w"})
+        assert m.body_variables() == frozenset({"n", "c"})
+        assert m.has_existentials()
+
+    def test_relations(self):
+        m = self.make()
+        assert m.head_relations() == ("resident", "ward_of")
+        assert m.body_relations() == ("person",)
+
+    def test_empty_head_or_body_rejected(self):
+        with pytest.raises(QueryError):
+            GlavMapping((), (Atom.of("r", "x"),))
+        with pytest.raises(QueryError):
+            GlavMapping((Atom.of("r", "x"),), ())
+
+    def test_unsafe_comparison_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            GlavMapping(
+                (Atom.of("h", "x"),),
+                (Atom.of("b", "x"),),
+                (Comparison("=", Variable("nope"), 1),),
+            )
+
+    def test_validate_against_schemas(self):
+        target = parse_schema("resident(n)\nward_of(n, w)")
+        source = parse_schema("person(n, c)\nlocal hidden(x)")
+        self.make().validate_against(target, source)
+        reads_local = GlavMapping(
+            (Atom.of("resident", "n"),), (Atom.of("hidden", "n"),)
+        )
+        with pytest.raises(QueryError):
+            reads_local.validate_against(target, source)
+
+    def test_collect_variables(self):
+        m = self.make()
+        assert collect_variables(m.head) == frozenset({"n", "w"})

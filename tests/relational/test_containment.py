@@ -1,0 +1,150 @@
+"""Homomorphisms: containment, subsumption, null-isomorphism."""
+
+import pytest
+
+from repro.relational.conjunctive import Atom
+from repro.relational.containment import (
+    find_homomorphism,
+    freeze_query,
+    is_contained_in,
+    is_equivalent_to,
+    rows_equal_up_to_nulls,
+    tuple_subsumed,
+)
+from repro.relational.parser import parse_query
+from repro.relational.schema import RelationSchema
+from repro.relational.storage import Relation
+from repro.relational.values import MarkedNull
+
+
+class TestFindHomomorphism:
+    def test_simple_match(self):
+        hom = find_homomorphism(
+            [Atom.of("r", "x", "y")], [("r", (1, 2)), ("r", (3, 4))]
+        )
+        assert hom in ({"x": 1, "y": 2}, {"x": 3, "y": 4})
+
+    def test_join_consistency(self):
+        atoms = [Atom.of("r", "x", "y"), Atom.of("r", "y", "z")]
+        facts = [("r", (1, 2)), ("r", (2, 3))]
+        hom = find_homomorphism(atoms, facts)
+        assert hom == {"x": 1, "y": 2, "z": 3}
+
+    def test_no_match(self):
+        atoms = [Atom.of("r", "x", "x")]
+        assert find_homomorphism(atoms, [("r", (1, 2))]) is None
+
+    def test_fixed_assignment_respected(self):
+        atoms = [Atom.of("r", "x", "y")]
+        facts = [("r", (1, 2)), ("r", (3, 4))]
+        hom = find_homomorphism(atoms, facts, fixed={"x": 3})
+        assert hom == {"x": 3, "y": 4}
+
+    def test_constants_must_match(self):
+        atoms = [Atom.of("r", 7, "y")]
+        assert find_homomorphism(atoms, [("r", (1, 2))]) is None
+        assert find_homomorphism(atoms, [("r", (7, 2))]) == {"y": 2}
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self):
+        two = parse_query("q(x) <- edge(x, y), edge(y, z)")
+        one = parse_query("q(x) <- edge(x, y)")
+        assert is_contained_in(two, one)
+        assert not is_contained_in(one, two)
+
+    def test_reflexive(self):
+        q = parse_query("q(x, y) <- r(x, y), s(y)")
+        assert is_contained_in(q, q)
+        assert is_equivalent_to(q, q)
+
+    def test_redundant_atom_equivalence(self):
+        redundant = parse_query("q(x) <- r(x, y), r(x, y2)")
+        minimal = parse_query("q(x) <- r(x, y)")
+        assert is_equivalent_to(redundant, minimal)
+
+    def test_constants_break_containment(self):
+        specific = parse_query("q(x) <- r(x, 3)")
+        general = parse_query("q(x) <- r(x, y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_different_arity_never_contained(self):
+        one = parse_query("q(x) <- r(x, y)")
+        two = parse_query("q(x, y) <- r(x, y)")
+        assert not is_contained_in(one, two)
+
+    def test_comparisons_conservative(self):
+        # True answers remain true with comparisons on the container.
+        q = parse_query("q(x) <- r(x, 5)")
+        filtered = parse_query("q(x) <- r(x, y), y > 1")
+        assert is_contained_in(q, filtered)
+
+    def test_freeze_query_shape(self):
+        q = parse_query("q(x) <- r(x, y)")
+        facts, head = freeze_query(q)
+        assert facts == [("r", ("⟪x⟫", "⟪y⟫"))]
+        assert head == ("⟪x⟫",)
+
+
+class TestTupleSubsumption:
+    def make_relation(self, rows):
+        relation = Relation(RelationSchema.of("r", ["a", "b"]))
+        relation.insert_new(rows)
+        return relation
+
+    def test_null_subsumed_by_constant_row(self):
+        relation = self.make_relation([("anna", 24)])
+        assert tuple_subsumed(("anna", MarkedNull("n")), relation)
+
+    def test_constant_mismatch_not_subsumed(self):
+        relation = self.make_relation([("anna", 24)])
+        assert not tuple_subsumed(("bob", MarkedNull("n")), relation)
+
+    def test_ground_tuple_subsumed_only_by_itself(self):
+        relation = self.make_relation([("anna", 24)])
+        assert tuple_subsumed(("anna", 24), relation)
+        assert not tuple_subsumed(("anna", 25), relation)
+
+    def test_repeated_null_must_map_consistently(self):
+        null = MarkedNull("n")
+        relation = self.make_relation([(1, 2)])
+        assert not tuple_subsumed((null, null), relation)
+        relation.insert((3, 3))
+        assert tuple_subsumed((null, null), relation)
+
+    def test_null_subsumed_by_null_row(self):
+        stored = MarkedNull("stored")
+        relation = self.make_relation([("anna", stored)])
+        assert tuple_subsumed(("anna", MarkedNull("fresh")), relation)
+
+
+class TestRowsEqualUpToNulls:
+    def test_identical_constants(self):
+        assert rows_equal_up_to_nulls([(1, 2)], [(1, 2)])
+
+    def test_null_renaming(self):
+        a, b = MarkedNull("a"), MarkedNull("b")
+        x, y = MarkedNull("x"), MarkedNull("y")
+        assert rows_equal_up_to_nulls([(1, a), (2, b)], [(1, x), (2, y)])
+
+    def test_shared_null_structure_matters(self):
+        a = MarkedNull("a")
+        x, y = MarkedNull("x"), MarkedNull("y")
+        # left shares one null across rows, right uses two distinct ones
+        assert not rows_equal_up_to_nulls([(1, a), (2, a)], [(1, x), (2, y)])
+        assert rows_equal_up_to_nulls([(1, a), (2, a)], [(1, x), (2, x)])
+
+    def test_cardinality_mismatch(self):
+        assert not rows_equal_up_to_nulls([(1,)], [(1,), (2,)])
+
+    def test_null_vs_constant(self):
+        assert not rows_equal_up_to_nulls([(MarkedNull("n"),)], [(1,)])
+
+    def test_bijection_required(self):
+        a, b = MarkedNull("a"), MarkedNull("b")
+        x = MarkedNull("x")
+        # two distinct nulls cannot both map to the same target null
+        assert not rows_equal_up_to_nulls(
+            [(1, a), (1, b)], [(1, x), (1, x)]
+        )

@@ -1,0 +1,75 @@
+"""The database instance: named access, loads, snapshots."""
+
+import pytest
+
+from repro.errors import UnknownRelationError
+from repro.relational.database import Database
+from repro.relational.parser import parse_facts, parse_schema
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def db():
+    return Database(parse_schema("r(a, b)\ns(x)"))
+
+
+class TestAccess:
+    def test_relation_lookup(self, db):
+        assert db.relation("r").schema.arity == 2
+        assert db["s"].schema.arity == 1
+        with pytest.raises(UnknownRelationError):
+            db.relation("nope")
+
+    def test_contains(self, db):
+        assert "r" in db
+        assert "zz" not in db
+
+    def test_relation_names(self, db):
+        assert db.relation_names == ("r", "s")
+
+    def test_add_relation_at_runtime(self, db):
+        db.add_relation(RelationSchema.of("t", ["a"]))
+        db.insert("t", (1,))
+        assert db.relation("t").rows() == [(1,)]
+
+
+class TestMutation:
+    def test_load_counts_new_rows(self, db):
+        count = db.load({"r": [(1, 2), (1, 2)], "s": [(9,)]})
+        assert count == 2
+        assert db.total_rows() == 2
+
+    def test_load_from_parsed_facts(self, db):
+        db.load(parse_facts("r(1, 2). s(3)"))
+        assert db.relation("r").rows() == [(1, 2)]
+
+    def test_insert_new_delta(self, db):
+        db.insert("r", (1, 2))
+        assert db.insert_new("r", [(1, 2), (3, 4)]) == [(3, 4)]
+
+    def test_clear(self, db):
+        db.load({"r": [(1, 2)]})
+        db.clear()
+        assert db.total_rows() == 0
+
+
+class TestViews:
+    def test_snapshot_sorted_and_complete(self, db):
+        db.load({"r": [(2, 1), (1, 1)], "s": []})
+        snap = db.snapshot()
+        assert snap == {"r": [(1, 1), (2, 1)], "s": []}
+
+    def test_copy_independent(self, db):
+        db.insert("r", (1, 2))
+        clone = db.copy()
+        clone.insert("r", (3, 4))
+        assert db.total_rows() == 1
+        assert clone.total_rows() == 2
+
+    def test_same_contents_ignores_order(self, db):
+        other = Database(parse_schema("r(a, b)\ns(x)"))
+        db.load({"r": [(1, 2), (3, 4)]})
+        other.load({"r": [(3, 4), (1, 2)]})
+        assert db.same_contents(other)
+        other.insert("s", (1,))
+        assert not db.same_contents(other)

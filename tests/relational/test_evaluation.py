@@ -1,0 +1,188 @@
+"""The CQ evaluator: joins, selections, deltas, head application."""
+
+import pytest
+
+from repro.relational.conjunctive import Atom, Comparison, Variable
+from repro.relational.database import Database
+from repro.relational.evaluation import (
+    apply_head,
+    evaluate_body,
+    evaluate_mapping_bindings,
+    evaluate_query,
+    evaluate_query_delta,
+)
+from repro.relational.nulls import NullFactory
+from repro.relational.parser import parse_mapping, parse_query, parse_schema
+from repro.relational.values import MarkedNull
+
+
+class TestEvaluateQuery:
+    def test_selection(self, person_db):
+        q = parse_query("q(x) <- person(x, a), a >= 24")
+        assert sorted(evaluate_query(person_db, q)) == [
+            ("anna",),
+            ("carl",),
+            ("dina",),
+        ]
+
+    def test_constant_in_body_atom(self, person_db):
+        q = parse_query("q(x) <- person(x, 24)")
+        assert sorted(evaluate_query(person_db, q)) == [("anna",), ("dina",)]
+
+    def test_constant_in_head(self, person_db):
+        q = parse_query("q(x, 'adult') <- person(x, a), a >= 18")
+        rows = evaluate_query(person_db, q)
+        assert ("anna", "adult") in rows
+
+    def test_join(self, graph_db):
+        q = parse_query("two_hop(x, z) <- edge(x, y), edge(y, z)")
+        rows = set(evaluate_query(graph_db, q))
+        assert (1, 3) in rows  # 1->2->3
+        assert (1, 4) in rows  # 1->2->4
+        assert (2, 1) in rows  # 2->4->1 or 2->3->4->... (two hops only)
+
+    def test_triangle_join(self, graph_db):
+        q = parse_query("tri(x) <- edge(x, y), edge(y, z), edge(z, x)")
+        rows = set(evaluate_query(graph_db, q))
+        assert (1,) in rows  # 1->2->4->1? edges (1,2),(2,4),(4,1): yes
+
+    def test_repeated_variable_in_atom(self):
+        schema = parse_schema("edge(a, b)")
+        db = Database(schema)
+        db.load({"edge": [(1, 1), (1, 2), (3, 3)]})
+        q = parse_query("loop(x) <- edge(x, x)")
+        assert sorted(evaluate_query(db, q)) == [(1,), (3,)]
+
+    def test_distinct_answers(self, graph_db):
+        q = parse_query("src(x) <- edge(x, y)")
+        rows = evaluate_query(graph_db, q)
+        assert len(rows) == len(set(rows))
+
+    def test_empty_relation_gives_empty_answer(self):
+        schema = parse_schema("r(a)\ns(a)")
+        db = Database(schema)
+        db.load({"r": [(1,)]})
+        q = parse_query("q(x) <- r(x), s(x)")
+        assert evaluate_query(db, q) == []
+
+    def test_cross_product(self):
+        schema = parse_schema("r(a)\ns(b)")
+        db = Database(schema)
+        db.load({"r": [(1,), (2,)], "s": [(10,), (20,)]})
+        q = parse_query("q(x, y) <- r(x), s(y)")
+        assert len(evaluate_query(db, q)) == 4
+
+    def test_comparison_between_variables(self, graph_db):
+        q = parse_query("up(x, y) <- edge(x, y), x < y")
+        rows = set(evaluate_query(graph_db, q))
+        assert all(x < y for x, y in rows)
+        assert (4, 1) not in rows
+
+
+class TestEvaluateBody:
+    def test_initial_binding_restricts(self, person_db):
+        atoms = (Atom.of("person", "x", "a"),)
+        rows = list(
+            evaluate_body(person_db, atoms, initial_binding={"x": "anna"})
+        )
+        assert rows == [{"x": "anna", "a": 24}]
+
+    def test_ground_comparison_short_circuits(self, person_db):
+        atoms = (Atom.of("person", "x", "a"),)
+        comparisons = (Comparison("<", 2, 1),)
+        assert list(evaluate_body(person_db, atoms, comparisons)) == []
+
+    def test_unknown_relation_yields_nothing(self, person_db):
+        atoms = (Atom.of("nope", "x"),)
+        assert list(evaluate_body(person_db, atoms)) == []
+
+
+class TestDeltaEvaluation:
+    def setup_method(self):
+        self.schema = parse_schema("r(a, b)\ns(b, c)")
+        self.db = Database(self.schema)
+        self.db.load({"r": [(1, 10), (2, 20)], "s": [(10, 100), (20, 200)]})
+        self.q = parse_query("q(a, c) <- r(a, b), s(b, c)")
+
+    def test_empty_delta_is_empty(self):
+        assert evaluate_query_delta(self.db, self.q, "r", []) == []
+
+    def test_delta_restricted_to_new_rows(self):
+        self.db.load({"r": [(3, 10)]})
+        rows = evaluate_query_delta(self.db, self.q, "r", [(3, 10)])
+        assert rows == [(3, 100)]
+
+    def test_delta_on_second_atom(self):
+        self.db.load({"s": [(10, 101)]})
+        rows = evaluate_query_delta(self.db, self.q, "s", [(10, 101)])
+        assert sorted(rows) == [(1, 101)]
+
+    def test_delta_with_multiple_occurrences(self):
+        schema = parse_schema("e(a, b)")
+        db = Database(schema)
+        db.load({"e": [(1, 2), (2, 3)]})
+        q = parse_query("p(x, z) <- e(x, y), e(y, z)")
+        db.load({"e": [(3, 4)]})
+        rows = set(evaluate_query_delta(db, q, "e", [(3, 4)]))
+        # New derivations must include those using (3,4) in either slot.
+        assert (2, 4) in rows
+
+    def test_full_vs_incremental_agree(self):
+        # Incrementally maintaining q by deltas must equal re-evaluation.
+        schema = parse_schema("e(a, b)")
+        db = Database(schema)
+        q = parse_query("p(x, z) <- e(x, y), e(y, z)")
+        materialised: set = set()
+        for batch in ([(1, 2)], [(2, 3)], [(3, 1)], [(1, 3), (3, 4)]):
+            delta = db.relation("e").insert_new(batch)
+            materialised |= set(evaluate_query_delta(db, q, "e", delta))
+        assert materialised == set(evaluate_query(db, q))
+
+
+class TestMappingBindings:
+    def test_frontier_projection_dedup(self):
+        schema = parse_schema("person(n, c)")
+        db = Database(schema)
+        db.load({"person": [("anna", "T"), ("anna", "B")]})
+        mapping = parse_mapping("X:resident(n) <- Y:person(n, c)").mapping
+        bindings = evaluate_mapping_bindings(db, mapping)
+        assert bindings == [{"n": "anna"}]  # one firing per frontier value
+
+    def test_comparisons_filter(self):
+        schema = parse_schema("person(n, c)")
+        db = Database(schema)
+        db.load({"person": [("anna", "T"), ("bob", "B")]})
+        mapping = parse_mapping(
+            "X:resident(n) <- Y:person(n, c), c = 'T'"
+        ).mapping
+        assert evaluate_mapping_bindings(db, mapping) == [{"n": "anna"}]
+
+
+class TestApplyHead:
+    def test_existentials_share_nulls_across_head_atoms(self):
+        mapping = parse_mapping(
+            "X:a(n, w), X:b(w) <- Y:src(n)"
+        ).mapping
+        nulls = NullFactory("X")
+        facts = apply_head(mapping, [{"n": 1}], nulls)
+        (rel_a, row_a), (rel_b, row_b) = facts
+        assert rel_a == "a" and rel_b == "b"
+        assert isinstance(row_a[1], MarkedNull)
+        assert row_a[1] == row_b[0]  # same firing, same null
+
+    def test_each_firing_gets_fresh_nulls(self):
+        mapping = parse_mapping("X:a(n, w) <- Y:src(n)").mapping
+        nulls = NullFactory("X")
+        facts = apply_head(mapping, [{"n": 1}, {"n": 2}], nulls)
+        assert facts[0][1][1] != facts[1][1][1]
+
+    def test_no_existentials_no_nulls(self):
+        mapping = parse_mapping("X:a(n) <- Y:src(n)").mapping
+        nulls = NullFactory("X")
+        apply_head(mapping, [{"n": 1}], nulls)
+        assert nulls.minted == 0
+
+    def test_constants_in_head(self):
+        mapping = parse_mapping("X:a(n, 'tag') <- Y:src(n)").mapping
+        facts = apply_head(mapping, [{"n": 1}], NullFactory("X"))
+        assert facts == [("a", (1, "tag"))]

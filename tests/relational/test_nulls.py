@@ -1,0 +1,44 @@
+"""The null factory."""
+
+import pytest
+
+from repro.relational.nulls import NullFactory
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        factory = NullFactory("TN")
+        assert factory.fresh() != factory.fresh()
+
+    def test_labels_carry_origin(self):
+        factory = NullFactory("TN")
+        assert factory.fresh().label == "N0@TN"
+        assert factory.fresh().label == "N1@TN"
+
+    def test_different_origins_never_collide(self):
+        a = NullFactory("A")
+        b = NullFactory("B")
+        labels = {a.fresh().label, b.fresh().label, a.fresh().label}
+        assert len(labels) == 3
+
+    def test_fresh_for_binds_each_variable(self):
+        factory = NullFactory("X")
+        binding = factory.fresh_for(["u", "w"])
+        assert set(binding) == {"u", "w"}
+        assert binding["u"] != binding["w"]
+
+    def test_minted_counter(self):
+        factory = NullFactory("X")
+        factory.fresh_for(["a", "b", "c"])
+        assert factory.minted == 3
+
+    def test_reset(self):
+        factory = NullFactory("X")
+        factory.fresh()
+        factory.reset()
+        assert factory.minted == 0
+        assert factory.fresh().label == "N0@X"
+
+    def test_empty_origin_rejected(self):
+        with pytest.raises(ValueError):
+            NullFactory("")

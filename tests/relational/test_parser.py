@@ -1,0 +1,190 @@
+"""The textual syntax: tokenizer, schemas, facts, queries, rules."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.conjunctive import Comparison, Variable
+from repro.relational.parser import (
+    parse_facts,
+    parse_mapping,
+    parse_mappings,
+    parse_query,
+    parse_schema,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_basic_kinds(self):
+        kinds = [t.kind for t in tokenize("q(x) <- r(x), x >= 3")]
+        assert kinds == [
+            "NAME", "LPAREN", "NAME", "RPAREN", "ARROW",
+            "NAME", "LPAREN", "NAME", "RPAREN", "COMMA",
+            "NAME", "OP", "NUMBER", "EOF",
+        ]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r"'it\'s'")
+        assert tokens[0].text == "it's"
+
+    def test_double_quotes(self):
+        assert tokenize('"hello"')[0].text == "hello"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("3 -4 2.5 -0.25")
+        assert [t.text for t in tokens[:-1]] == ["3", "-4", "2.5", "-0.25"]
+
+    def test_trailing_fact_period_not_eaten_by_number(self):
+        tokens = tokenize("r(24).")
+        assert [t.kind for t in tokens[:-1]] == [
+            "NAME", "LPAREN", "NUMBER", "RPAREN", "DOT",
+        ]
+
+    def test_comments_ignored(self):
+        kinds = [t.kind for t in tokenize("r(x) # comment here\n% more")]
+        assert "NAME" == kinds[0]
+        assert all(k != "STRING" for k in kinds)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("r(x) @")
+        assert "line 1" in str(exc.value)
+
+    def test_position_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        cd = [t for t in tokens if t.text == "cd"][0]
+        assert (cd.line, cd.column) == (2, 3)
+
+
+class TestParseSchema:
+    def test_typed_and_untyped(self):
+        schema = parse_schema("person(name: str, age: int)\nitem(k, v)")
+        assert schema["person"].attributes[1].type_name == "int"
+        assert schema["item"].attributes[0].type_name == "any"
+
+    def test_local_flag(self):
+        schema = parse_schema("local cost(sku, amount)")
+        assert schema["cost"].exported is False
+
+    def test_multiple_relations_with_comments(self):
+        schema = parse_schema(
+            """
+            # registry
+            a(x)
+            b(y)   % trailing comment
+            """
+        )
+        assert set(schema.relation_names) == {"a", "b"}
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            parse_schema("person(")
+
+
+class TestParseFacts:
+    def test_basic(self):
+        facts = parse_facts("person('anna', 24). person('bob', 30)")
+        assert facts == {"person": [("anna", 24), ("bob", 30)]}
+
+    def test_value_types(self):
+        facts = parse_facts("r(1, 2.5, 'x', true, false)")
+        assert facts["r"] == [(1, 2.5, "x", True, False)]
+
+    def test_negative_numbers(self):
+        assert parse_facts("r(-3)") == {"r": [(-3,)]}
+
+    def test_empty_input(self):
+        assert parse_facts("  # nothing\n") == {}
+
+    def test_variables_rejected_in_facts(self):
+        with pytest.raises(ParseError):
+            parse_facts("r(x)")
+
+
+class TestParseQuery:
+    def test_round_structure(self):
+        q = parse_query("q(x, y) <- r(x, z), s(z, y), z != 'skip'")
+        assert q.head.relation == "q"
+        assert [a.relation for a in q.body] == ["r", "s"]
+        assert q.comparisons == (Comparison("!=", Variable("z"), "skip"),)
+
+    def test_alternative_arrow(self):
+        q = parse_query("q(x) :- r(x)")
+        assert q.head.relation == "q"
+
+    def test_constants_in_query(self):
+        q = parse_query("q(x) <- r(x, 3), s('lit', x)")
+        assert q.body[0].terms[1] == 3
+        assert q.body[1].terms[0] == "lit"
+
+    def test_peer_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) <- TN:r(x)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) <- r(x) r(y)")
+
+    def test_unsafe_query_raises(self):
+        from repro.errors import UnsafeQueryError
+
+        with pytest.raises(UnsafeQueryError):
+            parse_query("q(z) <- r(x)")
+
+
+class TestParseMapping:
+    def test_target_source_extracted(self):
+        parsed = parse_mapping("TN:resident(n) <- BZ:person(n, c), c = 'Trento'")
+        assert parsed.target == "TN"
+        assert parsed.source == "BZ"
+        assert parsed.mapping.comparisons[0].op == "="
+
+    def test_multi_atom_head(self):
+        parsed = parse_mapping("A:x(n), A:y(n, w) <- B:src(n)")
+        assert len(parsed.mapping.head) == 2
+        assert parsed.mapping.existential_head_variables() == frozenset({"w"})
+
+    def test_multi_atom_body_with_join(self):
+        parsed = parse_mapping("A:out(n, o) <- B:person(n, c), B:works(n, o)")
+        assert len(parsed.mapping.body) == 2
+
+    def test_mixed_head_prefixes_rejected(self):
+        with pytest.raises(ParseError):
+            parse_mapping("A:x(n), B:y(n) <- C:src(n)")
+
+    def test_mixed_body_prefixes_rejected(self):
+        with pytest.raises(ParseError):
+            parse_mapping("A:x(n) <- B:src(n), C:other(n)")
+
+    def test_head_comparisons_rejected(self):
+        with pytest.raises(ParseError):
+            parse_mapping("A:x(n), n > 3 <- B:src(n)")
+
+    def test_ampersand_head_separator(self):
+        parsed = parse_mapping("A:x(n) & A:y(n) <- B:src(n)")
+        assert len(parsed.mapping.head) == 2
+
+
+class TestParseMappings:
+    def test_rule_file(self):
+        rules = parse_mappings(
+            """
+            # two rules
+            A:x(n) <- B:src(n)
+
+            B:y(n) <- A:x(n)   % cyclic
+            """
+        )
+        assert len(rules) == 2
+        assert rules[0].target == "A"
+        assert rules[1].target == "B"
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_mappings("A:x(n) <- B:src(n)\nbroken <-")
+        assert "line 2" in str(exc.value)

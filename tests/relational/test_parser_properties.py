@@ -1,0 +1,124 @@
+"""Property-based round trips through the textual syntax."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.rules import CoordinationRule
+from repro.relational.parser import parse_schema
+from repro.relational.schema import AttributeDef, DatabaseSchema, RelationSchema
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in ("local", "true", "false")
+)
+
+type_names = st.sampled_from(["any", "int", "float", "str", "bool"])
+
+
+@st.composite
+def relation_schemas(draw):
+    name = draw(identifiers)
+    count = draw(st.integers(min_value=1, max_value=4))
+    attr_names = draw(
+        st.lists(identifiers, min_size=count, max_size=count, unique=True)
+    )
+    attributes = tuple(
+        AttributeDef(attr, draw(type_names)) for attr in attr_names
+    )
+    key_size = draw(st.integers(min_value=0, max_value=count))
+    key = tuple(attr_names[:key_size])
+    exported = draw(st.booleans())
+    return RelationSchema(name, attributes, exported=exported, key=key)
+
+
+@st.composite
+def database_schemas(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    names = draw(st.lists(identifiers, min_size=count, max_size=count, unique=True))
+    schema = DatabaseSchema()
+    for name in names:
+        relation = draw(relation_schemas())
+        schema.add(
+            RelationSchema(
+                name, relation.attributes,
+                exported=relation.exported, key=relation.key,
+            )
+        )
+    return schema
+
+
+constants = st.one_of(
+    st.integers(min_value=-99, max_value=99),
+    st.booleans(),
+    st.text(alphabet="abc xyz'\\", min_size=0, max_size=6),
+)
+
+comparison_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def rule_texts(draw):
+    """Random single-body-atom coordination rules, built structurally."""
+    from repro.relational.conjunctive import (
+        Atom,
+        Comparison,
+        GlavMapping,
+        Variable,
+    )
+
+    body_vars = draw(
+        st.lists(identifiers, min_size=1, max_size=3, unique=True)
+    )
+    body = (Atom("src", tuple(Variable(v) for v in body_vars)),)
+    head_terms = []
+    for v in body_vars:
+        if draw(st.booleans()):
+            head_terms.append(Variable(v))
+    head_terms.append(Variable("w_exist"))
+    if draw(st.booleans()):
+        head_terms.append(draw(constants))
+    head = (Atom("dst", tuple(head_terms)),)
+    comparisons = []
+    if draw(st.booleans()):
+        comparisons.append(
+            Comparison(draw(comparison_ops), Variable(body_vars[0]), draw(constants))
+        )
+    mapping = GlavMapping(head, body, tuple(comparisons))
+    return CoordinationRule("r0", "TGT", "SRC", mapping)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+class TestSchemaRoundTrip:
+    @given(database_schemas())
+    @settings(max_examples=80)
+    def test_str_parse_round_trip(self, schema):
+        rendered = str(schema)
+        parsed = parse_schema(rendered)
+        assert parsed == schema
+        for relation in schema:
+            assert parsed[relation.name].key == relation.key
+            assert parsed[relation.name].exported == relation.exported
+
+
+class TestRuleRoundTrip:
+    @given(rule_texts())
+    @settings(max_examples=80)
+    def test_to_text_parse_round_trip(self, rule):
+        again = CoordinationRule.from_text(rule.rule_id, rule.to_text())
+        assert again.mapping == rule.mapping
+        assert (again.target, again.source) == (rule.target, rule.source)
+
+    @given(rule_texts())
+    @settings(max_examples=40)
+    def test_payload_round_trip(self, rule):
+        again = CoordinationRule.from_payload(rule.to_payload())
+        assert again == rule

@@ -1,0 +1,136 @@
+"""Schemas: attribute types, relation validation, exported views."""
+
+import pytest
+
+from repro.errors import ArityError, SchemaError, TypeMismatchError, UnknownRelationError
+from repro.relational.schema import AttributeDef, DatabaseSchema, RelationSchema
+from repro.relational.values import MarkedNull
+
+
+class TestAttributeDef:
+    def test_default_type_is_any(self):
+        assert AttributeDef("x").type_name == "any"
+
+    @pytest.mark.parametrize(
+        "type_name,value,ok",
+        [
+            ("int", 3, True),
+            ("int", "3", False),
+            ("int", True, False),  # bool is not an int here
+            ("float", 2.5, True),
+            ("float", 3, True),  # ints are acceptable floats
+            ("str", "x", True),
+            ("str", 1, False),
+            ("bool", True, True),
+            ("bool", 1, False),
+            ("any", 3, True),
+            ("any", "x", True),
+            ("any", True, True),
+        ],
+    )
+    def test_admits(self, type_name, value, ok):
+        assert AttributeDef("a", type_name).admits(value) is ok
+
+    def test_nulls_admitted_everywhere(self):
+        for type_name in ("any", "int", "float", "str", "bool"):
+            assert AttributeDef("a", type_name).admits(MarkedNull("n"))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("a", "varchar")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("not a name")
+
+
+class TestRelationSchema:
+    def test_of_parses_typed_attributes(self):
+        schema = RelationSchema.of("r", ["a: int", "b"])
+        assert schema.attributes[0].type_name == "int"
+        assert schema.attributes[1].type_name == "any"
+
+    def test_arity_and_names(self):
+        schema = RelationSchema.of("r", ["a", "b", "c"])
+        assert schema.arity == 3
+        assert schema.attribute_names == ("a", "b", "c")
+
+    def test_position_of(self):
+        schema = RelationSchema.of("r", ["a", "b"])
+        assert schema.position_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.position_of("zz")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("r", ["a", "a"])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ())
+
+    def test_validate_row_checks_arity(self):
+        schema = RelationSchema.of("r", ["a", "b"])
+        with pytest.raises(ArityError):
+            schema.validate_row((1,))
+
+    def test_validate_row_checks_types(self):
+        schema = RelationSchema.of("r", ["a: int"])
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row(("not an int",))
+
+    def test_validate_row_accepts_nulls(self):
+        schema = RelationSchema.of("r", ["a: int"])
+        assert schema.validate_row((MarkedNull("n"),)) == (MarkedNull("n"),)
+
+    def test_str_rendering(self):
+        schema = RelationSchema.of("r", ["a: int", "b"], exported=False)
+        assert str(schema) == "local r(a: int, b)"
+
+
+class TestDatabaseSchema:
+    def test_lookup_and_contains(self):
+        schema = DatabaseSchema([RelationSchema.of("r", ["a"])])
+        assert "r" in schema
+        assert schema["r"].arity == 1
+        with pytest.raises(UnknownRelationError):
+            schema["missing"]
+
+    def test_duplicate_relation_rejected(self):
+        schema = DatabaseSchema([RelationSchema.of("r", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema.of("r", ["b"]))
+
+    def test_iteration_preserves_order(self):
+        schema = DatabaseSchema(
+            [RelationSchema.of(name, ["a"]) for name in ("z", "a", "m")]
+        )
+        assert schema.relation_names == ("z", "a", "m")
+
+    def test_exported_view_drops_local_relations(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema.of("pub", ["a"]),
+                RelationSchema.of("priv", ["a"], exported=False),
+            ]
+        )
+        assert schema.exported_view().relation_names == ("pub",)
+
+    def test_rename(self):
+        schema = DatabaseSchema([RelationSchema.of("r", ["a"])])
+        renamed = schema.rename({"r": "node__r"})
+        assert "node__r" in renamed
+        assert "r" not in renamed
+
+    def test_merge_disjoint(self):
+        left = DatabaseSchema([RelationSchema.of("a", ["x"])])
+        right = DatabaseSchema([RelationSchema.of("b", ["x"])])
+        merged = left.merge_disjoint(right)
+        assert set(merged.relation_names) == {"a", "b"}
+        with pytest.raises(SchemaError):
+            merged.merge_disjoint(left)
+
+    def test_equality(self):
+        one = DatabaseSchema([RelationSchema.of("r", ["a: int"])])
+        two = DatabaseSchema([RelationSchema.of("r", ["a: int"])])
+        assert one == two

@@ -1,0 +1,127 @@
+"""The tuple store: set semantics, deltas, indexes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.storage import Relation
+from repro.relational.values import MarkedNull
+
+
+@pytest.fixture
+def relation():
+    return Relation(RelationSchema.of("r", ["a", "b"]))
+
+
+class TestInsert:
+    def test_insert_reports_newness(self, relation):
+        assert relation.insert((1, 2)) is True
+        assert relation.insert((1, 2)) is False
+        assert len(relation) == 1
+
+    def test_insert_new_returns_exact_delta(self, relation):
+        relation.insert((1, 2))
+        delta = relation.insert_new([(1, 2), (3, 4), (3, 4), (5, 6)])
+        assert delta == [(3, 4), (5, 6)]
+        assert len(relation) == 3
+
+    def test_insertion_order_preserved(self, relation):
+        relation.insert_new([(3, 1), (1, 1), (2, 1)])
+        assert relation.rows() == [(3, 1), (1, 1), (2, 1)]
+
+    def test_rows_with_nulls(self, relation):
+        null = MarkedNull("n")
+        relation.insert((1, null))
+        assert relation.insert((1, null)) is False
+        assert relation.insert((1, MarkedNull("m"))) is True
+
+    def test_validation_applied(self, relation):
+        with pytest.raises(Exception):
+            relation.insert((1,))  # wrong arity
+
+
+class TestDelete:
+    def test_delete_present(self, relation):
+        relation.insert((1, 2))
+        assert relation.delete((1, 2)) is True
+        assert len(relation) == 0
+
+    def test_delete_absent(self, relation):
+        assert relation.delete((9, 9)) is False
+
+    def test_delete_maintains_index(self, relation):
+        relation.insert_new([(1, 2), (1, 3)])
+        list(relation.lookup({0: 1}))  # force index build
+        relation.delete((1, 2))
+        assert list(relation.lookup({0: 1})) == [(1, 3)]
+
+
+class TestLookup:
+    def test_unbound_lookup_scans(self, relation):
+        relation.insert_new([(1, 2), (3, 4)])
+        assert list(relation.lookup({})) == [(1, 2), (3, 4)]
+
+    def test_single_column_probe(self, relation):
+        relation.insert_new([(1, 2), (1, 3), (2, 2)])
+        assert sorted(relation.lookup({0: 1})) == [(1, 2), (1, 3)]
+
+    def test_multi_column_probe(self, relation):
+        relation.insert_new([(1, 2), (1, 3), (2, 2)])
+        assert list(relation.lookup({0: 1, 1: 3})) == [(1, 3)]
+
+    def test_probe_missing_value(self, relation):
+        relation.insert((1, 2))
+        assert list(relation.lookup({0: 99})) == []
+
+    def test_index_updated_by_later_inserts(self, relation):
+        relation.insert((1, 2))
+        list(relation.lookup({0: 1}))  # index exists now
+        relation.insert((1, 5))
+        assert sorted(relation.lookup({0: 1})) == [(1, 2), (1, 5)]
+
+    def test_lookup_out_of_range_column(self, relation):
+        with pytest.raises(SchemaError):
+            list(relation.lookup({7: 1}))
+
+    def test_value_identity_is_python_equality(self, relation):
+        # One identity relation everywhere: True == 1 and 1.0 == 1 in
+        # Python, so such rows unify at storage level (documented).
+        relation.insert((1, "x"))
+        assert relation.insert((True, "x")) is False
+        assert relation.insert((1.0, "x")) is False
+        assert (True, "x") in relation
+
+
+class TestEstimates:
+    def test_estimate_shrinks_with_bound_columns(self, relation):
+        relation.insert_new([(i % 3, i) for i in range(30)])
+        full = relation.estimated_matches([])
+        bound = relation.estimated_matches([0])
+        assert full == 30
+        assert bound == pytest.approx(10)
+
+    def test_count(self, relation):
+        relation.insert_new([(1, 2), (1, 3), (2, 2)])
+        assert relation.count() == 3
+        assert relation.count({0: 1}) == 2
+
+
+class TestCopyAndClear:
+    def test_copy_is_independent(self, relation):
+        relation.insert((1, 2))
+        clone = relation.copy()
+        clone.insert((3, 4))
+        assert len(relation) == 1
+        assert len(clone) == 2
+
+    def test_clear(self, relation):
+        relation.insert((1, 2))
+        relation.clear()
+        assert len(relation) == 0
+        assert list(relation.lookup({0: 1})) == []
+
+    def test_sorted_rows_canonical(self, relation):
+        relation.insert_new([(3, 1), (1, 1), (2, MarkedNull("z"))])
+        ordered = relation.sorted_rows()
+        assert ordered[0] == (1, 1)
+        assert ordered[-1] == (3, 1)

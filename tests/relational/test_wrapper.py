@@ -1,0 +1,165 @@
+"""The storage wrappers: memory, sqlite and mediator equivalence."""
+
+import pytest
+
+from repro.errors import UnknownRelationError
+from repro.relational.parser import parse_mapping, parse_query, parse_schema
+from repro.relational.values import MarkedNull
+from repro.relational.wrapper import (
+    MediatorStore,
+    MemoryStore,
+    SqliteStore,
+    decode_sqlite_value,
+    encode_sqlite_value,
+)
+
+SCHEMA_TEXT = "person(name: str, age: int)\nlikes(a: str, b: str)"
+
+
+def make_stores():
+    return [
+        MemoryStore(parse_schema(SCHEMA_TEXT)),
+        SqliteStore(parse_schema(SCHEMA_TEXT)),
+        MediatorStore(parse_schema(SCHEMA_TEXT)),
+    ]
+
+
+@pytest.fixture(params=["memory", "sqlite", "mediator"])
+def store(request):
+    schema = parse_schema(SCHEMA_TEXT)
+    if request.param == "memory":
+        yield MemoryStore(schema)
+    elif request.param == "sqlite":
+        s = SqliteStore(schema)
+        yield s
+        s.close()
+    else:
+        yield MediatorStore(schema)
+
+
+class TestStoreContract:
+    def test_insert_new_dedups(self, store):
+        first = store.insert_new("person", [("anna", 24), ("anna", 24)])
+        assert first == [("anna", 24)]
+        second = store.insert_new("person", [("anna", 24), ("bob", 30)])
+        assert second == [("bob", 30)]
+        assert store.count("person") == 2
+
+    def test_rows_round_trip_types(self, store):
+        store.insert_new("person", [("anna", 24)])
+        store.insert_new("likes", [("anna", "bob")])
+        assert store.rows("person") == [("anna", 24)]
+        assert store.rows("likes") == [("anna", "bob")]
+
+    def test_marked_nulls_round_trip(self, store):
+        null = MarkedNull("N3@X")
+        store.insert_new("person", [("anna", null)])
+        assert store.rows("person") == [("anna", null)]
+        # same null deduped, fresh null kept
+        assert store.insert_new("person", [("anna", null)]) == []
+        assert len(store.insert_new("person", [("anna", MarkedNull("other"))])) == 1
+
+    def test_evaluate_query(self, store):
+        store.insert_new("person", [("anna", 24), ("bob", 17)])
+        rows = store.evaluate_query(parse_query("q(x) <- person(x, a), a >= 18"))
+        assert rows == [("anna",)]
+
+    def test_evaluate_join_query(self, store):
+        store.insert_new("person", [("anna", 24), ("bob", 17)])
+        store.insert_new("likes", [("anna", "bob"), ("bob", "anna")])
+        q = parse_query("q(x, y) <- person(x, a), likes(x, y), a >= 18")
+        assert store.evaluate_query(q) == [("anna", "bob")]
+
+    def test_evaluate_query_delta(self, store):
+        store.insert_new("person", [("anna", 24)])
+        q = parse_query("q(x) <- person(x, a)")
+        delta = store.insert_new("person", [("carl", 30)])
+        assert store.evaluate_query_delta(q, "person", delta) == [("carl",)]
+
+    def test_evaluate_mapping_bindings(self, store):
+        store.insert_new("person", [("anna", 24), ("bob", 17)])
+        mapping = parse_mapping("X:r(n) <- Y:person(n, a), a >= 18").mapping
+        assert store.evaluate_mapping_bindings(mapping) == [{"n": "anna"}]
+
+    def test_delete_rows(self, store):
+        store.insert_new("person", [("anna", 24), ("bob", 30)])
+        assert store.delete_rows("person", [("anna", 24), ("zoe", 1)]) == 1
+        assert store.rows("person") == [("bob", 30)]
+
+    def test_total_rows_and_snapshot(self, store):
+        store.insert_new("person", [("b", 2), ("a", 1)])
+        assert store.total_rows() == 2
+        snap = store.snapshot()
+        assert snap["person"] == [("a", 1), ("b", 2)]  # canonical order
+        assert snap["likes"] == []
+
+    def test_clear(self, store):
+        store.insert_new("person", [("anna", 24)])
+        store.clear()
+        assert store.total_rows() == 0
+
+    def test_unknown_relation(self, store):
+        with pytest.raises(UnknownRelationError):
+            store.rows("nope")
+
+
+class TestMediatorLifecycle:
+    def test_buffer_dropped_after_update(self):
+        store = MediatorStore(parse_schema(SCHEMA_TEXT))
+        store.on_update_started()
+        store.insert_new("person", [("anna", 24)])
+        assert store.total_rows() == 1
+        store.on_update_finished()
+        assert store.total_rows() == 0
+
+    def test_retain_keeps_buffer(self):
+        store = MediatorStore(parse_schema(SCHEMA_TEXT), retain=True)
+        store.on_update_started()
+        store.insert_new("person", [("anna", 24)])
+        store.on_update_finished()
+        assert store.total_rows() == 1
+
+    def test_not_persistent(self):
+        assert MediatorStore(parse_schema(SCHEMA_TEXT)).persistent is False
+        assert MemoryStore(parse_schema(SCHEMA_TEXT)).persistent is True
+
+
+class TestSqliteEncoding:
+    @pytest.mark.parametrize(
+        "value", [3, -7, 2.5, "hello", "", True, False, MarkedNull("N1@x")]
+    )
+    def test_round_trip(self, value):
+        assert decode_sqlite_value(encode_sqlite_value(value)) == value
+
+    def test_encoding_injective_across_types(self):
+        values = [1, "1", True, 1.5, "1.5", MarkedNull("1")]
+        encoded = [encode_sqlite_value(v) for v in values]
+        assert len(set(encoded)) == len(values)
+
+    def test_string_with_separator(self):
+        tricky = "s:with:colons"
+        assert decode_sqlite_value(encode_sqlite_value(tricky)) == tricky
+
+    def test_file_backed_store(self, tmp_path):
+        path = str(tmp_path / "node.sqlite")
+        schema = parse_schema(SCHEMA_TEXT)
+        store = SqliteStore(schema, path)
+        store.insert_new("person", [("anna", 24)])
+        store.close()
+        reopened = SqliteStore(parse_schema(SCHEMA_TEXT), path)
+        assert reopened.rows("person") == [("anna", 24)]
+        reopened.close()
+
+
+class TestCrossStoreEquivalence:
+    def test_same_query_answers_everywhere(self):
+        rows = [(f"p{i}", 15 + i) for i in range(20)]
+        likes = [(f"p{i}", f"p{(i * 7) % 20}") for i in range(20)]
+        q = parse_query("q(x, y) <- person(x, a), likes(x, y), a >= 20")
+        answers = []
+        for store in make_stores():
+            store.insert_new("person", rows)
+            store.insert_new("likes", likes)
+            answers.append(sorted(store.evaluate_query(q)))
+            store.close()
+        assert answers[0] == answers[1] == answers[2]

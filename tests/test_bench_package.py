@@ -1,0 +1,67 @@
+"""The benchmark support package itself."""
+
+import os
+
+from repro.bench import (
+    ReportWriter,
+    UpdateMeasurement,
+    build_and_update,
+    measure_blueprint_update,
+    measure_outcome,
+    sweep,
+)
+from repro.workloads import chain, star
+
+
+class TestMeasurement:
+    def test_measure_outcome_fields(self):
+        net, outcome = build_and_update(chain(3), seed=1, tuples_per_node=5)
+        measurement = measure_outcome("lbl", outcome, nodes=3, rules=2, foo=1)
+        assert measurement.label == "lbl"
+        assert measurement.nodes == 3
+        assert measurement.rules == 2
+        assert measurement.result_messages == outcome.report.total_messages
+        assert measurement.rows_imported == outcome.rows_imported
+        assert measurement.extra == {"foo": 1}
+
+    def test_volume_stats(self):
+        _, outcome = build_and_update(chain(3), seed=1, tuples_per_node=5)
+        measurement = measure_outcome("lbl", outcome, nodes=3, rules=2)
+        volumes = outcome.report.message_volumes()
+        assert measurement.volume_per_message_max == max(volumes)
+        assert measurement.volume_per_message_mean == sum(volumes) / len(volumes)
+
+    def test_row_matches_headers(self):
+        measurement = measure_blueprint_update(chain(2), seed=1, tuples_per_node=3)
+        assert len(measurement.row()) == len(UpdateMeasurement.HEADERS)
+
+
+class TestSweep:
+    def test_sweep_labels(self):
+        rows = sweep([chain(2), star(2)], seed=1, tuples_per_node=3)
+        assert [m.label for m in rows] == ["chain-2", "star-2"]
+
+    def test_sweep_custom_labels(self):
+        rows = sweep(
+            [chain(2)], seed=1, tuples_per_node=3,
+            label_fn=lambda bp: f"X-{bp.size}",
+        )
+        assert rows[0].label == "X-2"
+
+
+class TestReportWriter:
+    def test_flush_writes_file(self, tmp_path):
+        writer = ReportWriter(str(tmp_path), "exp")
+        writer.add_table(["a"], [[1]], title="T")
+        writer.add_text("note")
+        path = writer.flush()
+        assert os.path.exists(path)
+        content = open(path).read()
+        assert "T" in content and "note" in content
+
+    def test_add_measurements(self, tmp_path):
+        writer = ReportWriter(str(tmp_path), "exp2")
+        measurement = measure_blueprint_update(chain(2), seed=1, tuples_per_node=3)
+        text = writer.add_measurements([measurement], title="M")
+        assert "chain-2" in text
+        writer.flush()

@@ -1,0 +1,84 @@
+"""The shared utility helpers."""
+
+import pytest
+
+from repro._util import (
+    IdGenerator,
+    chunked,
+    dedup_preserving_order,
+    format_table,
+    payload_size,
+    stable_hash,
+    stable_json,
+)
+
+
+class TestIdGenerator:
+    def test_deterministic_per_seed(self):
+        a = IdGenerator(seed=1)
+        b = IdGenerator(seed=1)
+        assert [a.next_id("x") for _ in range(3)] == [
+            b.next_id("x") for _ in range(3)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert IdGenerator(seed=1).next_id("x") != IdGenerator(seed=2).next_id("x")
+
+    def test_kinds_have_independent_counters(self):
+        gen = IdGenerator()
+        first_a = gen.next_id("a")
+        gen.next_id("b")
+        second_a = gen.next_id("a")
+        assert first_a.endswith("0000")
+        assert second_a.endswith("0001")
+
+    def test_namespace_separates(self):
+        assert (
+            IdGenerator(namespace="x").next_id("k")
+            != IdGenerator(namespace="y").next_id("k")
+        )
+
+
+class TestStableJson:
+    def test_key_order_fixed(self):
+        assert stable_json({"b": 1, "a": 2}) == stable_json({"a": 2, "b": 1})
+
+    def test_payload_size_counts_bytes(self):
+        assert payload_size({"a": "é"}) == len('{"a":"é"}'.encode("utf-8"))
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash([1, {"x": 2}]) == stable_hash([1, {"x": 2}])
+        assert stable_hash([1]) != stable_hash([2])
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_oversized_chunk(self):
+        assert list(chunked([1], 10)) == [[1]]
+
+    def test_empty(self):
+        assert list(chunked([], 3)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestMisc:
+    def test_dedup_preserving_order(self):
+        assert dedup_preserving_order([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "333 | 4" in lines[-1]
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
