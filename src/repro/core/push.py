@@ -68,6 +68,7 @@ class PushEngine:
                     link.rule.mapping,
                     changed_relation=relation,
                     delta_rows=deltas[relation],
+                    rule_key=link.rule_id,
                 ):
                     produced[tuple(binding[n] for n in frontier)] = None
             fresh = [row for row in produced if row not in link.sent]

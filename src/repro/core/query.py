@@ -198,7 +198,9 @@ class QueryEngine:
             sent: set[Row] = set()
             participation.sent[rule_id] = sent
             frontier = link.rule.frontier()
-            bindings = node.wrapper.evaluate_mapping_bindings(link.rule.mapping)
+            bindings = node.wrapper.evaluate_mapping_bindings(
+                link.rule.mapping, rule_key=rule_id
+            )
             rows = [tuple(b[name] for name in frontier) for b in bindings]
             fresh = [row for row in rows if row not in sent]
             sent.update(fresh)
@@ -301,6 +303,7 @@ class QueryEngine:
                         serving.rule.mapping,
                         changed_relation=relation,
                         delta_rows=deltas[relation],
+                        rule_key=rule_id2,
                     ):
                         produced[tuple(binding[n] for n in frontier)] = None
                 fresh = [row for row in produced if row not in sent]

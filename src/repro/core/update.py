@@ -264,10 +264,13 @@ class UpdateEngine:
         delta_rows: list[Row] | None,
     ) -> list[Row]:
         frontier = link.rule.frontier()
+        # The rule id keys the wrapper's plan cache, so every (rule,
+        # delta occurrence) body is compiled once per cardinality regime.
         bindings = self.node.wrapper.evaluate_mapping_bindings(
             link.rule.mapping,
             changed_relation=changed_relation,
             delta_rows=delta_rows,
+            rule_key=link.rule_id,
         )
         return [tuple(binding[name] for name in frontier) for binding in bindings]
 

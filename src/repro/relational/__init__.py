@@ -11,7 +11,8 @@ this package *is* that database.  It provides:
 * conjunctive queries, comparison predicates and GLAV rules
   (:mod:`conjunctive`, :mod:`comparisons`);
 * a CQ evaluator with greedy join ordering and semi-naive delta
-  evaluation (:mod:`evaluation`);
+  evaluation (:mod:`evaluation`), plus compiled, cached join plans for
+  the hot protocol paths (:mod:`planner`);
 * a textual syntax for schemas, facts, queries and coordination rules
   (:mod:`parser`);
 * homomorphism machinery — CQ containment and tuple subsumption
@@ -39,6 +40,14 @@ from repro.relational.evaluation import (
     evaluate_mapping_bindings,
     evaluate_query,
     evaluate_query_delta,
+)
+from repro.relational.planner import (
+    JoinPlan,
+    PlanCache,
+    compile_plan,
+    evaluate_mapping_bindings_planned,
+    evaluate_query_delta_planned,
+    evaluate_query_planned,
 )
 from repro.relational.parser import (
     parse_facts,
@@ -91,6 +100,12 @@ __all__ = [
     "evaluate_query",
     "evaluate_query_delta",
     "apply_head",
+    "JoinPlan",
+    "PlanCache",
+    "compile_plan",
+    "evaluate_query_planned",
+    "evaluate_query_delta_planned",
+    "evaluate_mapping_bindings_planned",
     "parse_schema",
     "parse_facts",
     "parse_query",

@@ -13,6 +13,12 @@ Three entry points, all used by the coDB protocol layers:
   relation, unioned over all occurrences.
 * :func:`apply_head` — turn body bindings into head facts, minting one
   fresh marked null per existential head variable per firing.
+
+This module is the *interpreter*: join order is re-chosen greedily at
+every recursion level.  The hot protocol paths run the compiled plans
+of :mod:`repro.relational.planner` instead (via the storage wrappers);
+the interpreter stays as the semantics reference and differential-
+testing oracle for those plans.
 """
 
 from __future__ import annotations
@@ -35,13 +41,16 @@ from repro.relational.values import Row, Value
 Binding = dict[str, Value]
 
 
-def _atom_lookup_bindings(atom: Atom, binding: Mapping[str, Value]) -> dict[int, Value] | None:
+def _atom_lookup_bindings(atom: Atom, binding: Mapping[str, Value]) -> dict[int, Value]:
     """Positional equality constraints for *atom* under *binding*.
 
-    Returns ``None`` when the atom repeats a variable that is still
-    unbound in two positions — the per-row filter handles that case.
-    (It never returns ``None`` in practice; repeated unbound variables
-    are checked row by row in :func:`_match_row`.)
+    Always returns a dict (possibly empty): constants and *bound*
+    variables contribute an equality constraint per position; a
+    variable repeated in several still-unbound positions (``edge(x,
+    x)`` with ``x`` free) contributes nothing here and is checked row
+    by row in :func:`_match_row`.  When the repeated variable *is*
+    bound, every one of its positions is constrained — the index-probe
+    path then only returns rows already satisfying the repetition.
     """
     positions: dict[int, Value] = {}
     for i, term in enumerate(atom.terms):

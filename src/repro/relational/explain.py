@@ -1,11 +1,11 @@
-"""Query explanation: expose the evaluator's join-order decisions.
+"""Query explanation: expose the planner's join-order decisions.
 
-The evaluator picks atom order greedily by estimated matches (see
-:func:`repro.relational.evaluation._choose_next_atom`).  ``explain``
-replays that choice against the current database statistics without
-executing the query, returning the planned order, the per-step
-estimates and which comparisons become checkable at each step — the
-coDB equivalent of ``EXPLAIN``.
+``explain`` compiles the query through
+:func:`repro.relational.planner.compile_plan` — the same compiler the
+storage wrappers execute — and renders the chosen atom order, the
+per-step probe templates and estimates, and which comparisons become
+checkable at each step: the coDB equivalent of ``EXPLAIN``.  There is
+one source of truth for join ordering; this module only formats it.
 """
 
 from __future__ import annotations
@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util import format_table
-from repro.relational.conjunctive import Atom, ConjunctiveQuery, Variable
+from repro.relational.conjunctive import Atom, ConjunctiveQuery
 from repro.relational.database import Database
+from repro.relational.planner import compile_plan
 
 
 @dataclass
@@ -23,9 +24,9 @@ class PlanStep:
 
     atom: Atom
     #: Column positions bound (by constants or earlier steps) when this
-    #: atom is reached.
+    #: atom is reached — exactly the plan's index-probe template.
     bound_positions: tuple[int, ...]
-    #: The evaluator's cardinality estimate for the probe.
+    #: The planner's cardinality estimate for the probe.
     estimated_matches: float
     #: Comparisons that become fully bound after this step.
     comparisons_checked: tuple[str, ...] = ()
@@ -65,54 +66,32 @@ class QueryPlan:
 
 
 def explain(database: Database, query: ConjunctiveQuery) -> QueryPlan:
-    """The join order the evaluator would choose right now.
+    """The join order the planner chooses right now, without executing.
 
-    Mirrors the greedy policy of the execution engine: repeatedly pick
-    the remaining atom with the smallest ``estimated_matches`` given
-    the variables bound so far (assuming each chosen atom binds all of
-    its variables for subsequent estimates).
+    Delegates to :func:`repro.relational.planner.compile_plan`, so what
+    is shown is what the wrappers run.  Ground comparisons (no
+    variables) are reported at the first step — the executor hoists
+    them before the join even starts.
     """
-    atoms = list(query.body)
-    remaining = list(range(len(atoms)))
-    bound_vars: set[str] = set()
-    checked: set[int] = set()
+    compiled = compile_plan(
+        query.body, query.comparisons, query.head.terms, view=database
+    )
     plan = QueryPlan(query=query)
-
-    while remaining:
-        best_index = remaining[0]
-        best_cost = float("inf")
-        best_positions: tuple[int, ...] = ()
-        for index in remaining:
-            atom = atoms[index]
-            positions = tuple(
-                i
-                for i, term in enumerate(atom.terms)
-                if not isinstance(term, Variable) or term.name in bound_vars
-            )
-            if atom.relation in database:
-                cost = database.relation(atom.relation).estimated_matches(
-                    positions
-                )
-            else:
-                cost = 0.0
-            if cost < best_cost:
-                best_cost = cost
-                best_index = index
-                best_positions = positions
-        atom = atoms[best_index]
-        bound_vars |= atom.variables()
-        newly_checked = []
-        for ci, comparison in enumerate(query.comparisons):
-            if ci not in checked and comparison.variables() <= bound_vars:
-                checked.add(ci)
-                newly_checked.append(repr(comparison))
+    for i, step in enumerate(compiled.steps):
+        checked = [
+            repr(compiled.comparisons[ci]) for ci in step.comparison_indices
+        ]
+        if i == 0:
+            checked = [
+                repr(compiled.comparisons[ci])
+                for ci in compiled.ground_comparisons
+            ] + checked
         plan.steps.append(
             PlanStep(
-                atom=atom,
-                bound_positions=best_positions,
-                estimated_matches=best_cost,
-                comparisons_checked=tuple(newly_checked),
+                atom=query.body[step.atom_index],
+                bound_positions=step.probe_positions,
+                estimated_matches=step.estimated_cost,
+                comparisons_checked=tuple(checked),
             )
         )
-        remaining.remove(best_index)
     return plan

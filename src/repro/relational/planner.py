@@ -1,0 +1,584 @@
+"""Compiled join plans for conjunctive-query evaluation.
+
+Every ``query_result`` a node ships during a global update comes from
+evaluating a coordination-rule body over its local database, and
+semi-naive re-evaluation fires on every delta — CQ evaluation is the
+system's hottest path.  The interpreter in
+:mod:`repro.relational.evaluation` re-runs greedy join ordering inside
+its recursion, once per partial binding per level; this module
+compiles each body **once** into a reusable :class:`JoinPlan` and
+executes that, keeping the interpreter as a differential-testing
+oracle.
+
+Plan shape
+----------
+
+A :class:`JoinPlan` is a fixed sequence of :class:`PlanStep`\\ s, one
+per body atom, in an order chosen once from relation statistics
+(``estimated_matches`` — greedy smallest-probe-first, the same cost
+model the interpreter applies per binding).  Each step precompiles:
+
+* **probe template** — which positions are bound by constants or by
+  variables of earlier steps.  At execution these become one hash
+  probe (:meth:`Relation.probe`): a single-column bucket for one
+  position, a composite-index bucket for several.
+* **bind slots** — positions whose (new) variable the step binds.
+* **same-row checks** — repeated new variables within the atom
+  (``edge(x, x)``), checked row-locally.
+* **comparison schedule** — each comparison predicate is attached to
+  the earliest step after which all its variables are bound; ground
+  comparisons are hoisted before the first step.
+
+The plan also carries the output projection (the query head's terms,
+or a mapping's sorted frontier variables), so execution yields answer
+tuples directly without materialising full binding dicts per result.
+
+Delta variants (semi-naive mode) are separate plans: the occurrence of
+the changed relation ranges over the delta rows and is forced first,
+exactly as the interpreter forces ``delta_atom`` first.
+
+Cache key and invalidation
+--------------------------
+
+:class:`PlanCache` (one per storage wrapper) maps
+
+    ``(rule key, delta relation | None, occurrence index | None)``
+
+to a compiled plan.  The rule key is the coordination rule's id when
+the caller has one (the node layers thread it through), else the
+query/mapping object itself (frozen dataclasses, hashable,
+structurally equal).  Each plan records a **coarse cardinality
+fingerprint** — the order of magnitude (``int(log10(n))``) of every
+body relation's row count at compile time.  On every cache hit the
+fingerprint is recomputed (a ``len`` per relation); when any relation
+has shifted by an order of magnitude the plan is recompiled, so join
+orders track data growth without re-planning on every insert.
+
+Compilation is read-only: cost probes use
+:meth:`Relation.estimated_matches`, which never builds indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.relational.comparisons import evaluate_comparison
+from repro.relational.conjunctive import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    GlavMapping,
+    Term,
+    Variable,
+)
+from repro.relational.values import Row, Value
+
+Binding = dict[str, Value]
+
+#: Cache key: (rule key, delta relation, body occurrence index).
+PlanKey = tuple[object, "str | None", "int | None"]
+
+_EMPTY_BINDING: Binding = {}
+
+
+def _relation_or_none(view, name: str):
+    """The view's relation called *name*, or ``None`` when absent."""
+    if name in view.relation_names:
+        return view.relation(name)
+    return None
+
+
+def cardinality_fingerprint(view, relation_names: Sequence[str]) -> tuple[int, ...]:
+    """Order-of-magnitude row counts of *relation_names* under *view*.
+
+    ``-2`` marks a relation the view does not know, ``-1`` an empty
+    one; otherwise ``int(log10(n))``.  Plans are recompiled when this
+    tuple changes — the "cardinalities shifted by an order of
+    magnitude" trigger.
+    """
+    magnitudes: list[int] = []
+    for name in relation_names:
+        relation = _relation_or_none(view, name)
+        if relation is None:
+            magnitudes.append(-2)
+            continue
+        count = len(relation)
+        magnitudes.append(-1 if count == 0 else int(math.log10(count)))
+    return tuple(magnitudes)
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One atom of a compiled plan, with its precompiled templates."""
+
+    #: Index of the atom in the original body (stable across plans).
+    atom_index: int
+    relation: str
+    #: Whether this step ranges over the delta rows (semi-naive mode).
+    is_delta: bool
+    #: Positions probed through the index, ascending.
+    probe_positions: tuple[int, ...]
+    #: Aligned with ``probe_positions``: ``(True, var_name)`` for a
+    #: variable bound by an earlier step, ``(False, constant)`` else.
+    probe_sources: tuple[tuple[bool, object], ...]
+    #: ``(position, variable)`` pairs this step binds (first occurrences).
+    bind_slots: tuple[tuple[int, str], ...]
+    #: ``(position, first_position)`` — repeated new variable in-atom.
+    same_row_checks: tuple[tuple[int, int], ...]
+    #: Delta steps cannot use the index: constants checked per row.
+    const_checks: tuple[tuple[int, Value], ...]
+    #: Delta steps: earlier-bound variables checked per row.
+    var_checks: tuple[tuple[int, str], ...]
+    #: Comparison indices checkable once this step's variables bind.
+    comparison_indices: tuple[int, ...]
+    #: The planner's cardinality estimate when this step was placed.
+    estimated_cost: float
+
+
+class JoinPlan:
+    """A compiled, reusable execution plan for one CQ body.
+
+    Execution (:meth:`execute`) enumerates satisfying assignments and
+    yields the projected output tuple per assignment (duplicates
+    included — set semantics happen at the caller, as in the
+    interpreter).
+    """
+
+    __slots__ = (
+        "steps",
+        "comparisons",
+        "ground_comparisons",
+        "output",
+        "fingerprint",
+        "delta_atom",
+        "source_body",
+        "_output_ops",
+    )
+
+    def __init__(
+        self,
+        steps: tuple[PlanStep, ...],
+        comparisons: tuple[Comparison, ...],
+        ground_comparisons: tuple[int, ...],
+        output: tuple[Term, ...],
+        fingerprint: tuple[int, ...],
+        delta_atom: int | None,
+        source_body: tuple[Atom, ...] = (),
+    ) -> None:
+        self.steps = steps
+        self.comparisons = comparisons
+        self.ground_comparisons = ground_comparisons
+        self.output = output
+        self.fingerprint = fingerprint
+        self.delta_atom = delta_atom
+        self.source_body = source_body
+        self._output_ops: tuple[tuple[bool, object], ...] = tuple(
+            (True, term.name) if isinstance(term, Variable) else (False, term)
+            for term in output
+        )
+
+    def atom_order(self) -> tuple[int, ...]:
+        """Original body indexes in execution order."""
+        return tuple(step.atom_index for step in self.steps)
+
+    def estimated_cost(self) -> float:
+        """Sum of per-step estimates (coarse work proxy, for explain)."""
+        return sum(step.estimated_cost for step in self.steps)
+
+    def execute(
+        self,
+        view,
+        delta_rows: Sequence[Row] | None = None,
+    ) -> Iterator[tuple]:
+        """Yield one projected output tuple per satisfying assignment.
+
+        *delta_rows* replaces the stored relation at the plan's delta
+        step (required iff the plan was compiled with a delta atom).
+        """
+        comparisons = self.comparisons
+        for ci in self.ground_comparisons:
+            if not evaluate_comparison(comparisons[ci], _EMPTY_BINDING):
+                return
+        steps = self.steps
+        depth_count = len(steps)
+        relations: list = []
+        probes: list = []
+        for step in steps:
+            if step.is_delta:
+                relations.append(None)
+                probes.append(None)
+                continue
+            relation = _relation_or_none(view, step.relation)
+            if relation is None:
+                return  # unknown relation: no rows can match
+            relations.append(relation)
+            # Resolve the probe entry point once per step, not once per
+            # parent binding — run() fires per binding on the hot path.
+            probes.append(getattr(relation, "probe", None))
+        output_ops = self._output_ops
+        binding: Binding = {}
+
+        def run(depth: int) -> Iterator[tuple]:
+            if depth == depth_count:
+                yield tuple(
+                    binding[ref] if is_var else ref for is_var, ref in output_ops
+                )
+                return
+            step = steps[depth]
+            if step.is_delta:
+                rows = delta_rows if delta_rows is not None else ()
+            else:
+                if step.probe_positions:
+                    key = tuple(
+                        binding[ref] if is_var else ref
+                        for is_var, ref in step.probe_sources
+                    )
+                    probe = probes[depth]
+                    if probe is not None:
+                        rows = probe(step.probe_positions, key)
+                    else:
+                        rows = relations[depth].lookup(
+                            dict(zip(step.probe_positions, key))
+                        )
+                else:
+                    rows = relations[depth]
+            bind_slots = step.bind_slots
+            same_row_checks = step.same_row_checks
+            const_checks = step.const_checks
+            var_checks = step.var_checks
+            comparison_indices = step.comparison_indices
+            for row in rows:
+                if const_checks and any(row[p] != v for p, v in const_checks):
+                    continue
+                if var_checks and any(
+                    row[p] != binding[name] for p, name in var_checks
+                ):
+                    continue
+                if same_row_checks and any(
+                    row[p] != row[first] for p, first in same_row_checks
+                ):
+                    continue
+                for position, name in bind_slots:
+                    binding[name] = row[position]
+                ok = True
+                for ci in comparison_indices:
+                    if not evaluate_comparison(comparisons[ci], binding):
+                        ok = False
+                        break
+                if ok:
+                    yield from run(depth + 1)
+                for position, name in bind_slots:
+                    del binding[name]
+
+        yield from run(0)
+
+    def __repr__(self) -> str:
+        order = " -> ".join(
+            f"{'Δ' if s.is_delta else ''}{s.relation}[{s.atom_index}]"
+            for s in self.steps
+        )
+        return f"<JoinPlan {order}>"
+
+
+def compile_plan(
+    body: Sequence[Atom],
+    comparisons: Sequence[Comparison],
+    output: Sequence[Term],
+    *,
+    view,
+    delta_atom: int | None = None,
+    fingerprint: tuple[int, ...] | None = None,
+) -> JoinPlan:
+    """Compile *body* (and *comparisons*) into a :class:`JoinPlan`.
+
+    The atom order is fixed here, greedily by
+    ``estimated_matches`` over the positions bound so far — the same
+    cost model the interpreter re-runs per partial binding, applied
+    once.  *delta_atom* (a body index) is forced first, matching
+    semi-naive evaluation's start-from-the-change discipline.
+    Compilation reads statistics only; it never mutates the store.
+    """
+    atoms = list(body)
+    comparisons = tuple(comparisons)
+    if delta_atom is not None and not 0 <= delta_atom < len(atoms):
+        raise ValueError(f"delta_atom {delta_atom} out of range")
+    if fingerprint is None:
+        fingerprint = cardinality_fingerprint(
+            view, sorted({atom.relation for atom in atoms})
+        )
+
+    # ---- choose the atom order, once --------------------------------
+    order: list[tuple[int, float]] = []
+    remaining = list(range(len(atoms)))
+    bound: set[str] = set()
+    while remaining:
+        if delta_atom is not None and delta_atom in remaining:
+            choice, cost = delta_atom, 0.0
+        else:
+            choice = remaining[0]
+            cost = float("inf")
+            for index in remaining:
+                atom = atoms[index]
+                bound_positions = [
+                    i
+                    for i, term in enumerate(atom.terms)
+                    if not isinstance(term, Variable) or term.name in bound
+                ]
+                relation = _relation_or_none(view, atom.relation)
+                if relation is None:
+                    candidate_cost = 0.0  # fails immediately, cheap to try
+                else:
+                    candidate_cost = relation.estimated_matches(bound_positions)
+                if candidate_cost < cost:
+                    cost = candidate_cost
+                    choice = index
+        remaining.remove(choice)
+        order.append((choice, cost))
+        bound |= atoms[choice].variables()
+
+    # ---- compile the per-step templates -----------------------------
+    ground = tuple(
+        ci for ci, comparison in enumerate(comparisons) if not comparison.variables()
+    )
+    scheduled: set[int] = set(ground)
+    bound = set()
+    steps: list[PlanStep] = []
+    for choice, cost in order:
+        atom = atoms[choice]
+        is_delta = choice == delta_atom
+        probe_positions: list[int] = []
+        probe_sources: list[tuple[bool, object]] = []
+        bind_slots: list[tuple[int, str]] = []
+        same_row_checks: list[tuple[int, int]] = []
+        const_checks: list[tuple[int, Value]] = []
+        var_checks: list[tuple[int, str]] = []
+        first_occurrence: dict[str, int] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                name = term.name
+                if name in bound:
+                    if is_delta:
+                        var_checks.append((position, name))
+                    else:
+                        probe_positions.append(position)
+                        probe_sources.append((True, name))
+                elif name in first_occurrence:
+                    same_row_checks.append((position, first_occurrence[name]))
+                else:
+                    first_occurrence[name] = position
+                    bind_slots.append((position, name))
+            elif is_delta:
+                const_checks.append((position, term))
+            else:
+                probe_positions.append(position)
+                probe_sources.append((False, term))
+        bound |= atom.variables()
+        comparison_indices = tuple(
+            ci
+            for ci, comparison in enumerate(comparisons)
+            if ci not in scheduled and comparison.variables() <= bound
+        )
+        scheduled.update(comparison_indices)
+        steps.append(
+            PlanStep(
+                atom_index=choice,
+                relation=atom.relation,
+                is_delta=is_delta,
+                probe_positions=tuple(probe_positions),
+                probe_sources=tuple(probe_sources),
+                bind_slots=tuple(bind_slots),
+                same_row_checks=tuple(same_row_checks),
+                const_checks=tuple(const_checks),
+                var_checks=tuple(var_checks),
+                comparison_indices=comparison_indices,
+                estimated_cost=cost,
+            )
+        )
+    return JoinPlan(
+        steps=tuple(steps),
+        comparisons=comparisons,
+        ground_comparisons=ground,
+        output=tuple(output),
+        fingerprint=fingerprint,
+        delta_atom=delta_atom,
+        source_body=tuple(atoms),
+    )
+
+
+class PlanCache:
+    """Per-wrapper cache of compiled plans, fingerprint-invalidated.
+
+    Bounded FIFO: when full, the oldest entry is evicted.  ``hits`` /
+    ``misses`` / ``replans`` are exposed for tests and benchmarks.
+    """
+
+    def __init__(self, max_plans: int = 512) -> None:
+        self.max_plans = max_plans
+        self._plans: dict[PlanKey, JoinPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.replans = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def plan(
+        self,
+        view,
+        key: PlanKey,
+        body: Sequence[Atom],
+        comparisons: Sequence[Comparison],
+        output: Sequence[Term],
+        *,
+        delta_atom: int | None = None,
+    ) -> JoinPlan:
+        """The cached plan for *key*, recompiled on fingerprint drift.
+
+        A hit additionally requires the cached plan to have been
+        compiled from the *same* body/comparisons/output — a caller
+        reusing a rule key for a different query must get a fresh
+        plan, never another rule's answers.
+        """
+        relation_names = sorted({atom.relation for atom in body})
+        fingerprint = cardinality_fingerprint(view, relation_names)
+        cached = self._plans.get(key)
+        if cached is not None:
+            if (
+                cached.fingerprint == fingerprint
+                and cached.source_body == tuple(body)
+                and cached.comparisons == tuple(comparisons)
+                and cached.output == tuple(output)
+            ):
+                self.hits += 1
+                return cached
+            self.replans += 1
+        else:
+            self.misses += 1
+        plan = compile_plan(
+            body,
+            comparisons,
+            output,
+            view=view,
+            delta_atom=delta_atom,
+            fingerprint=fingerprint,
+        )
+        if key not in self._plans and len(self._plans) >= self.max_plans:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# Planned counterparts of the evaluator's three entry points
+# ---------------------------------------------------------------------------
+
+
+def evaluate_query_planned(
+    view,
+    query: ConjunctiveQuery,
+    cache: PlanCache,
+    *,
+    rule_key: object | None = None,
+) -> list[Row]:
+    """All distinct answers to *query*, via a compiled plan.
+
+    Must agree with :func:`repro.relational.evaluation.evaluate_query`
+    up to answer order; the differential tests enforce exactly that.
+    """
+    base = rule_key if rule_key is not None else query
+    plan = cache.plan(view, (base, None, None), query.body, query.comparisons, query.head.terms)
+    return list(dict.fromkeys(plan.execute(view)))
+
+
+def evaluate_query_delta_planned(
+    view,
+    query: ConjunctiveQuery,
+    changed_relation: str,
+    delta_rows: Sequence[Row],
+    cache: PlanCache,
+    *,
+    rule_key: object | None = None,
+) -> list[Row]:
+    """Semi-naive answers via per-occurrence delta plans.
+
+    One plan per body occurrence of *changed_relation* (that occurrence
+    ranges over *delta_rows* and runs first); the union of their
+    answers matches the interpreter's
+    :func:`~repro.relational.evaluation.evaluate_query_delta`.
+    """
+    if not delta_rows:
+        return []
+    base = rule_key if rule_key is not None else query
+    seen: dict[Row, None] = {}
+    for occurrence, atom in enumerate(query.body):
+        if atom.relation != changed_relation:
+            continue
+        plan = cache.plan(
+            view,
+            (base, changed_relation, occurrence),
+            query.body,
+            query.comparisons,
+            query.head.terms,
+            delta_atom=occurrence,
+        )
+        for row in plan.execute(view, delta_rows=delta_rows):
+            seen[row] = None
+    return list(seen)
+
+
+def evaluate_mapping_bindings_planned(
+    view,
+    mapping: GlavMapping,
+    cache: PlanCache,
+    *,
+    changed_relation: str | None = None,
+    delta_rows: Sequence[Row] | None = None,
+    rule_key: object | None = None,
+) -> list[Binding]:
+    """Frontier bindings of a GLAV mapping, full or semi-naive, planned.
+
+    The plan projects straight onto the sorted frontier, so dedup (one
+    rule firing per distinct frontier assignment) happens on bare
+    tuples; binding dicts are only built for the survivors.
+    """
+    frontier = tuple(sorted(mapping.frontier_variables()))
+    output = tuple(Variable(name) for name in frontier)
+    base = rule_key if rule_key is not None else mapping
+    seen: dict[tuple, Binding] = {}
+    if changed_relation is None:
+        plans = [
+            (
+                cache.plan(
+                    view, (base, None, None), mapping.body, mapping.comparisons, output
+                ),
+                None,
+            )
+        ]
+    else:
+        if not delta_rows:
+            return []
+        plans = [
+            (
+                cache.plan(
+                    view,
+                    (base, changed_relation, occurrence),
+                    mapping.body,
+                    mapping.comparisons,
+                    output,
+                    delta_atom=occurrence,
+                ),
+                delta_rows,
+            )
+            for occurrence, atom in enumerate(mapping.body)
+            if atom.relation == changed_relation
+        ]
+    for plan, rows in plans:
+        for projected in plan.execute(view, delta_rows=rows):
+            if projected not in seen:
+                seen[projected] = dict(zip(frontier, projected))
+    return list(seen.values())

@@ -8,25 +8,45 @@ straight from the update algorithm in the paper's §3:
 * *delta inserts* — :meth:`Relation.insert_new` reports exactly which
   tuples were new, the ``T'`` of the paper;
 * *indexed lookups* — CQ evaluation binds some columns and scans the
-  rest; per-column hash indexes make bound-column lookups O(1);
+  rest; per-column hash indexes make bound-column lookups O(1), and
+  composite (multi-column) hash indexes serve the compiled join plans
+  of :mod:`repro.relational.planner`, which probe a fixed set of
+  positions over and over;
 * *deterministic iteration* — insertion order is preserved (a ``dict``
   used as an ordered set), so distributed runs are reproducible.
+
+Cardinality estimation (:meth:`Relation.estimated_matches`,
+:meth:`Relation.ndv_estimate`) is **read-only**: it consults indexes
+that already exist and otherwise falls back to a sampled, cached
+distinct count.  Join *planning* therefore never materialises an index
+as a side effect — indexes are built only when a lookup actually
+probes a column.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from itertools import islice
 
 from repro.errors import SchemaError
 from repro.relational.schema import RelationSchema
 from repro.relational.values import Row, Value, row_sort_key
 
+#: Rows inspected (in insertion order) by the index-free NDV estimator.
+NDV_SAMPLE_LIMIT = 256
+
+#: Below this many rows a composite index is not worth building; the
+#: single-column probe plus per-row filtering wins on constant factors.
+COMPOSITE_INDEX_THRESHOLD = 32
+
 
 class Relation:
     """One relation instance: an ordered set of rows plus hash indexes.
 
-    Indexes are built lazily, the first time a lookup binds a column;
-    after that they are maintained incrementally on insert/delete.
+    Single-column indexes are built lazily, the first time a lookup
+    binds a column; composite indexes the first time a plan probes a
+    multi-column position set over a large enough relation.  After
+    that, all indexes are maintained incrementally on insert/delete.
     """
 
     def __init__(self, schema: RelationSchema) -> None:
@@ -34,6 +54,12 @@ class Relation:
         self._rows: dict[Row, None] = {}
         # column position -> value -> ordered set of rows
         self._indexes: dict[int, dict[Value, dict[Row, None]]] = {}
+        # (position, ...) -> (value, ...) -> ordered set of rows
+        self._multi_indexes: dict[tuple[int, ...], dict[tuple, dict[Row, None]]] = {}
+        # Monotone mutation counter; invalidates the sampled-NDV cache.
+        self._version = 0
+        # position -> (version, estimate)
+        self._ndv_cache: dict[int, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Basic collection protocol
@@ -60,14 +86,36 @@ class Relation:
     # Mutation
     # ------------------------------------------------------------------
 
+    def _index_row(self, row: Row) -> None:
+        for position, index in self._indexes.items():
+            index.setdefault(row[position], {})[row] = None
+        for positions, index in self._multi_indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, {})[row] = None
+
+    def _unindex_row(self, row: Row) -> None:
+        for position, index in self._indexes.items():
+            bucket = index.get(row[position])
+            if bucket is not None:
+                bucket.pop(row, None)
+                if not bucket:
+                    del index[row[position]]
+        for positions, index in self._multi_indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.pop(row, None)
+                if not bucket:
+                    del index[key]
+
     def insert(self, row: Sequence[Value]) -> bool:
         """Insert one row; return ``True`` iff it was not present."""
         validated = self.schema.validate_row(tuple(row))
         if validated in self._rows:
             return False
         self._rows[validated] = None
-        for position, index in self._indexes.items():
-            index.setdefault(validated[position], {})[validated] = None
+        self._index_row(validated)
+        self._version += 1
         return True
 
     def insert_new(self, rows: Iterable[Sequence[Value]]) -> list[Row]:
@@ -75,17 +123,22 @@ class Relation:
 
         This is the paper's ``T' = T \\ R`` step followed by
         ``R := R ∪ T'``: the returned list is the delta used to
-        recompute dependent incoming links.
+        recompute dependent incoming links.  One running set tracks the
+        batch's own duplicates, so a batch of *n* rows costs O(n), not
+        O(n²).
         """
         fresh: list[Row] = []
+        fresh_seen: set[Row] = set()
         for row in rows:
             validated = self.schema.validate_row(tuple(row))
-            if validated not in self._rows and validated not in set(fresh):
+            if validated not in self._rows and validated not in fresh_seen:
                 fresh.append(validated)
+                fresh_seen.add(validated)
         for row in fresh:
             self._rows[row] = None
-            for position, index in self._indexes.items():
-                index.setdefault(row[position], {})[row] = None
+            self._index_row(row)
+        if fresh:
+            self._version += 1
         return fresh
 
     def delete(self, row: Sequence[Value]) -> bool:
@@ -94,34 +147,51 @@ class Relation:
         if key not in self._rows:
             return False
         del self._rows[key]
-        for position, index in self._indexes.items():
-            bucket = index.get(key[position])
-            if bucket is not None:
-                bucket.pop(key, None)
-                if not bucket:
-                    del index[key[position]]
+        self._unindex_row(key)
+        self._version += 1
         return True
 
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
+        self._multi_indexes.clear()
+        self._ndv_cache.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
 
-    def _index_for(self, position: int) -> dict[Value, dict[Row, None]]:
-        """The hash index on *position*, building it on first use."""
+    def _check_position(self, position: int) -> None:
         if position < 0 or position >= self.schema.arity:
             raise SchemaError(
                 f"relation {self.schema.name!r} has no column {position}"
             )
+
+    def _index_for(self, position: int) -> dict[Value, dict[Row, None]]:
+        """The hash index on *position*, building it on first use."""
+        self._check_position(position)
         index = self._indexes.get(position)
         if index is None:
             index = {}
             for row in self._rows:
                 index.setdefault(row[position], {})[row] = None
             self._indexes[position] = index
+        return index
+
+    def _multi_index_for(
+        self, positions: tuple[int, ...]
+    ) -> dict[tuple, dict[Row, None]]:
+        """The composite hash index on *positions*, built on first use."""
+        index = self._multi_indexes.get(positions)
+        if index is None:
+            for position in positions:
+                self._check_position(position)
+            index = {}
+            for row in self._rows:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, {})[row] = None
+            self._multi_indexes[positions] = index
         return index
 
     def lookup(self, bindings: dict[int, Value]) -> Iterator[Row]:
@@ -149,22 +219,88 @@ class Relation:
             if all(row[p] == v for p, v in rest):
                 yield row
 
+    def probe(
+        self, positions: tuple[int, ...], values: tuple[Value, ...]
+    ) -> Iterable[Row]:
+        """Rows with ``row[p] == v`` for each aligned position/value pair.
+
+        The fast path for compiled join plans: a plan probes the same
+        position set once per outer binding, so the probe is served
+        from one hash bucket — a single-column index for one position,
+        a composite index for several (when the relation is large
+        enough for the composite to pay for itself).
+        """
+        if not positions:
+            return self._rows
+        if len(positions) == 1:
+            return self._index_for(positions[0]).get(values[0], ())
+        if len(self._rows) >= COMPOSITE_INDEX_THRESHOLD or positions in self._multi_indexes:
+            return self._multi_index_for(positions).get(values, ())
+        return self.lookup(dict(zip(positions, values)))
+
     def count(self, bindings: dict[int, Value] | None = None) -> int:
         """Number of rows matching *bindings* (all rows when ``None``)."""
         if not bindings:
             return len(self._rows)
         return sum(1 for _ in self.lookup(bindings))
 
+    def ndv_estimate(self, position: int) -> int:
+        """Number of distinct values in *position*, without side effects.
+
+        An already-built index answers exactly.  Otherwise a bounded
+        sample (the first :data:`NDV_SAMPLE_LIMIT` rows, insertion
+        order, so the answer is deterministic) is counted and cached
+        against the relation's mutation counter; a sample that is all
+        distinct reads as a key-like column and reports the full row
+        count.  No index is ever built here — estimation must not
+        mutate storage (join planning probes many candidate atoms it
+        never selects).
+        """
+        self._check_position(position)
+        index = self._indexes.get(position)
+        if index is not None:
+            return len(index)
+        total = len(self._rows)
+        if total == 0:
+            return 0
+        cached = self._ndv_cache.get(position)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        if total > NDV_SAMPLE_LIMIT:
+            # Strided sample: every stride-th row in insertion order, so
+            # clustered loads (rows grouped by this column's value)
+            # cannot bias the whole sample into one bucket.  An odd
+            # stride avoids aliasing with even-period layouts (the
+            # common alternating/striped case).
+            stride = total // NDV_SAMPLE_LIMIT
+            if stride % 2 == 0:
+                stride += 1
+            sampled: set = set()
+            picked = 0
+            for row in islice(self._rows, 0, None, stride):
+                picked += 1
+                sampled.add(row[position])
+            distinct = len(sampled)
+            if distinct == picked:
+                distinct = total  # key-like: every sampled value distinct
+        else:
+            distinct = len({row[position] for row in self._rows})
+        self._ndv_cache[position] = (self._version, distinct)
+        return distinct
+
     def estimated_matches(self, bound_positions: Iterable[int]) -> float:
         """Cheap cardinality estimate for join ordering.
 
         Assumes independent uniform columns: ``|R| / prod(ndv(col))``
-        over the bound columns, where ``ndv`` is the number of distinct
-        values currently indexed.  Good enough to order joins sensibly.
+        over the bound columns, where ``ndv`` comes from
+        :meth:`ndv_estimate` — an existing index when one was already
+        built, a cached sampled count otherwise (never ``len(rows)``
+        alone unless the column really looks constant).  Read-only:
+        estimating a probe cost must not build the index being costed.
         """
         estimate = float(len(self._rows))
         for position in bound_positions:
-            distinct = len(self._index_for(position))
+            distinct = self.ndv_estimate(position)
             if distinct > 0:
                 estimate /= distinct
         return estimate

@@ -25,9 +25,14 @@ Three wrappers:
   by default the buffer is dropped when the update completes.
 
 All three expose the same narrow interface the node layer needs, and
-all three plug into the generic CQ evaluator (which only requires
+all three plug into the compiled-plan CQ executor (which only requires
 ``relation_names`` / ``relation(name)`` with ``lookup`` /
-``estimated_matches``).
+``estimated_matches``, using the faster ``probe`` when a backend
+offers it).  Each wrapper owns a :class:`~repro.relational.planner.
+PlanCache`, so every coordination rule's body — including the
+compensation joins the Wrapper runs on behalf of SQLite — is compiled
+once and re-executed from the cache until its relations' cardinalities
+shift by an order of magnitude.
 """
 
 from __future__ import annotations
@@ -38,11 +43,12 @@ from collections.abc import Iterable, Iterator, Sequence
 from repro.errors import UnknownRelationError, WrapperError
 from repro.relational.conjunctive import ConjunctiveQuery, GlavMapping
 from repro.relational.database import Database
-from repro.relational.evaluation import (
-    Binding,
-    evaluate_mapping_bindings,
-    evaluate_query,
-    evaluate_query_delta,
+from repro.relational.evaluation import Binding
+from repro.relational.planner import (
+    PlanCache,
+    evaluate_mapping_bindings_planned,
+    evaluate_query_delta_planned,
+    evaluate_query_planned,
 )
 from repro.relational.schema import DatabaseSchema
 from repro.relational.storage import Relation
@@ -63,6 +69,10 @@ class Wrapper:
 
     def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
+        #: Compiled join plans for this store's rule/query bodies, keyed
+        #: on (rule key, delta relation, occurrence) and invalidated by
+        #: cardinality fingerprint — see :mod:`repro.relational.planner`.
+        self.plan_cache = PlanCache()
 
     # -- primitives subclasses implement --------------------------------
 
@@ -103,14 +113,36 @@ class Wrapper:
 
     # -- shared operations ------------------------------------------------
 
-    def evaluate_query(self, query: ConjunctiveQuery) -> list[Row]:
-        """All distinct answers to *query* over the local data."""
-        return evaluate_query(self._view(), query)
+    def evaluate_query(
+        self, query: ConjunctiveQuery, *, rule_key: object | None = None
+    ) -> list[Row]:
+        """All distinct answers to *query* over the local data.
+
+        Runs a compiled join plan from this store's :attr:`plan_cache`;
+        *rule_key* (e.g. a coordination-rule id) keys the cache when
+        the caller has a stable identity for the query, otherwise the
+        query's own structure is the key.
+        """
+        return evaluate_query_planned(
+            self._view(), query, self.plan_cache, rule_key=rule_key
+        )
 
     def evaluate_query_delta(
-        self, query: ConjunctiveQuery, changed_relation: str, delta_rows: Sequence[Row]
+        self,
+        query: ConjunctiveQuery,
+        changed_relation: str,
+        delta_rows: Sequence[Row],
+        *,
+        rule_key: object | None = None,
     ) -> list[Row]:
-        return evaluate_query_delta(self._view(), query, changed_relation, delta_rows)
+        return evaluate_query_delta_planned(
+            self._view(),
+            query,
+            changed_relation,
+            delta_rows,
+            self.plan_cache,
+            rule_key=rule_key,
+        )
 
     def evaluate_mapping_bindings(
         self,
@@ -118,13 +150,16 @@ class Wrapper:
         *,
         changed_relation: str | None = None,
         delta_rows: Sequence[Row] | None = None,
+        rule_key: object | None = None,
     ) -> list[Binding]:
         """Frontier bindings of *mapping*'s body over the local data."""
-        return evaluate_mapping_bindings(
+        return evaluate_mapping_bindings_planned(
             self._view(),
             mapping,
+            self.plan_cache,
             changed_relation=changed_relation,
             delta_rows=delta_rows,
+            rule_key=rule_key,
         )
 
     def total_rows(self) -> int:
@@ -294,10 +329,10 @@ class _SqliteRelation:
             yield tuple(decode_sqlite_value(cell) for cell in cells)
 
     def __len__(self) -> int:
-        (count,) = self._store._connection.execute(
-            f'SELECT COUNT(*) FROM "{self.name}"'
-        ).fetchone()
-        return count
+        # Served from the store's maintained counter: the planner's
+        # cache-validation fingerprint calls len() per body relation on
+        # every evaluation, which must not cost a COUNT(*) scan.
+        return self._store._row_counts[self.name]
 
     def __contains__(self, row: Sequence[Value]) -> bool:
         where = " AND ".join(f"c{i} = ?" for i in range(len(row)))
@@ -367,6 +402,14 @@ class SqliteStore(Wrapper):
         super().__init__(schema)
         self._connection = sqlite3.connect(path)
         self._create_tables()
+        # Row counts maintained alongside mutations (this store owns the
+        # connection), so cardinality checks are O(1), not COUNT(*).
+        self._row_counts: dict[str, int] = {}
+        for relation in self.schema:
+            (count,) = self._connection.execute(
+                f'SELECT COUNT(*) FROM "{relation.name}"'
+            ).fetchone()
+            self._row_counts[relation.name] = count
 
     def _create_tables(self) -> None:
         for relation in self.schema:
@@ -401,6 +444,7 @@ class SqliteStore(Wrapper):
             if cursor.rowcount > 0:
                 fresh.append(validated)
         self._connection.commit()
+        self._row_counts[relation] += len(fresh)
         return fresh
 
     def rows(self, relation: str) -> list[Row]:
@@ -426,11 +470,13 @@ class SqliteStore(Wrapper):
             )
             deleted += cursor.rowcount
         self._connection.commit()
+        self._row_counts[relation] -= deleted
         return deleted
 
     def clear(self) -> None:
         for relation in self.schema:
             self._connection.execute(f'DELETE FROM "{relation.name}"')
+            self._row_counts[relation.name] = 0
         self._connection.commit()
 
     def close(self) -> None:

@@ -5,6 +5,7 @@ import pytest
 from repro.relational.conjunctive import Atom, Comparison, Variable
 from repro.relational.database import Database
 from repro.relational.evaluation import (
+    _atom_lookup_bindings,
     apply_head,
     evaluate_body,
     evaluate_mapping_bindings,
@@ -77,6 +78,47 @@ class TestEvaluateQuery:
         rows = set(evaluate_query(graph_db, q))
         assert all(x < y for x, y in rows)
         assert (4, 1) not in rows
+
+
+class TestAtomLookupBindings:
+    """Contract regression: the helper always returns a dict, never None."""
+
+    def test_repeated_unbound_variable_contributes_nothing(self):
+        atom = Atom.of("edge", "x", "x")
+        assert _atom_lookup_bindings(atom, {}) == {}
+
+    def test_repeated_bound_variable_constrains_every_position(self):
+        atom = Atom.of("edge", "x", "x")
+        assert _atom_lookup_bindings(atom, {"x": 7}) == {0: 7, 1: 7}
+
+    def test_constants_and_bound_variables_mix(self):
+        atom = Atom.of("r", "x", 5, "y")
+        assert _atom_lookup_bindings(atom, {"x": 1}) == {0: 1, 1: 5}
+
+    def test_repeated_variable_matches_through_index_probe_path(self):
+        # edge(x, x) with x bound by an earlier atom goes through the
+        # index-probe path (both positions constrained); the diagonal
+        # rows must still come back, and only they.
+        schema = parse_schema("node(id: int)\nedge(a: int, b: int)")
+        db = Database(schema)
+        db.load(
+            {
+                "node": [(1,), (2,), (3,)],
+                "edge": [(1, 1), (1, 2), (2, 2), (3, 1)],
+            }
+        )
+        q = parse_query("self(x) <- node(x), edge(x, x)")
+        assert sorted(evaluate_query(db, q)) == [(1,), (2,)]
+
+    def test_repeated_variable_via_initial_binding(self):
+        schema = parse_schema("edge(a: int, b: int)")
+        db = Database(schema)
+        db.load({"edge": [(1, 1), (1, 2), (2, 2)]})
+        atoms = (Atom.of("edge", "x", "x"),)
+        assert list(
+            evaluate_body(db, atoms, initial_binding={"x": 1})
+        ) == [{"x": 1}]
+        assert list(evaluate_body(db, atoms, initial_binding={"x": 9})) == []
 
 
 class TestEvaluateBody:

@@ -106,6 +106,112 @@ class TestEstimates:
         assert relation.count({0: 1}) == 2
 
 
+class TestProbe:
+    """The planner's fast path: fixed-position index probes."""
+
+    def test_probe_no_positions_scans(self, relation):
+        relation.insert_new([(1, 2), (3, 4)])
+        assert list(relation.probe((), ())) == [(1, 2), (3, 4)]
+
+    def test_probe_single_position(self, relation):
+        relation.insert_new([(1, 2), (1, 3), (2, 2)])
+        assert list(relation.probe((0,), (1,))) == [(1, 2), (1, 3)]
+        assert list(relation.probe((0,), (9,))) == []
+
+    def test_probe_small_relation_falls_back_to_lookup(self, relation):
+        relation.insert_new([(1, 2), (1, 3), (2, 2)])
+        assert list(relation.probe((0, 1), (1, 3))) == [(1, 3)]
+        assert relation._multi_indexes == {}  # too small for a composite
+
+    def test_probe_large_relation_builds_composite_index(self, relation):
+        relation.insert_new([(i % 5, i % 7) for i in range(100)])
+        expected = sorted(relation.lookup({0: 2, 1: 3}))
+        assert sorted(relation.probe((0, 1), (2, 3))) == expected
+        assert (0, 1) in relation._multi_indexes
+
+    def test_composite_index_maintained_on_insert_and_delete(self, relation):
+        relation.insert_new([(i % 5, i % 7) for i in range(100)])
+        list(relation.probe((0, 1), (2, 3)))  # composite exists now
+        relation.insert((2, 3))
+        assert (2, 3) in set(relation.probe((0, 1), (2, 3)))
+        before = len(list(relation.probe((0, 1), (2, 3))))
+        relation.delete((2, 3))
+        assert len(list(relation.probe((0, 1), (2, 3)))) == before - 1
+
+    def test_probe_agrees_with_lookup(self, relation):
+        relation.insert_new([(i % 4, i % 6) for i in range(80)])
+        for key in [(0, 0), (1, 3), (3, 5), (9, 9)]:
+            assert list(relation.probe((0, 1), key)) == list(
+                relation.lookup({0: key[0], 1: key[1]})
+            )
+
+    def test_probe_out_of_range_column(self, relation):
+        relation.insert_new([(i, i) for i in range(50)])
+        with pytest.raises(SchemaError):
+            list(relation.probe((0, 7), (1, 1)))
+
+
+class TestEstimatesAreReadOnly:
+    """Regression: cost probes must never materialise indexes."""
+
+    def test_estimated_matches_builds_no_index(self, relation):
+        relation.insert_new([(i % 3, i) for i in range(30)])
+        relation.estimated_matches([0, 1])
+        assert relation._indexes == {}
+        assert relation._multi_indexes == {}
+
+    def test_estimate_uses_existing_index_when_built(self, relation):
+        relation.insert_new([(i % 3, i) for i in range(30)])
+        list(relation.lookup({0: 0}))  # builds the column-0 index
+        assert relation.ndv_estimate(0) == 3
+
+    def test_sampled_ndv_exact_on_small_relations(self, relation):
+        relation.insert_new([(i % 3, i) for i in range(30)])
+        assert relation.ndv_estimate(0) == 3
+        assert relation.ndv_estimate(1) == 30
+
+    def test_sampled_ndv_cache_invalidated_by_mutation(self, relation):
+        relation.insert_new([(0, i) for i in range(10)])
+        assert relation.ndv_estimate(0) == 1
+        relation.insert_new([(i, 100 + i) for i in range(1, 5)])
+        assert relation.ndv_estimate(0) == 5
+
+    def test_clustered_load_does_not_fool_the_sample(self, relation):
+        from repro.relational.storage import NDV_SAMPLE_LIMIT
+
+        # Rows grouped by column 0 (all of value 0 first, then 1, ...):
+        # a prefix sample would see a single value and report NDV=1; the
+        # strided sample must see (roughly) all ten groups.
+        total = NDV_SAMPLE_LIMIT * 10
+        rows = [(group, i) for group in range(10) for i in range(total // 10)]
+        relation.insert_new(rows)
+        assert relation.ndv_estimate(0) >= 8
+
+    def test_key_like_column_estimated_at_full_count(self, relation):
+        from repro.relational.storage import NDV_SAMPLE_LIMIT
+
+        total = NDV_SAMPLE_LIMIT * 4
+        relation.insert_new([(i, i % 2) for i in range(total)])
+        assert relation.ndv_estimate(0) == total
+        assert relation.ndv_estimate(1) == 2
+
+
+class TestInsertNewBatches:
+    def test_large_batch_with_duplicates(self, relation):
+        # One running set alongside the ordered list: the whole batch is
+        # O(n), and within-batch duplicates are reported exactly once.
+        rows = [(i % 500, i % 250) for i in range(5_000)]
+        delta = relation.insert_new(rows)
+        assert len(delta) == len(set(rows))
+        assert delta == list(dict.fromkeys(rows))
+
+    def test_batch_maintains_existing_indexes(self, relation):
+        relation.insert((1, 1))
+        list(relation.lookup({0: 1}))
+        relation.insert_new([(1, 2), (2, 2), (1, 3)])
+        assert sorted(relation.lookup({0: 1})) == [(1, 1), (1, 2), (1, 3)]
+
+
 class TestCopyAndClear:
     def test_copy_is_independent(self, relation):
         relation.insert((1, 2))
