@@ -1,4 +1,4 @@
-"""Compiled join plans vs the interpreter on the CQ hot path.
+"""Compiled join plans vs the interpreter vs SQLite pushdown.
 
 Every coordination-rule evaluation during a global update runs a CQ
 body; the planner compiles each body once and re-executes the plan,
@@ -8,6 +8,13 @@ on small inputs (plan compilation amortises immediately thanks to the
 cache) and wins clearly on multi-atom bodies — ≥2× on a 4-atom join
 over 10k-row relations.  Answers are asserted identical before any
 timing is recorded (the interpreter is the semantics oracle).
+
+The pushdown report stacks the third executor on top: the same
+compiled plan translated to one SQL join and run inside SQLite
+(``SqliteStore`` pushdown) against (a) the in-memory plan executor,
+(b) the historical per-atom-probe fallback over SQLite, and (c) the
+interpreter, at 10k–100k rows per relation.  ``--smoke`` shrinks the
+workload to a fast correctness-only pass for CI.
 """
 
 import os
@@ -24,6 +31,7 @@ from repro.relational.planner import (
     evaluate_query_delta_planned,
     evaluate_query_planned,
 )
+from repro.relational.wrapper import SqliteStore
 
 ROWS = 10_000
 DOMAIN = 4_000
@@ -160,3 +168,139 @@ def test_planner_report(benchmark, report):
     if not os.environ.get("CI"):
         assert ratios["4-atom/10k"] >= 1.5
         assert ratios["3-atom/200"] >= 0.8
+
+
+# ---------------------------------------------------------------------------
+# SQLite pushdown: whole plans as single SQL joins
+# ---------------------------------------------------------------------------
+
+PUSHDOWN_SCHEMA = "r0(a, b)\nr1(a, b)\nr2(a, b)\nr3(a, b)"
+PUSHDOWN_SIZES = (10_000, 50_000, 100_000)
+SMOKE_SIZES = (2_000,)
+
+
+def build_pushdown_facts(rows: int, seed: int = SEED) -> dict:
+    """Chain-join relations with fanout ≈ 1 (domain = rows), so output
+    and intermediate sizes scale linearly and the join itself — not
+    result materialisation — is what gets timed."""
+    rng = random.Random(seed)
+    return {
+        name: [(rng.randrange(rows), rng.randrange(rows)) for _ in range(rows)]
+        for name in ("r0", "r1", "r2", "r3")
+    }
+
+
+def test_pushdown_report(benchmark, report, smoke):
+    """Pushdown vs in-memory plans vs per-atom fallback vs interpreter.
+
+    Acceptance: identical answers everywhere (always asserted), and —
+    on a quiet non-CI machine — pushdown ≥ 1.5× over the in-memory
+    executor on the 4-atom join at ≥ 50k rows.
+    """
+    query = parse_query(QUERY_4ATOM)
+    sizes = SMOKE_SIZES if smoke else PUSHDOWN_SIZES
+
+    def run():
+        rows_out = []
+        ratios = {}
+        for size in sizes:
+            facts = build_pushdown_facts(size)
+            db = Database(parse_schema(PUSHDOWN_SCHEMA))
+            db.load(facts)
+            store = SqliteStore(parse_schema(PUSHDOWN_SCHEMA))
+            for name, tuples in facts.items():
+                store.insert_new(name, tuples)
+            cache = PlanCache()
+            memory_answers = evaluate_query_planned(db, query, cache)
+            pushed_answers = store.evaluate_query(query)
+            assert sorted(memory_answers) == sorted(pushed_answers), size
+            assert store.pushdown_queries > 0 and store.pushdown_fallbacks == 0
+            rounds = 3 if size <= 50_000 else 2
+            in_memory = best_of(
+                lambda: evaluate_query_planned(db, query, cache), rounds
+            )
+            pushdown = best_of(lambda: store.evaluate_query(query), rounds)
+            ratios[size] = in_memory / pushdown
+            if size <= 10_000:
+                # The slow executors only at the small size: the
+                # interpreter and the per-atom-probe compensation path
+                # are both O(intermediate rows) in Python.
+                interpreted = best_of(lambda: evaluate_query(db, query), 1)
+                fallback_store = SqliteStore(
+                    parse_schema(PUSHDOWN_SCHEMA), pushdown=False
+                )
+                for name, tuples in facts.items():
+                    fallback_store.insert_new(name, tuples)
+                assert sorted(fallback_store.evaluate_query(query)) == sorted(
+                    pushed_answers
+                )
+                fallback = best_of(
+                    lambda: fallback_store.evaluate_query(query), 1
+                )
+                fallback_store.close()
+                interpreted_ms = f"{interpreted * 1000:.1f}"
+                fallback_ms = f"{fallback * 1000:.1f}"
+            else:
+                interpreted_ms = fallback_ms = "-"
+            store.close()
+            rows_out.append(
+                [
+                    f"{size // 1000}k x4",
+                    len(pushed_answers),
+                    interpreted_ms,
+                    fallback_ms,
+                    f"{in_memory * 1000:.1f}",
+                    f"{pushdown * 1000:.1f}",
+                    f"{in_memory / pushdown:.2f}x",
+                ]
+            )
+        return rows_out, ratios
+
+    rows_out, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        [
+            "rows/relation",
+            "answers",
+            "interpreter ms",
+            "per-atom sqlite ms",
+            "in-memory plan ms",
+            "pushdown ms",
+            "pushdown speedup",
+        ],
+        rows_out,
+        title="SQLite pushdown vs in-memory executor (4-atom join, identical answers asserted)",
+    )
+    for size, ratio in ratios.items():
+        benchmark.extra_info[f"pushdown/{size}"] = round(ratio, 2)
+    # Wall-clock gates only off-CI and at full size (measured ~1.7×
+    # at 50k–100k; 1.5 leaves headroom for machine noise).
+    if not smoke and not os.environ.get("CI"):
+        for size, ratio in ratios.items():
+            if size >= 50_000:
+                assert ratio >= 1.5, (size, ratio)
+
+
+def test_pushdown_delta_ingest_batch(benchmark, smoke):
+    """Delta plans through the pushdown path: one temp-table fill and
+    one SQL join per occurrence, answers equal to the in-memory path."""
+    size = 2_000 if smoke else 20_000
+    facts = build_pushdown_facts(size)
+    db = Database(parse_schema(PUSHDOWN_SCHEMA))
+    db.load(facts)
+    store = SqliteStore(parse_schema(PUSHDOWN_SCHEMA))
+    for name, tuples in facts.items():
+        store.insert_new(name, tuples)
+    query = parse_query(QUERY_4ATOM)
+    rng = random.Random(7)
+    delta = [(rng.randrange(size), rng.randrange(size)) for _ in range(500)]
+    cache = PlanCache()
+    expected = sorted(
+        evaluate_query_delta_planned(db, query, "r1", delta, cache)
+    )
+    assert sorted(store.evaluate_query_delta(query, "r1", delta)) == expected
+    benchmark.pedantic(
+        lambda: store.evaluate_query_delta(query, "r1", delta),
+        rounds=3,
+        iterations=1,
+    )
+    store.close()

@@ -16,6 +16,25 @@ from repro.bench.reporting import ReportWriter
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help=(
+            "shrink benchmark workloads to a fast, correctness-only smoke "
+            "run (CI uses this to catch codegen regressions without paying "
+            "for full-size timings)"
+        ),
+    )
+
+
+@pytest.fixture
+def smoke(request):
+    """Whether this run is a --smoke run (small sizes, no timing gates)."""
+    return bool(request.config.getoption("--smoke"))
+
 _writers: dict[str, ReportWriter] = {}
 
 

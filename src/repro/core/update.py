@@ -49,6 +49,7 @@ from repro.errors import FixpointGuardError, ProtocolError, UnknownPeerError
 from repro.p2p.messages import Message
 from repro.relational.containment import tuple_subsumed
 from repro.relational.evaluation import apply_head
+from repro.relational.storage import Relation
 from repro.relational.values import MarkedNull, Row, decode_row, encode_row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -355,18 +356,40 @@ class UpdateEngine:
         nulls_before = node.nulls.minted
         facts = apply_head(link.rule.mapping, bindings, node.nulls)
 
+        # Batch ingest: group the message's head facts per relation and
+        # insert each group with ONE insert_new call — the paper's
+        # ``T' = T \ R`` at query_result-message granularity instead of
+        # row-at-a-time.  Subsumption dedup must still see rows accepted
+        # earlier in this batch (the old loop had inserted them by then):
+        # a per-relation shadow Relation mirrors the accepted rows, so
+        # those probes stay hash-indexed instead of scanning the batch.
+        batches: dict[str, list[Row]] = {}
+        subsumption = node.config.subsumption_dedup
+        view = node.wrapper._view() if subsumption else None
+        shadows: dict[str, Relation] = {}
+        for relation, row in facts:
+            pending = batches.setdefault(relation, [])
+            if subsumption:
+                shadow = shadows.get(relation)
+                if shadow is None:
+                    shadow = Relation(node.wrapper.schema[relation])
+                    shadows[relation] = shadow
+                if any(isinstance(value, MarkedNull) for value in row) and (
+                    tuple_subsumed(row, view.relation(relation))
+                    or tuple_subsumed(row, shadow)
+                ):
+                    continue
+                shadow.insert(row)
+            pending.append(row)
+
         deltas: dict[str, list[Row]] = {}
         inserted = 0
-        for relation, row in facts:
-            if node.config.subsumption_dedup and any(
-                isinstance(value, MarkedNull) for value in row
-            ):
-                view = node.wrapper._view()
-                if tuple_subsumed(row, view.relation(relation)):
-                    continue
-            new_rows = node.wrapper.insert_new(relation, [row])
+        for relation, pending in batches.items():
+            if not pending:
+                continue
+            new_rows = node.wrapper.insert_new(relation, pending)
             if new_rows:
-                deltas.setdefault(relation, []).extend(new_rows)
+                deltas[relation] = new_rows
                 inserted += len(new_rows)
 
         link.longest_path = max(link.longest_path, path_len)

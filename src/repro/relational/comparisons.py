@@ -54,10 +54,22 @@ def evaluate_comparison(
     comparison: Comparison, binding: Mapping[str, Value]
 ) -> bool:
     """Evaluate one comparison under *binding* (certain semantics)."""
-    left = _resolve(comparison.left, binding)
-    right = _resolve(comparison.right, binding)
-    op = comparison.op
+    return compare_values(
+        comparison.op,
+        _resolve(comparison.left, binding),
+        _resolve(comparison.right, binding),
+    )
 
+
+def compare_values(op: str, left: Value, right: Value) -> bool:
+    """Apply one comparison operator to two resolved values.
+
+    This is the single implementation of the certain-answer comparison
+    semantics: :func:`evaluate_comparison` resolves terms and delegates
+    here, and the SQLite pushdown path registers this function on the
+    connection (see :class:`repro.relational.wrapper.SqliteStore`), so
+    both executors share one definition.
+    """
     left_null = isinstance(left, MarkedNull)
     right_null = isinstance(right, MarkedNull)
 

@@ -3,9 +3,11 @@
 ``explain`` compiles the query through
 :func:`repro.relational.planner.compile_plan` — the same compiler the
 storage wrappers execute — and renders the chosen atom order, the
-per-step probe templates and estimates, and which comparisons become
-checkable at each step: the coDB equivalent of ``EXPLAIN``.  There is
-one source of truth for join ordering; this module only formats it.
+per-step probe templates and estimates, which comparisons become
+checkable at each step, and the SQL join a SQLite-backed store would
+push down for the same plan: the coDB equivalent of ``EXPLAIN``.
+There is one source of truth for join ordering; this module only
+formats it.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from dataclasses import dataclass, field
 from repro._util import format_table
 from repro.relational.conjunctive import Atom, ConjunctiveQuery
 from repro.relational.database import Database
-from repro.relational.planner import compile_plan
+from repro.relational.planner import SqlPlan, compile_plan, compile_plan_sql
 
 
 @dataclass
@@ -38,6 +40,10 @@ class QueryPlan:
 
     query: ConjunctiveQuery
     steps: list[PlanStep] = field(default_factory=list)
+    #: The SQL join a SQLite-backed store would push down for this plan
+    #: (same compiler, same atom order), or ``None`` when the body
+    #: references a relation the database does not hold.
+    sql: SqlPlan | None = None
 
     def atom_order(self) -> list[str]:
         return [step.atom.relation for step in self.steps]
@@ -58,11 +64,17 @@ class QueryPlan:
                     "; ".join(step.comparisons_checked) or "-",
                 ]
             )
-        return format_table(
+        table = format_table(
             ["step", "atom", "bound cols", "est. rows", "comparisons"],
             rows,
             title=f"plan for {self.query!r}",
         )
+        if self.sql is None:
+            return f"{table}\npushdown: in-memory only (relation not in store)"
+        lines = [table, f"pushdown SQL: {self.sql.sql}"]
+        if self.sql.params:
+            lines.append(f"pushdown params: {self.sql.params!r}")
+        return "\n".join(lines)
 
 
 def explain(database: Database, query: ConjunctiveQuery) -> QueryPlan:
@@ -76,7 +88,10 @@ def explain(database: Database, query: ConjunctiveQuery) -> QueryPlan:
     compiled = compile_plan(
         query.body, query.comparisons, query.head.terms, view=database
     )
-    plan = QueryPlan(query=query)
+    plan = QueryPlan(
+        query=query,
+        sql=compile_plan_sql(compiled, database.relation_names),
+    )
     for i, step in enumerate(compiled.steps):
         checked = [
             repr(compiled.comparisons[ci]) for ci in step.comparison_indices

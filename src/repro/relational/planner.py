@@ -56,6 +56,35 @@ orders track data growth without re-planning on every insert.
 
 Compilation is read-only: cost probes use
 :meth:`Relation.estimated_matches`, which never builds indexes.
+
+SQL pushdown
+------------
+
+When every body relation lives in one SQLite database, interpreting
+the plan in Python — one ``probe()`` round-trip per parent binding —
+wastes the storage engine: SQLite can run the whole join in C.
+:func:`compile_plan_sql` translates a compiled :class:`JoinPlan` into
+a single parameterized ``SELECT``:
+
+* the plan's atom order becomes the ``FROM`` order, joined with
+  ``CROSS JOIN`` so SQLite keeps *our* join order (one source of truth
+  for ordering, here and in ``explain``);
+* probe templates, same-row checks and delta const/var checks become
+  raw equality predicates over the encoded cells — the type-tagged
+  encoding is injective, so cell equality is coDB value equality
+  (marked nulls included: ``n:label`` cells compare by label);
+* comparison predicates go through a registered SQL function
+  (:data:`SQL_COMPARE_FUNCTION`) that decodes both cells and applies
+  :func:`repro.relational.comparisons.compare_values` — order
+  comparisons and the certain-answer null rules cannot be expressed
+  over the encoded TEXT directly;
+* the head/frontier projection becomes the ``SELECT`` list (constants
+  ride along as parameters); a delta step reads a per-arity temp table
+  (:func:`delta_table_name`) the store fills per execution.
+
+The translation is deliberately total on plan features; it returns
+``None`` only when a stored body relation is missing from the target
+database, and callers fall back to the in-memory executor.
 """
 
 from __future__ import annotations
@@ -80,7 +109,20 @@ Binding = dict[str, Value]
 #: Cache key: (rule key, delta relation, body occurrence index).
 PlanKey = tuple[object, "str | None", "int | None"]
 
+#: Name of the SQL function implementing coDB comparison semantics over
+#: encoded cells; SQLite-backed stores register it on their connection.
+SQL_COMPARE_FUNCTION = "codb_cmp"
+
+#: An executor hook: ``(plan, delta_rows) -> rows or None``.  ``None``
+#: means "cannot push this plan down, run it in memory".
+PlanExecutor = "Callable[[JoinPlan, Sequence[Row] | None], list[tuple] | None]"
+
 _EMPTY_BINDING: Binding = {}
+
+
+def delta_table_name(arity: int) -> str:
+    """The per-arity temp table a pushed-down delta step reads from."""
+    return f"_codb_delta_{arity}"
 
 
 def _relation_or_none(view, name: str):
@@ -155,6 +197,7 @@ class JoinPlan:
         "delta_atom",
         "source_body",
         "_output_ops",
+        "_sql_cache",
     )
 
     def __init__(
@@ -178,6 +221,9 @@ class JoinPlan:
             (True, term.name) if isinstance(term, Variable) else (False, term)
             for term in output
         )
+        # Lazily compiled SQL translation, keyed on the table-name set
+        # it was generated against (see compile_plan_sql).
+        self._sql_cache: tuple[tuple[str, ...], "SqlPlan | None"] | None = None
 
     def atom_order(self) -> tuple[int, ...]:
         """Original body indexes in execution order."""
@@ -407,6 +453,126 @@ def compile_plan(
     )
 
 
+# ---------------------------------------------------------------------------
+# SQL pushdown: translate a compiled plan into one parameterized SELECT
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SqlPlan:
+    """A :class:`JoinPlan` translated to one parameterized SQL join.
+
+    ``params`` are *unencoded* coDB values in statement order (the
+    executing store owns the cell encoding); ``delta_arity`` names the
+    temp table (:func:`delta_table_name`) a delta plan reads, ``None``
+    for full plans.  ``empty_output`` marks a nullary projection (the
+    SELECT list degenerates to ``1``; each fetched row stands for one
+    satisfying assignment and decodes to ``()``).
+    """
+
+    sql: str
+    params: tuple[Value, ...]
+    delta_arity: int | None
+    empty_output: bool
+
+
+def compile_plan_sql(
+    plan: JoinPlan, table_names: Sequence[str]
+) -> SqlPlan | None:
+    """Translate *plan* to SQL over the tables in *table_names*.
+
+    Returns ``None`` — "run it in memory" — when a stored body relation
+    has no table, or when the plan predates SQL support (no recorded
+    source body).  The result is cached on the plan object, so a plan
+    served repeatedly from a :class:`PlanCache` is translated once.
+    """
+    names = tuple(table_names)
+    cached = plan._sql_cache
+    if cached is not None and cached[0] == names:
+        return cached[1]
+    sql_plan = _translate_plan(plan, frozenset(names))
+    plan._sql_cache = (names, sql_plan)
+    return sql_plan
+
+
+def _translate_plan(plan: JoinPlan, available: frozenset[str]) -> SqlPlan | None:
+    atoms = plan.source_body
+    if not atoms or not plan.steps:
+        return None
+    var_refs: dict[str, str] = {}
+    from_parts: list[str] = []
+    conditions: list[str] = []
+    select_params: list[Value] = []
+    where_params: list[Value] = []
+    delta_arity: int | None = None
+
+    for position_in_plan, step in enumerate(plan.steps):
+        alias = f"t{position_in_plan}"
+        if step.is_delta:
+            delta_arity = len(atoms[step.atom_index].terms)
+            from_parts.append(f'"{delta_table_name(delta_arity)}" AS {alias}')
+        else:
+            if step.relation not in available:
+                return None
+            from_parts.append(f'"{step.relation}" AS {alias}')
+        for probe_position, (is_var, ref) in zip(
+            step.probe_positions, step.probe_sources
+        ):
+            if is_var:
+                conditions.append(f"{alias}.c{probe_position} = {var_refs[ref]}")
+            else:
+                conditions.append(f"{alias}.c{probe_position} = ?")
+                where_params.append(ref)
+        for check_position, constant in step.const_checks:
+            conditions.append(f"{alias}.c{check_position} = ?")
+            where_params.append(constant)
+        for check_position, name in step.var_checks:
+            conditions.append(f"{alias}.c{check_position} = {var_refs[name]}")
+        for check_position, first_position in step.same_row_checks:
+            conditions.append(f"{alias}.c{check_position} = {alias}.c{first_position}")
+        for bind_position, name in step.bind_slots:
+            var_refs[name] = f"{alias}.c{bind_position}"
+
+    def operand(term: Term) -> str:
+        if isinstance(term, Variable):
+            return var_refs[term.name]
+        where_params.append(term)
+        return "?"
+
+    # Every comparison — ground ones included — funnels through the
+    # registered comparison function: encoded TEXT cells cannot be
+    # order-compared (or null-compared) natively.
+    for comparison in plan.comparisons:
+        left = operand(comparison.left)
+        right = operand(comparison.right)
+        conditions.append(
+            f"{SQL_COMPARE_FUNCTION}('{comparison.op}', {left}, {right})"
+        )
+
+    select_items: list[str] = []
+    for is_var, ref in plan._output_ops:
+        if is_var:
+            select_items.append(var_refs[ref])
+        else:
+            select_items.append("?")
+            select_params.append(ref)
+    empty_output = not select_items
+    if empty_output:
+        select_items = ["1"]
+
+    sql = (
+        f"SELECT {', '.join(select_items)} FROM {' CROSS JOIN '.join(from_parts)}"
+    )
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return SqlPlan(
+        sql=sql,
+        params=tuple(select_params) + tuple(where_params),
+        delta_arity=delta_arity,
+        empty_output=empty_output,
+    )
+
+
 class PlanCache:
     """Per-wrapper cache of compiled plans, fingerprint-invalidated.
 
@@ -478,21 +644,39 @@ class PlanCache:
 # ---------------------------------------------------------------------------
 
 
+def _plan_rows(
+    plan: JoinPlan,
+    view,
+    executor,
+    delta_rows: Sequence[Row] | None = None,
+):
+    """Rows of *plan*: through *executor* (pushdown) when it accepts
+    the plan, else the in-memory :meth:`JoinPlan.execute` loop."""
+    if executor is not None:
+        rows = executor(plan, delta_rows)
+        if rows is not None:
+            return rows
+    return plan.execute(view, delta_rows=delta_rows)
+
+
 def evaluate_query_planned(
     view,
     query: ConjunctiveQuery,
     cache: PlanCache,
     *,
     rule_key: object | None = None,
+    executor=None,
 ) -> list[Row]:
     """All distinct answers to *query*, via a compiled plan.
 
     Must agree with :func:`repro.relational.evaluation.evaluate_query`
     up to answer order; the differential tests enforce exactly that.
+    *executor* optionally pushes plan execution down to a backend (see
+    :data:`PlanExecutor`); answers must be identical either way.
     """
     base = rule_key if rule_key is not None else query
     plan = cache.plan(view, (base, None, None), query.body, query.comparisons, query.head.terms)
-    return list(dict.fromkeys(plan.execute(view)))
+    return list(dict.fromkeys(_plan_rows(plan, view, executor)))
 
 
 def evaluate_query_delta_planned(
@@ -503,6 +687,7 @@ def evaluate_query_delta_planned(
     cache: PlanCache,
     *,
     rule_key: object | None = None,
+    executor=None,
 ) -> list[Row]:
     """Semi-naive answers via per-occurrence delta plans.
 
@@ -526,7 +711,7 @@ def evaluate_query_delta_planned(
             query.head.terms,
             delta_atom=occurrence,
         )
-        for row in plan.execute(view, delta_rows=delta_rows):
+        for row in _plan_rows(plan, view, executor, delta_rows):
             seen[row] = None
     return list(seen)
 
@@ -539,6 +724,7 @@ def evaluate_mapping_bindings_planned(
     changed_relation: str | None = None,
     delta_rows: Sequence[Row] | None = None,
     rule_key: object | None = None,
+    executor=None,
 ) -> list[Binding]:
     """Frontier bindings of a GLAV mapping, full or semi-naive, planned.
 
@@ -578,7 +764,7 @@ def evaluate_mapping_bindings_planned(
             if atom.relation == changed_relation
         ]
     for plan, rows in plans:
-        for projected in plan.execute(view, delta_rows=rows):
+        for projected in _plan_rows(plan, view, executor, rows):
             if projected not in seen:
                 seen[projected] = dict(zip(frontier, projected))
     return list(seen.values())

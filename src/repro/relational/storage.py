@@ -39,6 +39,12 @@ NDV_SAMPLE_LIMIT = 256
 #: single-column probe plus per-row filtering wins on constant factors.
 COMPOSITE_INDEX_THRESHOLD = 32
 
+#: Memory budget: at most this many composite indexes are kept per
+#: relation, evicted least-recently-probed first.  Each composite index
+#: holds a bucket entry per row, so an unbounded cache of them (one per
+#: position set ever probed) can multiply the relation's footprint.
+COMPOSITE_INDEX_BUDGET = 8
+
 
 class Relation:
     """One relation instance: an ordered set of rows plus hash indexes.
@@ -54,8 +60,11 @@ class Relation:
         self._rows: dict[Row, None] = {}
         # column position -> value -> ordered set of rows
         self._indexes: dict[int, dict[Value, dict[Row, None]]] = {}
-        # (position, ...) -> (value, ...) -> ordered set of rows
+        # (position, ...) -> (value, ...) -> ordered set of rows.
+        # LRU over position sets: dict order is recency (probes re-append),
+        # bounded by composite_index_budget — see _multi_index_for.
         self._multi_indexes: dict[tuple[int, ...], dict[tuple, dict[Row, None]]] = {}
+        self.composite_index_budget = COMPOSITE_INDEX_BUDGET
         # Monotone mutation counter; invalidates the sampled-NDV cache.
         self._version = 0
         # position -> (version, estimate)
@@ -182,8 +191,19 @@ class Relation:
     def _multi_index_for(
         self, positions: tuple[int, ...]
     ) -> dict[tuple, dict[Row, None]]:
-        """The composite hash index on *positions*, built on first use."""
-        index = self._multi_indexes.get(positions)
+        """The composite hash index on *positions*, built on first use.
+
+        The cache of composite indexes is an LRU bounded by
+        :attr:`composite_index_budget`: every probe refreshes its
+        position set's recency (re-insertion at the end of the dict),
+        and building one past the budget evicts the least-recently
+        probed index.  Eviction only costs a rebuild on the next probe
+        of that position set — probe answers never change.  A budget
+        of zero (or less) retains nothing: every probe builds a
+        throwaway index, trading CPU for a flat memory ceiling.
+        """
+        budget = self.composite_index_budget
+        index = self._multi_indexes.pop(positions, None)
         if index is None:
             for position in positions:
                 self._check_position(position)
@@ -191,7 +211,15 @@ class Relation:
             for row in self._rows:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, {})[row] = None
-            self._multi_indexes[positions] = index
+        if budget <= 0:
+            # Build-and-discard — and drop anything cached under an
+            # earlier, larger budget, so a zero budget really is a flat
+            # memory ceiling with no leftover maintenance cost.
+            self._multi_indexes.clear()
+            return index
+        while len(self._multi_indexes) >= budget:
+            self._multi_indexes.pop(next(iter(self._multi_indexes)))
+        self._multi_indexes[positions] = index
         return index
 
     def lookup(self, bindings: dict[int, Value]) -> Iterator[Row]:
@@ -291,15 +319,22 @@ class Relation:
     def estimated_matches(self, bound_positions: Iterable[int]) -> float:
         """Cheap cardinality estimate for join ordering.
 
-        Assumes independent uniform columns: ``|R| / prod(ndv(col))``
-        over the bound columns, where ``ndv`` comes from
-        :meth:`ndv_estimate` — an existing index when one was already
-        built, a cached sampled count otherwise (never ``len(rows)``
-        alone unless the column really looks constant).  Read-only:
-        estimating a probe cost must not build the index being costed.
+        A declared key that is fully bound answers **exactly**: the
+        probe returns at most one row, no sampling involved (and no
+        independence assumption to go wrong on skewed or locally
+        inconsistent data).  Otherwise assume independent uniform
+        columns: ``|R| / prod(ndv(col))`` over the bound columns, where
+        ``ndv`` comes from :meth:`ndv_estimate` — an existing index
+        when one was already built, a cached sampled count otherwise.
+        Read-only: estimating a probe cost must not build the index
+        being costed.
         """
+        bound = set(bound_positions)
+        key_positions = self.schema.key_positions()
+        if key_positions and set(key_positions) <= bound:
+            return float(min(1, len(self._rows)))
         estimate = float(len(self._rows))
-        for position in bound_positions:
+        for position in bound:
             distinct = self.ndv_estimate(position)
             if distinct > 0:
                 estimate /= distinct

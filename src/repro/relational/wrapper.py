@@ -16,9 +16,9 @@ Three wrappers:
 * :class:`SqliteStore` — a :mod:`sqlite3` file (or ``:memory:``) is
   the LDB.  SQLite knows nothing of marked nulls and our comparison
   semantics, so the store keeps each value in an *encoded* TEXT column
-  (type-tagged), lets SQLite do storage, dedup and indexed equality
-  probes, and runs joins/comparisons in the Wrapper — exactly the
-  compensation role the paper assigns it.
+  (type-tagged) and registers a comparison SQL function implementing
+  the certain-answer semantics; with that compensation in place, whole
+  compiled join plans are pushed down and run as single SQL joins.
 * :class:`MediatorStore` — no LDB.  Data received during a global
   update is held in transient memory so the node can evaluate its
   incoming links (join/project in the Wrapper) and forward results;
@@ -33,6 +33,49 @@ PlanCache`, so every coordination rule's body — including the
 compensation joins the Wrapper runs on behalf of SQLite — is compiled
 once and re-executed from the cache until its relations' cardinalities
 shift by an order of magnitude.
+
+Pushdown dispatch rules
+-----------------------
+
+Every evaluation entry point runs a compiled :class:`~repro.relational.
+planner.JoinPlan` from the wrapper's cache.  *Where* the plan executes
+is the wrapper's choice, via :meth:`Wrapper._plan_executor`:
+
+1. :class:`MemoryStore` and :class:`MediatorStore` return no executor:
+   plans run in the in-memory join loop over hash-index probes.
+2. :class:`SqliteStore` pushes a plan down — compiles it to one
+   parameterized SQL join via :func:`~repro.relational.planner.
+   compile_plan_sql` and executes it inside SQLite — **when every
+   stored body relation has a table in this store** (one node's body
+   always references one acquaintance's schema, so in practice every
+   rule body a node evaluates qualifies).  A body naming a relation
+   this store does not hold cannot be joined inside one SQLite
+   database; translation returns ``None`` and the plan falls back to
+   the in-memory executor over per-atom SQL probes — the paper's
+   original compensation path, kept as the correctness oracle.
+3. Delta plans push down too: the delta occurrence reads a per-arity
+   TEMP table the store refills per execution, every other occurrence
+   reads its stored table.
+4. ``pushdown=False`` at construction disables rule 2 entirely
+   (benchmarks and differential tests use this to time/verify the
+   fallback path); ``pushdown_queries`` / ``pushdown_fallbacks``
+   count the dispatch decisions.
+
+Either way the answers must be identical — the differential harness in
+``tests/relational/test_pushdown.py`` holds all executors to the
+interpreter's semantics.
+
+One documented divergence (also listed in ROADMAP): join equality in
+the pushed-down SQL compares encoded cells, which are injective across
+*types*, while the Python executors use Python ``==``.  Values that
+are cross-type-equal in Python (``3 == 3.0``, ``True == 1``) therefore
+join in memory but not under pushdown.  Typed schema columns (every
+shipped workload uses them) rule the cross-type case out; the per-atom
+*probe* path of this store has always had the same property.  Within
+floats, ``-0.0`` is normalised to ``0.0`` at encode time so the cells
+of Python-equal zeros coincide; ``NaN`` (never equal to itself in
+Python, equal to its own cell in SQL) is outside the supported value
+domain of joins on any backend.
 """
 
 from __future__ import annotations
@@ -41,11 +84,17 @@ import sqlite3
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import UnknownRelationError, WrapperError
+from repro.relational.comparisons import compare_values
 from repro.relational.conjunctive import ConjunctiveQuery, GlavMapping
 from repro.relational.database import Database
 from repro.relational.evaluation import Binding
 from repro.relational.planner import (
+    SQL_COMPARE_FUNCTION,
+    JoinPlan,
     PlanCache,
+    SqlPlan,
+    compile_plan_sql,
+    delta_table_name,
     evaluate_mapping_bindings_planned,
     evaluate_query_delta_planned,
     evaluate_query_planned,
@@ -78,6 +127,16 @@ class Wrapper:
 
     def _view(self):
         raise NotImplementedError
+
+    def _plan_executor(self):
+        """Backend pushdown hook (see "Pushdown dispatch rules" above).
+
+        Returns ``None`` (run plans in the in-memory join loop) or a
+        callable ``(plan, delta_rows) -> rows | None`` that executes a
+        whole compiled plan inside the backend, returning ``None`` for
+        plans it cannot take (per-plan fallback).
+        """
+        return None
 
     def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
         """Deduplicating insert; return the rows that were actually new."""
@@ -124,7 +183,11 @@ class Wrapper:
         query's own structure is the key.
         """
         return evaluate_query_planned(
-            self._view(), query, self.plan_cache, rule_key=rule_key
+            self._view(),
+            query,
+            self.plan_cache,
+            rule_key=rule_key,
+            executor=self._plan_executor(),
         )
 
     def evaluate_query_delta(
@@ -142,6 +205,7 @@ class Wrapper:
             delta_rows,
             self.plan_cache,
             rule_key=rule_key,
+            executor=self._plan_executor(),
         )
 
     def evaluate_mapping_bindings(
@@ -160,6 +224,7 @@ class Wrapper:
             changed_relation=changed_relation,
             delta_rows=delta_rows,
             rule_key=rule_key,
+            executor=self._plan_executor(),
         )
 
     def total_rows(self) -> int:
@@ -289,24 +354,29 @@ def encode_sqlite_value(value: Value) -> str:
     if isinstance(value, int):
         return f"{_TAG_INT}:{value}"
     if isinstance(value, float):
-        return f"{_TAG_FLOAT}:{value!r}"
+        # +0.0 collapses -0.0 into 0.0: Python treats them as equal, so
+        # their cells must coincide for SQL equality to agree.
+        return f"{_TAG_FLOAT}:{(value + 0.0)!r}"
     if isinstance(value, str):
         return f"{_TAG_STR}:{value}"
     raise WrapperError(f"cannot encode {value!r} for sqlite storage")
 
 
 def decode_sqlite_value(cell: str) -> Value:
-    tag, _, payload = cell.partition(":")
-    if tag == _TAG_NULL:
-        return MarkedNull(payload)
-    if tag == _TAG_BOOL:
-        return payload == "1"
+    # Hot path: one cell per output column per pushed-down answer row.
+    # The tag is always one character followed by ":", so slicing beats
+    # partition(); tags are ordered by decode frequency.
+    tag = cell[:1]
     if tag == _TAG_INT:
-        return int(payload)
-    if tag == _TAG_FLOAT:
-        return float(payload)
+        return int(cell[2:])
     if tag == _TAG_STR:
-        return payload
+        return cell[2:]
+    if tag == _TAG_NULL:
+        return MarkedNull(cell[2:])
+    if tag == _TAG_FLOAT:
+        return float(cell[2:])
+    if tag == _TAG_BOOL:
+        return cell[2] == "1"
     raise WrapperError(f"cannot decode sqlite cell {cell!r}")
 
 
@@ -359,8 +429,14 @@ class _SqliteRelation:
             yield tuple(decode_sqlite_value(cell) for cell in cells)
 
     def estimated_matches(self, bound_positions: Iterable[int]) -> float:
+        # A fully bound declared key answers exactly (≤ 1 row) without
+        # issuing any COUNT(DISTINCT) planning queries.
+        bound = set(bound_positions)
+        key_positions = self.schema.key_positions()
+        if key_positions and set(key_positions) <= bound:
+            return float(min(1, len(self)))
         estimate = float(len(self))
-        for position in bound_positions:
+        for position in bound:
             (distinct,) = self._store._connection.execute(
                 f'SELECT COUNT(DISTINCT c{position}) FROM "{self.name}"'
             ).fetchone()
@@ -385,6 +461,16 @@ class _SqliteView:
         return _SqliteRelation(self._store, name)
 
 
+def _sql_compare(op: str, left_cell: str, right_cell: str) -> int:
+    """The registered comparison function: decode cells, apply the
+    certain-answer semantics of :func:`compare_values`."""
+    return int(
+        compare_values(
+            op, decode_sqlite_value(left_cell), decode_sqlite_value(right_cell)
+        )
+    )
+
+
 class SqliteStore(Wrapper):
     """Wrapper whose LDB is a :mod:`sqlite3` database.
 
@@ -396,12 +482,31 @@ class SqliteStore(Wrapper):
         constraint implementing set semantics.
     path:
         SQLite path, default ``":memory:"``.
+    pushdown:
+        Execute whole compiled join plans as single SQL joins inside
+        SQLite (see the module docstring's dispatch rules).  ``False``
+        keeps the historical per-atom-probe compensation path.
     """
 
-    def __init__(self, schema: DatabaseSchema, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        path: str = ":memory:",
+        *,
+        pushdown: bool = True,
+    ) -> None:
         super().__init__(schema)
         self._connection = sqlite3.connect(path)
+        self._connection.create_function(
+            SQL_COMPARE_FUNCTION, 3, _sql_compare, deterministic=True
+        )
         self._create_tables()
+        self.pushdown = pushdown
+        #: Dispatch counters: plans run as single SQL joins vs plans
+        #: that fell back to the in-memory executor.
+        self.pushdown_queries = 0
+        self.pushdown_fallbacks = 0
+        self._delta_tables: set[int] = set()
         # Row counts maintained alongside mutations (this store owns the
         # connection), so cardinality checks are O(1), not COUNT(*).
         self._row_counts: dict[str, int] = {}
@@ -428,6 +533,79 @@ class SqliteStore(Wrapper):
 
     def _view(self) -> _SqliteView:
         return _SqliteView(self)
+
+    # -- plan pushdown -------------------------------------------------
+
+    def _plan_executor(self):
+        if not self.pushdown:
+            return None
+        # One executor per evaluation entry-point call.  All the delta
+        # plans of one semi-naive evaluation (one per body occurrence
+        # of the changed relation) receive the *same* delta rows, so
+        # the TEMP table is filled once per call, not once per plan.
+        filled_arities: set[int] = set()
+
+        def executor(
+            plan: JoinPlan, delta_rows: Sequence[Row] | None
+        ) -> list[tuple] | None:
+            sql_plan = compile_plan_sql(plan, self.schema.relation_names)
+            if sql_plan is None:
+                self.pushdown_fallbacks += 1
+                return None
+            self.pushdown_queries += 1
+            arity = sql_plan.delta_arity
+            if arity is not None and arity in filled_arities:
+                return self.execute_plan(sql_plan, delta_rows, fill_delta=False)
+            if arity is not None and delta_rows:
+                filled_arities.add(arity)
+            return self.execute_plan(sql_plan, delta_rows)
+
+        return executor
+
+    def _fill_delta_table(self, arity: int, delta_rows: Sequence[Row]) -> None:
+        name = delta_table_name(arity)
+        if arity not in self._delta_tables:
+            columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity))
+            self._connection.execute(
+                f'CREATE TEMP TABLE IF NOT EXISTS "{name}" ({columns})'
+            )
+            self._delta_tables.add(arity)
+        self._connection.execute(f'DELETE FROM "{name}"')
+        placeholders = ", ".join("?" for _ in range(arity))
+        self._connection.executemany(
+            f'INSERT INTO "{name}" VALUES ({placeholders})',
+            [[encode_sqlite_value(v) for v in row] for row in delta_rows],
+        )
+
+    def execute_plan(
+        self,
+        sql_plan: SqlPlan,
+        delta_rows: Sequence[Row] | None = None,
+        *,
+        fill_delta: bool = True,
+    ) -> list[tuple]:
+        """Run one translated plan as a single SQL join, decoding rows.
+
+        *delta_rows* feed the plan's delta occurrence through a TEMP
+        table (connection-local); a delta plan with no delta rows
+        short-circuits to no answers, exactly like the in-memory
+        executor.  ``fill_delta=False`` reuses the table's current
+        contents — the per-call executor sets it when several
+        occurrence plans of one evaluation share the same delta.
+        """
+        if sql_plan.delta_arity is not None:
+            if not delta_rows:
+                return []
+            if fill_delta:
+                self._fill_delta_table(sql_plan.delta_arity, delta_rows)
+        cursor = self._connection.execute(
+            sql_plan.sql, [encode_sqlite_value(v) for v in sql_plan.params]
+        )
+        if sql_plan.empty_output:
+            return [() for _ in cursor]
+        return [tuple(map(decode_sqlite_value, cells)) for cells in cursor]
+
+    # -- mutation ------------------------------------------------------
 
     def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
         schema = self.schema[relation]

@@ -64,8 +64,20 @@ class NetworkBlueprint:
         transport: Transport | None = None,
         latency: LatencyModel | None = None,
         with_superpeer: bool = True,
+        store_factory: Callable[..., object] | None = None,
     ) -> CoDBNetwork:
-        """Instantiate the blueprint as a live network with seeded data."""
+        """Instantiate the blueprint as a live network with seeded data.
+
+        *store_factory* picks the storage wrapper per node: it is
+        called with the node's parsed schema (e.g. ``SqliteStore``
+        itself, or a lambda adding a file path) and must return a
+        :class:`~repro.relational.wrapper.Wrapper`.  ``None`` keeps the
+        default in-memory store, so the same blueprint runs unchanged
+        on every backend — the cross-backend regression tests rely on
+        exactly that.
+        """
+        from repro.relational.parser import parse_schema
+
         network = CoDBNetwork(
             seed=seed,
             transport=transport,
@@ -75,7 +87,11 @@ class NetworkBlueprint:
         )
         generator = DataGenerator(seed)
         for index, spec in enumerate(self.nodes):
-            network.add_node(spec.name, spec.schema_text)
+            if store_factory is None:
+                network.add_node(spec.name, spec.schema_text)
+            else:
+                schema = parse_schema(spec.schema_text)
+                network.add_node(spec.name, schema, store=store_factory(schema))
             if tuples_per_node > 0:
                 rows = generator.items_for_node(
                     index, tuples_per_node, overlap=overlap

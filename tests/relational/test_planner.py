@@ -476,3 +476,47 @@ class TestDifferential:
         assert canonical_rows(evaluate_query(db, query)) == canonical_rows(
             evaluate_query_planned(db, query, PlanCache())
         )
+
+
+class TestKeyAwarePlanning:
+    """A fully bound declared key plans as exactly one row (ROADMAP item)."""
+
+    def _db(self):
+        # k declares a key on its first column but the data violates it
+        # (coDB tolerates local inconsistency): NDV-based estimation
+        # reads ~30 matches per probe, the key contract reads 1.
+        schema = parse_schema("src(a: int)\nk(a!: int, b: int)\nsmall(b: int, c: int)")
+        db = Database(schema)
+        db.load(
+            {
+                "src": [(i,) for i in range(5)],
+                "k": [(i % 10, i) for i in range(300)],
+                "small": [(i, i) for i in range(15)],
+            }
+        )
+        return db
+
+    def test_keyed_atom_ordered_first_among_bound_candidates(self):
+        db = self._db()
+        q = parse_query("q(x, z) <- src(x), k(x, z), small(z, w)")
+        plan = compile_plan(q.body, q.comparisons, q.head.terms, view=db)
+        # src (cheapest scan) binds x; the keyed probe on k then costs
+        # exactly 1 and must beat small's 15-row scan.  Sampled NDVs
+        # alone would cost k at ~30 and order small first.
+        assert plan.atom_order() == (0, 1, 2)
+        assert plan.steps[1].relation == "k"
+        assert plan.steps[1].estimated_cost == 1.0
+
+    def test_partially_bound_key_still_uses_ndv(self):
+        db = self._db()
+        schema = parse_schema("src(a: int)\nk2(a!: int, b!: int, c: int)")
+        db2 = Database(schema)
+        db2.load(
+            {
+                "src": [(i,) for i in range(50)],
+                "k2": [(i % 10, i % 3, i) for i in range(300)],
+            }
+        )
+        relation = db2.relation("k2")
+        assert relation.estimated_matches([0]) == pytest.approx(30, rel=0.5)
+        assert relation.estimated_matches([0, 1]) == 1.0

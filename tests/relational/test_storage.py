@@ -231,3 +231,112 @@ class TestCopyAndClear:
         ordered = relation.sorted_rows()
         assert ordered[0] == (1, 1)
         assert ordered[-1] == (3, 1)
+
+
+class TestCompositeIndexBudget:
+    """LRU eviction: composite indexes have a per-relation memory budget."""
+
+    def _wide_relation(self, columns=6, rows=100):
+        relation = Relation(
+            RelationSchema.of("wide", [f"c{i}" for i in range(columns)])
+        )
+        # Last column carries r, so all rows are distinct and the
+        # relation is large enough for composite indexes to pay off.
+        relation.insert_new(
+            [
+                tuple((r * (i + 1)) % 7 for i in range(columns - 1)) + (r,)
+                for r in range(rows)
+            ]
+        )
+        return relation
+
+    def test_budget_bounds_index_count(self):
+        relation = self._wide_relation()
+        relation.composite_index_budget = 3
+        for i in range(5):
+            list(relation.probe((i, i + 1), (1, 1)))
+        assert len(relation._multi_indexes) == 3
+
+    def test_eviction_is_least_recently_probed(self):
+        relation = self._wide_relation()
+        relation.composite_index_budget = 2
+        list(relation.probe((0, 1), (1, 1)))
+        list(relation.probe((1, 2), (1, 1)))
+        list(relation.probe((0, 1), (1, 1)))  # refresh (0, 1)
+        list(relation.probe((2, 3), (1, 1)))  # evicts (1, 2), not (0, 1)
+        assert set(relation._multi_indexes) == {(0, 1), (2, 3)}
+
+    def test_eviction_preserves_probe_correctness(self):
+        relation = self._wide_relation()
+        relation.composite_index_budget = 1
+        position_sets = [(0, 1), (2, 3), (4, 5), (1, 3)]
+        expected = {
+            positions: sorted(relation.lookup({positions[0]: 2, positions[1]: 4}))
+            for positions in position_sets
+        }
+        # Cycle through the sets twice: every probe after the first
+        # round hits a previously evicted index and must rebuild it.
+        for _ in range(2):
+            for positions in position_sets:
+                assert sorted(relation.probe(positions, (2, 4))) == expected[
+                    positions
+                ], positions
+        assert len(relation._multi_indexes) == 1
+
+    def test_rebuilt_index_sees_mutations_during_eviction(self):
+        relation = self._wide_relation()
+        relation.composite_index_budget = 1
+        list(relation.probe((0, 1), (0, 0)))
+        list(relation.probe((2, 3), (0, 0)))  # evicts (0, 1)
+        row = (0, 0, 9, 9, 9, 9)
+        relation.insert(row)  # while (0, 1) is evicted
+        assert row in set(relation.probe((0, 1), (0, 0)))
+
+    def test_zero_budget_retains_nothing_but_probes_correctly(self):
+        relation = self._wide_relation()
+        relation.composite_index_budget = 0
+        expected = sorted(relation.lookup({0: 2, 1: 4}))
+        assert sorted(relation.probe((0, 1), (2, 4))) == expected
+        assert relation._multi_indexes == {}
+        relation.insert((2, 4, 0, 0, 0, 999))
+        assert (2, 4, 0, 0, 0, 999) in set(relation.probe((0, 1), (2, 4)))
+
+    def test_lowering_budget_to_zero_drops_cached_indexes(self):
+        relation = self._wide_relation()
+        list(relation.probe((0, 1), (1, 1)))
+        list(relation.probe((2, 3), (1, 1)))
+        assert len(relation._multi_indexes) == 2
+        relation.composite_index_budget = 0
+        list(relation.probe((4, 5), (1, 1)))  # next probe enforces it
+        assert relation._multi_indexes == {}
+
+
+class TestKeyEstimates:
+    """A fully bound declared key estimates exactly one row."""
+
+    def _keyed(self, rows):
+        relation = Relation(
+            RelationSchema.of("person", ["id", "grp", "name"], key=["id", "grp"])
+        )
+        relation.insert_new(rows)
+        return relation
+
+    def test_fully_bound_key_estimates_one(self):
+        relation = self._keyed([(i, i % 4, f"p{i}") for i in range(300)])
+        assert relation.estimated_matches([0, 1]) == 1.0
+        assert relation.estimated_matches([0, 1, 2]) == 1.0
+
+    def test_partially_bound_key_uses_ndv(self):
+        relation = self._keyed([(i, i % 4, f"p{i}") for i in range(300)])
+        assert relation.estimated_matches([1]) == pytest.approx(75, rel=0.5)
+
+    def test_empty_keyed_relation_estimates_zero(self):
+        relation = self._keyed([])
+        assert relation.estimated_matches([0, 1]) == 0.0
+
+    def test_key_estimate_exact_even_when_sampling_would_mislead(self):
+        # Declared key, locally inconsistent data (coDB tolerates it):
+        # column NDVs suggest ~30 matches, the key contract says <= 1
+        # per probe; the declared key wins.
+        relation = self._keyed([(i % 10, i % 3, f"p{i}") for i in range(300)])
+        assert relation.estimated_matches([0, 1]) == 1.0
