@@ -1,0 +1,197 @@
+"""E16 — multi-origin concurrent updates vs back-to-back sequential.
+
+The per-update-session DBM lets N global updates propagate at once.
+Over TCP every peer has its own delivery thread, so concurrent
+sessions buy real parallelism: N updates started together must finish
+in measurably less wall time than the same N updates run one after
+another.  The simulator rows report the virtual-clock picture (message
+latency overlap) for the same workloads.
+
+Workload: a "multi-chain" star — K independent chains sharing one hub,
+one update origin per chain, every origin's flood crossing the hub.
+Data volumes are per-node random ints; each chain also carries an
+existential sink rule so null minting is exercised under concurrency.
+
+Correctness is asserted on every run (concurrent state ≡ sequential
+state up to null renaming); ``--smoke`` shrinks sizes so CI can gate
+on the assertions without paying for the timings.
+"""
+
+import pytest
+
+from repro import CoDBNetwork, NodeConfig, TcpNetwork
+from repro.core.statistics import peak_concurrency
+from repro.relational.containment import rows_equal_up_to_nulls
+
+SCHEMA = "item(k: int)\ntag(k: int, w)"
+
+
+def build_multichain(
+    chains: int, depth: int, tuples: int, transport=None
+) -> tuple[CoDBNetwork, list[str]]:
+    """K chains ``ORIGINi <- ... <- HUB`` plus per-chain leaf data.
+
+    Returns ``(network, origins)``; a global update from ORIGINi pulls
+    its chain's data through the shared hub.
+    """
+    net = CoDBNetwork(
+        seed=160,
+        transport=transport,
+        with_superpeer=False,
+        config=NodeConfig(subsumption_dedup=True),
+    )
+    net.add_node("HUB", SCHEMA)
+    origins = []
+    for c in range(chains):
+        previous = "HUB"
+        for d in range(depth):
+            name = f"C{c}D{d}"
+            facts = {
+                "item": [(c * 10_000 + d * 1_000 + j,) for j in range(tuples)]
+            }
+            net.add_node(name, SCHEMA, facts=facts)
+            net.add_rule(f"{previous}:item(k) <- {name}:item(k)")
+            previous = name
+        origin = f"O{c}"
+        net.add_node(origin, SCHEMA)
+        net.add_rule(f"{origin}:item(k) <- HUB:item(k)")
+        net.add_rule(f"{origin}:tag(k, w) <- HUB:item(k)")
+        origins.append(origin)
+    net.start()
+    return net, origins
+
+
+def run_concurrent(chains, depth, tuples, transport_factory):
+    net, origins = build_multichain(
+        chains, depth, tuples, transport=transport_factory()
+    )
+    try:
+        started = net.transport.now()
+        outcomes = net.await_all(net.start_global_updates(origins))
+        wall = net.transport.now() - started
+        peak = max(
+            peak_concurrency(list(node.stats.reports.values()))
+            for node in net.nodes.values()
+        )
+        return wall, net.snapshot(), outcomes, peak
+    finally:
+        net.stop()
+
+
+def run_sequential(chains, depth, tuples, transport_factory):
+    net, origins = build_multichain(
+        chains, depth, tuples, transport=transport_factory()
+    )
+    try:
+        started = net.transport.now()
+        outcomes = [net.global_update(origin) for origin in origins]
+        wall = net.transport.now() - started
+        return wall, net.snapshot(), outcomes
+    finally:
+        net.stop()
+
+
+def assert_states_match(concurrent_state, sequential_state):
+    assert set(concurrent_state) == set(sequential_state)
+    for node_name, relations in concurrent_state.items():
+        for relation, rows in relations.items():
+            assert rows_equal_up_to_nulls(
+                rows, sequential_state[node_name][relation]
+            ), f"{node_name}.{relation} diverged"
+
+
+def sizes(smoke):
+    # (chains, depth, tuples-per-node)
+    return (3, 1, 10) if smoke else (4, 2, 150)
+
+
+def test_concurrent_vs_sequential_tcp(benchmark, report, smoke):
+    chains, depth, tuples = sizes(smoke)
+
+    def run():
+        seq_wall, seq_state, _ = run_sequential(
+            chains, depth, tuples, TcpNetwork
+        )
+        conc_wall, conc_state, outcomes, peak = run_concurrent(
+            chains, depth, tuples, TcpNetwork
+        )
+        assert_states_match(conc_state, seq_state)
+        assert peak >= 2, "updates never overlapped"
+        return seq_wall, conc_wall, outcomes, peak
+
+    seq_wall, conc_wall, outcomes, peak = benchmark.pedantic(
+        run, rounds=1 if smoke else 3, iterations=1
+    )
+    speedup = seq_wall / conc_wall if conc_wall > 0 else float("inf")
+    benchmark.extra_info["sequential_wall_s"] = seq_wall
+    benchmark.extra_info["concurrent_wall_s"] = conc_wall
+    benchmark.extra_info["speedup"] = speedup
+    report.add_table(
+        ["mode", "wall_s", "updates", "peak_overlap"],
+        [
+            ["sequential", f"{seq_wall:.4f}", chains, 1],
+            ["concurrent", f"{conc_wall:.4f}", chains, peak],
+            ["speedup", f"{speedup:.2f}x", "", ""],
+        ],
+        title=(
+            f"E16: {chains} origins over TCP, chains depth={depth}, "
+            f"{tuples} tuples/node"
+        ),
+    )
+    if not smoke:
+        # The acceptance gate: concurrency must buy measurable wall
+        # time over TCP (threads do real work in parallel).
+        assert conc_wall < seq_wall
+
+
+def test_concurrent_vs_sequential_simulated(benchmark, report, smoke):
+    """Virtual-clock picture: latency overlap on the simulator."""
+    chains, depth, tuples = sizes(smoke)
+
+    def run():
+        seq_wall, seq_state, _ = run_sequential(
+            chains, depth, tuples, lambda: None
+        )
+        conc_wall, conc_state, _, peak = run_concurrent(
+            chains, depth, tuples, lambda: None
+        )
+        assert_states_match(conc_state, seq_state)
+        assert peak >= 2
+        return seq_wall, conc_wall
+
+    seq_wall, conc_wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sequential_virtual_s"] = seq_wall
+    benchmark.extra_info["concurrent_virtual_s"] = conc_wall
+    report.add_table(
+        ["mode", "virtual_wall_s"],
+        [
+            ["sequential", f"{seq_wall:.4f}"],
+            ["concurrent", f"{conc_wall:.4f}"],
+        ],
+        title="E16 (simulator): virtual-latency overlap, same workload",
+    )
+    # Virtual time overlaps too: N floods share the simulated clock.
+    assert conc_wall < seq_wall
+
+
+@pytest.mark.parametrize("origins_count", [2, 4, 8])
+def test_update_storm_scaling(benchmark, report, smoke, origins_count):
+    """Throughput under an update storm: K origins at once (simulator,
+    deterministic) — total work grows, wall time sublinearly."""
+    if smoke and origins_count > 2:
+        pytest.skip("storm scaling is timing-only; smoke runs the base case")
+    chains = origins_count
+    net, origins = build_multichain(chains, 1, 30 if smoke else 80)
+
+    def run():
+        return net.await_all(net.start_global_updates(origins))
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(outcomes) == origins_count
+    total_rows = sum(o.rows_imported for o in outcomes)
+    benchmark.extra_info["total_rows_imported"] = total_rows
+    report.add_table(
+        ["origins", "rows_imported", "transport_msgs"],
+        [[origins_count, total_rows, outcomes[-1].transport_messages]],
+        title=f"E16 storm: {origins_count} simultaneous origins",
+    )

@@ -30,7 +30,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 reproduced measurements.
 """
 
-from repro.core.network import CoDBNetwork, UpdateOutcome
+from repro.core.network import CoDBNetwork, UpdateHandle, UpdateOutcome
 from repro.core.node import CoDBNode, NodeConfig
 from repro.core.rulefile import RuleFile
 from repro.core.rules import CoordinationRule
@@ -82,6 +82,7 @@ __all__ = [
     "CoDBNode",
     "NodeConfig",
     "UpdateOutcome",
+    "UpdateHandle",
     "CoordinationRule",
     "RuleFile",
     "SuperPeer",

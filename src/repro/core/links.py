@@ -11,9 +11,30 @@ incoming link."
 
 Note the perspective: one :class:`CoordinationRule` is an *outgoing*
 link at its target (importer) and an *incoming* link at its source.
-Link state is per global update; the structures here also carry the
-bookkeeping sets of §3 — what has been sent on an incoming link, what
-has been received on an outgoing link.
+
+Two layers of state, split since the DBM became multi-session:
+
+* **Shared (node-global)** — the link *topology* (:class:`LinkTable`,
+  :class:`OutgoingLink`, :class:`IncomingLink`) plus each link's
+  *lifetime* memory: the outgoing side's ``fired`` set (frontier rows
+  that ever instantiated the rule head here — what makes null minting
+  idempotent across updates *and* across concurrent sessions) and the
+  incoming side's ``pushed`` set (continuous-mode dedup).
+* **Per update session** — activation state, closure cause, and the
+  protocol's sent/received dedup sets (:class:`SessionLinkState`,
+  grouped per update in a :class:`LinkSession`).  Every concurrent
+  global update gets its own independent copy, so interleaved updates
+  cannot close each other's links or starve each other's semi-naive
+  dedup.
+
+The shared link objects also carry mirror ``state``/``closed_by``
+fields stamped by whichever session last changed them — diagnostics
+and single-update tests read those; the per-session state is the
+authoritative one.
+
+All row-membership sets here hold *row keys*
+(:func:`repro.relational.values.row_key`) rather than raw rows, so set
+membership uses the engine's type-strict value identity.
 """
 
 from __future__ import annotations
@@ -21,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.rules import CoordinationRule
-from repro.relational.values import Row
+from repro.relational.values import Row, row_key
 
 #: Link state machine: INACTIVE -(update request)-> OPEN -(closure)-> CLOSED.
 INACTIVE = "inactive"
@@ -35,20 +56,22 @@ class OutgoingLink:
 
     rule: CoordinationRule
 
-    #: Frontier rows ever received over this link.  This is the
-    #: link's *lifetime* memory, not per-update state: a frontier row
-    #: fires the rule (and mints its null vector, if any) exactly once
-    #: over the rule's lifetime, which is what makes repeated global
-    #: updates idempotent — the paper's "remove from T those tuples
-    #: which are already in R", lifted to frontier granularity so it
-    #: also works for heads with existential variables.
-    received: set[Row] = field(default_factory=set)
+    #: Row keys of frontier rows that ever *fired* this rule here —
+    #: instantiated the head, minting the null vector for existential
+    #: head variables.  This is the link's **lifetime** memory, shared
+    #: by every update session and by the push engine: a frontier row
+    #: fires the rule exactly once over the rule's lifetime, which is
+    #: what keeps repeated global updates idempotent ("remove from T
+    #: those tuples which are already in R", lifted to frontier
+    #: granularity) and keeps N concurrent sessions delivering the same
+    #: row from re-minting nulls.
+    fired: set = field(default_factory=set)
+    #: Diagnostic mirror of the most recent session's activation state.
     state: str = INACTIVE
-    #: How the link closed: "cascade" (paper condition a: every
-    #: relevant chain below quiesced and told us) or "quiescence"
-    #: (condition b around cycles: global quiescence detection).
+    #: How the mirror closed: "cascade" (paper condition a), "quiescence"
+    #: (condition b around cycles) or "failure" (peer churn).
     closed_by: str = ""
-    #: Longest update-propagation path observed on this link.
+    #: Longest update-propagation path observed on this link (mirror).
     longest_path: int = 0
 
     @property
@@ -60,11 +83,11 @@ class OutgoingLink:
         """The acquaintance that evaluates the body (rule.source)."""
         return self.rule.source
 
-    def reset_for_update(self) -> None:
-        """Per-update reset: states only; the received-set persists."""
-        self.state = INACTIVE
-        self.closed_by = ""
-        self.longest_path = 0
+    def has_fired(self, row: Row) -> bool:
+        return row_key(row) in self.fired
+
+    def mark_fired(self, row: Row) -> None:
+        self.fired.add(row_key(row))
 
 
 @dataclass
@@ -74,12 +97,12 @@ class IncomingLink:
 
     rule: CoordinationRule
 
-    #: Frontier rows ever sent over this link — "we delete from Ri
-    #: those tuples which have been already sent to the incoming link"
-    #: (§3).  Lifetime memory, like the outgoing side's received-set:
-    #: a second global update re-ships nothing the importer already
-    #: has, so repeated updates converge instead of re-minting nulls.
-    sent: set[Row] = field(default_factory=set)
+    #: Row keys shipped by the *push engine* (continuous mode) — its
+    #: lifetime dedup, mirroring §3's "delete from Ri those tuples
+    #: which have been already sent".  Update sessions keep their own
+    #: per-session sent-sets instead (see :class:`SessionLinkState`).
+    pushed: set = field(default_factory=set)
+    #: Diagnostic mirrors (most recent session, see module docstring).
     state: str = INACTIVE
     closed_by: str = ""
     #: Outgoing-link rule ids of this node that this link depends on.
@@ -93,11 +116,6 @@ class IncomingLink:
     def remote(self) -> str:
         """The importer the results flow to (rule.target)."""
         return self.rule.target
-
-    def reset_for_update(self) -> None:
-        """Per-update reset: states only; the sent-set persists."""
-        self.state = INACTIVE
-        self.closed_by = ""
 
 
 class LinkTable:
@@ -158,35 +176,164 @@ class LinkTable:
             for rule_id, link in self.outgoing.items()
         }
 
-    def all_outgoing_closed(self) -> bool:
-        """The node-closure condition: "when all outgoing links of a
-        node are in the state 'closed', then the node is also in the
-        state 'closed'" (§3).  Vacuously true with no outgoing links."""
-        return all(link.state == CLOSED for link in self.outgoing.values())
-
-    def incoming_ready_to_close(self) -> list[IncomingLink]:
-        """Open incoming links whose relevant outgoing links are all
-        closed — the closure-cascade condition of §3."""
-        ready = []
-        for link in self.incoming.values():
-            if link.state != OPEN:
-                continue
-            if all(
-                self.outgoing[rule_id].state == CLOSED
-                for rule_id in link.relevant_outgoing
-            ):
-                ready.append(link)
-        return ready
-
-    def reset_for_update(self) -> None:
-        """Open a new update: reset link states, keep lifetime dedup sets."""
-        for link in self.outgoing.values():
-            link.reset_for_update()
-        for link in self.incoming.values():
-            link.reset_for_update()
-
     def __repr__(self) -> str:
         return (
             f"<LinkTable {self.node_name}: out={sorted(self.outgoing)} "
             f"in={sorted(self.incoming)}>"
+        )
+
+
+@dataclass
+class SessionLinkState:
+    """One update session's volatile state for one link.
+
+    ``seen`` is the §3 dedup set at frontier-row granularity, held as
+    row keys: *received* rows on an outgoing link ("we first remove
+    from T those tuples which are already in R"), *sent* rows on an
+    incoming link ("we delete from Ri those tuples which have been
+    already sent").  Each concurrent update owns an independent set, so
+    one session's traffic never starves another's — a session always
+    re-derives and re-ships everything its own data flow produces.
+    """
+
+    state: str = INACTIVE
+    closed_by: str = ""
+    longest_path: int = 0
+    seen: set = field(default_factory=set)
+
+    def has_seen(self, row: Row) -> bool:
+        return row_key(row) in self.seen
+
+    def mark_seen(self, row: Row) -> None:
+        self.seen.add(row_key(row))
+
+
+class LinkSession:
+    """Per-update view over a node's :class:`LinkTable`.
+
+    Topology (which links exist, who they serve, the dependency
+    relation) is read through the bound table; activation state and
+    dedup sets live here, one :class:`SessionLinkState` per rule id,
+    created lazily.  ``rebind`` follows a runtime rules change (§4):
+    states for rules that survived are kept, new rules start INACTIVE.
+    """
+
+    def __init__(self, table: LinkTable) -> None:
+        self.table = table
+        self._outgoing: dict[str, SessionLinkState] = {}
+        self._incoming: dict[str, SessionLinkState] = {}
+
+    def rebind(self, table: LinkTable) -> None:
+        self.table = table
+
+    # -- state access -------------------------------------------------------
+
+    def outgoing_state(self, rule_id: str) -> SessionLinkState:
+        state = self._outgoing.get(rule_id)
+        if state is None:
+            state = self._outgoing[rule_id] = SessionLinkState()
+        return state
+
+    def incoming_state(self, rule_id: str) -> SessionLinkState:
+        state = self._incoming.get(rule_id)
+        if state is None:
+            state = self._incoming[rule_id] = SessionLinkState()
+        return state
+
+    def open_all_outgoing(self) -> None:
+        """Session start: every outgoing link participates."""
+        for rule_id, link in self.table.outgoing.items():
+            state = self.outgoing_state(rule_id)
+            state.state = OPEN
+            link.state = OPEN
+            link.closed_by = ""
+
+    def close_outgoing(self, rule_id: str, closed_by: str) -> None:
+        state = self.outgoing_state(rule_id)
+        state.state = CLOSED
+        state.closed_by = closed_by
+        link = self.table.outgoing.get(rule_id)
+        if link is not None:  # mirror for diagnostics / single-update tests
+            link.state = CLOSED
+            link.closed_by = closed_by
+
+    def close_incoming(self, rule_id: str, closed_by: str) -> None:
+        state = self.incoming_state(rule_id)
+        state.state = CLOSED
+        state.closed_by = closed_by
+        link = self.table.incoming.get(rule_id)
+        if link is not None:
+            link.state = CLOSED
+            link.closed_by = closed_by
+
+    # -- paired topology/state views ----------------------------------------
+
+    def outgoing_items(self) -> list[tuple[OutgoingLink, SessionLinkState]]:
+        return [
+            (link, self.outgoing_state(rule_id))
+            for rule_id, link in self.table.outgoing.items()
+        ]
+
+    def incoming_items(self) -> list[tuple[IncomingLink, SessionLinkState]]:
+        return [
+            (link, self.incoming_state(rule_id))
+            for rule_id, link in self.table.incoming.items()
+        ]
+
+    def incoming_for_target(
+        self, target: str
+    ) -> list[tuple[IncomingLink, SessionLinkState]]:
+        return [
+            (link, self.incoming_state(link.rule_id))
+            for link in self.table.incoming_for_target(target)
+        ]
+
+    def incoming_dependent_on_relations(
+        self, relations: set[str]
+    ) -> list[tuple[IncomingLink, SessionLinkState]]:
+        return [
+            (link, self.incoming_state(link.rule_id))
+            for link in self.table.incoming_dependent_on_relations(relations)
+        ]
+
+    # -- closure conditions --------------------------------------------------
+
+    def all_outgoing_closed(self) -> bool:
+        """The node-closure condition: "when all outgoing links of a
+        node are in the state 'closed', then the node is also in the
+        state 'closed'" (§3).  Vacuously true with no outgoing links."""
+        return all(
+            self.outgoing_state(rule_id).state == CLOSED
+            for rule_id in self.table.outgoing
+        )
+
+    def all_incoming_closed(self) -> bool:
+        return all(
+            self.incoming_state(rule_id).state == CLOSED
+            for rule_id in self.table.incoming
+        )
+
+    def incoming_ready_to_close(
+        self,
+    ) -> list[tuple[IncomingLink, SessionLinkState]]:
+        """Open incoming links whose relevant outgoing links are all
+        closed — the closure-cascade condition of §3, evaluated against
+        *this session's* states only."""
+        ready = []
+        for link in self.table.incoming.values():
+            state = self.incoming_state(link.rule_id)
+            if state.state != OPEN:
+                continue
+            if all(
+                self.outgoing_state(rule_id).state == CLOSED
+                for rule_id in link.relevant_outgoing
+            ):
+                ready.append((link, state))
+        return ready
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkSession over {self.table.node_name}: "
+            f"out={{{', '.join(f'{r}:{s.state}' for r, s in self._outgoing.items())}}} "
+            f"in={{{', '.join(f'{r}:{s.state}' for r, s in self._incoming.items())}}}>"
         )

@@ -33,6 +33,20 @@ from repro.relational.wrapper import Wrapper
 
 
 @dataclass
+class UpdateHandle:
+    """A started-but-not-awaited global update (see
+    :meth:`CoDBNetwork.start_global_updates`)."""
+
+    update_id: str
+    origin: str
+    #: Transport clock / counters when the update was started; the
+    #: matching :class:`UpdateOutcome` windows are measured from here.
+    started_at: float
+    messages_before: int
+    bytes_before: int
+
+
+@dataclass
 class UpdateOutcome:
     """Everything a benchmark wants to know about one global update."""
 
@@ -40,11 +54,14 @@ class UpdateOutcome:
     origin: str
     report: NetworkUpdateReport
     #: Wall time by the transport clock (virtual seconds on the
-    #: simulator — deterministic; real seconds over TCP).
+    #: simulator — deterministic; real seconds over TCP), measured from
+    #: this update's start to the await returning.  For updates awaited
+    #: as a concurrent batch the window includes the batch overlap.
     wall_time: float
-    #: Transport-level totals for the whole update, including requests,
-    #: acks and completion floods (the statistics module's per-rule
-    #: numbers cover result messages only).
+    #: Transport-level totals for the window, including requests, acks
+    #: and completion floods (the statistics module's per-rule numbers
+    #: cover result messages only).  In a concurrent batch the window
+    #: is shared, so these count the whole batch's traffic.
     transport_messages: int
     transport_bytes: int
 
@@ -198,36 +215,113 @@ class CoDBNetwork:
 
     def global_update(self, origin: str) -> UpdateOutcome:
         """Run one global update from *origin* to completion."""
-        node = self.node(origin)
-        messages_before = self.transport.stats.messages_sent
-        bytes_before = self.transport.stats.bytes_sent
-        started = self.transport.now()
-        update_id = node.start_global_update()
+        (handle,) = self.start_global_updates([origin])
+        (outcome,) = self.await_all([handle])
+        return outcome
+
+    def start_global_updates(
+        self, origins: Sequence[str]
+    ) -> list[UpdateHandle]:
+        """Start one global update per origin, WITHOUT waiting.
+
+        All updates are initiated back-to-back before any network
+        progress is made, so on the simulator the event queue holds
+        every origin's flood and :meth:`await_all` pumps them fairly
+        interleaved (events pop in timestamp order); over TCP the
+        per-peer delivery threads run the sessions truly in parallel.
+        The same origin may appear several times — each occurrence
+        starts an independent update session.
+        """
+        handles = []
+        for origin in origins:
+            node = self.node(origin)
+            handle = UpdateHandle(
+                update_id="",
+                origin=origin,
+                started_at=self.transport.now(),
+                messages_before=self.transport.stats.messages_sent,
+                bytes_before=self.transport.stats.bytes_sent,
+            )
+            handle.update_id = node.start_global_update()
+            handles.append(handle)
+        return handles
+
+    def await_all(
+        self, handles: Sequence[UpdateHandle] | None = None
+    ) -> list[UpdateOutcome]:
+        """Drive the network until every handle's update completed.
+
+        With ``handles=None``, waits for every update currently active
+        anywhere in the network.  Returns one :class:`UpdateOutcome`
+        per handle, in handle order, each aggregating the per-node
+        reports for that update id (the super-peer aggregation of §4).
+        """
+        if handles is None:
+            handles = [
+                UpdateHandle(
+                    update_id=update_id,
+                    origin="",
+                    started_at=self.transport.now(),
+                    messages_before=self.transport.stats.messages_sent,
+                    bytes_before=self.transport.stats.bytes_sent,
+                )
+                for node in self.nodes.values()
+                for update_id in node.updates.active_ids()
+            ]
+
+        def update_complete(update_id: str, origin: str) -> bool:
+            alive = [n for n in self.nodes.values() if not n.detached]
+            if origin and origin in self.nodes:
+                origin_node = self.nodes[origin]
+                if not origin_node.detached and not origin_node.update_done(
+                    update_id
+                ):
+                    return False
+            return all(
+                n.update_done(update_id) or n.stats.report_for(update_id) is None
+                for n in alive
+            )
+
         self._wait(
             lambda: all(
-                n.detached
-                or n.update_done(update_id)
-                or n.stats.report_for(update_id) is None
-                for n in self.nodes.values()
+                update_complete(handle.update_id, handle.origin)
+                for handle in handles
             )
-            and node.update_done(update_id)
         )
         finished = self.transport.now()
-        reports = [
-            report
-            for n in self.nodes.values()
-            if (report := n.stats.report_for(update_id)) is not None
-        ]
         from repro.core.statistics import aggregate_reports
 
-        return UpdateOutcome(
-            update_id=update_id,
-            origin=origin,
-            report=aggregate_reports(update_id, origin, reports),
-            wall_time=finished - started,
-            transport_messages=self.transport.stats.messages_sent - messages_before,
-            transport_bytes=self.transport.stats.bytes_sent - bytes_before,
-        )
+        outcomes = []
+        for handle in handles:
+            reports = [
+                report
+                for n in self.nodes.values()
+                if (report := n.stats.report_for(handle.update_id)) is not None
+            ]
+            origin = handle.origin or (reports[0].origin if reports else "")
+            outcomes.append(
+                UpdateOutcome(
+                    update_id=handle.update_id,
+                    origin=origin,
+                    report=aggregate_reports(handle.update_id, origin, reports),
+                    wall_time=finished - handle.started_at,
+                    transport_messages=(
+                        self.transport.stats.messages_sent - handle.messages_before
+                    ),
+                    transport_bytes=(
+                        self.transport.stats.bytes_sent - handle.bytes_before
+                    ),
+                )
+            )
+        return outcomes
+
+    def lifetime_totals(self) -> dict[str, dict]:
+        """Per-node lifetime aggregates (see
+        :meth:`~repro.core.statistics.NodeStatistics.lifetime_totals`)."""
+        return {
+            name: node.stats.lifetime_totals()
+            for name, node in self.nodes.items()
+        }
 
     # ------------------------------------------------------------------
     # Queries

@@ -16,6 +16,7 @@ trigger discovery, read reports — are the public methods.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
@@ -27,7 +28,7 @@ from repro.core.rules import CoordinationRule
 from repro.core.statistics import NodeStatistics, UpdateReport
 from repro.core.termination import DiffusingComputation
 from repro.core.topology import TopologyDiscovery
-from repro.core.update import UPDATE_KINDS, UpdateEngine
+from repro.core.update import UPDATE_KINDS, UpdateManager
 from repro.errors import ProtocolError, RuleError
 from repro.p2p.advertisements import PeerAdvertisement
 from repro.p2p.discovery import DiscoveryService
@@ -118,6 +119,12 @@ class CoDBNode:
         self.config = config if config is not None else NodeConfig()
         #: Set when the node leaves the network (drivers skip it).
         self.detached = False
+        #: Serialises this node's DBM: over TCP, the delivery thread
+        #: runs handlers while the driver thread calls the public API
+        #: (start updates/queries, local inserts).  One reentrant lock
+        #: per node keeps the actor discipline without giving up
+        #: cross-node parallelism.  Uncontended on the simulator.
+        self._lock = threading.RLock()
         self.wrapper = store if store is not None else MemoryStore(schema)
         if self.wrapper.schema is not schema:
             raise RuleError(
@@ -132,7 +139,7 @@ class CoDBNode:
         self.termination = DiffusingComputation(
             self.send_ack, self._on_root_complete
         )
-        self.updates = UpdateEngine(self)
+        self.updates = UpdateManager(self)
         self.queries = QueryEngine(self)
         self.push = PushEngine(self)
         self.topology = TopologyDiscovery(self)
@@ -167,16 +174,24 @@ class CoDBNode:
         self.endpoint.on(
             PUSH_KIND, self._with_pipe_accounting(self.push.on_push_delta)
         )
-        self.endpoint.on("ack", self._on_ack)
-        self.endpoint.on("rules_file", self._on_rules_file)
-        self.endpoint.on("stats_request", self._on_stats_request)
-        self.endpoint.on("undeliverable", self._on_undeliverable)
-        self.endpoint.on("peer_down", self._on_peer_down)
+        self.endpoint.on("ack", self._locked(self._on_ack))
+        self.endpoint.on("rules_file", self._locked(self._on_rules_file))
+        self.endpoint.on("stats_request", self._locked(self._on_stats_request))
+        self.endpoint.on("undeliverable", self._locked(self._on_undeliverable))
+        self.endpoint.on("peer_down", self._locked(self._on_peer_down))
+
+    def _locked(self, handler):
+        def wrapped(message: Message) -> None:
+            with self._lock:
+                handler(message)
+
+        return wrapped
 
     def _with_pipe_accounting(self, handler):
         def wrapped(message: Message) -> None:
-            self.pipes.note_received(message)
-            handler(message)
+            with self._lock:
+                self.pipes.note_received(message)
+                handler(message)
 
         return wrapped
 
@@ -231,9 +246,7 @@ class CoDBNode:
         """Failure-detector notification: a peer left the network."""
         dead_peer = message.payload["peer"]
         self.termination.on_peer_down(dead_peer)
-        active = self.updates.active
-        if active is not None and not active.done:
-            self.updates.on_peer_unreachable(active.update_id, dead_peer)
+        self.updates.on_peer_down(dead_peer)
 
     # ------------------------------------------------------------------
     # Rules management ("user can modify the set of coordination rules")
@@ -262,12 +275,16 @@ class CoDBNode:
             ]
         for rule in relevant:
             self._validate_rule(rule)
-        self.pipes.drop_all()
-        self.links = LinkTable(self.name, relevant)
-        for rule_id, link in self.links.outgoing.items():
-            self.pipes.pipe_to(link.remote, rule_id=rule_id)
-        for rule_id, link in self.links.incoming.items():
-            self.pipes.pipe_to(link.remote, rule_id=rule_id)
+        with self._lock:
+            self.pipes.drop_all()
+            self.links = LinkTable(self.name, relevant)
+            for rule_id, link in self.links.outgoing.items():
+                self.pipes.pipe_to(link.remote, rule_id=rule_id)
+            for rule_id, link in self.links.incoming.items():
+                self.pipes.pipe_to(link.remote, rule_id=rule_id)
+            # Live update sessions keep running across a rewire: rebind
+            # their link views to the new table (§4 dynamic topology).
+            self.updates.on_rules_changed()
 
     def _validate_rule(self, rule: CoordinationRule) -> None:
         """Each side validates its own half of the mapping.
@@ -326,27 +343,32 @@ class CoDBNode:
         """Bulk-load ground facts, given as text or ``{relation: rows}``."""
         if isinstance(facts, str):
             facts = parse_facts(facts)
-        return self.wrapper.load({k: list(v) for k, v in facts.items()})
+        with self._lock:
+            return self.wrapper.load({k: list(v) for k, v in facts.items()})
 
     def insert(self, relation: str, row: Sequence[Value]) -> bool:
         """Insert one local row; pushes the delta downstream when the
         node runs in continuous mode (``config.push_on_insert``)."""
-        new_rows = self.wrapper.insert_new(relation, [row])
-        if new_rows and self.config.push_on_insert:
-            self.push.push_deltas({relation: new_rows})
-        return bool(new_rows)
+        with self._lock:
+            new_rows = self.wrapper.insert_new(relation, [row])
+            if new_rows and self.config.push_on_insert:
+                self.push.push_deltas({relation: new_rows})
+            return bool(new_rows)
 
     def push_deltas(self, deltas: dict[str, list]) -> int:
         """Explicitly push ``{relation: rows}`` along incoming links."""
-        return self.push.push_deltas(
-            {rel: [tuple(r) for r in rows] for rel, rows in deltas.items()}
-        )
+        with self._lock:
+            return self.push.push_deltas(
+                {rel: [tuple(r) for r in rows] for rel, rows in deltas.items()}
+            )
 
     def rows(self, relation: str) -> list[Row]:
-        return self.wrapper.rows(relation)
+        with self._lock:
+            return self.wrapper.rows(relation)
 
     def snapshot(self) -> dict[str, list[Row]]:
-        return self.wrapper.snapshot()
+        with self._lock:
+            return self.wrapper.snapshot()
 
     @property
     def database(self) -> Database | None:
@@ -370,7 +392,8 @@ class CoDBNode:
         if isinstance(query, str):
             query = parse_query(query)
         query.validate_against(self.wrapper.schema)
-        answers = self.wrapper.evaluate_query(query)
+        with self._lock:
+            answers = self.wrapper.evaluate_query(query)
         if certain:
             from repro.relational.values import MarkedNull
 
@@ -388,18 +411,25 @@ class CoDBNode:
         :meth:`network_query_answer`)."""
         if isinstance(query, str):
             query = parse_query(query)
-        return self.queries.start(query, persist=persist)
+        with self._lock:
+            return self.queries.start(query, persist=persist)
 
     def network_query_answer(self, query_id: str) -> list[Row] | None:
-        return self.queries.answer(query_id)
+        with self._lock:
+            return self.queries.answer(query_id)
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
 
     def start_global_update(self) -> str:
-        """Begin a global update with this node as origin; returns its id."""
-        return self.updates.initiate()
+        """Begin a global update with this node as origin; returns its id.
+
+        Any number of global updates — from this origin or others —
+        may be in flight concurrently; each runs as its own session.
+        """
+        with self._lock:
+            return self.updates.initiate()
 
     def update_done(self, update_id: str) -> bool:
         return self.updates.is_done(update_id)
@@ -419,7 +449,8 @@ class CoDBNode:
         this node — ongoing updates still terminate (§1's dynamic-
         network claim).
         """
-        self.detached = True
+        with self._lock:
+            self.detached = True
         self.endpoint.detach()
 
     def leave_network(self) -> None:
@@ -429,8 +460,9 @@ class CoDBNode:
         diffusing computation this node is part of can collapse without
         waiting for bounces.
         """
-        self.detached = True
-        self.termination.abandon_all()
+        with self._lock:
+            self.detached = True
+            self.termination.abandon_all()
         self.endpoint.detach()
 
     def __repr__(self) -> str:

@@ -26,7 +26,7 @@ from repro.errors import UnknownPeerError
 from repro.p2p.messages import Message
 from repro.relational.containment import tuple_subsumed
 from repro.relational.evaluation import apply_head
-from repro.relational.values import MarkedNull, Row, decode_row, encode_row
+from repro.relational.values import MarkedNull, Row, decode_row, encode_row, row_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import CoDBNode
@@ -71,10 +71,10 @@ class PushEngine:
                     rule_key=link.rule_id,
                 ):
                     produced[tuple(binding[n] for n in frontier)] = None
-            fresh = [row for row in produced if row not in link.sent]
+            fresh = [row for row in produced if row_key(row) not in link.pushed]
             if not fresh:
                 continue
-            link.sent.update(fresh)
+            link.pushed.update(row_key(row) for row in fresh)
             pipe = node.pipes.pipe_to(link.remote)
             try:
                 pipe.send(
@@ -102,10 +102,13 @@ class PushEngine:
         if link is None:
             return  # rules changed while the push was in flight
         self.pushes_received += 1
-        received = link.received
         rows = [decode_row(encoded) for encoded in message.payload["rows"]]
-        fresh_frontier = [row for row in rows if row not in received]
-        received.update(fresh_frontier)
+        # The shared lifetime fired-set dedups against everything that
+        # ever instantiated this rule here — earlier pushes AND any
+        # update session — so continuous mode never re-mints nulls.
+        fresh_frontier = [row for row in rows if not link.has_fired(row)]
+        for row in fresh_frontier:
+            link.mark_fired(row)
         frontier_names = link.rule.frontier()
         bindings = [dict(zip(frontier_names, row)) for row in fresh_frontier]
         facts = apply_head(link.rule.mapping, bindings, node.nulls)

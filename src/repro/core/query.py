@@ -44,7 +44,7 @@ from repro.errors import ProtocolError, UnknownPeerError
 from repro.p2p.messages import Message
 from repro.relational.conjunctive import ConjunctiveQuery
 from repro.relational.evaluation import apply_head
-from repro.relational.values import Row, decode_row, encode_row
+from repro.relational.values import Row, decode_row, encode_row, row_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import CoDBNode
@@ -59,10 +59,11 @@ class QueryParticipation:
     query_id: str
     origin: str
     persist: bool
-    #: Incoming-link rule ids activated for this query, with sent-sets.
-    sent: dict[str, set[Row]] = field(default_factory=dict)
-    #: Outgoing-link rule ids requested, with received-sets.
-    received: dict[str, set[Row]] = field(default_factory=dict)
+    #: Incoming-link rule ids activated for this query, with sent-sets
+    #: (frontier row keys — the engine's type-strict identity).
+    sent: dict[str, set] = field(default_factory=dict)
+    #: Outgoing-link rule ids requested, with received-sets (row keys).
+    received: dict[str, set] = field(default_factory=dict)
     #: Rows this query imported here (rollback when not persist).
     inserted: list[tuple[str, Row]] = field(default_factory=list)
     #: Neighbours we forwarded requests to (cleanup flood follows them).
@@ -195,15 +196,15 @@ class QueryEngine:
                 )
             if rule_id in participation.sent:
                 continue  # already activated for this query
-            sent: set[Row] = set()
+            sent: set = set()
             participation.sent[rule_id] = sent
             frontier = link.rule.frontier()
             bindings = node.wrapper.evaluate_mapping_bindings(
                 link.rule.mapping, rule_key=rule_id
             )
             rows = [tuple(b[name] for name in frontier) for b in bindings]
-            fresh = [row for row in rows if row not in sent]
-            sent.update(fresh)
+            fresh = [row for row in rows if row_key(row) not in sent]
+            sent.update(row_key(row) for row in fresh)
             self._send_data(participation, rule_id, link.remote, fresh, path_len=1)
             activated_bodies |= set(link.rule.mapping.body_relations())
         # The label cut: "a node does not propagate a query request, if
@@ -264,8 +265,8 @@ class QueryEngine:
             )
         received = participation.received.setdefault(rule_id, set())
         rows = [decode_row(encoded) for encoded in message.payload["rows"]]
-        fresh_frontier = [row for row in rows if row not in received]
-        received.update(fresh_frontier)
+        fresh_frontier = [row for row in rows if row_key(row) not in received]
+        received.update(row_key(row) for row in fresh_frontier)
         path_len = int(message.payload.get("path_len", 1))
 
         frontier_names = link.rule.frontier()
@@ -306,8 +307,8 @@ class QueryEngine:
                         rule_key=rule_id2,
                     ):
                         produced[tuple(binding[n] for n in frontier)] = None
-                fresh = [row for row in produced if row not in sent]
-                sent.update(fresh)
+                fresh = [row for row in produced if row_key(row) not in sent]
+                sent.update(row_key(row) for row in fresh)
                 self._send_data(
                     participation,
                     rule_id2,

@@ -160,7 +160,12 @@ class UpdateReport:
 
 
 class NodeStatistics:
-    """Lifetime accumulator: every report this node ever produced."""
+    """Lifetime accumulator: every report this node ever produced.
+
+    With concurrent global updates a node holds several *open* reports
+    at once — one per active session — so alongside the per-update
+    reports this class exposes aggregate (lifetime) numbers.
+    """
 
     def __init__(self, node: str) -> None:
         self.node = node
@@ -185,6 +190,30 @@ class NodeStatistics:
 
     def total_updates(self) -> int:
         return len(self.reports)
+
+    def open_reports(self) -> list[UpdateReport]:
+        """Reports of updates still in flight at this node."""
+        return [r for r in self.reports.values() if r.status != "closed"]
+
+    def lifetime_totals(self) -> dict[str, Any]:
+        """Aggregate numbers across every update this node ever served."""
+        reports = list(self.reports.values())
+        return {
+            "updates": len(reports),
+            "open_updates": sum(1 for r in reports if r.status != "closed"),
+            "messages_sent": sum(r.messages_sent for r in reports),
+            "bytes_sent": sum(r.bytes_sent for r in reports),
+            "messages_received": sum(
+                r.total_messages_received() for r in reports
+            ),
+            "bytes_received": sum(r.total_bytes_received() for r in reports),
+            "rows_imported": sum(r.rows_imported for r in reports),
+            "nulls_minted": sum(r.nulls_minted for r in reports),
+            "rounds": sum(r.rounds for r in reports),
+            "busy_time": sum(r.duration for r in reports),
+            "peak_concurrent_updates": peak_concurrency(reports),
+            "queries_answered": self.queries_answered,
+        }
 
 
 @dataclass
@@ -290,3 +319,27 @@ def aggregate_reports(
         origin=origin,
         node_reports={report.node: report for report in reports},
     )
+
+
+def peak_concurrency(reports: list[UpdateReport]) -> int:
+    """Maximum number of updates simultaneously open, by report spans.
+
+    Sweep-line over ``[started_at, finished_at)`` intervals (an open
+    report counts as unbounded).  This is the aggregate the concurrent-
+    update benchmarks quote: how much overlap actually happened.
+    """
+    events: list[tuple[float, int]] = []
+    for report in reports:
+        events.append((report.started_at, 1))
+        if report.status == "closed" and report.finished_at >= report.started_at:
+            events.append((report.finished_at, -1))
+        # still-open reports get no close event and stay counted
+    peak = 0
+    current = 0
+    # Close events sort before open events at the same instant, so
+    # back-to-back sequential updates (finish == next start) count as
+    # concurrency 1, not 2.
+    for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+        current += delta
+        peak = max(peak, current)
+    return peak

@@ -22,8 +22,12 @@ which this module implements, decoupled from any particular protocol:
   globally, so remaining cyclic links can be closed.
 
 One :class:`DiffusingComputation` instance lives in each node and
-multiplexes any number of concurrent computations (global updates and
-network queries) by computation id.
+multiplexes any number of concurrent computations by computation id:
+every network query AND every concurrent global-update session runs
+its own independent Dijkstra–Scholten instance (parent pointer,
+deficit counters, engagement flag), so N overlapping updates detect
+their N quiescence points independently — a node can be the root of
+one computation while an interior participant of several others.
 """
 
 from __future__ import annotations

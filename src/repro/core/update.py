@@ -1,50 +1,77 @@
 """The global update algorithm (§3 of the paper, [Franconi et al., 2004]).
 
-Protocol recap, with the paper's vocabulary:
+The DBM "serves, in general, many requests concurrently" (§3): any
+number of global updates — one per origin — may propagate through the
+network at the same time.  Each node therefore runs one
+:class:`UpdateEngine` **session** per active update id, created lazily
+on first contact and garbage-collected on completion; the
+:class:`UpdateManager` is the registry that owns the sessions and
+dispatches the :data:`UPDATE_KINDS` messages to them.
+
+Protocol recap, with the paper's vocabulary (everything below is per
+update id, i.e. per session):
 
 * The origin node floods ``update_request`` messages over its pipes;
-  every node, on first contact, forwards the request to all its
-  acquaintances ("propagate the global update to their acquaintances")
-  and dedups re-receipts by the update identifier ("propagation is
-  stopped ... if that node has already received this request message").
-* A request from acquaintance *t* **activates** every incoming link
-  serving *t*: the node "executes the coordination rule and sends the
-  results back" — the body is evaluated over the full local database,
-  projected onto the rule's frontier variables, deduplicated against
-  the link's *sent* set, and shipped as a ``query_result``.
+  every node, on first contact with that update id, opens a session,
+  forwards the request to all its acquaintances ("propagate the global
+  update to their acquaintances") and dedups re-receipts by the update
+  identifier ("propagation is stopped ... if that node has already
+  received this request message").
+* A request from acquaintance *t* **activates** the session's view of
+  every incoming link serving *t*: the node "executes the coordination
+  rule and sends the results back" — the body is evaluated over the
+  full local database, projected onto the rule's frontier variables,
+  deduplicated against the session's per-link *sent* set, and shipped
+  as a ``query_result``.
 * A ``query_result`` arriving over outgoing link *O* carries frontier
-  rows.  New rows (dedup against the link's *received* set — "we first
-  remove from T those tuples which are already in R") instantiate the
-  rule head, minting "fresh new marked null values" for existential
-  head variables; genuinely new tuples (``T'``) are inserted, and
-  every *dependent* incoming link is re-evaluated **semi-naively** —
-  "computed by substituting R by T'" — with the link's sent-set
-  removing "those tuples which have been already sent".
+  rows.  Rows new *to this session* (dedup against the session's
+  per-link *received* set — "we first remove from T those tuples which
+  are already in R") are candidates for firing; rows that ever fired
+  the rule at this node (the shared link's lifetime ``fired`` set)
+  are skipped, which keeps "fresh new marked null values" idempotent
+  across repeated updates *and* across concurrent sessions delivering
+  the same row.  Genuinely new tuples (``T'``) are inserted, and every
+  *dependent* incoming link that is open in this session is
+  re-evaluated **semi-naively** — "computed by substituting R by T'" —
+  with the session's sent-set removing "those tuples which have been
+  already sent".
 * Link closure, the paper's condition (a): an incoming link closes
-  when every relevant outgoing link is closed (leaf links close right
-  after their initial results); a ``link_closed`` message closes the
-  matching outgoing link at the importer, cascading network-wide
-  through acyclic dependencies.
-* Cyclic dependencies cannot close by cascade (each link waits on the
-  others around the cycle).  They close via the paper's condition (b)
-  — "all query results did not bring any new data" — detected exactly
-  by the Dijkstra–Scholten machinery of
-  :mod:`repro.core.termination`: when the origin detects global
-  quiescence it floods ``update_complete``, and every node force-
-  closes its remaining links (recorded as ``closed_by="quiescence"``
-  in the statistics).
+  (in this session) when every relevant outgoing link of this session
+  is closed (leaf links close right after their initial results); a
+  ``link_closed`` message closes the matching outgoing link at the
+  importer's session, cascading network-wide through acyclic
+  dependencies.
+* Cyclic dependencies cannot close by cascade.  They close via the
+  paper's condition (b) — "all query results did not bring any new
+  data" — detected exactly by the Dijkstra–Scholten machinery of
+  :mod:`repro.core.termination`, which already multiplexes one
+  instance per computation id, so N concurrent updates run N
+  independent diffusing computations.  When an origin detects global
+  quiescence of *its* computation it floods ``update_complete``, and
+  every node force-closes that session's remaining links (recorded as
+  ``closed_by="quiescence"``) and garbage-collects the session.
 
-The engine object holds all per-update state for one node and is
-driven entirely by message handlers, so it runs unchanged on the
-simulated and the TCP transport.
+Correctness under concurrency: the local databases are shared and grow
+monotonically; each session is an independent propagation wave whose
+deltas it carries to quiescence itself, and the lifetime ``fired`` set
+(plus optional marked-null subsumption) makes rule firing confluent.
+N concurrent updates therefore converge to databases equivalent — up
+to a renaming of marked nulls — to some sequential execution; the
+randomized differential tests in
+``tests/core/test_concurrent_updates.py`` enforce exactly that on both
+transports.
+
+Sessions are driven entirely by message handlers, so they run
+unchanged on the simulated and the TCP transport; over TCP the node's
+lock serialises handler execution with driver-thread calls, giving the
+same actor discipline as the simulator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.links import CLOSED, INACTIVE, OPEN, IncomingLink
+from repro.core.links import CLOSED, INACTIVE, OPEN, IncomingLink, LinkSession
 from repro.errors import FixpointGuardError, ProtocolError, UnknownPeerError
 from repro.p2p.messages import Message
 from repro.relational.containment import tuple_subsumed
@@ -55,157 +82,43 @@ from repro.relational.values import MarkedNull, Row, decode_row, encode_row
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import CoDBNode
 
-#: Message kinds owned by this engine.
+#: Message kinds owned by the update manager.
 UPDATE_KINDS = ("update_request", "query_result", "link_closed", "update_complete")
 
 
-@dataclass
-class UpdateParticipation:
-    """One node's volatile state for one global update."""
-
-    update_id: str
-    origin: str
-    done: bool = False
-    #: Longest propagation path among the deltas currently being
-    #: processed feeds the ``path_len`` of the results they trigger.
-    max_seen_path: int = 0
-
-
 class UpdateEngine:
-    """Global-update message processing for one node."""
+    """One node's participation in ONE global update — a session.
 
-    def __init__(self, node: "CoDBNode") -> None:
+    Holds the per-update view of the node's links (activation states,
+    closure causes, sent/received dedup sets) and implements the §3
+    data flow.  All cross-session facilities — the store, the link
+    topology, the lifetime ``fired`` sets, termination bookkeeping and
+    statistics — are reached through the owning node and are keyed (or
+    confluent) per update id.
+    """
+
+    def __init__(self, node: "CoDBNode", update_id: str, origin: str) -> None:
         self.node = node
-        self.active: UpdateParticipation | None = None
-        self.completed_updates: set[str] = set()
+        self.update_id = update_id
+        self.origin = origin
+        self.links = LinkSession(node.links)
 
     # ------------------------------------------------------------------
-    # Initiation
+    # Outbound plumbing
     # ------------------------------------------------------------------
 
-    def initiate(self) -> str:
-        """Start a global update at this node; returns the update id.
-
-        "A global update is started when some (dedicated) node sends to
-        all its acquaintances global update requests" (§2); the unique
-        identifier is generated here, at the origin.
-        """
+    def send_request(self, remote: str, path: list[str]) -> None:
         node = self.node
-        update_id = node.endpoint.ids.update_id()
-        node.termination.start_root(update_id)
-        self._begin_participation(update_id, origin=node.name)
-        report = node.stats.report_for(update_id)
-        assert report is not None
-        for remote in node.pipes.remotes():
-            self._send_request(update_id, remote, path=[node.name])
-        node.termination.check_quiescence(update_id)
-        return update_id
-
-    # ------------------------------------------------------------------
-    # Handlers (wired by the node)
-    # ------------------------------------------------------------------
-
-    def on_update_request(self, message: Message) -> None:
-        update_id = message.payload["update_id"]
-        if update_id in self.completed_updates:
-            # Stale flood tail after completion; nothing to do, but the
-            # sender still gets its ack so its deficit drains.
-            self.node.send_ack(message.sender, update_id)
-            return
-        tree = self.node.termination.on_engaging_message(update_id, message.sender)
-        origin = message.payload["origin"]
-        path = list(message.payload.get("path", ()))
-        first_contact = self.active is None or self.active.update_id != update_id
-        if first_contact:
-            self._begin_participation(update_id, origin=origin)
-            forward_path = path + [self.node.name]
-            targets = [
-                remote
-                for remote in self.node.pipes.remotes()
-                if remote != message.sender
-            ]
-            # The flood proper excludes the sender, but if we *import*
-            # from the sender we must still request from it: its
-            # incoming links toward us only activate on our explicit
-            # request (this is what makes mutual imports — cycles of
-            # length two — work).
-            if any(
-                link.remote == message.sender
-                for link in self.node.links.outgoing.values()
-            ):
-                targets.append(message.sender)
-            for remote in targets:
-                self._send_request(update_id, remote, path=forward_path)
-        self._activate_links_for(update_id, message.sender)
-        self.node.termination.after_processing(update_id, message.sender, tree)
-
-    def on_query_result(self, message: Message) -> None:
-        update_id = message.payload["update_id"]
-        if update_id in self.completed_updates:
-            self.node.send_ack(message.sender, update_id)
-            return
-        tree = self.node.termination.on_engaging_message(update_id, message.sender)
-        self._ingest_results(message)
-        self.node.termination.after_processing(update_id, message.sender, tree)
-
-    def on_link_closed(self, message: Message) -> None:
-        update_id = message.payload["update_id"]
-        if update_id in self.completed_updates:
-            self.node.send_ack(message.sender, update_id)
-            return
-        tree = self.node.termination.on_engaging_message(update_id, message.sender)
-        rule_id = message.payload["rule_id"]
-        link = self.node.links.outgoing.get(rule_id)
-        if link is None:
-            raise ProtocolError(
-                f"{self.node.name}: link_closed for unknown outgoing "
-                f"rule {rule_id!r}"
-            )
-        if link.state != CLOSED:
-            link.state = CLOSED
-            link.closed_by = "cascade"
-        self._cascade_closures(update_id)
-        self._maybe_finish_locally(update_id)
-        self.node.termination.after_processing(update_id, message.sender, tree)
-
-    def on_update_complete(self, message: Message) -> None:
-        update_id = message.payload["update_id"]
-        self._finalize(update_id, forwarded_from=message.sender)
-
-    def root_complete(self, update_id: str) -> None:
-        """Termination detected at the origin (condition (b) globally)."""
-        self._finalize(update_id, forwarded_from=None)
-
-    # ------------------------------------------------------------------
-    # Participation plumbing
-    # ------------------------------------------------------------------
-
-    def _begin_participation(self, update_id: str, origin: str) -> None:
-        node = self.node
-        if self.active is not None and not self.active.done:
-            raise ProtocolError(
-                f"{node.name}: update {update_id} arrived while "
-                f"{self.active.update_id} is still open (coDB runs one "
-                "global update at a time)"
-            )
-        self.active = UpdateParticipation(update_id=update_id, origin=origin)
-        node.links.reset_for_update()
-        for link in node.links.outgoing.values():
-            link.state = OPEN
-        node.wrapper.on_update_started()
-        node.stats.open_report(update_id, origin, node.endpoint.now())
-
-    def _send_request(self, update_id: str, remote: str, path: list[str]) -> None:
-        node = self.node
+        update_id = self.update_id
         report = node.stats.report_for(update_id)
         pipe = node.pipes.pipe_to(remote)
         try:
             message = pipe.send(
                 "update_request",
-                {"update_id": update_id, "origin": self._origin(update_id), "path": path},
+                {"update_id": update_id, "origin": self.origin, "path": path},
             )
         except UnknownPeerError:
-            self.on_peer_unreachable(update_id, remote)
+            self.on_peer_unreachable(remote)
             return
         node.termination.note_sent(update_id, remote)
         if report is not None:
@@ -216,47 +129,44 @@ class UpdateEngine:
             ):
                 report.queried_acquaintances.append(remote)
 
-    def _origin(self, update_id: str) -> str:
-        if self.active is not None and self.active.update_id == update_id:
-            return self.active.origin
-        return ""
-
     # ------------------------------------------------------------------
     # Serving incoming links
     # ------------------------------------------------------------------
 
-    def _quarantined(self, update_id: str) -> bool:
+    def _quarantined(self) -> bool:
         """§1d: a locally inconsistent node must not export its data."""
         node = self.node
         if not node.config.quarantine_inconsistent:
             return False
         if node.wrapper.is_consistent():
             return False
-        report = node.stats.report_for(update_id)
+        report = node.stats.report_for(self.update_id)
         if report is not None:
             report.quarantined = True
         return True
 
-    def _activate_links_for(self, update_id: str, requester: str) -> None:
+    def activate_links_for(self, requester: str) -> None:
         """First request from *requester*: run full evaluations for every
         incoming link serving it, then check immediate (leaf) closure."""
         node = self.node
-        quarantined = self._quarantined(update_id)
-        for link in node.links.incoming_for_target(requester):
-            if link.state != INACTIVE:
+        quarantined = self._quarantined()
+        for link, state in self.links.incoming_for_target(requester):
+            if state.state != INACTIVE:
                 continue
-            link.state = OPEN
+            state.state = OPEN
+            link.state = OPEN  # diagnostic mirror
             if quarantined:
-                self._send_results(update_id, link, [], path_len=1)
+                self._send_results(link, [], path_len=1)
                 continue
             rows = self._frontier_rows(link, changed_relation=None, delta_rows=None)
             if node.config.sent_dedup:
-                fresh = [row for row in rows if row not in link.sent]
-                link.sent.update(fresh)
+                fresh = [row for row in rows if not state.has_seen(row)]
+                for row in fresh:
+                    state.mark_seen(row)
             else:
                 fresh = rows
-            self._send_results(update_id, link, fresh, path_len=1)
-        self._cascade_closures(update_id)
+            self._send_results(link, fresh, path_len=1)
+        self.cascade_closures()
 
     def _frontier_rows(
         self,
@@ -277,7 +187,6 @@ class UpdateEngine:
 
     def _send_results(
         self,
-        update_id: str,
         link: IncomingLink,
         rows: list[Row],
         *,
@@ -296,6 +205,7 @@ class UpdateEngine:
         if not rows and not always:
             return
         node = self.node
+        update_id = self.update_id
         report = node.stats.report_for(update_id)
         pipe = node.pipes.pipe_to(link.remote)
         batch_size = node.config.batch_rows
@@ -318,7 +228,7 @@ class UpdateEngine:
                     },
                 )
             except UnknownPeerError:
-                self.on_peer_unreachable(update_id, link.remote)
+                self.on_peer_unreachable(link.remote)
                 return
             node.termination.note_sent(update_id, link.remote)
             if report is not None:
@@ -331,9 +241,9 @@ class UpdateEngine:
     # Ingesting results (the heart of §3)
     # ------------------------------------------------------------------
 
-    def _ingest_results(self, message: Message) -> None:
+    def ingest_results(self, message: Message) -> None:
         node = self.node
-        update_id = message.payload["update_id"]
+        update_id = self.update_id
         rule_id = message.payload["rule_id"]
         path_len = int(message.payload.get("path_len", 1))
         link = node.links.outgoing.get(rule_id)
@@ -341,18 +251,26 @@ class UpdateEngine:
             raise ProtocolError(
                 f"{node.name}: query_result for unknown outgoing rule {rule_id!r}"
             )
+        state = self.links.outgoing_state(rule_id)
         report = node.stats.report_for(update_id)
         rows = [decode_row(encoded) for encoded in message.payload["rows"]]
 
-        # Dedup against what this link already delivered (multi-path
-        # protection; the paper's receiver-side "remove from T those
-        # tuples which are already in R" at frontier granularity, which
-        # is what keeps null minting idempotent).
-        fresh_frontier = [row for row in rows if row not in link.received]
-        link.received.update(fresh_frontier)
+        # Two dedup layers.  The session's received-set is multi-path
+        # protection within THIS update ("remove from T those tuples
+        # which are already in R" at frontier granularity); the shared
+        # link's lifetime fired-set spans updates and concurrent
+        # sessions, and is what keeps null minting idempotent: a
+        # frontier row instantiates the head at most once per link
+        # lifetime, no matter how many sessions deliver it.
+        fresh_frontier = [row for row in rows if not state.has_seen(row)]
+        for row in fresh_frontier:
+            state.mark_seen(row)
+        to_fire = [row for row in fresh_frontier if not link.has_fired(row)]
+        for row in to_fire:
+            link.mark_fired(row)
 
         frontier_names = link.rule.frontier()
-        bindings = [dict(zip(frontier_names, row)) for row in fresh_frontier]
+        bindings = [dict(zip(frontier_names, row)) for row in to_fire]
         nulls_before = node.nulls.minted
         facts = apply_head(link.rule.mapping, bindings, node.nulls)
 
@@ -392,6 +310,7 @@ class UpdateEngine:
                 deltas[relation] = new_rows
                 inserted += len(new_rows)
 
+        state.longest_path = max(state.longest_path, path_len)
         link.longest_path = max(link.longest_path, path_len)
         if report is not None:
             report.rounds += 1
@@ -407,20 +326,26 @@ class UpdateEngine:
                 raise FixpointGuardError(node.config.fixpoint_guard)
 
         if deltas:
-            self._propagate_deltas(update_id, deltas, path_len)
+            self._propagate_deltas(deltas, path_len)
 
     def _propagate_deltas(
-        self, update_id: str, deltas: dict[str, list[Row]], path_len: int
+        self, deltas: dict[str, list[Row]], path_len: int
     ) -> None:
         """Semi-naive re-evaluation of dependent incoming links (§3:
         "incoming links, which are dependent on O, are computed by
-        substituting R by T'")."""
+        substituting R by T'").
+
+        Only links open *in this session* re-fire; another session's
+        open view of the same link propagates its own deltas itself
+        (its data flow inserted them), so nothing is lost and nothing
+        is sent twice under one update id.
+        """
         node = self.node
-        if self._quarantined(update_id):
+        if self._quarantined():
             return
         changed = set(deltas)
-        for link in node.links.incoming_dependent_on_relations(changed):
-            if link.state != OPEN:
+        for link, state in self.links.incoming_dependent_on_relations(changed):
+            if state.state != OPEN:
                 continue  # inactive: full eval at activation sees this data
             produced: dict[Row, None] = {}
             if node.config.semi_naive:
@@ -438,28 +363,32 @@ class UpdateEngine:
                 ):
                     produced[row] = None
             if node.config.sent_dedup:
-                fresh = [row for row in produced if row not in link.sent]
-                link.sent.update(fresh)
+                fresh = [row for row in produced if not state.has_seen(row)]
+                for row in fresh:
+                    state.mark_seen(row)
             else:
                 # Ablation E10: no sent-set — resend whatever came out.
                 fresh = list(produced)
-            self._send_results(
-                update_id, link, fresh, path_len=path_len + 1, always=False
-            )
+            self._send_results(link, fresh, path_len=path_len + 1, always=False)
 
     # ------------------------------------------------------------------
     # Closure (condition (a): the cascade)
     # ------------------------------------------------------------------
 
-    def _cascade_closures(self, update_id: str) -> None:
+    def close_outgoing_by_cascade(self, rule_id: str) -> None:
+        state = self.links.outgoing_state(rule_id)
+        if state.state != CLOSED:
+            self.links.close_outgoing(rule_id, "cascade")
+
+    def cascade_closures(self) -> None:
         node = self.node
+        update_id = self.update_id
         report = node.stats.report_for(update_id)
         progressed = True
         while progressed:
             progressed = False
-            for link in node.links.incoming_ready_to_close():
-                link.state = CLOSED
-                link.closed_by = "cascade"
+            for link, _state in self.links.incoming_ready_to_close():
+                self.links.close_incoming(link.rule_id, "cascade")
                 if report is not None:
                     report.links_closed_by_cascade += 1
                 pipe = node.pipes.pipe_to(link.remote)
@@ -476,20 +405,17 @@ class UpdateEngine:
                     report.messages_sent += 1
                     report.bytes_sent += message.size_bytes()
                 progressed = True
-        self._maybe_finish_locally(update_id)
+        self.maybe_finish_locally()
 
-    def _maybe_finish_locally(self, update_id: str) -> None:
+    def maybe_finish_locally(self) -> None:
         """Stamp the node-closure time the first moment every link is
         closed — "when all outgoing links of a node are in the state
         'closed', then the node is also in the state 'closed'" (§3)."""
         node = self.node
-        report = node.stats.report_for(update_id)
+        report = node.stats.report_for(self.update_id)
         if report is None or report.status == "closed":
             return
-        all_in_closed = all(
-            link.state == CLOSED for link in node.links.incoming.values()
-        )
-        if node.links.all_outgoing_closed() and all_in_closed:
+        if self.links.all_outgoing_closed() and self.links.all_incoming_closed():
             report.status = "closed"
             report.finished_at = node.endpoint.now()
 
@@ -497,35 +423,217 @@ class UpdateEngine:
     # Completion (condition (b): global quiescence)
     # ------------------------------------------------------------------
 
-    def _finalize(self, update_id: str, forwarded_from: str | None) -> None:
+    def force_close_remaining(self) -> None:
+        """Completion flood arrived: close whatever is still open."""
+        report = self.node.stats.report_for(self.update_id)
+        for link, state in self.links.outgoing_items():
+            if state.state == OPEN:
+                self.links.close_outgoing(link.rule_id, "quiescence")
+                if report is not None:
+                    report.links_closed_by_quiescence += 1
+            elif state.state == INACTIVE:
+                self.links.close_outgoing(link.rule_id, "")
+        for link, state in self.links.incoming_items():
+            if state.state == OPEN:
+                self.links.close_incoming(link.rule_id, "quiescence")
+                if report is not None:
+                    report.links_closed_by_quiescence += 1
+            elif state.state == INACTIVE:
+                self.links.close_incoming(link.rule_id, "")
+        if report is not None and report.status != "closed":
+            report.status = "closed"
+            report.finished_at = self.node.endpoint.now()
+
+    # ------------------------------------------------------------------
+    # Dynamic networks (§1: nodes may disappear mid-computation)
+    # ------------------------------------------------------------------
+
+    def on_peer_unreachable(self, dead_peer: str) -> None:
+        """Close this session's links toward a peer that left.
+
+        Outgoing links toward it will never deliver results or closure
+        notifications; incoming links toward it have nobody left to
+        serve.  Both close with ``closed_by="failure"`` so the closure
+        cascade — and therefore this update — still terminates.
+        """
+        node = self.node
+        update_id = self.update_id
+        report = node.stats.report_for(update_id)
+        changed = False
+        for link, state in self.links.outgoing_items():
+            if link.remote == dead_peer and state.state != CLOSED:
+                self.links.close_outgoing(link.rule_id, "failure")
+                changed = True
+        for link, state in self.links.incoming_items():
+            if link.remote == dead_peer and state.state != CLOSED:
+                self.links.close_incoming(link.rule_id, "failure")
+                changed = True
+        if changed and report is not None:
+            report.links_closed_by_failure += 1
+        if changed:
+            self.cascade_closures()
+        # If the failure cut us off from the origin, its completion
+        # flood may never reach us.  Once every local link is closed
+        # and we are disengaged from the computation, the update is
+        # over *for this node* (the paper's node-closure condition),
+        # so finalize locally and let our own completion flood cover
+        # whatever part of the network is still reachable through us.
+        if (
+            report is not None
+            and report.status == "closed"
+            and not node.termination.is_engaged(update_id)
+        ):
+            node.updates.finalize(update_id, forwarded_from=None)
+
+
+class UpdateManager:
+    """The session registry: one :class:`UpdateEngine` per active update.
+
+    Owns message dispatch for :data:`UPDATE_KINDS`, session creation on
+    first contact, the completed-update dedup set (stale flood tails
+    after completion are acked and dropped), and garbage collection of
+    finished sessions.
+    """
+
+    def __init__(self, node: "CoDBNode") -> None:
+        self.node = node
+        self.sessions: dict[str, UpdateEngine] = {}
+        self.completed_updates: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def is_done(self, update_id: str) -> bool:
+        return update_id in self.completed_updates
+
+    def active_ids(self) -> list[str]:
+        return list(self.sessions)
+
+    def session(self, update_id: str) -> UpdateEngine | None:
+        return self.sessions.get(update_id)
+
+    # ------------------------------------------------------------------
+    # Initiation
+    # ------------------------------------------------------------------
+
+    def initiate(self) -> str:
+        """Start a global update at this node; returns the update id.
+
+        "A global update is started when some (dedicated) node sends to
+        all its acquaintances global update requests" (§2); the unique
+        identifier is generated here, at the origin.  Any number of
+        updates (from this or other origins) may already be running.
+        """
+        node = self.node
+        update_id = node.endpoint.ids.update_id()
+        node.termination.start_root(update_id)
+        session = self._begin_session(update_id, origin=node.name)
+        for remote in node.pipes.remotes():
+            session.send_request(remote, path=[node.name])
+        node.termination.check_quiescence(update_id)
+        return update_id
+
+    def _begin_session(self, update_id: str, origin: str) -> UpdateEngine:
+        node = self.node
+        session = UpdateEngine(node, update_id, origin)
+        self.sessions[update_id] = session
+        session.links.open_all_outgoing()
+        node.wrapper.on_update_started()
+        node.stats.open_report(update_id, origin, node.endpoint.now())
+        return session
+
+    # ------------------------------------------------------------------
+    # Handlers (wired by the node)
+    # ------------------------------------------------------------------
+
+    def on_update_request(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        if update_id in self.completed_updates:
+            # Stale flood tail after completion; nothing to do, but the
+            # sender still gets its ack so its deficit drains.
+            self.node.send_ack(message.sender, update_id)
+            return
+        node = self.node
+        tree = node.termination.on_engaging_message(update_id, message.sender)
+        session = self.sessions.get(update_id)
+        first_contact = session is None
+        if first_contact:
+            origin = message.payload["origin"]
+            path = list(message.payload.get("path", ()))
+            session = self._begin_session(update_id, origin=origin)
+            forward_path = path + [node.name]
+            targets = [
+                remote
+                for remote in node.pipes.remotes()
+                if remote != message.sender
+            ]
+            # The flood proper excludes the sender, but if we *import*
+            # from the sender we must still request from it: its
+            # incoming links toward us only activate on our explicit
+            # request (this is what makes mutual imports — cycles of
+            # length two — work).
+            if any(
+                link.remote == message.sender
+                for link in node.links.outgoing.values()
+            ):
+                targets.append(message.sender)
+            for remote in targets:
+                session.send_request(remote, path=forward_path)
+        session.activate_links_for(message.sender)
+        node.termination.after_processing(update_id, message.sender, tree)
+
+    def on_query_result(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        session = self.sessions.get(update_id)
+        if session is None:
+            # Completed here (or arrived after a failure-finalize):
+            # the data flowed under another still-open session or is
+            # already stored; ack so the sender's deficit drains.
+            self.node.send_ack(message.sender, update_id)
+            return
+        tree = self.node.termination.on_engaging_message(update_id, message.sender)
+        session.ingest_results(message)
+        self.node.termination.after_processing(update_id, message.sender, tree)
+
+    def on_link_closed(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
+        session = self.sessions.get(update_id)
+        if session is None:
+            self.node.send_ack(message.sender, update_id)
+            return
+        tree = self.node.termination.on_engaging_message(update_id, message.sender)
+        rule_id = message.payload["rule_id"]
+        if rule_id not in self.node.links.outgoing:
+            raise ProtocolError(
+                f"{self.node.name}: link_closed for unknown outgoing "
+                f"rule {rule_id!r}"
+            )
+        session.close_outgoing_by_cascade(rule_id)
+        session.cascade_closures()
+        session.maybe_finish_locally()
+        self.node.termination.after_processing(update_id, message.sender, tree)
+
+    def on_update_complete(self, message: Message) -> None:
+        self.finalize(message.payload["update_id"], forwarded_from=message.sender)
+
+    def root_complete(self, update_id: str) -> None:
+        """Termination detected at the origin (condition (b) globally)."""
+        self.finalize(update_id, forwarded_from=None)
+
+    # ------------------------------------------------------------------
+    # Completion & garbage collection
+    # ------------------------------------------------------------------
+
+    def finalize(self, update_id: str, forwarded_from: str | None) -> None:
         node = self.node
         if update_id in self.completed_updates:
             return
         self.completed_updates.add(update_id)
-        report = node.stats.report_for(update_id)
-        for link in list(node.links.outgoing.values()):
-            if link.state == OPEN:
-                link.state = CLOSED
-                link.closed_by = "quiescence"
-                if report is not None:
-                    report.links_closed_by_quiescence += 1
-            elif link.state == INACTIVE:
-                link.state = CLOSED
-        for link in list(node.links.incoming.values()):
-            if link.state == OPEN:
-                link.state = CLOSED
-                link.closed_by = "quiescence"
-                if report is not None:
-                    report.links_closed_by_quiescence += 1
-            elif link.state == INACTIVE:
-                link.state = CLOSED
-        if report is not None and report.status != "closed":
-            report.status = "closed"
-            report.finished_at = node.endpoint.now()
-        if self.active is not None and self.active.update_id == update_id:
-            self.active.done = True
-            self.active = None
-        node.wrapper.on_update_finished()
+        session = self.sessions.pop(update_id, None)  # GC the session
+        if session is not None:
+            session.force_close_remaining()
+            node.wrapper.on_update_finished()
         node.termination.forget(update_id)
         # Flood the completion (non-engaging; dedup via completed_updates).
         for remote in node.pipes.remotes():
@@ -537,53 +645,23 @@ class UpdateEngine:
                     continue  # departed peers need no completion notice
 
     # ------------------------------------------------------------------
-    # Dynamic networks (§1: nodes may disappear mid-computation)
+    # Dynamic networks
     # ------------------------------------------------------------------
 
     def on_peer_unreachable(self, update_id: str, dead_peer: str) -> None:
-        """Close every link toward a peer that left the network.
+        session = self.sessions.get(update_id)
+        if session is not None:
+            session.on_peer_unreachable(dead_peer)
 
-        Called when a protocol message to *dead_peer* bounced (or its
-        send failed outright).  Outgoing links toward it will never
-        deliver results or closure notifications; incoming links toward
-        it have nobody left to serve.  Both close with
-        ``closed_by="failure"`` so the closure cascade — and therefore
-        the whole update — still terminates.
-        """
-        node = self.node
-        if self.active is None or self.active.update_id != update_id:
-            return
-        report = node.stats.report_for(update_id)
-        changed = False
-        for link in node.links.outgoing.values():
-            if link.remote == dead_peer and link.state != CLOSED:
-                link.state = CLOSED
-                link.closed_by = "failure"
-                changed = True
-        for link in node.links.incoming.values():
-            if link.remote == dead_peer and link.state != CLOSED:
-                link.state = CLOSED
-                link.closed_by = "failure"
-                changed = True
-        if changed and report is not None:
-            report.links_closed_by_failure += 1
-        if changed:
-            self._cascade_closures(update_id)
-        # If the failure cut us off from the origin, its completion
-        # flood may never reach us.  Once every local link is closed
-        # and we are disengaged from the computation, the update is
-        # over *for this node* (the paper's node-closure condition),
-        # so finalize locally and let our own completion flood cover
-        # whatever part of the network is still reachable through us.
-        if (
-            report is not None
-            and report.status == "closed"
-            and not node.termination.is_engaged(update_id)
-            and update_id not in self.completed_updates
-        ):
-            self._finalize(update_id, forwarded_from=None)
+    def on_peer_down(self, dead_peer: str) -> None:
+        """Failure-detector notification: close links toward *dead_peer*
+        in every active session (each may finalize itself)."""
+        for update_id in list(self.sessions):
+            self.on_peer_unreachable(update_id, dead_peer)
 
-    # ------------------------------------------------------------------
-
-    def is_done(self, update_id: str) -> bool:
-        return update_id in self.completed_updates
+    def on_rules_changed(self) -> None:
+        """Runtime rewire (§4): rebind every live session to the new
+        link table.  Surviving rules keep their session state; new
+        rules start INACTIVE in every session."""
+        for session in self.sessions.values():
+            session.links.rebind(self.node.links)

@@ -29,7 +29,7 @@ from queue import Empty, Queue
 
 from repro.errors import TransportStoppedError, UnknownPeerError
 from repro.p2p.messages import Message
-from repro.p2p.transport import MessageHandler, Transport
+from repro.p2p.transport import MessageHandler, ThreadSafeTransportStats, Transport
 
 _LENGTH = struct.Struct(">I")
 
@@ -129,6 +129,9 @@ class TcpNetwork(Transport):
 
     def __init__(self) -> None:
         super().__init__()
+        # The driver thread and every delivery thread send concurrently:
+        # the traffic counters need the guarded variant.
+        self.stats = ThreadSafeTransportStats()
         self._servers: dict[str, _PeerServer] = {}
         self._connections: dict[tuple[str, str], socket.socket] = {}
         self._connections_lock = threading.Lock()

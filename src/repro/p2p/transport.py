@@ -19,6 +19,7 @@ Two implementations ship: the deterministic simulated network
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
@@ -29,7 +30,14 @@ MessageHandler = Callable[[Message], None]
 
 @dataclass
 class TransportStats:
-    """Global traffic counters, shared by both transports."""
+    """Global traffic counters, shared by both transports.
+
+    This base class is **not** thread-safe — the single-threaded
+    simulator uses it as-is, lock-free.  Multi-threaded transports
+    (TCP: the driver thread and every per-peer delivery thread all
+    send) must use :class:`ThreadSafeTransportStats`, which guards the
+    read-modify-write counters.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
@@ -43,6 +51,24 @@ class TransportStats:
 
     def record_delivery(self) -> None:
         self.messages_delivered += 1
+
+
+class ThreadSafeTransportStats(TransportStats):
+    """Lock-guarded counters for transports whose ``send`` runs on
+    several threads concurrently (each ``+=`` and the ``by_kind``
+    read-modify-write is a data race without it)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def record_send(self, message: Message) -> None:
+        with self._lock:
+            super().record_send(message)
+
+    def record_delivery(self) -> None:
+        with self._lock:
+            super().record_delivery()
 
 
 class Transport:

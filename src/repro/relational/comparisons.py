@@ -1,8 +1,26 @@
 """Evaluation of comparison predicates, with marked-null semantics.
 
 Comparisons in rule bodies "specify constraints over the domain of
-particular attributes" (§2).  Constants compare naturally; marked nulls
-need care:
+particular attributes" (§2).  Two distinct relations are at work, on
+purpose:
+
+* ``=`` / ``!=`` test **value identity** — the type-strict relation of
+  :func:`repro.relational.values.same_value`, the same identity that
+  governs joins, storage dedup and the injective cell encoding.
+  ``3 = 3.0`` is false: an int and a float are different values.
+* ``<`` / ``<=`` / ``>`` / ``>=`` are **numeric/lexicographic domain
+  constraints**: ints and floats order together on the number line
+  (``x >= 100`` must admit ``100.5`` regardless of the literal's
+  type), strings order among themselves, bools among themselves.
+
+The seam between the two shows only at cross-type numeric *ties*:
+``3 <= 3.0`` and ``3 >= 3.0`` both hold (numerically) while ``3 =
+3.0`` does not (distinct values).  That asymmetry is specified, pinned
+by tests, and preferable to either alternative — identity-based order
+would silently empty ``price >= 100`` over float columns, and numeric
+equality would contradict join/storage identity.
+
+Constants compare per the above; marked nulls need care:
 
 * ``null = null`` holds iff the labels coincide (the same unknown
   value), and ``null = constant`` never holds — a null is *some*
@@ -27,7 +45,7 @@ from collections.abc import Mapping
 
 from repro.errors import QueryError
 from repro.relational.conjunctive import Comparison, Term, Variable
-from repro.relational.values import MarkedNull, Value
+from repro.relational.values import MarkedNull, Value, same_value
 
 
 def _resolve(term: Term, binding: Mapping[str, Value]) -> Value:
@@ -42,7 +60,12 @@ def _resolve(term: Term, binding: Mapping[str, Value]) -> Value:
 
 
 def _comparable(left: Value, right: Value) -> bool:
-    """Whether ``<``-style operators are meaningful for these constants."""
+    """Whether ``<``-style operators are meaningful for these constants.
+
+    Order is a *domain* relation (module docstring): mixed int/float
+    pairs order numerically even though they are never identical under
+    ``=``.  Bools and strings order only among themselves.
+    """
     if isinstance(left, bool) or isinstance(right, bool):
         return isinstance(left, bool) and isinstance(right, bool)
     if isinstance(left, (int, float)) and isinstance(right, (int, float)):
@@ -97,16 +120,17 @@ def compare_values(op: str, left: Value, right: Value) -> bool:
 
 
 def _constants_equal(left: Value, right: Value) -> bool:
-    """Equality for constants is Python equality.
+    """Equality for constants is coDB value identity: type-strict.
 
     One identity relation is used everywhere — storage dedup, index
-    probes, frontier sets and comparison predicates — and Python's
-    ``dict`` fixes it to ``==``.  Consequence: ``3 = 3.0`` and
-    ``1 = true`` hold (Python unifies numeric types and bools).  Typed
-    schema columns keep bools out of int columns, so the unification
-    only surfaces in untyped columns.
+    probes, frontier sets and comparison predicates — and it is
+    :func:`repro.relational.values.same_value`: equal iff same concrete
+    type and ``==``.  Consequence: ``3 = 3.0`` and ``1 = true`` do
+    *not* hold, matching the injective type-tagged cell encoding of the
+    SQLite backend, so untyped columns behave identically on every
+    backend.
     """
-    return left == right
+    return same_value(left, right)
 
 
 def comparisons_ready(

@@ -32,7 +32,7 @@ from repro.relational.database import Database
 from repro.relational.evaluation import evaluate_body, project_head_row
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.storage import Relation
-from repro.relational.values import MarkedNull, Row, Value
+from repro.relational.values import MarkedNull, Row, Value, same_value
 
 
 def find_homomorphism(
@@ -77,10 +77,10 @@ def find_homomorphism(
                     if bound is _UNSET:
                         assignment[term.name] = value
                         added.append(term.name)
-                    elif bound != value:
+                    elif not same_value(bound, value):
                         ok = False
                         break
-                elif term != value:
+                elif not same_value(term, value):
                     ok = False
                     break
             if ok and extend(index + 1):
@@ -192,12 +192,21 @@ def tuple_subsumed(candidate: Row, relation: Relation) -> bool:
             bound = mapping.get(null, _UNSET)
             if bound is _UNSET:
                 mapping[null] = stored[i]
-            elif bound != stored[i]:
+            elif not same_value(bound, stored[i]):
                 ok = False
                 break
         if ok:
             return True
     return False
+
+
+def _null_blind_shape(row: Row) -> tuple:
+    """Row fingerprint treating every null alike (constants typed)."""
+    from repro.relational.values import value_key
+
+    return tuple(
+        ("∅",) if isinstance(v, MarkedNull) else (0, value_key(v)) for v in row
+    )
 
 
 def rows_equal_up_to_nulls(
@@ -206,32 +215,63 @@ def rows_equal_up_to_nulls(
     """Whether two row sets are isomorphic up to a renaming of nulls.
 
     Used when comparing a distributed run against the centralised
-    ground truth: both compute the same certain facts, but mint
+    ground truth (and a concurrent multi-update run against its
+    sequential twin): both compute the same certain facts, but mint
     different null labels.  We search for a *bijection* between the
     null sets that maps one row set onto the other.
+
+    Scales to large instances: null-free rows are compared as plain
+    multisets up front, and the bijection search runs only over the
+    null-carrying remainder, candidate-bucketed by null-blind shape,
+    with an explicit stack (no recursion-depth ceiling).
     """
+    from collections import Counter
+
+    from repro.relational.values import row_key
+
     left_rows = list(left)
     right_rows = list(right)
     if len(left_rows) != len(right_rows):
         return False
 
+    def has_null(row: Row) -> bool:
+        return any(isinstance(v, MarkedNull) for v in row)
+
+    left_nulls = [row for row in left_rows if has_null(row)]
+    right_nulls = [row for row in right_rows if has_null(row)]
+    if len(left_nulls) != len(right_nulls):
+        return False
+    left_ground = Counter(row_key(row) for row in left_rows if not has_null(row))
+    right_ground = Counter(row_key(row) for row in right_rows if not has_null(row))
+    if left_ground != right_ground:
+        return False
+    if not left_nulls:
+        return True
+
+    # Candidates for each left row: right rows of the same null-blind
+    # shape (anything else cannot match under any renaming).
+    buckets: dict[tuple, list[int]] = {}
+    for j, row in enumerate(right_nulls):
+        buckets.setdefault(_null_blind_shape(row), []).append(j)
+    candidates: list[list[int]] = []
+    for row in left_nulls:
+        bucket = buckets.get(_null_blind_shape(row))
+        if not bucket:
+            return False
+        candidates.append(bucket)
+
     mapping: dict[MarkedNull, MarkedNull] = {}
     inverse: dict[MarkedNull, MarkedNull] = {}
+    used = [False] * len(right_nulls)
 
     def row_maps(row: Row, target: Row) -> list[tuple[MarkedNull, MarkedNull]] | None:
         additions: list[tuple[MarkedNull, MarkedNull]] = []
         staged: dict[MarkedNull, MarkedNull] = {}
         staged_inv: dict[MarkedNull, MarkedNull] = {}
         for a, b in zip(row, target):
-            a_null = isinstance(a, MarkedNull)
-            b_null = isinstance(b, MarkedNull)
-            if a_null != b_null:
-                return None
-            if not a_null:
-                if a != b:
-                    return None
-                continue
-            assert isinstance(a, MarkedNull) and isinstance(b, MarkedNull)
+            if not isinstance(a, MarkedNull):
+                continue  # shape pre-check matched the constants already
+            assert isinstance(b, MarkedNull)
             current = mapping.get(a, staged.get(a))
             if current is not None:
                 if current != b:
@@ -245,28 +285,42 @@ def rows_equal_up_to_nulls(
                 additions.append((a, b))
         return additions
 
-    used = [False] * len(right_rows)
-
-    def backtrack(index: int) -> bool:
-        if index == len(left_rows):
+    # Iterative depth-first search: one frame per left row, an explicit
+    # stack instead of recursion so row counts beyond the interpreter's
+    # recursion limit stay comparable.
+    frames: list[tuple[int, int, list[tuple[MarkedNull, MarkedNull]]]] = []
+    index = 0
+    next_candidate = 0
+    while True:
+        if index == len(left_nulls):
             return True
-        row = left_rows[index]
-        for j, target in enumerate(right_rows):
-            if used[j] or len(target) != len(row):
+        row = left_nulls[index]
+        advanced = False
+        bucket = candidates[index]
+        while next_candidate < len(bucket):
+            j = bucket[next_candidate]
+            next_candidate += 1
+            if used[j]:
                 continue
-            additions = row_maps(row, target)
+            additions = row_maps(row, right_nulls[j])
             if additions is None:
                 continue
             used[j] = True
             for a, b in additions:
                 mapping[a] = b
                 inverse[b] = a
-            if backtrack(index + 1):
-                return True
-            used[j] = False
-            for a, b in additions:
-                del mapping[a]
-                del inverse[b]
-        return False
-
-    return backtrack(0)
+            frames.append((j, next_candidate, additions))
+            index += 1
+            next_candidate = 0
+            advanced = True
+            break
+        if advanced:
+            continue
+        if not frames:
+            return False
+        j, next_candidate, additions = frames.pop()
+        used[j] = False
+        for a, b in additions:
+            del mapping[a]
+            del inverse[b]
+        index -= 1

@@ -36,7 +36,7 @@ from repro.relational.conjunctive import (
 from repro.relational.database import Database
 from repro.relational.nulls import NullFactory
 from repro.relational.storage import Relation
-from repro.relational.values import Row, Value
+from repro.relational.values import Row, Value, row_key, same_value, value_key
 
 Binding = dict[str, Value]
 
@@ -74,9 +74,9 @@ def _match_row(atom: Atom, row: Row, binding: Binding) -> Binding | None:
             existing = binding.get(term.name, extension.get(term.name, _UNSET))
             if existing is _UNSET:
                 extension[term.name] = value
-            elif existing != value:
+            elif not same_value(existing, value):
                 return None
-        elif term != value:
+        elif not same_value(term, value):
             return None
     return extension
 
@@ -227,10 +227,11 @@ def evaluate_query(
     database: Database, query: ConjunctiveQuery
 ) -> list[Row]:
     """All distinct answers to *query* over *database*, in first-seen order."""
-    seen: dict[Row, None] = {}
+    seen: dict[tuple, Row] = {}
     for binding in evaluate_body(database, query.body, query.comparisons):
-        seen[project_head_row(query.head, binding)] = None
-    return list(seen)
+        answer = project_head_row(query.head, binding)
+        seen.setdefault(row_key(answer), answer)
+    return list(seen.values())
 
 
 def evaluate_query_delta(
@@ -251,7 +252,7 @@ def evaluate_query_delta(
     """
     if not delta_rows:
         return []
-    seen: dict[Row, None] = {}
+    seen: dict[tuple, Row] = {}
     occurrences = [
         i for i, atom in enumerate(query.body) if atom.relation == changed_relation
     ]
@@ -263,8 +264,9 @@ def evaluate_query_delta(
             delta_atom=occurrence,
             delta_rows=delta_rows,
         ):
-            seen[project_head_row(query.head, binding)] = None
-    return list(seen)
+            answer = project_head_row(query.head, binding)
+            seen.setdefault(row_key(answer), answer)
+    return list(seen.values())
 
 
 def evaluate_mapping_bindings(
@@ -303,7 +305,7 @@ def evaluate_mapping_bindings(
         ]
     for iterator in iterators:
         for binding in iterator:
-            key = tuple(binding[name] for name in frontier)
+            key = tuple(value_key(binding[name]) for name in frontier)
             if key not in seen:
                 seen[key] = {name: binding[name] for name in frontier}
     return list(seen.values())

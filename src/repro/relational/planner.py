@@ -102,7 +102,7 @@ from repro.relational.conjunctive import (
     Term,
     Variable,
 )
-from repro.relational.values import Row, Value
+from repro.relational.values import Row, Value, row_key, same_value
 
 Binding = dict[str, Value]
 
@@ -296,14 +296,17 @@ class JoinPlan:
             var_checks = step.var_checks
             comparison_indices = step.comparison_indices
             for row in rows:
-                if const_checks and any(row[p] != v for p, v in const_checks):
+                if const_checks and any(
+                    not same_value(row[p], v) for p, v in const_checks
+                ):
                     continue
                 if var_checks and any(
-                    row[p] != binding[name] for p, name in var_checks
+                    not same_value(row[p], binding[name]) for p, name in var_checks
                 ):
                     continue
                 if same_row_checks and any(
-                    row[p] != row[first] for p, first in same_row_checks
+                    not same_value(row[p], row[first])
+                    for p, first in same_row_checks
                 ):
                     continue
                 for position, name in bind_slots:
@@ -676,7 +679,10 @@ def evaluate_query_planned(
     """
     base = rule_key if rule_key is not None else query
     plan = cache.plan(view, (base, None, None), query.body, query.comparisons, query.head.terms)
-    return list(dict.fromkeys(_plan_rows(plan, view, executor)))
+    seen: dict[tuple, Row] = {}
+    for row in _plan_rows(plan, view, executor):
+        seen.setdefault(row_key(row), row)
+    return list(seen.values())
 
 
 def evaluate_query_delta_planned(
@@ -699,7 +705,7 @@ def evaluate_query_delta_planned(
     if not delta_rows:
         return []
     base = rule_key if rule_key is not None else query
-    seen: dict[Row, None] = {}
+    seen: dict[tuple, Row] = {}
     for occurrence, atom in enumerate(query.body):
         if atom.relation != changed_relation:
             continue
@@ -712,8 +718,8 @@ def evaluate_query_delta_planned(
             delta_atom=occurrence,
         )
         for row in _plan_rows(plan, view, executor, delta_rows):
-            seen[row] = None
-    return list(seen)
+            seen.setdefault(row_key(row), row)
+    return list(seen.values())
 
 
 def evaluate_mapping_bindings_planned(
@@ -765,6 +771,7 @@ def evaluate_mapping_bindings_planned(
         ]
     for plan, rows in plans:
         for projected in _plan_rows(plan, view, executor, rows):
-            if projected not in seen:
-                seen[projected] = dict(zip(frontier, projected))
+            key = row_key(projected)
+            if key not in seen:
+                seen[key] = dict(zip(frontier, projected))
     return list(seen.values())

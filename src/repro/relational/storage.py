@@ -30,7 +30,7 @@ from itertools import islice
 
 from repro.errors import SchemaError
 from repro.relational.schema import RelationSchema
-from repro.relational.values import Row, Value, row_sort_key
+from repro.relational.values import Row, Value, row_key, row_sort_key, same_value, value_key
 
 #: Rows inspected (in insertion order) by the index-free NDV estimator.
 NDV_SAMPLE_LIMIT = 256
@@ -57,13 +57,18 @@ class Relation:
 
     def __init__(self, schema: RelationSchema) -> None:
         self.schema = schema
-        self._rows: dict[Row, None] = {}
-        # column position -> value -> ordered set of rows
-        self._indexes: dict[int, dict[Value, dict[Row, None]]] = {}
-        # (position, ...) -> (value, ...) -> ordered set of rows.
+        # All dictionaries here are keyed by the *typed* identity of
+        # repro.relational.values (value_key / row_key): Python's own
+        # dict identity unifies 3 with 3.0 and True with 1, which must
+        # not join (they are distinct cells on the SQLite backend).
+        # row key -> row, in insertion order.
+        self._rows: dict[tuple, Row] = {}
+        # column position -> value key -> ordered set of rows (by row key)
+        self._indexes: dict[int, dict[object, dict[tuple, Row]]] = {}
+        # (position, ...) -> (value key, ...) -> ordered set of rows.
         # LRU over position sets: dict order is recency (probes re-append),
         # bounded by composite_index_budget — see _multi_index_for.
-        self._multi_indexes: dict[tuple[int, ...], dict[tuple, dict[Row, None]]] = {}
+        self._multi_indexes: dict[tuple[int, ...], dict[tuple, dict[tuple, Row]]] = {}
         self.composite_index_budget = COMPOSITE_INDEX_BUDGET
         # Monotone mutation counter; invalidates the sampled-NDV cache.
         self._version = 0
@@ -78,52 +83,54 @@ class Relation:
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self._rows.values())
 
     def __contains__(self, row: Sequence[Value]) -> bool:
-        return tuple(row) in self._rows
+        return row_key(tuple(row)) in self._rows
 
     def rows(self) -> list[Row]:
         """All rows, in insertion order."""
-        return list(self._rows)
+        return list(self._rows.values())
 
     def sorted_rows(self) -> list[Row]:
         """All rows in a canonical total order (for reports and tests)."""
-        return sorted(self._rows, key=row_sort_key)
+        return sorted(self._rows.values(), key=row_sort_key)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
-    def _index_row(self, row: Row) -> None:
+    def _index_row(self, key: tuple, row: Row) -> None:
         for position, index in self._indexes.items():
-            index.setdefault(row[position], {})[row] = None
+            index.setdefault(value_key(row[position]), {})[key] = row
         for positions, index in self._multi_indexes.items():
-            key = tuple(row[p] for p in positions)
-            index.setdefault(key, {})[row] = None
+            bucket_key = tuple(value_key(row[p]) for p in positions)
+            index.setdefault(bucket_key, {})[key] = row
 
-    def _unindex_row(self, row: Row) -> None:
+    def _unindex_row(self, key: tuple, row: Row) -> None:
         for position, index in self._indexes.items():
-            bucket = index.get(row[position])
+            column_key = value_key(row[position])
+            bucket = index.get(column_key)
             if bucket is not None:
-                bucket.pop(row, None)
+                bucket.pop(key, None)
                 if not bucket:
-                    del index[row[position]]
+                    del index[column_key]
         for positions, index in self._multi_indexes.items():
-            key = tuple(row[p] for p in positions)
-            bucket = index.get(key)
+            bucket_key = tuple(value_key(row[p]) for p in positions)
+            bucket = index.get(bucket_key)
             if bucket is not None:
-                bucket.pop(row, None)
+                bucket.pop(key, None)
                 if not bucket:
-                    del index[key]
+                    del index[bucket_key]
 
     def insert(self, row: Sequence[Value]) -> bool:
         """Insert one row; return ``True`` iff it was not present."""
         validated = self.schema.validate_row(tuple(row))
-        if validated in self._rows:
+        key = row_key(validated)
+        if key in self._rows:
             return False
-        self._rows[validated] = None
-        self._index_row(validated)
+        self._rows[key] = validated
+        self._index_row(key, validated)
         self._version += 1
         return True
 
@@ -136,27 +143,28 @@ class Relation:
         batch's own duplicates, so a batch of *n* rows costs O(n), not
         O(n²).
         """
-        fresh: list[Row] = []
-        fresh_seen: set[Row] = set()
+        fresh: list[tuple[tuple, Row]] = []
+        fresh_seen: set[tuple] = set()
         for row in rows:
             validated = self.schema.validate_row(tuple(row))
-            if validated not in self._rows and validated not in fresh_seen:
-                fresh.append(validated)
-                fresh_seen.add(validated)
-        for row in fresh:
-            self._rows[row] = None
-            self._index_row(row)
+            key = row_key(validated)
+            if key not in self._rows and key not in fresh_seen:
+                fresh.append((key, validated))
+                fresh_seen.add(key)
+        for key, row in fresh:
+            self._rows[key] = row
+            self._index_row(key, row)
         if fresh:
             self._version += 1
-        return fresh
+        return [row for _, row in fresh]
 
     def delete(self, row: Sequence[Value]) -> bool:
         """Delete one row; return ``True`` iff it was present."""
-        key = tuple(row)
-        if key not in self._rows:
+        key = row_key(tuple(row))
+        present = self._rows.pop(key, None)
+        if present is None:
             return False
-        del self._rows[key]
-        self._unindex_row(key)
+        self._unindex_row(key, present)
         self._version += 1
         return True
 
@@ -177,20 +185,20 @@ class Relation:
                 f"relation {self.schema.name!r} has no column {position}"
             )
 
-    def _index_for(self, position: int) -> dict[Value, dict[Row, None]]:
+    def _index_for(self, position: int) -> dict[object, dict[tuple, Row]]:
         """The hash index on *position*, building it on first use."""
         self._check_position(position)
         index = self._indexes.get(position)
         if index is None:
             index = {}
-            for row in self._rows:
-                index.setdefault(row[position], {})[row] = None
+            for key, row in self._rows.items():
+                index.setdefault(value_key(row[position]), {})[key] = row
             self._indexes[position] = index
         return index
 
     def _multi_index_for(
         self, positions: tuple[int, ...]
-    ) -> dict[tuple, dict[Row, None]]:
+    ) -> dict[tuple, dict[tuple, Row]]:
         """The composite hash index on *positions*, built on first use.
 
         The cache of composite indexes is an LRU bounded by
@@ -208,9 +216,9 @@ class Relation:
             for position in positions:
                 self._check_position(position)
             index = {}
-            for row in self._rows:
-                key = tuple(row[p] for p in positions)
-                index.setdefault(key, {})[row] = None
+            for key, row in self._rows.items():
+                bucket_key = tuple(value_key(row[p]) for p in positions)
+                index.setdefault(bucket_key, {})[key] = row
         if budget <= 0:
             # Build-and-discard — and drop anything cached under an
             # earlier, larger budget, so a zero budget really is a flat
@@ -230,21 +238,21 @@ class Relation:
         checked per row.
         """
         if not bindings:
-            yield from self._rows
+            yield from self._rows.values()
             return
         # Probe the index whose bucket is smallest.
         best_position = None
-        best_bucket: dict[Row, None] | None = None
+        best_bucket: dict[tuple, Row] | None = None
         for position, value in bindings.items():
-            bucket = self._index_for(position).get(value)
+            bucket = self._index_for(position).get(value_key(value))
             if bucket is None:
                 return  # some bound value has no matches at all
             if best_bucket is None or len(bucket) < len(best_bucket):
                 best_position, best_bucket = position, bucket
         assert best_bucket is not None
         rest = [(p, v) for p, v in bindings.items() if p != best_position]
-        for row in best_bucket:
-            if all(row[p] == v for p, v in rest):
+        for row in best_bucket.values():
+            if all(same_value(row[p], v) for p, v in rest):
                 yield row
 
     def probe(
@@ -259,11 +267,15 @@ class Relation:
         enough for the composite to pay for itself).
         """
         if not positions:
-            return self._rows
+            return self._rows.values()
         if len(positions) == 1:
-            return self._index_for(positions[0]).get(values[0], ())
+            bucket = self._index_for(positions[0]).get(value_key(values[0]))
+            return bucket.values() if bucket is not None else ()
         if len(self._rows) >= COMPOSITE_INDEX_THRESHOLD or positions in self._multi_indexes:
-            return self._multi_index_for(positions).get(values, ())
+            bucket = self._multi_index_for(positions).get(
+                tuple(value_key(v) for v in values)
+            )
+            return bucket.values() if bucket is not None else ()
         return self.lookup(dict(zip(positions, values)))
 
     def count(self, bindings: dict[int, Value] | None = None) -> int:
@@ -305,14 +317,14 @@ class Relation:
                 stride += 1
             sampled: set = set()
             picked = 0
-            for row in islice(self._rows, 0, None, stride):
+            for row in islice(self._rows.values(), 0, None, stride):
                 picked += 1
-                sampled.add(row[position])
+                sampled.add(value_key(row[position]))
             distinct = len(sampled)
             if distinct == picked:
                 distinct = total  # key-like: every sampled value distinct
         else:
-            distinct = len({row[position] for row in self._rows})
+            distinct = len({value_key(row[position]) for row in self._rows.values()})
         self._ndv_cache[position] = (self._version, distinct)
         return distinct
 

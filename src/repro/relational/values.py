@@ -84,6 +84,52 @@ def is_null(value: object) -> bool:
     return isinstance(value, MarkedNull)
 
 
+def same_value(left: object, right: object) -> bool:
+    """coDB value identity: type-strict equality.
+
+    Python unifies numeric types (``3 == 3.0``, ``True == 1``); the
+    type-tagged cell encoding of the SQLite backend is injective across
+    types, so those pairs do *not* coincide there.  One identity
+    relation must hold on every backend, and the injective one is it:
+    two values are the same iff they have the same concrete type and
+    compare equal.  (``-0.0`` and ``0.0`` are both floats and equal, so
+    they remain one value, matching the encoder's normalisation.)
+    """
+    if left is right:
+        return True
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+#: Tag prefix for :func:`value_key` wrappers.  ``\x00`` cannot appear in
+#: a parsed constant, so the wrapped tuples never collide with strings.
+_BOOL_TAG = "\x00b"
+_FLOAT_TAG = "\x00f"
+
+
+def value_key(value: Value) -> object:
+    """A hashable key realising :func:`same_value` under ``dict``/``set``.
+
+    ``dict`` fixes identity to ``==``/``hash``, which unifies numeric
+    types; wrapping the two colliding types (bools collide with ints,
+    floats with ints) restores the type-strict identity.  Ints, strings
+    and marked nulls key as themselves (no cross-type ``==`` between
+    them), so the common cases stay allocation-free.
+    """
+    kind = type(value)
+    if kind is bool:
+        return (_BOOL_TAG, value)
+    if kind is float:
+        return (_FLOAT_TAG, value + 0.0)  # collapse -0.0 into 0.0
+    return value
+
+
+def row_key(row: Row) -> tuple:
+    """Componentwise :func:`value_key` — row identity for dicts/sets."""
+    return tuple(value_key(v) for v in row)
+
+
 def is_constant(value: object) -> bool:
     """Return ``True`` when *value* is an admissible constant."""
     return isinstance(value, CONSTANT_TYPES) and not isinstance(value, MarkedNull)

@@ -65,17 +65,17 @@ Either way the answers must be identical — the differential harness in
 ``tests/relational/test_pushdown.py`` holds all executors to the
 interpreter's semantics.
 
-One documented divergence (also listed in ROADMAP): join equality in
-the pushed-down SQL compares encoded cells, which are injective across
-*types*, while the Python executors use Python ``==``.  Values that
-are cross-type-equal in Python (``3 == 3.0``, ``True == 1``) therefore
-join in memory but not under pushdown.  Typed schema columns (every
-shipped workload uses them) rule the cross-type case out; the per-atom
-*probe* path of this store has always had the same property.  Within
-floats, ``-0.0`` is normalised to ``0.0`` at encode time so the cells
-of Python-equal zeros coincide; ``NaN`` (never equal to itself in
-Python, equal to its own cell in SQL) is outside the supported value
-domain of joins on any backend.
+Value identity is the same on every backend: the type-strict relation
+of :func:`repro.relational.values.same_value`, which matches the
+injective type-tagged cell encoding used here.  Cross-type pairs that
+Python ``==`` unifies (``3 == 3.0``, ``True == 1``) are *distinct*
+values everywhere — they neither join nor dedup against each other, in
+memory or under pushdown (``tests/relational/test_pushdown.py::
+TestCrossTypeIdentity`` pins this).  Within floats, ``-0.0`` is
+normalised to ``0.0`` at encode time so the cells of Python-equal
+zeros coincide; ``NaN`` (never equal to itself in Python, equal to its
+own cell in SQL) is outside the supported value domain of joins on any
+backend.
 """
 
 from __future__ import annotations
@@ -165,7 +165,12 @@ class Wrapper:
     # -- update life-cycle hooks (mediators care) ------------------------
 
     def on_update_started(self) -> None:
-        """Called when the node joins a global update."""
+        """Called when the node joins a global update.
+
+        Any number of updates may be active concurrently (the node
+        layer runs one session per update id); implementations that
+        react to these hooks must refcount, not toggle.
+        """
 
     def on_update_finished(self) -> None:
         """Called when the node closes for a global update."""
@@ -313,6 +318,11 @@ class MediatorStore(MemoryStore):
     holds pass-through data during an update so dependent links can be
     evaluated; the buffer is dropped when the update finishes unless
     ``retain`` is set.
+
+    Concurrent sessions share the buffer: it is cleared when the
+    *first* active update begins and when the *last* one finishes (a
+    refcount, because clearing on any single session boundary would
+    yank pass-through data from under the other live sessions).
     """
 
     persistent = False
@@ -320,13 +330,16 @@ class MediatorStore(MemoryStore):
     def __init__(self, schema: DatabaseSchema, *, retain: bool = False) -> None:
         super().__init__(schema)
         self.retain = retain
+        self._active_updates = 0
 
     def on_update_started(self) -> None:
-        if not self.retain:
+        self._active_updates += 1
+        if not self.retain and self._active_updates == 1:
             self.database.clear()
 
     def on_update_finished(self) -> None:
-        if not self.retain:
+        self._active_updates = max(0, self._active_updates - 1)
+        if not self.retain and self._active_updates == 0:
             self.database.clear()
 
 
@@ -496,7 +509,10 @@ class SqliteStore(Wrapper):
         pushdown: bool = True,
     ) -> None:
         super().__init__(schema)
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False: over the TCP transport a node's
+        # handlers run on its delivery thread while the driver thread
+        # built the store; the node-level lock serialises all access.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.create_function(
             SQL_COMPARE_FUNCTION, 3, _sql_compare, deterministic=True
         )
@@ -607,20 +623,72 @@ class SqliteStore(Wrapper):
 
     # -- mutation ------------------------------------------------------
 
+    #: SQLite ≥ 3.35 grew ``RETURNING``; with it, one multi-row
+    #: ``INSERT OR IGNORE ... RETURNING *`` per chunk learns exactly
+    #: which rows were new without a per-row round trip.
+    BATCH_RETURNING = sqlite3.sqlite_version_info >= (3, 35, 0)
+
+    #: Bound on bind parameters per statement (the historical
+    #: SQLITE_MAX_VARIABLE_NUMBER floor is 999; stay well under it).
+    _MAX_PARAMS_PER_INSERT = 900
+
     def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
         schema = self.schema[relation]
+        validated = [schema.validate_row(tuple(row)) for row in rows]
+        if not validated:
+            return []
+        if not self.BATCH_RETURNING or schema.arity == 0:
+            return self._insert_new_row_loop(relation, validated)
+
+        arity = schema.arity
+        encoded = [
+            tuple(encode_sqlite_value(v) for v in row) for row in validated
+        ]
+        # ``INSERT OR IGNORE`` with a multi-row VALUES list applies the
+        # UNIQUE constraint row by row, so duplicates *within* a chunk
+        # are ignored like stored duplicates; RETURNING emits exactly
+        # the rows that were actually inserted.
+        returned: set[tuple[str, ...]] = set()
+        row_template = "(" + ", ".join("?" for _ in range(arity)) + ")"
+        chunk = max(1, self._MAX_PARAMS_PER_INSERT // arity)
+        cursor = self._connection.cursor()
+        for start in range(0, len(encoded), chunk):
+            batch = encoded[start:start + chunk]
+            sql = (
+                f'INSERT OR IGNORE INTO "{relation}" VALUES '
+                + ", ".join(row_template for _ in batch)
+                + " RETURNING *"
+            )
+            params = [cell for row in batch for cell in row]
+            returned.update(tuple(cells) for cells in cursor.execute(sql, params))
+        self._connection.commit()
+        # Map the returned cell tuples back onto the caller's rows, in
+        # input order with in-batch dedup — the same contract as the
+        # row-at-a-time path.
+        fresh: list[Row] = []
+        seen: set[tuple[str, ...]] = set()
+        for row, cells in zip(validated, encoded):
+            if cells in returned and cells not in seen:
+                fresh.append(row)
+                seen.add(cells)
+        self._row_counts[relation] += len(fresh)
+        return fresh
+
+    def _insert_new_row_loop(
+        self, relation: str, validated: list[Row]
+    ) -> list[Row]:
+        """Pre-3.35 fallback: one INSERT per row, rowcount tells newness."""
         fresh: list[Row] = []
         cursor = self._connection.cursor()
-        for row in rows:
-            validated = schema.validate_row(tuple(row))
-            encoded = [encode_sqlite_value(v) for v in validated]
+        for row in validated:
+            encoded = [encode_sqlite_value(v) for v in row]
             placeholders = ", ".join("?" for _ in encoded)
             cursor.execute(
                 f'INSERT OR IGNORE INTO "{relation}" VALUES ({placeholders})',
                 encoded,
             )
             if cursor.rowcount > 0:
-                fresh.append(validated)
+                fresh.append(row)
         self._connection.commit()
         self._row_counts[relation] += len(fresh)
         return fresh

@@ -1,9 +1,15 @@
-"""Concurrent computations: updates, queries and pushes interleaved."""
+"""Concurrent computations: updates, queries and pushes interleaved.
+
+The DBM "serves, in general, many requests concurrently" (§3): any
+number of global updates may be in flight per network, one session per
+update id at every node.  These tests interleave two overlapping
+updates (chain and cycle), queries during updates, and churn with a
+second update live.
+"""
 
 import pytest
 
 from repro import CoDBNetwork, NodeConfig
-from repro.errors import ProtocolError
 
 
 def build_chain(config=None):
@@ -17,14 +23,77 @@ def build_chain(config=None):
     return net
 
 
-class TestUpdateSerialisation:
-    def test_one_update_at_a_time_per_network(self):
+def build_cycle(config=None):
+    """A 3-cycle: every node ends up with the union of all items."""
+    net = CoDBNetwork(seed=142, config=config)
+    net.add_node("A", "item(k: int)", facts="item(1)")
+    net.add_node("B", "item(k: int)", facts="item(2)")
+    net.add_node("C", "item(k: int)", facts="item(3)")
+    net.add_rule("A:item(k) <- B:item(k)")
+    net.add_rule("B:item(k) <- C:item(k)")
+    net.add_rule("C:item(k) <- A:item(k)")
+    net.start()
+    return net
+
+
+ALL_ITEMS = [(1,), (2,), (3,)]
+
+
+class TestConcurrentUpdates:
+    def test_two_overlapping_updates_on_a_chain(self):
         net = build_chain()
-        net.node("A").start_global_update()
-        # a second update reaching a busy node trips the guard
-        net.node("C").start_global_update()
-        with pytest.raises(ProtocolError):
-            net.run()
+        first = net.node("A").start_global_update()
+        second = net.node("C").start_global_update()
+        net.run()
+        assert net.node("A").update_done(first)
+        assert net.node("C").update_done(second)
+        assert sorted(net.node("A").rows("item")) == ALL_ITEMS
+        assert sorted(net.node("B").rows("item")) == ALL_ITEMS
+        # every participating node closed a report for BOTH updates
+        for name in "ABC":
+            for update_id in (first, second):
+                report = net.node(name).update_report(update_id)
+                assert report is not None and report.status == "closed"
+
+    def test_two_overlapping_updates_on_a_cycle(self):
+        net = build_cycle()
+        first = net.node("A").start_global_update()
+        second = net.node("B").start_global_update()
+        net.run()
+        assert net.node("A").update_done(first)
+        assert net.node("B").update_done(second)
+        for name in "ABC":
+            assert sorted(net.node(name).rows("item")) == ALL_ITEMS
+
+    def test_same_origin_twice_concurrently(self):
+        net = build_chain()
+        first = net.node("A").start_global_update()
+        second = net.node("A").start_global_update()
+        assert first != second
+        net.run()
+        assert net.node("A").update_done(first)
+        assert net.node("A").update_done(second)
+        assert sorted(net.node("A").rows("item")) == ALL_ITEMS
+
+    def test_three_origins_at_once(self):
+        net = build_cycle()
+        ids = [net.node(name).start_global_update() for name in "ABC"]
+        net.run()
+        for name, update_id in zip("ABC", ids):
+            assert net.node(name).update_done(update_id)
+        for name in "ABC":
+            assert sorted(net.node(name).rows("item")) == ALL_ITEMS
+
+    def test_sessions_are_garbage_collected(self):
+        net = build_chain()
+        first = net.node("A").start_global_update()
+        second = net.node("C").start_global_update()
+        net.run()
+        for name in "ABC":
+            manager = net.node(name).updates
+            assert manager.active_ids() == []
+            assert first in manager.completed_updates
+            assert second in manager.completed_updates
 
     def test_sequential_updates_fine(self):
         net = build_chain()
@@ -33,6 +102,33 @@ class TestUpdateSerialisation:
         assert first.update_id != second.update_id
         assert net.node("A").update_done(first.update_id)
         assert net.node("C").update_done(second.update_id)
+
+
+class TestChurnDuringConcurrentUpdates:
+    def test_peer_down_mid_update_with_second_update_live(self):
+        net = build_chain()
+        first = net.node("A").start_global_update()
+        net.transport.run_for(0.0015)  # first requests reach B
+        second = net.node("B").start_global_update()
+        net.node("C").detach()  # kill the source with both updates live
+        net.run()
+        assert net.node("A").update_done(first)
+        assert net.node("B").update_done(second)
+        # B's own row survives; C's contribution may be partial.
+        assert (3,) in net.node("A").rows("item")
+
+    @pytest.mark.parametrize("victim", ["B", "C"])
+    def test_victims_never_hang_two_updates(self, victim):
+        net = build_cycle()
+        first = net.node("A").start_global_update()
+        net.transport.run_for(0.001)
+        second = net.node("C").start_global_update()
+        net.transport.run_for(0.001)
+        net.node(victim).detach()
+        net.run()
+        assert net.node("A").update_done(first)
+        if victim != "C":
+            assert net.node("C").update_done(second)
 
 
 class TestQueriesDuringUpdates:
@@ -45,19 +141,29 @@ class TestQueriesDuringUpdates:
         assert node.update_done(update_id)
         answer = node.network_query_answer(query_id)
         assert answer is not None
-        assert set(answer) <= {(1,), (2,), (3,)}
+        assert set(answer) <= set(ALL_ITEMS)
+
+    def test_query_during_two_concurrent_updates(self):
+        net = build_chain()
+        first = net.node("A").start_global_update()
+        second = net.node("C").start_global_update()
+        query_id = net.node("A").start_network_query("q(k) <- item(k)")
+        net.run()
+        assert net.node("A").update_done(first)
+        assert net.node("C").update_done(second)
+        answer = net.node("A").network_query_answer(query_id)
+        assert answer is not None
+        assert set(answer) <= set(ALL_ITEMS)
+        # after quiescence the updates have materialised everything
+        assert sorted(net.node("A").rows("item")) == ALL_ITEMS
 
     def test_multiple_roots_query_simultaneously(self):
         net = build_chain()
         qa = net.node("A").start_network_query("q(k) <- item(k)")
         qb = net.node("B").start_network_query("q(k) <- item(k)")
         net.run()
-        assert sorted(net.node("A").network_query_answer(qa)) == [
-            (1,), (2,), (3,),
-        ]
-        assert sorted(net.node("B").network_query_answer(qb)) == [
-            (1,), (2,), (3,),
-        ]
+        assert sorted(net.node("A").network_query_answer(qa)) == ALL_ITEMS
+        assert sorted(net.node("B").network_query_answer(qb)) == ALL_ITEMS
 
     def test_push_during_query(self):
         net = build_chain(NodeConfig(push_on_insert=True))
@@ -77,4 +183,4 @@ class TestLocalQueriesAlwaysAvailable:
         # local reads never block on network activity
         assert node.query("q(k) <- item(k)") == []
         net.run()
-        assert sorted(node.query("q(k) <- item(k)")) == [(1,), (2,), (3,)]
+        assert sorted(node.query("q(k) <- item(k)")) == ALL_ITEMS

@@ -1,6 +1,6 @@
-"""Link tables: perspective, dependency, closure conditions."""
+"""Link tables: perspective, dependency, per-session closure conditions."""
 
-from repro.core.links import CLOSED, INACTIVE, OPEN, LinkTable
+from repro.core.links import CLOSED, INACTIVE, OPEN, LinkSession, LinkTable
 from repro.core.rules import CoordinationRule
 
 
@@ -69,44 +69,93 @@ class TestDependency:
 
 
 class TestClosureConditions:
+    """Closure is evaluated per update session (LinkSession), never on
+    the shared topology."""
+
     def make(self):
-        return LinkTable(
+        table = LinkTable(
             "B", rules("A:item(x) <- B:item(x)", "B:item(x) <- C:item(x)")
         )
+        return table, LinkSession(table)
 
     def test_initial_states(self):
-        table = self.make()
-        assert table.incoming["r0"].state == INACTIVE
-        assert table.outgoing["r1"].state == INACTIVE
+        table, session = self.make()
+        assert table.incoming["r0"].state == INACTIVE  # diagnostic mirror
+        assert session.incoming_state("r0").state == INACTIVE
+        assert session.outgoing_state("r1").state == INACTIVE
 
     def test_all_outgoing_closed_vacuous(self):
         table = LinkTable("B", rules("A:item(x) <- B:item(x)"))
-        assert table.all_outgoing_closed()
+        assert LinkSession(table).all_outgoing_closed()
 
     def test_incoming_ready_to_close_requires_open_state(self):
-        table = self.make()
-        table.outgoing["r1"].state = CLOSED
-        assert table.incoming_ready_to_close() == []  # r0 still inactive
-        table.incoming["r0"].state = OPEN
-        assert [l.rule_id for l in table.incoming_ready_to_close()] == ["r0"]
+        _table, session = self.make()
+        session.close_outgoing("r1", "cascade")
+        assert session.incoming_ready_to_close() == []  # r0 still inactive
+        session.incoming_state("r0").state = OPEN
+        assert [
+            link.rule_id for link, _ in session.incoming_ready_to_close()
+        ] == ["r0"]
 
     def test_incoming_not_ready_while_dependency_open(self):
-        table = self.make()
-        table.incoming["r0"].state = OPEN
-        table.outgoing["r1"].state = OPEN
-        assert table.incoming_ready_to_close() == []
+        _table, session = self.make()
+        session.incoming_state("r0").state = OPEN
+        session.outgoing_state("r1").state = OPEN
+        assert session.incoming_ready_to_close() == []
 
-    def test_reset_for_update_keeps_lifetime_dedup_sets(self):
-        table = self.make()
-        table.incoming["r0"].state = CLOSED
-        table.incoming["r0"].sent.add((1,))
-        table.outgoing["r1"].received.add((2,))
-        table.reset_for_update()
-        assert table.incoming["r0"].state == INACTIVE
-        # The sent/received sets are the rule's lifetime memory: they
-        # survive update boundaries (idempotent re-updates).
-        assert table.incoming["r0"].sent == {(1,)}
-        assert table.outgoing["r1"].received == {(2,)}
+    def test_sessions_are_independent(self):
+        # Two concurrent updates over ONE shared topology: closing a
+        # link in one session must not close it in the other.
+        table, first = self.make()
+        second = LinkSession(table)
+        first.open_all_outgoing()
+        second.open_all_outgoing()
+        first.close_outgoing("r1", "cascade")
+        assert first.outgoing_state("r1").state == CLOSED
+        assert second.outgoing_state("r1").state == OPEN
+        assert first.all_outgoing_closed()
+        assert not second.all_outgoing_closed()
+
+    def test_session_dedup_sets_are_per_session(self):
+        table, first = self.make()
+        second = LinkSession(table)
+        first.incoming_state("r0").mark_seen((1,))
+        assert first.incoming_state("r0").has_seen((1,))
+        assert not second.incoming_state("r0").has_seen((1,))
+
+    def test_seen_sets_use_type_strict_identity(self):
+        _table, session = self.make()
+        state = session.incoming_state("r0")
+        state.mark_seen((1,))
+        assert state.has_seen((1,))
+        assert not state.has_seen((1.0,))
+        assert not state.has_seen((True,))
+
+    def test_fired_set_is_lifetime_and_shared(self):
+        # The outgoing link's fired-set lives on the shared topology:
+        # every session (and the push engine) dedups minting against it.
+        table, _session = self.make()
+        link = table.outgoing["r1"]
+        assert not link.has_fired((2,))
+        link.mark_fired((2,))
+        assert link.has_fired((2,))
+        assert not link.has_fired((2.0,))
+
+    def test_closing_stamps_diagnostic_mirror(self):
+        table, session = self.make()
+        session.open_all_outgoing()
+        session.close_outgoing("r1", "failure")
+        assert table.outgoing["r1"].state == CLOSED
+        assert table.outgoing["r1"].closed_by == "failure"
+
+    def test_rebind_keeps_state_for_surviving_rules(self):
+        table, session = self.make()
+        session.open_all_outgoing()
+        rewired = LinkTable(
+            "B", rules("A:item(x) <- B:item(x)", "B:item(x) <- C:item(x)")
+        )
+        session.rebind(rewired)
+        assert session.outgoing_state("r1").state == OPEN
 
     def test_incoming_for_target(self):
         table = LinkTable(
@@ -114,3 +163,7 @@ class TestClosureConditions:
         )
         assert [l.rule_id for l in table.incoming_for_target("A")] == ["r0"]
         assert [l.rule_id for l in table.incoming_for_target("C")] == ["r1"]
+        session = LinkSession(table)
+        assert [
+            link.rule_id for link, _ in session.incoming_for_target("A")
+        ] == ["r0"]

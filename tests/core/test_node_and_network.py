@@ -170,3 +170,65 @@ class TestHeterogeneousStores:
         net.node("SRC").insert("item", (2,))
         net.global_update("SINK")
         assert sorted(net.node("SINK").rows("item")) == [(1,), (2,)]
+
+
+class TestMultiUpdateApi:
+    def build(self):
+        net = CoDBNetwork(seed=77)
+        net.add_node("C", "item(k: int)", facts="item(1). item(2)")
+        net.add_node("B", "item(k: int)", facts="item(3)")
+        net.add_node("A", "item(k: int)")
+        net.add_rule("B:item(k) <- C:item(k)")
+        net.add_rule("A:item(k) <- B:item(k)")
+        net.start()
+        return net
+
+    def test_start_then_await_returns_outcomes_in_handle_order(self):
+        net = self.build()
+        handles = net.start_global_updates(["A", "C", "B"])
+        assert [h.origin for h in handles] == ["A", "C", "B"]
+        assert len({h.update_id for h in handles}) == 3
+        outcomes = net.await_all(handles)
+        assert [o.update_id for o in outcomes] == [h.update_id for h in handles]
+        assert [o.origin for o in outcomes] == ["A", "C", "B"]
+        for outcome in outcomes:
+            assert outcome.wall_time >= 0
+            assert outcome.report.node_reports
+
+    def test_await_all_none_waits_for_every_active_update(self):
+        net = self.build()
+        first = net.node("A").start_global_update()
+        second = net.node("C").start_global_update()
+        outcomes = net.await_all(None)
+        assert {o.update_id for o in outcomes} == {first, second}
+        assert sorted(net.node("A").rows("item")) == [(1,), (2,), (3,)]
+
+    def test_global_update_is_the_singleton_case(self):
+        net = self.build()
+        outcome = net.global_update("A")
+        assert outcome.origin == "A"
+        assert net.node("A").update_done(outcome.update_id)
+        assert outcome.transport_messages > 0
+
+    def test_lifetime_totals_across_updates(self):
+        net = self.build()
+        net.await_all(net.start_global_updates(["A", "C"]))
+        totals = net.lifetime_totals()
+        assert set(totals) == {"A", "B", "C"}
+        assert totals["A"]["updates"] == 2
+        assert totals["A"]["open_updates"] == 0
+        assert totals["A"]["rows_imported"] >= 3
+        assert totals["B"]["peak_concurrent_updates"] >= 1
+
+    def test_mediator_buffer_survives_overlapping_updates(self):
+        schema = parse_schema("item(k: int)")
+        net = CoDBNetwork(seed=78)
+        net.add_node("SRC", "item(k: int)", facts="item(1)")
+        net.add_node("MED", schema, store=MediatorStore(schema))
+        net.add_node("SINK", "item(k: int)")
+        net.add_rule("MED:item(k) <- SRC:item(k)")
+        net.add_rule("SINK:item(k) <- MED:item(k)")
+        net.start()
+        net.await_all(net.start_global_updates(["SINK", "SINK"]))
+        assert sorted(net.node("SINK").rows("item")) == [(1,)]
+        assert net.node("MED").wrapper.total_rows() == 0  # dropped at last finish

@@ -53,12 +53,20 @@ class TestPushPropagation:
         assert sent == 1
         assert (7,) in net.node("A").rows("item")
 
-    def test_push_dedups_against_lifetime_sent_set(self):
+    def test_push_dedups_against_lifetime_pushed_set(self):
         net = build_chain(NodeConfig(push_on_insert=True))
         net.global_update("A")
+        # (1,) already travelled during the update.  Update sessions
+        # keep their own sent-sets, so the first push re-ships it —
+        # but the importer's lifetime fired-set drops it on arrival
+        # (nothing new is stored, nothing cascades) ...
+        rows_before = sorted(net.node("B").rows("item"))
+        assert net.node("C").push_deltas({"item": [(1,)]}) == 1
+        net.run()
+        assert sorted(net.node("B").rows("item")) == rows_before
+        # ... and the push engine's own lifetime dedup makes every
+        # later push of the same row a wire no-op.
         before = net.transport.stats.messages_sent
-        # (1,) already travelled during the update: pushing it again is
-        # a no-op on the wire.
         assert net.node("C").push_deltas({"item": [(1,)]}) == 0
         net.run()
         assert net.transport.stats.messages_sent == before

@@ -103,3 +103,65 @@ class TestAggregation:
         report = aggregate_reports("u", "A", [])
         assert report.wall_time == 0.0
         assert report.longest_path == 0
+
+
+class TestPeakConcurrency:
+    def test_disjoint_updates_peak_one(self):
+        from repro.core.statistics import peak_concurrency
+
+        reports = [
+            make_report(update_id="u1", started_at=0.0, finished_at=1.0),
+            make_report(update_id="u2", started_at=1.0, finished_at=2.0),
+            make_report(update_id="u3", started_at=5.0, finished_at=6.0),
+        ]
+        assert peak_concurrency(reports) == 1
+
+    def test_overlapping_updates_counted(self):
+        from repro.core.statistics import peak_concurrency
+
+        reports = [
+            make_report(update_id="u1", started_at=0.0, finished_at=4.0),
+            make_report(update_id="u2", started_at=1.0, finished_at=2.0),
+            make_report(update_id="u3", started_at=1.5, finished_at=3.0),
+        ]
+        assert peak_concurrency(reports) == 3
+
+    def test_open_report_counts_forever(self):
+        from repro.core.statistics import peak_concurrency
+
+        still_open = UpdateReport(update_id="u2", node="A", origin="A")
+        still_open.started_at = 0.5
+        reports = [
+            make_report(update_id="u1", started_at=0.0, finished_at=1.0),
+            still_open,
+            make_report(update_id="u3", started_at=9.0, finished_at=9.5),
+        ]
+        assert peak_concurrency(reports) == 2
+
+    def test_empty(self):
+        from repro.core.statistics import peak_concurrency
+
+        assert peak_concurrency([]) == 0
+
+
+class TestLifetimeTotals:
+    def test_aggregates_across_reports(self):
+        from repro.core.statistics import NodeStatistics
+
+        stats = NodeStatistics("A")
+        first = stats.open_report("u1", "A", 0.0)
+        first.rows_imported = 3
+        first.nulls_minted = 1
+        first.messages_sent = 4
+        first.status = "closed"
+        first.finished_at = 2.0
+        second = stats.open_report("u2", "B", 1.0)
+        second.rows_imported = 2
+        totals = stats.lifetime_totals()
+        assert totals["updates"] == 2
+        assert totals["open_updates"] == 1
+        assert totals["rows_imported"] == 5
+        assert totals["nulls_minted"] == 1
+        assert totals["messages_sent"] == 4
+        assert totals["peak_concurrent_updates"] == 2
+        assert stats.open_reports() == [second]

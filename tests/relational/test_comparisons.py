@@ -17,11 +17,20 @@ class TestConstants:
         "op,left,right,expected",
         [
             ("=", 3, 3, True),
-            ("=", 3, 3.0, True),
+            # Cross-type numerics are distinct values: the identity
+            # relation matches the injective type-tagged cell encoding,
+            # so untyped columns behave the same on every backend.
+            ("=", 3, 3.0, False),
+            ("=", 3.0, 3.0, True),
+            ("=", -0.0, 0.0, True),
+            ("=", True, 1, False),
+            ("=", False, 0, False),
             ("=", 3, 4, False),
             ("=", "a", "a", True),
             ("!=", 3, 4, True),
             ("!=", 3, 3, False),
+            ("!=", 3, 3.0, True),
+            ("!=", True, 1, True),
             ("<", 3, 4, True),
             ("<", 4, 3, False),
             ("<=", 3, 3, True),
@@ -41,6 +50,26 @@ class TestConstants:
 
     def test_bools_order_among_themselves(self):
         assert ev("<", False, True) is True
+
+    def test_order_is_numeric_across_int_and_float(self):
+        # Order operators are DOMAIN constraints: ints and floats sit
+        # on one number line (x >= 100 must admit 100.5), even though
+        # = / != are type-strict value identity.  See the module
+        # docstring of repro.relational.comparisons.
+        assert ev("<", 3, 3.5) is True
+        assert ev(">=", 100.5, 100) is True
+        assert ev(">", 2.5, 3) is False
+
+    def test_cross_type_numeric_tie_is_the_documented_seam(self):
+        # At a numeric tie the two relations visibly diverge: 3 and
+        # 3.0 are distinct VALUES (identity) but numerically equal
+        # (order).  Pinned so the asymmetry stays deliberate.
+        assert ev("=", 3, 3.0) is False
+        assert ev("!=", 3, 3.0) is True
+        assert ev("<", 3, 3.0) is False
+        assert ev(">", 3, 3.0) is False
+        assert ev("<=", 3, 3.0) is True
+        assert ev(">=", 3, 3.0) is True
 
 
 class TestNulls:

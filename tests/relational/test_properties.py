@@ -21,7 +21,9 @@ from repro.relational.values import (
     MarkedNull,
     decode_row,
     encode_row,
+    row_key,
     row_sort_key,
+    same_value,
 )
 
 # ---------------------------------------------------------------------------
@@ -54,28 +56,34 @@ def make_relation(rows):
 # ---------------------------------------------------------------------------
 
 
+def keyed(rows):
+    """Row sets under the engine's typed identity (not Python ``==``,
+    which unifies 0 with False and 1 with 1.0)."""
+    return {row_key(row) for row in rows}
+
+
 class TestStorageProperties:
     @given(pair_lists)
     def test_set_semantics(self, rows):
         relation = make_relation(rows)
-        assert len(relation) == len(set(relation.rows()))
-        assert set(relation.rows()) == set(rows)
+        assert len(relation) == len(keyed(relation.rows()))
+        assert keyed(relation.rows()) == keyed(rows)
 
     @given(pair_lists, pair_lists)
     def test_insert_new_returns_exact_delta(self, first, second):
         relation = make_relation(first)
-        before = set(relation.rows())
+        before = keyed(relation.rows())
         delta = relation.insert_new(second)
-        after = set(relation.rows())
-        assert set(delta) == after - before
-        assert len(delta) == len(set(delta))
+        after = keyed(relation.rows())
+        assert keyed(delta) == after - before
+        assert len(delta) == len(keyed(delta))
 
     @given(pair_lists, values)
     def test_lookup_agrees_with_scan(self, rows, probe):
         relation = make_relation(rows)
         via_index = sorted(relation.lookup({0: probe}), key=row_sort_key)
         via_scan = sorted(
-            (row for row in relation.rows() if row[0] == probe),
+            (row for row in relation.rows() if same_value(row[0], probe)),
             key=row_sort_key,
         )
         assert via_index == via_scan

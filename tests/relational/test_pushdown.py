@@ -12,10 +12,10 @@ comparison predicates and marked nulls are evaluated three ways —
   and run as one SQL join inside :class:`SqliteStore`),
 
 in both full and semi-naive (delta) mode, and the answer sets must be
-identical.  The value pool is ints plus marked nulls: the type-tagged
-cell encoding makes SQLite equality coincide with coDB value equality
-on those (cross-type numeric unification like ``3 = 3.0`` is the one
-known divergence of encoded equality and is not generated here).
+identical.  The randomized pool is ints plus marked nulls;
+``TestCrossTypeIdentity`` pins the once-divergent cross-type case
+(``3`` vs ``3.0`` vs ``True``) now that the in-memory engine enforces
+the same injective, type-strict value identity as the cell encoding.
 
 Seeds × queries per seed give well over 200 randomized rule/instance
 pairs per mode (the ISSUE's acceptance floor).
@@ -304,3 +304,95 @@ class TestMappingsAndDispatch:
         store.evaluate_query(query, rule_key="k")
         assert store.pushdown_queries == 2
         store.close()
+
+
+class TestCrossTypeIdentity:
+    """Memory ≡ SQLite on untyped columns holding cross-type values.
+
+    Regression for the ROADMAP caveat: Python ``==`` unifies ``3`` with
+    ``3.0`` and ``True`` with ``1``, but the injective type-tagged cell
+    encoding does not.  The chosen semantics is the encoding's (cross-
+    type numerics do NOT join); these tests pin the in-memory engine,
+    the compiled-plan executor and the SQLite pushdown to it.
+    """
+
+    SCHEMA = "r(a, b)\ns(a, b)"
+    FACTS = {
+        "r": [(3, "int"), (3.0, "float"), (True, "bool"), (1, "one")],
+        "s": [(3, "s-int"), (3.0, "s-float"), (1, "s-one"), (True, "s-bool")],
+    }
+
+    def build(self):
+        db = Database(parse_schema(self.SCHEMA))
+        db.load(self.FACTS)
+        store = SqliteStore(parse_schema(self.SCHEMA))
+        for relation, rows in self.FACTS.items():
+            store.insert_new(relation, rows)
+        return db, store
+
+    @staticmethod
+    def typed_canonical(rows):
+        from repro.relational.values import row_key
+
+        return sorted({row_key(row) for row in rows}, key=repr)
+
+    def test_cross_type_rows_are_distinct_on_both_backends(self):
+        db, store = self.build()
+        try:
+            assert len(db.relation("r")) == 4
+            assert store.count("r") == 4
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "q(x, l, m) <- r(x, l), s(x, m)",   # join on the untyped column
+            "q(l) <- r(x, l), x = 3",            # comparison selects ints only
+            "q(l) <- r(x, l), x = 3.0",
+            "q(l) <- r(x, l), x != 3",
+            "q(x, l) <- r(x, l)",                # projection keeps all four
+        ],
+    )
+    def test_memory_equals_pushdown(self, query_text):
+        db, store = self.build()
+        cache = PlanCache()
+        try:
+            query = parse_query(query_text)
+            oracle = self.typed_canonical(evaluate_query(db, query))
+            planned = self.typed_canonical(evaluate_query_planned(db, query, cache))
+            pushed = self.typed_canonical(store.evaluate_query(query))
+            assert planned == oracle
+            assert pushed == oracle
+            assert store.pushdown_fallbacks == 0
+        finally:
+            store.close()
+
+    def test_join_pairs_types_strictly(self):
+        db, store = self.build()
+        try:
+            query = parse_query("q(l, m) <- r(x, l), s(x, m)")
+            expected = {
+                ("int", "s-int"),
+                ("float", "s-float"),
+                ("bool", "s-bool"),
+                ("one", "s-one"),
+            }
+            assert set(evaluate_query(db, query)) == expected
+            assert set(store.evaluate_query(query)) == expected
+        finally:
+            store.close()
+
+    def test_insert_new_treats_cross_type_rows_as_new(self):
+        db, store = self.build()
+        try:
+            for backend_insert in (
+                lambda rows: db.insert_new("r", rows),
+                lambda rows: store.insert_new("r", rows),
+            ):
+                assert backend_insert([(3, "int")]) == []       # exact dup
+                assert backend_insert([(3.0, "int")]) == [(3.0, "int")]
+                assert backend_insert([(False, "zero")]) == [(False, "zero")]
+                assert backend_insert([(0, "zero")]) == [(0, "zero")]
+        finally:
+            store.close()

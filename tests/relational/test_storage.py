@@ -83,13 +83,24 @@ class TestLookup:
         with pytest.raises(SchemaError):
             list(relation.lookup({7: 1}))
 
-    def test_value_identity_is_python_equality(self, relation):
-        # One identity relation everywhere: True == 1 and 1.0 == 1 in
-        # Python, so such rows unify at storage level (documented).
+    def test_value_identity_is_type_strict(self, relation):
+        # One identity relation everywhere, and it is the type-strict
+        # one of the injective cell encoding: True, 1 and 1.0 are three
+        # distinct values, so such rows do NOT unify at storage level.
         relation.insert((1, "x"))
-        assert relation.insert((True, "x")) is False
-        assert relation.insert((1.0, "x")) is False
+        assert relation.insert((True, "x")) is True
+        assert relation.insert((1.0, "x")) is True
+        assert len(relation) == 3
         assert (True, "x") in relation
+        assert (1, "x") in relation
+        assert (2, "x") not in relation
+        # Index probes distinguish the three as well.
+        assert list(relation.lookup({0: 1})) == [(1, "x")]
+        assert list(relation.lookup({0: True})) == [(True, "x")]
+        assert list(relation.lookup({0: 1.0})) == [(1.0, "x")]
+        # ... while -0.0 and 0.0 remain one float value.
+        relation.insert((0.0, "z"))
+        assert relation.insert((-0.0, "z")) is False
 
 
 class TestEstimates:

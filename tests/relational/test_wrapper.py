@@ -163,3 +163,77 @@ class TestCrossStoreEquivalence:
             answers.append(sorted(store.evaluate_query(q)))
             store.close()
         assert answers[0] == answers[1] == answers[2]
+
+
+class TestSqliteBatchInsert:
+    """The batched ``INSERT OR IGNORE ... RETURNING`` path of
+    :meth:`SqliteStore.insert_new` must be indistinguishable from the
+    pre-3.35 row-at-a-time fallback."""
+
+    def fresh_store(self):
+        return SqliteStore(parse_schema(SCHEMA_TEXT))
+
+    def test_batch_path_is_active_on_modern_sqlite(self):
+        import sqlite3
+
+        if sqlite3.sqlite_version_info >= (3, 35, 0):
+            assert SqliteStore.BATCH_RETURNING
+
+    @pytest.mark.parametrize("force_fallback", [False, True])
+    def test_in_batch_and_stored_duplicates(self, force_fallback):
+        store = self.fresh_store()
+        if force_fallback:
+            store.BATCH_RETURNING = False
+        try:
+            store.insert_new("person", [("old", 1)])
+            fresh = store.insert_new(
+                "person",
+                [("old", 1), ("a", 2), ("a", 2), ("b", 3), ("old", 1)],
+            )
+            assert fresh == [("a", 2), ("b", 3)]
+            assert store.count("person") == 3
+        finally:
+            store.close()
+
+    def test_batch_equals_row_loop_differentially(self):
+        import random
+
+        rng = random.Random(99)
+        rows = [
+            (rng.choice("abcdef"), rng.randrange(6)) for _ in range(400)
+        ]
+        batched = self.fresh_store()
+        looped = self.fresh_store()
+        looped.BATCH_RETURNING = False
+        try:
+            for start in range(0, len(rows), 37):
+                chunk = rows[start:start + 37]
+                assert batched.insert_new("person", chunk) == looped.insert_new(
+                    "person", chunk
+                )
+            assert batched.snapshot() == looped.snapshot()
+            assert batched.count("person") == looped.count("person")
+        finally:
+            batched.close()
+            looped.close()
+
+    def test_chunking_over_parameter_limit(self):
+        store = self.fresh_store()
+        try:
+            rows = [(f"p{i}", i) for i in range(1200)]  # > 900 params
+            fresh = store.insert_new("person", rows)
+            assert fresh == rows
+            assert store.count("person") == 1200
+            assert store.insert_new("person", rows) == []
+        finally:
+            store.close()
+
+    def test_nulls_and_mixed_types_through_batch(self):
+        store = SqliteStore(parse_schema("r(a, b)"))
+        try:
+            null = MarkedNull("N1@X")
+            rows = [(1, "x"), (1.0, "x"), (True, "x"), (null, "x")]
+            assert store.insert_new("r", rows) == rows
+            assert store.insert_new("r", [(null, "x"), (1, "x")]) == []
+        finally:
+            store.close()
