@@ -19,7 +19,7 @@ on the assertions without paying for the timings.
 
 import pytest
 
-from repro import CoDBNetwork, NodeConfig, TcpNetwork
+from repro import CoDBNetwork, NodeConfig, TcpNetwork, as_completed
 from repro.core.statistics import peak_concurrency
 from repro.relational.containment import rows_equal_up_to_nulls
 
@@ -27,7 +27,11 @@ SCHEMA = "item(k: int)\ntag(k: int, w)"
 
 
 def build_multichain(
-    chains: int, depth: int, tuples: int, transport=None
+    chains: int,
+    depth: int,
+    tuples: int,
+    transport=None,
+    max_active_sessions: int = 0,
 ) -> tuple[CoDBNetwork, list[str]]:
     """K chains ``ORIGINi <- ... <- HUB`` plus per-chain leaf data.
 
@@ -38,7 +42,10 @@ def build_multichain(
         seed=160,
         transport=transport,
         with_superpeer=False,
-        config=NodeConfig(subsumption_dedup=True),
+        config=NodeConfig(
+            subsumption_dedup=True,
+            max_active_sessions=max_active_sessions,
+        ),
     )
     net.add_node("HUB", SCHEMA)
     origins = []
@@ -172,6 +179,65 @@ def test_concurrent_vs_sequential_simulated(benchmark, report, smoke):
     )
     # Virtual time overlaps too: N floods share the simulated clock.
     assert conc_wall < seq_wall
+
+
+@pytest.mark.parametrize("cap", [2, 4])
+def test_admission_storm(benchmark, report, smoke, storm, cap):
+    """E17 — admission queuing under an update storm (PR 4).
+
+    K origins fire at once against ``max_active_sessions=cap``: every
+    node must pipeline the storm (never more than *cap* live engines)
+    and the final databases must equal the uncapped run's, up to
+    marked-null renaming.  Outcomes stream back via ``as_completed``.
+    Enabled with ``--storm`` (CI runs ``--storm --smoke``).
+    """
+    if not storm:
+        pytest.skip("admission storm scenarios run with --storm")
+    origins_count, tuples = (6, 10) if smoke else (12, 60)
+    uncapped_net, origins = build_multichain(origins_count, 1, tuples)
+    uncapped_state = None
+    try:
+        uncapped_net.await_all(uncapped_net.start_global_updates(origins))
+        uncapped_state = uncapped_net.snapshot()
+    finally:
+        uncapped_net.stop()
+
+    net, origins = build_multichain(
+        origins_count, 1, tuples, max_active_sessions=cap
+    )
+
+    def run():
+        handles = [net.submit_global_update(origin) for origin in origins]
+        return [handle.result() for handle in as_completed(handles)]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    try:
+        assert len(outcomes) == origins_count
+        assert_states_match(net.snapshot(), uncapped_state)
+        peaks = {
+            name: node.stats.live_sessions_peak
+            for name, node in net.nodes.items()
+        }
+        assert max(peaks.values()) <= cap, peaks
+        deferred = sum(
+            node.stats.sessions_deferred for node in net.nodes.values()
+        )
+        assert deferred > 0, "the storm never queued — cap too loose?"
+        queue_peak = max(
+            node.stats.admission_queue_peak for node in net.nodes.values()
+        )
+        benchmark.extra_info["sessions_deferred"] = deferred
+        benchmark.extra_info["admission_queue_peak"] = queue_peak
+        report.add_table(
+            ["origins", "cap", "live_peak", "deferred", "queue_peak"],
+            [[origins_count, cap, max(peaks.values()), deferred, queue_peak]],
+            title=(
+                f"E17 admission storm: {origins_count} origins, "
+                f"max_active_sessions={cap}"
+            ),
+        )
+    finally:
+        net.stop()
 
 
 @pytest.mark.parametrize("origins_count", [2, 4, 8])

@@ -28,12 +28,28 @@ def pytest_addoption(parser):
             "for full-size timings)"
         ),
     )
+    parser.addoption(
+        "--storm",
+        action="store_true",
+        default=False,
+        help=(
+            "run the admission-queuing storm scenarios "
+            "(bench_concurrent.py): capped max_active_sessions under a "
+            "multi-origin update storm"
+        ),
+    )
 
 
 @pytest.fixture
 def smoke(request):
     """Whether this run is a --smoke run (small sizes, no timing gates)."""
     return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture
+def storm(request):
+    """Whether the admission-storm scenarios were requested (--storm)."""
+    return bool(request.config.getoption("--storm"))
 
 _writers: dict[str, ReportWriter] = {}
 

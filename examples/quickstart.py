@@ -36,7 +36,11 @@ def main() -> None:
     print("Before the update, TN answers from local data only:")
     print("  ", net.query("TN", "q(n) <- resident(n)"))
 
-    outcome = net.global_update("TN")
+    # Requests are sessions: submit returns a handle, result() awaits.
+    # (net.global_update("TN") is the blocking one-liner over this;
+    # see examples/update_storm.py for streaming many handles.)
+    handle = net.submit_global_update("TN")
+    outcome = handle.result()
     print(f"\nGlobal update {outcome.update_id}:")
     print(f"  wall time          {outcome.wall_time:.6f} virtual s")
     print(f"  result messages    {outcome.result_messages}")

@@ -1,0 +1,75 @@
+"""Update storms with the request-handle API (PR 4).
+
+Every request — global update or network query — is a first-class
+session: ``submit_global_update`` / ``submit_query`` return
+``RequestHandle``s, ``as_completed`` streams outcomes in completion
+order, and ``NodeConfig.max_active_sessions`` bounds how many sessions
+each node runs at once (excess requests queue FIFO in global seniority
+order, so a storm degrades into a pipeline instead of thrashing).
+
+Run:  python examples/update_storm.py
+"""
+
+from repro import CoDBNetwork, NodeConfig, as_completed
+
+
+def build_storm_network(max_active_sessions: int) -> tuple[CoDBNetwork, list]:
+    """A star: 3 data leaves feed a hub, 6 origins import from it."""
+    net = CoDBNetwork(
+        seed=24,
+        with_superpeer=False,
+        config=NodeConfig(max_active_sessions=max_active_sessions),
+    )
+    net.add_node("HUB", "item(k: int)")
+    for leaf in range(3):
+        net.add_node(
+            f"L{leaf}",
+            "item(k: int)",
+            facts={"item": [(leaf * 100 + t,) for t in range(20)]},
+        )
+        net.add_rule(f"HUB:item(k) <- L{leaf}:item(k)")
+    origins = []
+    for o in range(6):
+        name = f"O{o}"
+        net.add_node(name, "item(k: int)")
+        net.add_rule(f"{name}:item(k) <- HUB:item(k)")
+        origins.append(name)
+    net.start()
+    return net, origins
+
+
+def main() -> None:
+    net, origins = build_storm_network(max_active_sessions=2)
+
+    # Submit the whole storm up front: handles come back immediately,
+    # each update waits its turn behind the per-node admission cap.
+    handles = [net.submit_global_update(origin) for origin in origins]
+    query = net.submit_query("O0", "q(k) <- item(k)")
+
+    # One handle can be withdrawn while it is still queued:
+    victim = net.submit_global_update("O5")
+    print(f"cancel while queued: {victim.cancel()}\n")
+
+    print("outcomes, streamed in completion order:")
+    for handle in as_completed(handles + [query]):
+        if handle.kind == "update":
+            outcome = handle.result()
+            print(
+                f"  update {outcome.update_id} (origin {outcome.origin}): "
+                f"rows={outcome.rows_imported} "
+                f"wall={outcome.wall_time:.4f} virtual s"
+            )
+        else:
+            print(f"  query  {handle.request_id}: {len(handle.result())} rows")
+
+    print("\nadmission at work (per node):")
+    for name, totals in sorted(net.lifetime_totals().items()):
+        print(
+            f"  {name:4s} live_peak={totals['live_sessions_peak']} "
+            f"deferred={totals['sessions_deferred']} "
+            f"queue_peak={totals['admission_queue_peak']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

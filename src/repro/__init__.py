@@ -13,9 +13,9 @@ schema for data, which the node can fetch from its neighbours
 that materialises all derivable data so later queries are purely
 local.
 
-Quickstart::
+Quickstart — every request is a session with a handle::
 
-    from repro import CoDBNetwork
+    from repro import CoDBNetwork, as_completed
 
     net = CoDBNetwork(seed=7)
     net.add_node("BZ", "person(name: str, city: str)",
@@ -23,8 +23,26 @@ Quickstart::
     net.add_node("TN", "resident(name: str)")
     net.add_rule("TN:resident(n) <- BZ:person(n, c), c = 'Trento'")
     net.start()
-    outcome = net.global_update("TN")
+
+    # Submit, then await: the handle completes event-driven.
+    handle = net.submit_global_update("TN")
+    outcome = handle.result()          # raises on timeout; cancel() while queued
     assert net.query("TN", "q(n) <- resident(n)") == [("anna",)]
+
+    # Many requests at once stream back in completion order:
+    handles = [net.submit_global_update("TN"),
+               net.submit_query("TN", "q(n) <- resident(n)")]
+    for done in as_completed(handles):
+        print(done.kind, done.request_id, done.result())
+
+Blocking one-liners (``net.global_update(...)``, ``net.query(...)``)
+remain as thin wrappers over handles.  ``net.await_all(...)`` is
+deprecated: it waits for *every* handle before returning anything —
+use :func:`repro.core.requests.wait` for partitioned waits or
+:func:`repro.core.requests.as_completed` for streaming; it is kept
+only for PR-3-era drivers.  ``NodeConfig.max_active_sessions`` bounds
+concurrent sessions per node (excess requests queue FIFO in global
+seniority order), so update storms degrade gracefully.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 reproduced measurements.
@@ -32,6 +50,13 @@ reproduced measurements.
 
 from repro.core.network import CoDBNetwork, UpdateHandle, UpdateOutcome
 from repro.core.node import CoDBNode, NodeConfig
+from repro.core.requests import (
+    ALL_COMPLETED,
+    FIRST_COMPLETED,
+    RequestHandle,
+    as_completed,
+    wait,
+)
 from repro.core.rulefile import RuleFile
 from repro.core.rules import CoordinationRule
 from repro.core.statistics import (
@@ -40,7 +65,11 @@ from repro.core.statistics import (
     UpdateReport,
 )
 from repro.core.superpeer import SuperPeer
-from repro.errors import CoDBError
+from repro.errors import (
+    CoDBError,
+    RequestCancelledError,
+    RequestTimeoutError,
+)
 from repro.p2p.inproc import InProcessNetwork, LatencyModel
 from repro.p2p.tcp import TcpNetwork
 from repro.relational.conjunctive import (
@@ -83,6 +112,13 @@ __all__ = [
     "NodeConfig",
     "UpdateOutcome",
     "UpdateHandle",
+    "RequestHandle",
+    "as_completed",
+    "wait",
+    "FIRST_COMPLETED",
+    "ALL_COMPLETED",
+    "RequestTimeoutError",
+    "RequestCancelledError",
     "CoordinationRule",
     "RuleFile",
     "SuperPeer",

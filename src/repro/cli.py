@@ -18,6 +18,10 @@ Three subcommands cover that:
 
         python -m repro run network.json --query "q(x) <- item(x, v)"
 
+    ``--origin`` accepts a comma-separated list: every origin's update
+    is submitted at once (a storm) and outcomes stream back in
+    completion order via the request-handle API.
+
 ``check-rules``
     Parse a coordination-rule file and report its structure: peers,
     acquaintances, dependency cyclicity and weak acyclicity::
@@ -33,6 +37,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.core.network import CoDBNetwork
+from repro.core.requests import as_completed
 from repro.core.rulefile import RuleFile
 from repro.errors import CoDBError
 from repro.workloads.topologies import TOPOLOGY_BUILDERS
@@ -103,19 +108,38 @@ def _cmd_demo(args: argparse.Namespace, out) -> int:
 def _cmd_run(args: argparse.Namespace, out) -> int:
     spec = load_network_spec(args.spec)
     network = build_network_from_spec(spec)
-    origin = args.origin or spec.get("origin")
-    if origin is None:
+    origin_arg = args.origin or spec.get("origin")
+    if origin_arg is None:
         print("no origin given (spec 'origin' or --origin)", file=sys.stderr)
         return 2
-    outcome = network.global_update(origin)
-    print(
-        f"update {outcome.update_id}: wall={outcome.wall_time:.6f}s "
-        f"result_msgs={outcome.result_messages} "
-        f"rows={outcome.rows_imported} longest_path={outcome.longest_path}",
-        file=out,
-    )
+    origins = [o.strip() for o in str(origin_arg).split(",") if o.strip()]
+    if not origins:
+        print("no origin given (spec 'origin' or --origin)", file=sys.stderr)
+        return 2
+    if len(origins) == 1:
+        outcome = network.global_update(origins[0])
+        print(
+            f"update {outcome.update_id}: wall={outcome.wall_time:.6f}s "
+            f"result_msgs={outcome.result_messages} "
+            f"rows={outcome.rows_imported} longest_path={outcome.longest_path}",
+            file=out,
+        )
+    else:
+        # A storm: submit every origin's update, stream completions.
+        handles = [network.submit_global_update(o) for o in origins]
+        outcome = None
+        for handle in as_completed(handles):
+            outcome = handle.result()
+            print(
+                f"update {outcome.update_id} (origin {outcome.origin}): "
+                f"wall={outcome.wall_time:.6f}s "
+                f"result_msgs={outcome.result_messages} "
+                f"rows={outcome.rows_imported} "
+                f"longest_path={outcome.longest_path}",
+                file=out,
+            )
     if args.query:
-        rows = network.query(origin, args.query)
+        rows = network.query(origins[0], args.query)
         print(f"{args.query}", file=out)
         for row in rows:
             print("  " + ", ".join(repr(v) for v in row), file=out)
@@ -172,7 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="drive a network from a spec file")
     run.add_argument("spec", help="network spec JSON")
-    run.add_argument("--origin", help="update origin (overrides the spec)")
+    run.add_argument(
+        "--origin",
+        help=(
+            "update origin, or a comma-separated list of origins to "
+            "storm concurrently (overrides the spec)"
+        ),
+    )
     run.add_argument("--query", help="query to answer at the origin afterwards")
     run.add_argument(
         "--report", action="store_true", help="print the super-peer report"

@@ -5,45 +5,57 @@ demo operator who "start[s] up all the nodes, establish[es]
 coordination rules between pairs of nodes, run[s] a set of experiments
 and, finally, collect[s] statistical information" (§4).
 
-Works over both transports: with the default simulated transport every
-call that needs network progress pumps the event loop itself, so the
-API is synchronous; over TCP the same calls poll for completion.
+Requests — global updates *and* network queries — are first-class
+sessions: :meth:`CoDBNetwork.submit_global_update` and
+:meth:`CoDBNetwork.submit_query` return
+:class:`~repro.core.requests.RequestHandle`\\ s that can be awaited
+individually (``handle.result(timeout=...)``), streamed in completion
+order (:func:`repro.core.requests.as_completed`), partitioned
+(:func:`repro.core.requests.wait`) or cancelled before admission.
+Completion is event-driven on both transports: nodes signal the
+per-network progress condition when a session finishes, and every wait
+blocks on that condition (TCP) or steps the simulator's event queue —
+no sleep-polling anywhere.
+
+The pre-handle blocking surface survives as thin wrappers:
+:meth:`~CoDBNetwork.global_update` and :meth:`~CoDBNetwork.query`
+submit and immediately await; :meth:`~CoDBNetwork.await_all` is
+**deprecated** in favour of ``requests.wait`` / ``as_completed`` and
+is kept only so PR-3-era drivers keep working.
+
+The network also owns the shared
+:class:`~repro.relational.planner.PlanRegistry`: super-peer broadcast
+installs identical rules on many nodes, and sibling stores adopt each
+other's compiled join plans instead of recompiling N times.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.core.node import CoDBNode, NodeConfig
+from repro.core.requests import RequestHandle
 from repro.core.rulefile import RuleFile
 from repro.core.rules import CoordinationRule
-from repro.core.statistics import NetworkUpdateReport
+from repro.core.statistics import NetworkUpdateReport, aggregate_reports
 from repro.core.superpeer import SuperPeer
 from repro.errors import ProtocolError
 from repro.p2p.ids import IdAuthority
 from repro.p2p.inproc import InProcessNetwork, LatencyModel
 from repro.p2p.transport import Transport
 from repro.relational.conjunctive import ConjunctiveQuery
+from repro.relational.planner import PlanRegistry
 from repro.relational.schema import DatabaseSchema
 from repro.relational.parser import parse_schema
 from repro.relational.values import Row
 from repro.relational.wrapper import Wrapper
 
-
-@dataclass
-class UpdateHandle:
-    """A started-but-not-awaited global update (see
-    :meth:`CoDBNetwork.start_global_updates`)."""
-
-    update_id: str
-    origin: str
-    #: Transport clock / counters when the update was started; the
-    #: matching :class:`UpdateOutcome` windows are measured from here.
-    started_at: float
-    messages_before: int
-    bytes_before: int
+#: Deprecated alias: PR 3's ``UpdateHandle`` is now the unified
+#: :class:`~repro.core.requests.RequestHandle` (same ``update_id`` /
+#: ``origin`` / ``started_at`` surface, plus ``result()`` / ``done()``
+#: / ``cancel()`` / ``add_done_callback()``).
+UpdateHandle = RequestHandle
 
 
 @dataclass
@@ -55,13 +67,13 @@ class UpdateOutcome:
     report: NetworkUpdateReport
     #: Wall time by the transport clock (virtual seconds on the
     #: simulator — deterministic; real seconds over TCP), measured from
-    #: this update's start to the await returning.  For updates awaited
-    #: as a concurrent batch the window includes the batch overlap.
+    #: this update's submission to the moment its completion was
+    #: observed (per handle, even inside a concurrent batch).
     wall_time: float
     #: Transport-level totals for the window, including requests, acks
     #: and completion floods (the statistics module's per-rule numbers
-    #: cover result messages only).  In a concurrent batch the window
-    #: is shared, so these count the whole batch's traffic.
+    #: cover result messages only).  Concurrent requests share the
+    #: wire, so a batch member's window counts overlapping traffic too.
     transport_messages: int
     transport_bytes: int
 
@@ -100,6 +112,13 @@ class CoDBNetwork:
         self.rule_file = RuleFile()
         self.poll_timeout = poll_timeout
         self._rule_counter = 0
+        #: Shared compiled-plan registry: nodes holding structurally
+        #: identical rule bodies (the super-peer broadcast case) adopt
+        #: each other's plans instead of recompiling.
+        self.plan_registry = PlanRegistry()
+        #: In-flight request handles by id, completed event-driven via
+        #: the nodes' completion listeners.
+        self._handles: dict[str, RequestHandle] = {}
         self.superpeer: SuperPeer | None = None
         if with_superpeer:
             self.superpeer = SuperPeer("superpeer", self.transport, self.ids)
@@ -131,6 +150,10 @@ class CoDBNetwork:
             config=config if config is not None else self.default_config,
         )
         self.nodes[name] = node
+        node.wrapper.plan_cache.share_with(
+            self.plan_registry, node.wrapper.plan_backend
+        )
+        node.completion_listeners.append(self._on_node_request_complete)
         if facts is not None:
             node.load_facts(facts)
         return node
@@ -193,127 +216,182 @@ class CoDBNetwork:
         return self.transport.run_until_idle()
 
     def _wait(self, predicate) -> None:
-        """Run the network until *predicate* holds (poll on TCP)."""
+        """Block until *predicate* holds, driving the network.
+
+        One implementation for both transports — the event-driven
+        :meth:`~repro.p2p.transport.Transport.wait_for` — then drain
+        the simulator's remaining events (completion-flood tails) so
+        blocking entry points leave the virtual network quiescent,
+        exactly as the old poll-everything driver did.
+        """
+        self.transport.wait_for(
+            predicate, self.poll_timeout, description="network operation"
+        )
+        self._settle()
+
+    def _settle(self) -> None:
+        """Drain trailing simulator events (no-op on real transports)."""
         if isinstance(self.transport, InProcessNetwork):
             self.transport.run_until_idle()
-            if not predicate():
-                raise ProtocolError(
-                    "network went idle before the operation completed"
-                )
-            return
-        deadline = time.monotonic() + self.poll_timeout
-        while not predicate():
-            if time.monotonic() > deadline:
-                raise ProtocolError(
-                    f"operation did not complete within {self.poll_timeout}s"
-                )
-            time.sleep(0.002)
+
+    # ------------------------------------------------------------------
+    # Request completion plumbing
+    # ------------------------------------------------------------------
+
+    def _on_node_request_complete(self, kind: str, request_id: str) -> None:
+        """A node finished a session: complete the matching handle.
+
+        For updates the handle's predicate requires *every* alive node
+        to be done, so the check runs on each node's completion signal
+        and first passes on the last one — that instant (virtual time
+        on the simulator) is the recorded completion moment.
+        """
+        handle = self._handles.get(request_id)
+        if handle is not None:
+            handle.done()
+
+    def _track(self, handle: RequestHandle) -> RequestHandle:
+        self._handles[handle.request_id] = handle
+        handle.add_done_callback(
+            lambda done_handle: self._handles.pop(done_handle.request_id, None)
+        )
+        return handle
+
+    def _update_done_everywhere(self, update_id: str, origin: str) -> bool:
+        """The network-wide completion predicate for one update."""
+        alive = [n for n in self.nodes.values() if not n.detached]
+        if origin and origin in self.nodes:
+            origin_node = self.nodes[origin]
+            if not origin_node.detached and not origin_node.update_done(
+                update_id
+            ):
+                return False
+        return all(
+            n.update_done(update_id) or n.stats.report_for(update_id) is None
+            for n in alive
+        )
+
+    def _update_outcome(self, handle: RequestHandle) -> UpdateOutcome:
+        """Aggregate one update's per-node reports (§4's super-peer
+        aggregation) into the caller-facing outcome."""
+        update_id = handle.request_id
+        reports = [
+            report
+            for n in self.nodes.values()
+            if (report := n.stats.report_for(update_id)) is not None
+        ]
+        origin = handle.origin or (reports[0].origin if reports else "")
+        # Assembly only ever runs on a completed handle, so the stamps
+        # taken at completion observation are authoritative — 0.0 / 0
+        # are legitimate values (an acquaintance-less origin completes
+        # at virtual time zero with no traffic).
+        return UpdateOutcome(
+            update_id=update_id,
+            origin=origin,
+            report=aggregate_reports(update_id, origin, reports),
+            wall_time=handle.finished_at - handle.started_at,
+            transport_messages=handle.messages_after - handle.messages_before,
+            transport_bytes=handle.bytes_after - handle.bytes_before,
+        )
 
     # ------------------------------------------------------------------
     # Global updates
     # ------------------------------------------------------------------
 
-    def global_update(self, origin: str) -> UpdateOutcome:
-        """Run one global update from *origin* to completion."""
-        (handle,) = self.start_global_updates([origin])
-        (outcome,) = self.await_all([handle])
-        return outcome
+    def submit_global_update(self, origin: str) -> RequestHandle:
+        """Submit one global update from *origin*; returns its handle.
+
+        The handle completes when the update has finished at **every**
+        alive node (the completion flood fully propagated, so the §4
+        statistics are final); ``result()`` returns the
+        :class:`UpdateOutcome`.  Under an admission cap
+        (``NodeConfig.max_active_sessions``) the update may wait in the
+        origin's queue first — ``cancel()`` withdraws it while it does.
+        """
+        node = self.node(origin)
+        started_at = self.transport.now()
+        messages_before = self.transport.stats.messages_sent
+        bytes_before = self.transport.stats.bytes_sent
+        update_id = node.submit_update_id()
+        handle = RequestHandle(
+            request_id=update_id,
+            kind="update",
+            origin=origin,
+            transport=self.transport,
+            is_done=lambda: self._update_done_everywhere(update_id, origin),
+            assemble=self._update_outcome,
+            try_cancel=lambda: node.cancel_update(update_id),
+            started_at=started_at,
+            messages_before=messages_before,
+            bytes_before=bytes_before,
+        )
+        return self._track(handle)
 
     def start_global_updates(
         self, origins: Sequence[str]
-    ) -> list[UpdateHandle]:
-        """Start one global update per origin, WITHOUT waiting.
+    ) -> list[RequestHandle]:
+        """Submit one global update per origin, WITHOUT waiting.
 
         All updates are initiated back-to-back before any network
         progress is made, so on the simulator the event queue holds
-        every origin's flood and :meth:`await_all` pumps them fairly
+        every origin's flood and the awaits pump them fairly
         interleaved (events pop in timestamp order); over TCP the
         per-peer delivery threads run the sessions truly in parallel.
         The same origin may appear several times — each occurrence
         starts an independent update session.
         """
-        handles = []
-        for origin in origins:
-            node = self.node(origin)
-            handle = UpdateHandle(
-                update_id="",
-                origin=origin,
-                started_at=self.transport.now(),
-                messages_before=self.transport.stats.messages_sent,
-                bytes_before=self.transport.stats.bytes_sent,
-            )
-            handle.update_id = node.start_global_update()
-            handles.append(handle)
-        return handles
+        return [self.submit_global_update(origin) for origin in origins]
+
+    def global_update(self, origin: str) -> UpdateOutcome:
+        """Run one global update from *origin* to completion
+        (blocking wrapper over :meth:`submit_global_update`)."""
+        handle = self.submit_global_update(origin)
+        outcome = handle.result(self.poll_timeout)
+        self._settle()
+        return outcome
+
+    def _adopt_update(self, update_id: str) -> RequestHandle:
+        """A handle for an update started outside the network API
+        (direct node calls); windows start at adoption time."""
+        handle = RequestHandle(
+            request_id=update_id,
+            kind="update",
+            origin="",
+            transport=self.transport,
+            is_done=lambda: self._update_done_everywhere(update_id, ""),
+            assemble=self._update_outcome,
+            started_at=self.transport.now(),
+            messages_before=self.transport.stats.messages_sent,
+            bytes_before=self.transport.stats.bytes_sent,
+        )
+        return self._track(handle)
 
     def await_all(
-        self, handles: Sequence[UpdateHandle] | None = None
+        self, handles: Sequence[RequestHandle] | None = None
     ) -> list[UpdateOutcome]:
         """Drive the network until every handle's update completed.
 
+        .. deprecated:: PR 4
+            ``await_all`` predates the request-handle API; prefer
+            ``handle.result()``, :func:`repro.core.requests.wait` (the
+            partitioned wait it is now a wrapper over) or
+            :func:`repro.core.requests.as_completed` (streaming, which
+            ``await_all`` cannot do).  Kept as a blocking wrapper so
+            PR-3 drivers keep working; it will not grow new features.
+
         With ``handles=None``, waits for every update currently active
         anywhere in the network.  Returns one :class:`UpdateOutcome`
-        per handle, in handle order, each aggregating the per-node
-        reports for that update id (the super-peer aggregation of §4).
+        per handle, in handle order.
         """
         if handles is None:
             handles = [
-                UpdateHandle(
-                    update_id=update_id,
-                    origin="",
-                    started_at=self.transport.now(),
-                    messages_before=self.transport.stats.messages_sent,
-                    bytes_before=self.transport.stats.bytes_sent,
-                )
+                self._adopt_update(update_id)
                 for node in self.nodes.values()
                 for update_id in node.updates.active_ids()
             ]
-
-        def update_complete(update_id: str, origin: str) -> bool:
-            alive = [n for n in self.nodes.values() if not n.detached]
-            if origin and origin in self.nodes:
-                origin_node = self.nodes[origin]
-                if not origin_node.detached and not origin_node.update_done(
-                    update_id
-                ):
-                    return False
-            return all(
-                n.update_done(update_id) or n.stats.report_for(update_id) is None
-                for n in alive
-            )
-
-        self._wait(
-            lambda: all(
-                update_complete(handle.update_id, handle.origin)
-                for handle in handles
-            )
-        )
-        finished = self.transport.now()
-        from repro.core.statistics import aggregate_reports
-
-        outcomes = []
-        for handle in handles:
-            reports = [
-                report
-                for n in self.nodes.values()
-                if (report := n.stats.report_for(handle.update_id)) is not None
-            ]
-            origin = handle.origin or (reports[0].origin if reports else "")
-            outcomes.append(
-                UpdateOutcome(
-                    update_id=handle.update_id,
-                    origin=origin,
-                    report=aggregate_reports(handle.update_id, origin, reports),
-                    wall_time=finished - handle.started_at,
-                    transport_messages=(
-                        self.transport.stats.messages_sent - handle.messages_before
-                    ),
-                    transport_bytes=(
-                        self.transport.stats.bytes_sent - handle.bytes_before
-                    ),
-                )
-            )
-        return outcomes
+        handles = list(handles)
+        self._wait(lambda: all(handle.done() for handle in handles))
+        return [handle.result() for handle in handles]
 
     def lifetime_totals(self) -> dict[str, dict]:
         """Per-node lifetime aggregates (see
@@ -327,6 +405,58 @@ class CoDBNetwork:
     # Queries
     # ------------------------------------------------------------------
 
+    def submit_query(
+        self,
+        node_name: str,
+        query: str | ConjunctiveQuery,
+        *,
+        mode: str = "network",
+        persist: bool = True,
+    ) -> RequestHandle:
+        """Submit *query* at *node_name*; returns its handle.
+
+        ``mode="network"`` (the default here) runs the §3 query-time
+        distributed answering as a managed session; ``handle.result()``
+        returns the answer rows.  ``mode="local"`` answers from local
+        data immediately and returns an already-completed handle, so
+        callers can treat both uniformly.
+        """
+        node = self.node(node_name)
+        if mode == "local":
+            rows = node.query(query)
+            handle = RequestHandle(
+                request_id=self.ids.query_id(),
+                kind="query",
+                origin=node_name,
+                transport=self.transport,
+                is_done=lambda: True,
+                assemble=lambda _handle: rows,
+                started_at=self.transport.now(),
+                messages_before=self.transport.stats.messages_sent,
+                bytes_before=self.transport.stats.bytes_sent,
+            )
+            handle.done()
+            return handle
+        if mode != "network":
+            raise ProtocolError(f"unknown query mode {mode!r}")
+        started_at = self.transport.now()
+        messages_before = self.transport.stats.messages_sent
+        bytes_before = self.transport.stats.bytes_sent
+        query_id = node.submit_query_id(query, persist=persist)
+        handle = RequestHandle(
+            request_id=query_id,
+            kind="query",
+            origin=node_name,
+            transport=self.transport,
+            is_done=lambda: node.queries.is_done(query_id),
+            assemble=lambda _handle: node.network_query_answer(query_id),
+            try_cancel=lambda: node.cancel_query(query_id),
+            started_at=started_at,
+            messages_before=messages_before,
+            bytes_before=bytes_before,
+        )
+        return self._track(handle)
+
     def query(
         self,
         node_name: str,
@@ -335,19 +465,22 @@ class CoDBNetwork:
         mode: str = "local",
         persist: bool = True,
     ) -> list[Row]:
-        """Answer *query* at *node_name*.
+        """Answer *query* at *node_name* (blocking wrapper).
 
         ``mode="local"`` reads only local data; ``mode="network"``
-        runs the query-time distributed answering of §3.
+        submits a query session and awaits it (see
+        :meth:`submit_query` for the handle-returning form).
         """
         node = self.node(node_name)
         if mode == "local":
             return node.query(query)
         if mode != "network":
             raise ProtocolError(f"unknown query mode {mode!r}")
-        query_id = node.start_network_query(query, persist=persist)
-        self._wait(lambda: node.queries.is_done(query_id))
-        answer = node.network_query_answer(query_id)
+        handle = self.submit_query(
+            node_name, query, mode="network", persist=persist
+        )
+        answer = handle.result(self.poll_timeout)
+        self._settle()
         assert answer is not None
         return answer
 

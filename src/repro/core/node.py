@@ -23,6 +23,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.links import LinkTable
 from repro.core.push import PUSH_KIND, PushEngine
 from repro.core.query import QUERY_KINDS, QueryEngine
+from repro.core.requests import AdmissionControl, RequestHandle
 from repro.core.rulefile import RuleFile
 from repro.core.rules import CoordinationRule
 from repro.core.statistics import NodeStatistics, UpdateReport
@@ -85,6 +86,13 @@ class NodeConfig:
         (Chandra–Merlin) before evaluation.  Redundant body atoms cost
         a join per activation and per delta batch; minimisation is
         equivalence-preserving, so results never change.
+    max_active_sessions:
+        Admission cap: the most sessions (global-update engines plus
+        network-query participations) this node runs at once; ``0``
+        means unbounded.  Excess requests wait in a FIFO admission
+        queue drained in global id-seniority order — an update storm
+        degrades into a pipeline instead of thrashing (see
+        :mod:`repro.core.requests`).
     """
 
     semi_naive: bool = True
@@ -95,6 +103,7 @@ class NodeConfig:
     push_on_insert: bool = False
     quarantine_inconsistent: bool = True
     minimize_rule_bodies: bool = False
+    max_active_sessions: int = 0
 
 
 class CoDBNode:
@@ -139,6 +148,14 @@ class CoDBNode:
         self.termination = DiffusingComputation(
             self.send_ack, self._on_root_complete
         )
+        #: Per-node admission layer shared by the update and query
+        #: engines (``config.max_active_sessions``).
+        self.admission = AdmissionControl(self)
+        #: ``(kind, request_id)`` callbacks fired when a session this
+        #: node roots (queries) or participates in (updates) finishes
+        #: here; the network layer subscribes to complete its request
+        #: handles event-driven.
+        self.completion_listeners: list = []
         self.updates = UpdateManager(self)
         self.queries = QueryEngine(self)
         self.push = PushEngine(self)
@@ -247,6 +264,35 @@ class CoDBNode:
         dead_peer = message.payload["peer"]
         self.termination.on_peer_down(dead_peer)
         self.updates.on_peer_down(dead_peer)
+        self.queries.on_peer_down(dead_peer)
+        self.admission.on_peer_down(dead_peer)
+
+    # ------------------------------------------------------------------
+    # Request completion signaling (the handle API's event source)
+    # ------------------------------------------------------------------
+
+    def notify_request_complete(self, kind: str, request_id: str) -> None:
+        """A session finished at this node: tell listeners and wake
+        every driver blocked on the transport's progress condition."""
+        for listener in list(self.completion_listeners):
+            listener(kind, request_id)
+        self.endpoint.transport.notify_progress()
+
+    def _register_handle(self, handle: RequestHandle) -> None:
+        """Mark *handle* done the moment a completion signal makes its
+        predicate true (exact completion order on the simulator)."""
+
+        def on_complete(kind: str, request_id: str) -> None:
+            if request_id == handle.request_id and handle.done():
+                try:
+                    self.completion_listeners.remove(on_complete)
+                except ValueError:  # pragma: no cover - already removed
+                    pass
+
+        self.completion_listeners.append(on_complete)
+        handle.add_done_callback(
+            lambda _handle: on_complete("", _handle.request_id)
+        )
 
     # ------------------------------------------------------------------
     # Rules management ("user can modify the set of coordination rules")
@@ -404,32 +450,118 @@ class CoDBNode:
             ]
         return answers
 
+    def submit_query_id(
+        self, query: str | ConjunctiveQuery, *, persist: bool = True
+    ) -> str:
+        """Submit a network query through the session registry and
+        admission queue; returns the bare query id (the handle-free
+        entry point the network layer and id-oriented callers use)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        with self._lock:
+            return self.queries.submit(query, persist=persist)
+
+    def submit_network_query(
+        self, query: str | ConjunctiveQuery, *, persist: bool = True
+    ) -> RequestHandle:
+        """Pose a network query as a session; returns its handle.
+
+        ``handle.result()`` drives the transport and returns the
+        answer rows once the diffusing computation quiesces.
+        """
+        transport = self.endpoint.transport
+        started_at = transport.now()
+        messages_before = transport.stats.messages_sent
+        bytes_before = transport.stats.bytes_sent
+        query_id = self.submit_query_id(query, persist=persist)
+        handle = RequestHandle(
+            request_id=query_id,
+            kind="query",
+            origin=self.name,
+            transport=transport,
+            is_done=lambda: self.queries.is_done(query_id),
+            assemble=lambda _handle: self.queries.answer(query_id),
+            try_cancel=lambda: self.cancel_query(query_id),
+            started_at=started_at,
+            messages_before=messages_before,
+            bytes_before=bytes_before,
+        )
+        self._register_handle(handle)
+        return handle
+
     def start_network_query(
         self, query: str | ConjunctiveQuery, *, persist: bool = True
     ) -> str:
         """Pose a network query; returns the query id (poll via
-        :meth:`network_query_answer`)."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        with self._lock:
-            return self.queries.start(query, persist=persist)
+        :meth:`network_query_answer`).  Thin wrapper over
+        :meth:`submit_query_id`."""
+        return self.submit_query_id(query, persist=persist)
 
     def network_query_answer(self, query_id: str) -> list[Row] | None:
         with self._lock:
             return self.queries.answer(query_id)
 
+    def cancel_query(self, query_id: str) -> bool:
+        """Withdraw a query still queued behind admission."""
+        with self._lock:
+            return self.queries.cancel(query_id)
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
 
-    def start_global_update(self) -> str:
-        """Begin a global update with this node as origin; returns its id.
+    def submit_update_id(self) -> str:
+        """Submit a global update through the session registry and
+        admission queue; returns the bare update id (the handle-free
+        entry point the network layer and id-oriented callers use)."""
+        with self._lock:
+            return self.updates.submit()
+
+    def submit_global_update(self) -> RequestHandle:
+        """Begin a global update with this node as origin; returns its
+        handle.
 
         Any number of global updates — from this origin or others —
-        may be in flight concurrently; each runs as its own session.
+        may be in flight concurrently; each runs as its own session
+        (bounded by ``config.max_active_sessions`` when set).  The
+        node-level handle completes when the update completes *at this
+        node* (which, at the origin, is global quiescence), and its
+        ``result()`` is this node's own
+        :class:`~repro.core.statistics.UpdateReport`; the network-level
+        ``CoDBNetwork.submit_global_update`` offers the aggregated
+        outcome instead.
         """
+        transport = self.endpoint.transport
+        started_at = transport.now()
+        messages_before = transport.stats.messages_sent
+        bytes_before = transport.stats.bytes_sent
+        update_id = self.submit_update_id()
+        handle = RequestHandle(
+            request_id=update_id,
+            kind="update",
+            origin=self.name,
+            transport=transport,
+            is_done=lambda: self.updates.is_done(update_id),
+            assemble=lambda _handle: self.stats.report_for(update_id),
+            try_cancel=lambda: self.cancel_update(update_id),
+            started_at=started_at,
+            messages_before=messages_before,
+            bytes_before=bytes_before,
+        )
+        self._register_handle(handle)
+        return handle
+
+    def start_global_update(self) -> str:
+        """Begin a global update here; returns its id.  Thin wrapper
+        over :meth:`submit_update_id`, so direct node-API callers go
+        through the same session registry, admission queue and
+        statistics as handle holders."""
+        return self.submit_update_id()
+
+    def cancel_update(self, update_id: str) -> bool:
+        """Withdraw an update still queued behind admission."""
         with self._lock:
-            return self.updates.initiate()
+            return self.updates.cancel(update_id)
 
     def update_done(self, update_id: str) -> bool:
         return self.updates.is_done(update_id)

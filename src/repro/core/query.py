@@ -92,27 +92,55 @@ class QueryEngine:
     # Root side
     # ------------------------------------------------------------------
 
-    def start(self, query: ConjunctiveQuery, *, persist: bool = True) -> str:
+    def submit(self, query: ConjunctiveQuery, *, persist: bool = True) -> str:
         """Pose *query* network-wide; returns the query id.
 
-        The answer becomes available via :meth:`answer` once the
-        diffusing computation completes (drive the transport with
-        ``run_until_idle`` or poll on TCP).
+        The root query is a session like a global update: it holds
+        per-query state (the :class:`RootQuery` plus this node's
+        :class:`QueryParticipation`), counts against the node's
+        admission cap, and completes event-driven — the answer becomes
+        available via :meth:`answer` once the diffusing computation
+        quiesces.  Under admission pressure the root waits in the
+        node's queue as a pending initiation (cancellable through its
+        handle).
         """
         node = self.node
         query.validate_against(node.wrapper.schema)
         query_id = node.endpoint.ids.query_id()
+        self.roots[query_id] = RootQuery(query=query)
+        node.stats.network_queries_started += 1
+        if node.admission.try_enter(query_id, "query", initiation=True):
+            self._start_root(query_id, query, persist)
+        else:
+            node.admission.defer_initiation(
+                query_id,
+                "query",
+                lambda: self._start_root(query_id, query, persist),
+            )
+        return query_id
+
+    #: Pre-handle-API name, kept for existing callers.
+    start = submit
+
+    def cancel(self, query_id: str) -> bool:
+        """Withdraw *query_id* if it is still queued behind admission."""
+        if not self.node.admission.cancel(query_id):
+            return False
+        self.roots.pop(query_id, None)
+        return True
+
+    def _start_root(
+        self, query_id: str, query: ConjunctiveQuery, persist: bool
+    ) -> None:
+        node = self.node
         node.termination.start_root(query_id)
         participation = QueryParticipation(
             query_id=query_id, origin=node.name, persist=persist
         )
         self.participations[query_id] = participation
-        self.roots[query_id] = RootQuery(query=query)
-        node.stats.network_queries_started += 1
         needed = set(query.body_relations())
         self._forward_requests(participation, needed, label=[node.name])
         node.termination.check_quiescence(query_id)
-        return query_id
 
     def answer(self, query_id: str) -> list[Row] | None:
         """The answer rows, or ``None`` while the query is in flight."""
@@ -133,6 +161,7 @@ class QueryEngine:
         root.answer = node.wrapper.evaluate_query(root.query)
         self._cleanup(participation, forwarded_from=None)
         node.termination.forget(query_id)
+        node.notify_request_complete("query", query_id)
 
     # ------------------------------------------------------------------
     # Request propagation
@@ -176,6 +205,16 @@ class QueryEngine:
     def on_query_request(self, message: Message) -> None:
         node = self.node
         query_id = message.payload["query_id"]
+        if query_id not in self.participations and not node.admission.try_enter(
+            query_id, "query"
+        ):
+            # Admission cap reached: defer the session-creating request
+            # un-acked; the sender's deficit keeps the query alive
+            # until this node's participation is admitted and replayed.
+            node.admission.defer_message(
+                query_id, "query", message, self.on_query_request
+            )
+            return
         tree = node.termination.on_engaging_message(query_id, message.sender)
         participation = self.participations.get(query_id)
         if participation is None:
@@ -251,6 +290,13 @@ class QueryEngine:
     def on_query_data(self, message: Message) -> None:
         node = self.node
         query_id = message.payload["query_id"]
+        if query_id not in self.participations and node.admission.is_deferred(
+            query_id
+        ):
+            node.admission.defer_message(
+                query_id, "query", message, self.on_query_data
+            )
+            return
         tree = node.termination.on_engaging_message(query_id, message.sender)
         participation = self.participations.get(query_id)
         if participation is None:
@@ -326,9 +372,26 @@ class QueryEngine:
     def on_query_complete(self, message: Message) -> None:
         query_id = message.payload["query_id"]
         participation = self.participations.get(query_id)
-        if participation is None or participation.done:
+        if participation is None:
+            # Still queued behind admission while the query finished
+            # elsewhere (only reachable around failures — a live
+            # deferred request blocks quiescence): drop the entry and
+            # drain the deferred senders' deficits.
+            for stray in self.node.admission.drop(query_id):
+                self.node.send_ack(stray.sender, query_id)
+            return
+        if participation.done:
             return
         self._cleanup(participation, forwarded_from=message.sender)
+
+    def on_peer_down(self, dead_peer: str) -> None:
+        """Failure detector: close out participations rooted at a peer
+        that left — their cleanup flood will never come, and under
+        admission caps an orphaned participation would pin a session
+        slot forever."""
+        for participation in list(self.participations.values()):
+            if participation.origin == dead_peer and not participation.done:
+                self._cleanup(participation, forwarded_from=None)
 
     def _cleanup(
         self, participation: QueryParticipation, forwarded_from: str | None
@@ -351,3 +414,5 @@ class QueryEngine:
                     )
                 except UnknownPeerError:
                     continue
+        # The participation is over: free its admission slot.
+        node.admission.release(participation.query_id)

@@ -172,6 +172,13 @@ class NodeStatistics:
         self.reports: dict[str, UpdateReport] = {}
         self.queries_answered = 0
         self.network_queries_started = 0
+        # Admission-layer metrics (``NodeConfig.max_active_sessions``):
+        # how often work waited in the admission queue, how deep the
+        # queue got, and the most live engines (update sessions plus
+        # query participations) this node ever hosted at once.
+        self.sessions_deferred = 0
+        self.admission_queue_peak = 0
+        self.live_sessions_peak = 0
 
     def open_report(self, update_id: str, origin: str, now: float) -> UpdateReport:
         report = UpdateReport(
@@ -213,6 +220,9 @@ class NodeStatistics:
             "busy_time": sum(r.duration for r in reports),
             "peak_concurrent_updates": peak_concurrency(reports),
             "queries_answered": self.queries_answered,
+            "sessions_deferred": self.sessions_deferred,
+            "admission_queue_peak": self.admission_queue_peak,
+            "live_sessions_peak": self.live_sessions_peak,
         }
 
 

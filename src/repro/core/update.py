@@ -65,6 +65,14 @@ Sessions are driven entirely by message handlers, so they run
 unchanged on the simulated and the TCP transport; over TCP the node's
 lock serialises handler execution with driver-thread calls, giving the
 same actor discipline as the simulator.
+
+Admission control: with ``NodeConfig.max_active_sessions`` set, the
+node's :class:`~repro.core.requests.AdmissionControl` bounds how many
+sessions run at once.  Local initiations queue as pending starts;
+remote session-creating messages are deferred un-acked (keeping the
+sender's Dijkstra–Scholten deficit open, so the computation waits for
+the queued participant instead of falsely quiescing) and replayed in
+global update-id seniority order as sessions finish.
 """
 
 from __future__ import annotations
@@ -517,22 +525,42 @@ class UpdateManager:
     # Initiation
     # ------------------------------------------------------------------
 
-    def initiate(self) -> str:
-        """Start a global update at this node; returns the update id.
+    def submit(self) -> str:
+        """Submit a global update at this node; returns the update id.
 
         "A global update is started when some (dedicated) node sends to
         all its acquaintances global update requests" (§2); the unique
         identifier is generated here, at the origin.  Any number of
         updates (from this or other origins) may already be running.
+        When the node's admission cap is reached the update waits in
+        the admission queue as a pending initiation — the id exists
+        (and is cancellable through its handle) but the flood has not
+        started.
         """
         node = self.node
         update_id = node.endpoint.ids.update_id()
+        if node.admission.try_enter(update_id, "update", initiation=True):
+            self._start_root(update_id)
+        else:
+            node.admission.defer_initiation(
+                update_id, "update", lambda: self._start_root(update_id)
+            )
+        return update_id
+
+    #: Pre-handle-API name, kept for callers that expect an immediate id.
+    initiate = submit
+
+    def cancel(self, update_id: str) -> bool:
+        """Withdraw *update_id* if it is still queued behind admission."""
+        return self.node.admission.cancel(update_id)
+
+    def _start_root(self, update_id: str) -> None:
+        node = self.node
         node.termination.start_root(update_id)
         session = self._begin_session(update_id, origin=node.name)
         for remote in node.pipes.remotes():
             session.send_request(remote, path=[node.name])
         node.termination.check_quiescence(update_id)
-        return update_id
 
     def _begin_session(self, update_id: str, origin: str) -> UpdateEngine:
         node = self.node
@@ -554,6 +582,20 @@ class UpdateManager:
             # sender still gets its ack so its deficit drains.
             self.node.send_ack(message.sender, update_id)
             return
+        if update_id not in self.sessions and not self.node.admission.try_enter(
+            update_id, "update"
+        ):
+            # Admission cap reached: defer the session-creating message
+            # un-acked (the sender's deficit keeps the computation
+            # alive); it replays when a slot frees.
+            self.node.admission.defer_message(
+                update_id, "update", message, self._process_update_request
+            )
+            return
+        self._process_update_request(message)
+
+    def _process_update_request(self, message: Message) -> None:
+        update_id = message.payload["update_id"]
         node = self.node
         tree = node.termination.on_engaging_message(update_id, message.sender)
         session = self.sessions.get(update_id)
@@ -587,6 +629,13 @@ class UpdateManager:
         update_id = message.payload["update_id"]
         session = self.sessions.get(update_id)
         if session is None:
+            if self.node.admission.is_deferred(update_id):
+                # Session not admitted yet: queue the data behind the
+                # deferred request so replay preserves arrival order.
+                self.node.admission.defer_message(
+                    update_id, "update", message, self.on_query_result
+                )
+                return
             # Completed here (or arrived after a failure-finalize):
             # the data flowed under another still-open session or is
             # already stored; ack so the sender's deficit drains.
@@ -600,6 +649,11 @@ class UpdateManager:
         update_id = message.payload["update_id"]
         session = self.sessions.get(update_id)
         if session is None:
+            if self.node.admission.is_deferred(update_id):
+                self.node.admission.defer_message(
+                    update_id, "update", message, self.on_link_closed
+                )
+                return
             self.node.send_ack(message.sender, update_id)
             return
         tree = self.node.termination.on_engaging_message(update_id, message.sender)
@@ -634,6 +688,12 @@ class UpdateManager:
         if session is not None:
             session.force_close_remaining()
             node.wrapper.on_update_finished()
+        # The update may have completed globally while still queued
+        # behind admission here (a failure cut us out of it): drop the
+        # queue entry and ack its deferred messages so the senders'
+        # deficits drain.
+        for stray in node.admission.drop(update_id):
+            node.send_ack(stray.sender, update_id)
         node.termination.forget(update_id)
         # Flood the completion (non-engaging; dedup via completed_updates).
         for remote in node.pipes.remotes():
@@ -643,6 +703,10 @@ class UpdateManager:
                     pipe.send("update_complete", {"update_id": update_id})
                 except UnknownPeerError:
                     continue  # departed peers need no completion notice
+        # Free this session's admission slot (drains the queue) and
+        # signal completion to any request handles / waiting drivers.
+        node.admission.release(update_id)
+        node.notify_request_complete("update", update_id)
 
     # ------------------------------------------------------------------
     # Dynamic networks

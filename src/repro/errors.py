@@ -95,6 +95,22 @@ class ProtocolError(CoDBError):
     """A coDB protocol message violated the expected state machine."""
 
 
+class RequestTimeoutError(ProtocolError):
+    """Waiting on a request handle (or a network predicate) timed out.
+
+    Raised by :meth:`repro.core.requests.RequestHandle.result` when the
+    request did not complete within ``timeout`` seconds, and on the
+    simulated transport when the event queue drains before the awaited
+    condition holds (nothing left in flight can ever complete it).
+    Subclasses :class:`ProtocolError` so pre-handle-API callers that
+    caught the old poll-loop error keep working.
+    """
+
+
+class RequestCancelledError(ProtocolError):
+    """The request handle was cancelled before admission; it never ran."""
+
+
 class UpdateAbortedError(ProtocolError):
     """A global update was aborted (guard tripped or network torn down)."""
 

@@ -21,7 +21,11 @@ import heapq
 import random
 from dataclasses import dataclass
 
-from repro.errors import TransportStoppedError, UnknownPeerError
+from repro.errors import (
+    RequestTimeoutError,
+    TransportStoppedError,
+    UnknownPeerError,
+)
 from repro.p2p.messages import Message
 from repro.p2p.transport import MessageHandler, Transport
 
@@ -177,6 +181,22 @@ class InProcessNetwork(Transport):
             if self.step():
                 delivered += 1
         return delivered
+
+    def wait_for(self, predicate, timeout=None, *, description="operation"):
+        """Step the event queue one delivery at a time until *predicate*.
+
+        Single-threaded, so "waiting" means driving: each step delivers
+        exactly one message and the predicate is re-checked, which makes
+        completion *order* observable at virtual-time granularity (what
+        ``as_completed`` streams).  If the queue drains first, nothing
+        in flight can ever satisfy the predicate — that is the
+        simulator's notion of a timeout.
+        """
+        while not predicate():
+            if not self.step():
+                raise RequestTimeoutError(
+                    f"network went idle before {description} completed"
+                )
 
     def run_for(self, duration: float) -> int:
         """Deliver events until the virtual clock advances by *duration*."""

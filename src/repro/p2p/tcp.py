@@ -9,10 +9,12 @@ E13).  Design:
 * ``send`` frames the message (4-byte big-endian length prefix + JSON
   body) over a cached outbound connection per (sender, recipient)
   pair, giving per-pair FIFO just like a JXTA pipe.
-* ``run_until_idle`` polls a global in-flight counter: it is
-  incremented at ``send`` and decremented after the recipient's
-  handler returns, so quiescence means *handled*, not merely
-  delivered.
+* a global in-flight counter is incremented at ``send`` and
+  decremented after the recipient's handler returns, so quiescence
+  means *handled*, not merely delivered.  ``run_until_idle`` and
+  ``wait_for`` block on the transport's progress condition, which
+  every delivery loop notifies after handling a message — drivers are
+  woken event-driven, never by sleep-polling.
 
 The port registry doubles as the rendezvous service: peers address
 each other by peer id only, never by host/port — "IP independent
@@ -114,6 +116,9 @@ class _PeerServer:
             finally:
                 with self.network._inflight_lock:
                     self.network._inflight -= 1
+                # Wake drivers blocked in wait_for/run_until_idle: the
+                # handled message may have completed what they await.
+                self.network.notify_progress()
 
     def stop(self) -> None:
         self._running = False
@@ -219,34 +224,31 @@ class TcpNetwork(Transport):
         return time.monotonic() - self._epoch
 
     def run_until_idle(self, max_messages: int | None = None) -> int:
-        """Poll until no message is in flight (sent but not yet handled).
+        """Wait until no message is in flight (sent but not yet handled).
 
-        Quiescence must hold twice in a row 1 ms apart, so a handler
-        that is *about* to send (between decrementing the counter for
-        the message it handled and sending its replies) cannot fool
-        the check — handlers send before returning, and the counter is
-        decremented only after the handler returns.
+        Event-driven: blocks on the progress condition, which every
+        delivery loop notifies after handling a message.  ``inflight ==
+        0`` genuinely means idle — a handler's own sends increment the
+        counter *before* the handled message is decremented, and the
+        driver's sends precede its call here — so one observation
+        suffices (no re-check delay, no sleep-polling).
         """
         start_delivered = self.stats.messages_delivered
-        while True:
-            with self._inflight_lock:
-                idle = self._inflight == 0
-            if idle:
-                time.sleep(0.001)
-                with self._inflight_lock:
-                    if self._inflight == 0:
-                        return self.stats.messages_delivered - start_delivered
-            else:
-                time.sleep(0.001)
+
+        def idle_or_quota() -> bool:
             if max_messages is not None:
-                done = self.stats.messages_delivered - start_delivered
-                if done >= max_messages:
-                    return done
+                if self.stats.messages_delivered - start_delivered >= max_messages:
+                    return True
+            with self._inflight_lock:
+                return self._inflight == 0
+        self.wait_for(idle_or_quota, description="transport quiescence")
+        return self.stats.messages_delivered - start_delivered
 
     def stop(self) -> None:
         self._stopped = True
         for server in list(self._servers.values()):
             server.stop()
+        self.notify_progress()  # release any waiter blocked on progress
         self._servers.clear()
         with self._connections_lock:
             for connection in self._connections.values():

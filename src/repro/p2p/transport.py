@@ -14,15 +14,25 @@ Two implementations ship: the deterministic simulated network
   monotonic seconds for TCP); all statistics timestamps use it.
 * ``run_until_idle()`` — drive the network until no messages are in
   flight.  On the simulator this steps the event queue; on TCP it
-  polls quiescence.
+  waits on the progress condition.
+* ``wait_for(predicate, timeout)`` — block until *predicate* holds.
+  This is the completion primitive every driver-facing wait goes
+  through (request handles, ``as_completed``, statistics sweeps): the
+  simulator steps its event queue one delivery at a time and re-checks
+  after each (fine-grained, so completion *order* is observable);
+  multi-threaded transports wait on :attr:`Transport.progress`, a
+  condition their delivery loops notify after every handled message —
+  no ``time.sleep`` polling anywhere.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
+from repro.errors import RequestTimeoutError
 from repro.p2p.messages import Message
 
 MessageHandler = Callable[[Message], None]
@@ -76,6 +86,61 @@ class Transport:
 
     def __init__(self) -> None:
         self.stats = TransportStats()
+        #: Progress condition: notified (via :meth:`notify_progress`)
+        #: after every handled message and on every request completion,
+        #: so waiters re-check their predicates event-driven instead of
+        #: sleep-polling.  ``_progress_gen`` is a generation counter
+        #: that lets waiters detect progress that happened between
+        #: checking their predicate and going to sleep (the classic
+        #: missed-wakeup window) without evaluating predicates under
+        #: the condition's lock.
+        self.progress = threading.Condition()
+        self._progress_gen = 0
+
+    def notify_progress(self) -> None:
+        """Wake every ``wait_for`` waiter to re-check its predicate."""
+        with self.progress:
+            self._progress_gen += 1
+            self.progress.notify_all()
+
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float | None = None,
+        *,
+        description: str = "operation",
+    ) -> None:
+        """Block until ``predicate()`` is true; event-driven.
+
+        The default implementation (used by multi-threaded transports)
+        waits on :attr:`progress`; delivery loops call
+        :meth:`notify_progress` after each handled message.  Predicates
+        are always evaluated *outside* the condition lock — they may
+        read node state guarded by other locks.  Raises
+        :class:`~repro.errors.RequestTimeoutError` after *timeout*
+        seconds (``None`` waits forever).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self.progress:
+                generation = self._progress_gen
+            if predicate():
+                return
+            timed_out = False
+            with self.progress:
+                while self._progress_gen == generation and not timed_out:
+                    if deadline is None:
+                        self.progress.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self.progress.wait(remaining):
+                        timed_out = True
+            if timed_out:
+                if predicate():
+                    return
+                raise RequestTimeoutError(
+                    f"{description} did not complete within {timeout}s"
+                )
 
     # -- peer management -------------------------------------------------
 

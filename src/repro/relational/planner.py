@@ -57,6 +57,12 @@ orders track data growth without re-planning on every insert.
 Compilation is read-only: cost probes use
 :meth:`Relation.estimated_matches`, which never builds indexes.
 
+Networks additionally share one :class:`PlanRegistry` across all their
+nodes' caches: the super-peer broadcast installs identical rule bodies
+on many nodes, and a body compiled by one store is *adopted* (keyed on
+structure + backend kind + cardinality fingerprint) by every sibling
+instead of being recompiled N times.
+
 SQL pushdown
 ------------
 
@@ -90,6 +96,7 @@ database, and callers fall back to the in-memory executor.
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
@@ -221,9 +228,11 @@ class JoinPlan:
             (True, term.name) if isinstance(term, Variable) else (False, term)
             for term in output
         )
-        # Lazily compiled SQL translation, keyed on the table-name set
-        # it was generated against (see compile_plan_sql).
-        self._sql_cache: tuple[tuple[str, ...], "SqlPlan | None"] | None = None
+        # Lazily compiled SQL translations, keyed on the table-name
+        # tuple each was generated against (see compile_plan_sql).  A
+        # dict, not a single slot: a plan shared through a PlanRegistry
+        # may serve several stores whose table sets differ.
+        self._sql_cache: dict[tuple[str, ...], "SqlPlan | None"] = {}
 
     def atom_order(self) -> tuple[int, ...]:
         """Original body indexes in execution order."""
@@ -490,11 +499,11 @@ def compile_plan_sql(
     served repeatedly from a :class:`PlanCache` is translated once.
     """
     names = tuple(table_names)
-    cached = plan._sql_cache
-    if cached is not None and cached[0] == names:
-        return cached[1]
+    cache = plan._sql_cache
+    if names in cache:
+        return cache[names]
     sql_plan = _translate_plan(plan, frozenset(names))
-    plan._sql_cache = (names, sql_plan)
+    cache[names] = sql_plan
     return sql_plan
 
 
@@ -576,11 +585,68 @@ def _translate_plan(plan: JoinPlan, available: frozenset[str]) -> SqlPlan | None
     )
 
 
+class PlanRegistry:
+    """Network-level shared store of compiled plans (ROADMAP item).
+
+    Super-peer broadcast ships the same rule file to every node, so
+    sibling nodes routinely hold *structurally identical* rule bodies
+    (same atoms, comparisons and projection over same-named local
+    relations).  Compiling that body once per node wastes N-1 compiles;
+    this registry lets every :class:`PlanCache` wired to it adopt a
+    plan a sibling already compiled.
+
+    Keyed on ``(structure, backend kind, cardinality fingerprint,
+    delta atom)``: the structure key makes adoption semantically safe
+    (a plan only encodes its body/comparisons/output), the backend
+    kind separates executor families, and the coarse per-relation
+    order-of-magnitude fingerprint keeps adopted join orders within
+    the same cost regime the compiler would have chosen.  Lock-guarded:
+    over TCP every node's delivery thread plans concurrently.
+
+    Bounded FIFO like :class:`PlanCache` (cardinality drift keeps
+    minting new fingerprint keys on a long-lived network; superseded
+    regimes must not accumulate forever), just larger — it serves
+    every node's cache at once.
+    """
+
+    def __init__(self, max_plans: int = 4096) -> None:
+        self.max_plans = max_plans
+        self._lock = threading.Lock()
+        self._plans: dict[tuple, JoinPlan] = {}
+        #: Plans compiled and published by some member cache.
+        self.publishes = 0
+        #: Cache misses served by a sibling's published plan.
+        self.adoptions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def adopt(self, key: tuple) -> "JoinPlan | None":
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.adoptions += 1
+            return plan
+
+    def publish(self, key: tuple, plan: JoinPlan) -> None:
+        with self._lock:
+            if key in self._plans:
+                return
+            if len(self._plans) >= self.max_plans:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+            self.publishes += 1
+
+
 class PlanCache:
     """Per-wrapper cache of compiled plans, fingerprint-invalidated.
 
     Bounded FIFO: when full, the oldest entry is evicted.  ``hits`` /
     ``misses`` / ``replans`` are exposed for tests and benchmarks.
+    Optionally wired (:meth:`share_with`) to a network-level
+    :class:`PlanRegistry`, in which case a local miss first tries to
+    adopt a structurally identical plan compiled by a sibling cache
+    (``shared_hits`` counts those).
     """
 
     def __init__(self, max_plans: int = 512) -> None:
@@ -589,6 +655,14 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.replans = 0
+        self.shared_hits = 0
+        self.registry: PlanRegistry | None = None
+        self.backend_kind = "memory"
+
+    def share_with(self, registry: PlanRegistry, backend_kind: str) -> None:
+        """Join *registry*: publish compiled plans, adopt siblings'."""
+        self.registry = registry
+        self.backend_kind = backend_kind
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -628,14 +702,31 @@ class PlanCache:
             self.replans += 1
         else:
             self.misses += 1
-        plan = compile_plan(
-            body,
-            comparisons,
-            output,
-            view=view,
-            delta_atom=delta_atom,
-            fingerprint=fingerprint,
-        )
+        plan = None
+        shared_key: tuple | None = None
+        if self.registry is not None:
+            shared_key = (
+                tuple(body),
+                tuple(comparisons),
+                tuple(output),
+                delta_atom,
+                self.backend_kind,
+                fingerprint,
+            )
+            plan = self.registry.adopt(shared_key)
+            if plan is not None:
+                self.shared_hits += 1
+        if plan is None:
+            plan = compile_plan(
+                body,
+                comparisons,
+                output,
+                view=view,
+                delta_atom=delta_atom,
+                fingerprint=fingerprint,
+            )
+            if self.registry is not None and shared_key is not None:
+                self.registry.publish(shared_key, plan)
         if key not in self._plans and len(self._plans) >= self.max_plans:
             self._plans.pop(next(iter(self._plans)))
         self._plans[key] = plan

@@ -116,6 +116,11 @@ class Wrapper:
     #: Whether data survives past the end of a global update.
     persistent = True
 
+    #: Executor family this store runs compiled plans on; keys the
+    #: network-level :class:`~repro.relational.planner.PlanRegistry`
+    #: so plans are only shared between same-backend stores.
+    plan_backend = "memory"
+
     def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
         #: Compiled join plans for this store's rule/query bodies, keyed
@@ -500,6 +505,8 @@ class SqliteStore(Wrapper):
         SQLite (see the module docstring's dispatch rules).  ``False``
         keeps the historical per-atom-probe compensation path.
     """
+
+    plan_backend = "sqlite"
 
     def __init__(
         self,

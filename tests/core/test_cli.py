@@ -67,6 +67,15 @@ class TestRun:
         code, text = run_cli("run", spec_path, "--origin", "BZ")
         assert code == 0
 
+    def test_multi_origin_storm_streams_outcomes(self, spec_path):
+        code, text = run_cli("run", spec_path, "--origin", "TN,BZ,TN")
+        assert code == 0
+        lines = [
+            line for line in text.splitlines() if line.startswith("update ")
+        ]
+        assert len(lines) == 3
+        assert "(origin TN)" in text and "(origin BZ)" in text
+
     def test_missing_origin(self, tmp_path):
         spec = {
             "nodes": [{"name": "A", "schema": "r(x)"}],

@@ -1,0 +1,111 @@
+"""Network-level plan sharing (ROADMAP item closed in PR 4).
+
+Super-peer broadcast installs the same rule file on every node; nodes
+holding structurally identical rule bodies must adopt one compiled
+plan from the network's :class:`~repro.relational.planner.PlanRegistry`
+instead of recompiling N times.
+"""
+
+from repro import CoDBNetwork, SqliteStore, parse_schema
+from repro.relational.planner import PlanRegistry
+
+
+def build_long_chain(size, store_factory=None):
+    """A chain of *size* nodes with the SAME rule shape at every hop."""
+    net = CoDBNetwork(seed=7)
+    schema_text = "item(k: int)"
+    for i in range(size):
+        schema = parse_schema(schema_text)
+        store = None if store_factory is None else store_factory(schema)
+        facts = {"item": [(i * 10 + t,) for t in range(4)]}
+        net.add_node(f"N{i}", schema, store=store, facts=facts)
+    for i in range(size - 1):
+        net.add_rule(f"N{i}:item(k) <- N{i + 1}:item(k)")
+    net.start()
+    return net
+
+
+class TestPlanRegistry:
+    def test_identical_rule_bodies_compile_once_per_structure(self):
+        net = build_long_chain(8)
+        net.global_update("N0")
+        registry = net.plan_registry
+        # 7 source nodes evaluate the structurally identical body
+        # ``item(k)`` (full + delta occurrence): without sharing that
+        # is up to 14 compilations; with it, one publish per distinct
+        # (structure, fingerprint) regime and the rest adopt.
+        assert registry.adoptions > 0
+        total_compiles = registry.publishes
+        adopting_caches = [
+            node.wrapper.plan_cache
+            for node in net.nodes.values()
+            if node.wrapper.plan_cache.shared_hits > 0
+        ]
+        assert adopting_caches, "no cache ever adopted a shared plan"
+        total_misses = sum(
+            node.wrapper.plan_cache.misses for node in net.nodes.values()
+        )
+        assert total_compiles < total_misses
+        assert registry.adoptions + total_compiles >= total_misses
+
+    def test_adopted_plans_answer_identically(self):
+        shared = build_long_chain(6)
+        shared.global_update("N0")
+        # A twin network whose caches do NOT share (fresh registry per
+        # cache) must materialise exactly the same data.
+        isolated = build_long_chain(6)
+        for node in isolated.nodes.values():
+            node.wrapper.plan_cache.registry = None
+        isolated.global_update("N0")
+        assert shared.snapshot() == isolated.snapshot()
+        assert isolated.plan_registry.adoptions == 0
+
+    def test_backend_kinds_do_not_share_plans(self):
+        net = CoDBNetwork(seed=9)
+        schema_text = "item(k: int)"
+        net.add_node(
+            "MEM", schema_text, facts={"item": [(1,), (2,)]}
+        )
+        sql_schema = parse_schema(schema_text)
+        net.add_node(
+            "SQL",
+            sql_schema,
+            store=SqliteStore(sql_schema),
+            facts={"item": [(3,)]},
+        )
+        net.add_node("DST", schema_text)
+        net.add_rule("DST:item(k) <- MEM:item(k)")
+        net.add_rule("DST:item(k) <- SQL:item(k)")
+        net.start()
+        net.global_update("DST")
+        assert sorted(net.node("DST").rows("item")) == [(1,), (2,), (3,)]
+        # same body structure, different backends: two publishes, no
+        # cross-backend adoption
+        mem_cache = net.node("MEM").wrapper.plan_cache
+        sql_cache = net.node("SQL").wrapper.plan_cache
+        assert mem_cache.backend_kind == "memory"
+        assert sql_cache.backend_kind == "sqlite"
+        assert mem_cache.shared_hits == 0
+        assert sql_cache.shared_hits == 0
+
+    def test_registry_counters(self):
+        registry = PlanRegistry()
+        assert len(registry) == 0
+        assert registry.adopt(("k",)) is None
+        assert registry.adoptions == 0
+        sentinel = object()
+        registry.publish(("k",), sentinel)
+        registry.publish(("k",), object())  # first publish wins
+        assert registry.publishes == 1
+        assert registry.adopt(("k",)) is sentinel
+        assert registry.adoptions == 1
+
+    def test_user_supplied_store_joins_the_registry(self):
+        net = build_long_chain(
+            4, store_factory=lambda schema: SqliteStore(schema)
+        )
+        net.global_update("N0")
+        assert net.plan_registry.adoptions > 0
+        for node in net.nodes.values():
+            assert node.wrapper.plan_cache.registry is net.plan_registry
+            assert node.wrapper.plan_cache.backend_kind == "sqlite"
