@@ -5,11 +5,23 @@ the protocol layers cannot tell the transports apart.  This bench runs
 identical workloads on both and checks the *message traces agree
 exactly* (same result-message counts per rule, same rows) while only
 the clock differs.
+
+Also here: the small-message latency microbenchmark behind the
+``TCP_NODELAY`` default.  coDB protocol messages are small and often
+sent in write-write bursts (a ``query_result`` directly followed by
+its ``link_closed``) — exactly the pattern Nagle's algorithm can
+stall on a delayed ACK.  ``TcpNetwork(nodelay=False)`` re-enables
+Nagle so the effect is measurable; the magnitude is platform-dependent
+(loopback ACKs are fast), so the bench reports both numbers and gates
+only on "nodelay is not slower".
 """
+
+import threading
 
 import pytest
 
 from repro import CoDBNetwork, TcpNetwork
+from repro.p2p.messages import Message
 from repro.workloads import chain, star
 
 
@@ -47,6 +59,77 @@ def test_update_simulated(benchmark, blueprint):
 
     outcome = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["virtual_wall_s"] = outcome.wall_time
+
+
+def run_burst_pingpong(nodelay: bool, rounds: int, burst: int) -> float:
+    """Wall seconds for *rounds* of an A→B burst + B→A reply exchange.
+
+    Each round, A writes *burst* small messages back-to-back (the
+    write-write pattern Nagle penalises), B replies once after the
+    full burst arrives, and the reply triggers A's next burst.
+    """
+    net = TcpNetwork(nodelay=nodelay)
+    done = threading.Event()
+    state = {"round": 0, "received": 0}
+
+    def send_burst() -> None:
+        for i in range(burst):
+            net.send(Message("k", "A", "B", {"n": i}))
+
+    def b_handler(message) -> None:
+        state["received"] += 1
+        if state["received"] % burst == 0:
+            net.send(Message("k", "B", "A", {"ok": True}))
+
+    def a_handler(message) -> None:
+        state["round"] += 1
+        if state["round"] >= rounds:
+            done.set()
+            return
+        send_burst()
+
+    try:
+        net.register("A", a_handler)
+        net.register("B", b_handler)
+        started = net.now()
+        send_burst()
+        assert done.wait(60.0), "ping-pong never completed"
+        return net.now() - started
+    finally:
+        net.stop()
+
+
+def test_small_message_latency_nodelay(benchmark, report):
+    """E13b — what TCP_NODELAY buys on small-message bursts."""
+    rounds, burst = 200, 3
+
+    def run():
+        nodelay_wall = run_burst_pingpong(True, rounds, burst)
+        nagle_wall = run_burst_pingpong(False, rounds, burst)
+        return nodelay_wall, nagle_wall
+
+    nodelay_wall, nagle_wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_round_nodelay = nodelay_wall / rounds * 1e6
+    per_round_nagle = nagle_wall / rounds * 1e6
+    benchmark.extra_info["nodelay_us_per_round"] = per_round_nodelay
+    benchmark.extra_info["nagle_us_per_round"] = per_round_nagle
+    report.add_table(
+        ["socket option", "wall_s", "us_per_round"],
+        [
+            ["TCP_NODELAY (default)", f"{nodelay_wall:.4f}",
+             f"{per_round_nodelay:.1f}"],
+            ["Nagle enabled", f"{nagle_wall:.4f}",
+             f"{per_round_nagle:.1f}"],
+        ],
+        title=(
+            f"E13b: {rounds} rounds of {burst}-message bursts + reply, "
+            "localhost"
+        ),
+    )
+    # The magnitude of Nagle's penalty is platform-dependent; the
+    # invariant worth gating is that disabling it never hurts (25%
+    # slack absorbs scheduler noise).
+    assert nodelay_wall <= nagle_wall * 1.25
 
 
 def test_tcp_equivalence_report(benchmark, report):

@@ -38,6 +38,16 @@ def pytest_addoption(parser):
             "multi-origin update storm"
         ),
     )
+    parser.addoption(
+        "--processes",
+        action="store_true",
+        default=False,
+        help=(
+            "run the process-per-node scenarios (bench_concurrent.py): "
+            "the same CPU-bound storm over one-OS-process-per-node vs "
+            "the threaded TCP runner; skips gracefully on <2 cores"
+        ),
+    )
 
 
 @pytest.fixture
@@ -50,6 +60,12 @@ def smoke(request):
 def storm(request):
     """Whether the admission-storm scenarios were requested (--storm)."""
     return bool(request.config.getoption("--storm"))
+
+
+@pytest.fixture
+def processes(request):
+    """Whether the process-runner scenarios were requested (--processes)."""
+    return bool(request.config.getoption("--processes"))
 
 _writers: dict[str, ReportWriter] = {}
 

@@ -71,6 +71,7 @@ from repro.errors import (
     RequestTimeoutError,
 )
 from repro.p2p.inproc import InProcessNetwork, LatencyModel
+from repro.p2p.procs import ProcessNetwork
 from repro.p2p.tcp import TcpNetwork
 from repro.relational.conjunctive import (
     Atom,
@@ -129,6 +130,7 @@ __all__ = [
     "InProcessNetwork",
     "LatencyModel",
     "TcpNetwork",
+    "ProcessNetwork",
     "Atom",
     "Comparison",
     "ConjunctiveQuery",

@@ -20,7 +20,12 @@ Three subcommands cover that:
 
     ``--origin`` accepts a comma-separated list: every origin's update
     is submitted at once (a storm) and outcomes stream back in
-    completion order via the request-handle API.
+    completion order via the request-handle API.  ``--processes``
+    deploys the spec as one OS process per node over real TCP
+    (:class:`~repro.p2p.procs.ProcessNetwork`) so concurrent updates
+    evaluate on separate cores; the super-peer ``--report`` is not
+    available in that mode (statistics flow over the control channel
+    instead).
 
 ``check-rules``
     Parse a coordination-rule file and report its structure: peers,
@@ -35,8 +40,12 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.network import CoDBNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.p2p.procs import ProcessNetwork
 from repro.core.requests import as_completed
 from repro.core.rulefile import RuleFile
 from repro.errors import CoDBError
@@ -73,8 +82,9 @@ def load_network_spec(path: str) -> dict:
     return spec
 
 
-def build_network_from_spec(spec: dict) -> CoDBNetwork:
-    network = CoDBNetwork(seed=int(spec.get("seed", 0)))
+def _populate_from_spec(network, spec: dict):
+    """Declare the spec's nodes and rules on either network flavour
+    (both expose ``add_node``/``rule_file``/``start``)."""
     for node in spec["nodes"]:
         network.add_node(
             node["name"], node["schema"], facts=node.get("facts")
@@ -83,6 +93,12 @@ def build_network_from_spec(spec: dict) -> CoDBNetwork:
         network.rule_file.add(rule)
     network.start()
     return network
+
+
+def build_network_from_spec(spec: dict) -> CoDBNetwork:
+    return _populate_from_spec(
+        CoDBNetwork(seed=int(spec.get("seed", 0))), spec
+    )
 
 
 def _cmd_demo(args: argparse.Namespace, out) -> int:
@@ -105,9 +121,22 @@ def _cmd_demo(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def build_process_network_from_spec(spec: dict) -> "ProcessNetwork":
+    from repro.p2p.procs import ProcessNetwork
+
+    return _populate_from_spec(
+        ProcessNetwork(seed=int(spec.get("seed", 0))), spec
+    )
+
+
 def _cmd_run(args: argparse.Namespace, out) -> int:
     spec = load_network_spec(args.spec)
-    network = build_network_from_spec(spec)
+    if args.processes and args.report:
+        print(
+            "--report needs the super-peer, which --processes does not run",
+            file=sys.stderr,
+        )
+        return 2
     origin_arg = args.origin or spec.get("origin")
     if origin_arg is None:
         print("no origin given (spec 'origin' or --origin)", file=sys.stderr)
@@ -116,6 +145,17 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     if not origins:
         print("no origin given (spec 'origin' or --origin)", file=sys.stderr)
         return 2
+    if args.processes:
+        network = build_process_network_from_spec(spec)
+        try:
+            return _run_requests(network, origins, args, out)
+        finally:
+            network.stop()
+    network = build_network_from_spec(spec)
+    return _run_requests(network, origins, args, out)
+
+
+def _run_requests(network, origins: list[str], args, out) -> int:
     if len(origins) == 1:
         outcome = network.global_update(origins[0])
         print(
@@ -206,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--query", help="query to answer at the origin afterwards")
     run.add_argument(
         "--report", action="store_true", help="print the super-peer report"
+    )
+    run.add_argument(
+        "--processes",
+        action="store_true",
+        help=(
+            "deploy one OS process per node over TCP (true multi-core "
+            "evaluation; incompatible with --report)"
+        ),
     )
     run.set_defaults(func=_cmd_run)
 

@@ -224,9 +224,13 @@ class CoDBNode:
         )
 
     def _on_ack(self, message: Message) -> None:
-        self.termination.on_ack(
-            message.payload["computation_id"], message.sender
-        )
+        computation_id = message.payload["computation_id"]
+        self.termination.on_ack(computation_id, message.sender)
+        # An ack can be the event that disengages a failure-touched
+        # update session whose links are already closed — the last
+        # chance to self-finalize when the origin's completion flood
+        # cannot reach us (no-op for healthy sessions and queries).
+        self.updates.maybe_finalize_after_failure(computation_id)
 
     def _on_root_complete(self, computation_id: str) -> None:
         if computation_id.startswith("update"):

@@ -359,20 +359,23 @@ def wait(
 
 
 def _seniority(request_id: str) -> tuple:
-    """Global seniority of an id: (mint counter, kind prefix).
+    """Global seniority of an id: (mint counter, kind prefix, full id).
 
     Every :class:`~repro.p2p.ids.IdAuthority` id ends in a monotone
     per-kind counter (``update-ab12cd-0007``) and starts with its kind
     prefix, so ALL nodes agree on the relative order of any two ids —
     a network-wide consistent admission order is what keeps capped
     nodes working on the same requests instead of deadlocking on each
-    other's queues.
+    other's queues.  The full id is the final tie-break: process-per-
+    node deployments mint ids from one authority per worker, so two
+    origins' first updates share counter 0 — the (arbitrary but
+    globally consistent) id ordering keeps the total order total.
     """
     prefix = request_id.split("-", 1)[0]
     try:
-        return (int(request_id.rsplit("-", 1)[-1]), prefix)
+        return (int(request_id.rsplit("-", 1)[-1]), prefix, request_id)
     except ValueError:  # pragma: no cover - foreign id shapes
-        return (1 << 30, prefix)
+        return (1 << 30, prefix, request_id)
 
 
 class _PendingAdmission:

@@ -110,6 +110,12 @@ class UpdateEngine:
         self.update_id = update_id
         self.origin = origin
         self.links = LinkSession(node.links)
+        #: A peer relevant to this session died or became unreachable.
+        #: The failure may have severed our path to the origin, whose
+        #: completion flood would then never reach us — so once every
+        #: link is closed and we are disengaged, we finalize locally
+        #: (see :meth:`UpdateManager.maybe_finalize_after_failure`).
+        self.peer_lost = False
 
     # ------------------------------------------------------------------
     # Outbound plumbing
@@ -468,14 +474,29 @@ class UpdateEngine:
         update_id = self.update_id
         report = node.stats.report_for(update_id)
         changed = False
+        relevant = False
         for link, state in self.links.outgoing_items():
-            if link.remote == dead_peer and state.state != CLOSED:
+            if link.remote != dead_peer:
+                continue
+            relevant = True
+            if state.state != CLOSED:
                 self.links.close_outgoing(link.rule_id, "failure")
                 changed = True
         for link, state in self.links.incoming_items():
-            if link.remote == dead_peer and state.state != CLOSED:
+            if link.remote != dead_peer:
+                continue
+            relevant = True
+            if state.state != CLOSED:
                 self.links.close_incoming(link.rule_id, "failure")
                 changed = True
+        # Arm self-finalization only when the dead peer actually
+        # touches this session (it is an acquaintance on some rule —
+        # and therefore possibly our only route to the origin).  An
+        # unrelated peer's death must NOT arm it: a closed+disengaged
+        # branch would prematurely flood completion and truncate the
+        # still-streaming rest of a healthy update.
+        if relevant:
+            self.peer_lost = True
         if changed and report is not None:
             report.links_closed_by_failure += 1
         if changed:
@@ -486,12 +507,7 @@ class UpdateEngine:
         # over *for this node* (the paper's node-closure condition),
         # so finalize locally and let our own completion flood cover
         # whatever part of the network is still reachable through us.
-        if (
-            report is not None
-            and report.status == "closed"
-            and not node.termination.is_engaged(update_id)
-        ):
-            node.updates.finalize(update_id, forwarded_from=None)
+        node.updates.maybe_finalize_after_failure(update_id)
 
 
 class UpdateManager:
@@ -644,6 +660,7 @@ class UpdateManager:
         tree = self.node.termination.on_engaging_message(update_id, message.sender)
         session.ingest_results(message)
         self.node.termination.after_processing(update_id, message.sender, tree)
+        self.maybe_finalize_after_failure(update_id)
 
     def on_link_closed(self, message: Message) -> None:
         update_id = message.payload["update_id"]
@@ -667,9 +684,63 @@ class UpdateManager:
         session.cascade_closures()
         session.maybe_finish_locally()
         self.node.termination.after_processing(update_id, message.sender, tree)
+        self.maybe_finalize_after_failure(update_id)
 
     def on_update_complete(self, message: Message) -> None:
-        self.finalize(message.payload["update_id"], forwarded_from=message.sender)
+        update_id = message.payload["update_id"]
+        cause = message.payload.get("cause", "origin")
+        if cause == "failure":
+            # A *failure*-triggered completion flood is not the root's
+            # condition (b): it is a severed component announcing "the
+            # update is over for us".  A session here that is still
+            # active — engaged, or with open links — may well have a
+            # healthy route to the origin with data still in flight;
+            # finalizing it now would force-close live links and drop
+            # that data (and at the root it would complete the whole
+            # update prematurely).  Instead the flood *arms* the
+            # session: once it too is closed and disengaged it
+            # finalizes, and forwards the flood then.
+            session = self.sessions.get(update_id)
+            if session is not None:
+                report = self.node.stats.report_for(update_id)
+                if (
+                    self.node.termination.is_engaged(update_id)
+                    or report is None
+                    or report.status != "closed"
+                ):
+                    session.peer_lost = True
+                    return
+        self.finalize(
+            update_id, forwarded_from=message.sender, cause=cause
+        )
+
+    def maybe_finalize_after_failure(self, update_id: str) -> None:
+        """Self-finalize a failure-touched session once it is over here.
+
+        A session that lost a peer (``UpdateEngine.peer_lost``) may be
+        cut off from its origin — the completion flood would then never
+        arrive (the dead node was the only route).  The paper's node-
+        closure condition says the update is over *for this node* once
+        every link is closed; combined with Dijkstra–Scholten
+        disengagement (we owe no acks, nobody owes us) it is safe to
+        finalize locally and let our own ``cause="failure"`` flood
+        cover whatever part of the network is still reachable through
+        us (recipients that are still active merely arm themselves,
+        see :meth:`on_update_complete` — the flood cannot truncate a
+        healthy branch).  Called at passive moments only (handler
+        tails, after the termination bookkeeping for the message has
+        fully run); a no-op for sessions that never saw a failure.
+        """
+        session = self.sessions.get(update_id)
+        if session is None or not session.peer_lost:
+            return
+        report = self.node.stats.report_for(update_id)
+        if (
+            report is not None
+            and report.status == "closed"
+            and not self.node.termination.is_engaged(update_id)
+        ):
+            self.finalize(update_id, forwarded_from=None, cause="failure")
 
     def root_complete(self, update_id: str) -> None:
         """Termination detected at the origin (condition (b) globally)."""
@@ -679,7 +750,12 @@ class UpdateManager:
     # Completion & garbage collection
     # ------------------------------------------------------------------
 
-    def finalize(self, update_id: str, forwarded_from: str | None) -> None:
+    def finalize(
+        self,
+        update_id: str,
+        forwarded_from: str | None,
+        cause: str = "origin",
+    ) -> None:
         node = self.node
         if update_id in self.completed_updates:
             return
@@ -696,11 +772,16 @@ class UpdateManager:
             node.send_ack(stray.sender, update_id)
         node.termination.forget(update_id)
         # Flood the completion (non-engaging; dedup via completed_updates).
+        # The cause travels with it: failure-triggered floods must not
+        # finalize still-active sessions downstream (they arm instead).
         for remote in node.pipes.remotes():
             if remote != forwarded_from:
                 pipe = node.pipes.pipe_to(remote)
                 try:
-                    pipe.send("update_complete", {"update_id": update_id})
+                    pipe.send(
+                        "update_complete",
+                        {"update_id": update_id, "cause": cause},
+                    )
                 except UnknownPeerError:
                     continue  # departed peers need no completion notice
         # Free this session's admission slot (drains the queue) and

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any
 
 from repro._util import stable_json
@@ -25,16 +26,21 @@ KINDS = (
     "update_request",       # global update propagation (§2)
     "query_result",         # tuples flowing back along a link (§3)
     "link_closed",          # incoming-link closure notification (§3)
+    "update_complete",      # origin's completion flood (condition (b))
     "ack",                  # diffusing-computation acknowledgement
     "query_request",        # query-time answering request (§3)
-    "query_answer",         # query-time answering results
+    "query_data",           # query-time answering results
+    "query_answer",         # query-time answering results (legacy name)
     "query_complete",       # query-time answering end-of-stream
+    "push_delta",           # continuous-mode delta push (subscriptions)
     "stats_request",        # super-peer statistics collection (§4)
     "stats_response",
     "discovery_request",    # peer discovery (§2, Figure 3)
     "discovery_response",
     "topology_request",     # topology discovery procedure (§2 UI)
     "topology_response",
+    "peer_down",            # failure-detector announcement
+    "undeliverable",        # bounced protocol mail (dynamic networks)
 )
 
 
@@ -61,16 +67,16 @@ class Message:
     payload: dict[str, Any] = field(default_factory=dict)
     message_id: str = ""
 
-    def size_bytes(self) -> int:
-        """Stable serialised size of the full envelope."""
-        return len(self.to_wire())
+    # Serialisation is cached: a message's bytes are asked for many
+    # times per hop (the transport counters, the §4 per-rule statistics
+    # and the per-pipe counters each call ``size_bytes``, and TCP sends
+    # the wire form itself), while messages are treated as immutable
+    # once built — recomputing ``stable_json`` every time was a
+    # hot-path waste.  ``cached_property`` stores straight into
+    # ``__dict__``, which works on a frozen dataclass.
 
-    def payload_bytes(self) -> int:
-        """Stable serialised size of the payload alone."""
-        return len(stable_json(self.payload).encode("utf-8"))
-
-    def to_wire(self) -> bytes:
-        """Serialise for a byte transport (TCP)."""
+    @cached_property
+    def _wire(self) -> bytes:
         return stable_json(
             {
                 "kind": self.kind,
@@ -81,11 +87,27 @@ class Message:
             }
         ).encode("utf-8")
 
+    @cached_property
+    def _payload_size(self) -> int:
+        return len(stable_json(self.payload).encode("utf-8"))
+
+    def size_bytes(self) -> int:
+        """Stable serialised size of the full envelope (cached)."""
+        return len(self._wire)
+
+    def payload_bytes(self) -> int:
+        """Stable serialised size of the payload alone (cached)."""
+        return self._payload_size
+
+    def to_wire(self) -> bytes:
+        """Serialise for a byte transport (TCP); cached per message."""
+        return self._wire
+
     @classmethod
     def from_wire(cls, data: bytes) -> "Message":
         try:
             decoded = json.loads(data.decode("utf-8"))
-            return cls(
+            message = cls(
                 kind=decoded["kind"],
                 sender=decoded["sender"],
                 recipient=decoded["recipient"],
@@ -94,6 +116,12 @@ class Message:
             )
         except (ValueError, KeyError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"malformed wire message: {exc}") from exc
+        # Seed the wire cache with the received bytes: every coDB
+        # sender serialises with ``stable_json``, so the bytes ARE the
+        # stable form — the receive path never re-serialises just to
+        # count sizes.
+        message.__dict__["_wire"] = data
+        return message
 
     def reply(self, kind: str, payload: dict[str, Any], message_id: str = "") -> "Message":
         """A message back to this message's sender."""

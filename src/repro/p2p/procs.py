@@ -1,0 +1,925 @@
+"""Process-per-node deployment: true multi-core CQ evaluation.
+
+The paper's coDB nodes are independent JXTA peers, each with its own
+DBMS.  :class:`ProcessNetwork` makes that literal: a **driver** spawns
+one OS **worker process per node** (:mod:`repro.runner.worker`), each
+hosting its :class:`~repro.core.node.CoDBNode` — memory or SQLite
+store — behind its own :class:`~repro.p2p.tcp.TcpNetwork` listening
+socket.  Inter-node protocol traffic flows worker-to-worker over TCP
+in the unchanged stable-JSON envelopes; concurrent update sessions
+therefore evaluate their conjunctive queries on separate cores instead
+of timeslicing one GIL (the threaded runner's ~1.15× at 4 origins
+becomes real parallel speedup).
+
+Driver/worker protocol (see :mod:`repro.runner.protocol`)
+---------------------------------------------------------
+
+Each worker is controlled through a ``multiprocessing`` pipe carrying
+stable-JSON frames:
+
+1. **Boot** — the driver sends ``configure`` (name, schema text,
+   config, store kind); the worker builds its transport + node and
+   replies with its listening port.  After all workers bind, the
+   driver fans the port map out via ``connect`` (the rendezvous step:
+   peers keep addressing each other by peer id only), then
+   ``load_facts`` and ``set_rules``.
+2. **Requests** — ``submit_update`` / ``submit_query`` return the bare
+   request id minted by the worker; the driver wraps it in a proxy
+   :class:`~repro.core.requests.RequestHandle` whose completion
+   predicate reads only driver-side state.
+3. **Completion bridging** — whenever a session finalizes at a worker
+   (the §3 completion flood arriving there), the worker pushes a
+   ``request_complete`` event.  When the *origin's* event arrives the
+   update has globally quiesced (Dijkstra–Scholten root completion),
+   so the driver probes every other worker once with
+   ``session_status`` to learn who participated; the handle completes
+   when the origin and every participating worker have reported done —
+   the §4 statistics are final at that point, exactly as in the
+   single-process network.  A background pump thread multiplexes all
+   worker pipes, stamps handle completion in driver-observed order
+   (what :func:`repro.core.requests.as_completed` streams), and
+   notifies the control transport's progress condition — completion
+   stays event-driven end to end, no sleep-polling.
+4. **Failure** — a worker crash surfaces as EOF on its pipe: the
+   driver marks it dead, fans ``peer_down`` out to the survivors
+   (whose transports deliver the notification to their nodes through
+   the normal inbox, closing links toward the corpse with
+   ``closed_by="failure"``), fails pending calls, and re-evaluates
+   every handle — in-flight requests complete instead of hanging.
+5. **Shutdown** — ``shutdown`` asks each worker to stop its transport
+   and exit; stragglers are terminated, then killed.  Workers are
+   daemon processes besides, so no orphan can outlive the driver.
+
+The ``submit``/``await``/``statistics`` surface mirrors
+:class:`~repro.core.network.CoDBNetwork`, so differential tests drive
+both interchangeably; handles from one :class:`ProcessNetwork` mix in
+``as_completed`` / ``wait`` exactly like single-process ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import asdict
+from multiprocessing import connection as mpconnection
+from collections.abc import Sequence
+from typing import Any, Callable
+
+from repro.core.network import UpdateOutcome
+from repro.core.node import NodeConfig
+from repro.core.requests import RequestHandle
+from repro.core.rulefile import RuleFile
+from repro.core.rules import CoordinationRule
+from repro.core.statistics import UpdateReport, aggregate_reports
+from repro.errors import ProtocolError, RequestTimeoutError
+from repro.p2p.transport import Transport, TransportStats
+from repro.relational.parser import parse_facts
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import Row, decode_row, encode_row
+from repro.runner import protocol
+from repro.runner.worker import worker_main
+
+#: Default start method: ``spawn`` gives every worker a pristine
+#: interpreter (no inherited locks from driver threads — the driver
+#: itself may live inside a threaded test harness).  ``fork`` is
+#: measurably faster to boot and may be requested where safe.
+DEFAULT_START_METHOD = "spawn"
+
+
+class _ControlTransport(Transport):
+    """The driver-side clock + progress condition the proxy handles use.
+
+    Not a message transport: ``stats`` mirrors the *sum* of all worker
+    transports' counters (refreshed from the totals every control
+    frame carries), ``now()`` is driver wall time, and ``wait_for`` is
+    the inherited event-driven progress wait that the pump thread
+    notifies.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stats = TransportStats()
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def register(self, peer_id, handler) -> None:  # pragma: no cover
+        raise ProtocolError("the control transport hosts no peers")
+
+    def send(self, message) -> None:  # pragma: no cover
+        raise ProtocolError("the control transport carries no messages")
+
+    def run_until_idle(self, max_messages=None) -> int:
+        return 0
+
+
+class _WorkerProxy:
+    """Driver-side face of one worker process."""
+
+    def __init__(self, name: str, spec: dict[str, Any]) -> None:
+        self.name = name
+        self.spec = spec
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.conn = None
+        self.alive = False
+        self.port: int | None = None
+        self.send_lock = threading.Lock()
+        #: cmd_id -> Queue (sync call) or callable (async callback).
+        self.pending: dict[int, Any] = {}
+
+    def send_frame(self, frame: dict[str, Any]) -> None:
+        data = protocol.encode_frame(frame)
+        with self.send_lock:
+            self.conn.send_bytes(data)
+
+
+class _TrackedRequest:
+    """Driver bookkeeping for one in-flight proxy handle."""
+
+    __slots__ = ("request_id", "kind", "origin", "handle", "probed")
+
+    def __init__(
+        self, request_id: str, kind: str, origin: str, handle: RequestHandle
+    ) -> None:
+        self.request_id = request_id
+        self.kind = kind
+        self.origin = origin
+        self.handle = handle
+        self.probed = False
+
+
+class ProcessNetwork:
+    """A coDB network with one OS process per node (module docstring).
+
+    Build-then-start, like :class:`~repro.core.network.CoDBNetwork`::
+
+        net = ProcessNetwork(seed=7)
+        net.add_node("BZ", "person(name: str, city: str)",
+                     facts="person('anna', 'Trento').")
+        net.add_node("TN", "resident(name: str)")
+        net.add_rule("TN:resident(n) <- BZ:person(n, c), c = 'Trento'")
+        net.start()                       # spawns + wires the workers
+        outcome = net.global_update("TN")
+        net.stop()                        # or use it as a context manager
+
+    ``submit_global_update`` / ``submit_query`` return
+    :class:`~repro.core.requests.RequestHandle`\\ s compatible with
+    :func:`~repro.core.requests.as_completed` and
+    :func:`~repro.core.requests.wait`.  Queries must be given as text
+    (they cross a process boundary).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        config: NodeConfig | None = None,
+        store: str = "memory",
+        poll_timeout: float = 30.0,
+        start_method: str | None = None,
+    ) -> None:
+        self.seed = seed
+        self.default_config = config
+        self.default_store = store
+        self.poll_timeout = poll_timeout
+        self.rule_file = RuleFile()
+        self.transport = _ControlTransport()
+        self._start_method = start_method or DEFAULT_START_METHOD
+        self._rule_counter = 0
+        self._specs: dict[str, dict[str, Any]] = {}
+        self._workers: dict[str, _WorkerProxy] = {}
+        self._cmd_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        self._stopping = False
+        self._running = False
+        self._pump_thread: threading.Thread | None = None
+        #: request id -> set of worker names whose node finished it.
+        self._completion: dict[str, set[str]] = {}
+        #: request id -> workers confirmed (by probe) as non-participants.
+        self._nonparticipants: dict[str, set[str]] = {}
+        self._tracked: dict[str, _TrackedRequest] = {}
+        #: Completed request ids (bounded FIFO): late completion events
+        #: from slower workers are dropped instead of re-growing the
+        #: per-request dicts forever.
+        self._finished: dict[str, None] = {}
+        self._worker_totals: dict[str, dict[str, int]] = {}
+        #: ``fatal`` events pushed by workers (delivery-thread errors).
+        self.worker_errors: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        schema: DatabaseSchema | str,
+        *,
+        facts: str | dict | None = None,
+        config: NodeConfig | None = None,
+        store: str | None = None,
+    ) -> None:
+        """Declare a node (the worker spawns at :meth:`start`)."""
+        if self._started:
+            raise ProtocolError("add_node after start() is not supported")
+        if name in self._specs:
+            raise ProtocolError(f"node {name!r} already exists")
+        schema_text = schema if isinstance(schema, str) else str(schema)
+        if isinstance(facts, str):
+            facts = parse_facts(facts)
+        node_config = config if config is not None else self.default_config
+        self._specs[name] = {
+            "schema": schema_text,
+            "facts": {
+                relation: [encode_row(tuple(row)) for row in rows]
+                for relation, rows in (facts or {}).items()
+            },
+            "config": {} if node_config is None else asdict(node_config),
+            "store": store if store is not None else self.default_store,
+        }
+
+    def add_rule(self, rule: str | CoordinationRule) -> CoordinationRule:
+        if isinstance(rule, str):
+            rule = CoordinationRule.from_text(f"r{self._rule_counter}", rule)
+        self._rule_counter += 1
+        for peer in (rule.target, rule.source):
+            if peer not in self._specs:
+                raise ProtocolError(
+                    f"rule {rule.rule_id!r} references unknown node {peer!r}"
+                )
+        self.rule_file.add(rule)
+        return rule
+
+    def add_rules(self, rules: Sequence[str | CoordinationRule]) -> None:
+        for rule in rules:
+            self.add_rule(rule)
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._specs)
+
+    def alive_workers(self) -> list[str]:
+        return [name for name, w in self._workers.items() if w.alive]
+
+    def worker_processes(self) -> list[multiprocessing.process.BaseProcess]:
+        """The spawned processes (tests assert none survive stop())."""
+        return [w.process for w in self._workers.values() if w.process]
+
+    # ------------------------------------------------------------------
+    # Start: spawn, exchange ports, load, wire rules
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("network already started")
+        if not self._specs:
+            raise ProtocolError("no nodes declared")
+        self._started = True
+        ctx = multiprocessing.get_context(self._start_method)
+        try:
+            for name, spec in self._specs.items():
+                worker = _WorkerProxy(name, spec)
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                worker.conn = parent_conn
+                worker.process = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn,),
+                    name=f"codb-worker-{name}",
+                    daemon=True,
+                )
+                worker.process.start()
+                child_conn.close()
+                worker.alive = True
+                self._workers[name] = worker
+            # Boot sequence over direct request/reply (the pump starts
+            # after wiring; workers emit no events before traffic exists).
+            for worker in self._workers.values():
+                reply = self._direct_call(
+                    worker,
+                    "configure",
+                    name=worker.name,
+                    schema=worker.spec["schema"],
+                    config=worker.spec["config"],
+                    store=worker.spec["store"],
+                    seed=self.seed,
+                )
+                worker.port = int(reply["port"])
+            ports = {
+                name: worker.port for name, worker in self._workers.items()
+            }
+            rules_payload = self.rule_file.to_payload()
+            for worker in self._workers.values():
+                peers = {n: p for n, p in ports.items() if n != worker.name}
+                self._direct_call(worker, "connect", peers=peers)
+                if worker.spec["facts"]:
+                    self._direct_call(
+                        worker, "load_facts", facts=worker.spec["facts"]
+                    )
+                self._direct_call(worker, "set_rules", rules=rules_payload)
+        except BaseException:
+            # Half-booted deployments must not leak processes: kill
+            # whatever was spawned before re-raising.
+            for worker in self._workers.values():
+                process = worker.process
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+                worker.alive = False
+            self._stopped = True
+            raise
+        self._running = True
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="codb-driver-pump", daemon=True
+        )
+        self._pump_thread.start()
+
+    # ------------------------------------------------------------------
+    # Control-channel plumbing
+    # ------------------------------------------------------------------
+
+    def _worker(self, name: str) -> _WorkerProxy:
+        try:
+            worker = self._workers[name] if self._started else None
+        except KeyError:
+            worker = None
+        if worker is None:
+            if not self._started:
+                raise ProtocolError("network not started")
+            raise ProtocolError(f"unknown node {name!r}")
+        if not worker.alive:
+            raise ProtocolError(f"worker for node {name!r} is down")
+        return worker
+
+    def _direct_call(
+        self, worker: _WorkerProxy, op: str, **arguments: Any
+    ) -> dict[str, Any]:
+        """Boot-time request/reply on the caller's thread (no pump yet)."""
+        cmd_id = next(self._cmd_ids)
+        worker.send_frame(protocol.command(op, cmd_id, **arguments))
+        deadline = time.monotonic() + self.poll_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not worker.conn.poll(remaining):
+                raise RequestTimeoutError(
+                    f"worker {worker.name!r} did not answer {op!r} "
+                    f"within {self.poll_timeout}s"
+                )
+            try:
+                frame = protocol.decode_frame(worker.conn.recv_bytes())
+            except (EOFError, OSError) as exc:
+                worker.alive = False
+                raise ProtocolError(
+                    f"worker {worker.name!r} died during {op!r}"
+                ) from exc
+            if frame.get("cmd_id") == cmd_id and frame["op"] in ("reply", "error"):
+                self._note_totals(worker.name, frame.get("totals"))
+                if frame["op"] == "error":
+                    raise ProtocolError(
+                        f"worker {worker.name!r} failed {op!r}: "
+                        f"{frame.get('error_kind', '')} {frame.get('error', '')}"
+                    )
+                return frame
+            self._handle_async_frame(worker, frame)
+
+    def _call(
+        self,
+        worker: _WorkerProxy,
+        op: str,
+        timeout: float | None = None,
+        **arguments: Any,
+    ) -> dict[str, Any]:
+        """Synchronous command once the pump runs (any non-pump thread)."""
+        if threading.current_thread() is self._pump_thread:
+            raise ProtocolError(
+                "synchronous control calls are not allowed on the pump thread"
+            )
+        if not worker.alive:
+            raise ProtocolError(f"worker for node {worker.name!r} is down")
+        cmd_id = next(self._cmd_ids)
+        answer: queue.Queue = queue.Queue(maxsize=1)
+        with self._lock:
+            worker.pending[cmd_id] = answer
+        try:
+            worker.send_frame(protocol.command(op, cmd_id, **arguments))
+        except (OSError, ValueError) as exc:
+            with self._lock:
+                worker.pending.pop(cmd_id, None)
+            raise ProtocolError(f"worker {worker.name!r} unreachable") from exc
+        try:
+            frame = answer.get(
+                timeout=timeout if timeout is not None else self.poll_timeout
+            )
+        except queue.Empty:
+            with self._lock:
+                worker.pending.pop(cmd_id, None)
+            raise RequestTimeoutError(
+                f"worker {worker.name!r} did not answer {op!r} within "
+                f"{timeout if timeout is not None else self.poll_timeout}s"
+            ) from None
+        if frame["op"] == "error":
+            raise ProtocolError(
+                f"worker {worker.name!r} failed {op!r}: "
+                f"{frame.get('error_kind', '')} {frame.get('error', '')}"
+            )
+        return frame
+
+    def _cast(
+        self,
+        worker: _WorkerProxy,
+        op: str,
+        callback: Callable[[dict[str, Any]], None] | None = None,
+        **arguments: Any,
+    ) -> None:
+        """Fire-and-forget command; *callback* (if any) runs on the pump
+        thread with the reply frame (or an error frame on worker death)."""
+        if not worker.alive:
+            return
+        cmd_id = next(self._cmd_ids)
+        with self._lock:
+            worker.pending[cmd_id] = callback
+        try:
+            worker.send_frame(protocol.command(op, cmd_id, **arguments))
+        except (OSError, ValueError):
+            with self._lock:
+                worker.pending.pop(cmd_id, None)
+
+    # ------------------------------------------------------------------
+    # The pump: multiplex worker pipes, bridge events into handles
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        while self._running:
+            conns = {
+                worker.conn: worker
+                for worker in self._workers.values()
+                if worker.alive
+            }
+            if not conns:
+                time.sleep(0.05)
+                continue
+            try:
+                ready = mpconnection.wait(list(conns), timeout=0.2)
+            except OSError:
+                continue
+            progressed = False
+            for conn in ready:
+                worker = conns[conn]
+                try:
+                    frame = protocol.decode_frame(conn.recv_bytes())
+                except (EOFError, OSError):
+                    self._on_worker_crash(worker)
+                    progressed = True
+                    continue
+                # The pump must survive any single bad frame (version
+                # skew, malformed event, raising handle callback): a
+                # dead pump would strand every handle and every _call.
+                try:
+                    self._handle_async_frame(worker, frame)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    self.worker_errors.append((worker.name, repr(exc)))
+                progressed = True
+            if progressed:
+                try:
+                    self._sync_handles()
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    self.worker_errors.append(("driver", repr(exc)))
+
+    def _handle_async_frame(
+        self, worker: _WorkerProxy, frame: dict[str, Any]
+    ) -> None:
+        self._note_totals(worker.name, frame.get("totals"))
+        op = frame["op"]
+        if op in ("reply", "error"):
+            with self._lock:
+                target = worker.pending.pop(frame.get("cmd_id"), None)
+            if isinstance(target, queue.Queue):
+                target.put(frame)
+            elif callable(target):
+                target(frame)
+            return
+        if op == "event":
+            name = frame.get("event")
+            if name == "request_complete":
+                request_id = frame["request_id"]
+                with self._lock:
+                    if request_id in self._finished:
+                        return  # late flood tail of a completed request
+                    self._completion.setdefault(request_id, set()).add(
+                        worker.name
+                    )
+                self._maybe_probe(request_id)
+            elif name == "fatal":
+                self.worker_errors.append((worker.name, frame.get("error", "")))
+            return
+        raise ProtocolError(f"unexpected control frame from worker: {frame!r}")
+
+    def _note_totals(self, name: str, totals: dict[str, int] | None) -> None:
+        if not totals:
+            return
+        with self._lock:
+            self._worker_totals[name] = totals
+            stats = self.transport.stats
+            stats.messages_sent = sum(
+                t.get("messages_sent", 0) for t in self._worker_totals.values()
+            )
+            stats.bytes_sent = sum(
+                t.get("bytes_sent", 0) for t in self._worker_totals.values()
+            )
+            stats.messages_delivered = sum(
+                t.get("messages_delivered", 0)
+                for t in self._worker_totals.values()
+            )
+
+    def _sync_handles(self) -> None:
+        for tracked in list(self._tracked.values()):
+            tracked.handle.done()  # stamps completion at first true
+        self.transport.notify_progress()
+
+    def _on_worker_crash(self, worker: _WorkerProxy) -> None:
+        """EOF on a worker pipe: the node's process died."""
+        worker.alive = False
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        with self._lock:
+            pending = list(worker.pending.items())
+            worker.pending.clear()
+        error = {
+            "op": "error",
+            "cmd_id": 0,
+            "error": f"worker {worker.name!r} died",
+            "error_kind": "WorkerDied",
+        }
+        for _cmd_id, target in pending:
+            if isinstance(target, queue.Queue):
+                target.put(error)
+            elif callable(target):
+                target(error)
+        if self._stopping:
+            return
+        # Failure-detector fan-out: every survivor's transport delivers
+        # a peer_down for the corpse through its node's normal inbox.
+        for survivor in self._workers.values():
+            if survivor.alive:
+                self._cast(survivor, "peer_down", peer=worker.name)
+        # Requests whose origin died can now resolve via probing; the
+        # dead worker itself is excluded from every completion predicate.
+        for tracked in list(self._tracked.values()):
+            if tracked.kind == "update":
+                self._maybe_probe(tracked.request_id)
+        self._sync_handles()
+
+    # ------------------------------------------------------------------
+    # Completion predicates (driver-state only: the pump calls these)
+    # ------------------------------------------------------------------
+
+    def _maybe_probe(self, request_id: str) -> None:
+        """Once the origin finished (or died), ask every other worker
+        whether it participated — resolving the completion predicate's
+        unknowns.  Runs at most once per update."""
+        with self._lock:
+            tracked = self._tracked.get(request_id)
+            if tracked is None or tracked.kind != "update" or tracked.probed:
+                return
+            origin_worker = self._workers.get(tracked.origin)
+            origin_settled = (
+                origin_worker is None
+                or not origin_worker.alive
+                or tracked.origin in self._completion.get(request_id, ())
+            )
+            if not origin_settled:
+                return
+            tracked.probed = True
+        for worker in self._workers.values():
+            if worker.name == tracked.origin or not worker.alive:
+                continue
+            self._cast(
+                worker,
+                "session_status",
+                callback=(
+                    lambda frame, name=worker.name: self._on_probe_reply(
+                        request_id, name, frame
+                    )
+                ),
+                request_id=request_id,
+                kind="update",
+            )
+
+    def _on_probe_reply(
+        self, request_id: str, worker_name: str, frame: dict[str, Any]
+    ) -> None:
+        if frame["op"] == "error":
+            return  # dead workers are excluded by the alive check
+        with self._lock:
+            if frame.get("done"):
+                self._completion.setdefault(request_id, set()).add(worker_name)
+            elif not frame.get("participated"):
+                self._nonparticipants.setdefault(request_id, set()).add(
+                    worker_name
+                )
+            # else: participating and unfinished — its own
+            # request_complete event resolves it.
+        self._sync_handles()
+
+    def _update_done(self, request_id: str, origin: str) -> bool:
+        completed = self._completion.get(request_id, ())
+        nonparticipants = self._nonparticipants.get(request_id, ())
+        origin_worker = self._workers.get(origin)
+        if (
+            origin_worker is not None
+            and origin_worker.alive
+            and origin not in completed
+        ):
+            return False
+        tracked = self._tracked.get(request_id)
+        if tracked is not None and not tracked.probed:
+            return False  # participant set not yet resolved
+        return all(
+            worker.name in completed
+            or worker.name in nonparticipants
+            or worker.name == origin
+            for worker in self._workers.values()
+            if worker.alive
+        )
+
+    def _query_done(self, request_id: str, origin: str) -> bool:
+        origin_worker = self._workers.get(origin)
+        if origin_worker is None or not origin_worker.alive:
+            return True  # completes; result() surfaces the failure
+        return origin in self._completion.get(request_id, ())
+
+    # ------------------------------------------------------------------
+    # Global updates
+    # ------------------------------------------------------------------
+
+    def submit_global_update(self, origin: str) -> RequestHandle:
+        """Submit one global update from *origin*; returns its proxy
+        handle (same semantics as
+        :meth:`repro.core.network.CoDBNetwork.submit_global_update`)."""
+        worker = self._worker(origin)
+        started_at = self.transport.now()
+        messages_before = self.transport.stats.messages_sent
+        bytes_before = self.transport.stats.bytes_sent
+        update_id = self._call(worker, "submit_update")["request_id"]
+        handle = RequestHandle(
+            request_id=update_id,
+            kind="update",
+            origin=origin,
+            transport=self.transport,
+            is_done=lambda: self._update_done(update_id, origin),
+            assemble=self._update_outcome,
+            try_cancel=lambda: self._cancel(origin, "update", update_id),
+            started_at=started_at,
+            messages_before=messages_before,
+            bytes_before=bytes_before,
+        )
+        self._track(handle)
+        return handle
+
+    def start_global_updates(
+        self, origins: Sequence[str]
+    ) -> list[RequestHandle]:
+        """Submit one update per origin back-to-back, without waiting —
+        over separate processes the sessions run truly in parallel."""
+        return [self.submit_global_update(origin) for origin in origins]
+
+    def global_update(self, origin: str) -> UpdateOutcome:
+        """Blocking wrapper over :meth:`submit_global_update`."""
+        return self.submit_global_update(origin).result(self.poll_timeout)
+
+    def await_all(
+        self, handles: Sequence[RequestHandle]
+    ) -> list[UpdateOutcome]:
+        """Await every handle; returns outcomes in handle order."""
+        return [handle.result(self.poll_timeout) for handle in handles]
+
+    def _track(self, handle: RequestHandle) -> None:
+        tracked = _TrackedRequest(
+            handle.request_id, handle.kind, handle.origin, handle
+        )
+        with self._lock:
+            self._tracked[handle.request_id] = tracked
+        handle.add_done_callback(self._on_handle_done)
+        if handle.kind == "update":
+            # The origin may already have finished (tiny networks
+            # complete before the driver even registers the handle).
+            self._maybe_probe(handle.request_id)
+        handle.done()
+
+    def _on_handle_done(self, handle: RequestHandle) -> None:
+        """Release the driver's per-request state once a handle
+        completes; remember the id (bounded) so late completion events
+        from slower workers are dropped, not re-accumulated."""
+        with self._lock:
+            self._tracked.pop(handle.request_id, None)
+            self._completion.pop(handle.request_id, None)
+            self._nonparticipants.pop(handle.request_id, None)
+            self._finished[handle.request_id] = None
+            while len(self._finished) > 4096:
+                self._finished.pop(next(iter(self._finished)))
+
+    def _cancel(self, origin: str, kind: str, request_id: str) -> bool:
+        try:
+            worker = self._worker(origin)
+        except ProtocolError:
+            return False
+        reply = self._call(worker, "cancel", kind=kind, request_id=request_id)
+        return bool(reply.get("cancelled"))
+
+    def _update_outcome(self, handle: RequestHandle) -> UpdateOutcome:
+        """Aggregate the per-worker §4 reports into the caller-facing
+        outcome (the super-peer aggregation, over the control channel)."""
+        update_id = handle.request_id
+        reports: list[UpdateReport] = []
+        for worker in self._workers.values():
+            if not worker.alive:
+                continue
+            payload = self._call(worker, "report", request_id=update_id).get(
+                "report"
+            )
+            if payload is not None:
+                reports.append(UpdateReport.from_payload(payload))
+        origin = handle.origin or (reports[0].origin if reports else "")
+        return UpdateOutcome(
+            update_id=update_id,
+            origin=origin,
+            report=aggregate_reports(update_id, origin, reports),
+            wall_time=handle.finished_at - handle.started_at,
+            transport_messages=handle.messages_after - handle.messages_before,
+            transport_bytes=handle.bytes_after - handle.bytes_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def submit_query(
+        self,
+        node_name: str,
+        query: str,
+        *,
+        mode: str = "network",
+        persist: bool = True,
+    ) -> RequestHandle:
+        """Submit *query* (text) at *node_name*; returns its handle."""
+        if not isinstance(query, str):
+            raise ProtocolError(
+                "ProcessNetwork queries must be text (they cross a "
+                "process boundary)"
+            )
+        worker = self._worker(node_name)
+        if mode == "local":
+            rows = self.query(node_name, query, mode="local")
+            handle = RequestHandle(
+                request_id=f"local-{next(self._cmd_ids)}",
+                kind="query",
+                origin=node_name,
+                transport=self.transport,
+                is_done=lambda: True,
+                assemble=lambda _handle: rows,
+                started_at=self.transport.now(),
+                messages_before=self.transport.stats.messages_sent,
+                bytes_before=self.transport.stats.bytes_sent,
+            )
+            handle.done()
+            return handle
+        if mode != "network":
+            raise ProtocolError(f"unknown query mode {mode!r}")
+        started_at = self.transport.now()
+        messages_before = self.transport.stats.messages_sent
+        bytes_before = self.transport.stats.bytes_sent
+        query_id = self._call(
+            worker, "submit_query", query=query, persist=persist
+        )["request_id"]
+        handle = RequestHandle(
+            request_id=query_id,
+            kind="query",
+            origin=node_name,
+            transport=self.transport,
+            is_done=lambda: self._query_done(query_id, node_name),
+            assemble=lambda _handle: self._query_answer(node_name, query_id),
+            try_cancel=lambda: self._cancel(node_name, "query", query_id),
+            started_at=started_at,
+            messages_before=messages_before,
+            bytes_before=bytes_before,
+        )
+        self._track(handle)
+        return handle
+
+    def _query_answer(self, origin: str, query_id: str) -> list[Row]:
+        worker = self._worker(origin)  # raises if the origin died
+        rows = self._call(worker, "query_answer", request_id=query_id)["rows"]
+        if rows is None:
+            raise ProtocolError(
+                f"query {query_id!r} has no answer at {origin!r}"
+            )
+        return [decode_row(row) for row in rows]
+
+    def query(
+        self, node_name: str, query: str, *, mode: str = "local", persist: bool = True
+    ) -> list[Row]:
+        """Answer *query* at *node_name* (blocking wrapper)."""
+        if not isinstance(query, str):
+            raise ProtocolError(
+                "ProcessNetwork queries must be text (they cross a "
+                "process boundary)"
+            )
+        if mode == "local":
+            worker = self._worker(node_name)
+            rows = self._call(worker, "query_local", query=query)["rows"]
+            return [decode_row(row) for row in rows]
+        if mode != "network":
+            raise ProtocolError(f"unknown query mode {mode!r}")
+        handle = self.submit_query(
+            node_name, query, mode="network", persist=persist
+        )
+        return handle.result(self.poll_timeout)
+
+    # ------------------------------------------------------------------
+    # Statistics & snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, list[Row]]]:
+        """``{node: {relation: sorted rows}}`` across alive workers."""
+        result: dict[str, dict[str, list[Row]]] = {}
+        for worker in self._workers.values():
+            if not worker.alive:
+                continue
+            relations = self._call(worker, "snapshot")["relations"]
+            result[worker.name] = {
+                relation: [decode_row(row) for row in rows]
+                for relation, rows in relations.items()
+            }
+        return result
+
+    def lifetime_totals(self) -> dict[str, dict]:
+        """Per-node lifetime aggregates, collected over control pipes."""
+        return {
+            worker.name: self._call(worker, "lifetime_totals")["node_totals"]
+            for worker in self._workers.values()
+            if worker.alive
+        }
+
+    def total_rows(self) -> int:
+        return sum(
+            sum(len(rows) for rows in relations.values())
+            for relations in self.snapshot().values()
+        )
+
+    # ------------------------------------------------------------------
+    # Failure injection & teardown
+    # ------------------------------------------------------------------
+
+    def crash_worker(self, name: str) -> None:
+        """Kill a worker process outright (chaos/testing): the pump
+        detects the EOF and runs the failure protocol."""
+        worker = self._worker(name)
+        worker.process.kill()
+
+    def stop(self) -> None:
+        """Shut every worker down; terminate stragglers; no orphans."""
+        if self._stopped or not self._started:
+            self._stopped = True
+            return
+        self._stopped = True
+        self._stopping = True
+        for worker in self._workers.values():
+            if not worker.alive:
+                continue
+            try:
+                self._call(worker, "shutdown", timeout=5.0)
+            except (ProtocolError, RequestTimeoutError):
+                pass
+        self._running = False
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2.0)
+        for worker in self._workers.values():
+            process = worker.process
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - hard stragglers
+                process.kill()
+                process.join(timeout=2.0)
+            worker.alive = False
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.transport.notify_progress()
+
+    def __enter__(self) -> "ProcessNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -8,7 +8,11 @@ E13).  Design:
   one message at a time — the same actor discipline as the simulator.
 * ``send`` frames the message (4-byte big-endian length prefix + JSON
   body) over a cached outbound connection per (sender, recipient)
-  pair, giving per-pair FIFO just like a JXTA pipe.
+  pair, giving per-pair FIFO just like a JXTA pipe.  ``TCP_NODELAY``
+  is set on every socket (accept and connect paths): protocol
+  messages are small and often sent in write-write bursts (a
+  ``query_result`` followed by its ``link_closed``), exactly the
+  pattern Nagle's algorithm would stall on a delayed ACK.
 * a global in-flight counter is incremented at ``send`` and
   decremented after the recipient's handler returns, so quiescence
   means *handled*, not merely delivered.  ``run_until_idle`` and
@@ -19,6 +23,16 @@ E13).  Design:
 The port registry doubles as the rendezvous service: peers address
 each other by peer id only, never by host/port — "IP independent
 naming space" (§2).
+
+Multi-process deployments (:mod:`repro.p2p.procs`) run one
+``TcpNetwork`` per worker process, hosting that worker's single node.
+The driver exchanges listening ports and installs them here as
+**remote peers** (:meth:`TcpNetwork.add_remote_peer`): sends to a
+remote peer go over the same wire format to the other process's
+listening socket, and arrivals *from* a peer this transport does not
+host are counted into the in-flight window at enqueue time (their
+send-side increment happened in another process).  The protocol
+layers cannot tell a remote peer from a local one.
 """
 
 from __future__ import annotations
@@ -77,6 +91,13 @@ class _PeerServer:
                 connection, _ = self.socket.accept()
             except OSError:
                 return
+            if self.network.nodelay:
+                try:
+                    connection.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError:  # pragma: no cover - platform quirk
+                    pass
             thread = threading.Thread(
                 target=self._receive_loop,
                 args=(connection,),
@@ -98,7 +119,15 @@ class _PeerServer:
                         return
                 except OSError:
                     return
-                self.inbox.put(Message.from_wire(body))
+                message = Message.from_wire(body)
+                # A message from a peer this transport does not host
+                # was counted in flight by ANOTHER process's send;
+                # enter it into the local window here so quiescence
+                # still means "every delivered message handled".
+                if message.sender not in self.network._servers:
+                    with self.network._inflight_lock:
+                        self.network._inflight += 1
+                self.inbox.put(message)
 
     def _delivery_loop(self) -> None:
         while True:
@@ -123,6 +152,15 @@ class _PeerServer:
     def stop(self) -> None:
         self._running = False
         self.inbox.put(None)
+        # shutdown() before close(): close() alone does not interrupt
+        # the accept thread's blocked accept(2), and the kernel keeps
+        # the listening socket alive (and accepting!) while that
+        # syscall holds it — shutdown revokes the listening state
+        # immediately, so post-stop connects are refused.
+        try:
+            self.socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.socket.close()
         except OSError:
@@ -130,14 +168,22 @@ class _PeerServer:
 
 
 class TcpNetwork(Transport):
-    """TCP/localhost transport; see module docstring."""
+    """TCP/localhost transport; see module docstring.
 
-    def __init__(self) -> None:
+    ``nodelay=False`` re-enables Nagle's algorithm on every socket —
+    only useful for measuring what ``TCP_NODELAY`` (the default) buys
+    on small-message bursts (``benchmarks/bench_tcp.py``).
+    """
+
+    def __init__(self, *, nodelay: bool = True) -> None:
         super().__init__()
         # The driver thread and every delivery thread send concurrently:
         # the traffic counters need the guarded variant.
         self.stats = ThreadSafeTransportStats()
+        self.nodelay = nodelay
         self._servers: dict[str, _PeerServer] = {}
+        #: Peers hosted by other processes: peer id -> TCP port.
+        self._remote_ports: dict[str, int] = {}
         self._connections: dict[tuple[str, str], socket.socket] = {}
         self._connections_lock = threading.Lock()
         self._send_locks: dict[tuple[str, str], threading.Lock] = {}
@@ -174,40 +220,110 @@ class TcpNetwork(Transport):
                 )
             )
 
+    # -- multi-process wiring ---------------------------------------------
+
+    def add_remote_peer(self, peer_id: str, port: int) -> None:
+        """Register a peer hosted by another process at *port*.
+
+        Sends to *peer_id* connect to ``127.0.0.1:port`` with the same
+        framing as local delivery; the protocol layers see no
+        difference.  The driver of a process-per-node deployment calls
+        this on every worker after exchanging listening ports.
+        """
+        if peer_id in self._servers:
+            raise UnknownPeerError(
+                f"peer {peer_id!r} is hosted by this transport"
+            )
+        self._remote_ports[peer_id] = port
+
+    def remove_remote_peer(self, peer_id: str) -> None:
+        """Forget a remote peer (its process died or left): subsequent
+        sends raise :class:`~repro.errors.UnknownPeerError`, which the
+        engines treat as a peer failure."""
+        self._remote_ports.pop(peer_id, None)
+        # Scan under _connections_lock: sender threads insert into
+        # _send_locks (setdefault) under the same lock concurrently.
+        with self._connections_lock:
+            key_matches = [
+                key for key in self._send_locks if key[1] == peer_id
+            ]
+            for key in key_matches:
+                connection = self._connections.pop(key, None)
+                if connection is not None:
+                    try:
+                        connection.close()
+                    except OSError:
+                        pass
+
+    def announce_peer_down(self, peer_id: str) -> None:
+        """Deliver a ``peer_down`` notification for a *remote* peer to
+        every locally hosted peer, through their normal inboxes (the
+        cross-process twin of :meth:`unregister`'s survivor fan-out)."""
+        self.remove_remote_peer(peer_id)
+        for survivor in self._servers.values():
+            with self._inflight_lock:
+                self._inflight += 1
+            survivor.inbox.put(
+                Message(
+                    kind="peer_down",
+                    sender=peer_id,
+                    recipient=survivor.peer_id,
+                    payload={"peer": peer_id},
+                )
+            )
+
     def peers(self) -> list[str]:
-        return list(self._servers)
+        return list(self._servers) + list(self._remote_ports)
 
     def port_of(self, peer_id: str) -> int:
         """The rendezvous lookup (peer id -> TCP port)."""
+        server = self._servers.get(peer_id)
+        if server is not None:
+            return server.port
         try:
-            return self._servers[peer_id].port
+            return self._remote_ports[peer_id]
         except KeyError:
             raise UnknownPeerError(peer_id) from None
 
     def send(self, message: Message) -> None:
         if self._stopped:
             raise TransportStoppedError("network is stopped")
-        if message.recipient not in self._servers:
+        local = message.recipient in self._servers
+        if not local and message.recipient not in self._remote_ports:
             raise UnknownPeerError(message.recipient)
         body = message.to_wire()
         self.stats.record_send(message)
-        with self._inflight_lock:
-            self._inflight += 1
+        if local:
+            # In-flight accounting is per process: a local recipient's
+            # handling decrements here; a remote recipient's transport
+            # counts the message at arrival instead.
+            with self._inflight_lock:
+                self._inflight += 1
         key = (message.sender, message.recipient)
         with self._connections_lock:
             send_lock = self._send_locks.setdefault(key, threading.Lock())
         # The per-pair lock keeps frames atomic when the main thread and
         # a handler thread send under the same (sender, recipient) pair.
-        with send_lock:
-            connection = self._connection_for(message.sender, message.recipient)
-            try:
-                connection.sendall(_LENGTH.pack(len(body)) + body)
-            except OSError:
-                # One reconnect attempt (the receiver may have restarted).
-                with self._connections_lock:
-                    self._connections.pop(key, None)
+        try:
+            with send_lock:
                 connection = self._connection_for(message.sender, message.recipient)
-                connection.sendall(_LENGTH.pack(len(body)) + body)
+                try:
+                    connection.sendall(_LENGTH.pack(len(body)) + body)
+                except OSError:
+                    # One reconnect attempt (the receiver may have restarted).
+                    with self._connections_lock:
+                        self._connections.pop(key, None)
+                    connection = self._connection_for(message.sender, message.recipient)
+                    connection.sendall(_LENGTH.pack(len(body)) + body)
+        except OSError as exc:
+            # A remote worker died between the port lookup and the
+            # write: undo the local-recipient accounting (never taken
+            # here — remote sends don't increment) and surface the
+            # failure as an unknown peer, the engines' failure path.
+            if local:
+                with self._inflight_lock:
+                    self._inflight -= 1
+            raise UnknownPeerError(message.recipient) from exc
 
     def _connection_for(self, sender: str, recipient: str) -> socket.socket:
         key = (sender, recipient)
@@ -217,6 +333,13 @@ class TcpNetwork(Transport):
                 connection = socket.create_connection(
                     ("127.0.0.1", self.port_of(recipient)), timeout=5.0
                 )
+                if self.nodelay:
+                    try:
+                        connection.setsockopt(
+                            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                        )
+                    except OSError:  # pragma: no cover - platform quirk
+                        pass
                 self._connections[key] = connection
             return connection
 
@@ -250,6 +373,7 @@ class TcpNetwork(Transport):
             server.stop()
         self.notify_progress()  # release any waiter blocked on progress
         self._servers.clear()
+        self._remote_ports.clear()
         with self._connections_lock:
             for connection in self._connections.values():
                 try:

@@ -1,0 +1,22 @@
+"""Process-per-node deployment of the coDB stack.
+
+The paper's nodes are independent JXTA peers, each with its own DBMS;
+this package makes that literal: one OS process per node, CQ
+evaluation genuinely parallel across cores.  The driver-side network
+object lives in :mod:`repro.p2p.procs` (:class:`~repro.p2p.procs.
+ProcessNetwork`); this package holds the worker entry point and the
+driver↔worker control protocol.
+"""
+
+from repro.runner.protocol import COMMANDS, EVENTS, command, decode_frame, encode_frame
+from repro.runner.worker import NodeWorker, worker_main
+
+__all__ = [
+    "COMMANDS",
+    "EVENTS",
+    "command",
+    "decode_frame",
+    "encode_frame",
+    "NodeWorker",
+    "worker_main",
+]

@@ -101,3 +101,96 @@ class TestChurnAndQueries:
         outcome = net.global_update("A")
         assert (4,) in net.node("A").rows("item")
         assert outcome.update_id
+
+
+class TestFailureFinalizeScope:
+    """The self-finalize arming introduced for severed components
+    (``UpdateEngine.peer_lost``) must only arm for peers the session
+    actually touches — an unrelated death must never prime a healthy
+    branch to flood completion prematurely."""
+
+    def _live_session(self):
+        net = CoDBNetwork(seed=5, with_superpeer=False)
+        net.add_node("A", "item(k: int)")
+        net.add_node("B", "item(k: int)", facts={"item": [(1,)]})
+        net.add_rule("A:item(k) <- B:item(k)")
+        net.start()
+        handle = net.submit_global_update("A")
+        session = net.node("A").updates.session(handle.request_id)
+        assert session is not None  # flood still queued on the simulator
+        return net, handle, session
+
+    def test_unrelated_peer_death_does_not_arm_self_finalize(self):
+        net, handle, session = self._live_session()
+        session.on_peer_unreachable("GHOST")
+        assert not session.peer_lost
+        assert handle.result() is not None  # update still completes fully
+        assert net.node("A").rows("item") == [(1,)]
+
+    def test_linked_peer_death_arms_self_finalize(self):
+        net, handle, session = self._live_session()
+        session.on_peer_unreachable("B")
+        assert session.peer_lost
+
+    def test_cut_vertex_crash_finalizes_severed_component(self):
+        """Chain A <- B <- C: the origin A's only route to C is B.
+        Killing B mid-update must still complete the update at C (the
+        severed side self-finalizes; nothing hangs)."""
+        net = CoDBNetwork(seed=6, with_superpeer=False)
+        net.add_node("A", "item(k: int)")
+        net.add_node("B", "item(k: int)", facts={"item": [(1,)]})
+        net.add_node("C", "item(k: int)", facts={"item": [(2,)]})
+        net.add_rule("A:item(k) <- B:item(k)")
+        net.add_rule("B:item(k) <- C:item(k)")
+        net.start()
+        node_a = net.node("A")
+        update_id = node_a.start_global_update()
+        net.transport.run_until_idle(max_messages=2)  # flood reaches B/C
+        net.node("B").detach()
+        net.run()
+        assert node_a.update_done(update_id)
+        assert net.node("C").updates.is_done(update_id)
+        assert not net.node("C").updates.active_ids()
+
+    def test_premature_failure_flood_does_not_truncate_healthy_branches(self):
+        """Rules A<-B, A<-C, B<-X.  If X dies, B may legitimately
+        self-finalize — but its ``cause="failure"`` completion flood
+        reaching the still-active origin A must ARM A, not finalize
+        it: C's rows are still in flight, and finalizing would force-
+        close the live C link and drop them all."""
+        from repro.p2p.messages import Message
+
+        net = CoDBNetwork(seed=9, with_superpeer=False)
+        net.add_node("A", "item(k: int)")
+        net.add_node("B", "item(k: int)", facts={"item": [(1,)]})
+        net.add_node(
+            "C", "item(k: int)",
+            facts={"item": [(k,) for k in range(100, 300)]},
+        )
+        net.add_node("X", "item(k: int)", facts={"item": [(2,)]})
+        net.add_rule("A:item(k) <- B:item(k)")
+        net.add_rule("A:item(k) <- C:item(k)")
+        net.add_rule("B:item(k) <- X:item(k)")
+        net.start()
+        node_a = net.node("A")
+        update_id = node_a.start_global_update()
+        net.transport.run_until_idle(max_messages=2)
+        assert not node_a.update_done(update_id)
+        # Inject B's premature failure-triggered completion flood while
+        # A's session is still live (C's results not yet delivered).
+        node_a.updates.on_update_complete(
+            Message(
+                kind="update_complete",
+                sender="B",
+                recipient="A",
+                payload={"update_id": update_id, "cause": "failure"},
+            )
+        )
+        assert not node_a.update_done(update_id), (
+            "a failure flood finalized the still-active origin"
+        )
+        net.run()
+        assert node_a.update_done(update_id)
+        assert len(node_a.rows("item")) == 202, (
+            "in-flight rows were dropped by a premature completion"
+        )

@@ -76,6 +76,30 @@ class TestRun:
         assert len(lines) == 3
         assert "(origin TN)" in text and "(origin BZ)" in text
 
+    def test_processes_runs_the_spec_per_node(self, spec_path):
+        code, text = run_cli(
+            "run", spec_path, "--processes",
+            "--origin", "TN,BZ",
+            "--query", "q(n) <- resident(n)",
+        )
+        assert code == 0
+        lines = [
+            line for line in text.splitlines() if line.startswith("update ")
+        ]
+        assert len(lines) == 2
+        assert "(origin TN)" in text and "(origin BZ)" in text
+        assert "'anna'" in text
+        assert "'bob'" not in text
+
+    def test_processes_single_origin(self, spec_path):
+        code, text = run_cli("run", spec_path, "--processes")
+        assert code == 0
+        assert "update " in text
+
+    def test_processes_rejects_report(self, spec_path):
+        code, _ = run_cli("run", spec_path, "--processes", "--report")
+        assert code == 2
+
     def test_missing_origin(self, tmp_path):
         spec = {
             "nodes": [{"name": "A", "schema": "r(x)"}],

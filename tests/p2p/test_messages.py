@@ -3,7 +3,74 @@
 import pytest
 
 from repro.errors import ProtocolError
-from repro.p2p.messages import Message
+from repro.p2p.messages import KINDS, Message
+from repro.relational.values import MarkedNull, decode_row, encode_row
+
+#: Representative payloads for every protocol message kind — each
+#: round-trip test feeds one through the wire format.  Rows carry a
+#: marked null and non-ASCII text (the §4 volume statistics count raw
+#: UTF-8 bytes, and nulls must survive any hop).
+ROWS = [
+    encode_row((1, "Trento⟪è⟫")),
+    encode_row((MarkedNull("N7@BZ"), "Bolzano/Bozen — Südtirol")),
+]
+KIND_PAYLOADS = {
+    "hello": {"pipe_id": "pipe-ab12cd-0001"},
+    "rules_file": {
+        "rules": [
+            {
+                "rule_id": "r0",
+                "target": "TN",
+                "source": "BZ",
+                "mapping": "TN:resident(n) <- BZ:person(n, c), c = 'Trento'",
+            }
+        ]
+    },
+    "update_request": {
+        "update_id": "update-ab12cd-0000",
+        "origin": "TN",
+        "path": ["TN", "BZ"],
+    },
+    "query_result": {
+        "update_id": "update-ab12cd-0000",
+        "rule_id": "r0",
+        "rows": ROWS,
+        "path_len": 2,
+    },
+    "link_closed": {"update_id": "update-ab12cd-0000", "rule_id": "r0"},
+    "update_complete": {"update_id": "update-ab12cd-0000"},
+    "ack": {"computation_id": "update-ab12cd-0000"},
+    "query_request": {
+        "query_id": "query-ab12cd-0000",
+        "rule_id": "r0",
+        "origin": "TN",
+    },
+    "query_data": {
+        "query_id": "query-ab12cd-0000",
+        "rule_id": "r0",
+        "rows": ROWS,
+    },
+    "query_answer": {"query_id": "query-ab12cd-0000", "rows": ROWS},
+    "query_complete": {"query_id": "query-ab12cd-0000"},
+    "push_delta": {"rule_id": "r0", "rows": ROWS},
+    "stats_request": {"collection_id": "msg-ab12cd-0009"},
+    "stats_response": {
+        "node": "TN",
+        "collection_id": "msg-ab12cd-0009",
+        "reports": [],
+        "queries_answered": 3,
+    },
+    "discovery_request": {"query": {"relation": "person"}},
+    "discovery_response": {"advertisements": []},
+    "topology_request": {"probe_id": "msg-ab12cd-0010", "path": ["TN"]},
+    "topology_response": {"probe_id": "msg-ab12cd-0010", "edges": []},
+    "peer_down": {"peer": "BZ"},
+    "undeliverable": {
+        "kind": "query_result",
+        "recipient": "BZ",
+        "payload": {"update_id": "update-ab12cd-0000"},
+    },
+}
 
 
 class TestWireFormat:
@@ -44,6 +111,62 @@ class TestWireFormat:
         assert reply.sender == "B"
         assert reply.recipient == "A"
         assert reply.kind == "answer"
+
+
+class TestEveryKindRoundTrips:
+    def test_vocabulary_is_covered(self):
+        assert set(KIND_PAYLOADS) == set(KINDS)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_round_trip(self, kind):
+        message = Message(
+            kind=kind,
+            sender="TN",
+            recipient="BZ",
+            payload=KIND_PAYLOADS[kind],
+            message_id="msg-ab12cd-0042",
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded == message
+        assert decoded.size_bytes() == message.size_bytes()
+        assert decoded.payload_bytes() == message.payload_bytes()
+
+    def test_marked_null_rows_survive_the_wire(self):
+        message = Message("query_result", "TN", "BZ", KIND_PAYLOADS["query_result"])
+        decoded = Message.from_wire(message.to_wire())
+        rows = [decode_row(row) for row in decoded.payload["rows"]]
+        assert rows[0] == (1, "Trento⟪è⟫")
+        null, city = rows[1]
+        assert isinstance(null, MarkedNull)
+        assert null == MarkedNull("N7@BZ")
+        assert city == "Bolzano/Bozen — Südtirol"
+
+
+class TestSizeCaching:
+    def test_wire_bytes_are_cached(self):
+        message = Message("k", "A", "B", {"x": 1})
+        assert message.to_wire() is message.to_wire()  # same object
+
+    def test_sizes_consistent_with_wire(self):
+        message = Message("query_result", "TN", "BZ", KIND_PAYLOADS["query_result"])
+        assert message.size_bytes() == len(message.to_wire())
+        assert message.payload_bytes() < message.size_bytes()
+        # Repeated statistics touches return the identical number.
+        assert message.size_bytes() == message.size_bytes()
+        assert message.payload_bytes() == message.payload_bytes()
+
+    def test_from_wire_reuses_received_bytes(self):
+        wire = Message("k", "A", "B", {"x": 1}).to_wire()
+        decoded = Message.from_wire(wire)
+        assert decoded.to_wire() is wire  # no re-serialisation on receive
+
+    def test_cached_message_still_equal_and_frozen(self):
+        a = Message("k", "A", "B", {"b": 1, "a": 2})
+        b = Message("k", "A", "B", {"a": 2, "b": 1})
+        a.size_bytes()  # populate a's cache only
+        assert a == b
+        with pytest.raises(AttributeError):
+            a.kind = "other"
 
 
 class TestIdAuthority:

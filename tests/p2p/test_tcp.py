@@ -96,3 +96,118 @@ class TestTcpDelivery:
         t0 = net.now()
         t1 = net.now()
         assert t1 >= t0 >= 0.0
+
+
+class TestNodelay:
+    def test_nodelay_set_on_connect_and_accept_paths(self, net):
+        import socket as socket_module
+
+        seen = []
+        net.register("A", seen.append)
+        net.register("B", lambda m: None)
+        net.send(msg("B", "A"))
+        net.run_until_idle()
+        assert len(seen) == 1
+        # The cached outbound connection has TCP_NODELAY set.
+        connection = net._connections[("B", "A")]
+        assert connection.getsockopt(
+            socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY
+        )
+
+    def test_nagle_can_be_reenabled_for_benchmarks(self):
+        import socket as socket_module
+
+        network = TcpNetwork(nodelay=False)
+        try:
+            network.register("A", lambda m: None)
+            network.register("B", lambda m: None)
+            network.send(msg("B", "A"))
+            network.run_until_idle()
+            connection = network._connections[("B", "A")]
+            assert not connection.getsockopt(
+                socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY
+            )
+        finally:
+            network.stop()
+
+
+class TestRemotePeers:
+    """Two TcpNetwork instances in one process stand in for two worker
+    processes: each hosts one peer, the other is wired as remote."""
+
+    def test_cross_transport_delivery_and_accounting(self):
+        left, right = TcpNetwork(), TcpNetwork()
+        got_a, got_b = [], []
+        try:
+            left.register("A", got_a.append)
+            right.register("B", got_b.append)
+            left.add_remote_peer("B", right.port_of("B"))
+            right.add_remote_peer("A", left.port_of("A"))
+            assert set(left.peers()) == {"A", "B"}
+
+            for i in range(5):
+                left.send(msg("A", "B", i))
+            # The receiving transport owns the in-flight window for
+            # cross-process arrivals (the sender's counter is not
+            # touched); completion is observed on the receiver's side.
+            right.wait_for(lambda: len(got_b) == 5, 5.0)
+            right.run_until_idle()
+            assert [m.payload["n"] for m in got_b] == list(range(5))
+
+            right.send(msg("B", "A", 99))
+            left.wait_for(lambda: len(got_a) == 1, 5.0)
+            assert [m.payload["n"] for m in got_a] == [99]
+        finally:
+            left.stop()
+            right.stop()
+
+    def test_local_peer_wins_over_remote_registration(self):
+        net = TcpNetwork()
+        try:
+            net.register("A", lambda m: None)
+            with pytest.raises(UnknownPeerError):
+                net.add_remote_peer("A", 1)
+        finally:
+            net.stop()
+
+    def test_removed_remote_peer_raises_unknown(self):
+        left, right = TcpNetwork(), TcpNetwork()
+        try:
+            left.register("A", lambda m: None)
+            right.register("B", lambda m: None)
+            left.add_remote_peer("B", right.port_of("B"))
+            left.remove_remote_peer("B")
+            with pytest.raises(UnknownPeerError):
+                left.send(msg("A", "B"))
+        finally:
+            left.stop()
+            right.stop()
+
+    def test_send_to_dead_remote_raises_unknown(self):
+        left, right = TcpNetwork(), TcpNetwork()
+        try:
+            left.register("A", lambda m: None)
+            right.register("B", lambda m: None)
+            left.add_remote_peer("B", right.port_of("B"))
+            right.stop()  # the "worker" dies
+            with pytest.raises(UnknownPeerError):
+                left.send(msg("A", "B"))
+                # The first send may land in a kernel buffer before the
+                # RST arrives; the retry path must surface the failure.
+                left.send(msg("A", "B"))
+        finally:
+            left.stop()
+
+    def test_announce_peer_down_delivers_notification(self):
+        net = TcpNetwork()
+        seen = []
+        try:
+            net.register("A", seen.append)
+            net.add_remote_peer("B", 54321)
+            net.announce_peer_down("B")
+            net.run_until_idle()
+            assert [m.kind for m in seen] == ["peer_down"]
+            assert seen[0].payload["peer"] == "B"
+            assert "B" not in net.peers()
+        finally:
+            net.stop()

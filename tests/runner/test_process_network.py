@@ -1,0 +1,288 @@
+"""The process-per-node runner: differential + failure tests.
+
+The acceptance anchor for :class:`repro.p2p.procs.ProcessNetwork`:
+
+* randomized multi-origin update storms over one-process-per-node
+  deployments leave every node's database equal — up to a renaming of
+  marked nulls — to the deterministic simulator run *and* the
+  threaded-TCP run of the same workload;
+* mixed query+update handle streams complete through ``as_completed``
+  in driver-observed completion order;
+* a worker crash mid-update surfaces as ``peer_down`` at the
+  survivors and every driver handle still completes (no hang);
+* ``stop()`` leaves no orphan worker processes.
+
+Workloads mirror ``tests/core/test_concurrent_updates.py`` so the
+differential claim spans all three deployments of the same stack.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CoDBNetwork,
+    NodeConfig,
+    ProcessNetwork,
+    TcpNetwork,
+    as_completed,
+)
+from repro.errors import ProtocolError
+from repro.relational.containment import rows_equal_up_to_nulls
+
+ITEM_SCHEMA = "item(k: int)\ntag(k: int, w)"
+
+
+def topology_edges(topology: str) -> tuple[list[str], list[tuple[str, str]]]:
+    if topology == "chain":
+        names = [f"N{i}" for i in range(4)]
+        edges = [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+    elif topology == "cycle":
+        names = [f"N{i}" for i in range(4)]
+        edges = [
+            (names[i], names[(i + 1) % len(names)]) for i in range(len(names))
+        ]
+    else:  # pragma: no cover - test parametrisation bug
+        raise ValueError(topology)
+    return names, edges
+
+
+def build_network(topology: str, seed: int, make_net, *, items=10):
+    """Build the (topology, seed)-derived workload on any deployment.
+
+    ``make_net`` is one of the three backend factories; the facts and
+    rules are deterministic in (topology, seed), so all deployments
+    build byte-identical twins.
+    """
+    rng = random.Random(seed * 7919 + len(topology))
+    names, edges = topology_edges(topology)
+    net = make_net()
+    for name in names:
+        facts = {"item": [(rng.randrange(40),) for _ in range(items)]}
+        net.add_node(name, ITEM_SCHEMA, facts=facts)
+    for target, source in edges:
+        net.add_rule(f"{target}:item(k) <- {source}:item(k)")
+        if rng.random() < 0.5:
+            net.add_rule(f"{target}:tag(k, w) <- {source}:item(k)")
+    net.start()
+    return net
+
+
+def make_process_net(seed: int, **kwargs):
+    return ProcessNetwork(
+        seed=seed, config=NodeConfig(subsumption_dedup=True), **kwargs
+    )
+
+
+def make_simulator_net(seed: int):
+    return CoDBNetwork(
+        seed=seed,
+        with_superpeer=False,
+        config=NodeConfig(subsumption_dedup=True),
+    )
+
+
+def make_tcp_net(seed: int):
+    return CoDBNetwork(
+        seed=seed,
+        transport=TcpNetwork(),
+        with_superpeer=False,
+        config=NodeConfig(subsumption_dedup=True),
+    )
+
+
+def pick_origins(topology: str, seed: int, count: int = 3) -> list[str]:
+    names, _ = topology_edges(topology)
+    rng = random.Random(seed * 31 + 5)
+    return rng.sample(names, count)
+
+
+def assert_snapshots_equal_up_to_nulls(left: dict, right: dict) -> None:
+    assert set(left) == set(right)
+    for node_name, relations in left.items():
+        assert set(relations) == set(right[node_name])
+        for relation, rows in relations.items():
+            assert rows_equal_up_to_nulls(
+                rows, right[node_name][relation]
+            ), f"{node_name}.{relation} diverged"
+
+
+class TestDifferentialAgainstOtherDeployments:
+    @pytest.mark.parametrize("topology", ["chain", "cycle"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_concurrent_storm_matches_simulator_and_tcp(self, topology, seed):
+        origins = pick_origins(topology, seed)
+
+        proc_net = build_network(
+            topology, seed, lambda: make_process_net(seed)
+        )
+        try:
+            handles = proc_net.start_global_updates(origins)
+            outcomes = proc_net.await_all(handles)
+            proc_state = proc_net.snapshot()
+        finally:
+            proc_net.stop()
+        assert [o.origin for o in outcomes] == origins
+        assert all(o.report.node_reports for o in outcomes)
+
+        sim_net = build_network(topology, seed, lambda: make_simulator_net(seed))
+        for origin in origins:
+            sim_net.global_update(origin)
+        sim_state = sim_net.snapshot()
+
+        tcp_net = build_network(topology, seed, lambda: make_tcp_net(seed))
+        try:
+            tcp_net.await_all(tcp_net.start_global_updates(origins))
+            tcp_state = tcp_net.snapshot()
+        finally:
+            tcp_net.stop()
+
+        assert_snapshots_equal_up_to_nulls(proc_state, sim_state)
+        assert_snapshots_equal_up_to_nulls(proc_state, tcp_state)
+
+    def test_sqlite_workers_match_memory_workers(self):
+        seed, topology = 2, "chain"
+        origins = pick_origins(topology, seed, count=2)
+
+        sqlite_net = build_network(
+            topology, seed, lambda: make_process_net(seed, store="sqlite")
+        )
+        try:
+            sqlite_net.await_all(sqlite_net.start_global_updates(origins))
+            sqlite_state = sqlite_net.snapshot()
+        finally:
+            sqlite_net.stop()
+
+        sim_net = build_network(topology, seed, lambda: make_simulator_net(seed))
+        for origin in origins:
+            sim_net.global_update(origin)
+        assert_snapshots_equal_up_to_nulls(sqlite_state, sim_net.snapshot())
+
+
+class TestMixedHandleStreams:
+    def test_as_completed_streams_queries_and_updates(self):
+        seed, topology = 3, "chain"
+        net = build_network(topology, seed, lambda: make_process_net(seed))
+        try:
+            update_handles = net.start_global_updates(["N0", "N1", "N2"])
+            query_handles = [
+                net.submit_query("N3", "q(k) <- item(k)"),
+                net.submit_query("N0", "q(k) <- item(k)"),
+            ]
+            handles = update_handles + query_handles
+            seen = []
+            for handle in as_completed(handles, timeout=60):
+                seen.append(handle)
+                handle.result()
+            assert {h.request_id for h in seen} == {
+                h.request_id for h in handles
+            }
+            # Driver-observed completion order: as_completed must yield
+            # by strictly increasing completion index.
+            indices = [h.completion_index for h in seen]
+            assert indices == sorted(indices)
+            assert all(index > 0 for index in indices)
+            # Query answers contain data (every node holds items).
+            for handle in query_handles:
+                assert handle.result(), "network query returned no rows"
+        finally:
+            net.stop()
+
+    def test_local_and_network_query_modes(self):
+        seed = 4
+        net = build_network("chain", seed, lambda: make_process_net(seed))
+        try:
+            net.global_update("N0")
+            local = net.query("N0", "q(k) <- item(k)")
+            network = sorted(
+                net.query("N3", "q(k) <- item(k)", mode="network")
+            )
+            assert local, "local query returned no rows"
+            assert network, "network query returned no rows"
+        finally:
+            net.stop()
+
+    def test_admission_cap_pipelines_the_storm(self):
+        seed, topology = 5, "chain"
+        capped = build_network(
+            topology,
+            seed,
+            lambda: ProcessNetwork(
+                seed=seed,
+                config=NodeConfig(
+                    subsumption_dedup=True, max_active_sessions=2
+                ),
+            ),
+        )
+        try:
+            handles = capped.start_global_updates(["N0", "N1", "N2"])
+            capped.await_all(handles)
+            capped_state = capped.snapshot()
+            totals = capped.lifetime_totals()
+        finally:
+            capped.stop()
+        assert all(
+            t["live_sessions_peak"] <= 2 for t in totals.values()
+        ), totals
+
+        sim_net = build_network(topology, seed, lambda: make_simulator_net(seed))
+        for origin in ["N0", "N1", "N2"]:
+            sim_net.global_update(origin)
+        assert_snapshots_equal_up_to_nulls(capped_state, sim_net.snapshot())
+
+
+class TestWorkerFailure:
+    def test_crash_mid_update_completes_all_handles(self):
+        seed = 6
+        # Larger per-node volumes keep the storm in flight long enough
+        # for the kill to land mid-update on any machine.
+        net = build_network(
+            "chain", seed, lambda: make_process_net(seed), items=120
+        )
+        try:
+            handles = net.start_global_updates(["N0", "N2", "N0"])
+            net.crash_worker("N1")
+            outcomes = [handle.result(60) for handle in handles]
+            assert len(outcomes) == 3
+            assert "N1" not in net.alive_workers()
+            # Survivors must have observed the failure through the
+            # normal protocol (links closed, sessions finalized) —
+            # their stats still answer over the control channel.
+            totals = net.lifetime_totals()
+            assert set(totals) == {"N0", "N2", "N3"}
+            with pytest.raises(ProtocolError):
+                net.submit_global_update("N1")
+        finally:
+            net.stop()
+        assert all(not p.is_alive() for p in net.worker_processes())
+
+    def test_crash_of_update_origin_completes_its_handle(self):
+        seed = 7
+        net = build_network(
+            "chain", seed, lambda: make_process_net(seed), items=120
+        )
+        try:
+            handles = net.start_global_updates(["N1", "N3"])
+            net.crash_worker("N1")
+            for handle in handles:
+                handle.result(60)  # completes; no hang
+        finally:
+            net.stop()
+
+
+class TestShutdown:
+    def test_stop_leaves_no_orphans_and_is_idempotent(self):
+        seed = 8
+        net = build_network("chain", seed, lambda: make_process_net(seed))
+        net.global_update("N0")
+        net.stop()
+        assert all(not p.is_alive() for p in net.worker_processes())
+        net.stop()  # idempotent
+
+    def test_context_manager_stops_workers(self):
+        seed = 9
+        with build_network(
+            "chain", seed, lambda: make_process_net(seed)
+        ) as net:
+            net.global_update("N2")
+        assert all(not p.is_alive() for p in net.worker_processes())
