@@ -6,6 +6,12 @@ way its super-peer would.  Shape: with sent-set dedup, every rule in
 an acyclic topology carries exactly one result message per activation
 plus one per upstream delta batch; cyclic topologies multiply messages
 with cycle length; the naive baseline (E10) inflates all of this.
+
+``test_codec_report`` additionally compares the two wire codecs the
+transport can negotiate (:mod:`repro.p2p.messages`): bytes per message
+and encode/decode throughput of the binary restricted-pickle frames vs
+stable JSON, on a row-heavy ``query_result`` and two small control
+envelopes.
 """
 
 import pytest
@@ -67,3 +73,142 @@ def test_messages_report(benchmark, report):
     assert by_name[f"star-{SIZE - 1}"][4] == 1
     # cyclic topologies need strictly more messages per rule on average
     assert float(by_name[f"ring-{SIZE}"][5]) > float(by_name[f"chain-{SIZE}"][5])
+
+
+# ---------------------------------------------------------------------------
+# Wire codec comparison: negotiated binary frames vs stable JSON
+# ---------------------------------------------------------------------------
+
+CODEC_ITERATIONS = 300
+
+
+def _codec_samples():
+    """Representative messages: the row-heavy data message that
+    dominates update traffic, plus two small control envelopes."""
+    from repro.p2p.messages import Message
+    from repro.relational.values import MarkedNull, encode_row
+
+    rows = [
+        encode_row(
+            (
+                i,
+                MarkedNull(f"N{i % 7}@BZ") if i % 5 == 0 else i * 3,
+                "Bolzano/Bozen — Südtirol",
+            )
+        )
+        for i in range(200)
+    ]
+    return {
+        "query_result/200rows": lambda: Message(
+            "query_result",
+            "TN",
+            "BZ",
+            {"update_id": "update-ab12cd-0000", "rule_id": "r0", "rows": rows,
+             "path_len": 2},
+        ),
+        "update_request": lambda: Message(
+            "update_request",
+            "TN",
+            "BZ",
+            {"update_id": "update-ab12cd-0000", "origin": "TN",
+             "path": ["TN", "BZ"]},
+        ),
+        "ack": lambda: Message(
+            "ack", "BZ", "TN", {"computation_id": "update-ab12cd-0000"}
+        ),
+    }
+
+
+def test_codec_report(benchmark, report, smoke):
+    """Bytes per message and encode/decode throughput, binary vs JSON.
+
+    Acceptance: binary frames are no larger than stable JSON and decode
+    at least as fast (timing gates only on quiet non-CI machines; the
+    §4 statistics stay codec-independent either way).
+    """
+    import os
+    import time
+
+    from repro.p2p.messages import Message
+
+    iterations = 50 if smoke else CODEC_ITERATIONS
+
+    def best_of(callable_, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            callable_()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run():
+        rows_out = []
+        ratios = {}
+        for label, make in _codec_samples().items():
+            sample = make()
+            json_bytes = len(sample.to_wire())
+            binary_bytes = len(sample.to_binary())
+            # Fresh Message per iteration: both wire forms are cached
+            # on the instance, so reuse would time the cache.
+            json_encode = best_of(
+                lambda: [make().to_wire() for _ in range(iterations)]
+            )
+            binary_encode = best_of(
+                lambda: [make().to_binary() for _ in range(iterations)]
+            )
+            json_wire = sample.to_wire()
+            binary_wire = sample.to_binary()
+            assert Message.from_frame(binary_wire) == Message.from_frame(
+                json_wire
+            )
+            json_decode = best_of(
+                lambda: [Message.from_frame(json_wire) for _ in range(iterations)]
+            )
+            binary_decode = best_of(
+                lambda: [
+                    Message.from_frame(binary_wire) for _ in range(iterations)
+                ]
+            )
+            ratios[label] = (
+                json_bytes / binary_bytes,
+                json_decode / binary_decode,
+            )
+            per = iterations / 1000  # -> µs per message
+            rows_out.append(
+                [
+                    label,
+                    json_bytes,
+                    binary_bytes,
+                    f"{json_bytes / binary_bytes:.2f}x",
+                    f"{json_encode * 1000 / per:.1f}",
+                    f"{binary_encode * 1000 / per:.1f}",
+                    f"{json_decode * 1000 / per:.1f}",
+                    f"{binary_decode * 1000 / per:.1f}",
+                ]
+            )
+        return rows_out, ratios
+
+    rows_out, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        [
+            "message",
+            "json B",
+            "binary B",
+            "size ratio",
+            "json enc µs",
+            "bin enc µs",
+            "json dec µs",
+            "bin dec µs",
+        ],
+        rows_out,
+        title="Wire codecs: negotiated binary frames vs stable JSON",
+    )
+    for label, (size_ratio, decode_ratio) in ratios.items():
+        benchmark.extra_info[f"size/{label}"] = round(size_ratio, 2)
+        benchmark.extra_info[f"decode/{label}"] = round(decode_ratio, 2)
+    # Binary frames must never be *larger*; decode speed gates only on
+    # quiet non-CI machines (measured ~1.2× on the row-heavy message).
+    for label, (size_ratio, decode_ratio) in ratios.items():
+        assert size_ratio >= 1.0, (label, size_ratio)
+    if not smoke and not os.environ.get("CI"):
+        assert ratios["query_result/200rows"][1] >= 1.0

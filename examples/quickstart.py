@@ -56,6 +56,15 @@ def main() -> None:
     print(f"  queried acquaintances: {report.queried_acquaintances}")
     print(f"  bytes received:        {report.total_bytes_received()}")
 
+    # Which executor served the plans?  Every compiled plan runs on
+    # exactly one of three executors (columnar batches for in-memory
+    # stores, SQL pushdown for SQLite stores, the row-at-a-time loop as
+    # fallback); lifetime_totals() counts each dispatch.
+    totals = net.node("BZ").stats.lifetime_totals()
+    print("\nBZ's executor dispatch:")
+    for key in ("plans_columnar", "plans_pushdown", "plans_row_loop"):
+        print(f"  {key:16s} {totals[key]}")
+
 
 if __name__ == "__main__":
     main()

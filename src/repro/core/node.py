@@ -144,6 +144,8 @@ class CoDBNode:
         self.discovery = DiscoveryService(self.endpoint, self._advertisement())
         self.nulls = NullFactory(name)
         self.stats = NodeStatistics(name)
+        # lifetime_totals() shows where this node's compiled plans ran.
+        self.stats.dispatch_source = self.wrapper.dispatch_counts
         self.links = LinkTable(name, [])
         self.termination = DiffusingComputation(
             self.send_ack, self._on_root_complete

@@ -179,6 +179,11 @@ class NodeStatistics:
         self.sessions_deferred = 0
         self.admission_queue_peak = 0
         self.live_sessions_peak = 0
+        #: Zero-argument callable returning the store's executor
+        #: dispatch counters (``Wrapper.dispatch_counts``); the node
+        #: wires it at construction so ``lifetime_totals`` can show
+        #: where compiled plans actually ran.
+        self.dispatch_source = None
 
     def open_report(self, update_id: str, origin: str, now: float) -> UpdateReport:
         report = UpdateReport(
@@ -203,9 +208,14 @@ class NodeStatistics:
         return [r for r in self.reports.values() if r.status != "closed"]
 
     def lifetime_totals(self) -> dict[str, Any]:
-        """Aggregate numbers across every update this node ever served."""
+        """Aggregate numbers across every update this node ever served.
+
+        Includes the store's executor dispatch counters (one stat per
+        dispatch case: ``plans_pushdown`` / ``plans_columnar`` /
+        ``plans_row_loop``) when a :attr:`dispatch_source` is wired.
+        """
         reports = list(self.reports.values())
-        return {
+        totals = {
             "updates": len(reports),
             "open_updates": sum(1 for r in reports if r.status != "closed"),
             "messages_sent": sum(r.messages_sent for r in reports),
@@ -224,6 +234,9 @@ class NodeStatistics:
             "admission_queue_peak": self.admission_queue_peak,
             "live_sessions_peak": self.live_sessions_peak,
         }
+        if self.dispatch_source is not None:
+            totals.update(self.dispatch_source())
+        return totals
 
 
 @dataclass

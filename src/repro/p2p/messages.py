@@ -1,21 +1,88 @@
-"""Typed message envelopes.
+"""Typed message envelopes and the two frame codecs they travel in.
 
 JXTA messages "can envelope arbitrary data (e.g. code, images,
 queries)" (§2).  Ours envelope JSON payloads.  Every message knows its
 serialised byte size — the statistics module reports "the volume of
 the data in each message" (§4) — and serialisation is stable, so sizes
 are identical across runs and transports.
+
+Two codecs share the wire.  Frames are self-describing by their first
+byte, so a receiver needs no per-connection decode state:
+
+* **stable JSON** (first byte ``{``) — the default and the
+  cross-version fallback.  ``to_wire``/``from_wire``.
+* **binary** (first byte :data:`FRAME_BINARY`) — a length-delimited
+  restricted-pickle frame, smaller and markedly faster to encode and
+  decode than JSON (``benchmarks/bench_messages.py`` measures both).
+  ``to_binary``/``from_binary``.  Decoding uses an
+  :class:`pickle.Unpickler` whose ``find_class`` always raises, so a
+  frame can only ever reconstruct plain data (dicts, lists, scalars —
+  rows cross pre-encoded via ``encode_row``), never import or call
+  anything.
+
+A connection speaks binary only after an explicit handshake
+(negotiated in :mod:`repro.p2p.tcp`): the sender opens with a
+:data:`FRAME_OFFER` frame listing the codecs it can emit, the receiver
+answers with a :data:`FRAME_ACK` naming the one it accepts, and JSON
+wins whenever either side does not offer binary.  Whatever the wire
+codec, ``size_bytes()`` stays the *stable-JSON* size — the §4 volume
+statistics are codec-independent and identical across transports.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import pickle
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any
 
 from repro._util import stable_json
 from repro.errors import ProtocolError
+
+#: First byte of a binary (restricted-pickle) frame.  Stable-JSON
+#: frames start with ``{`` (0x7B); 0x01-0x03 can never open JSON.
+FRAME_BINARY = b"\x01"
+#: First byte of a codec-negotiation offer (JSON body: {"codecs": [...]})
+FRAME_OFFER = b"\x02"
+#: First byte of a codec-negotiation ack (JSON body: {"codec": ...})
+FRAME_ACK = b"\x03"
+
+#: Codec names, most preferred first, as they appear in offer frames.
+CODECS = ("binary", "json")
+
+
+class _DataUnpickler(pickle.Unpickler):
+    """Unpickler for data-only frames: any attempt to resolve a global
+    (class, function — the vector every pickle exploit needs) fails."""
+
+    def find_class(self, module: str, name: str):  # noqa: ARG002
+        raise ProtocolError(
+            f"binary frame referenced global {module}.{name}; "
+            "only plain data is allowed on the wire"
+        )
+
+
+def encode_binary(obj: Any) -> bytes:
+    """Encode plain data as a tagged binary frame body."""
+    return FRAME_BINARY + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_binary(data: bytes) -> Any:
+    """Decode a tagged binary frame body back to plain data.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything that is
+    not a well-formed data-only frame.
+    """
+    buffer = io.BytesIO(data)
+    buffer.seek(1)  # skip the FRAME_BINARY tag
+    try:
+        return _DataUnpickler(buffer).load()
+    except ProtocolError:
+        raise
+    except Exception as exc:  # pickle raises a small zoo of types
+        raise ProtocolError(f"malformed binary frame: {exc}") from exc
 
 #: Message kinds used by the coDB protocol (documented here so the
 #: wire vocabulary is in one place; the p2p layer itself treats kinds
@@ -122,6 +189,52 @@ class Message:
         # count sizes.
         message.__dict__["_wire"] = data
         return message
+
+    @cached_property
+    def _binary(self) -> bytes:
+        return encode_binary(
+            (self.kind, self.sender, self.recipient, self.payload,
+             self.message_id)
+        )
+
+    def to_binary(self) -> bytes:
+        """Serialise as a binary frame (cached, like :meth:`to_wire`)."""
+        return self._binary
+
+    @classmethod
+    def from_binary(cls, data: bytes) -> "Message":
+        fields = decode_binary(data)
+        try:
+            kind, sender, recipient, payload, message_id = fields
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed binary message: {exc}") from exc
+        if not (
+            isinstance(kind, str)
+            and isinstance(sender, str)
+            and isinstance(recipient, str)
+            and isinstance(payload, dict)
+            and isinstance(message_id, str)
+        ):
+            raise ProtocolError("binary message fields have wrong types")
+        message = cls(
+            kind=kind,
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            message_id=message_id,
+        )
+        # Mirror ``from_wire``: the received bytes seed the *binary*
+        # cache.  ``size_bytes`` still reports the stable-JSON volume
+        # (computed lazily if a statistics reader asks).
+        message.__dict__["_binary"] = data
+        return message
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> "Message":
+        """Decode a self-describing frame (JSON or binary) by its tag."""
+        if data[:1] == FRAME_BINARY:
+            return cls.from_binary(data)
+        return cls.from_wire(data)
 
     def reply(self, kind: str, payload: dict[str, Any], message_id: str = "") -> "Message":
         """A message back to this message's sender."""

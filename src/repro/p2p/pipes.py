@@ -26,7 +26,12 @@ from repro.p2p.messages import Message
 
 @dataclass
 class PipeTraffic:
-    """Traffic counters for one direction of one pipe."""
+    """Traffic counters for one direction of one pipe.
+
+    ``bytes`` counts :meth:`~repro.p2p.messages.Message.size_bytes` —
+    the stable-JSON volume — so the §4 per-rule statistics are the
+    same whichever frame codec the connection below negotiated.
+    """
 
     messages: int = 0
     bytes: int = 0

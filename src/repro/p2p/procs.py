@@ -15,14 +15,22 @@ Driver/worker protocol (see :mod:`repro.runner.protocol`)
 ---------------------------------------------------------
 
 Each worker is controlled through a ``multiprocessing`` pipe carrying
-stable-JSON frames:
+self-describing control frames — stable JSON by default, or the binary
+restricted-pickle codec when the network was built with
+``wire_codec="binary"`` (the same codec the p2p wire negotiates; on
+the pipe no negotiation is needed since driver and worker run the
+same package):
 
 1. **Boot** — the driver sends ``configure`` (name, schema text,
-   config, store kind); the worker builds its transport + node and
-   replies with its listening port.  After all workers bind, the
-   driver fans the port map out via ``connect`` (the rendezvous step:
-   peers keep addressing each other by peer id only), then
-   ``load_facts`` and ``set_rules``.
+   config, store kind, wire codec); the worker builds its transport +
+   node and replies with its listening port.  The boot rounds are
+   *pipelined*: every worker receives its ``configure`` the moment its
+   process starts, and the driver collects the replies afterwards, so
+   N workers initialise concurrently (~one worker's boot latency, not
+   the sum).  After all workers bind, the driver fans the port map out
+   via ``connect`` (the rendezvous step: peers keep addressing each
+   other by peer id only), then ``load_facts`` and ``set_rules`` — the
+   same send-all-then-collect discipline per round.
 2. **Requests** — ``submit_update`` / ``submit_query`` return the bare
    request id minted by the worker; the driver wraps it in a proxy
    :class:`~repro.core.requests.RequestHandle` whose completion
@@ -75,6 +83,7 @@ from repro.core.rulefile import RuleFile
 from repro.core.rules import CoordinationRule
 from repro.core.statistics import UpdateReport, aggregate_reports
 from repro.errors import ProtocolError, RequestTimeoutError
+from repro.p2p.messages import CODECS
 from repro.p2p.transport import Transport, TransportStats
 from repro.relational.parser import parse_facts
 from repro.relational.schema import DatabaseSchema
@@ -120,9 +129,12 @@ class _ControlTransport(Transport):
 class _WorkerProxy:
     """Driver-side face of one worker process."""
 
-    def __init__(self, name: str, spec: dict[str, Any]) -> None:
+    def __init__(
+        self, name: str, spec: dict[str, Any], pipe_codec: str = "json"
+    ) -> None:
         self.name = name
         self.spec = spec
+        self.pipe_codec = pipe_codec
         self.process: multiprocessing.process.BaseProcess | None = None
         self.conn = None
         self.alive = False
@@ -132,7 +144,7 @@ class _WorkerProxy:
         self.pending: dict[int, Any] = {}
 
     def send_frame(self, frame: dict[str, Any]) -> None:
-        data = protocol.encode_frame(frame)
+        data = protocol.encode_frame(frame, self.pipe_codec)
         with self.send_lock:
             self.conn.send_bytes(data)
 
@@ -181,10 +193,15 @@ class ProcessNetwork:
         store: str = "memory",
         poll_timeout: float = 30.0,
         start_method: str | None = None,
+        wire_codec: str = "json",
     ) -> None:
+        if wire_codec not in CODECS:
+            raise ProtocolError(f"unknown wire codec {wire_codec!r}")
         self.seed = seed
         self.default_config = config
         self.default_store = store
+        #: Codec for worker-to-worker TCP frames *and* the driver pipe.
+        self.wire_codec = wire_codec
         self.poll_timeout = poll_timeout
         self.rule_file = RuleFile()
         self.transport = _ControlTransport()
@@ -283,8 +300,14 @@ class ProcessNetwork:
         self._started = True
         ctx = multiprocessing.get_context(self._start_method)
         try:
+            # Overlapped boot: each worker gets its ``configure`` the
+            # moment its process starts, so all N initialise
+            # concurrently; the replies (with the listening ports) are
+            # collected afterwards.  The pump starts after wiring;
+            # workers emit no events before traffic exists.
+            boot_cmds: dict[str, int] = {}
             for name, spec in self._specs.items():
-                worker = _WorkerProxy(name, spec)
+                worker = _WorkerProxy(name, spec, self.wire_codec)
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 worker.conn = parent_conn
                 worker.process = ctx.Process(
@@ -297,10 +320,7 @@ class ProcessNetwork:
                 child_conn.close()
                 worker.alive = True
                 self._workers[name] = worker
-            # Boot sequence over direct request/reply (the pump starts
-            # after wiring; workers emit no events before traffic exists).
-            for worker in self._workers.values():
-                reply = self._direct_call(
+                boot_cmds[name] = self._send_command(
                     worker,
                     "configure",
                     name=worker.name,
@@ -308,20 +328,46 @@ class ProcessNetwork:
                     config=worker.spec["config"],
                     store=worker.spec["store"],
                     seed=self.seed,
+                    wire_codec=self.wire_codec,
+                )
+            for worker in self._workers.values():
+                reply = self._collect_reply(
+                    worker, boot_cmds[worker.name], "configure"
                 )
                 worker.port = int(reply["port"])
             ports = {
                 name: worker.port for name, worker in self._workers.items()
             }
             rules_payload = self.rule_file.to_payload()
+            # Same pipelining for the wiring round: every worker runs
+            # its connect/load/set_rules sequence concurrently (each
+            # pipe preserves command order, so per-worker sequencing
+            # holds without waiting between commands).
+            wiring: list[tuple[_WorkerProxy, int, str]] = []
             for worker in self._workers.values():
                 peers = {n: p for n, p in ports.items() if n != worker.name}
-                self._direct_call(worker, "connect", peers=peers)
+                wiring.append(
+                    (worker,
+                     self._send_command(worker, "connect", peers=peers),
+                     "connect")
+                )
                 if worker.spec["facts"]:
-                    self._direct_call(
-                        worker, "load_facts", facts=worker.spec["facts"]
+                    wiring.append(
+                        (worker,
+                         self._send_command(
+                             worker, "load_facts", facts=worker.spec["facts"]
+                         ),
+                         "load_facts")
                     )
-                self._direct_call(worker, "set_rules", rules=rules_payload)
+                wiring.append(
+                    (worker,
+                     self._send_command(
+                         worker, "set_rules", rules=rules_payload
+                     ),
+                     "set_rules")
+                )
+            for worker, cmd_id, op in wiring:
+                self._collect_reply(worker, cmd_id, op)
         except BaseException:
             # Half-booted deployments must not leak processes: kill
             # whatever was spawned before re-raising.
@@ -356,12 +402,25 @@ class ProcessNetwork:
             raise ProtocolError(f"worker for node {name!r} is down")
         return worker
 
+    def _send_command(
+        self, worker: _WorkerProxy, op: str, **arguments: Any
+    ) -> int:
+        """Send one command without waiting; returns its cmd_id."""
+        cmd_id = next(self._cmd_ids)
+        worker.send_frame(protocol.command(op, cmd_id, **arguments))
+        return cmd_id
+
     def _direct_call(
         self, worker: _WorkerProxy, op: str, **arguments: Any
     ) -> dict[str, Any]:
         """Boot-time request/reply on the caller's thread (no pump yet)."""
-        cmd_id = next(self._cmd_ids)
-        worker.send_frame(protocol.command(op, cmd_id, **arguments))
+        cmd_id = self._send_command(worker, op, **arguments)
+        return self._collect_reply(worker, cmd_id, op)
+
+    def _collect_reply(
+        self, worker: _WorkerProxy, cmd_id: int, op: str
+    ) -> dict[str, Any]:
+        """Boot-time reply wait for a pipelined :meth:`_send_command`."""
         deadline = time.monotonic() + self.poll_timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -530,6 +589,10 @@ class ProcessNetwork:
             )
             stats.bytes_sent = sum(
                 t.get("bytes_sent", 0) for t in self._worker_totals.values()
+            )
+            stats.wire_bytes_sent = sum(
+                t.get("wire_bytes_sent", 0)
+                for t in self._worker_totals.values()
             )
             stats.messages_delivered = sum(
                 t.get("messages_delivered", 0)

@@ -24,6 +24,22 @@ The port registry doubles as the rendezvous service: peers address
 each other by peer id only, never by host/port — "IP independent
 naming space" (§2).
 
+Frames are self-describing (:mod:`repro.p2p.messages`): stable JSON
+by default, or the binary restricted-pickle codec once a connection
+has negotiated it.  A ``TcpNetwork(wire_codec="binary")`` sender opens
+every new outbound connection with a codec *offer* frame; the
+receiving side answers with an *ack* naming the codec it accepts —
+binary only when it was constructed with ``wire_codec="binary"``
+itself, JSON otherwise — and the sender frames all subsequent
+messages on that connection accordingly.  The ack is the only bytes
+ever written back on these one-way sockets, and it happens strictly
+before any protocol message flows, so per-pair FIFO is unaffected.
+JSON remains the default and the fallback whenever negotiation cannot
+complete, so mixed-version and mixed-configuration deployments
+interoperate.  Whatever the codec, the §4 statistics count stable-JSON
+sizes (:meth:`~repro.p2p.messages.Message.size_bytes`); the actual
+framed byte count is tracked separately as ``stats.wire_bytes_sent``.
+
 Multi-process deployments (:mod:`repro.p2p.procs`) run one
 ``TcpNetwork`` per worker process, hosting that worker's single node.
 The driver exchanges listening ports and installs them here as
@@ -37,17 +53,27 @@ layers cannot tell a remote peer from a local one.
 
 from __future__ import annotations
 
+import json
 import socket
 import struct
 import threading
 import time
 from queue import Empty, Queue
 
-from repro.errors import TransportStoppedError, UnknownPeerError
-from repro.p2p.messages import Message
+from repro._util import stable_json
+from repro.errors import (
+    ProtocolError,
+    TransportStoppedError,
+    UnknownPeerError,
+)
+from repro.p2p.messages import CODECS, FRAME_ACK, FRAME_OFFER, Message
 from repro.p2p.transport import MessageHandler, ThreadSafeTransportStats, Transport
 
 _LENGTH = struct.Struct(">I")
+
+
+def _frame(body: bytes) -> bytes:
+    return _LENGTH.pack(len(body)) + body
 
 
 def _read_exact(connection: socket.socket, count: int) -> bytes | None:
@@ -119,7 +145,16 @@ class _PeerServer:
                         return
                 except OSError:
                     return
-                message = Message.from_wire(body)
+                tag = body[:1]
+                if tag == FRAME_OFFER:
+                    # Codec negotiation: answer on the same connection
+                    # (the only bytes ever sent backwards here) and
+                    # keep these frames out of the protocol statistics.
+                    self._answer_offer(connection, body)
+                    continue
+                if tag == FRAME_ACK:  # stray ack: not a protocol frame
+                    continue
+                message = Message.from_frame(body)
                 # A message from a peer this transport does not host
                 # was counted in flight by ANOTHER process's send;
                 # enter it into the local window here so quiescence
@@ -128,6 +163,22 @@ class _PeerServer:
                     with self.network._inflight_lock:
                         self.network._inflight += 1
                 self.inbox.put(message)
+
+    def _answer_offer(self, connection: socket.socket, body: bytes) -> None:
+        try:
+            offered = json.loads(body[1:].decode("utf-8")).get("codecs", [])
+        except (ValueError, AttributeError):
+            offered = []
+        codec = (
+            "binary"
+            if "binary" in offered and self.network.wire_codec == "binary"
+            else "json"
+        )
+        ack = FRAME_ACK + stable_json({"codec": codec}).encode("utf-8")
+        try:
+            connection.sendall(_frame(ack))
+        except OSError:  # sender is gone; its retry renegotiates
+            pass
 
     def _delivery_loop(self) -> None:
         while True:
@@ -173,14 +224,25 @@ class TcpNetwork(Transport):
     ``nodelay=False`` re-enables Nagle's algorithm on every socket —
     only useful for measuring what ``TCP_NODELAY`` (the default) buys
     on small-message bursts (``benchmarks/bench_tcp.py``).
+
+    ``wire_codec`` selects the frame codec this transport *offers* on
+    outbound connections and *accepts* on inbound ones: ``"json"``
+    (the default — no handshake, byte-identical behaviour to earlier
+    versions) or ``"binary"`` (negotiated per connection, falling back
+    to JSON against any peer that does not also offer binary).
     """
 
-    def __init__(self, *, nodelay: bool = True) -> None:
+    def __init__(self, *, nodelay: bool = True, wire_codec: str = "json") -> None:
         super().__init__()
+        if wire_codec not in CODECS:
+            raise ProtocolError(f"unknown wire codec {wire_codec!r}")
         # The driver thread and every delivery thread send concurrently:
         # the traffic counters need the guarded variant.
         self.stats = ThreadSafeTransportStats()
         self.nodelay = nodelay
+        self.wire_codec = wire_codec
+        #: Negotiated codec per outbound (sender, recipient) connection.
+        self._codecs: dict[tuple[str, str], str] = {}
         self._servers: dict[str, _PeerServer] = {}
         #: Peers hosted by other processes: peer id -> TCP port.
         self._remote_ports: dict[str, int] = {}
@@ -248,6 +310,7 @@ class TcpNetwork(Transport):
                 key for key in self._send_locks if key[1] == peer_id
             ]
             for key in key_matches:
+                self._codecs.pop(key, None)
                 connection = self._connections.pop(key, None)
                 if connection is not None:
                     try:
@@ -291,7 +354,6 @@ class TcpNetwork(Transport):
         local = message.recipient in self._servers
         if not local and message.recipient not in self._remote_ports:
             raise UnknownPeerError(message.recipient)
-        body = message.to_wire()
         self.stats.record_send(message)
         if local:
             # In-flight accounting is per process: a local recipient's
@@ -304,17 +366,23 @@ class TcpNetwork(Transport):
             send_lock = self._send_locks.setdefault(key, threading.Lock())
         # The per-pair lock keeps frames atomic when the main thread and
         # a handler thread send under the same (sender, recipient) pair.
+        # The body is framed only once the connection (and with it the
+        # negotiated codec) is known.
         try:
             with send_lock:
                 connection = self._connection_for(message.sender, message.recipient)
+                body = self._frame_body(key, message)
                 try:
-                    connection.sendall(_LENGTH.pack(len(body)) + body)
+                    connection.sendall(_frame(body))
                 except OSError:
                     # One reconnect attempt (the receiver may have restarted).
                     with self._connections_lock:
                         self._connections.pop(key, None)
+                        self._codecs.pop(key, None)
                     connection = self._connection_for(message.sender, message.recipient)
-                    connection.sendall(_LENGTH.pack(len(body)) + body)
+                    body = self._frame_body(key, message)
+                    connection.sendall(_frame(body))
+                self.stats.record_wire(len(body) + _LENGTH.size)
         except OSError as exc:
             # A remote worker died between the port lookup and the
             # write: undo the local-recipient accounting (never taken
@@ -324,6 +392,11 @@ class TcpNetwork(Transport):
                 with self._inflight_lock:
                     self._inflight -= 1
             raise UnknownPeerError(message.recipient) from exc
+
+    def _frame_body(self, key: tuple[str, str], message: Message) -> bytes:
+        if self._codecs.get(key) == "binary":
+            return message.to_binary()
+        return message.to_wire()
 
     def _connection_for(self, sender: str, recipient: str) -> socket.socket:
         key = (sender, recipient)
@@ -340,8 +413,37 @@ class TcpNetwork(Transport):
                         )
                     except OSError:  # pragma: no cover - platform quirk
                         pass
+                self._codecs[key] = (
+                    self._negotiate(connection)
+                    if self.wire_codec == "binary"
+                    else "json"
+                )
                 self._connections[key] = connection
             return connection
+
+    def _negotiate(self, connection: socket.socket) -> str:
+        """Offer our codecs on a fresh connection; return the ack'd one.
+
+        Any failure — timeout, short read, malformed or unexpected
+        answer — falls back to ``"json"``, the codec every version of
+        the protocol understands.
+        """
+        offer = FRAME_OFFER + stable_json({"codecs": list(CODECS)}).encode(
+            "utf-8"
+        )
+        try:
+            connection.sendall(_frame(offer))
+            header = _read_exact(connection, _LENGTH.size)
+            if header is None:
+                return "json"
+            (length,) = _LENGTH.unpack(header)
+            body = _read_exact(connection, length)
+            if body is None or body[:1] != FRAME_ACK:
+                return "json"
+            codec = json.loads(body[1:].decode("utf-8")).get("codec")
+        except (OSError, ValueError, AttributeError):
+            return "json"
+        return codec if codec in CODECS else "json"
 
     def now(self) -> float:
         return time.monotonic() - self._epoch
@@ -381,3 +483,4 @@ class TcpNetwork(Transport):
                 except OSError:
                     pass
             self._connections.clear()
+            self._codecs.clear()

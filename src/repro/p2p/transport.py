@@ -51,6 +51,12 @@ class TransportStats:
 
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Actual framed bytes written to a byte transport (length prefix
+    #: included), in whatever codec each connection negotiated.  Stays
+    #: 0 on the simulator, which moves no real bytes.  ``bytes_sent``
+    #: by contrast is always the codec-independent stable-JSON volume
+    #: (§4 statistics are identical across transports and codecs).
+    wire_bytes_sent: int = 0
     messages_delivered: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
 
@@ -58,6 +64,9 @@ class TransportStats:
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes()
         self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+    def record_wire(self, nbytes: int) -> None:
+        self.wire_bytes_sent += nbytes
 
     def record_delivery(self) -> None:
         self.messages_delivered += 1
@@ -75,6 +84,10 @@ class ThreadSafeTransportStats(TransportStats):
     def record_send(self, message: Message) -> None:
         with self._lock:
             super().record_send(message)
+
+    def record_wire(self, nbytes: int) -> None:
+        with self._lock:
+            super().record_wire(nbytes)
 
     def record_delivery(self) -> None:
         with self._lock:

@@ -16,9 +16,12 @@ Three entry points, all used by the coDB protocol layers:
 
 This module is the *interpreter*: join order is re-chosen greedily at
 every recursion level.  The hot protocol paths run the compiled plans
-of :mod:`repro.relational.planner` instead (via the storage wrappers);
-the interpreter stays as the semantics reference and differential-
-testing oracle for those plans.
+of :mod:`repro.relational.planner` instead (via the storage wrappers),
+on whichever executor the wrapper dispatches — row-at-a-time,
+columnar batch-at-a-time, or SQL pushdown; the interpreter stays as
+the semantics reference and differential-testing oracle for all of
+them (``tests/relational/test_pushdown.py`` holds the four ways
+equal).
 """
 
 from __future__ import annotations

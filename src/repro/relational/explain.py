@@ -6,8 +6,9 @@ storage wrappers execute — and renders the chosen atom order, the
 per-step probe templates and estimates, which comparisons become
 checkable at each step, and the SQL join a SQLite-backed store would
 push down for the same plan: the coDB equivalent of ``EXPLAIN``.
-There is one source of truth for join ordering; this module only
-formats it.
+There is one source of truth for join ordering — the row-at-a-time
+loop, the columnar batch executor and the SQL pushdown all run this
+same plan — and this module only formats it.
 """
 
 from __future__ import annotations

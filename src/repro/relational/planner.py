@@ -10,6 +10,23 @@ compiles each body **once** into a reusable :class:`JoinPlan` and
 executes that, keeping the interpreter as a differential-testing
 oracle.
 
+A :class:`JoinPlan` is the **single IR** behind three executors — the
+storage wrappers pick one per plan (see "Executor dispatch rules" in
+:mod:`repro.relational.wrapper`):
+
+* :meth:`JoinPlan.execute` — the row-at-a-time join loop over hash
+  probes (the in-memory baseline);
+* :meth:`JoinPlan.execute_columnar` — the batch-at-a-time twin: the
+  whole intermediate result flows through the steps as a column
+  batch, probing each **distinct** typed key once.  It enumerates the
+  same answers in the same order as :meth:`~JoinPlan.execute`, so the
+  two are exchangeable result-for-result;
+* :func:`compile_plan_sql` — the same plan translated to one
+  parameterized SQL join, pushed down into a SQLite-backed store.
+
+``explain`` renders the shared plan, so the join-order decision has
+one source of truth regardless of which executor serves it.
+
 Plan shape
 ----------
 
@@ -99,8 +116,10 @@ import math
 import threading
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from itertools import repeat
 
 from repro.relational.comparisons import evaluate_comparison
+from repro.relational.storage import COMPOSITE_INDEX_THRESHOLD
 from repro.relational.conjunctive import (
     Atom,
     Comparison,
@@ -109,7 +128,7 @@ from repro.relational.conjunctive import (
     Term,
     Variable,
 )
-from repro.relational.values import Row, Value, row_key, same_value
+from repro.relational.values import Row, Value, row_key, same_value, value_key
 
 Binding = dict[str, Value]
 
@@ -205,6 +224,7 @@ class JoinPlan:
         "source_body",
         "_output_ops",
         "_sql_cache",
+        "_columnar",
     )
 
     def __init__(
@@ -233,6 +253,8 @@ class JoinPlan:
         # dict, not a single slot: a plan shared through a PlanRegistry
         # may serve several stores whose table sets differ.
         self._sql_cache: dict[tuple[str, ...], "SqlPlan | None"] = {}
+        # Lazily derived per-step metadata for execute_columnar.
+        self._columnar: tuple | None = None
 
     def atom_order(self) -> tuple[int, ...]:
         """Original body indexes in execution order."""
@@ -331,6 +353,360 @@ class JoinPlan:
                     del binding[name]
 
         yield from run(0)
+
+    # ------------------------------------------------------------------
+    # Columnar (batch-at-a-time) execution
+    # ------------------------------------------------------------------
+
+    def _columnar_meta(self) -> tuple:
+        """Per-step metadata for :meth:`execute_columnar`, derived once.
+
+        For each step: the variables that must survive the step's
+        *remap* (needed by its own comparisons or by anything later),
+        the variables that must survive its *prune* (needed strictly
+        later), and its comparison schedule with pre-sorted variable
+        lists.
+        """
+        meta = self._columnar
+        if meta is None:
+            comparisons = self.comparisons
+            needed = {ref for is_var, ref in self._output_ops if is_var}
+            per_step: list[tuple] = []
+            for step in reversed(self.steps):
+                keep_vars = frozenset(needed)
+                comp_entries = tuple(
+                    (comparisons[ci], sorted(comparisons[ci].variables()))
+                    for ci in step.comparison_indices
+                )
+                for _comp, names in comp_entries:
+                    needed.update(names)
+                remap_vars = frozenset(needed)
+                for is_var, ref in step.probe_sources:
+                    if is_var:
+                        needed.add(ref)
+                for _position, name in step.var_checks:
+                    needed.add(name)
+                per_step.append((remap_vars, keep_vars, comp_entries))
+            per_step.reverse()
+            self._columnar = meta = tuple(per_step)
+        return meta
+
+    def execute_columnar(
+        self,
+        view,
+        delta_rows: Sequence[Row] | None = None,
+    ) -> list[tuple]:
+        """Batch-at-a-time twin of :meth:`execute` over the same plan.
+
+        Instead of recursing row by row, the whole intermediate result
+        flows through the steps as a *column batch* — one value list
+        per live variable, pruned to the variables later steps still
+        need.  A probe step groups the batch by typed probe key
+        (:func:`~repro.relational.values.value_key` tuples, the hash
+        indexes' own identity) and resolves each **distinct** key with
+        a single dict lookup against the relation's
+        :meth:`~repro.relational.storage.Relation.key_index` /
+        :meth:`~repro.relational.storage.Relation.key_multi_index`,
+        then expands matches back against the batch.  Unfiltered scans
+        bind the relation's cached
+        :meth:`~repro.relational.storage.Relation.column_values` /
+        :meth:`~repro.relational.storage.Relation.column_keys` arrays
+        directly.  Returns the projected tuples (duplicates included —
+        set semantics happen at the caller), in the same parent-major
+        order the interpreter enumerates, so the two executors are
+        exchangeable result-for-result.
+        """
+        comparisons = self.comparisons
+        for ci in self.ground_comparisons:
+            if not evaluate_comparison(comparisons[ci], _EMPTY_BINDING):
+                return []
+        meta = self._columnar_meta()
+        cols: dict[str, list] = {}
+        #: Aligned typed-key arrays for columns we happen to know them
+        #: for (scan-bound columns, previously probed ones); ``None``
+        #: entries are computed on demand at the next probe.
+        key_cols: dict[str, list | None] = {}
+        n = 1
+
+        for depth, step in enumerate(self.steps):
+            remap_vars, keep_vars, comp_entries = meta[depth]
+            parent_idx: list[int] | None  # None => every parent is row 0
+            relation = None
+
+            if step.is_delta or not step.probe_positions:
+                # ---- scan: the delta batch or a whole relation ------
+                if step.is_delta:
+                    rows_list = (
+                        list(delta_rows) if delta_rows is not None else []
+                    )
+                else:
+                    relation = _relation_or_none(view, step.relation)
+                    if relation is None:
+                        return []
+                    if hasattr(relation, "row_list"):
+                        rows_list = relation.row_list()
+                    else:
+                        rows_list = list(relation)
+                filtered = step.is_delta
+                if step.const_checks or step.same_row_checks:
+                    const_checks = step.const_checks
+                    same_row = step.same_row_checks
+                    rows_list = [
+                        row
+                        for row in rows_list
+                        if all(
+                            same_value(row[p], v) for p, v in const_checks
+                        )
+                        and all(
+                            same_value(row[p], row[f]) for p, f in same_row
+                        )
+                    ]
+                    filtered = True
+                m = len(rows_list)
+                if m == 0:
+                    return []
+                if n == 1:
+                    matched = rows_list
+                    parent_idx = None
+                else:
+                    matched = rows_list * n
+                    parent_idx = []
+                    extend_parents = parent_idx.extend
+                    for i in range(n):
+                        extend_parents(repeat(i, m))
+                if step.var_checks:
+                    # Unreachable with compiler-ordered plans (the
+                    # delta step runs first, before anything binds),
+                    # but kept total for hand-built plans.
+                    var_cols = [(p, cols[name]) for p, name in step.var_checks]
+                    keep = [
+                        t
+                        for t, row in enumerate(matched)
+                        if all(
+                            same_value(
+                                row[p],
+                                c[parent_idx[t] if parent_idx else 0],
+                            )
+                            for p, c in var_cols
+                        )
+                    ]
+                    if len(keep) != len(matched):
+                        matched = [matched[t] for t in keep]
+                        if parent_idx is not None:
+                            parent_idx = [parent_idx[t] for t in keep]
+                        filtered = True
+            else:
+                # ---- probe: group the batch by typed key ------------
+                relation = _relation_or_none(view, step.relation)
+                if relation is None:
+                    return []
+                positions = step.probe_positions
+                sources = step.probe_sources
+                width = len(sources)
+                if (
+                    width == 1
+                    and sources[0][0]
+                    and hasattr(relation, "key_index")
+                ):
+                    # Fast path: one variable source, indexed relation.
+                    # One pass over the batch's typed-key column, one
+                    # bucket lookup per distinct key (memoised),
+                    # skipping the tuple-template grouping below.
+                    ref = sources[0][1]
+                    keys = key_cols.get(ref)
+                    if keys is None:
+                        keys = list(map(value_key, cols[ref]))
+                        key_cols[ref] = keys
+                    bucket_get = relation.key_index(positions[0]).get
+                    match_cache: dict = {}
+                    cache_get = match_cache.get
+                    per_parent: list = [None] * n
+                    for i, typed_key in enumerate(keys):
+                        match = cache_get(typed_key, False)
+                        if match is False:
+                            bucket = bucket_get(typed_key)
+                            match = (
+                                list(bucket.values()) if bucket else None
+                            )
+                            match_cache[typed_key] = match
+                        per_parent[i] = match
+                else:
+                    raw_template: list = [None] * width
+                    typed_template: list = [None] * width
+                    var_slots = []
+                    for j, (is_var, ref) in enumerate(sources):
+                        if is_var:
+                            keys = key_cols.get(ref)
+                            if keys is None:
+                                keys = list(map(value_key, cols[ref]))
+                                key_cols[ref] = keys
+                            var_slots.append((j, cols[ref], keys))
+                        else:
+                            raw_template[j] = ref
+                            typed_template[j] = value_key(ref)
+                    #: typed key tuple -> (raw values, parent indices)
+                    groups: dict[tuple, tuple[tuple, list[int]]] = {}
+                    if not var_slots:
+                        groups[tuple(typed_template)] = (
+                            tuple(raw_template),
+                            list(range(n)),
+                        )
+                    else:
+                        for i in range(n):
+                            for j, column, keys in var_slots:
+                                raw_template[j] = column[i]
+                                typed_template[j] = keys[i]
+                            typed_key = tuple(typed_template)
+                            entry = groups.get(typed_key)
+                            if entry is None:
+                                groups[typed_key] = entry = (
+                                    tuple(raw_template),
+                                    [],
+                                )
+                            entry[1].append(i)
+                    # One index lookup per distinct key.  Stored
+                    # relations expose their hash indexes keyed by the
+                    # same typed keys; adapters without them (e.g. the
+                    # SQLite-backed view) degrade to one probe/lookup
+                    # per distinct key.
+                    single = len(positions) == 1
+                    index_get = None
+                    if hasattr(relation, "key_index"):
+                        if single:
+                            index_get = relation.key_index(
+                                positions[0]
+                            ).get
+                        elif len(relation) >= COMPOSITE_INDEX_THRESHOLD:
+                            index_get = relation.key_multi_index(
+                                positions
+                            ).get
+                    probe = getattr(relation, "probe", None)
+                    per_parent = [None] * n
+                    for typed_key, (raw_values, indices) in groups.items():
+                        if index_get is not None:
+                            bucket = index_get(
+                                typed_key[0] if single else typed_key
+                            )
+                            match = (
+                                list(bucket.values()) if bucket else None
+                            )
+                        elif probe is not None:
+                            match = (
+                                list(probe(positions, raw_values)) or None
+                            )
+                        else:
+                            match = (
+                                list(
+                                    relation.lookup(
+                                        dict(zip(positions, raw_values))
+                                    )
+                                )
+                                or None
+                            )
+                        if match:
+                            for i in indices:
+                                per_parent[i] = match
+                parent_idx = []
+                matched = []
+                extend_parents = parent_idx.extend
+                extend_matches = matched.extend
+                for i in range(n):
+                    match = per_parent[i]
+                    if match is not None:
+                        extend_matches(match)
+                        extend_parents(repeat(i, len(match)))
+                if step.same_row_checks:
+                    same_row = step.same_row_checks
+                    keep = [
+                        t
+                        for t, row in enumerate(matched)
+                        if all(
+                            same_value(row[p], row[f]) for p, f in same_row
+                        )
+                    ]
+                    if len(keep) != len(matched):
+                        matched = [matched[t] for t in keep]
+                        parent_idx = [parent_idx[t] for t in keep]
+                filtered = True
+
+            new_n = len(matched)
+            if new_n == 0:
+                return []
+
+            # ---- remap surviving columns through parent_idx ---------
+            for name in list(cols):
+                if name not in remap_vars:
+                    del cols[name]
+                    key_cols.pop(name, None)
+                    continue
+                column = cols[name]
+                keys = key_cols.get(name)
+                if parent_idx is None:  # single parent: broadcast
+                    cols[name] = column * new_n
+                    if keys is not None:
+                        key_cols[name] = keys * new_n
+                else:
+                    cols[name] = list(map(column.__getitem__, parent_idx))
+                    if keys is not None:
+                        key_cols[name] = list(
+                            map(keys.__getitem__, parent_idx)
+                        )
+
+            # ---- bind this step's new columns -----------------------
+            use_view = (
+                not filtered
+                and relation is not None
+                and hasattr(relation, "column_values")
+            )
+            for position, name in step.bind_slots:
+                if use_view:
+                    values = relation.column_values(position)
+                    keys = relation.column_keys(position)
+                    cols[name] = values if n == 1 else values * n
+                    key_cols[name] = keys if n == 1 else keys * n
+                else:
+                    cols[name] = [row[position] for row in matched]
+            n = new_n
+
+            # ---- comparisons scheduled at this step -----------------
+            for comparison, names in comp_entries:
+                columns = [cols[name] for name in names]
+                keep = [
+                    t
+                    for t, values in enumerate(zip(*columns))
+                    if evaluate_comparison(
+                        comparison, dict(zip(names, values))
+                    )
+                ]
+                if len(keep) != n:
+                    if not keep:
+                        return []
+                    for name in list(cols):
+                        cols[name] = list(
+                            map(cols[name].__getitem__, keep)
+                        )
+                        keys = key_cols.get(name)
+                        if keys is not None:
+                            key_cols[name] = list(
+                                map(keys.__getitem__, keep)
+                            )
+                    n = len(keep)
+
+            # ---- prune to what later steps still need ---------------
+            for name in list(cols):
+                if name not in keep_vars:
+                    del cols[name]
+                    key_cols.pop(name, None)
+
+        # ---- project ----------------------------------------------------
+        output_ops = self._output_ops
+        if not any(is_var for is_var, _ref in output_ops):
+            return [tuple(ref for _is_var, ref in output_ops)] * n
+        out_columns = [
+            cols[ref] if is_var else repeat(ref, n)
+            for is_var, ref in output_ops
+        ]
+        return list(zip(*out_columns))
 
     def __repr__(self) -> str:
         order = " -> ".join(

@@ -21,6 +21,18 @@ that already exist and otherwise falls back to a sampled, cached
 distinct count.  Join *planning* therefore never materialises an index
 as a side effect — indexes are built only when a lookup actually
 probes a column.
+
+The **column-major view** (:meth:`Relation.row_list`,
+:meth:`Relation.column_values`, :meth:`Relation.column_keys`) serves
+the batch-at-a-time executor (:meth:`repro.relational.planner.
+JoinPlan.execute_columnar`): one materialised list per column, plus
+the aligned *typed-cell key* array (:func:`~repro.relational.values.
+value_key` per cell, the identity the hash indexes bucket by), cached
+against the relation's mutation counter so repeated batch executions
+reuse them.  :meth:`Relation.key_index` /
+:meth:`Relation.key_multi_index` expose the hash indexes keyed by
+those same typed keys, letting a batch probe resolve each *distinct*
+key with one dict lookup.
 """
 
 from __future__ import annotations
@@ -70,10 +82,13 @@ class Relation:
         # bounded by composite_index_budget — see _multi_index_for.
         self._multi_indexes: dict[tuple[int, ...], dict[tuple, dict[tuple, Row]]] = {}
         self.composite_index_budget = COMPOSITE_INDEX_BUDGET
-        # Monotone mutation counter; invalidates the sampled-NDV cache.
+        # Monotone mutation counter; invalidates the sampled-NDV cache
+        # and the column-major view.
         self._version = 0
         # position -> (version, estimate)
         self._ndv_cache: dict[int, tuple[int, int]] = {}
+        # ("rows" | ("values", p) | ("keys", p)) -> (version, list)
+        self._column_cache: dict[object, tuple[int, list]] = {}
 
     # ------------------------------------------------------------------
     # Basic collection protocol
@@ -173,6 +188,7 @@ class Relation:
         self._indexes.clear()
         self._multi_indexes.clear()
         self._ndv_cache.clear()
+        self._column_cache.clear()
         self._version += 1
 
     # ------------------------------------------------------------------
@@ -277,6 +293,59 @@ class Relation:
             )
             return bucket.values() if bucket is not None else ()
         return self.lookup(dict(zip(positions, values)))
+
+    # ------------------------------------------------------------------
+    # Column-major view (the batch executor's currency)
+    # ------------------------------------------------------------------
+
+    def _cached_column(self, cache_key: object, build) -> list:
+        cached = self._column_cache.get(cache_key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        column = build()
+        self._column_cache[cache_key] = (self._version, column)
+        return column
+
+    def row_list(self) -> list[Row]:
+        """All rows in insertion order, cached per version.
+
+        Unlike :meth:`rows` (a fresh list per call), the returned list
+        is shared until the next mutation — callers must not modify it.
+        """
+        return self._cached_column("rows", lambda: list(self._rows.values()))
+
+    def column_values(self, position: int) -> list[Value]:
+        """Column *position* of every row, aligned with :meth:`row_list`.
+
+        Cached per version and shared; callers must not modify it.
+        """
+        self._check_position(position)
+        return self._cached_column(
+            ("values", position),
+            lambda: [row[position] for row in self._rows.values()],
+        )
+
+    def column_keys(self, position: int) -> list:
+        """Typed-cell keys (:func:`value_key`) of column *position*,
+        aligned with :meth:`row_list`; cached per version and shared."""
+        self._check_position(position)
+        return self._cached_column(
+            ("keys", position),
+            lambda: [value_key(row[position]) for row in self._rows.values()],
+        )
+
+    def key_index(self, position: int) -> dict[object, dict[tuple, Row]]:
+        """The single-column hash index on *position* (built on first
+        use), keyed by typed cell keys — the batch executor probes it
+        once per *distinct* key in a batch."""
+        return self._index_for(position)
+
+    def key_multi_index(
+        self, positions: tuple[int, ...]
+    ) -> dict[tuple, dict[tuple, Row]]:
+        """The composite hash index on *positions* (built on first use),
+        keyed by typed key tuples; same LRU discipline as :meth:`probe`."""
+        return self._multi_index_for(positions)
 
     def count(self, bindings: dict[int, Value] | None = None) -> int:
         """Number of rows matching *bindings* (all rows when ``None``)."""

@@ -116,6 +116,12 @@ def value_key(value: Value) -> object:
     floats with ints) restores the type-strict identity.  Ints, strings
     and marked nulls key as themselves (no cross-type ``==`` between
     them), so the common cases stay allocation-free.
+
+    These keys are the identity of the storage layer's hash indexes
+    *and* of the columnar executor's typed-key arrays
+    (:meth:`~repro.relational.storage.Relation.column_keys`), which is
+    what lets a column batch probe an index bucket with one dict
+    lookup per distinct key.
     """
     kind = type(value)
     if kind is bool:

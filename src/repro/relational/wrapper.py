@@ -34,32 +34,54 @@ compensation joins the Wrapper runs on behalf of SQLite — is compiled
 once and re-executed from the cache until its relations' cardinalities
 shift by an order of magnitude.
 
-Pushdown dispatch rules
+Executor dispatch rules
 -----------------------
 
 Every evaluation entry point runs a compiled :class:`~repro.relational.
 planner.JoinPlan` from the wrapper's cache.  *Where* the plan executes
-is the wrapper's choice, via :meth:`Wrapper._plan_executor`:
+is the wrapper's choice, via :meth:`Wrapper._plan_executor`, between
+three executor cases:
 
-1. :class:`MemoryStore` and :class:`MediatorStore` return no executor:
-   plans run in the in-memory join loop over hash-index probes.
-2. :class:`SqliteStore` pushes a plan down — compiles it to one
+1. :class:`MemoryStore` and :class:`MediatorStore` run plans in the
+   **columnar** batch-at-a-time executor
+   (:meth:`~repro.relational.planner.JoinPlan.execute_columnar`) by
+   default; ``executor="rows"`` at construction opts back into the
+   row-at-a-time join loop over hash-index probes
+   (:meth:`~repro.relational.planner.JoinPlan.execute`, the
+   differential baseline — both enumerate identical answers in
+   identical order).
+2. :class:`SqliteStore` **pushes a plan down** — compiles it to one
    parameterized SQL join via :func:`~repro.relational.planner.
-   compile_plan_sql` and executes it inside SQLite — **when every
-   stored body relation has a table in this store** (one node's body
+   compile_plan_sql` and executes it inside SQLite — when every
+   stored body relation has a table in this store (one node's body
    always references one acquaintance's schema, so in practice every
-   rule body a node evaluates qualifies).  A body naming a relation
-   this store does not hold cannot be joined inside one SQLite
-   database; translation returns ``None`` and the plan falls back to
-   the in-memory executor over per-atom SQL probes — the paper's
-   original compensation path, kept as the correctness oracle.
-3. Delta plans push down too: the delta occurrence reads a per-arity
+   rule body a node evaluates qualifies).
+3. A body naming relations this store does not hold is a
+   **mixed-backend join**.  When the missing relations are resolvable
+   from an attached in-memory view (:meth:`SqliteStore.attach_memory`)
+   and the memory side is no larger than the stored side, the memory
+   relations are shipped into TEMP tables named exactly as the
+   relation and the whole join still runs as one SQL statement; when
+   the memory side is larger, the plan runs in memory over the
+   combined view instead.  A body resolvable from neither backend
+   falls back to the in-memory row loop over per-atom SQL probes —
+   the paper's original compensation path, kept as the correctness
+   oracle.
+4. Delta plans push down too: the delta occurrence reads a per-arity
    TEMP table the store refills per execution, every other occurrence
    reads its stored table.
-4. ``pushdown=False`` at construction disables rule 2 entirely
+5. ``pushdown=False`` at construction disables rules 2–3 entirely
    (benchmarks and differential tests use this to time/verify the
-   fallback path); ``pushdown_queries`` / ``pushdown_fallbacks``
-   count the dispatch decisions.
+   fallback path).
+
+Every dispatch decision is counted — one stat per case:
+``plans_pushdown`` (SQL pushdown, mixed-backend shipping included),
+``plans_columnar`` (batch-at-a-time in memory) and ``plans_row_loop``
+(row-at-a-time in memory, including every pushdown fallback) — and
+:meth:`Wrapper.dispatch_counts` exposes them uniformly; the node layer
+folds them into ``NodeStatistics.lifetime_totals()``.
+``pushdown_queries`` / ``pushdown_fallbacks`` remain as the
+SQLite-specific aliases.
 
 Either way the answers must be identical — the differential harness in
 ``tests/relational/test_pushdown.py`` holds all executors to the
@@ -127,6 +149,14 @@ class Wrapper:
         #: on (rule key, delta relation, occurrence) and invalidated by
         #: cardinality fingerprint — see :mod:`repro.relational.planner`.
         self.plan_cache = PlanCache()
+        #: Executor dispatch counters, one per case (see "Executor
+        #: dispatch rules" in the module docstring): plans pushed down
+        #: into the backend as SQL, plans run batch-at-a-time in the
+        #: columnar executor, plans run in the row-at-a-time join loop
+        #: (pushdown fallbacks included).
+        self.plans_pushdown = 0
+        self.plans_columnar = 0
+        self.plans_row_loop = 0
 
     # -- primitives subclasses implement --------------------------------
 
@@ -134,14 +164,31 @@ class Wrapper:
         raise NotImplementedError
 
     def _plan_executor(self):
-        """Backend pushdown hook (see "Pushdown dispatch rules" above).
+        """Backend dispatch hook (see "Executor dispatch rules" above).
 
-        Returns ``None`` (run plans in the in-memory join loop) or a
+        Returns ``None`` (run plans in the in-memory row loop) or a
         callable ``(plan, delta_rows) -> rows | None`` that executes a
-        whole compiled plan inside the backend, returning ``None`` for
-        plans it cannot take (per-plan fallback).
+        whole compiled plan, returning ``None`` for plans it cannot
+        take (per-plan fallback to the row loop).  Implementations
+        count every dispatch decision in :attr:`plans_pushdown` /
+        :attr:`plans_columnar` / :attr:`plans_row_loop`.
         """
-        return None
+
+        def row_loop(plan: JoinPlan, delta_rows: Sequence[Row] | None):
+            self.plans_row_loop += 1
+            return None
+
+        return row_loop
+
+    def dispatch_counts(self) -> dict[str, int]:
+        """One counter per executor dispatch case, uniform across
+        wrappers; the node layer surfaces these in
+        ``NodeStatistics.lifetime_totals()``."""
+        return {
+            "plans_pushdown": self.plans_pushdown,
+            "plans_columnar": self.plans_columnar,
+            "plans_row_loop": self.plans_row_loop,
+        }
 
     def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
         """Deduplicating insert; return the rows that were actually new."""
@@ -289,14 +336,43 @@ class Wrapper:
 
 
 class MemoryStore(Wrapper):
-    """Wrapper over the package's own in-memory engine."""
+    """Wrapper over the package's own in-memory engine.
 
-    def __init__(self, schema: DatabaseSchema, database: Database | None = None) -> None:
+    ``executor`` picks the in-memory executor family: ``"columnar"``
+    (the default batch-at-a-time path) or ``"rows"`` (the
+    row-at-a-time join loop; the two enumerate identical answers in
+    identical order, so this is a pure performance switch kept for
+    benchmarks and differential tests).
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        database: Database | None = None,
+        *,
+        executor: str = "columnar",
+    ) -> None:
         super().__init__(schema)
         self.database = database if database is not None else Database(schema)
+        if executor not in ("columnar", "rows"):
+            raise WrapperError(
+                f"unknown executor {executor!r} (want 'columnar' or 'rows')"
+            )
+        self.executor = executor
 
     def _view(self) -> Database:
         return self.database
+
+    def _plan_executor(self):
+        if self.executor == "rows":
+            return super()._plan_executor()
+        database = self.database
+
+        def columnar(plan: JoinPlan, delta_rows: Sequence[Row] | None):
+            self.plans_columnar += 1
+            return plan.execute_columnar(database, delta_rows)
+
+        return columnar
 
     def insert_new(self, relation: str, rows: Iterable[Sequence[Value]]) -> list[Row]:
         return self.database.insert_new(relation, rows)
@@ -479,6 +555,35 @@ class _SqliteView:
         return _SqliteRelation(self._store, name)
 
 
+class _MixedView:
+    """Combined view: SQLite tables plus attached memory relations.
+
+    Stored names resolve to the store's tables; everything else
+    resolves from the attached in-memory view, so the in-memory
+    executors (columnar and row loop) can evaluate bodies spanning
+    both backends.
+    """
+
+    def __init__(self, store: "SqliteStore") -> None:
+        self._store = store
+        self._sqlite = _SqliteView(store)
+        self._memory = store._memory
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        stored = self._sqlite.relation_names
+        return stored + tuple(
+            name
+            for name in self._memory.relation_names
+            if name not in self._store.schema
+        )
+
+    def relation(self, name: str):
+        if name in self._store.schema:
+            return self._sqlite.relation(name)
+        return self._memory.relation(name)
+
+
 def _sql_compare(op: str, left_cell: str, right_cell: str) -> int:
     """The registered comparison function: decode cells, apply the
     certain-answer semantics of :func:`compare_values`."""
@@ -525,10 +630,15 @@ class SqliteStore(Wrapper):
         )
         self._create_tables()
         self.pushdown = pushdown
-        #: Dispatch counters: plans run as single SQL joins vs plans
-        #: that fell back to the in-memory executor.
-        self.pushdown_queries = 0
+        #: Plans that could not be pushed down and fell back to the
+        #: in-memory row loop (also counted in ``plans_row_loop``).
         self.pushdown_fallbacks = 0
+        #: Attached in-memory view for mixed-backend joins (see
+        #: :meth:`attach_memory`); ``None`` = pure-SQLite store.
+        self._memory = None
+        #: Relation-named TEMP tables already created for shipped
+        #: memory relations (created lazily, refilled per execution).
+        self._overlay_tables: set[str] = set()
         self._delta_tables: set[int] = set()
         # Row counts maintained alongside mutations (this store owns the
         # connection), so cardinality checks are O(1), not COUNT(*).
@@ -554,28 +664,134 @@ class SqliteStore(Wrapper):
                 )
         self._connection.commit()
 
-    def _view(self) -> _SqliteView:
+    def _view(self):
+        if self._memory is not None:
+            return _MixedView(self)
         return _SqliteView(self)
 
     # -- plan pushdown -------------------------------------------------
 
+    @property
+    def pushdown_queries(self) -> int:
+        """Historical alias of :attr:`plans_pushdown`."""
+        return self.plans_pushdown
+
+    def attach_memory(self, view) -> None:
+        """Attach memory-resident relations for mixed-backend joins.
+
+        *view* is anything with ``relation_names`` / ``relation(name)``
+        (typically a :class:`~repro.relational.database.Database`)
+        holding relations **not** stored in this SQLite database.  Rule
+        bodies mixing stored and attached relations become
+        mixed-backend joins, dispatched per rule 3 of the module
+        docstring: shipped into relation-named TEMP tables when the
+        memory side is no larger than the stored side, run in memory
+        over the combined view otherwise.
+        """
+        for name in view.relation_names:
+            if name in self.schema:
+                raise WrapperError(
+                    f"attached relation {name!r} shadows a stored table"
+                )
+        self._memory = view
+
+    def _mixed_split(
+        self, plan: JoinPlan
+    ) -> tuple[tuple[str, ...], int, int] | None:
+        """Split *plan*'s body across the two backends.
+
+        Returns ``(memory_names, memory_rows, stored_rows)`` when every
+        body relation resolves from one of them, ``None`` when some
+        relation resolves from neither (nothing to push down).
+        """
+        memory_names: list[str] = []
+        memory_rows = 0
+        stored_rows = 0
+        for relation in {atom.relation for atom in plan.source_body}:
+            if relation in self.schema:
+                stored_rows += self._row_counts[relation]
+            elif (
+                self._memory is not None
+                and relation in self._memory.relation_names
+            ):
+                memory_names.append(relation)
+                memory_rows += len(self._memory.relation(relation))
+            else:
+                return None
+        return tuple(sorted(memory_names)), memory_rows, stored_rows
+
+    def _ship_overlay(self, plan: JoinPlan, names: Sequence[str]) -> None:
+        """Refill one relation-named TEMP table per shipped relation.
+
+        TEMP names never shadow stored tables (:meth:`attach_memory`
+        rejects overlapping names), so ``compile_plan_sql`` output
+        referencing a shipped relation resolves to the TEMP copy.
+        """
+        arities = {
+            atom.relation: len(atom.terms) for atom in plan.source_body
+        }
+        for name in names:
+            arity = arities[name]
+            if name not in self._overlay_tables:
+                columns = ", ".join(
+                    f"c{i} TEXT NOT NULL" for i in range(arity)
+                )
+                self._connection.execute(
+                    f'CREATE TEMP TABLE IF NOT EXISTS "{name}" ({columns})'
+                )
+                for i in range(arity):
+                    self._connection.execute(
+                        f'CREATE INDEX IF NOT EXISTS "temp_idx_{name}_{i}" '
+                        f'ON "{name}" (c{i})'
+                    )
+                self._overlay_tables.add(name)
+            self._connection.execute(f'DELETE FROM "{name}"')
+            placeholders = ", ".join("?" for _ in range(arity))
+            self._connection.executemany(
+                f'INSERT INTO "{name}" VALUES ({placeholders})',
+                [
+                    [encode_sqlite_value(v) for v in row]
+                    for row in self._memory.relation(name).rows()
+                ],
+            )
+
     def _plan_executor(self):
         if not self.pushdown:
-            return None
+            return super()._plan_executor()  # row loop, counted
         # One executor per evaluation entry-point call.  All the delta
         # plans of one semi-naive evaluation (one per body occurrence
         # of the changed relation) receive the *same* delta rows, so
-        # the TEMP table is filled once per call, not once per plan.
+        # the TEMP table is filled once per call, not once per plan;
+        # shipped memory relations likewise fill once per call.
         filled_arities: set[int] = set()
+        shipped_names: set[str] = set()
 
         def executor(
             plan: JoinPlan, delta_rows: Sequence[Row] | None
         ) -> list[tuple] | None:
-            sql_plan = compile_plan_sql(plan, self.schema.relation_names)
+            split = self._mixed_split(plan)
+            if split is None:
+                self.pushdown_fallbacks += 1
+                self.plans_row_loop += 1
+                return None
+            memory_names, memory_rows, stored_rows = split
+            if memory_names and memory_rows > stored_rows:
+                # The memory side dominates: moving it into SQLite
+                # would copy the bulk of the join's input.  Run in
+                # memory over the combined view instead.
+                self.plans_row_loop += 1
+                return None
+            table_names = self.schema.relation_names + memory_names
+            sql_plan = compile_plan_sql(plan, table_names)
             if sql_plan is None:
                 self.pushdown_fallbacks += 1
+                self.plans_row_loop += 1
                 return None
-            self.pushdown_queries += 1
+            fresh = [n for n in memory_names if n not in shipped_names]
+            if fresh:
+                self._ship_overlay(plan, fresh)
+                shipped_names.update(fresh)
+            self.plans_pushdown += 1
             arity = sql_plan.delta_arity
             if arity is not None and arity in filled_arities:
                 return self.execute_plan(sql_plan, delta_rows, fill_delta=False)

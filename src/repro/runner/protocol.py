@@ -1,8 +1,14 @@
 """The driver↔worker control protocol of the process-per-node runner.
 
-One frame = one stable-JSON object (the same serialisation discipline
-as the wire :class:`~repro.p2p.messages.Message`), sent over a
-``multiprocessing`` pipe with ``send_bytes``/``recv_bytes``.  Three
+One frame = one control object, sent over a ``multiprocessing`` pipe
+with ``send_bytes``/``recv_bytes``.  Frames are self-describing, in
+either of the two codecs the p2p wire speaks
+(:mod:`repro.p2p.messages`): stable JSON (the default) or the binary
+restricted-pickle codec (first byte :data:`~repro.p2p.messages.
+FRAME_BINARY`).  No negotiation is needed on the pipe — the driver
+spawned the worker from the same package, so both ends decode both
+codecs; the driver simply encodes with its configured codec and the
+worker answers in the codec of the last command it received.  Three
 frame shapes flow:
 
 * **commands** (driver → worker): ``{"op": <command>, "cmd_id": n,
@@ -34,6 +40,7 @@ from typing import Any
 
 from repro._util import stable_json
 from repro.errors import ProtocolError
+from repro.p2p.messages import FRAME_BINARY, decode_binary, encode_binary
 
 #: Driver → worker command vocabulary.  ``configure`` must be first
 #: (it builds the node); ``connect`` wires the exchanged ports;
@@ -66,17 +73,23 @@ EVENTS = (
 )
 
 
-def encode_frame(frame: dict[str, Any]) -> bytes:
-    """Serialise one control frame (stable JSON, raw UTF-8)."""
+def encode_frame(frame: dict[str, Any], codec: str = "json") -> bytes:
+    """Serialise one control frame in *codec* (``"json"``/``"binary"``)."""
+    if codec == "binary":
+        return encode_binary(frame)
     return stable_json(frame).encode("utf-8")
 
 
 def decode_frame(data: bytes) -> dict[str, Any]:
-    """Parse one control frame; raises ProtocolError on malformed input."""
-    try:
-        frame = json.loads(data.decode("utf-8"))
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise ProtocolError(f"malformed control frame: {exc}") from exc
+    """Parse one self-describing control frame (either codec); raises
+    ProtocolError on malformed input."""
+    if data[:1] == FRAME_BINARY:
+        frame = decode_binary(data)
+    else:
+        try:
+            frame = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"malformed control frame: {exc}") from exc
     if not isinstance(frame, dict) or "op" not in frame:
         raise ProtocolError(f"control frame without op: {frame!r}")
     return frame

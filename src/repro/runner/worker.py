@@ -56,6 +56,8 @@ class NodeWorker:
         self.node: CoDBNode | None = None
         self._send_lock = threading.Lock()
         self._running = True
+        #: Pipe codec: follow whatever the driver last spoke to us.
+        self._pipe_codec = "json"
 
     # ------------------------------------------------------------------
     # Pipe plumbing
@@ -63,16 +65,22 @@ class NodeWorker:
 
     def _totals(self) -> dict[str, int]:
         if self.network is None:
-            return {"messages_sent": 0, "bytes_sent": 0, "messages_delivered": 0}
+            return {
+                "messages_sent": 0,
+                "bytes_sent": 0,
+                "wire_bytes_sent": 0,
+                "messages_delivered": 0,
+            }
         stats = self.network.stats
         return {
             "messages_sent": stats.messages_sent,
             "bytes_sent": stats.bytes_sent,
+            "wire_bytes_sent": stats.wire_bytes_sent,
             "messages_delivered": stats.messages_delivered,
         }
 
     def _send_frame(self, frame: dict[str, Any]) -> None:
-        data = protocol.encode_frame(frame)
+        data = protocol.encode_frame(frame, self._pipe_codec)
         with self._send_lock:
             try:
                 self.conn.send_bytes(data)
@@ -93,6 +101,9 @@ class NodeWorker:
                 data = self.conn.recv_bytes()
             except (EOFError, OSError):
                 break  # driver died: exit, the OS reaps our sockets
+            self._pipe_codec = (
+                "binary" if data[:1] == protocol.FRAME_BINARY else "json"
+            )
             frame = protocol.decode_frame(data)
             op = frame["op"]
             cmd_id = int(frame.get("cmd_id", 0))
@@ -213,7 +224,9 @@ class NodeWorker:
         # ``requests._seniority`` tie-breaks equal counters on the
         # full id string, which every node orders identically.
         ids = IdAuthority(int(frame.get("seed", 0)), namespace=f"codb-{name}")
-        self.network = TcpNetwork()
+        self.network = TcpNetwork(
+            wire_codec=frame.get("wire_codec", "json")
+        )
         config = NodeConfig(**frame.get("config", {}))
         store = _build_store(frame.get("store", "memory"), schema)
         self.node = CoDBNode(

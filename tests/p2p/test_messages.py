@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ProtocolError
-from repro.p2p.messages import KINDS, Message
+from repro.p2p.messages import (
+    FRAME_BINARY,
+    KINDS,
+    Message,
+    decode_binary,
+    encode_binary,
+)
 from repro.relational.values import MarkedNull, decode_row, encode_row
 
 #: Representative payloads for every protocol message kind — each
@@ -189,3 +195,85 @@ class TestIdAuthority:
 
         ids = IdAuthority()
         assert len({ids.message_id() for _ in range(100)}) == 100
+
+
+class TestBinaryCodec:
+    """The negotiated binary frame codec (restricted pickle).
+
+    Invariant pinned here: for every message kind, decoding a binary
+    frame yields exactly the message that decoding the stable-JSON
+    frame yields — the codecs are interchangeable per hop — and the §4
+    statistics (``size_bytes``/``payload_bytes``) are codec-independent
+    (always the stable-JSON volume).
+    """
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_binary_round_trip_equals_json_round_trip(self, kind):
+        message = Message(
+            kind=kind,
+            sender="TN",
+            recipient="BZ",
+            payload=KIND_PAYLOADS[kind],
+            message_id="msg-ab12cd-0042",
+        )
+        from_binary = Message.from_frame(message.to_binary())
+        from_json = Message.from_frame(message.to_wire())
+        assert from_binary == message
+        assert from_binary == from_json
+        assert from_binary.size_bytes() == message.size_bytes()
+        assert from_binary.payload_bytes() == message.payload_bytes()
+
+    def test_frames_are_self_describing(self):
+        message = Message("k", "A", "B", {"x": 1})
+        assert message.to_binary()[:1] == FRAME_BINARY
+        assert message.to_wire()[:1] == b"{"
+
+    def test_marked_nulls_and_non_ascii_survive_binary(self):
+        message = Message(
+            "query_result", "TN", "BZ", KIND_PAYLOADS["query_result"]
+        )
+        decoded = Message.from_frame(message.to_binary())
+        rows = [decode_row(row) for row in decoded.payload["rows"]]
+        null, city = rows[1]
+        assert isinstance(null, MarkedNull)
+        assert null == MarkedNull("N7@BZ")
+        assert city == "Bolzano/Bozen — Südtirol"
+
+    def test_nested_payload(self):
+        payload = {
+            "outer": {"inner": [{"rows": [[1, ["s", "é"]], []]}, None]},
+            "flags": [True, False, 3, 3.5],
+        }
+        message = Message("k", "A", "B", payload)
+        assert Message.from_frame(message.to_binary()).payload == payload
+
+    def test_binary_bytes_cached(self):
+        message = Message("k", "A", "B", {"x": 1})
+        assert message.to_binary() is message.to_binary()
+        data = message.to_binary()
+        decoded = Message.from_binary(data)
+        assert decoded.to_binary() is data  # receive seeds the cache
+
+    def test_size_bytes_lazy_on_binary_receive(self):
+        # A binary-received message never saw its JSON form; the §4
+        # stats still report the stable-JSON volume.
+        original = Message("k", "A", "B", {"s": "Trento⟪è⟫"})
+        decoded = Message.from_binary(original.to_binary())
+        assert decoded.size_bytes() == original.size_bytes()
+
+    def test_malformed_binary_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message.from_binary(FRAME_BINARY + b"not a pickle")
+        with pytest.raises(ProtocolError):
+            # Right codec, wrong shape (not the 5-tuple).
+            Message.from_binary(encode_binary({"kind": "x"}))
+
+    def test_pickled_globals_rejected(self):
+        # The restricted unpickler refuses any class/function reference:
+        # binary frames are data-only, never code.
+        import os
+        import pickle
+
+        hostile = FRAME_BINARY + pickle.dumps(os.system)
+        with pytest.raises(ProtocolError):
+            decode_binary(hostile)

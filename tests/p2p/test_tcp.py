@@ -211,3 +211,90 @@ class TestRemotePeers:
             assert "B" not in net.peers()
         finally:
             net.stop()
+
+
+class TestCodecNegotiation:
+    """Per-connection wire-codec negotiation (binary vs stable JSON).
+
+    The sender offers only when itself configured ``wire_codec=
+    "binary"``; the receiver acks binary only when *it* is configured
+    binary too.  Any other combination — and any handshake failure —
+    falls back to JSON, so mixed-version deployments interoperate.
+    """
+
+    @staticmethod
+    def _pair(left_codec, right_codec):
+        left = TcpNetwork(wire_codec=left_codec)
+        right = TcpNetwork(wire_codec=right_codec)
+        return left, right
+
+    def _deliver(self, left, right, count=3):
+        got = []
+        left.register("A", lambda m: None)
+        right.register("B", got.append)
+        left.add_remote_peer("B", right.port_of("B"))
+        for i in range(count):
+            left.send(msg("A", "B", i))
+        right.wait_for(lambda: len(got) == count, 5.0)
+        right.run_until_idle()
+        assert [m.payload["n"] for m in got] == list(range(count))
+        return got
+
+    def test_binary_peers_negotiate_binary(self):
+        left, right = self._pair("binary", "binary")
+        try:
+            self._deliver(left, right)
+            assert left._codecs[("A", "B")] == "binary"
+            # Actual framed bytes are tracked separately from the
+            # codec-independent stable-JSON volume statistic.
+            assert left.stats.wire_bytes_sent > 0
+            assert left.stats.bytes_sent > 0
+        finally:
+            left.stop()
+            right.stop()
+
+    def test_binary_sender_falls_back_against_json_peer(self):
+        # The receiver never opted into binary: the offer is answered
+        # with a JSON ack and every message frame stays JSON.
+        left, right = self._pair("binary", "json")
+        try:
+            self._deliver(left, right)
+            assert left._codecs[("A", "B")] == "json"
+        finally:
+            left.stop()
+            right.stop()
+
+    def test_json_sender_never_offers(self):
+        left, right = self._pair("json", "binary")
+        try:
+            self._deliver(left, right)
+            assert left._codecs[("A", "B")] == "json"
+        finally:
+            left.stop()
+            right.stop()
+
+    def test_marked_nulls_survive_binary_connection(self):
+        from repro.relational.values import MarkedNull, decode_row, encode_row
+
+        left, right = self._pair("binary", "binary")
+        got = []
+        try:
+            left.register("A", lambda m: None)
+            right.register("B", got.append)
+            left.add_remote_peer("B", right.port_of("B"))
+            row = encode_row((MarkedNull("N1@A"), "Bolzano — Südtirol"))
+            left.send(Message("query_data", "A", "B", {"rows": [row]}))
+            right.wait_for(lambda: len(got) == 1, 5.0)
+            right.run_until_idle()
+            null, city = decode_row(got[0].payload["rows"][0])
+            assert null == MarkedNull("N1@A")
+            assert city == "Bolzano — Südtirol"
+        finally:
+            left.stop()
+            right.stop()
+
+    def test_invalid_codec_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            TcpNetwork(wire_codec="msgpack")

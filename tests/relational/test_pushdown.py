@@ -1,15 +1,23 @@
-"""SQLite pushdown ≡ in-memory JoinPlan ≡ interpreter.
+"""Interpreter ≡ row JoinPlan ≡ columnar ≡ pushdown ≡ mixed-backend.
 
-The randomized differential harness for the SQL pushdown path: rule
-bodies with repeated relations, repeated variables, constants,
-comparison predicates and marked nulls are evaluated three ways —
+The randomized differential harness for every executor of the shared
+:class:`~repro.relational.planner.JoinPlan` IR: rule bodies with
+repeated relations, repeated variables, constants, comparison
+predicates and marked nulls are evaluated four ways against the
+interpreter —
 
 * the interpreter (:mod:`repro.relational.evaluation`, the semantics
   oracle),
-* the in-memory compiled :class:`~repro.relational.planner.JoinPlan`
-  executor,
-* the SQLite pushdown (the plan translated by ``compile_plan_sql``
+* the in-memory compiled plan in the row-at-a-time join loop,
+* the **columnar** batch-at-a-time executor
+  (:meth:`~repro.relational.planner.JoinPlan.execute_columnar`, via a
+  default-configured :class:`MemoryStore`),
+* the SQLite **pushdown** (the plan translated by ``compile_plan_sql``
   and run as one SQL join inside :class:`SqliteStore`),
+* the **mixed-backend** store (``r``/``s`` as SQLite tables, ``t``
+  memory-resident via :meth:`SqliteStore.attach_memory`, so bodies
+  touching ``t`` ship it into a TEMP table or run over the combined
+  view),
 
 in both full and semi-naive (delta) mode, and the answer sets must be
 identical.  The randomized pool is ints plus marked nulls;
@@ -42,7 +50,7 @@ from repro.relational.planner import (
     evaluate_query_planned,
 )
 from repro.relational.values import MarkedNull, row_sort_key
-from repro.relational.wrapper import SqliteStore
+from repro.relational.wrapper import MemoryStore, SqliteStore
 from repro.workloads import DataGenerator
 
 SCHEMA_TEXT = "r(a, b)\ns(a, b)\nt(a, b, c)"
@@ -59,14 +67,11 @@ DELTA_SEEDS = 25
 DELTAS_PER_SEED = 8
 
 
-def build_instance(seed: int):
-    """One random instance, loaded identically into every backend.
-
-    Returns ``(database, sqlite_store)`` with byte-identical contents:
+def instance_facts(seed: int) -> dict[str, list]:
+    """The random facts of one instance, identical for every backend:
     ints from a small domain (so random joins match) with a slice
     rewritten into marked nulls from a small label pool (so null joins,
-    null projection and null comparisons are all exercised).
-    """
+    null projection and null comparisons are all exercised)."""
     gen = DataGenerator(seed)
     rng = random.Random(seed * 31 + 7)
     raw = gen.measurements(120, sensors=DOMAIN)
@@ -76,19 +81,42 @@ def build_instance(seed: int):
             return MarkedNull(rng.choice(NULL_LABELS))
         return value % DOMAIN
 
-    facts = {
+    return {
         "r": [(maybe_null(s), maybe_null(v)) for s, _, v in raw[:50]],
         "s": [(maybe_null(v), maybe_null(s)) for s, _, v in raw[50:90]],
         "t": [
             (maybe_null(s), maybe_null(v), maybe_null(t)) for s, t, v in raw[90:]
         ],
     }
+
+
+def build_instance(seed: int):
+    """One random instance, loaded identically into every backend.
+
+    Returns ``(database, sqlite_store)`` with byte-identical contents.
+    """
+    facts = instance_facts(seed)
     db = Database(parse_schema(SCHEMA_TEXT))
     db.load(facts)
     store = SqliteStore(parse_schema(SCHEMA_TEXT))
     for relation, rows in facts.items():
         store.insert_new(relation, rows)
     return db, store
+
+
+def build_mixed_instance(seed: int) -> SqliteStore:
+    """The same instance split across backends: ``r``/``s`` stored as
+    SQLite tables, ``t`` memory-resident and attached — so every query
+    touching ``t`` exercises the mixed-backend dispatch (TEMP-table
+    shipping or combined-view execution)."""
+    facts = instance_facts(seed)
+    store = SqliteStore(parse_schema("r(a, b)\ns(a, b)"))
+    store.insert_new("r", facts["r"])
+    store.insert_new("s", facts["s"])
+    memory = Database(parse_schema("t(a, b, c)"))
+    memory.load({"t": facts["t"]})
+    store.attach_memory(memory)
+    return store
 
 
 def random_query(rng: random.Random) -> ConjunctiveQuery:
@@ -145,8 +173,10 @@ def canonical(rows):
 
 class TestDifferentialFull:
     @pytest.mark.parametrize("seed", range(FULL_SEEDS))
-    def test_three_way_equality(self, seed):
+    def test_four_way_equality(self, seed):
         db, store = build_instance(seed)
+        columnar = MemoryStore(parse_schema(SCHEMA_TEXT), db)
+        mixed = build_mixed_instance(seed)
         rng = random.Random(5000 + seed)
         cache = PlanCache()
         try:
@@ -154,21 +184,34 @@ class TestDifferentialFull:
                 query = random_query(rng)
                 oracle = canonical(evaluate_query(db, query))
                 planned = canonical(evaluate_query_planned(db, query, cache))
+                batched = canonical(columnar.evaluate_query(query))
                 pushed = canonical(store.evaluate_query(query))
+                shipped = canonical(mixed.evaluate_query(query))
                 assert planned == oracle, f"seed={seed} query={query!r}"
+                assert batched == oracle, f"seed={seed} query={query!r}"
                 assert pushed == oracle, f"seed={seed} query={query!r}"
-            # The pushdown path must actually have run — a silently
+                assert shipped == oracle, f"seed={seed} query={query!r}"
+            # Each dispatch case must actually have run — a silently
             # falling-back store would make this file vacuous.
             assert store.pushdown_queries >= QUERIES_PER_SEED
             assert store.pushdown_fallbacks == 0
+            assert columnar.plans_columnar >= QUERIES_PER_SEED
+            assert mixed.pushdown_fallbacks == 0
+            assert (
+                mixed.plans_pushdown + mixed.plans_row_loop
+                >= QUERIES_PER_SEED
+            )
         finally:
             store.close()
+            mixed.close()
 
 
 class TestDifferentialDelta:
     @pytest.mark.parametrize("seed", range(DELTA_SEEDS))
-    def test_three_way_equality_semi_naive(self, seed):
+    def test_four_way_equality_semi_naive(self, seed):
         db, store = build_instance(seed)
+        columnar = MemoryStore(parse_schema(SCHEMA_TEXT), db)
+        mixed = build_mixed_instance(seed)
         rng = random.Random(6000 + seed)
         cache = PlanCache()
         try:
@@ -182,19 +225,34 @@ class TestDifferentialDelta:
                 planned = canonical(
                     evaluate_query_delta_planned(db, query, changed, delta, cache)
                 )
+                batched = canonical(
+                    columnar.evaluate_query_delta(query, changed, delta)
+                )
                 pushed = canonical(
                     store.evaluate_query_delta(query, changed, delta)
                 )
+                shipped = canonical(
+                    mixed.evaluate_query_delta(query, changed, delta)
+                )
                 assert planned == oracle, (
+                    f"seed={seed} changed={changed} query={query!r}"
+                )
+                assert batched == oracle, (
                     f"seed={seed} changed={changed} query={query!r}"
                 )
                 assert pushed == oracle, (
                     f"seed={seed} changed={changed} query={query!r}"
                 )
+                assert shipped == oracle, (
+                    f"seed={seed} changed={changed} query={query!r}"
+                )
             assert store.pushdown_queries > 0
             assert store.pushdown_fallbacks == 0
+            assert columnar.plans_columnar > 0
+            assert mixed.pushdown_fallbacks == 0
         finally:
             store.close()
+            mixed.close()
 
     @pytest.mark.parametrize("seed", range(8))
     def test_repeated_occurrence_delta(self, seed):

@@ -351,3 +351,73 @@ class TestKeyEstimates:
         # per probe; the declared key wins.
         relation = self._keyed([(i % 10, i % 3, f"p{i}") for i in range(300)])
         assert relation.estimated_matches([0, 1]) == 1.0
+
+
+class TestColumnView:
+    """The column-major view the batch executor scans."""
+
+    def test_columns_aligned_with_row_list(self, relation):
+        relation.insert((1, "x"))
+        relation.insert((2, "y"))
+        relation.insert((3, MarkedNull("N1@BZ")))
+        rows = relation.row_list()
+        assert rows == relation.rows()
+        assert relation.column_values(0) == [row[0] for row in rows]
+        assert relation.column_values(1) == [row[1] for row in rows]
+
+    def test_views_cached_until_mutation(self, relation):
+        relation.insert((1, "x"))
+        assert relation.row_list() is relation.row_list()
+        assert relation.column_values(0) is relation.column_values(0)
+        assert relation.column_keys(1) is relation.column_keys(1)
+        before = relation.row_list()
+        relation.insert((2, "y"))
+        assert relation.row_list() is not before
+        assert relation.row_list() == before + [(2, "y")]
+
+    def test_delete_and_clear_invalidate(self, relation):
+        relation.insert((1, "x"))
+        relation.insert((2, "y"))
+        stale_values = relation.column_values(0)
+        relation.delete((1, "x"))
+        assert relation.column_values(0) == [2]
+        assert stale_values == [1, 2]  # old snapshot untouched
+        relation.clear()
+        assert relation.column_values(0) == []
+        assert relation.row_list() == []
+
+    def test_column_keys_use_value_key_identity(self, relation):
+        from repro.relational.values import value_key
+
+        null = MarkedNull("N1@TN")
+        relation.insert((1, 2))
+        relation.insert((True, 2.0))
+        relation.insert((null, "s"))
+        assert relation.column_keys(0) == [
+            value_key(1),
+            value_key(True),
+            value_key(null),
+        ]
+        # type-strict: the bool keys apart from the int
+        keys = relation.column_keys(0)
+        assert keys[0] != keys[1]
+
+    def test_key_index_probes_by_typed_key(self, relation):
+        from repro.relational.values import value_key
+
+        relation.insert((1, "int"))
+        relation.insert((True, "bool"))
+        index = relation.key_index(0)
+        assert [row for row in index[value_key(1)].values()] == [(1, "int")]
+        assert [row for row in index[value_key(True)].values()] == [
+            (True, "bool")
+        ]
+        multi = relation.key_multi_index((0, 1))
+        assert list(multi[(value_key(1), "int")].values()) == [(1, "int")]
+
+    def test_noop_mutations_keep_cache(self, relation):
+        relation.insert((1, "x"))
+        cached = relation.column_keys(0)
+        assert relation.insert((1, "x")) is False  # duplicate
+        assert relation.delete((9, "z")) is False  # absent
+        assert relation.column_keys(0) is cached

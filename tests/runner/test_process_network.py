@@ -158,6 +158,26 @@ class TestDifferentialAgainstOtherDeployments:
             sim_net.global_update(origin)
         assert_snapshots_equal_up_to_nulls(sqlite_state, sim_net.snapshot())
 
+    def test_binary_wire_codec_matches_simulator(self):
+        # End-to-end over the driver pipes *and* the worker TCP mesh
+        # with the negotiated binary frames instead of JSON.
+        seed, topology = 4, "cycle"
+        origins = pick_origins(topology, seed, count=2)
+
+        binary_net = build_network(
+            topology, seed, lambda: make_process_net(seed, wire_codec="binary")
+        )
+        try:
+            binary_net.await_all(binary_net.start_global_updates(origins))
+            binary_state = binary_net.snapshot()
+        finally:
+            binary_net.stop()
+
+        sim_net = build_network(topology, seed, lambda: make_simulator_net(seed))
+        for origin in origins:
+            sim_net.global_update(origin)
+        assert_snapshots_equal_up_to_nulls(binary_state, sim_net.snapshot())
+
 
 class TestMixedHandleStreams:
     def test_as_completed_streams_queries_and_updates(self):
