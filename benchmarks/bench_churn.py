@@ -1,42 +1,65 @@
-"""E14 — node churn during global updates (§1: the topology "may
-dynamically change"; the algorithm terminates "even if nodes and
-coordination rules appear or disappear during the computation").
+"""E14 — churn and adversarial weather during global updates (§1: the
+topology "may dynamically change"; the algorithm terminates "even if
+nodes and coordination rules appear or disappear during the
+computation").
 
-A chain update with the k-th node crashing mid-flight: the update must
-still terminate, delivering everything from the surviving prefix.
-Shape: wall time stays in the no-crash regime (failure detection is
-immediate, not timeout-based); data loss equals exactly the dead
-suffix's contribution.
+Three families over one chain workload:
+
+* **Crash matrix** — the k-th node crashes the instant the update
+  flood reaches it (an event-count hook on the fault injector; fault
+  timing never depends on a wall-clock constant).  The update still
+  terminates; data loss is exactly the dead suffix's contribution.
+* **Fault-scenario matrix** — every named transport scenario
+  (duplicate / reorder / delay / compound / loss-with-retries / link
+  flap) over the same update.  All are absorbable weather: the run
+  must report ``complete`` and deliver every row, whatever the storm
+  did to the wire.  A mid-update partition is the contrast case: the
+  report says ``partial`` and names exactly the severed component.
+* **Repeat-update suppression** — the second update over unchanged
+  data must not re-ship rows the first one already taught each link's
+  lifetime sent-memory: byte traffic drops, and the ablation
+  (``resend_suppression=False``) pays the re-ship cost again.
 """
 
 import pytest
 
-from repro import CoDBNetwork
+from repro import CoDBNetwork, NodeConfig
+from repro.p2p.faults import FaultInjector, Partition
+from repro.workloads import FAULT_SCENARIO_NAMES, install_fault_scenario
 
-LENGTH = 6
-TUPLES = 10
+
+def sizes(smoke):
+    """(chain length, tuples per node)."""
+    return (4, 6) if smoke else (6, 10)
 
 
-def build_chain():
-    net = CoDBNetwork(seed=140)
-    for i in range(LENGTH):
+def build_chain(length, tuples, *, config=None):
+    net = CoDBNetwork(seed=140, config=config)
+    for i in range(length):
         net.add_node(f"N{i}", "item(k: int)")
         net.node(f"N{i}").load_facts(
-            {"item": [(i * 100 + j,) for j in range(TUPLES)]}
+            {"item": [(i * 100 + j,) for j in range(tuples)]}
         )
-    for i in range(LENGTH - 1):
+    for i in range(length - 1):
         net.add_rule(f"N{i}:item(k) <- N{i + 1}:item(k)")
     net.start()
     return net
 
 
-def run_with_crash(victim: int | None):
-    net = build_chain()
+def run_with_crash(victim, length, tuples):
+    net = build_chain(length, tuples)
     node = net.node("N0")
-    update_id = node.start_global_update()
-    net.transport.run_for(0.0015)  # first requests delivered
     if victim is not None:
-        net.node(f"N{victim}").detach()
+        injector = FaultInjector()
+        net.transport.install_faults(injector)
+        # Kill the victim the moment the flood's request lands on it —
+        # engaged in the update, before it has served its suffix.
+        injector.at_delivery(
+            lambda: net.node(f"N{victim}").detach(),
+            kind="update_request",
+            recipient=f"N{victim}",
+        )
+    update_id = node.start_global_update()
     net.run()
     assert node.updates.is_done(update_id)
     report = node.stats.report_for(update_id)
@@ -44,20 +67,30 @@ def run_with_crash(victim: int | None):
 
 
 @pytest.mark.parametrize("victim", [None, 3, 5])
-def test_update_with_crash(benchmark, victim):
+def test_update_with_crash(benchmark, smoke, victim):
+    length, tuples = sizes(smoke)
+    if victim is not None and victim >= length:
+        victim = length - 1
+
     def run():
-        return run_with_crash(victim)
+        return run_with_crash(victim, length, tuples)
 
-    _, origin_rows, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    _, origin_rows, _ = benchmark.pedantic(
+        run, rounds=1 if smoke else 3, iterations=1
+    )
     if victim is None:
-        assert origin_rows == TUPLES * LENGTH
+        assert origin_rows == tuples * length
 
 
-def test_churn_report(benchmark, report):
+def test_churn_report(benchmark, report, smoke):
+    length, tuples = sizes(smoke)
+
     def run():
         rows = []
-        for victim in [None, 5, 4, 3, 2, 1]:
-            net, origin_rows, node_report = run_with_crash(victim)
+        for victim in [None] + list(range(length - 1, 0, -1)):
+            net, origin_rows, node_report = run_with_crash(
+                victim, length, tuples
+            )
             failures = sum(
                 r.links_closed_by_failure
                 for n in net.nodes.values()
@@ -67,7 +100,7 @@ def test_churn_report(benchmark, report):
                 [
                     "none" if victim is None else f"N{victim}",
                     origin_rows,
-                    TUPLES * LENGTH - origin_rows,
+                    tuples * length - origin_rows,
                     failures,
                     f"{node_report.duration:.6f}",
                 ]
@@ -78,11 +111,112 @@ def test_churn_report(benchmark, report):
     report.add_table(
         ["crashed node", "origin_rows", "rows_lost", "failure_closures", "origin_wall_s"],
         rows,
-        title=f"E14: mid-update crash in a chain of {LENGTH} ({TUPLES} tuples/node)",
+        title=f"E14: mid-update crash in a chain of {length} ({tuples} tuples/node)",
     )
     # no crash: everything arrives; crashing node k loses at most the
     # suffix k..end (data already relayed before the crash may survive).
-    assert rows[0][1] == TUPLES * LENGTH
+    assert rows[0][1] == tuples * length
     by_victim = {row[0]: row for row in rows}
-    assert by_victim["N5"][2] <= TUPLES * 1
-    assert by_victim["N1"][1] >= TUPLES  # N0's own data always survives
+    assert by_victim[f"N{length - 1}"][2] <= tuples * 1
+    assert by_victim["N1"][1] >= tuples  # N0's own data always survives
+
+
+@pytest.mark.parametrize("scenario", FAULT_SCENARIO_NAMES)
+def test_fault_scenario_matrix(benchmark, report, smoke, scenario):
+    """Absorbable weather: every scenario completes with every row."""
+    length, tuples = sizes(smoke)
+
+    def run():
+        net = build_chain(length, tuples)
+        injector = install_fault_scenario(net, scenario, seed=140)
+        outcome = net.global_update("N0")
+        return net, injector, outcome
+
+    net, injector, outcome = benchmark.pedantic(
+        run, rounds=1 if smoke else 3, iterations=1
+    )
+    assert injector.verdicts > 0  # the weather actually blew
+    assert outcome.report.outcome == "complete"
+    assert net.node("N0").wrapper.count("item") == tuples * length
+    report.add_table(
+        ["scenario", "outcome", "verdicts", "bounces", "messages", "bytes"],
+        [[
+            scenario,
+            outcome.report.outcome,
+            injector.verdicts,
+            injector.bounces,
+            outcome.transport_messages,
+            outcome.transport_bytes,
+        ]],
+        title=f"E14b: fault scenario '{scenario}' over a chain of {length}",
+    )
+
+
+def test_partition_mid_update_reports_partial(report, smoke):
+    """The contrast case: a cut that never heals is NOT absorbable —
+    the report must say so and name exactly the severed component."""
+    length, tuples = sizes(smoke)
+    half = length // 2
+    net = build_chain(length, tuples)
+    near = tuple(f"N{i}" for i in range(half))
+    far = tuple(f"N{i}" for i in range(half, length))
+    cut = Partition([near, far])
+    injector = FaultInjector(cut, seed=140)
+    net.transport.install_faults(injector)
+    # Sever the instant the flood crosses into the far component.
+    injector.at_delivery(
+        cut.sever, kind="update_request", recipient=f"N{half}"
+    )
+    outcome = net.global_update("N0")
+    assert outcome.report.outcome == "partial"
+    assert outcome.report.unreachable_peers == sorted(far)
+    report.add_table(
+        ["cut", "outcome", "unreachable"],
+        [[
+            f"{'+'.join(near)} | {'+'.join(far)}",
+            outcome.report.outcome,
+            " ".join(outcome.report.unreachable_peers),
+        ]],
+        title="E14c: mid-update partition names the severed component",
+    )
+
+
+def test_repeat_update_resend_suppression(benchmark, report, smoke):
+    """Teach-forward memory: the second update over unchanged data must
+    not pay for re-shipping rows the first one already delivered."""
+    length, tuples = sizes(smoke)
+
+    def run():
+        rows = []
+        for label, config in (
+            ("suppression on", None),
+            ("suppression off", NodeConfig(resend_suppression=False)),
+        ):
+            net = build_chain(length, tuples, config=config)
+            first = net.global_update("N0")
+            second = net.global_update("N0")
+            suppressed = sum(
+                t["rows_suppressed"] for t in net.lifetime_totals().values()
+            )
+            rows.append(
+                [label, first.transport_bytes, second.transport_bytes,
+                 suppressed]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1 if smoke else 3, iterations=1)
+    report.add_table(
+        ["config", "first_update_bytes", "second_update_bytes",
+         "rows_suppressed"],
+        rows,
+        title=f"E14d: repeat update over a chain of {length} "
+              f"({tuples} tuples/node)",
+    )
+    on, off = rows[0], rows[1]
+    # The fix under test: with the lifetime sent-memory consulted, the
+    # repeat update's byte traffic drops well below the first run's —
+    # and below the ablation's repeat run, which re-ships every row.
+    assert on[2] < on[1], "second update must ship fewer bytes than the first"
+    assert on[2] < off[2], "suppression must beat the ablation's repeat"
+    assert on[3] > 0, "suppressed-row accounting must be visible"
+    assert off[3] == 0

@@ -97,10 +97,15 @@ class IncomingLink:
 
     rule: CoordinationRule
 
-    #: Row keys shipped by the *push engine* (continuous mode) — its
-    #: lifetime dedup, mirroring §3's "delete from Ri those tuples
-    #: which have been already sent".  Update sessions keep their own
-    #: per-session sent-sets instead (see :class:`SessionLinkState`).
+    #: Row keys this node ever *delivered* over this link: shipped by
+    #: the push engine (continuous mode) or taught forward by an update
+    #: session under resend suppression.  The link's lifetime sent
+    #: memory, mirroring §3's "delete from Ri those tuples which have
+    #: been already sent" across updates — the importer's lifetime
+    #: ``fired`` set would drop a re-shipped row anyway, so a later
+    #: session skips it at the source (rows taught by a session that
+    #: ends in failure are rolled back; see
+    #: :meth:`LinkSession.close_incoming`).
     pushed: set = field(default_factory=set)
     #: Diagnostic mirrors (most recent session, see module docstring).
     state: str = INACTIVE
@@ -116,6 +121,12 @@ class IncomingLink:
     def remote(self) -> str:
         """The importer the results flow to (rule.target)."""
         return self.rule.target
+
+    def has_pushed(self, row: Row) -> bool:
+        return row_key(row) in self.pushed
+
+    def mark_pushed(self, row: Row) -> None:
+        self.pushed.add(row_key(row))
 
 
 class LinkTable:
@@ -200,6 +211,13 @@ class SessionLinkState:
     closed_by: str = ""
     longest_path: int = 0
     seen: set = field(default_factory=set)
+    #: Row keys THIS session newly added to the shared link's lifetime
+    #: ``pushed`` memory (resend suppression).  Kept separately so a
+    #: failure closure can forget exactly what this session taught:
+    #: its messages may never have arrived, and a healed network's
+    #: next update must re-ship them (over-resending is safe — the
+    #: importer's ``fired`` set dedups; under-resending loses data).
+    lifetime_new: set = field(default_factory=set)
 
     def has_seen(self, row: Row) -> bool:
         return row_key(row) in self.seen
@@ -265,6 +283,20 @@ class LinkSession:
         if link is not None:
             link.state = CLOSED
             link.closed_by = closed_by
+            if closed_by == "failure":
+                self.rollback_taught(rule_id)
+
+    def rollback_taught(self, rule_id: str) -> None:
+        """This session's shipments toward the importer may never have
+        arrived: forget what it taught the lifetime sent memory so the
+        next update re-ships.  Called on failure closes, and again when
+        a shipment bounces *after* the link already closed cleanly —
+        the importer's ``fired`` set makes the re-send harmless."""
+        state = self.incoming_state(rule_id)
+        link = self.table.incoming.get(rule_id)
+        if link is not None and state.lifetime_new:
+            link.pushed -= state.lifetime_new
+            state.lifetime_new.clear()
 
     # -- paired topology/state views ----------------------------------------
 

@@ -288,11 +288,67 @@ class CoDBNetwork:
         return UpdateOutcome(
             update_id=update_id,
             origin=origin,
-            report=aggregate_reports(update_id, origin, reports),
+            report=aggregate_reports(
+                update_id,
+                origin,
+                reports,
+                # An empty BFS result means *topology* shows no cut —
+                # defer to the union of per-node views so losses the
+                # nodes detected (bounced shipments) still get named.
+                unreachable_peers=self._unreachable_from(origin) or None,
+            ),
             wall_time=handle.finished_at - handle.started_at,
             transport_messages=handle.messages_after - handle.messages_before,
             transport_bytes=handle.bytes_after - handle.bytes_before,
         )
+
+    def _unreachable_from(self, origin: str) -> list[str] | None:
+        """Driver-side reachability: the peers the update CANNOT have
+        covered, as seen at aggregation time.
+
+        BFS over the rule topology from *origin*, skipping detached
+        (crashed) nodes and edges the transport reports severed by an
+        active partition (:meth:`Transport.severed_pairs`).  Whatever
+        the rule graph connects to the origin but the BFS cannot reach
+        is exactly the severed-or-crashed component — the peers whose
+        flow the report would otherwise silently truncate.  Returns
+        ``None`` (let per-node local views stand in) when the origin is
+        unknown.
+        """
+        if not origin or origin not in self.nodes:
+            return None
+        severed = self.transport.severed_pairs()
+        neighbours: dict[str, set[str]] = {name: set() for name in self.nodes}
+        reachable_edges: dict[str, set[str]] = {
+            name: set() for name in self.nodes
+        }
+        for rule in self.rule_file.rules:
+            pair = (rule.source, rule.target)
+            for a, b in (pair, pair[::-1]):
+                if a in neighbours and b in neighbours:
+                    neighbours[a].add(b)
+                    if (
+                        frozenset((a, b)) not in severed
+                        and not self.nodes[a].detached
+                        and not self.nodes[b].detached
+                    ):
+                        reachable_edges[a].add(b)
+
+        def component(edges: dict[str, set[str]], start: str) -> set[str]:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                for peer in edges[frontier.pop()]:
+                    if peer not in seen:
+                        seen.add(peer)
+                        frontier.append(peer)
+            return seen
+
+        # Only peers the rule graph actually ties to the origin count:
+        # a node in a disjoint rule group was never part of this update.
+        in_scope = component(neighbours, origin)
+        covered = component(reachable_edges, origin)
+        return sorted(in_scope - covered)
 
     # ------------------------------------------------------------------
     # Global updates

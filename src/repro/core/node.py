@@ -93,6 +93,16 @@ class NodeConfig:
         queue drained in global id-seniority order — an update storm
         degrades into a pipeline instead of thrashing (see
         :mod:`repro.core.requests`).
+    resend_suppression:
+        Teach-forward dedup across *updates*: when evaluating a link,
+        skip rows the link's lifetime ``pushed`` memory says a previous
+        session already delivered — the importer's ``fired`` set would
+        mint nothing for them anyway.  Rows taught during a session
+        that ends in failure are forgotten again (see
+        :meth:`repro.core.links.LinkSession.close_incoming`), so a
+        healed partition still converges to ``complete``.  Only active
+        together with ``sent_dedup`` (the E10 ablation measures
+        resends; this must not mask it).
     """
 
     semi_naive: bool = True
@@ -104,10 +114,16 @@ class NodeConfig:
     quarantine_inconsistent: bool = True
     minimize_rule_bodies: bool = False
     max_active_sessions: int = 0
+    resend_suppression: bool = True
 
 
 class CoDBNode:
     """One coDB peer.  See module docstring."""
+
+    #: Retransmission attempts per bounced control message (ack /
+    #: update_complete) before giving up and deferring to failure
+    #: write-offs.  Bounded so a dead link can never livelock.
+    RESEND_LIMIT = 5
 
     def __init__(
         self,
@@ -128,6 +144,13 @@ class CoDBNode:
         self.config = config if config is not None else NodeConfig()
         #: Set when the node leaves the network (drivers skip it).
         self.detached = False
+        #: Peers a failure detector reported down (``peer_down``); a
+        #: bounced ack toward one of these is *not* retransmitted —
+        #: its deficits were written off when the notice arrived.
+        self._down_peers: set[str] = set()
+        #: Bounded retransmission ledger for bounced control messages,
+        #: keyed by (kind, peer, computation_id).
+        self._resend_budget: dict[tuple[str, str, str], int] = {}
         #: Serialises this node's DBM: over TCP, the delivery thread
         #: runs handlers while the driver thread calls the public API
         #: (start updates/queries, local inserts).  One reentrant lock
@@ -209,6 +232,10 @@ class CoDBNode:
     def _with_pipe_accounting(self, handler):
         def wrapped(message: Message) -> None:
             with self._lock:
+                # Hearing from a peer proves it reachable again (a
+                # healed partition): ack retransmission toward it must
+                # resume.
+                self._down_peers.discard(message.sender)
                 self.pipes.note_received(message)
                 handler(message)
 
@@ -227,6 +254,7 @@ class CoDBNode:
 
     def _on_ack(self, message: Message) -> None:
         computation_id = message.payload["computation_id"]
+        self._down_peers.discard(message.sender)
         self.termination.on_ack(computation_id, message.sender)
         # An ack can be the event that disengages a failure-touched
         # update session whose links are already closed — the last
@@ -257,6 +285,30 @@ class CoDBNode:
         original_kind = message.payload.get("kind", "")
         payload = message.payload.get("payload", {})
         dead_peer = message.payload.get("recipient", "")
+        if original_kind == "ack":
+            # A reliable wire retransmits acknowledgements: a
+            # fault-injected bounce (loss, flap, fresh partition) would
+            # otherwise leave the Dijkstra–Scholten deficit at the far
+            # side unpaid forever.  A peer the failure detector already
+            # reported down wrote those deficits off — no resend.  The
+            # budget bounds retransmission so a dead link (or a stale
+            # in-flight message racing the peer_down notice) cannot
+            # livelock the simulator: once it runs out, the far side's
+            # own failure handling covers the deficit.
+            computation_id = payload.get("computation_id", "")
+            if dead_peer not in self._down_peers and self._spend_resend(
+                "ack", dead_peer, computation_id
+            ):
+                self.send_ack(dead_peer, computation_id)
+            return
+        if original_kind == "update_complete":
+            # Same retransmission logic for the completion flood: a
+            # lost update_complete would strand the subtree behind it.
+            if dead_peer not in self._down_peers and self._spend_resend(
+                "update_complete", dead_peer, payload.get("update_id", "")
+            ):
+                self.endpoint.try_send(dead_peer, "update_complete", payload)
+            return
         computation_id = payload.get("update_id") or payload.get("query_id")
         if original_kind in ("update_request", "query_result", "link_closed",
                              "query_request", "query_data"):
@@ -265,9 +317,24 @@ class CoDBNode:
         if original_kind in ("update_request", "query_result", "link_closed"):
             self.updates.on_peer_unreachable(computation_id or "", dead_peer)
 
+    def _spend_resend(
+        self, kind: str, peer: str, computation_id: str
+    ) -> bool:
+        """Draw one unit of retransmission budget for a bounced control
+        message.  Returns False once the budget for this (kind, peer,
+        computation) is spent — the caller then drops the message and
+        relies on failure write-offs for termination."""
+        key = (kind, peer, computation_id)
+        used = self._resend_budget.get(key, 0)
+        if used >= self.RESEND_LIMIT:
+            return False
+        self._resend_budget[key] = used + 1
+        return True
+
     def _on_peer_down(self, message: Message) -> None:
         """Failure-detector notification: a peer left the network."""
         dead_peer = message.payload["peer"]
+        self._down_peers.add(dead_peer)
         self.termination.on_peer_down(dead_peer)
         self.updates.on_peer_down(dead_peer)
         self.queries.on_peer_down(dead_peer)

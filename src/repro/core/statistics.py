@@ -93,11 +93,33 @@ class UpdateReport:
     #: The node served empty results because its local database was
     #: inconsistent (§1d — "local inconsistency does not propagate").
     quarantined: bool = False
+    #: Peers this node could not reach during the update (crashed or
+    #: severed by a partition), in discovery order.  Non-empty ⇒ the
+    #: update is ``partial`` from this node's point of view.
+    unreachable_peers: list[str] = field(default_factory=list)
+    #: Rows a previous update's lifetime ``pushed`` memory let this
+    #: node skip re-shipping (teach-forward resend suppression).
+    rows_suppressed: int = 0
 
     @property
     def duration(self) -> float:
         """Total execution time of the update, at this node."""
         return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def outcome(self) -> str:
+        """``"complete"`` when every reachable flow ran to quiescence,
+        ``"partial"`` when a peer was lost or a link closed by failure
+        — the severed side's data never arrived (the protocol still
+        *terminated*; §1's churn claim is about termination, not
+        completeness)."""
+        if self.unreachable_peers or self.links_closed_by_failure:
+            return "partial"
+        return "complete"
+
+    def note_unreachable(self, peer: str) -> None:
+        if peer not in self.unreachable_peers:
+            self.unreachable_peers.append(peer)
 
     def rule_traffic(self, rule_id: str) -> RuleTraffic:
         return self.per_rule.setdefault(rule_id, RuleTraffic())
@@ -129,6 +151,8 @@ class UpdateReport:
             "links_closed_by_failure": self.links_closed_by_failure,
             "rounds": self.rounds,
             "quarantined": self.quarantined,
+            "unreachable_peers": list(self.unreachable_peers),
+            "rows_suppressed": self.rows_suppressed,
         }
 
     @classmethod
@@ -152,6 +176,8 @@ class UpdateReport:
             links_closed_by_failure=payload.get("links_closed_by_failure", 0),
             rounds=payload["rounds"],
             quarantined=payload.get("quarantined", False),
+            unreachable_peers=list(payload.get("unreachable_peers", [])),
+            rows_suppressed=payload.get("rows_suppressed", 0),
         )
         report.per_rule = {
             k: RuleTraffic.from_payload(v) for k, v in payload["per_rule"].items()
@@ -227,6 +253,13 @@ class NodeStatistics:
             "rows_imported": sum(r.rows_imported for r in reports),
             "nulls_minted": sum(r.nulls_minted for r in reports),
             "rounds": sum(r.rounds for r in reports),
+            "rows_suppressed": sum(r.rows_suppressed for r in reports),
+            "partial_updates": sum(
+                1 for r in reports if r.outcome == "partial"
+            ),
+            "unreachable_peers": sorted(
+                {p for r in reports for p in r.unreachable_peers}
+            ),
             "busy_time": sum(r.duration for r in reports),
             "peak_concurrent_updates": peak_concurrency(reports),
             "queries_answered": self.queries_answered,
@@ -246,6 +279,22 @@ class NetworkUpdateReport:
     update_id: str
     origin: str
     node_reports: dict[str, UpdateReport]
+    #: The peers the *driver's* reachability check found severed from
+    #: the origin (exactly the cut component), when it ran one; falls
+    #: back to the union of per-node local views otherwise.
+    unreachable_peers: list[str] = field(default_factory=list)
+
+    @property
+    def outcome(self) -> str:
+        """Network-level verdict: ``"partial"`` when any peer was
+        unreachable or any node saw a failure-closed link."""
+        if self.unreachable_peers:
+            return "partial"
+        if any(
+            r.outcome == "partial" for r in self.node_reports.values()
+        ):
+            return "partial"
+        return "complete"
 
     @property
     def wall_time(self) -> float:
@@ -326,21 +375,40 @@ class NetworkUpdateReport:
             rows,
             title=(
                 f"global update {self.update_id} (origin {self.origin}): "
-                f"wall={self.wall_time:.6f}s msgs={self.total_messages} "
+                f"outcome={self.outcome} wall={self.wall_time:.6f}s "
+                f"msgs={self.total_messages} "
                 f"bytes={self.total_bytes} longest_path={self.longest_path}"
             ),
         )
+        if self.unreachable_peers:
+            table += f"\nunreachable: {', '.join(sorted(self.unreachable_peers))}"
         return table
 
 
 def aggregate_reports(
-    update_id: str, origin: str, reports: list[UpdateReport]
+    update_id: str,
+    origin: str,
+    reports: list[UpdateReport],
+    *,
+    unreachable_peers: list[str] | None = None,
 ) -> NetworkUpdateReport:
-    """The super-peer aggregation step (§4)."""
+    """The super-peer aggregation step (§4).
+
+    ``unreachable_peers`` is the driver's reachability verdict (exactly
+    the component severed from the origin); when the driver has none,
+    the union of per-node local views stands in — correct for crashes
+    (only survivors report), possibly naming both sides of a cut for
+    partitions whose far-side reports are also collected.
+    """
+    if unreachable_peers is None:
+        unreachable_peers = sorted(
+            {peer for report in reports for peer in report.unreachable_peers}
+        )
     return NetworkUpdateReport(
         update_id=update_id,
         origin=origin,
         node_reports={report.node: report for report in reports},
+        unreachable_peers=list(unreachable_peers),
     )
 
 

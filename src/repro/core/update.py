@@ -85,7 +85,13 @@ from repro.p2p.messages import Message
 from repro.relational.containment import tuple_subsumed
 from repro.relational.evaluation import apply_head
 from repro.relational.storage import Relation
-from repro.relational.values import MarkedNull, Row, decode_row, encode_row
+from repro.relational.values import (
+    MarkedNull,
+    Row,
+    decode_row,
+    encode_row,
+    row_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import CoDBNode
@@ -179,8 +185,39 @@ class UpdateEngine:
                     state.mark_seen(row)
             else:
                 fresh = rows
+            fresh = self._suppress_taught(link, state, fresh)
             self._send_results(link, fresh, path_len=1)
         self.cascade_closures()
+
+    def _suppress_taught(
+        self, link: IncomingLink, state, rows: list[Row]
+    ) -> list[Row]:
+        """Teach-forward resend suppression: skip rows the link's
+        lifetime ``pushed`` memory says a previous update (or the push
+        engine) already delivered — the importer's lifetime ``fired``
+        set would drop them anyway.  Rows we do ship are taught to the
+        memory, tagged in the session's ``lifetime_new`` so a failure
+        closure can forget them again (the healed network's next
+        update must re-ship).  Gated on ``sent_dedup`` too: the E10
+        ablation measures resends and must not be masked.
+        """
+        node = self.node
+        if not (node.config.resend_suppression and node.config.sent_dedup):
+            return rows
+        to_ship = []
+        for row in rows:
+            key = row_key(row)
+            if key in link.pushed:
+                continue
+            link.pushed.add(key)
+            state.lifetime_new.add(key)
+            to_ship.append(row)
+        suppressed = len(rows) - len(to_ship)
+        if suppressed:
+            report = node.stats.report_for(self.update_id)
+            if report is not None:
+                report.rows_suppressed += suppressed
+        return to_ship
 
     def _frontier_rows(
         self,
@@ -383,6 +420,7 @@ class UpdateEngine:
             else:
                 # Ablation E10: no sent-set — resend whatever came out.
                 fresh = list(produced)
+            fresh = self._suppress_taught(link, state, fresh)
             self._send_results(link, fresh, path_len=path_len + 1, always=False)
 
     # ------------------------------------------------------------------
@@ -489,6 +527,11 @@ class UpdateEngine:
             if state.state != CLOSED:
                 self.links.close_incoming(link.rule_id, "failure")
                 changed = True
+            else:
+                # The link closed cleanly, then a shipment toward the
+                # importer bounced: the rows it taught the lifetime
+                # sent memory never arrived, so forget them.
+                self.links.rollback_taught(link.rule_id)
         # Arm self-finalization only when the dead peer actually
         # touches this session (it is an acquaintance on some rule —
         # and therefore possibly our only route to the origin).  An
@@ -497,6 +540,11 @@ class UpdateEngine:
         # still-streaming rest of a healthy update.
         if relevant:
             self.peer_lost = True
+            if report is not None:
+                # The §4 report must say what went missing, not
+                # silently truncate: this node's view of the update is
+                # now "partial", naming the peer it lost.
+                report.note_unreachable(dead_peer)
         if changed and report is not None:
             report.links_closed_by_failure += 1
         if changed:
@@ -640,6 +688,11 @@ class UpdateManager:
                 session.send_request(remote, path=forward_path)
         session.activate_links_for(message.sender)
         node.termination.after_processing(update_id, message.sender, tree)
+        # A reordered flood tail from an origin that already died can
+        # create a session whose every send fails synchronously (the
+        # links close with "failure" and no bounce will ever arrive to
+        # re-check) — this is the session's last chance to self-close.
+        self.maybe_finalize_after_failure(update_id)
 
     def on_query_result(self, message: Message) -> None:
         update_id = message.payload["update_id"]

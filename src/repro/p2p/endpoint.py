@@ -9,6 +9,7 @@ protocol bugs surface in tests rather than vanish).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable
 from typing import Any
 
@@ -22,6 +23,12 @@ Handler = Callable[[Message], None]
 
 class Endpoint:
     """One peer's attachment to the transport."""
+
+    #: Bound on the ``(sender, message_id)`` duplicate-suppression log;
+    #: oldest entries are evicted FIFO.  8192 ids comfortably covers
+    #: every in-flight window the protocol produces while keeping the
+    #: memory footprint per endpoint bounded.
+    DEDUP_LIMIT = 8192
 
     def __init__(
         self,
@@ -38,6 +45,14 @@ class Endpoint:
         self._handlers: dict[str, Handler] = {}
         self._default_handler: Handler | None = None
         self.unhandled_count = 0
+        #: At-most-once processing over an at-least-once wire: a fault
+        #: layer (or a real network) may deliver the same message
+        #: twice; exact duplicates are dropped here by
+        #: ``(sender, message_id)``.  The sender is part of the key
+        #: because per-worker id authorities can mint colliding
+        #: counters across processes.
+        self._seen_ids: OrderedDict[tuple[str, str], None] = OrderedDict()
+        self.duplicates_dropped = 0
         transport.register(peer_id, self._dispatch)
 
     # -- handler registration ----------------------------------------------
@@ -54,6 +69,14 @@ class Endpoint:
         self._default_handler = handler
 
     def _dispatch(self, message: Message) -> None:
+        if message.message_id:
+            key = (message.sender, message.message_id)
+            if key in self._seen_ids:
+                self.duplicates_dropped += 1
+                return
+            self._seen_ids[key] = None
+            if len(self._seen_ids) > self.DEDUP_LIMIT:
+                self._seen_ids.popitem(last=False)
         handler = self._handlers.get(message.kind)
         if handler is not None:
             handler(message)

@@ -1,0 +1,567 @@
+"""Adversarial fault injection for the simulated transport.
+
+The paper claims termination "even if nodes and coordination rules
+appear or disappear during the computation" (§1) — but a transport
+that delivers every message reliably and in order never *tests* that
+claim.  This module makes the in-process simulator adversarial while
+keeping it byte-reproducible: a :class:`FaultInjector` composes
+pluggable :class:`FaultModel`\\ s (the structure follows the
+``FaultModel``/``MobilityModel`` plug-ins of wireless-sensor
+simulators), each seeded independently, and the
+:class:`~repro.p2p.inproc.InProcessNetwork` consults it at two hook
+points:
+
+* **send** — every scheduled message gets a :class:`Verdict`: deliver
+  (possibly several copies, possibly with extra delay) or *bounce*
+  (the sender receives the standard ``undeliverable`` notification, as
+  if the recipient had left — the protocol's existing failure
+  machinery then closes links and keeps the computation terminating).
+  Per-pipe FIFO is preserved whatever the models do (the transport's
+  pair horizon clamps delivery times), exactly like a real TCP pipe
+  under loss and retransmission; *cross*-pipe order scrambles freely.
+* **after delivery** — event-count hooks
+  (:meth:`FaultInjector.at_delivery`) fire actions at exact protocol
+  moments ("after the victim processed its second ``update_request``"),
+  replacing wall-clock ``run_for`` timing for crash/rejoin/flap/sever
+  scheduling — fault timing is deterministic across latency models.
+
+The models:
+
+* :class:`MessageLoss` — each matching message is lost with
+  probability *p*; a lost message is retransmitted up to *retries*
+  times (surfacing as extra delay, like TCP retransmission), and when
+  retries are exhausted the loss bounces to the sender.  A run whose
+  losses are all absorbed by retries is differentially equal to the
+  fault-free run; an exhausted loss yields a precisely-reported
+  ``partial`` outcome.
+* :class:`Duplication` — delivers extra copies.  Safe because every
+  endpoint drops exact duplicates by ``(sender, message_id)``
+  (at-most-once processing over an at-least-once wire).
+* :class:`Reorder` / :class:`ExtraDelay` — random or fixed extra
+  latency: scrambles cross-pipe delivery order and stretches the
+  schedule without changing any outcome.
+* :class:`LinkFlap` — one link alternates up/down by *message counts*
+  (never wall time): every ``down_every`` crossings it drops for
+  ``down_for`` attempts, each of which bounces.
+* :class:`Partition` — a full cut between named groups that can later
+  :meth:`~Partition.heal`.  Severing plays the failure detector:
+  both sides of every cut pair receive ``peer_down`` notices, and
+  cross-cut messages bounce until the heal.  The driver can ask the
+  transport for :meth:`FaultInjector.severed_pairs` — that is what
+  lets ``CoDBNetwork`` report ``outcome="partial"`` naming exactly
+  the severed component instead of silently truncating the §4 report.
+
+Every model draws from its own ``random.Random`` seeded from the
+injector's seed and the model's position, so adding a model never
+perturbs another model's choices and two runs with the same seeds
+produce identical fault schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable
+
+from repro.p2p.messages import Message
+
+
+@dataclass
+class Verdict:
+    """What happens to one message about to be scheduled.
+
+    ``copies`` is how many times the message is delivered (0 never
+    happens: a loss is a *bounce*, not a silent vanish — silent drops
+    would deadlock the Dijkstra–Scholten deficits, which is exactly
+    the hang a reliable protocol over a lossy link avoids by
+    retransmitting or surfacing the failure).
+    """
+
+    copies: int = 1
+    extra_delay: float = 0.0
+    bounce: bool = False
+
+
+class FaultModel:
+    """Base class for pluggable fault models.
+
+    Subclasses override :meth:`on_send` (mutate the verdict) and/or
+    :meth:`on_delivered` (observe deliveries — flap counters, mobility
+    triggers).  ``bind`` is called by the injector with a dedicated
+    seeded RNG.
+    """
+
+    name = "fault"
+
+    def __init__(self) -> None:
+        self.rng = random.Random(0)
+
+    def bind(self, injector: "FaultInjector", rng: random.Random) -> None:
+        self.injector = injector
+        self.rng = rng
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        """Adjust *verdict* for a message about to be scheduled."""
+
+    def on_delivered(self, message: Message) -> None:
+        """Observe one completed delivery."""
+
+    def stats(self) -> dict:
+        """Counters for benchmarks ({} unless the model keeps any)."""
+        return {}
+
+
+class MessageLoss(FaultModel):
+    """Lose each matching message with probability *p*, retransmitting.
+
+    A loss absorbed by a retry shows up as ``retry_delay`` extra
+    latency per attempt; a loss that exhausts ``retries`` bounces to
+    the sender (failure semantics — links close, the report goes
+    ``partial``).  With the default ``retries=3`` and moderate *p*,
+    most runs are fault-free-equivalent.
+    """
+
+    name = "loss"
+
+    def __init__(
+        self,
+        probability: float,
+        *,
+        retries: int = 3,
+        retry_delay: float = 0.002,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        self.probability = probability
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.messages_lost = 0
+        self.retries_used = 0
+        self.bounced = 0
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return
+        attempts = 0
+        while attempts <= self.retries and self.rng.random() < self.probability:
+            attempts += 1
+        if attempts == 0:
+            return
+        self.messages_lost += attempts
+        if attempts > self.retries:
+            verdict.bounce = True
+            self.bounced += 1
+        else:
+            self.retries_used += attempts
+            verdict.extra_delay += attempts * self.retry_delay
+
+    def stats(self) -> dict:
+        return {
+            "messages_lost": self.messages_lost,
+            "retries_used": self.retries_used,
+            "bounced": self.bounced,
+        }
+
+
+class Duplication(FaultModel):
+    """Deliver extra copies of each matching message with probability
+    *p* (an at-least-once wire; endpoints dedup by message id)."""
+
+    name = "duplication"
+
+    def __init__(
+        self,
+        probability: float,
+        *,
+        copies: int = 2,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        self.probability = probability
+        self.copies = copies
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.duplicated = 0
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return
+        if self.rng.random() < self.probability:
+            verdict.copies = max(verdict.copies, self.copies)
+            self.duplicated += 1
+
+    def stats(self) -> dict:
+        return {"duplicated": self.duplicated}
+
+
+class Reorder(FaultModel):
+    """Scramble cross-pipe delivery order with random extra delay.
+
+    Per-pipe FIFO survives (the transport clamps to the pair horizon),
+    so this models what a mesh of independent TCP pipes really does:
+    messages on *different* pipes overtake each other freely.
+    """
+
+    name = "reorder"
+
+    def __init__(
+        self, probability: float = 1.0, *, max_extra: float = 0.01
+    ) -> None:
+        super().__init__()
+        self.probability = probability
+        self.max_extra = max_extra
+        self.delayed = 0
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.rng.random() < self.probability:
+            verdict.extra_delay += self.rng.uniform(0.0, self.max_extra)
+            self.delayed += 1
+
+    def stats(self) -> dict:
+        return {"delayed": self.delayed}
+
+
+class ExtraDelay(FaultModel):
+    """Fixed extra latency (plus optional uniform jitter) on matching
+    messages — a slow or congested path."""
+
+    name = "delay"
+
+    def __init__(
+        self,
+        delay: float = 0.005,
+        *,
+        jitter: float = 0.0,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        self.delay = delay
+        self.jitter = jitter
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.delayed = 0
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return
+        verdict.extra_delay += self.delay
+        if self.jitter > 0.0:
+            verdict.extra_delay += self.rng.uniform(0.0, self.jitter)
+        self.delayed += 1
+
+    def stats(self) -> dict:
+        return {"delayed": self.delayed}
+
+
+class LinkFlap(FaultModel):
+    """One link alternating up/down, timed purely by message counts.
+
+    After every ``down_every`` successful crossings (either direction)
+    the link goes down for the next ``down_for`` send attempts.  Two
+    outage semantics:
+
+    * ``mode="delay"`` (default) — a *short* outage a reliable pipe
+      rides out: each affected message is queued and arrives
+      ``outage_delay`` late per remaining down-slot (TCP
+      retransmission).  Absorbable — the run stays differential-equal
+      to fault-free.
+    * ``mode="bounce"`` — the outage is long enough for the failure
+      detector: each attempt bounces to the sender, links close with
+      cause "failure" and the report goes ``partial``.
+
+    No wall-clock anywhere, so the flap schedule is identical under
+    any latency model.
+    """
+
+    name = "flap"
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        *,
+        down_every: int = 5,
+        down_for: int = 2,
+        mode: str = "delay",
+        outage_delay: float = 0.005,
+    ) -> None:
+        super().__init__()
+        if mode not in ("delay", "bounce"):
+            raise ValueError(f"unknown flap mode {mode!r}")
+        self.pair = frozenset((a, b))
+        self.down_every = down_every
+        self.down_for = down_for
+        self.mode = mode
+        self.outage_delay = outage_delay
+        self._crossed = 0
+        self._down_left = 0
+        self.flaps = 0
+        self.bounced = 0
+        self.delayed = 0
+
+    def _on_link(self, message: Message) -> bool:
+        return frozenset((message.sender, message.recipient)) == self.pair
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if not self._on_link(message):
+            return
+        if self._down_left > 0:
+            self._down_left -= 1
+            if self.mode == "bounce":
+                self.bounced += 1
+                verdict.bounce = True
+            else:
+                self.delayed += 1
+                verdict.extra_delay += self.outage_delay * (self._down_left + 1)
+            return
+        self._crossed += 1
+        if self._crossed >= self.down_every:
+            self._crossed = 0
+            self._down_left = self.down_for
+            self.flaps += 1
+
+    def stats(self) -> dict:
+        return {
+            "flaps": self.flaps,
+            "bounced": self.bounced,
+            "delayed": self.delayed,
+        }
+
+
+class Partition(FaultModel):
+    """A full partition between named groups, healable.
+
+    Until :meth:`sever` is called the model is inert.  Severing makes
+    every cross-group message bounce and (with ``announce=True``, the
+    default) delivers ``peer_down`` notices to both ends of every cut
+    pair — the failure detector's timeout, compressed to an event.
+    :meth:`heal` restores the cut; traffic flows again and the next
+    update completes in full.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        groups: Iterable[Iterable[str]],
+        *,
+        announce: bool = True,
+    ) -> None:
+        super().__init__()
+        self.groups = [tuple(group) for group in groups]
+        self.announce = announce
+        self._group_of: dict[str, int] = {}
+        for index, group in enumerate(self.groups):
+            for peer in group:
+                self._group_of[peer] = index
+        self.active = False
+        self.bounced = 0
+
+    def severs(self, a: str, b: str) -> bool:
+        """Whether the active cut separates peers *a* and *b*."""
+        if not self.active:
+            return False
+        ga = self._group_of.get(a)
+        gb = self._group_of.get(b)
+        return ga is not None and gb is not None and ga != gb
+
+    def severed_pairs(self) -> frozenset:
+        if not self.active:
+            return frozenset()
+        pairs = set()
+        for index, group in enumerate(self.groups):
+            for other in self.groups[index + 1:]:
+                for a in group:
+                    for b in other:
+                        pairs.add(frozenset((a, b)))
+        return frozenset(pairs)
+
+    def sever(self) -> None:
+        """Activate the cut (idempotent)."""
+        if self.active:
+            return
+        self.active = True
+        if self.announce:
+            self.injector.announce_severed(self.severed_pairs())
+
+    def heal(self) -> None:
+        self.active = False
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.severs(message.sender, message.recipient):
+            self.bounced += 1
+            verdict.bounce = True
+
+    def stats(self) -> dict:
+        return {"active": self.active, "bounced": self.bounced}
+
+
+@dataclass
+class _DeliveryHook:
+    """One event-count trigger (see :meth:`FaultInjector.at_delivery`)."""
+
+    action: Callable[[], None]
+    kind: str | None = None
+    sender: str | None = None
+    recipient: str | None = None
+    count: int = 1
+    repeat: bool = False
+    fired: int = 0
+    done: bool = False
+    _remaining: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._remaining = self.count
+
+    def matches(self, message: Message) -> bool:
+        return (
+            (self.kind is None or message.kind == self.kind)
+            and (self.sender is None or message.sender == self.sender)
+            and (self.recipient is None or message.recipient == self.recipient)
+        )
+
+    def observe(self, message: Message) -> bool:
+        """Count one matching delivery; returns True when the action
+        should fire now."""
+        if self.done or not self.matches(message):
+            return False
+        self._remaining -= 1
+        if self._remaining > 0:
+            return False
+        if self.repeat:
+            self._remaining = self.count
+        else:
+            self.done = True
+        self.fired += 1
+        return True
+
+    def cancel(self) -> None:
+        self.done = True
+
+
+def _derive_seed(seed: int, index: int, name: str) -> int:
+    """Stable per-model seed derivation.  ``hash()`` of a string is
+    randomized per process (PYTHONHASHSEED), which would make the same
+    (seed, model stack) produce different fault traces across runs —
+    CRC32 of the textual key keeps traces reproducible everywhere."""
+    return zlib.crc32(f"{seed}:{index}:{name}".encode())
+
+
+class FaultInjector:
+    """Composes fault models and delivery hooks over one transport.
+
+    Install with ``InProcessNetwork(faults=...)`` or
+    ``transport.install_faults(...)`` (the latter is what scenario
+    drivers use: build and :meth:`~repro.core.network.CoDBNetwork.start`
+    the network fault-free, then turn the weather bad).  Usable with no
+    models at all purely for :meth:`at_delivery` scheduling.
+    """
+
+    def __init__(self, *models: FaultModel, seed: int = 0) -> None:
+        self.models = list(models)
+        self.seed = seed
+        self.transport = None
+        self._hooks: list[_DeliveryHook] = []
+        self.verdicts = 0
+        self.bounces = 0
+        self.copies_added = 0
+        for index, model in enumerate(self.models):
+            model.bind(self, random.Random(_derive_seed(seed, index, model.name)))
+
+    # -- composition ------------------------------------------------------
+
+    def add_model(self, model: FaultModel) -> FaultModel:
+        model.bind(
+            self,
+            random.Random(_derive_seed(self.seed, len(self.models), model.name)),
+        )
+        self.models.append(model)
+        return model
+
+    def bind_transport(self, transport) -> None:
+        self.transport = transport
+
+    # -- send-side hook ---------------------------------------------------
+
+    def verdict(self, message: Message) -> Verdict:
+        """Combined verdict for one message about to be scheduled."""
+        verdict = Verdict()
+        for model in self.models:
+            model.on_send(message, verdict)
+        self.verdicts += 1
+        if verdict.bounce:
+            self.bounces += 1
+        elif verdict.copies > 1:
+            self.copies_added += verdict.copies - 1
+        return verdict
+
+    # -- delivery-side hook ------------------------------------------------
+
+    def after_delivery(self, message: Message) -> None:
+        for model in self.models:
+            model.on_delivered(message)
+        fired = [hook for hook in self._hooks if hook.observe(message)]
+        self._hooks = [h for h in self._hooks if not h.done]
+        for hook in fired:
+            hook.action()
+
+    def at_delivery(
+        self,
+        action: Callable[[], None],
+        *,
+        kind: str | None = None,
+        sender: str | None = None,
+        recipient: str | None = None,
+        count: int = 1,
+        repeat: bool = False,
+    ) -> _DeliveryHook:
+        """Run *action* right after the *count*-th delivery matching
+        the filters — the deterministic, latency-model-independent
+        replacement for ``run_for``-based fault timing.  Returns the
+        hook (``hook.cancel()`` disarms it)."""
+        hook = _DeliveryHook(
+            action=action,
+            kind=kind,
+            sender=sender,
+            recipient=recipient,
+            count=count,
+            repeat=repeat,
+        )
+        self._hooks.append(hook)
+        return hook
+
+    # -- partitions --------------------------------------------------------
+
+    def severed_pairs(self) -> frozenset:
+        """Union of every active partition's cut pairs (what the
+        network driver's reachability check reads)."""
+        pairs: set = set()
+        for model in self.models:
+            if isinstance(model, Partition):
+                pairs |= model.severed_pairs()
+        return frozenset(pairs)
+
+    def announce_severed(self, pairs: frozenset) -> None:
+        """Play the failure detector for a fresh cut: both ends of
+        every severed pair get a ``peer_down`` notice for the other."""
+        if self.transport is None:
+            return
+        for pair in pairs:
+            a, b = sorted(pair)
+            self.transport.announce_unreachable(peer=a, to=b)
+            self.transport.announce_unreachable(peer=b, to=a)
+
+    # -- reporting ---------------------------------------------------------
+
+    def totals(self) -> dict:
+        """Per-model counters, for benchmark JSON."""
+        totals: dict = {
+            "verdicts": self.verdicts,
+            "bounces": self.bounces,
+            "copies_added": self.copies_added,
+        }
+        for model in self.models:
+            stats = model.stats()
+            if stats:
+                totals[model.name] = stats
+        return totals

@@ -13,6 +13,14 @@ message.  Jitter is drawn from a seeded PRNG, so two runs with the
 same seed produce byte-identical traces and timings — this is what
 makes every benchmark reproducible (DESIGN.md §2, substitution of the
 demo's lab testbed).
+
+An optional :class:`~repro.p2p.faults.FaultInjector` makes the
+simulator adversarial: every scheduled message gets a verdict
+(deliver / duplicate / extra delay / bounce) and every completed
+delivery is reported back, which is what drives event-count fault
+hooks.  Transport-synthesized control notices (``undeliverable``,
+``peer_down``) are exempt — they *are* the failure detector, not wire
+traffic.
 """
 
 from __future__ import annotations
@@ -67,9 +75,22 @@ class InProcessNetwork(Transport):
         Seeds the jitter PRNG (and nothing else).
     latency:
         The :class:`LatencyModel`; default is a constant 1 ms.
+    faults:
+        Optional :class:`~repro.p2p.faults.FaultInjector`; may also be
+        installed after construction with :meth:`install_faults`.
     """
 
-    def __init__(self, seed: int = 0, latency: LatencyModel | None = None) -> None:
+    #: Kinds the fault layer never touches: these are synthesized by
+    #: the transport itself (or by a fault model playing failure
+    #: detector) and bouncing a bounce would loop forever.
+    CONTROL_KINDS = frozenset({"undeliverable", "peer_down"})
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        faults=None,
+    ) -> None:
         super().__init__()
         self.latency = latency if latency is not None else LatencyModel()
         self._rng = random.Random(seed)
@@ -82,6 +103,15 @@ class InProcessNetwork(Transport):
         #: Per-pair last scheduled delivery time, to keep FIFO order
         #: even when jitter would reorder messages on the same pipe.
         self._pair_horizon: dict[tuple[str, str], float] = {}
+        self.faults = None
+        if faults is not None:
+            self.install_faults(faults)
+
+    def install_faults(self, injector) -> None:
+        """Attach a :class:`~repro.p2p.faults.FaultInjector` (drivers
+        typically build and start the network fault-free first)."""
+        self.faults = injector
+        injector.bind_transport(self)
 
     # -- Transport API ----------------------------------------------------
 
@@ -119,15 +149,64 @@ class InProcessNetwork(Transport):
         if message.recipient not in self._handlers:
             raise UnknownPeerError(message.recipient)
         self.stats.record_send(message)
-        delay = self.latency.delay(message.size_bytes(), self._rng)
-        deliver_at = self._clock + delay
-        pair = (message.sender, message.recipient)
-        horizon = self._pair_horizon.get(pair, 0.0)
-        if deliver_at < horizon:
-            deliver_at = horizon  # FIFO per pipe
-        self._pair_horizon[pair] = deliver_at
-        heapq.heappush(self._queue, (deliver_at, self._sequence, message))
+        copies = 1
+        extra_delay = 0.0
+        if self.faults is not None and message.kind not in self.CONTROL_KINDS:
+            verdict = self.faults.verdict(message)
+            if verdict.bounce:
+                self._bounce(message)
+                return
+            copies = max(1, verdict.copies)
+            extra_delay = max(0.0, verdict.extra_delay)
+        for _ in range(copies):
+            delay = self.latency.delay(message.size_bytes(), self._rng)
+            deliver_at = self._clock + delay + extra_delay
+            pair = (message.sender, message.recipient)
+            horizon = self._pair_horizon.get(pair, 0.0)
+            if deliver_at < horizon:
+                deliver_at = horizon  # FIFO per pipe
+            self._pair_horizon[pair] = deliver_at
+            heapq.heappush(self._queue, (deliver_at, self._sequence, message))
+            self._sequence += 1
+
+    def _bounce(self, message: Message) -> None:
+        """Return *message* to its sender as an ``undeliverable``
+        notification (used both for mail to departed peers and for
+        fault-injected losses that exhausted their retries)."""
+        if message.kind == "undeliverable" or message.sender not in self._handlers:
+            return
+        bounce = Message(
+            kind="undeliverable",
+            sender=message.recipient,
+            recipient=message.sender,
+            payload={
+                "kind": message.kind,
+                "payload": message.payload,
+                "recipient": message.recipient,
+            },
+        )
+        heapq.heappush(self._queue, (self._clock, self._sequence, bounce))
         self._sequence += 1
+
+    def announce_unreachable(self, peer: str, to: str) -> None:
+        """Deliver a ``peer_down`` notice for *peer* to *to* without
+        unregistering anyone — a partition's failure-detector timeout,
+        compressed to an event (both peers stay alive on their sides)."""
+        if to not in self._handlers:
+            return
+        notice = Message(
+            kind="peer_down",
+            sender=peer,
+            recipient=to,
+            payload={"peer": peer},
+        )
+        heapq.heappush(self._queue, (self._clock, self._sequence, notice))
+        self._sequence += 1
+
+    def severed_pairs(self) -> frozenset:
+        if self.faults is None:
+            return frozenset()
+        return self.faults.severed_pairs()
 
     def now(self) -> float:
         return self._clock
@@ -155,22 +234,10 @@ class InProcessNetwork(Transport):
         if handler is not None:
             self.stats.record_delivery()
             handler(message)
-        elif (
-            message.kind not in ("undeliverable", "ack")
-            and message.sender in self._handlers
-        ):
-            bounce = Message(
-                kind="undeliverable",
-                sender=message.recipient,
-                recipient=message.sender,
-                payload={
-                    "kind": message.kind,
-                    "payload": message.payload,
-                    "recipient": message.recipient,
-                },
-            )
-            heapq.heappush(self._queue, (self._clock, self._sequence, bounce))
-            self._sequence += 1
+            if self.faults is not None:
+                self.faults.after_delivery(message)
+        elif message.kind != "ack":
+            self._bounce(message)
         return True
 
     def run_until_idle(self, max_messages: int | None = None) -> int:

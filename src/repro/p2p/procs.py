@@ -810,10 +810,20 @@ class ProcessNetwork:
             if payload is not None:
                 reports.append(UpdateReport.from_payload(payload))
         origin = handle.origin or (reports[0].origin if reports else "")
+        # Crashed workers can no longer answer the control channel:
+        # every dead participant is, by construction, a peer this
+        # update could not have covered in full — merged with the
+        # survivors' own local views by aggregate_reports.
+        dead = sorted(
+            set(name for name, w in self._workers.items() if not w.alive)
+            | {p for report in reports for p in report.unreachable_peers}
+        )
         return UpdateOutcome(
             update_id=update_id,
             origin=origin,
-            report=aggregate_reports(update_id, origin, reports),
+            report=aggregate_reports(
+                update_id, origin, reports, unreachable_peers=dead
+            ),
             wall_time=handle.finished_at - handle.started_at,
             transport_messages=handle.messages_after - handle.messages_before,
             transport_bytes=handle.bytes_after - handle.bytes_before,

@@ -169,6 +169,13 @@ class Transport:
     def is_registered(self, peer_id: str) -> bool:
         return peer_id in self.peers()
 
+    def severed_pairs(self) -> frozenset:
+        """Peer pairs currently cut by an active partition, as
+        ``frozenset({a, b})`` entries.  Non-empty only on transports
+        with a fault layer installed; drivers use it to compute
+        reachability for ``outcome="partial"`` reporting."""
+        return frozenset()
+
     # -- messaging --------------------------------------------------------
 
     def send(self, message: Message) -> None:

@@ -28,7 +28,13 @@ from repro.workloads.topologies import (
     TOPOLOGY_BUILDERS,
 )
 from repro.workloads.datagen import DataGenerator
-from repro.workloads.scenarios import trentino_scenario, supply_chain_scenario
+from repro.workloads.scenarios import (
+    FAULT_SCENARIO_NAMES,
+    fault_models,
+    install_fault_scenario,
+    supply_chain_scenario,
+    trentino_scenario,
+)
 
 __all__ = [
     "NetworkBlueprint",
@@ -45,4 +51,7 @@ __all__ = [
     "DataGenerator",
     "trentino_scenario",
     "supply_chain_scenario",
+    "FAULT_SCENARIO_NAMES",
+    "fault_models",
+    "install_fault_scenario",
 ]

@@ -118,3 +118,74 @@ def supply_chain_scenario(
     net.add_rule("SHOP:bargain(s, p) <- DIST:offer(s, w, p), p <= 20")
     net.start()
     return net
+
+
+# ---------------------------------------------------------------------------
+# Adversarial weather (the fault-injection engine's standard scenarios)
+# ---------------------------------------------------------------------------
+
+#: Scenario name -> builder; shared by the randomized differential
+#: tests and the ``bench_churn`` fault matrix so both exercise exactly
+#: the same weather.  ``peers`` is the network's node list in driver
+#: order: flap picks the first edge, a partition cuts the tail half.
+FAULT_SCENARIO_NAMES = (
+    "duplicate",
+    "reorder",
+    "delay",
+    "dup+reorder+delay",
+    "loss-retried",
+    "flap",
+)
+
+
+def fault_models(scenario: str, peers: list[str]) -> list:
+    """Build the fault-model stack for one named scenario.
+
+    Everything here is *absorbable* weather: duplication is dropped by
+    endpoint dedup, reorder/delay only stretch the schedule, losses are
+    retried to absorption and flapped links bounce-and-retransmit — so
+    each scenario's final states must be differential-equal to the
+    fault-free run (the partition scenarios, whose divergence is the
+    point, are built explicitly by their tests instead).
+    """
+    from repro.p2p.faults import (
+        Duplication,
+        ExtraDelay,
+        LinkFlap,
+        MessageLoss,
+        Reorder,
+    )
+
+    stacks = {
+        "duplicate": lambda: [Duplication(0.35)],
+        "reorder": lambda: [Reorder(0.8, max_extra=0.004)],
+        "delay": lambda: [ExtraDelay(0.002, jitter=0.002)],
+        "dup+reorder+delay": lambda: [
+            Duplication(0.25),
+            Reorder(0.6, max_extra=0.003),
+            ExtraDelay(0.001, jitter=0.001),
+        ],
+        "loss-retried": lambda: [
+            MessageLoss(0.25, retries=25, retry_delay=0.002)
+        ],
+        "flap": lambda: [
+            LinkFlap(peers[0], peers[1], down_every=4, down_for=2)
+        ],
+    }
+    if scenario not in stacks:
+        raise ValueError(
+            f"unknown fault scenario {scenario!r} "
+            f"(known: {', '.join(FAULT_SCENARIO_NAMES)})"
+        )
+    return stacks[scenario]()
+
+
+def install_fault_scenario(net: CoDBNetwork, scenario: str, *, seed: int = 0):
+    """Install one named scenario on a (started) simulator network;
+    returns the bound :class:`~repro.p2p.faults.FaultInjector`."""
+    from repro.p2p.faults import FaultInjector
+
+    peers = list(net.nodes)
+    injector = FaultInjector(*fault_models(scenario, peers), seed=seed)
+    net.transport.install_faults(injector)
+    return injector

@@ -6,6 +6,7 @@ import pytest
 
 from repro import CoDBNetwork
 from repro.core.links import CLOSED
+from repro.p2p.faults import FaultInjector
 
 
 def build_chain():
@@ -17,6 +18,14 @@ def build_chain():
     net.add_rule("A:item(k) <- B:item(k)")
     net.start()
     return net
+
+
+def hooks(net) -> FaultInjector:
+    """Event-count fault scheduling on the simulator (no fault models
+    — fault timing must never depend on wall-clock/run_for constants)."""
+    injector = FaultInjector()
+    net.transport.install_faults(injector)
+    return injector
 
 
 class TestCrashBeforeUpdate:
@@ -49,11 +58,15 @@ class TestCrashMidUpdate:
     def test_crash_while_messages_in_flight(self):
         net = build_chain()
         node = net.node("A")
+        # Kill C the instant B has processed the origin's request —
+        # before it answers everything downstream.  The hook fires at
+        # an exact protocol moment, whatever the latency model.
+        hooks(net).at_delivery(
+            lambda: net.node("C").detach(),
+            kind="update_request",
+            recipient="B",
+        )
         update_id = node.start_global_update()
-        # Let the first requests travel, then kill C before it answers
-        # everything downstream.
-        net.transport.run_for(0.0015)  # requests to B delivered
-        net.node("C").detach()
         net.run()
         assert node.update_done(update_id)
         # B's own row made it; C died before or during serving.
@@ -62,9 +75,12 @@ class TestCrashMidUpdate:
     def test_graceful_leave_mid_update(self):
         net = build_chain()
         node = net.node("A")
+        hooks(net).at_delivery(
+            lambda: net.node("C").leave_network(),
+            kind="update_request",
+            recipient="B",
+        )
         update_id = node.start_global_update()
-        net.transport.run_for(0.0015)
-        net.node("C").leave_network()
         net.run()
         assert node.update_done(update_id)
 
@@ -72,9 +88,10 @@ class TestCrashMidUpdate:
     def test_various_victims_never_hang(self, victim):
         net = build_chain()
         node = net.node("A")
+        hooks(net).at_delivery(
+            lambda: net.node(victim).detach(), kind="update_request"
+        )
         update_id = node.start_global_update()
-        net.transport.run_for(0.001)
-        net.node(victim).detach()
         net.run()
         assert node.update_done(update_id)
 

@@ -106,29 +106,55 @@ class TestConcurrentUpdates:
 
 class TestChurnDuringConcurrentUpdates:
     def test_peer_down_mid_update_with_second_update_live(self):
+        from repro.p2p.faults import FaultInjector
+
         net = build_chain()
+        injector = FaultInjector()
+        net.transport.install_faults(injector)
+        second = []
+
+        def start_second_and_kill_source() -> None:
+            # The first update's requests reached B: start a second
+            # update there, then kill the source with both live.
+            second.append(net.node("B").start_global_update())
+            net.node("C").detach()
+
+        injector.at_delivery(
+            start_second_and_kill_source,
+            kind="update_request",
+            recipient="B",
+        )
         first = net.node("A").start_global_update()
-        net.transport.run_for(0.0015)  # first requests reach B
-        second = net.node("B").start_global_update()
-        net.node("C").detach()  # kill the source with both updates live
         net.run()
         assert net.node("A").update_done(first)
-        assert net.node("B").update_done(second)
+        assert net.node("B").update_done(second[0])
         # B's own row survives; C's contribution may be partial.
         assert (3,) in net.node("A").rows("item")
 
     @pytest.mark.parametrize("victim", ["B", "C"])
     def test_victims_never_hang_two_updates(self, victim):
+        from repro.p2p.faults import FaultInjector
+
         net = build_cycle()
+        injector = FaultInjector()
+        net.transport.install_faults(injector)
+        second = []
+        injector.at_delivery(
+            lambda: second.append(net.node("C").start_global_update()),
+            kind="update_request",
+            count=1,
+        )
+        # Two deliveries later both floods are in flight: detach then.
+        injector.at_delivery(
+            lambda: net.node(victim).detach(),
+            kind="update_request",
+            count=3,
+        )
         first = net.node("A").start_global_update()
-        net.transport.run_for(0.001)
-        second = net.node("C").start_global_update()
-        net.transport.run_for(0.001)
-        net.node(victim).detach()
         net.run()
         assert net.node("A").update_done(first)
         if victim != "C":
-            assert net.node("C").update_done(second)
+            assert net.node("C").update_done(second[0])
 
 
 class TestQueriesDuringUpdates:

@@ -56,20 +56,30 @@ class TestPushPropagation:
     def test_push_dedups_against_lifetime_pushed_set(self):
         net = build_chain(NodeConfig(push_on_insert=True))
         net.global_update("A")
-        # (1,) already travelled during the update.  Update sessions
-        # keep their own sent-sets, so the first push re-ships it —
-        # but the importer's lifetime fired-set drops it on arrival
-        # (nothing new is stored, nothing cascades) ...
+        # (1,) already travelled during the update, which taught the
+        # link's lifetime ``pushed`` memory (resend suppression), so
+        # even the FIRST push of the same row is a wire no-op — the
+        # importer's lifetime fired-set would have dropped it anyway.
         rows_before = sorted(net.node("B").rows("item"))
-        assert net.node("C").push_deltas({"item": [(1,)]}) == 1
-        net.run()
-        assert sorted(net.node("B").rows("item")) == rows_before
-        # ... and the push engine's own lifetime dedup makes every
-        # later push of the same row a wire no-op.
         before = net.transport.stats.messages_sent
         assert net.node("C").push_deltas({"item": [(1,)]}) == 0
         net.run()
+        assert sorted(net.node("B").rows("item")) == rows_before
         assert net.transport.stats.messages_sent == before
+        # With suppression off, update sessions keep strictly
+        # per-session sent-sets and the first push re-ships the row;
+        # the importer's fired-set still drops it on arrival.
+        legacy = build_chain(
+            NodeConfig(push_on_insert=True, resend_suppression=False)
+        )
+        legacy.global_update("A")
+        legacy_rows = sorted(legacy.node("B").rows("item"))
+        assert legacy.node("C").push_deltas({"item": [(1,)]}) == 1
+        legacy.run()
+        assert sorted(legacy.node("B").rows("item")) == legacy_rows
+        # ... and the push engine's own lifetime dedup makes every
+        # later push of the same row a wire no-op.
+        assert legacy.node("C").push_deltas({"item": [(1,)]}) == 0
 
     def test_push_with_existentials_mints_nulls_once(self):
         net = CoDBNetwork(seed=113, config=NodeConfig(push_on_insert=True))

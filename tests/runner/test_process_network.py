@@ -265,6 +265,13 @@ class TestWorkerFailure:
             outcomes = [handle.result(60) for handle in handles]
             assert len(outcomes) == 3
             assert "N1" not in net.alive_workers()
+            # The dead worker is a peer no update could have covered in
+            # full: every outcome must say "partial" and name it — a
+            # crash over real processes must never be silently
+            # truncated into a clean report.
+            for outcome in outcomes:
+                assert outcome.report.outcome == "partial"
+                assert "N1" in outcome.report.unreachable_peers
             # Survivors must have observed the failure through the
             # normal protocol (links closed, sessions finalized) —
             # their stats still answer over the control channel.
@@ -285,7 +292,9 @@ class TestWorkerFailure:
             handles = net.start_global_updates(["N1", "N3"])
             net.crash_worker("N1")
             for handle in handles:
-                handle.result(60)  # completes; no hang
+                outcome = handle.result(60)  # completes; no hang
+                assert outcome.report.outcome == "partial"
+                assert "N1" in outcome.report.unreachable_peers
         finally:
             net.stop()
 
