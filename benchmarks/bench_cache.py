@@ -1,0 +1,140 @@
+"""E15 — epoch-keyed answer caching under a read-heavy workload.
+
+The read-side twin of E14d's resend suppression: a network whose
+queries repeat (dashboards, monitors, the demo UI polling the same
+views) should not pay the §3 propagation cost for every repeat.  Two
+families over one chain workload:
+
+* **Read-mostly ablation** — the same seeded read-heavy query mix
+  (:func:`repro.workloads.read_heavy_mix`) with the answer cache on vs
+  off.  The cached run must answer identically, serve ≥90% of warm
+  reads from the cache, and cut wall time by ≥5× (the acceptance
+  gates; timing gates are skipped on CI and in ``--smoke`` runs).
+* **Invalidation churn** — writes at the far end of the chain
+  interleaved with reads at the head.  Every read is differentially
+  checked against an uncached recompute: the rule-driven invalidation
+  cascade must never let a stale answer out, and the counters must
+  show the cascade actually ran.
+"""
+
+import os
+import time
+
+from repro import CoDBNetwork, NodeConfig
+from repro.workloads import read_heavy_mix
+
+
+def sizes(smoke):
+    """(chain length, tuples per node, timed reads)."""
+    return (3, 8, 12) if smoke else (6, 60, 120)
+
+
+def build_chain(length, tuples, *, config=None):
+    net = CoDBNetwork(seed=150, config=config)
+    for i in range(length):
+        net.add_node(f"N{i}", "item(k: int)")
+        net.node(f"N{i}").load_facts(
+            {"item": [(i * 1000 + j,) for j in range(tuples)]}
+        )
+    for i in range(length - 1):
+        net.add_rule(f"N{i}:item(k) <- N{i + 1}:item(k)")
+    net.start()
+    # Steady state: one global update migrates everything to the head,
+    # so repeat queries differ only in propagation cost, not in data
+    # still in flight.
+    net.global_update("N0")
+    return net
+
+
+def timed_reads(net, reader, mix):
+    """(elapsed seconds, answers in read order) for the whole mix."""
+    answers = []
+    started = time.perf_counter()
+    for query in mix:
+        answers.append(sorted(net.query(reader, query, mode="network")))
+    return time.perf_counter() - started, answers
+
+
+def test_read_mostly_ablation(benchmark, report, smoke):
+    """Hit rate and wall time of the cached run vs the ablation."""
+    length, tuples, reads = sizes(smoke)
+    mix = read_heavy_mix(
+        reads=reads, distinct=3, upper=(length - 1) * 1000, seed=150
+    )
+
+    def run():
+        rows, results = [], {}
+        for label, config in (
+            ("cache on", None),
+            ("cache off", NodeConfig(answer_cache=False)),
+        ):
+            net = build_chain(length, tuples, config=config)
+            # Warm-up: fill every distinct template once, off the clock.
+            for query in sorted(set(mix)):
+                net.query("N0", query, mode="network")
+            before = net.lifetime_totals()["N0"]
+            elapsed, answers = timed_reads(net, "N0", mix)
+            after = net.lifetime_totals()["N0"]
+            hits = after["cache_hits"] - before["cache_hits"]
+            hit_rate = hits / len(mix)
+            rows.append(
+                [label, len(mix), f"{elapsed:.4f}", hits, f"{hit_rate:.2f}"]
+            )
+            results[label] = (elapsed, hit_rate, answers)
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        ["config", "reads", "wall_s", "cache_hits", "hit_rate"],
+        rows,
+        title=f"E15: read-heavy mix over a chain of {length} "
+              f"({tuples} tuples/node, {reads} reads, 3 templates)",
+    )
+    on_time, on_rate, on_answers = results["cache on"]
+    off_time, off_rate, off_answers = results["cache off"]
+    # Correctness is unconditional: cached ≡ uncached, read for read.
+    assert on_answers == off_answers
+    assert off_rate == 0.0
+    if not smoke and not os.environ.get("CI"):
+        assert on_rate >= 0.90, f"warm hit rate {on_rate:.2f} below 90%"
+        assert off_time / on_time >= 5.0, (
+            f"caching speedup only {off_time / on_time:.1f}x"
+        )
+
+
+def test_invalidation_churn(benchmark, report, smoke):
+    """Writes upstream between reads: never stale, visibly invalidated."""
+    length, tuples, reads = sizes(smoke)
+    net = build_chain(length, tuples)
+    query = "q(x) <- item(x)"
+    writer = net.node(f"N{length - 1}")
+
+    def run():
+        stale = 0
+        for i in range(max(4, reads // 4)):
+            cached = sorted(net.query("N0", query, mode="network"))
+            fresh = sorted(
+                net.query("N0", query, mode="network", cache=False)
+            )
+            if cached != fresh:
+                stale += 1
+            writer.insert("item", (1_000_000 + i,))
+            net.run()  # the invalidation cascade settles
+        return stale
+
+    stale = benchmark.pedantic(run, rounds=1, iterations=1)
+    totals = net.lifetime_totals()
+    head = totals["N0"]
+    report.add_table(
+        ["stale_reads", "hits", "misses", "invalidations_received",
+         "invalidations_sent(tail)"],
+        [[stale, head["cache_hits"], head["cache_misses"],
+          head["invalidations_received"],
+          totals[f"N{length - 1}"]["invalidations_sent"]]],
+        title=f"E15b: write-interleaved reads over a chain of {length}",
+    )
+    assert stale == 0, "a cached read diverged from its uncached twin"
+    # The cascade must actually have run — a write at the tail reached
+    # the head's cache as a compact invalidation, not by luck.
+    assert head["cache_invalidations"] > 0
+    assert totals[f"N{length - 1}"]["invalidations_sent"] > 0

@@ -65,6 +65,18 @@ def main() -> None:
     for key in ("plans_columnar", "plans_pushdown", "plans_row_loop"):
         print(f"  {key:16s} {totals[key]}")
 
+    # Repeat reads are cache hits: every node keeps an epoch-keyed
+    # answer cache (on by default; NodeConfig(answer_cache=False) or
+    # query(..., cache=False) turn it off), invalidated precisely by
+    # the writes each answer depends on.  See examples/cached_reads.py
+    # for the full walkthrough.
+    net.query("TN", "q(n) <- resident(n)", mode="network")
+    net.query("TN", "q(n) <- resident(n)", mode="network")
+    totals = net.node("TN").stats.lifetime_totals()
+    print("\nTN's answer cache after a repeated network query:")
+    for key in ("cache_hits", "cache_misses", "cache_entries"):
+        print(f"  {key:16s} {totals[key]}")
+
 
 if __name__ == "__main__":
     main()

@@ -66,6 +66,12 @@ class OutgoingLink:
     #: granularity) and keeps N concurrent sessions delivering the same
     #: row from re-minting nulls.
     fired: set = field(default_factory=set)
+    #: Whether this node has registered CUP-style invalidation interest
+    #: upstream on this link (it cached an answer depending on the
+    #: rule's head relations).  Cleared when an ``invalidation``
+    #: arrives through the link — the next cache fill re-registers,
+    #: re-arming the upstream side's notification dedup.
+    registered: bool = False
     #: Diagnostic mirror of the most recent session's activation state.
     state: str = INACTIVE
     #: How the mirror closed: "cascade" (paper condition a), "quiescence"
@@ -107,6 +113,18 @@ class IncomingLink:
     #: ends in failure are rolled back; see
     #: :meth:`LinkSession.close_incoming`).
     pushed: set = field(default_factory=set)
+    #: Whether the importer registered CUP-style invalidation interest:
+    #: it serves cached answers derived through this link and wants a
+    #: compact ``invalidation`` instead of eager continuous-mode row
+    #: pushes (it pulls on a cache miss).  Conservatively reset to
+    #: ``False`` — flood — on failure closes and ``peer_down``.
+    cache_interest: bool = False
+    #: Head relations (importer-side) already invalidated since the
+    #: last registration.  One notification per relation per
+    #: registration round is enough — the importer is stale either way
+    #: until it refreshes and re-registers — and the dedup is what
+    #: terminates invalidation cascades around rule cycles.
+    notified: set = field(default_factory=set)
     #: Diagnostic mirrors (most recent session, see module docstring).
     state: str = INACTIVE
     closed_by: str = ""
@@ -285,6 +303,11 @@ class LinkSession:
             link.closed_by = closed_by
             if closed_by == "failure":
                 self.rollback_taught(rule_id)
+                # Conservative cache fallback: the importer may have
+                # missed invalidations in flight — drop its registration
+                # so the next change floods rows instead of a notice.
+                link.cache_interest = False
+                link.notified.clear()
 
     def rollback_taught(self, rule_id: str) -> None:
         """This session's shipments toward the importer may never have

@@ -468,6 +468,7 @@ class CoDBNetwork:
         *,
         mode: str = "network",
         persist: bool = True,
+        cache: bool | None = None,
     ) -> RequestHandle:
         """Submit *query* at *node_name*; returns its handle.
 
@@ -475,11 +476,14 @@ class CoDBNetwork:
         distributed answering as a managed session; ``handle.result()``
         returns the answer rows.  ``mode="local"`` answers from local
         data immediately and returns an already-completed handle, so
-        callers can treat both uniformly.
+        callers can treat both uniformly.  ``cache`` overrides the
+        node's ``NodeConfig.answer_cache`` for this one query (``None``
+        inherits it); a network-mode cache hit completes without any
+        propagation at all.
         """
         node = self.node(node_name)
         if mode == "local":
-            rows = node.query(query)
+            rows = node.query(query, cache=cache)
             handle = RequestHandle(
                 request_id=self.ids.query_id(),
                 kind="query",
@@ -498,7 +502,7 @@ class CoDBNetwork:
         started_at = self.transport.now()
         messages_before = self.transport.stats.messages_sent
         bytes_before = self.transport.stats.bytes_sent
-        query_id = node.submit_query_id(query, persist=persist)
+        query_id = node.submit_query_id(query, persist=persist, cache=cache)
         handle = RequestHandle(
             request_id=query_id,
             kind="query",
@@ -520,6 +524,7 @@ class CoDBNetwork:
         *,
         mode: str = "local",
         persist: bool = True,
+        cache: bool | None = None,
     ) -> list[Row]:
         """Answer *query* at *node_name* (blocking wrapper).
 
@@ -529,11 +534,11 @@ class CoDBNetwork:
         """
         node = self.node(node_name)
         if mode == "local":
-            return node.query(query)
+            return node.query(query, cache=cache)
         if mode != "network":
             raise ProtocolError(f"unknown query mode {mode!r}")
         handle = self.submit_query(
-            node_name, query, mode="network", persist=persist
+            node_name, query, mode="network", persist=persist, cache=cache
         )
         answer = handle.result(self.poll_timeout)
         self._settle()

@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
+from repro.core.answercache import DEFAULT_CACHE_SIZE, AnswerCache
 from repro.core.links import LinkTable
 from repro.core.push import PUSH_KIND, PushEngine
 from repro.core.query import QUERY_KINDS, QueryEngine
@@ -103,6 +104,18 @@ class NodeConfig:
         healed partition still converges to ``complete``.  Only active
         together with ``sent_dedup`` (the E10 ablation measures
         resends; this must not mask it).
+    answer_cache:
+        The read-side twin of ``resend_suppression``: keep a per-node
+        LRU of query answers keyed on the query structure plus the
+        epoch vector of its body relations
+        (:mod:`repro.core.answercache`).  Epochs advance on every
+        mutation, so a cached answer can never survive a write it
+        depends on; staleness from *remote* writes arrives as taught
+        rows or compact ``invalidation`` messages, either of which
+        bumps the local epochs.  ``submit_query(cache=False)``
+        bypasses the cache per call.
+    answer_cache_size:
+        Bound on cached entries per node (LRU beyond it).
     """
 
     semi_naive: bool = True
@@ -115,6 +128,8 @@ class NodeConfig:
     minimize_rule_bodies: bool = False
     max_active_sessions: int = 0
     resend_suppression: bool = True
+    answer_cache: bool = True
+    answer_cache_size: int = DEFAULT_CACHE_SIZE
 
 
 class CoDBNode:
@@ -169,6 +184,18 @@ class CoDBNode:
         self.stats = NodeStatistics(name)
         # lifetime_totals() shows where this node's compiled plans ran.
         self.stats.dispatch_source = self.wrapper.dispatch_counts
+        #: Epoch-keyed answer cache (read-side suppression twin); the
+        #: epochs are maintained even when caching is disabled so an
+        #: ablation flip mid-run starts from honest versions.
+        self.cache = AnswerCache(
+            self.config.answer_cache_size, enabled=self.config.answer_cache
+        )
+        #: CUP-style interest-protocol counters (cache counters live on
+        #: the cache itself; these are the link-traffic side).
+        self.invalidations_sent = 0
+        self.invalidations_received = 0
+        self.pushes_suppressed = 0
+        self.stats.cache_source = self.cache_counters
         self.links = LinkTable(name, [])
         self.termination = DiffusingComputation(
             self.send_ack, self._on_root_complete
@@ -197,7 +224,15 @@ class CoDBNode:
             for relation in self.wrapper.schema.exported_view()
         )
         return PeerAdvertisement(
-            peer_id=self.name, name=self.name, exported_relations=exported
+            peer_id=self.name,
+            name=self.name,
+            exported_relations=exported,
+            properties=(
+                (
+                    "answer_cache",
+                    "on" if self.config.answer_cache else "off",
+                ),
+            ),
         )
 
     def _wire_handlers(self) -> None:
@@ -221,6 +256,7 @@ class CoDBNode:
         self.endpoint.on("stats_request", self._locked(self._on_stats_request))
         self.endpoint.on("undeliverable", self._locked(self._on_undeliverable))
         self.endpoint.on("peer_down", self._locked(self._on_peer_down))
+        self.endpoint.on("invalidation", self._locked(self._on_invalidation))
 
     def _locked(self, handler):
         def wrapped(message: Message) -> None:
@@ -234,12 +270,30 @@ class CoDBNode:
             with self._lock:
                 # Hearing from a peer proves it reachable again (a
                 # healed partition): ack retransmission toward it must
-                # resume.
-                self._down_peers.discard(message.sender)
+                # resume, and the answer cache floods conservatively.
+                self._note_reachable(message.sender)
                 self.pipes.note_received(message)
                 handler(message)
 
         return wrapped
+
+    def _note_reachable(self, peer: str) -> None:
+        """First contact from a peer the failure detector had written
+        off: a partition healed.  Invalidations toward us may have been
+        lost while the cut stood, so the answer cache falls back to
+        flood — every epoch advances, every entry drops — and the
+        interest protocol resets to re-register from scratch."""
+        if peer not in self._down_peers:
+            return
+        self._down_peers.discard(peer)
+        self.cache.bump_all()
+        for link in self.links.outgoing.values():
+            if link.remote == peer:
+                link.registered = False
+        for link in self.links.incoming.values():
+            if link.remote == peer:
+                link.cache_interest = False
+                link.notified.clear()
 
     # ------------------------------------------------------------------
     # Termination plumbing shared by both engines
@@ -254,7 +308,7 @@ class CoDBNode:
 
     def _on_ack(self, message: Message) -> None:
         computation_id = message.payload["computation_id"]
-        self._down_peers.discard(message.sender)
+        self._note_reachable(message.sender)
         self.termination.on_ack(computation_id, message.sender)
         # An ack can be the event that disengages a failure-touched
         # update session whose links are already closed — the last
@@ -309,6 +363,23 @@ class CoDBNode:
             ):
                 self.endpoint.try_send(dead_peer, "update_complete", payload)
             return
+        if original_kind == "invalidation":
+            # Conservative fallback either way: a bounced registration
+            # means we are NOT registered upstream (re-register on the
+            # next fill); a bounced data invalidation means the
+            # importer may now be stale without knowing — drop its
+            # registration so the next change floods rows instead.
+            rule_id = payload.get("rule_id", "")
+            if payload.get("op") == "register":
+                outgoing = self.links.outgoing.get(rule_id)
+                if outgoing is not None:
+                    outgoing.registered = False
+            else:
+                incoming = self.links.incoming.get(rule_id)
+                if incoming is not None:
+                    incoming.cache_interest = False
+                    incoming.notified.clear()
+            return
         computation_id = payload.get("update_id") or payload.get("query_id")
         if original_kind in ("update_request", "query_result", "link_closed",
                              "query_request", "query_data"):
@@ -339,6 +410,129 @@ class CoDBNode:
         self.updates.on_peer_down(dead_peer)
         self.queries.on_peer_down(dead_peer)
         self.admission.on_peer_down(dead_peer)
+        self.cache_fault_fallback(dead_peer)
+
+    # ------------------------------------------------------------------
+    # Answer cache: epochs, interest registration, invalidation fan-out
+    # ------------------------------------------------------------------
+
+    def cache_fault_fallback(self, peer: str) -> None:
+        """Conservative cache fallback on any reachability change
+        involving *peer* (failure-detector notice, bounced session
+        traffic): a recompute could legitimately answer differently
+        than any cached fill — flood (drop everything) rather than
+        risk serving an answer the lost peer contributed to, and reset
+        the interest protocol on the links toward it."""
+        self.cache.bump_all()
+        for link in self.links.outgoing.values():
+            if link.remote == peer:
+                link.registered = False
+        for link in self.links.incoming.values():
+            if link.remote == peer:
+                link.cache_interest = False
+                link.notified.clear()
+
+    def bump_epochs(self, relations: Iterable[str]) -> None:
+        """Advance the answer-cache epoch of every relation in
+        *relations* (dropping the cached answers stamped with them) and
+        fan compact ``invalidation`` messages out to downstream links
+        whose importer registered cache interest.
+
+        This is THE mutation hook: every write path — local insert,
+        ``load_facts``, update-session delta ingest, continuous-mode
+        push ingest, query-time import, the non-persistent rollback —
+        routes its changed relations through here (callers hold the
+        node lock).
+        """
+        changed = {relation for relation in relations if relation}
+        if not changed:
+            return
+        self.cache.invalidate(changed)
+        for link in self.links.incoming_dependent_on_relations(changed):
+            if not link.cache_interest:
+                continue
+            heads = link.rule.mapping.head_relations()
+            if all(head in link.notified for head in heads):
+                continue  # importer already knows it is stale
+            link.notified.update(heads)
+            sent = self.endpoint.try_send(
+                link.remote,
+                "invalidation",
+                {"rule_id": link.rule_id, "relations": list(heads)},
+            )
+            if sent is None:
+                # The importer left: flood fallback on re-acquaintance.
+                link.cache_interest = False
+                link.notified.clear()
+            else:
+                self.invalidations_sent += 1
+
+    def register_cache_interest(self, relations: Iterable[str]) -> None:
+        """Register CUP-style invalidation interest upstream on every
+        outgoing link whose rule head feeds *relations* (the body of an
+        answer this node just cached).  The upstream side will send a
+        compact ``invalidation`` — instead of eager row pushes — when
+        its data changes; this node pulls afresh on the cache miss."""
+        targets = set(relations)
+        for link in self.links.outgoing.values():
+            if link.registered:
+                continue
+            if not targets & set(link.rule.mapping.head_relations()):
+                continue
+            sent = self.endpoint.try_send(
+                link.remote,
+                "invalidation",
+                {"op": "register", "rule_id": link.rule_id},
+            )
+            if sent is not None:
+                link.registered = True
+
+    def _on_invalidation(self, message: Message) -> None:
+        """Both halves of the interest protocol ride one kind.
+
+        ``op="register"`` — the importer on one of our incoming links
+        serves cached answers derived through it; remember its interest
+        (and re-arm the per-registration notification dedup).
+        Anything else is a data invalidation *to* us: data we imported
+        through the named outgoing link went stale upstream — bump the
+        head relations' epochs (cascading to our own registrants) and
+        drop our registration so the next cache fill re-registers.
+        """
+        payload = message.payload
+        rule_id = payload.get("rule_id", "")
+        if payload.get("op") == "register":
+            link = self.links.incoming.get(rule_id)
+            if link is not None:
+                link.cache_interest = True
+                link.notified.clear()
+                # Interest is transitive: the importer's cached answer
+                # depends on whatever *we* would pull afresh to serve
+                # this link, so register our own interest upstream on
+                # the rule's body relations.  The per-link
+                # ``registered`` flag terminates cycles.
+                self.register_cache_interest(
+                    link.rule.mapping.body_relations()
+                )
+            return
+        self.invalidations_received += 1
+        outgoing = self.links.outgoing.get(rule_id)
+        if outgoing is not None:
+            outgoing.registered = False
+        schema = self.wrapper.schema
+        self.bump_epochs(
+            relation
+            for relation in payload.get("relations", ())
+            if relation in schema
+        )
+
+    def cache_counters(self) -> dict[str, int]:
+        """Cache + interest-protocol lifetime counters, merged into
+        ``NodeStatistics.lifetime_totals()`` via ``cache_source``."""
+        counters = self.cache.counters()
+        counters["invalidations_sent"] = self.invalidations_sent
+        counters["invalidations_received"] = self.invalidations_received
+        counters["pushes_suppressed"] = self.pushes_suppressed
+        return counters
 
     # ------------------------------------------------------------------
     # Request completion signaling (the handle API's event source)
@@ -404,6 +598,11 @@ class CoDBNode:
             # Live update sessions keep running across a rewire: rebind
             # their link views to the new table (§4 dynamic topology).
             self.updates.on_rules_changed()
+            # A rule change can shift the derivable content of ANY
+            # relation — flood the answer cache rather than reason
+            # about which heads moved (registrations died with the old
+            # link objects; importers re-register on their next fill).
+            self.cache.bump_all()
 
     def _validate_rule(self, rule: CoordinationRule) -> None:
         """Each side validates its own half of the mapping.
@@ -451,6 +650,7 @@ class CoDBNode:
                 "collection_id": message.payload.get("collection_id", ""),
                 "reports": reports,
                 "queries_answered": self.stats.queries_answered,
+                "cache": self.cache_counters(),
             },
         )
 
@@ -463,20 +663,29 @@ class CoDBNode:
         if isinstance(facts, str):
             facts = parse_facts(facts)
         with self._lock:
-            return self.wrapper.load({k: list(v) for k, v in facts.items()})
+            loaded = self.wrapper.load({k: list(v) for k, v in facts.items()})
+            if loaded:
+                self.bump_epochs(facts)
+            return loaded
 
     def insert(self, relation: str, row: Sequence[Value]) -> bool:
         """Insert one local row; pushes the delta downstream when the
         node runs in continuous mode (``config.push_on_insert``)."""
         with self._lock:
             new_rows = self.wrapper.insert_new(relation, [row])
-            if new_rows and self.config.push_on_insert:
-                self.push.push_deltas({relation: new_rows})
+            if new_rows:
+                self.bump_epochs([relation])
+                if self.config.push_on_insert:
+                    self.push.push_deltas({relation: new_rows})
             return bool(new_rows)
 
     def push_deltas(self, deltas: dict[str, list]) -> int:
         """Explicitly push ``{relation: rows}`` along incoming links."""
         with self._lock:
+            # The deltas describe rows already in the store (callers
+            # insert first); bump anyway — an extra epoch advance is
+            # harmless, a missed one would serve a stale cached answer.
+            self.bump_epochs(deltas)
             return self.push.push_deltas(
                 {rel: [tuple(r) for r in rows] for rel, rows in deltas.items()}
             )
@@ -499,7 +708,11 @@ class CoDBNode:
     # ------------------------------------------------------------------
 
     def query(
-        self, query: str | ConjunctiveQuery, *, certain: bool = False
+        self,
+        query: str | ConjunctiveQuery,
+        *,
+        certain: bool = False,
+        cache: bool | None = None,
     ) -> list[Row]:
         """Answer *query* from local data only.
 
@@ -507,12 +720,27 @@ class CoDBNode:
         dropped: for positive conjunctive queries over naive tables,
         the null-free answers are exactly the *certain answers* (true
         in every completion of the incomplete database).
+
+        ``cache`` overrides ``config.answer_cache`` per call: local
+        answers are served from the epoch-keyed cache while every body
+        relation's epoch is unchanged (any local write, taught row or
+        received invalidation bumps them).
         """
         if isinstance(query, str):
             query = parse_query(query)
         query.validate_against(self.wrapper.schema)
+        use_cache = self.config.answer_cache if cache is None else cache
         with self._lock:
-            answers = self.wrapper.evaluate_query(query)
+            answers = None
+            fingerprint = f"local:{query!r}"
+            if use_cache:
+                answers = self.cache.get(fingerprint)
+            if answers is None:
+                answers = self.wrapper.evaluate_query(query)
+                if use_cache:
+                    self.cache.put(
+                        fingerprint, query.body_relations(), answers
+                    )
         if certain:
             from repro.relational.values import MarkedNull
 
@@ -524,18 +752,29 @@ class CoDBNode:
         return answers
 
     def submit_query_id(
-        self, query: str | ConjunctiveQuery, *, persist: bool = True
+        self,
+        query: str | ConjunctiveQuery,
+        *,
+        persist: bool = True,
+        cache: bool | None = None,
     ) -> str:
         """Submit a network query through the session registry and
         admission queue; returns the bare query id (the handle-free
-        entry point the network layer and id-oriented callers use)."""
+        entry point the network layer and id-oriented callers use).
+
+        ``cache`` overrides ``config.answer_cache`` per call; a cache
+        hit completes the session immediately without propagating."""
         if isinstance(query, str):
             query = parse_query(query)
         with self._lock:
-            return self.queries.submit(query, persist=persist)
+            return self.queries.submit(query, persist=persist, cache=cache)
 
     def submit_network_query(
-        self, query: str | ConjunctiveQuery, *, persist: bool = True
+        self,
+        query: str | ConjunctiveQuery,
+        *,
+        persist: bool = True,
+        cache: bool | None = None,
     ) -> RequestHandle:
         """Pose a network query as a session; returns its handle.
 
@@ -546,7 +785,7 @@ class CoDBNode:
         started_at = transport.now()
         messages_before = transport.stats.messages_sent
         bytes_before = transport.stats.bytes_sent
-        query_id = self.submit_query_id(query, persist=persist)
+        query_id = self.submit_query_id(query, persist=persist, cache=cache)
         handle = RequestHandle(
             request_id=query_id,
             kind="query",

@@ -59,6 +59,16 @@ class PushEngine:
             return 0  # §1d: inconsistent data stays local
         sent_messages = 0
         for link in node.links.incoming_dependent_on_relations(changed):
+            if link.cache_interest:
+                # CUP-style interest-aware propagation: this importer
+                # serves cached answers and asked for *invalidations*,
+                # not eager rows — ``node.bump_epochs`` (which every
+                # caller of push_deltas runs first) already sent the
+                # compact notice.  Deliberately do NOT touch the
+                # lifetime ``pushed`` memory: the importer's next
+                # update or query must still be able to pull these rows.
+                node.pushes_suppressed += 1
+                continue
             produced: dict[Row, None] = {}
             for relation in sorted(
                 changed & set(link.rule.mapping.body_relations())
@@ -124,4 +134,5 @@ class PushEngine:
                 deltas.setdefault(relation, []).extend(new_rows)
                 self.rows_absorbed += len(new_rows)
         if deltas:
+            node.bump_epochs(deltas)
             self.push_deltas(deltas)  # cascade onward

@@ -78,6 +78,11 @@ class RootQuery:
     query: ConjunctiveQuery
     answer: list[Row] | None = None
     messages_used: int = 0
+    #: Answer-cache fingerprint to fill at completion (``None`` when
+    #: this query is uncached — ablated, ``cache=False``, or
+    #: non-persistent, whose rollback would invalidate the fill
+    #: immediately anyway).
+    cache_fill: str | None = None
 
 
 class QueryEngine:
@@ -92,7 +97,13 @@ class QueryEngine:
     # Root side
     # ------------------------------------------------------------------
 
-    def submit(self, query: ConjunctiveQuery, *, persist: bool = True) -> str:
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        persist: bool = True,
+        cache: bool | None = None,
+    ) -> str:
         """Pose *query* network-wide; returns the query id.
 
         The root query is a session like a global update: it holds
@@ -103,12 +114,34 @@ class QueryEngine:
         quiesces.  Under admission pressure the root waits in the
         node's queue as a pending initiation (cancellable through its
         handle).
+
+        ``cache`` overrides ``NodeConfig.answer_cache`` for this query
+        (``None`` inherits it).  A cached answer with every stamped
+        epoch intact is served immediately, with no propagation at
+        all; a miss runs the full diffusing computation and fills the
+        cache at completion.  Only persistent queries are cached — a
+        non-persistent query's own rollback deletes would invalidate
+        the entry before it could ever be served.
         """
         node = self.node
         query.validate_against(node.wrapper.schema)
+        use_cache = node.config.answer_cache if cache is None else cache
+        use_cache = use_cache and persist
+        fingerprint = f"network:{query!r}"
         query_id = node.endpoint.ids.query_id()
-        self.roots[query_id] = RootQuery(query=query)
         node.stats.network_queries_started += 1
+        if use_cache:
+            hit = node.cache.get(fingerprint)
+            if hit is not None:
+                self.roots[query_id] = RootQuery(
+                    query=query, answer=list(hit)
+                )
+                node.notify_request_complete("query", query_id)
+                return query_id
+        root = RootQuery(query=query)
+        if use_cache:
+            root.cache_fill = fingerprint
+        self.roots[query_id] = root
         if node.admission.try_enter(query_id, "query", initiation=True):
             self._start_root(query_id, query, persist)
         else:
@@ -159,6 +192,13 @@ class QueryEngine:
         root = self.roots[query_id]
         participation = self.participations[query_id]
         root.answer = node.wrapper.evaluate_query(root.query)
+        if root.cache_fill is not None:
+            # Fill under the epochs as they stand *after* this query's
+            # imports (each ingest bumped them), and register interest
+            # upstream so remote writes arrive as invalidations.
+            relations = root.query.body_relations()
+            node.cache.put(root.cache_fill, relations, root.answer)
+            node.register_cache_interest(relations)
         self._cleanup(participation, forwarded_from=None)
         node.termination.forget(query_id)
         node.notify_request_complete("query", query_id)
@@ -324,12 +364,17 @@ class QueryEngine:
         # the store but new to this query's data flow; the per-query
         # sent-sets downstream keep this loop bounded.
         deltas: dict[str, list[Row]] = {}
+        stored: set[str] = set()
         for relation, row in facts:
             deltas.setdefault(relation, []).append(row)
             new_rows = node.wrapper.insert_new(relation, [row])
+            if new_rows:
+                stored.add(relation)
             participation.inserted.extend(
                 (relation, new_row) for new_row in new_rows
             )
+        if stored:
+            node.bump_epochs(stored)
         root = self.roots.get(query_id)
         if root is not None:
             root.messages_used += 1
@@ -405,6 +450,7 @@ class QueryEngine:
             for relation, rows in by_relation.items():
                 node.wrapper.delete_rows(relation, rows)
             participation.inserted.clear()
+            node.bump_epochs(by_relation)
         for remote in participation.forwarded_to:
             if remote != forwarded_from:
                 pipe = node.pipes.pipe_to(remote)

@@ -210,6 +210,10 @@ class NodeStatistics:
         #: wires it at construction so ``lifetime_totals`` can show
         #: where compiled plans actually ran.
         self.dispatch_source = None
+        #: Zero-argument callable returning the node's answer-cache and
+        #: interest-protocol counters (``CoDBNode.cache_counters``),
+        #: wired the same way as :attr:`dispatch_source`.
+        self.cache_source = None
 
     def open_report(self, update_id: str, origin: str, now: float) -> UpdateReport:
         report = UpdateReport(
@@ -269,6 +273,8 @@ class NodeStatistics:
         }
         if self.dispatch_source is not None:
             totals.update(self.dispatch_source())
+        if self.cache_source is not None:
+            totals.update(self.cache_source())
         return totals
 
 

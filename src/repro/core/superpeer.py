@@ -39,6 +39,10 @@ class SuperPeer:
         #: collection_id -> node -> list of reports.
         self._collections: dict[str, dict[str, list[UpdateReport]]] = {}
         self._queries_answered: dict[str, dict[str, int]] = {}
+        #: collection_id -> node -> answer-cache counters (hits,
+        #: misses, invalidations, suppressed pushes — the CUP-style
+        #: read-side statistics the nodes report alongside §4's).
+        self._cache_counters: dict[str, dict[str, dict[str, int]]] = {}
         self.rules_broadcasts = 0
         self.endpoint.on("stats_response", self._on_stats_response)
 
@@ -70,6 +74,7 @@ class SuperPeer:
         collection_id = self.endpoint.ids.message_id()
         self._collections[collection_id] = {}
         self._queries_answered[collection_id] = {}
+        self._cache_counters[collection_id] = {}
         self.endpoint.transport.broadcast(
             self.name, "stats_request", {"collection_id": collection_id}
         )
@@ -88,6 +93,11 @@ class SuperPeer:
         self._queries_answered[collection_id][node] = int(
             message.payload.get("queries_answered", 0)
         )
+        cache = message.payload.get("cache")
+        if isinstance(cache, dict):
+            self._cache_counters[collection_id][node] = {
+                key: int(value) for key, value in cache.items()
+            }
 
     def collected_reports(self, collection_id: str) -> dict[str, list[UpdateReport]]:
         try:
@@ -99,6 +109,23 @@ class SuperPeer:
 
     def responding_nodes(self, collection_id: str) -> list[str]:
         return sorted(self.collected_reports(collection_id))
+
+    def cache_counters(self, collection_id: str) -> dict[str, dict[str, int]]:
+        """Per-node answer-cache counters from one collection round."""
+        try:
+            return self._cache_counters[collection_id]
+        except KeyError:
+            raise StatisticsError(
+                f"unknown statistics collection {collection_id!r}"
+            ) from None
+
+    def network_cache_totals(self, collection_id: str) -> dict[str, int]:
+        """Network-wide sums of the per-node answer-cache counters."""
+        totals: dict[str, int] = {}
+        for counters in self.cache_counters(collection_id).values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def aggregate(
         self, collection_id: str, update_id: str

@@ -377,6 +377,7 @@ class UpdateEngine:
                 raise FixpointGuardError(node.config.fixpoint_guard)
 
         if deltas:
+            node.bump_epochs(deltas)
             self._propagate_deltas(deltas, path_len)
 
     def _propagate_deltas(
@@ -540,6 +541,10 @@ class UpdateEngine:
         # still-streaming rest of a healthy update.
         if relevant:
             self.peer_lost = True
+            # Reachability changed under this session: the answer
+            # cache floods (bump_all) and the interest protocol toward
+            # the lost peer resets, same as a failure-detector notice.
+            node.cache_fault_fallback(dead_peer)
             if report is not None:
                 # The §4 report must say what went missing, not
                 # silently truncate: this node's view of the update is

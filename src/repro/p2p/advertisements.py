@@ -47,6 +47,19 @@ class PeerAdvertisement:
             ),
         )
 
+    def property(self, key: str) -> str | None:
+        """The value of property *key*, or ``None``."""
+        for name, value in self.properties:
+            if name == key:
+                return value
+        return None
+
+    def supports_answer_cache(self) -> bool:
+        """Whether the advertised peer runs the epoch-keyed answer
+        cache (the ``answer_cache`` property; absent means off — old
+        peers never advertised it)."""
+        return self.property("answer_cache") == "on"
+
 
 @dataclass(frozen=True)
 class PipeAdvertisement:

@@ -13,9 +13,17 @@ simulated and the TCP transport.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.p2p.advertisements import PeerAdvertisement
 from repro.p2p.endpoint import Endpoint
 from repro.p2p.messages import Message
+
+#: Bound on cached foreign advertisements (our own never counts):
+#: gossip re-broadcasts every cache on every round, so an unbounded
+#: cache grows with total network churn, not network size.  Same
+#: treatment as the endpoint's dedup log — least-recently-seen out.
+CACHE_LIMIT = 1024
 
 
 class DiscoveryService:
@@ -24,10 +32,11 @@ class DiscoveryService:
     def __init__(self, endpoint: Endpoint, advertisement: PeerAdvertisement) -> None:
         self.endpoint = endpoint
         self.advertisement = advertisement
-        self._cache: dict[str, PeerAdvertisement] = {
-            advertisement.peer_id: advertisement
-        }
+        self._cache: OrderedDict[str, PeerAdvertisement] = OrderedDict(
+            {advertisement.peer_id: advertisement}
+        )
         self.requests_seen = 0
+        self.evictions = 0
         endpoint.on("discovery_request", self._on_request)
         endpoint.on("discovery_response", self._on_response)
 
@@ -85,4 +94,14 @@ class DiscoveryService:
     def _on_response(self, message: Message) -> None:
         for payload in message.payload.get("advertisements", ()):
             advertisement = PeerAdvertisement.from_payload(payload)
-            self._cache.setdefault(advertisement.peer_id, advertisement)
+            if advertisement.peer_id in self._cache:
+                # Re-gossip of a known peer: refresh its recency only.
+                self._cache.move_to_end(advertisement.peer_id)
+                continue
+            self._cache[advertisement.peer_id] = advertisement
+            while len(self._cache) > CACHE_LIMIT + 1:  # +1: ourselves
+                for peer_id in self._cache:
+                    if peer_id != self.endpoint.peer_id:
+                        del self._cache[peer_id]
+                        self.evictions += 1
+                        break

@@ -100,6 +100,7 @@ KINDS = (
     "query_answer",         # query-time answering results (legacy name)
     "query_complete",       # query-time answering end-of-stream
     "push_delta",           # continuous-mode delta push (subscriptions)
+    "invalidation",         # CUP-style cache interest + invalidation
     "stats_request",        # super-peer statistics collection (§4)
     "stats_response",
     "discovery_request",    # peer discovery (§2, Figure 3)

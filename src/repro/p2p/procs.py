@@ -488,6 +488,61 @@ class ProcessNetwork:
             )
         return frame
 
+    def _call_many(
+        self,
+        workers: list[_WorkerProxy],
+        op: str,
+        timeout: float | None = None,
+        **arguments: Any,
+    ) -> dict[str, dict[str, Any]]:
+        """Pipelined request/reply fan-out: issue *op* to every worker
+        before collecting any reply, so a network-wide probe costs one
+        worker round-trip instead of N sequential ones (the workers
+        process their commands concurrently while the driver waits)."""
+        if threading.current_thread() is self._pump_thread:
+            raise ProtocolError(
+                "synchronous control calls are not allowed on the pump thread"
+            )
+        pending: list[tuple[_WorkerProxy, int, queue.Queue]] = []
+        for worker in workers:
+            if not worker.alive:
+                continue
+            cmd_id = next(self._cmd_ids)
+            answer: queue.Queue = queue.Queue(maxsize=1)
+            with self._lock:
+                worker.pending[cmd_id] = answer
+            try:
+                worker.send_frame(protocol.command(op, cmd_id, **arguments))
+            except (OSError, ValueError) as exc:
+                with self._lock:
+                    worker.pending.pop(cmd_id, None)
+                raise ProtocolError(
+                    f"worker {worker.name!r} unreachable"
+                ) from exc
+            pending.append((worker, cmd_id, answer))
+        wait = timeout if timeout is not None else self.poll_timeout
+        deadline = time.monotonic() + wait
+        replies: dict[str, dict[str, Any]] = {}
+        for worker, cmd_id, answer in pending:
+            try:
+                frame = answer.get(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except queue.Empty:
+                with self._lock:
+                    worker.pending.pop(cmd_id, None)
+                raise RequestTimeoutError(
+                    f"worker {worker.name!r} did not answer {op!r} "
+                    f"within {wait}s"
+                ) from None
+            if frame["op"] == "error":
+                raise ProtocolError(
+                    f"worker {worker.name!r} failed {op!r}: "
+                    f"{frame.get('error_kind', '')} {frame.get('error', '')}"
+                )
+            replies[worker.name] = frame
+        return replies
+
     def _cast(
         self,
         worker: _WorkerProxy,
@@ -800,13 +855,12 @@ class ProcessNetwork:
         """Aggregate the per-worker §4 reports into the caller-facing
         outcome (the super-peer aggregation, over the control channel)."""
         update_id = handle.request_id
+        replies = self._call_many(
+            list(self._workers.values()), "report", request_id=update_id
+        )
         reports: list[UpdateReport] = []
-        for worker in self._workers.values():
-            if not worker.alive:
-                continue
-            payload = self._call(worker, "report", request_id=update_id).get(
-                "report"
-            )
+        for frame in replies.values():
+            payload = frame.get("report")
             if payload is not None:
                 reports.append(UpdateReport.from_payload(payload))
         origin = handle.origin or (reports[0].origin if reports else "")
@@ -840,8 +894,12 @@ class ProcessNetwork:
         *,
         mode: str = "network",
         persist: bool = True,
+        cache: bool | None = None,
     ) -> RequestHandle:
-        """Submit *query* (text) at *node_name*; returns its handle."""
+        """Submit *query* (text) at *node_name*; returns its handle.
+
+        ``cache`` overrides the worker node's ``NodeConfig.answer_cache``
+        for this one query (``None`` inherits the config)."""
         if not isinstance(query, str):
             raise ProtocolError(
                 "ProcessNetwork queries must be text (they cross a "
@@ -869,7 +927,7 @@ class ProcessNetwork:
         messages_before = self.transport.stats.messages_sent
         bytes_before = self.transport.stats.bytes_sent
         query_id = self._call(
-            worker, "submit_query", query=query, persist=persist
+            worker, "submit_query", query=query, persist=persist, cache=cache
         )["request_id"]
         handle = RequestHandle(
             request_id=query_id,
@@ -896,7 +954,13 @@ class ProcessNetwork:
         return [decode_row(row) for row in rows]
 
     def query(
-        self, node_name: str, query: str, *, mode: str = "local", persist: bool = True
+        self,
+        node_name: str,
+        query: str,
+        *,
+        mode: str = "local",
+        persist: bool = True,
+        cache: bool | None = None,
     ) -> list[Row]:
         """Answer *query* at *node_name* (blocking wrapper)."""
         if not isinstance(query, str):
@@ -911,7 +975,7 @@ class ProcessNetwork:
         if mode != "network":
             raise ProtocolError(f"unknown query mode {mode!r}")
         handle = self.submit_query(
-            node_name, query, mode="network", persist=persist
+            node_name, query, mode="network", persist=persist, cache=cache
         )
         return handle.result(self.poll_timeout)
 
@@ -921,23 +985,23 @@ class ProcessNetwork:
 
     def snapshot(self) -> dict[str, dict[str, list[Row]]]:
         """``{node: {relation: sorted rows}}`` across alive workers."""
-        result: dict[str, dict[str, list[Row]]] = {}
-        for worker in self._workers.values():
-            if not worker.alive:
-                continue
-            relations = self._call(worker, "snapshot")["relations"]
-            result[worker.name] = {
+        replies = self._call_many(list(self._workers.values()), "snapshot")
+        return {
+            name: {
                 relation: [decode_row(row) for row in rows]
-                for relation, rows in relations.items()
+                for relation, rows in frame["relations"].items()
             }
-        return result
+            for name, frame in replies.items()
+        }
 
     def lifetime_totals(self) -> dict[str, dict]:
-        """Per-node lifetime aggregates, collected over control pipes."""
+        """Per-node lifetime aggregates, collected over control pipes
+        (pipelined: all workers are probed before any reply is read)."""
+        replies = self._call_many(
+            list(self._workers.values()), "lifetime_totals"
+        )
         return {
-            worker.name: self._call(worker, "lifetime_totals")["node_totals"]
-            for worker in self._workers.values()
-            if worker.alive
+            name: frame["node_totals"] for name, frame in replies.items()
         }
 
     def total_rows(self) -> int:

@@ -365,7 +365,12 @@ class JoinPlan:
         *remap* (needed by its own comparisons or by anything later),
         the variables that must survive its *prune* (needed strictly
         later), and its comparison schedule with pre-sorted variable
-        lists.
+        lists.  Comparisons whose every variable is bound by **this
+        step's atom alone** are split out as *local* entries with
+        ``(name, row position)`` slots: the executor applies them
+        column-wise to the step's candidate rows *before* the batch
+        cross-product, so a selective predicate filters ``m`` rows
+        once instead of ``m × n`` expanded tuples.
         """
         meta = self._columnar
         if meta is None:
@@ -374,10 +379,26 @@ class JoinPlan:
             per_step: list[tuple] = []
             for step in reversed(self.steps):
                 keep_vars = frozenset(needed)
-                comp_entries = tuple(
-                    (comparisons[ci], sorted(comparisons[ci].variables()))
-                    for ci in step.comparison_indices
+                bound_here = dict(
+                    (name, position) for position, name in step.bind_slots
                 )
+                local_entries = []
+                comp_entries = []
+                for ci in step.comparison_indices:
+                    comparison = comparisons[ci]
+                    names = sorted(comparison.variables())
+                    if all(name in bound_here for name in names):
+                        local_entries.append(
+                            (
+                                comparison,
+                                tuple(
+                                    (name, bound_here[name])
+                                    for name in names
+                                ),
+                            )
+                        )
+                    else:
+                        comp_entries.append((comparison, names))
                 for _comp, names in comp_entries:
                     needed.update(names)
                 remap_vars = frozenset(needed)
@@ -386,7 +407,14 @@ class JoinPlan:
                         needed.add(ref)
                 for _position, name in step.var_checks:
                     needed.add(name)
-                per_step.append((remap_vars, keep_vars, comp_entries))
+                per_step.append(
+                    (
+                        remap_vars,
+                        keep_vars,
+                        tuple(comp_entries),
+                        tuple(local_entries),
+                    )
+                )
             per_step.reverse()
             self._columnar = meta = tuple(per_step)
         return meta
@@ -429,9 +457,22 @@ class JoinPlan:
         n = 1
 
         for depth, step in enumerate(self.steps):
-            remap_vars, keep_vars, comp_entries = meta[depth]
+            remap_vars, keep_vars, comp_entries, local_entries = meta[depth]
             parent_idx: list[int] | None  # None => every parent is row 0
             relation = None
+            if local_entries:
+                # Step-local predicates (every variable bound by this
+                # atom alone) filter candidate rows BEFORE the batch
+                # cross-product / per-parent expansion.
+                def local_ok(row, _entries=local_entries):
+                    return all(
+                        evaluate_comparison(
+                            comparison, {nm: row[p] for nm, p in slots}
+                        )
+                        for comparison, slots in _entries
+                    )
+            else:
+                local_ok = None
 
             if step.is_delta or not step.probe_positions:
                 # ---- scan: the delta batch or a whole relation ------
@@ -461,6 +502,9 @@ class JoinPlan:
                             same_value(row[p], row[f]) for p, f in same_row
                         )
                     ]
+                    filtered = True
+                if local_ok is not None:
+                    rows_list = [row for row in rows_list if local_ok(row)]
                     filtered = True
                 m = len(rows_list)
                 if m == 0:
@@ -528,6 +572,10 @@ class JoinPlan:
                             match = (
                                 list(bucket.values()) if bucket else None
                             )
+                            if match and local_ok is not None:
+                                match = [
+                                    row for row in match if local_ok(row)
+                                ] or None
                             match_cache[typed_key] = match
                         per_parent[i] = match
                 else:
@@ -603,6 +651,10 @@ class JoinPlan:
                                 )
                                 or None
                             )
+                        if match and local_ok is not None:
+                            match = [
+                                row for row in match if local_ok(row)
+                            ] or None
                         if match:
                             for i in indices:
                                 per_parent[i] = match

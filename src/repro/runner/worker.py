@@ -171,9 +171,12 @@ class NodeWorker:
             return {"request_id": node.submit_update_id()}
         if op == "submit_query":
             query = parse_query(frame["query"])
+            cache = frame.get("cache")
             return {
                 "request_id": node.submit_query_id(
-                    query, persist=bool(frame.get("persist", True))
+                    query,
+                    persist=bool(frame.get("persist", True)),
+                    cache=None if cache is None else bool(cache),
                 )
             }
         if op == "cancel":

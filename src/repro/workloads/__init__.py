@@ -32,6 +32,7 @@ from repro.workloads.scenarios import (
     FAULT_SCENARIO_NAMES,
     fault_models,
     install_fault_scenario,
+    read_heavy_mix,
     supply_chain_scenario,
     trentino_scenario,
 )
@@ -54,4 +55,5 @@ __all__ = [
     "FAULT_SCENARIO_NAMES",
     "fault_models",
     "install_fault_scenario",
+    "read_heavy_mix",
 ]

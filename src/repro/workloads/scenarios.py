@@ -11,6 +11,8 @@ papers).
 
 from __future__ import annotations
 
+import random
+
 from repro.core.network import CoDBNetwork
 from repro.core.node import NodeConfig
 
@@ -118,6 +120,37 @@ def supply_chain_scenario(
     net.add_rule("SHOP:bargain(s, p) <- DIST:offer(s, w, p), p <= 20")
     net.start()
     return net
+
+
+# ---------------------------------------------------------------------------
+# Read-heavy query mixes (the answer-cache workloads)
+# ---------------------------------------------------------------------------
+
+
+def read_heavy_mix(
+    relation: str = "item",
+    *,
+    reads: int = 40,
+    distinct: int = 4,
+    upper: int = 1_000,
+    seed: int = 0,
+) -> list[str]:
+    """A seeded read-heavy query sequence over one unary relation.
+
+    ``reads`` conjunctive queries drawn (with repetition) from a pool
+    of ``distinct`` templates — one full scan plus range filters with
+    seed-determined cut-offs below ``upper``.  The repetition ratio
+    ``reads / distinct`` is the answer cache's working-set knob: every
+    repeat of a template between writes is a potential hit, so the
+    expected warm hit rate is ``1 - distinct / reads``.
+    """
+    if distinct < 1:
+        raise ValueError(f"need at least one template, got {distinct}")
+    rng = random.Random(f"{seed}/read-mix")
+    pool = [f"q(x) <- {relation}(x)"]
+    while len(pool) < distinct:
+        pool.append(f"q(x) <- {relation}(x), x >= {rng.randrange(upper)}")
+    return [rng.choice(pool) for _ in range(reads)]
 
 
 # ---------------------------------------------------------------------------

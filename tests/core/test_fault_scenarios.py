@@ -28,12 +28,22 @@ import pytest
 from repro import CoDBNetwork, NodeConfig
 from repro.p2p.faults import FaultInjector, MessageLoss, Partition
 from repro.relational.containment import rows_equal_up_to_nulls
-from repro.workloads import FAULT_SCENARIO_NAMES, install_fault_scenario
+from repro.workloads import (
+    FAULT_SCENARIO_NAMES,
+    install_fault_scenario,
+    read_heavy_mix,
+)
 
 ITEM_SCHEMA = "item(k: int)\ntag(k: int, w)"
 
 
-def build_workload(topology: str, seed: int, *, items: int = 8) -> CoDBNetwork:
+def build_workload(
+    topology: str,
+    seed: int,
+    *,
+    items: int = 8,
+    config: NodeConfig | None = None,
+) -> CoDBNetwork:
     """Deterministic (topology, seed)-derived workload; two calls with
     the same arguments build byte-identical twins."""
     rng = random.Random(seed * 7919 + len(topology))
@@ -45,7 +55,7 @@ def build_workload(topology: str, seed: int, *, items: int = 8) -> CoDBNetwork:
     net = CoDBNetwork(
         seed=seed,
         with_superpeer=False,
-        config=NodeConfig(subsumption_dedup=True),
+        config=config or NodeConfig(subsumption_dedup=True),
     )
     for name in names:
         facts = {"item": [(rng.randrange(40),) for _ in range(items)]}
@@ -273,3 +283,103 @@ class TestCrashUnderWeather:
             )
             report = node.stats.report_for(update_id)
             assert report is None or report.status == "closed"
+
+
+class TestCacheDifferential:
+    """Cached ≡ uncached, whatever the weather.
+
+    The answer cache's acceptance bar: a reader must never be able to
+    tell whether its answer came from the cache or a recompute — not
+    during update storms, not across a sever-and-heal, not after the
+    data's origin crashed.  Every test runs the identical seeded
+    workload twice (``answer_cache`` on vs off) and compares every
+    single read plus the final snapshots up to a renaming of nulls.
+    """
+
+    def storm_with_reads(self, topology, seed, *, cache, scenario=None):
+        """An update storm interleaved with repeated network reads;
+        returns ``(net, answers in read order)``."""
+        config = NodeConfig(subsumption_dedup=True, answer_cache=cache)
+        net = build_workload(topology, seed, config=config)
+        if scenario is not None:
+            install_fault_scenario(net, scenario, seed=seed)
+        rng = random.Random(seed * 101 + 7)
+        reader = f"N{rng.randrange(4)}"
+        mix = read_heavy_mix(reads=5, distinct=2, upper=40, seed=seed)
+        answers = []
+        for origin in pick_origins(seed):
+            for query in mix:
+                answers.append(sorted(net.query(reader, query, mode="network")))
+            net.global_update(origin)
+        for query in mix:
+            answers.append(sorted(net.query(reader, query, mode="network")))
+        return net, answers
+
+    @pytest.mark.parametrize("scenario", (None,) + FAULT_SCENARIO_NAMES)
+    def test_storm_reads_match_uncached(self, scenario):
+        seed = 0 if scenario is None else len(scenario)
+        cached_net, cached = self.storm_with_reads(
+            "chain", seed, cache=True, scenario=scenario
+        )
+        plain_net, plain = self.storm_with_reads(
+            "chain", seed, cache=False, scenario=scenario
+        )
+        assert len(cached) == len(plain)
+        for position, (left, right) in enumerate(zip(cached, plain)):
+            assert rows_equal_up_to_nulls(left, right), (
+                f"read {position} diverged with the cache on"
+            )
+        assert_snapshots_equal_up_to_nulls(
+            cached_net.snapshot(), plain_net.snapshot()
+        )
+        # The runs must differ in mechanism, not in answers: the cached
+        # twin actually served hits, the ablation never did.
+        assert sum(n.cache.hits for n in cached_net.nodes.values()) > 0
+        assert all(n.cache.hits == 0 for n in plain_net.nodes.values())
+
+    def test_sever_and_heal_never_serves_stale(self):
+        """A write on the far side of a cut must be visible to the
+        first read after the heal — the heal's conservative flood
+        (``bump_all`` on reachability change) is what guarantees it."""
+        query = "q(k) <- item(k)"
+        traces = {}
+        for cache in (True, False):
+            config = NodeConfig(subsumption_dedup=True, answer_cache=cache)
+            net = build_workload("chain", 41, config=config)
+            cut = Partition([("N0", "N1"), ("N2", "N3")])
+            net.transport.install_faults(FaultInjector(cut, seed=41))
+            net.global_update("N0")
+            trace = [sorted(net.query("N0", query, mode="network"))]
+            trace.append(sorted(net.query("N0", query, mode="network")))
+            cut.sever()
+            net.run()  # peer_down notices settle
+            net.node("N3").insert("item", (999,))
+            assert net.global_update("N3").report.outcome == "partial"
+            trace.append(sorted(net.query("N0", query, mode="network")))
+            cut.heal()
+            assert net.global_update("N3").report.outcome == "complete"
+            trace.append(sorted(net.query("N0", query, mode="network")))
+            traces[cache] = trace
+        assert traces[True] == traces[False]
+        assert (999,) not in traces[True][2]  # severed: write not visible
+        assert (999,) in traces[True][3]  # healed: write must be visible
+
+    def test_origin_crash_between_reads(self):
+        """The far end of the chain (whose rows seeded the cached
+        answer) crashes between reads: reads keep serving, cached ≡
+        uncached, and nothing hangs on the dead peer."""
+        query = "q(k) <- item(k)"
+        traces = {}
+        for cache in (True, False):
+            config = NodeConfig(subsumption_dedup=True, answer_cache=cache)
+            net = build_workload("chain", 52, config=config)
+            net.global_update("N0")
+            trace = [sorted(net.query("N0", query, mode="network"))]
+            trace.append(sorted(net.query("N0", query, mode="network")))
+            net.node("N3").detach()
+            net.run()  # peer_down notices settle
+            trace.append(sorted(net.query("N0", query, mode="network")))
+            trace.append(sorted(net.query("N0", query, mode="network")))
+            traces[cache] = trace
+        for left, right in zip(traces[True], traces[False]):
+            assert rows_equal_up_to_nulls(left, right)

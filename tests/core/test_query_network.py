@@ -32,10 +32,22 @@ class TestBasicAnswering:
         assert sorted(chain_net.node("A").rows("top")) == [(2,), (3,)]
         assert sorted(chain_net.node("B").rows("mid")) == [(1,), (2,), (3,)]
 
-    def test_second_network_query_cheap(self, chain_net):
+    def test_second_network_query_is_cache_hit(self, chain_net):
         chain_net.query("A", "q(x) <- top(x)", mode="network")
         before = chain_net.transport.stats.messages_sent
         rows = chain_net.query("A", "q(x) <- top(x)", mode="network")
+        after = chain_net.transport.stats.messages_sent
+        assert sorted(rows) == [(2,), (3,)]
+        # the epoch-keyed answer cache serves the repeat: no traffic
+        assert after == before
+        assert chain_net.node("A").cache.hits == 1
+
+    def test_second_network_query_cheap_uncached(self, chain_net):
+        chain_net.query("A", "q(x) <- top(x)", mode="network", cache=False)
+        before = chain_net.transport.stats.messages_sent
+        rows = chain_net.query(
+            "A", "q(x) <- top(x)", mode="network", cache=False
+        )
         after = chain_net.transport.stats.messages_sent
         assert sorted(rows) == [(2,), (3,)]
         # requests still flow, but no new data does

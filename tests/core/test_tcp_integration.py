@@ -45,6 +45,19 @@ class TestTcpEndToEnd:
         net.start()
         rows = net.query("D", "q(x) <- dst(x)", mode="network")
         assert rows == [(6,)]
+        # Cache parity over real sockets: the repeat is a hit, the
+        # uncached recompute matches, and a remote write's compact
+        # invalidation arrives over TCP too.
+        assert net.query("D", "q(x) <- dst(x)", mode="network") == [(6,)]
+        assert net.query(
+            "D", "q(x) <- dst(x)", mode="network", cache=False
+        ) == [(6,)]
+        assert net.node("D").cache.hits == 1
+        net.node("S").insert("src", (7,))
+        net.run()
+        assert sorted(
+            net.query("D", "q(x) <- dst(x)", mode="network")
+        ) == [(6,), (7,)]
 
     def test_statistics_collection_over_tcp(self, tcp_net):
         net = tcp_net

@@ -177,5 +177,27 @@ class TestDiscovery:
             properties=(("k", "v"),),
         )
         assert PeerAdvertisement.from_payload(adv.to_payload()) == adv
+        assert adv.property("k") == "v"
+        assert adv.property("missing") is None
         pipe_adv = PipeAdvertisement("pipe-1", "A", "B")
         assert PipeAdvertisement.from_payload(pipe_adv.to_payload()) == pipe_adv
+
+    def test_cache_is_bounded_lru(self, net, ids, monkeypatch):
+        """Gossip grows the cache with network *churn*, not size: the
+        bound evicts least-recently-seen foreign advertisements and
+        never our own."""
+        import repro.p2p.discovery as discovery
+
+        monkeypatch.setattr(discovery, "CACHE_LIMIT", 3)
+        services = self.make_peers(net, ids, ["A", "B"])
+        payloads = [
+            PeerAdvertisement(peer_id=f"P{i}", name=f"P{i}").to_payload()
+            for i in range(8)
+        ]
+        services["B"].endpoint.send(
+            "A", "discovery_response", {"advertisements": payloads}
+        )
+        net.run_until_idle()
+        cached = services["A"].known_peer_ids()
+        assert cached == ["A", "P5", "P6", "P7"]  # self + 3 newest
+        assert services["A"].evictions == 5

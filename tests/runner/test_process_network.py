@@ -219,6 +219,17 @@ class TestMixedHandleStreams:
             )
             assert local, "local query returned no rows"
             assert network, "network query returned no rows"
+            # The cache= knob crosses the worker protocol: a repeat is
+            # a hit, an uncached repeat still matches it exactly.
+            repeat = sorted(
+                net.query("N3", "q(k) <- item(k)", mode="network")
+            )
+            uncached = sorted(
+                net.query("N3", "q(k) <- item(k)", mode="network", cache=False)
+            )
+            assert repeat == network == uncached
+            totals = net.lifetime_totals()["N3"]
+            assert totals["cache_hits"] >= 1
         finally:
             net.stop()
 
