@@ -1,0 +1,179 @@
+"""Service-gateway overhead and sustained multi-tenant throughput.
+
+The gateway is a transport in front of the handle API: HTTP parsing,
+one executor hop, an asyncio future per request.  Two questions:
+
+* **Overhead** — the same request mix submitted through the gateway
+  (stdlib HTTP client, open loop) vs directly through
+  ``submit_global_update`` / ``submit_query`` handles.  The gate
+  (full runs, not CI): gateway wall time within 1.3x of direct.
+* **Sustained storm** — an open-loop burst across 4 tenants with
+  per-tenant quotas: zero lost requests, per-tenant peak live never
+  above the cap, and the throughput / p50 / p99 numbers for the
+  report.
+
+Correctness (zero lost, quota caps honoured, every request accounted)
+is asserted on every run including ``--smoke``; the timing gate only
+applies to full local runs.
+"""
+
+import os
+import random
+import time
+
+from repro import CoDBNetwork, NodeConfig, TenantQuotas, as_completed
+from repro.service import serve_in_thread
+from repro.service.loadgen import Workload, run_open_loop_sync
+
+SCHEMA = "item(k: int)"
+QUERY = "q(x) <- item(x)"
+TENANTS = ("t0", "t1", "t2", "t3")
+
+
+def build_network(tuples: int, cap: int) -> CoDBNetwork:
+    """A 3-node chain ``A <- B <- C`` with leaf data at B and C."""
+    net = CoDBNetwork(
+        seed=21,
+        with_superpeer=False,
+        config=NodeConfig(max_active_sessions=cap),
+    )
+    net.add_node("A", SCHEMA)
+    net.add_node(
+        "B", SCHEMA, facts={"item": [(j,) for j in range(tuples)]}
+    )
+    net.add_node(
+        "C", SCHEMA, facts={"item": [(j + 10_000,) for j in range(tuples)]}
+    )
+    net.add_rule("A:item(k) <- B:item(k)")
+    net.add_rule("B:item(k) <- C:item(k)")
+    net.start()
+    return net
+
+
+def make_workload() -> Workload:
+    return Workload(origins=["A", "B"], queries=[("A", QUERY)])
+
+
+def run_direct(net: CoDBNetwork, workload: Workload, total: int) -> float:
+    """The same arrival mix (same rng seed as the loadgen) submitted
+    straight through the handle API; returns the wall time."""
+    rng = random.Random(0)
+    started = time.perf_counter()
+    handles = []
+    for _ in range(total):
+        kind, _path, body = workload.pick(rng)
+        if kind == "update":
+            handles.append(net.submit_global_update(body["origin"]))
+        else:
+            handles.append(
+                net.submit_query(
+                    body["node"], body["query"], mode=body["mode"]
+                )
+            )
+    for done in as_completed(handles):
+        done.result()
+    return time.perf_counter() - started
+
+
+def test_gateway_overhead_vs_direct(benchmark, report, smoke):
+    total = 16 if smoke else 64
+    tuples = 20 if smoke else 100
+
+    def run():
+        workload = make_workload()
+        direct_net = build_network(tuples, cap=4)
+        try:
+            direct_wall = run_direct(direct_net, workload, total)
+        finally:
+            direct_net.stop()
+        net = build_network(tuples, cap=4)
+        thread = serve_in_thread(net, quotas=TenantQuotas(8))
+        try:
+            result = run_open_loop_sync(
+                thread.host,
+                thread.port,
+                workload,
+                total=total,
+                rate=5000.0,  # schedule far faster than service time
+                tenants=TENANTS,
+            )
+        finally:
+            thread.stop()
+            net.stop()
+        return direct_wall, result
+
+    direct_wall, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Correctness gates on every run: nothing lost, nothing failed.
+    assert result.sent == total
+    assert result.lost == 0
+    assert result.failed == 0
+    gateway_wall = result.wall_time
+    ratio = gateway_wall / direct_wall if direct_wall > 0 else 1.0
+    report.add_table(
+        ["requests", "direct_s", "gateway_s", "ratio"],
+        [[total, f"{direct_wall:.4f}", f"{gateway_wall:.4f}", f"{ratio:.2f}"]],
+        title=(
+            "E-gateway: HTTP front door vs direct handles "
+            "(same mix, same seed)"
+        ),
+    )
+    if not smoke and not os.environ.get("CI"):
+        assert ratio <= 1.3, (
+            f"gateway overhead {ratio:.2f}x exceeds the 1.3x budget "
+            f"(direct {direct_wall:.4f}s, gateway {gateway_wall:.4f}s)"
+        )
+
+
+def test_gateway_sustained_multitenant_storm(benchmark, report, smoke):
+    total = 32 if smoke else 256
+    tuples = 20 if smoke else 60
+    per_tenant = 4
+
+    def run():
+        net = build_network(tuples, cap=4)
+        thread = serve_in_thread(net, quotas=TenantQuotas(per_tenant))
+        try:
+            result = run_open_loop_sync(
+                thread.host,
+                thread.port,
+                make_workload(),
+                total=total,
+                rate=400.0,
+                tenants=TENANTS,
+            )
+            counters = thread.gateway.quotas.counters()
+        finally:
+            thread.stop()
+            net.stop()
+        return result, counters
+
+    result, counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.sent == total
+    assert result.lost == 0
+    assert result.failed == 0
+    for tenant in TENANTS:
+        assert counters[tenant]["live"] == 0, tenant  # no leaked slots
+        assert counters[tenant]["peak"] <= per_tenant, tenant
+    report.add_table(
+        [
+            "requests",
+            "tenants",
+            "quota",
+            "throughput_rps",
+            "p50_s",
+            "p99_s",
+            "rejected_429",
+        ],
+        [
+            [
+                total,
+                len(TENANTS),
+                per_tenant,
+                f"{result.throughput():.1f}",
+                f"{result.percentile(0.5):.4f}",
+                f"{result.percentile(0.99):.4f}",
+                result.rejected,
+            ]
+        ],
+        title="E-gateway: sustained open-loop storm across 4 tenants",
+    )

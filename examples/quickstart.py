@@ -77,6 +77,11 @@ def main() -> None:
     for key in ("cache_hits", "cache_misses", "cache_entries"):
         print(f"  {key:16s} {totals[key]}")
 
+    # To keep a network like this one up as a *service* — HTTP
+    # submission, per-tenant quotas, streaming completions, Prometheus
+    # /metrics — see examples/service_gateway.py or run
+    # ``python -m repro serve network.json``.
+
 
 if __name__ == "__main__":
     main()

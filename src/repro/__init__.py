@@ -104,6 +104,12 @@ from repro.relational.persist import (
     load_network,
     load_store,
 )
+from repro.service import (
+    QuotaExceededError,
+    ServiceGateway,
+    TenantQuotas,
+    serve_in_thread,
+)
 
 __version__ = "1.0.0"
 
@@ -156,5 +162,9 @@ __all__ = [
     "load_store",
     "dump_network",
     "load_network",
+    "ServiceGateway",
+    "TenantQuotas",
+    "QuotaExceededError",
+    "serve_in_thread",
     "__version__",
 ]

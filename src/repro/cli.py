@@ -32,6 +32,15 @@ Three subcommands cover that:
     acquaintances, dependency cyclicity and weak acyclicity::
 
         python -m repro check-rules rules.txt
+
+``serve``
+    Boot the spec's network once and keep it up behind the service
+    gateway (:mod:`repro.service`): HTTP submission of updates and
+    queries, per-tenant admission quotas, a completion stream and
+    Prometheus ``/metrics``, until ``SIGTERM``/``SIGINT`` drains it::
+
+        python -m repro serve network.json --port 8080
+        python -m repro serve network.json --selftest   # smoke + exit
 """
 
 from __future__ import annotations
@@ -192,6 +201,64 @@ def _run_requests(network, origins: list[str], args, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.service import ServiceGateway, TenantQuotas
+    from repro.service.gateway import GatewayThread
+
+    spec = load_network_spec(args.spec)
+    if args.processes:
+        network = build_process_network_from_spec(spec)
+    else:
+        network = build_network_from_spec(spec)
+    gateway = ServiceGateway(
+        network,
+        host=args.host,
+        port=args.port,
+        quotas=TenantQuotas(args.per_tenant),
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        if args.selftest:
+            from repro.service.loadgen import Workload, run_open_loop_sync
+
+            thread = GatewayThread(gateway).start()
+            try:
+                workload = Workload(
+                    origins=[node["name"] for node in spec["nodes"]]
+                )
+                result = run_open_loop_sync(
+                    thread.host,
+                    thread.port,
+                    workload,
+                    total=args.selftest,
+                    rate=200.0,
+                    tenants=("t0", "t1", "t2", "t3"),
+                )
+                print(json.dumps(result.summary(), indent=2), file=out)
+                healthy = result.lost == 0 and result.failed == 0
+                return 0 if healthy else 1
+            finally:
+                thread.stop()
+
+        async def serve() -> None:
+            await gateway.start()
+            print(
+                f"serving {len(spec['nodes'])} node(s) at "
+                f"http://{gateway.host}:{gateway.port} "
+                "(POST /v1/update, POST /v1/query, GET /v1/stream, "
+                "GET /metrics; SIGTERM drains)",
+                file=out,
+            )
+            await gateway.serve_forever()
+
+        asyncio.run(serve())
+        return 0
+    finally:
+        network.stop()
+
+
 def _cmd_check_rules(args: argparse.Namespace, out) -> int:
     with open(args.rules, encoding="utf-8") as handle:
         rule_file = RuleFile.from_text(handle.read())
@@ -262,6 +329,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("rules", help="rule file path")
     check.set_defaults(func=_cmd_check_rules)
+
+    serve = commands.add_parser(
+        "serve", help="keep a spec's network up behind the HTTP gateway"
+    )
+    serve.add_argument("spec", help="network spec JSON")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--per-tenant",
+        type=int,
+        default=16,
+        help="live-request cap per tenant (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds shutdown waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--processes",
+        action="store_true",
+        help="deploy one OS process per node over TCP",
+    )
+    serve.add_argument(
+        "--selftest",
+        type=int,
+        nargs="?",
+        const=16,
+        default=0,
+        metavar="N",
+        help=(
+            "serve on a background thread, drive N open-loop requests "
+            "through the gateway, print the summary and exit"
+        ),
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

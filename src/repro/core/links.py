@@ -125,6 +125,16 @@ class IncomingLink:
     #: until it refreshes and re-registers — and the dedup is what
     #: terminates invalidation cascades around rule cycles.
     notified: set = field(default_factory=set)
+    #: Remaining suppression budget of the importer's registration
+    #: (interest lease).  Each registration arrives with an event-count
+    #: lease; every event this side *suppresses* on the importer's
+    #: behalf (a notified-deduped write, a withheld continuous push)
+    #: spends one unit.  At zero the lease expires: interest is
+    #: dropped, a final unconditional ``invalidation`` tells the
+    #: importer, and pushes flow again — an idle cached reader cannot
+    #: suppress upstream propagation forever.  ``0`` = no lease
+    #: (infinite, the pre-lease behaviour).
+    lease_remaining: int = 0
     #: Diagnostic mirrors (most recent session, see module docstring).
     state: str = INACTIVE
     closed_by: str = ""

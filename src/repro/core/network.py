@@ -234,6 +234,25 @@ class CoDBNetwork:
         if isinstance(self.transport, InProcessNetwork):
             self.transport.run_until_idle()
 
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every tracked in-flight request has completed.
+
+        The persistent-serve shutdown path: a gateway that stopped
+        admitting new work calls this to let the storm land before
+        stopping the transport.  Raises
+        :class:`~repro.errors.RequestTimeoutError` when *timeout*
+        (default: the network's ``poll_timeout``) elapses with requests
+        still in flight — the caller then decides whether to cancel the
+        stragglers or wait again.
+        """
+        self._settle()
+        self.transport.wait_for(
+            lambda: all(h.done() for h in list(self._handles.values())),
+            self.poll_timeout if timeout is None else timeout,
+            description="network drain",
+        )
+        self._settle()
+
     # ------------------------------------------------------------------
     # Request completion plumbing
     # ------------------------------------------------------------------
@@ -255,6 +274,12 @@ class CoDBNetwork:
         handle.add_done_callback(
             lambda done_handle: self._handles.pop(done_handle.request_id, None)
         )
+        # The request may already be complete — an answer-cache hit
+        # finishes inside ``submit_query_id``, before the handle exists,
+        # so the node's completion signal found nothing to observe.
+        # Check once here or purely callback-driven consumers (the
+        # service gateway's asyncio bridge) would never see it settle.
+        handle.done()
         return handle
 
     def _update_done_everywhere(self, update_id: str, origin: str) -> bool:
@@ -354,7 +379,9 @@ class CoDBNetwork:
     # Global updates
     # ------------------------------------------------------------------
 
-    def submit_global_update(self, origin: str) -> RequestHandle:
+    def submit_global_update(
+        self, origin: str, *, tenant: str = ""
+    ) -> RequestHandle:
         """Submit one global update from *origin*; returns its handle.
 
         The handle completes when the update has finished at **every**
@@ -363,12 +390,14 @@ class CoDBNetwork:
         :class:`UpdateOutcome`.  Under an admission cap
         (``NodeConfig.max_active_sessions``) the update may wait in the
         origin's queue first — ``cancel()`` withdraws it while it does.
+        *tenant* tags the submission for the service gateway's
+        per-tenant quotas and metrics.
         """
         node = self.node(origin)
         started_at = self.transport.now()
         messages_before = self.transport.stats.messages_sent
         bytes_before = self.transport.stats.bytes_sent
-        update_id = node.submit_update_id()
+        update_id = node.submit_update_id(tenant=tenant)
         handle = RequestHandle(
             request_id=update_id,
             kind="update",
@@ -380,6 +409,7 @@ class CoDBNetwork:
             started_at=started_at,
             messages_before=messages_before,
             bytes_before=bytes_before,
+            tenant=tenant,
         )
         return self._track(handle)
 
@@ -469,6 +499,7 @@ class CoDBNetwork:
         mode: str = "network",
         persist: bool = True,
         cache: bool | None = None,
+        tenant: str = "",
     ) -> RequestHandle:
         """Submit *query* at *node_name*; returns its handle.
 
@@ -479,10 +510,12 @@ class CoDBNetwork:
         callers can treat both uniformly.  ``cache`` overrides the
         node's ``NodeConfig.answer_cache`` for this one query (``None``
         inherits it); a network-mode cache hit completes without any
-        propagation at all.
+        propagation at all.  *tenant* tags the submission for the
+        service gateway's per-tenant quotas and metrics.
         """
         node = self.node(node_name)
         if mode == "local":
+            node.stats.note_tenant_submission(tenant, "query")
             rows = node.query(query, cache=cache)
             handle = RequestHandle(
                 request_id=self.ids.query_id(),
@@ -494,6 +527,7 @@ class CoDBNetwork:
                 started_at=self.transport.now(),
                 messages_before=self.transport.stats.messages_sent,
                 bytes_before=self.transport.stats.bytes_sent,
+                tenant=tenant,
             )
             handle.done()
             return handle
@@ -502,7 +536,9 @@ class CoDBNetwork:
         started_at = self.transport.now()
         messages_before = self.transport.stats.messages_sent
         bytes_before = self.transport.stats.bytes_sent
-        query_id = node.submit_query_id(query, persist=persist, cache=cache)
+        query_id = node.submit_query_id(
+            query, persist=persist, cache=cache, tenant=tenant
+        )
         handle = RequestHandle(
             request_id=query_id,
             kind="query",
@@ -514,6 +550,7 @@ class CoDBNetwork:
             started_at=started_at,
             messages_before=messages_before,
             bytes_before=bytes_before,
+            tenant=tenant,
         )
         return self._track(handle)
 

@@ -116,6 +116,26 @@ class NodeConfig:
         bypasses the cache per call.
     answer_cache_size:
         Bound on cached entries per node (LRU beyond it).
+    invalidation_batching:
+        Coalesce the compact ``invalidation`` notices of one write
+        burst (one ``bump_epochs`` flush window — a ``load_facts``
+        batch, one delta-ingest message, one cascading push) into a
+        single message per interested importer, instead of one message
+        per link.  The window adapts to the burst: a single-row insert
+        still sends one small notice, a thousand-row ingest touching
+        five rules toward one importer sends one message carrying five
+        notices.  Counters ``invalidation_batches`` /
+        ``invalidations_coalesced`` ride ``lifetime_totals()``.
+    interest_lease_events:
+        Event-count lease attached to CUP-style interest registrations
+        (the read-side registration this node sends upstream).  The
+        upstream side spends one unit per event it *suppresses* for us
+        (a notified-deduped write, a withheld continuous push); at zero
+        it drops the registration and sends a final unconditional
+        invalidation, so an idle cached reader stops suppressing
+        upstream pushes forever.  Refreshed by re-registration on the
+        next cache fill.  ``0`` = no lease (registrations live until
+        invalidated, the pre-lease behaviour).
     """
 
     semi_naive: bool = True
@@ -130,6 +150,8 @@ class NodeConfig:
     resend_suppression: bool = True
     answer_cache: bool = True
     answer_cache_size: int = DEFAULT_CACHE_SIZE
+    invalidation_batching: bool = True
+    interest_lease_events: int = 256
 
 
 class CoDBNode:
@@ -195,6 +217,9 @@ class CoDBNode:
         self.invalidations_sent = 0
         self.invalidations_received = 0
         self.pushes_suppressed = 0
+        self.invalidation_batches = 0
+        self.invalidations_coalesced = 0
+        self.interest_leases_expired = 0
         self.stats.cache_source = self.cache_counters
         self.links = LinkTable(name, [])
         self.termination = DiffusingComputation(
@@ -442,37 +467,105 @@ class CoDBNode:
         ``load_facts``, update-session delta ingest, continuous-mode
         push ingest, query-time import, the non-persistent rollback —
         routes its changed relations through here (callers hold the
-        node lock).
+        node lock).  One call is one flush window: with
+        ``config.invalidation_batching`` the per-link notices it
+        produces are coalesced into a single message per importer, so
+        a write burst that stales several rules toward one peer costs
+        one message, not one per rule.
         """
         changed = {relation for relation in relations if relation}
         if not changed:
             return
         self.cache.invalidate(changed)
+        #: importer peer -> [(link, its stale head relations)]
+        notices: dict[str, list] = {}
         for link in self.links.incoming_dependent_on_relations(changed):
             if not link.cache_interest:
                 continue
             heads = link.rule.mapping.head_relations()
             if all(head in link.notified for head in heads):
-                continue  # importer already knows it is stale
+                # The importer already knows it is stale; this event is
+                # suppressed on its behalf — spend its lease.
+                self._spend_interest_lease(link)
+                continue
             link.notified.update(heads)
-            sent = self.endpoint.try_send(
-                link.remote,
-                "invalidation",
-                {"rule_id": link.rule_id, "relations": list(heads)},
-            )
+            notices.setdefault(link.remote, []).append((link, list(heads)))
+        for remote, batch in notices.items():
+            self._send_invalidations(remote, batch)
+
+    def _send_invalidations(self, remote: str, batch: list) -> None:
+        """Ship one flush window's notices toward one importer: a
+        single grouped message under ``invalidation_batching``, one
+        message per link otherwise (the ablation keeps the old wire
+        shape measurable)."""
+        if self.config.invalidation_batching:
+            payload = {
+                "notices": [
+                    {"rule_id": link.rule_id, "relations": heads}
+                    for link, heads in batch
+                ]
+            }
+            sent = self.endpoint.try_send(remote, "invalidation", payload)
             if sent is None:
                 # The importer left: flood fallback on re-acquaintance.
+                for link, _heads in batch:
+                    link.cache_interest = False
+                    link.notified.clear()
+            else:
+                self.invalidations_sent += len(batch)
+                self.invalidation_batches += 1
+                self.invalidations_coalesced += len(batch) - 1
+            return
+        for link, heads in batch:
+            sent = self.endpoint.try_send(
+                remote,
+                "invalidation",
+                {"rule_id": link.rule_id, "relations": heads},
+            )
+            if sent is None:
                 link.cache_interest = False
                 link.notified.clear()
             else:
                 self.invalidations_sent += 1
+                self.invalidation_batches += 1
+
+    def _spend_interest_lease(self, link) -> None:
+        """One suppressed event against *link*'s registration: draw on
+        its lease, expiring the registration when it runs out.  A zero
+        lease (no lease) never expires."""
+        if link.lease_remaining <= 0:
+            return
+        link.lease_remaining -= 1
+        if link.lease_remaining > 0:
+            return
+        # Lease exhausted: drop the interest and tell the importer with
+        # a final *unconditional* invalidation (ignoring the notified
+        # dedup) listing every head the link can write — the importer
+        # bumps those epochs and clears its ``registered`` flag, so any
+        # cached answer it still holds through this link dies and its
+        # next fill re-registers with a fresh lease.
+        link.cache_interest = False
+        link.notified.clear()
+        self.interest_leases_expired += 1
+        heads = list(link.rule.mapping.head_relations())
+        sent = self.endpoint.try_send(
+            link.remote,
+            "invalidation",
+            {"rule_id": link.rule_id, "relations": heads},
+        )
+        if sent is not None:
+            self.invalidations_sent += 1
+            self.invalidation_batches += 1
 
     def register_cache_interest(self, relations: Iterable[str]) -> None:
         """Register CUP-style invalidation interest upstream on every
         outgoing link whose rule head feeds *relations* (the body of an
         answer this node just cached).  The upstream side will send a
         compact ``invalidation`` — instead of eager row pushes — when
-        its data changes; this node pulls afresh on the cache miss."""
+        its data changes; this node pulls afresh on the cache miss.
+        The registration carries this node's
+        ``config.interest_lease_events`` as a renewable suppression
+        lease (see :class:`NodeConfig`)."""
         targets = set(relations)
         for link in self.links.outgoing.values():
             if link.registered:
@@ -482,7 +575,11 @@ class CoDBNode:
             sent = self.endpoint.try_send(
                 link.remote,
                 "invalidation",
-                {"op": "register", "rule_id": link.rule_id},
+                {
+                    "op": "register",
+                    "rule_id": link.rule_id,
+                    "lease": self.config.interest_lease_events,
+                },
             )
             if sent is not None:
                 link.registered = True
@@ -492,19 +589,24 @@ class CoDBNode:
 
         ``op="register"`` — the importer on one of our incoming links
         serves cached answers derived through it; remember its interest
-        (and re-arm the per-registration notification dedup).
-        Anything else is a data invalidation *to* us: data we imported
-        through the named outgoing link went stale upstream — bump the
-        head relations' epochs (cascading to our own registrants) and
-        drop our registration so the next cache fill re-registers.
+        (and re-arm the per-registration notification dedup and its
+        suppression lease).  Anything else is a data invalidation *to*
+        us — a single notice, or a batched flush window carrying
+        several under ``"notices"``: data we imported through the named
+        outgoing links went stale upstream — bump the head relations'
+        epochs (cascading to our own registrants, themselves batched
+        because the cascade is one ``bump_epochs`` call) and drop our
+        registrations so the next cache fill re-registers.
         """
         payload = message.payload
-        rule_id = payload.get("rule_id", "")
         if payload.get("op") == "register":
-            link = self.links.incoming.get(rule_id)
+            link = self.links.incoming.get(payload.get("rule_id", ""))
             if link is not None:
                 link.cache_interest = True
                 link.notified.clear()
+                link.lease_remaining = int(
+                    payload.get("lease", self.config.interest_lease_events)
+                )
                 # Interest is transitive: the importer's cached answer
                 # depends on whatever *we* would pull afresh to serve
                 # this link, so register our own interest upstream on
@@ -514,16 +616,22 @@ class CoDBNode:
                     link.rule.mapping.body_relations()
                 )
             return
-        self.invalidations_received += 1
-        outgoing = self.links.outgoing.get(rule_id)
-        if outgoing is not None:
-            outgoing.registered = False
+        notices = payload.get("notices")
+        if notices is None:
+            notices = [payload]
         schema = self.wrapper.schema
-        self.bump_epochs(
-            relation
-            for relation in payload.get("relations", ())
-            if relation in schema
-        )
+        stale: set[str] = set()
+        for notice in notices:
+            self.invalidations_received += 1
+            outgoing = self.links.outgoing.get(notice.get("rule_id", ""))
+            if outgoing is not None:
+                outgoing.registered = False
+            stale.update(
+                relation
+                for relation in notice.get("relations", ())
+                if relation in schema
+            )
+        self.bump_epochs(stale)
 
     def cache_counters(self) -> dict[str, int]:
         """Cache + interest-protocol lifetime counters, merged into
@@ -532,6 +640,9 @@ class CoDBNode:
         counters["invalidations_sent"] = self.invalidations_sent
         counters["invalidations_received"] = self.invalidations_received
         counters["pushes_suppressed"] = self.pushes_suppressed
+        counters["invalidation_batches"] = self.invalidation_batches
+        counters["invalidations_coalesced"] = self.invalidations_coalesced
+        counters["interest_leases_expired"] = self.interest_leases_expired
         return counters
 
     # ------------------------------------------------------------------
@@ -757,16 +868,20 @@ class CoDBNode:
         *,
         persist: bool = True,
         cache: bool | None = None,
+        tenant: str = "",
     ) -> str:
         """Submit a network query through the session registry and
         admission queue; returns the bare query id (the handle-free
         entry point the network layer and id-oriented callers use).
 
         ``cache`` overrides ``config.answer_cache`` per call; a cache
-        hit completes the session immediately without propagating."""
+        hit completes the session immediately without propagating.
+        *tenant* tags the submission in this node's statistics (the
+        service gateway's per-tenant accounting)."""
         if isinstance(query, str):
             query = parse_query(query)
         with self._lock:
+            self.stats.note_tenant_submission(tenant, "query")
             return self.queries.submit(query, persist=persist, cache=cache)
 
     def submit_network_query(
@@ -822,11 +937,14 @@ class CoDBNode:
     # Updates
     # ------------------------------------------------------------------
 
-    def submit_update_id(self) -> str:
+    def submit_update_id(self, *, tenant: str = "") -> str:
         """Submit a global update through the session registry and
         admission queue; returns the bare update id (the handle-free
-        entry point the network layer and id-oriented callers use)."""
+        entry point the network layer and id-oriented callers use).
+        *tenant* tags the submission in this node's statistics (the
+        service gateway's per-tenant accounting)."""
         with self._lock:
+            self.stats.note_tenant_submission(tenant, "update")
             return self.updates.submit()
 
     def submit_global_update(self) -> RequestHandle:

@@ -67,8 +67,16 @@ class PushEngine:
                 # compact notice.  Deliberately do NOT touch the
                 # lifetime ``pushed`` memory: the importer's next
                 # update or query must still be able to pull these rows.
+                # Each withheld push spends the registration's lease —
+                # an importer that never refreshes eventually expires
+                # and rows flow again (see NodeConfig.interest_lease_events).
                 node.pushes_suppressed += 1
-                continue
+                node._spend_interest_lease(link)
+                if link.cache_interest:
+                    continue
+                # The lease just expired: the importer has been told to
+                # drop its cached answers — resume pushing rows so it
+                # does not silently fall behind from here on.
             produced: dict[Row, None] = {}
             for relation in sorted(
                 changed & set(link.rule.mapping.body_relations())

@@ -107,6 +107,9 @@ class RequestHandle:
         matching outcome windows are measured from here.
     finished_at / messages_after / bytes_after:
         The same, captured the moment completion was observed.
+    tenant:
+        The submitting tenant (service-gateway multi-tenancy); ``""``
+        for untagged driver-script submissions.
     """
 
     def __init__(
@@ -122,10 +125,12 @@ class RequestHandle:
         started_at: float = 0.0,
         messages_before: int = 0,
         bytes_before: int = 0,
+        tenant: str = "",
     ) -> None:
         self.request_id = request_id
         self.kind = kind
         self.origin = origin
+        self.tenant = tenant
         self.started_at = started_at
         self.messages_before = messages_before
         self.bytes_before = bytes_before
@@ -258,6 +263,35 @@ class RequestHandle:
                 self._callbacks.append(callback)
                 return
         callback(self)
+
+    def asyncio_future(self, loop) -> "Any":
+        """Bridge this handle onto an :mod:`asyncio` event loop.
+
+        Returns an ``asyncio.Future`` belonging to *loop* that resolves
+        with the handle itself once the request completes or is
+        cancelled.  Completion is observed on whatever thread delivers
+        it (a transport delivery thread, the process-runner pump, the
+        simulator driver) and marshalled onto *loop* with
+        ``call_soon_threadsafe`` — the service gateway awaits these
+        futures without ever blocking the event loop.  The future never
+        carries an exception: callers inspect ``handle.cancelled()`` /
+        ``handle.result()`` themselves, off-loop, because assembly may
+        block on the network.
+        """
+        future = loop.create_future()
+
+        def resolve(handle: "RequestHandle") -> None:
+            def settle() -> None:
+                if not future.done():
+                    future.set_result(handle)
+
+            try:
+                loop.call_soon_threadsafe(settle)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+        self.add_done_callback(resolve)
+        return future
 
     def __repr__(self) -> str:
         return (

@@ -25,6 +25,88 @@ from typing import Any
 
 from repro._util import format_table
 
+#: Metric naming/export hooks: ``NodeStatistics.lifetime_totals()``
+#: key -> ``(prometheus_name, type, help)``.  The service layer's
+#: ``/metrics`` endpoint (:mod:`repro.service.metrics`) renders each
+#: node's totals through this table, one labelled sample per node;
+#: keys absent here fall back to a sanitised ``codb_node_<key>`` gauge,
+#: so a new counter added to ``lifetime_totals()`` is exported (and
+#: lint-checked) without touching the service layer.
+PROMETHEUS_METRICS: dict[str, tuple[str, str, str]] = {
+    # §4 update-processing counters
+    "updates": ("codb_node_updates_total", "counter",
+                "Global updates this node ever served"),
+    "open_updates": ("codb_node_open_updates", "gauge",
+                     "Update sessions currently in flight at this node"),
+    "messages_sent": ("codb_node_messages_sent_total", "counter",
+                      "Protocol messages sent by update sessions"),
+    "bytes_sent": ("codb_node_bytes_sent_total", "counter",
+                   "Bytes sent by update sessions"),
+    "messages_received": ("codb_node_messages_received_total", "counter",
+                          "Query-result messages received over outgoing links"),
+    "bytes_received": ("codb_node_bytes_received_total", "counter",
+                       "Bytes received over outgoing links"),
+    "rows_imported": ("codb_node_rows_imported_total", "counter",
+                      "Rows materialised from acquaintances"),
+    "nulls_minted": ("codb_node_nulls_minted_total", "counter",
+                     "Marked nulls minted for existential head variables"),
+    "rounds": ("codb_node_rounds_total", "counter",
+               "Query-result messages processed"),
+    "rows_suppressed": ("codb_node_rows_suppressed_total", "counter",
+                        "Rows skipped by teach-forward resend suppression"),
+    "busy_time": ("codb_node_busy_seconds_total", "counter",
+                  "Summed per-update processing time (transport clock)"),
+    "queries_answered": ("codb_node_queries_answered_total", "counter",
+                         "Queries answered (local and network)"),
+    "peak_concurrent_updates": (
+        "codb_node_peak_concurrent_updates", "gauge",
+        "Most update sessions ever simultaneously open"),
+    # fault counters
+    "partial_updates": ("codb_node_partial_updates_total", "counter",
+                        "Updates that finished partial (lost peers/links)"),
+    # admission counters (NodeConfig.max_active_sessions)
+    "sessions_deferred": ("codb_node_sessions_deferred_total", "counter",
+                          "Requests that waited in the admission queue"),
+    "admission_queue_peak": ("codb_node_admission_queue_peak", "gauge",
+                             "Deepest the admission queue ever got"),
+    "live_sessions_peak": ("codb_node_live_sessions_peak", "gauge",
+                           "Most live engines ever hosted at once"),
+    # executor dispatch counters (Wrapper.dispatch_counts)
+    "plans_pushdown": ("codb_node_plans_pushdown_total", "counter",
+                       "Compiled plans executed as SQL pushdown"),
+    "plans_columnar": ("codb_node_plans_columnar_total", "counter",
+                       "Compiled plans executed columnar in memory"),
+    "plans_row_loop": ("codb_node_plans_row_loop_total", "counter",
+                       "Compiled plans executed as row loops"),
+    # answer-cache / interest-protocol counters (CoDBNode.cache_counters)
+    "cache_hits": ("codb_node_cache_hits_total", "counter",
+                   "Answer-cache hits"),
+    "cache_misses": ("codb_node_cache_misses_total", "counter",
+                     "Answer-cache misses"),
+    "cache_invalidations": ("codb_node_cache_invalidations_total", "counter",
+                            "Answer-cache entries dropped by epoch bumps"),
+    "cache_evictions": ("codb_node_cache_evictions_total", "counter",
+                        "Answer-cache LRU evictions"),
+    "cache_entries": ("codb_node_cache_entries", "gauge",
+                      "Answer-cache entries currently held"),
+    "invalidations_sent": ("codb_node_invalidations_sent_total", "counter",
+                           "Compact invalidation notices sent downstream"),
+    "invalidations_received": (
+        "codb_node_invalidations_received_total", "counter",
+        "Compact invalidation notices received"),
+    "pushes_suppressed": ("codb_node_pushes_suppressed_total", "counter",
+                          "Continuous-mode pushes withheld for interest"),
+    "invalidation_batches": (
+        "codb_node_invalidation_batches_total", "counter",
+        "Invalidation messages sent (each carrying >=1 notice)"),
+    "invalidations_coalesced": (
+        "codb_node_invalidations_coalesced_total", "counter",
+        "Notices that shared a batched invalidation message"),
+    "interest_leases_expired": (
+        "codb_node_interest_leases_expired_total", "counter",
+        "Interest registrations expired by their suppression lease"),
+}
+
 
 @dataclass
 class RuleTraffic:
@@ -214,6 +296,24 @@ class NodeStatistics:
         #: interest-protocol counters (``CoDBNode.cache_counters``),
         #: wired the same way as :attr:`dispatch_source`.
         self.cache_source = None
+        #: Per-tenant submission counts: tenant -> kind -> count.
+        #: Tagged by the service gateway (``submit_*(tenant=...)``);
+        #: untagged driver-script submissions are not recorded.
+        self.tenant_submissions: dict[str, dict[str, int]] = {}
+
+    def note_tenant_submission(self, tenant: str, kind: str) -> None:
+        """Record one tenant-tagged submission (no-op when untagged)."""
+        if not tenant:
+            return
+        by_kind = self.tenant_submissions.setdefault(tenant, {})
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+
+    def tenant_totals(self) -> dict[str, dict[str, int]]:
+        """Per-tenant submission counts (deep copy, scrape-safe)."""
+        return {
+            tenant: dict(by_kind)
+            for tenant, by_kind in self.tenant_submissions.items()
+        }
 
     def open_report(self, update_id: str, origin: str, now: float) -> UpdateReport:
         report = UpdateReport(

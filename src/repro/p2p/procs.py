@@ -91,11 +91,18 @@ from repro.relational.values import Row, decode_row, encode_row
 from repro.runner import protocol
 from repro.runner.worker import worker_main
 
-#: Default start method: ``spawn`` gives every worker a pristine
-#: interpreter (no inherited locks from driver threads — the driver
-#: itself may live inside a threaded test harness).  ``fork`` is
-#: measurably faster to boot and may be requested where safe.
-DEFAULT_START_METHOD = "spawn"
+#: Default start method: ``forkserver`` where the platform supports it
+#: — workers fork from a clean, single-threaded server process, so boot
+#: skips a full interpreter + import cycle per worker (persistent-serve
+#: deployments feel this most) while staying safe inside a threaded
+#: driver (plain ``fork`` would inherit the driver's lock states).
+#: Falls back to ``spawn`` (a pristine interpreter per worker)
+#: elsewhere; the ``start_method=`` knob overrides either way.
+DEFAULT_START_METHOD = (
+    "forkserver"
+    if "forkserver" in multiprocessing.get_all_start_methods()
+    else "spawn"
+)
 
 
 class _ControlTransport(Transport):
@@ -777,15 +784,20 @@ class ProcessNetwork:
     # Global updates
     # ------------------------------------------------------------------
 
-    def submit_global_update(self, origin: str) -> RequestHandle:
+    def submit_global_update(
+        self, origin: str, *, tenant: str = ""
+    ) -> RequestHandle:
         """Submit one global update from *origin*; returns its proxy
         handle (same semantics as
-        :meth:`repro.core.network.CoDBNetwork.submit_global_update`)."""
+        :meth:`repro.core.network.CoDBNetwork.submit_global_update`).
+        *tenant* tags the submission in the worker node's statistics."""
         worker = self._worker(origin)
         started_at = self.transport.now()
         messages_before = self.transport.stats.messages_sent
         bytes_before = self.transport.stats.bytes_sent
-        update_id = self._call(worker, "submit_update")["request_id"]
+        update_id = self._call(worker, "submit_update", tenant=tenant)[
+            "request_id"
+        ]
         handle = RequestHandle(
             request_id=update_id,
             kind="update",
@@ -797,6 +809,7 @@ class ProcessNetwork:
             started_at=started_at,
             messages_before=messages_before,
             bytes_before=bytes_before,
+            tenant=tenant,
         )
         self._track(handle)
         return handle
@@ -895,11 +908,13 @@ class ProcessNetwork:
         mode: str = "network",
         persist: bool = True,
         cache: bool | None = None,
+        tenant: str = "",
     ) -> RequestHandle:
         """Submit *query* (text) at *node_name*; returns its handle.
 
         ``cache`` overrides the worker node's ``NodeConfig.answer_cache``
-        for this one query (``None`` inherits the config)."""
+        for this one query (``None`` inherits the config); *tenant*
+        tags the submission in the worker node's statistics."""
         if not isinstance(query, str):
             raise ProtocolError(
                 "ProcessNetwork queries must be text (they cross a "
@@ -918,6 +933,7 @@ class ProcessNetwork:
                 started_at=self.transport.now(),
                 messages_before=self.transport.stats.messages_sent,
                 bytes_before=self.transport.stats.bytes_sent,
+                tenant=tenant,
             )
             handle.done()
             return handle
@@ -927,7 +943,12 @@ class ProcessNetwork:
         messages_before = self.transport.stats.messages_sent
         bytes_before = self.transport.stats.bytes_sent
         query_id = self._call(
-            worker, "submit_query", query=query, persist=persist, cache=cache
+            worker,
+            "submit_query",
+            query=query,
+            persist=persist,
+            cache=cache,
+            tenant=tenant,
         )["request_id"]
         handle = RequestHandle(
             request_id=query_id,
@@ -940,6 +961,7 @@ class ProcessNetwork:
             started_at=started_at,
             messages_before=messages_before,
             bytes_before=bytes_before,
+            tenant=tenant,
         )
         self._track(handle)
         return handle
@@ -1019,6 +1041,22 @@ class ProcessNetwork:
         detects the EOF and runs the failure protocol."""
         worker = self._worker(name)
         worker.process.kill()
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every tracked in-flight request has completed.
+
+        The persistent-serve shutdown path (``repro serve`` handling
+        SIGTERM): stop admitting, drain, then :meth:`stop`.  Completion
+        stays event-driven — the pump thread's progress notifications
+        wake this wait.  Raises
+        :class:`~repro.errors.RequestTimeoutError` when *timeout*
+        (default: ``poll_timeout``) elapses with requests still in
+        flight."""
+        self.transport.wait_for(
+            lambda: not self._tracked,
+            self.poll_timeout if timeout is None else timeout,
+            description="process-network drain",
+        )
 
     def stop(self) -> None:
         """Shut every worker down; terminate stragglers; no orphans."""

@@ -168,7 +168,11 @@ class NodeWorker:
                 )
             }
         if op == "submit_update":
-            return {"request_id": node.submit_update_id()}
+            return {
+                "request_id": node.submit_update_id(
+                    tenant=str(frame.get("tenant", ""))
+                )
+            }
         if op == "submit_query":
             query = parse_query(frame["query"])
             cache = frame.get("cache")
@@ -177,6 +181,7 @@ class NodeWorker:
                     query,
                     persist=bool(frame.get("persist", True)),
                     cache=None if cache is None else bool(cache),
+                    tenant=str(frame.get("tenant", "")),
                 )
             }
         if op == "cancel":

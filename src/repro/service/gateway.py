@@ -1,0 +1,1138 @@
+"""The asyncio service gateway: persistent-serve over the handle API.
+
+One :class:`ServiceGateway` boots (or is handed) a persistent
+:class:`~repro.core.network.CoDBNetwork` /
+:class:`~repro.p2p.procs.ProcessNetwork` and serves it over plain
+HTTP/1.1 on stdlib ``asyncio`` streams — no web framework, no new
+dependencies:
+
+``POST /v1/update``
+    ``{"origin": node, "tenant": t?}`` — submit a global update;
+    returns ``202`` with a request id immediately.
+``POST /v1/query``
+    ``{"node": n, "query": text, "mode": "network"?, "persist"?,
+    "cache"?, "tenant"?}`` — submit a query the same way.
+``GET /v1/result/<id>[?wait=seconds]``
+    Poll (or bounded-block for) the outcome; query answers come back
+    as encoded rows (:func:`repro.relational.values.encode_row`).
+``DELETE /v1/request/<id>``
+    Retract: withdraw the request from its origin's admission queue if
+    it has not gone live (``RequestHandle.cancel``).
+``GET /v1/stream``
+    Completion events in real time, in ``as_completed`` order: a
+    WebSocket (RFC 6455, text frames of JSON) when the client sends an
+    ``Upgrade`` handshake, newline-delimited JSON otherwise.
+``GET /metrics``
+    §4 lifetime statistics + gateway counters in Prometheus text
+    format (:mod:`repro.service.metrics`).
+
+Threading model — the part that keeps the no-sleep-polling invariant:
+
+* the asyncio event loop never touches the network.  Submissions,
+  result assembly, retraction and metric scrapes all hop to ONE
+  dedicated network executor thread, so a single-threaded simulator
+  transport sees strictly serialized access, exactly like a driver
+  script;
+* on a simulator transport the gateway *pumps* (``network.run()``)
+  on that executor after every submission — the event queue drains,
+  sessions complete, and completion listeners fire;
+* completion crosses back via
+  :meth:`~repro.core.requests.RequestHandle.asyncio_future` —
+  done-callbacks marshalled onto the loop with
+  ``call_soon_threadsafe`` — so the loop awaits futures, never polls.
+
+Admission is two-layered: the network's own
+``NodeConfig.max_active_sessions`` protects each peer, and the
+gateway's :class:`~repro.service.quotas.TenantQuotas` protects tenants
+from each other.  A tenant over its cap gets an immediate ``429`` with
+``Retry-After`` (the *yield* admission message) — nothing is queued
+gateway-side, so one tenant's burst can never head-of-line-block
+another's.
+
+Shutdown (``SIGTERM`` under ``repro serve``, or
+:meth:`ServiceGateway.shutdown`): stop accepting, drain in-flight
+requests (``network.drain``), retract what is still queued, and
+force-fail whatever remains — every handle the gateway ever accepted
+settles as done / cancelled / failed before the loop exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import hashlib
+import json
+import signal
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import CoDBError
+from repro.p2p.inproc import InProcessNetwork
+from repro.relational.values import encode_row
+from repro.service.metrics import MetricFamily, quantile, render_metrics
+from repro.service.quotas import QuotaExceededError, TenantQuotas
+
+#: RFC 6455 §1.3 handshake GUID.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+DEFAULT_TENANT = "default"
+#: Largest accepted request body (a query text, not a bulk load).
+MAX_BODY_BYTES = 1 << 20
+#: Settled request records kept for ``GET /v1/result`` (FIFO trim).
+RESULT_RETENTION = 4096
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+# ----------------------------------------------------------------------
+# WebSocket framing (shared with the loadgen client)
+# ----------------------------------------------------------------------
+
+
+def ws_accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's key."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_ws_frame(
+    payload: bytes, *, opcode: int = 0x1, mask: bool = False
+) -> bytes:
+    """One FIN frame.  Clients must set ``mask=True`` (RFC 6455 §5.3);
+    the masking key is fixed — the mask exists for proxy safety, not
+    secrecy, and a deterministic key keeps the simulator tests stable."""
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if mask:
+        key = b"\x37\xfa\x21\x3d"
+        header += key
+        payload = bytes(
+            byte ^ key[i % 4] for i, byte in enumerate(payload)
+        )
+    return bytes(header) + payload
+
+
+async def read_ws_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, unmasked payload)``."""
+    first = await reader.readexactly(2)
+    opcode = first[0] & 0x0F
+    masked = bool(first[1] & 0x80)
+    length = first[1] & 0x7F
+    if length == 126:
+        length = int.from_bytes(await reader.readexactly(2), "big")
+    elif length == 127:
+        length = int.from_bytes(await reader.readexactly(8), "big")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length)
+    if masked:
+        payload = bytes(
+            byte ^ key[i % 4] for i, byte in enumerate(payload)
+        )
+    return opcode, payload
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+
+class _HttpRequest:
+    __slots__ = ("method", "path", "params", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        split = urlsplit(target)
+        self.path = split.path
+        self.params = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict[str, Any]:
+        if not self.body:
+            return {}
+        payload = json.loads(self.body.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+
+async def _read_http_request(
+    reader: asyncio.StreamReader,
+) -> _HttpRequest | None:
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (
+        asyncio.IncompleteReadError,
+        asyncio.LimitOverrunError,
+        ConnectionError,
+    ):
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        return None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise CoDBError(f"request body of {length} bytes exceeds the cap")
+    body = await reader.readexactly(length) if length else b""
+    return _HttpRequest(method.upper(), target, headers, body)
+
+
+def _http_response(
+    status: int,
+    payload: dict[str, Any] | str,
+    *,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}; charset=utf-8",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+
+
+# ----------------------------------------------------------------------
+# Request records
+# ----------------------------------------------------------------------
+
+
+class _GatewayRequest:
+    """One accepted submission: the handle plus its service-side state.
+
+    Settling (exactly once, always on the event loop) releases the
+    tenant's quota slot — the single release point is what makes
+    slot accounting leak-proof across completion, retraction, failure
+    and forced shutdown."""
+
+    __slots__ = (
+        "request_id",
+        "kind",
+        "tenant",
+        "target",
+        "handle",
+        "status",
+        "ok",
+        "result",
+        "error",
+        "submitted_at",
+        "latency",
+        "done_event",
+        "settled",
+    )
+
+    def __init__(self, handle, kind: str, tenant: str, target: str) -> None:
+        self.request_id = handle.request_id
+        self.kind = kind
+        self.tenant = tenant
+        self.target = target
+        self.handle = handle
+        self.status = "pending"
+        self.ok: bool | None = None
+        self.result: Any = None
+        self.error = ""
+        self.submitted_at = time.monotonic()
+        self.latency = 0.0
+        self.done_event = asyncio.Event()
+        self.settled = False
+
+    def summary(self) -> dict[str, Any]:
+        summary = {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "target": self.target,
+            "status": self.status,
+        }
+        if self.settled:
+            summary["ok"] = self.ok
+            summary["latency_s"] = self.latency
+            if self.error:
+                summary["error"] = self.error
+        return summary
+
+
+# ----------------------------------------------------------------------
+# The gateway
+# ----------------------------------------------------------------------
+
+
+class ServiceGateway:
+    """HTTP/WebSocket front door over one persistent network.
+
+    Parameters
+    ----------
+    network:
+        A started :class:`~repro.core.network.CoDBNetwork` or
+        :class:`~repro.p2p.procs.ProcessNetwork`.  The gateway drives
+        it but does not own it — the caller stops the network after
+        :meth:`shutdown`.
+    host / port:
+        Listen address; ``port=0`` picks a free port (read it back
+        from :attr:`port` after :meth:`start`).
+    quotas:
+        Per-tenant admission quotas; defaults to
+        ``TenantQuotas()``.
+    drain_timeout:
+        Seconds :meth:`shutdown` waits for in-flight requests before
+        retracting / force-failing the stragglers.
+    """
+
+    def __init__(
+        self,
+        network,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quotas: TenantQuotas | None = None,
+        drain_timeout: float = 10.0,
+        retention: int = RESULT_RETENTION,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.port = port
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.drain_timeout = drain_timeout
+        self.retention = retention
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._net_exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="codb-gateway-net"
+        )
+        self._requests: "OrderedDict[str, _GatewayRequest]" = OrderedDict()
+        self._subscribers: set[asyncio.Queue] = set()
+        self._finishers: set[asyncio.Task] = set()
+        self._accepting = False
+        self._shutdown_started = False
+        self._closed = asyncio.Event()
+        # A simulator transport only makes progress when pumped; real
+        # transports (TCP delivery threads, the process-runner pump)
+        # progress on their own.
+        self._pump_needed = isinstance(
+            getattr(network, "transport", None), InProcessNetwork
+        )
+        # Gateway-side counters, mutated on the event loop only.
+        self._requests_total: dict[tuple[str, str], int] = {}
+        self._completed_total: dict[str, int] = {}
+        self._rejected_total = 0
+        self._retractions_total = 0
+        self._stream_clients = 0
+        self._latency_sum = 0.0
+        self._latency_count = 0
+        self._latencies: deque[float] = deque(maxlen=4096)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves :attr:`host` / :attr:`port`."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._accepting = True
+
+    async def serve_forever(self, *, handle_signals: bool = True) -> None:
+        """Start (if needed) and serve until :meth:`shutdown` finishes.
+
+        With *handle_signals*, ``SIGTERM`` / ``SIGINT`` trigger the
+        drain-then-settle shutdown — the ``repro serve`` contract."""
+        if self._server is None:
+            await self.start()
+        assert self._loop is not None
+        if handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        signum, self.request_shutdown
+                    )
+                except (NotImplementedError, RuntimeError):
+                    break  # non-main thread or exotic platform
+        await self._closed.wait()
+
+    def request_shutdown(self) -> None:
+        """Begin shutdown from a signal handler or another thread."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(
+            lambda: loop.create_task(self.shutdown())
+        )
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain the storm, settle every record.
+
+        Idempotent; concurrent calls await the same completion.  After
+        it returns every request the gateway ever accepted is settled
+        (``done`` / ``cancelled`` / ``failed``), every quota slot is
+        released, and stream subscribers have received the final
+        ``shutdown`` event."""
+        if self._shutdown_started:
+            await self._closed.wait()
+            return
+        self._shutdown_started = True
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [r for r in self._requests.values() if not r.settled]
+        if pending:
+            loop = asyncio.get_running_loop()
+            self._kick_pump()
+
+            def drain() -> None:
+                try:
+                    self.network.drain(self.drain_timeout)
+                except CoDBError:
+                    pass  # stragglers handled below
+
+            await loop.run_in_executor(self._net_exec, drain)
+            waits = [r.done_event.wait() for r in pending]
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*waits), self.drain_timeout
+                )
+            # Retract whatever is still queued behind admission...
+            stragglers = [r for r in pending if not r.settled]
+            for record in stragglers:
+                await loop.run_in_executor(
+                    self._net_exec, record.handle.cancel
+                )
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *(r.done_event.wait() for r in stragglers)
+                    ),
+                    1.0,
+                )
+            # ...and force-fail anything the network never settled, so
+            # no client is left holding a hung request id.
+            for record in pending:
+                if not record.settled:
+                    self._settle(
+                        record,
+                        "failed",
+                        ok=False,
+                        error="gateway shut down before completion",
+                    )
+        self._broadcast({"event": "shutdown"})
+        for queue in list(self._subscribers):
+            with contextlib.suppress(asyncio.QueueFull):
+                queue.put_nowait(None)
+        for task in list(self._finishers):
+            task.cancel()
+        self._net_exec.shutdown(wait=False)
+        self._closed.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_http_request(reader)
+                except CoDBError as exc:
+                    writer.write(_http_response(413, {"error": str(exc)}))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                if request.path == "/v1/stream" and request.method == "GET":
+                    await self._serve_stream(request, reader, writer)
+                    return
+                response, keep_alive = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: _HttpRequest) -> tuple[bytes, bool]:
+        keep_alive = (
+            request.headers.get("connection", "keep-alive").lower()
+            != "close"
+        )
+        try:
+            if request.method == "POST" and request.path == "/v1/update":
+                return await self._submit("update", request), keep_alive
+            if request.method == "POST" and request.path == "/v1/query":
+                return await self._submit("query", request), keep_alive
+            if request.method == "GET" and request.path.startswith(
+                "/v1/result/"
+            ):
+                request_id = request.path[len("/v1/result/"):]
+                return await self._result(request_id, request), keep_alive
+            if request.method == "DELETE" and request.path.startswith(
+                "/v1/request/"
+            ):
+                request_id = request.path[len("/v1/request/"):]
+                return await self._retract(request_id), keep_alive
+            if request.method == "GET" and request.path == "/v1/requests":
+                summaries = [
+                    record.summary() for record in self._requests.values()
+                ]
+                return (
+                    _http_response(200, {"requests": summaries}),
+                    keep_alive,
+                )
+            if request.method == "GET" and request.path == "/metrics":
+                return await self._metrics(), keep_alive
+            if request.method == "GET" and request.path == "/healthz":
+                return (
+                    _http_response(
+                        200,
+                        {
+                            "status": "ok" if self._accepting else "draining",
+                            "live_requests": self.quotas.live(),
+                        },
+                    ),
+                    keep_alive,
+                )
+            return _http_response(404, {"error": "no such route"}), keep_alive
+        except (ValueError, KeyError) as exc:
+            return _http_response(400, {"error": str(exc)}), keep_alive
+        except CoDBError as exc:
+            return _http_response(400, {"error": str(exc)}), keep_alive
+        except Exception as exc:  # pragma: no cover - defensive surface
+            return _http_response(500, {"error": str(exc)}), False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _submission(
+        self, kind: str, body: dict[str, Any], tenant: str
+    ) -> tuple[str, Callable[[], Any]]:
+        """The (target node, zero-arg submit) pair for one request."""
+        if kind == "update":
+            origin = str(body["origin"])
+            return origin, lambda: self.network.submit_global_update(
+                origin, tenant=tenant
+            )
+        node = str(body["node"])
+        query = str(body["query"])
+        mode = str(body.get("mode", "network"))
+        persist = bool(body.get("persist", True))
+        cache = body.get("cache", None)
+        return node, lambda: self.network.submit_query(
+            node,
+            query,
+            mode=mode,
+            persist=persist,
+            cache=None if cache is None else bool(cache),
+            tenant=tenant,
+        )
+
+    async def _submit(self, kind: str, request: _HttpRequest) -> bytes:
+        if not self._accepting:
+            return _http_response(
+                503, {"error": "gateway is shutting down"}
+            )
+        body = request.json()
+        tenant = (
+            request.headers.get("x-tenant")
+            or str(body.get("tenant", ""))
+            or DEFAULT_TENANT
+        )
+        target, submit = self._submission(kind, body, tenant)
+        try:
+            self.quotas.acquire(tenant)
+        except QuotaExceededError as exc:
+            self._rejected_total += 1
+            return _http_response(
+                429,
+                {
+                    "error": str(exc),
+                    "tenant": tenant,
+                    "retry_after": exc.retry_after,
+                },
+                extra_headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            handle = await loop.run_in_executor(self._net_exec, submit)
+        except Exception as exc:
+            self.quotas.release(tenant)
+            status = 400 if isinstance(exc, CoDBError) else 500
+            return _http_response(status, {"error": str(exc)})
+        record = _GatewayRequest(handle, kind, tenant, target)
+        self._requests[record.request_id] = record
+        self._trim_records()
+        key = (kind, tenant)
+        self._requests_total[key] = self._requests_total.get(key, 0) + 1
+        future = handle.asyncio_future(loop)
+        task = loop.create_task(self._finish(record, future))
+        self._finishers.add(task)
+        task.add_done_callback(self._finishers.discard)
+        self._kick_pump()
+        return _http_response(
+            202,
+            {
+                "request_id": record.request_id,
+                "kind": kind,
+                "tenant": tenant,
+                "target": target,
+                "status": "pending",
+            },
+        )
+
+    def _trim_records(self) -> None:
+        settled = [
+            request_id
+            for request_id, record in self._requests.items()
+            if record.settled
+        ]
+        excess = len(self._requests) - self.retention
+        for request_id in settled[: max(0, excess)]:
+            del self._requests[request_id]
+
+    def _kick_pump(self) -> None:
+        """Schedule one simulator pump on the network thread."""
+        if not self._pump_needed or self._loop is None:
+            return
+
+        def pump() -> None:
+            try:
+                self.network.run()
+            except CoDBError:
+                pass  # transport stopped mid-shutdown
+
+        self._loop.run_in_executor(self._net_exec, pump)
+
+    async def _finish(self, record: _GatewayRequest, future) -> None:
+        handle = await future
+        if record.settled:
+            return  # shutdown force-failed it while we waited
+        if handle.cancelled():
+            self._settle(
+                record,
+                "cancelled",
+                ok=False,
+                error="retracted before admission",
+            )
+            return
+        loop = asyncio.get_running_loop()
+
+        def assemble() -> Any:
+            return handle.result(self.network.poll_timeout)
+
+        try:
+            raw = await loop.run_in_executor(self._net_exec, assemble)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            if not record.settled:
+                self._settle(record, "failed", ok=False, error=str(exc))
+            return
+        if not record.settled:
+            self._settle(
+                record,
+                "done",
+                ok=True,
+                result=self._encode_result(record.kind, raw),
+            )
+
+    def _settle(
+        self,
+        record: _GatewayRequest,
+        status: str,
+        *,
+        ok: bool,
+        result: Any = None,
+        error: str = "",
+    ) -> None:
+        """Single settle point (event loop only): state, quota, events."""
+        record.status = status
+        record.ok = ok
+        record.result = result
+        record.error = error
+        record.latency = time.monotonic() - record.submitted_at
+        record.settled = True
+        self.quotas.release(record.tenant)
+        self._completed_total[status] = (
+            self._completed_total.get(status, 0) + 1
+        )
+        if ok:
+            self._latencies.append(record.latency)
+            self._latency_sum += record.latency
+            self._latency_count += 1
+        record.done_event.set()
+        self._broadcast(
+            {
+                "event": "completed",
+                "request_id": record.request_id,
+                "kind": record.kind,
+                "tenant": record.tenant,
+                "status": status,
+                "ok": ok,
+                "latency_s": record.latency,
+            }
+        )
+
+    @staticmethod
+    def _encode_result(kind: str, raw: Any) -> Any:
+        if kind == "query":
+            return {"rows": [encode_row(row) for row in raw]}
+        report = getattr(raw, "report", None)
+        return {
+            "update_id": raw.update_id,
+            "origin": raw.origin,
+            "outcome": getattr(report, "outcome", ""),
+            "wall_time": raw.wall_time,
+            "transport_messages": raw.transport_messages,
+            "transport_bytes": raw.transport_bytes,
+            "rows_imported": raw.rows_imported,
+            "result_messages": raw.result_messages,
+            "longest_path": raw.longest_path,
+        }
+
+    # ------------------------------------------------------------------
+    # Results & retraction
+    # ------------------------------------------------------------------
+
+    async def _result(
+        self, request_id: str, request: _HttpRequest
+    ) -> bytes:
+        record = self._requests.get(request_id)
+        if record is None:
+            return _http_response(
+                404, {"error": f"unknown request {request_id!r}"}
+            )
+        wait = float(request.params.get("wait", "0") or "0")
+        if wait > 0 and not record.settled:
+            self._kick_pump()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(record.done_event.wait(), wait)
+        if not record.settled:
+            return _http_response(202, record.summary())
+        payload = record.summary()
+        if record.ok:
+            payload["result"] = record.result
+        return _http_response(200, payload)
+
+    async def _retract(self, request_id: str) -> bytes:
+        record = self._requests.get(request_id)
+        if record is None:
+            return _http_response(
+                404, {"error": f"unknown request {request_id!r}"}
+            )
+        if record.settled:
+            return _http_response(
+                200, {"retracted": False, "status": record.status}
+            )
+        loop = asyncio.get_running_loop()
+        retracted = await loop.run_in_executor(
+            self._net_exec, record.handle.cancel
+        )
+        if retracted:
+            self._retractions_total += 1
+        return _http_response(200, {"retracted": bool(retracted)})
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, event: dict[str, Any]) -> None:
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                # A stalled subscriber: closing its queue (None) beats
+                # buffering the whole storm for a client not reading.
+                self._subscribers.discard(queue)
+                with contextlib.suppress(asyncio.QueueFull):
+                    queue.put_nowait(None)
+
+    async def _serve_stream(
+        self,
+        request: _HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        websocket = (
+            "websocket" in request.headers.get("upgrade", "").lower()
+            and "sec-websocket-key" in request.headers
+        )
+        queue: asyncio.Queue = asyncio.Queue(maxsize=1024)
+        self._subscribers.add(queue)
+        self._stream_clients += 1
+        closed = asyncio.Event()
+        reader_task: asyncio.Task | None = None
+        try:
+            if websocket:
+                accept = ws_accept_key(
+                    request.headers["sec-websocket-key"]
+                )
+                writer.write(
+                    (
+                        "HTTP/1.1 101 Switching Protocols\r\n"
+                        "Upgrade: websocket\r\n"
+                        "Connection: Upgrade\r\n"
+                        f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+                    ).encode("latin-1")
+                )
+                reader_task = asyncio.get_running_loop().create_task(
+                    self._ws_reader(reader, writer, closed)
+                )
+            else:
+                writer.write(
+                    (
+                        "HTTP/1.1 200 OK\r\n"
+                        "Content-Type: application/x-ndjson\r\n"
+                        "Connection: close\r\n\r\n"
+                    ).encode("latin-1")
+                )
+            await writer.drain()
+            await self._send_event(
+                writer,
+                {"event": "hello", "streaming": "ws" if websocket else "ndjson"},
+                websocket,
+            )
+            while not closed.is_set():
+                getter = asyncio.get_running_loop().create_task(queue.get())
+                closer = asyncio.get_running_loop().create_task(closed.wait())
+                done, pending_tasks = await asyncio.wait(
+                    {getter, closer}, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in pending_tasks:
+                    task.cancel()
+                if getter not in done:
+                    break
+                event = getter.result()
+                if event is None:
+                    break
+                await self._send_event(writer, event, websocket)
+                if event.get("event") == "shutdown":
+                    break
+            if websocket:
+                writer.write(encode_ws_frame(b"", opcode=0x8))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._subscribers.discard(queue)
+            self._stream_clients -= 1
+            if reader_task is not None:
+                reader_task.cancel()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send_event(
+        self,
+        writer: asyncio.StreamWriter,
+        event: dict[str, Any],
+        websocket: bool,
+    ) -> None:
+        payload = json.dumps(event).encode("utf-8")
+        if websocket:
+            writer.write(encode_ws_frame(payload, opcode=0x1))
+        else:
+            writer.write(payload + b"\n")
+        await writer.drain()
+
+    async def _ws_reader(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        closed: asyncio.Event,
+    ) -> None:
+        """Consume client frames: answer pings, honour close."""
+        try:
+            while True:
+                opcode, payload = await read_ws_frame(reader)
+                if opcode == 0x8:  # close
+                    break
+                if opcode == 0x9:  # ping -> pong
+                    writer.write(encode_ws_frame(payload, opcode=0xA))
+                    await writer.drain()
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            closed.set()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    async def _metrics(self) -> bytes:
+        loop = asyncio.get_running_loop()
+        totals = await loop.run_in_executor(
+            self._net_exec, self.network.lifetime_totals
+        )
+        tenant_totals = await loop.run_in_executor(
+            self._net_exec, self._collect_tenant_totals
+        )
+        text = render_metrics(
+            totals,
+            tenant_totals=tenant_totals,
+            extra_families=self._gateway_families(),
+        )
+        return _http_response(
+            200, text, content_type="text/plain; version=0.0.4"
+        )
+
+    def _collect_tenant_totals(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Per-node tenant submission counts, where observable.
+
+        In-process networks expose node statistics directly; a
+        :class:`~repro.p2p.procs.ProcessNetwork`'s live in its workers
+        (the gateway's own ``codb_gateway_requests_total{tenant=...}``
+        covers the same ground driver-side)."""
+        nodes = getattr(self.network, "nodes", None)
+        if not isinstance(nodes, dict):
+            return {}
+        collected: dict[str, dict[str, dict[str, int]]] = {}
+        for name, node in nodes.items():
+            stats = getattr(node, "stats", None)
+            if stats is None:
+                continue
+            totals = stats.tenant_totals()
+            if totals:
+                collected[name] = totals
+        return collected
+
+    def _gateway_families(self) -> list[MetricFamily]:
+        families = []
+        requests = MetricFamily(
+            "codb_gateway_requests_total",
+            "counter",
+            "Submissions admitted by the gateway",
+        )
+        for (kind, tenant), count in sorted(self._requests_total.items()):
+            requests.add({"kind": kind, "tenant": tenant}, count)
+        families.append(requests)
+        completed = MetricFamily(
+            "codb_gateway_completed_total",
+            "counter",
+            "Requests settled, by final status",
+        )
+        for status, count in sorted(self._completed_total.items()):
+            completed.add({"status": status}, count)
+        families.append(completed)
+        families.append(
+            MetricFamily(
+                "codb_gateway_rejections_total",
+                "counter",
+                "Submissions yielded back with 429 (quota exhausted)",
+            ).add({}, self._rejected_total)
+        )
+        families.append(
+            MetricFamily(
+                "codb_gateway_retractions_total",
+                "counter",
+                "Requests withdrawn before admission via DELETE",
+            ).add({}, self._retractions_total)
+        )
+        families.append(
+            MetricFamily(
+                "codb_gateway_stream_clients",
+                "gauge",
+                "Completion-stream subscribers currently connected",
+            ).add({}, self._stream_clients)
+        )
+        live = MetricFamily(
+            "codb_gateway_tenant_live_requests",
+            "gauge",
+            "Requests currently live per tenant",
+        )
+        peak = MetricFamily(
+            "codb_gateway_tenant_peak_live_requests",
+            "gauge",
+            "Most requests ever simultaneously live per tenant",
+        )
+        admitted = MetricFamily(
+            "codb_gateway_tenant_admitted_total",
+            "counter",
+            "Quota slots granted per tenant",
+        )
+        rejected = MetricFamily(
+            "codb_gateway_tenant_rejected_total",
+            "counter",
+            "Quota rejections per tenant",
+        )
+        for tenant, counters in self.quotas.counters().items():
+            live.add({"tenant": tenant}, counters["live"])
+            peak.add({"tenant": tenant}, counters["peak"])
+            admitted.add({"tenant": tenant}, counters["admitted"])
+            rejected.add({"tenant": tenant}, counters["rejected"])
+        families.extend([live, peak, admitted, rejected])
+        families.append(
+            MetricFamily(
+                "codb_gateway_quota_limit",
+                "gauge",
+                "Per-tenant live-request cap (0 = unlimited)",
+            ).add({}, self.quotas.per_tenant)
+        )
+        ordered = sorted(self._latencies)
+        latency = MetricFamily(
+            "codb_gateway_latency_seconds",
+            "summary",
+            "Submission-to-settle latency of completed requests",
+            sum_value=self._latency_sum,
+            count_value=float(self._latency_count),
+        )
+        for q in (0.5, 0.9, 0.99):
+            latency.add({"quantile": str(q)}, quantile(ordered, q))
+        families.append(latency)
+        return families
+
+
+# ----------------------------------------------------------------------
+# Background-thread serving (tests, benchmarks, drivers)
+# ----------------------------------------------------------------------
+
+
+class GatewayThread:
+    """Run a :class:`ServiceGateway` on a dedicated event-loop thread.
+
+    The driver-side harness tests and benchmarks use: start it, talk
+    plain HTTP from the calling thread, then :meth:`stop` (which runs
+    the full drain-then-settle shutdown).  Also usable as a context
+    manager.  :meth:`install_sigterm` wires ``SIGTERM`` of the whole
+    process to :meth:`request_shutdown` — only callable from the main
+    thread (CPython restricts ``signal.signal``)."""
+
+    def __init__(self, gateway: ServiceGateway) -> None:
+        self.gateway = gateway
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+        self._previous_sigterm: Any = None
+
+    @property
+    def host(self) -> str:
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def start(self) -> "GatewayThread":
+        self._thread = threading.Thread(
+            target=self._run, name="codb-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(30.0):  # pragma: no cover - hang guard
+            raise CoDBError("gateway event loop failed to start")
+        if self._error is not None:
+            raise CoDBError(f"gateway failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.gateway.start()
+        except BaseException as exc:  # surface bind errors to start()
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.gateway.serve_forever(handle_signals=False)
+
+    def install_sigterm(self) -> None:
+        """Route process ``SIGTERM`` to a clean gateway shutdown."""
+        self._previous_sigterm = signal.signal(
+            signal.SIGTERM, lambda _signum, _frame: self.request_shutdown()
+        )
+
+    def request_shutdown(self) -> None:
+        self.gateway.request_shutdown()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Shut the gateway down and join the loop thread."""
+        if self._previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, self._previous_sigterm)
+            self._previous_sigterm = None
+        if (
+            self._loop is not None
+            and self._thread is not None
+            and self._thread.is_alive()
+        ):
+            future = asyncio.run_coroutine_threadsafe(
+                self.gateway.shutdown(), self._loop
+            )
+            future.result(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(network, **kwargs: Any) -> GatewayThread:
+    """Start a gateway over *network* on a background thread; returns
+    the running :class:`GatewayThread` (``.host`` / ``.port`` bound)."""
+    return GatewayThread(ServiceGateway(network, **kwargs)).start()

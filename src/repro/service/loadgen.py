@@ -1,0 +1,369 @@
+"""Async open-loop load generation against the service gateway.
+
+An *open-loop* generator submits on a fixed arrival schedule
+regardless of how fast responses come back — the arrival process does
+not slow down when the server does, which is what exposes queueing
+behaviour (closed-loop "submit, wait, repeat" drivers self-throttle
+and hide it).  Combined with per-tenant round-robin arrivals it is the
+adversarial-skew workload the gateway's quotas are built for: a greedy
+tenant's arrivals keep coming, its 429s pile up, everyone else keeps
+their slots.
+
+Stdlib only: a minimal asyncio HTTP/1.1 client (one connection per
+request — the gateway keeps per-request state, not per-connection) and
+a WebSocket client reusing the gateway's own frame codec.  Used by
+``benchmarks/bench_gateway.py``, the service tests and
+``repro serve --selftest``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Callable
+
+from repro.errors import CoDBError
+from repro.service.gateway import encode_ws_frame, read_ws_frame
+from repro.service.metrics import quantile
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP client
+# ----------------------------------------------------------------------
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None = None,
+    *,
+    headers: dict[str, str] | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict[str, Any], dict[str, str]]:
+    """One request; returns ``(status, decoded body, headers)``."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            f"Content-Length: {len(payload)}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split(" ", 2)[1])
+    response_headers: dict[str, str] = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    decoded: dict[str, Any] = {}
+    if rest:
+        try:
+            decoded = json.loads(rest.decode("utf-8"))
+        except ValueError:
+            decoded = {"raw": rest.decode("utf-8", "replace")}
+    return status, decoded, response_headers
+
+
+async def stream_events(
+    host: str,
+    port: int,
+    *,
+    websocket: bool = True,
+    timeout: float = 30.0,
+) -> AsyncIterator[dict[str, Any]]:
+    """Subscribe to ``GET /v1/stream``; yields decoded events.
+
+    With *websocket* the RFC 6455 client handshake is performed and
+    events arrive as text frames; otherwise the NDJSON fallback is
+    read line by line.  Terminates on the gateway's ``shutdown`` event,
+    a close frame, or EOF."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        if websocket:
+            key = "Y29kYi1sb2FkZ2VuLXdzLWtleQ=="  # static 16-byte nonce
+            writer.write(
+                (
+                    "GET /v1/stream HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout
+            )
+            if b" 101 " not in head.split(b"\r\n", 1)[0]:
+                raise CoDBError("gateway refused the WebSocket upgrade")
+            while True:
+                opcode, payload = await asyncio.wait_for(
+                    read_ws_frame(reader), timeout
+                )
+                if opcode == 0x8:  # close
+                    writer.write(encode_ws_frame(b"", opcode=0x8, mask=True))
+                    await writer.drain()
+                    return
+                if opcode != 0x1:
+                    continue
+                event = json.loads(payload.decode("utf-8"))
+                yield event
+                if event.get("event") == "shutdown":
+                    return
+        else:
+            writer.write(
+                (
+                    "GET /v1/stream HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout)
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout)
+                if not line:
+                    return
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("event") == "shutdown":
+                    return
+    except asyncio.IncompleteReadError:
+        return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+# ----------------------------------------------------------------------
+# Workload + results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Workload:
+    """What to submit: update origins and/or query targets."""
+
+    #: Nodes global updates originate from (round-robin + jitter).
+    origins: list[str] = field(default_factory=list)
+    #: ``(node, query text)`` pairs for query submissions.
+    queries: list[tuple[str, str]] = field(default_factory=list)
+    #: Fraction of arrivals that are updates (when both kinds exist).
+    update_fraction: float = 0.5
+    #: Query mode forwarded to the gateway.
+    query_mode: str = "network"
+
+    def pick(self, rng: random.Random) -> tuple[str, str, dict[str, Any]]:
+        """One arrival: ``(kind, path, body)``."""
+        want_update = bool(self.origins) and (
+            not self.queries or rng.random() < self.update_fraction
+        )
+        if want_update:
+            return (
+                "update",
+                "/v1/update",
+                {"origin": rng.choice(self.origins)},
+            )
+        if not self.queries:
+            raise CoDBError("workload has neither origins nor queries")
+        node, query = rng.choice(self.queries)
+        return (
+            "query",
+            "/v1/query",
+            {"node": node, "query": query, "mode": self.query_mode},
+        )
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one open-loop run."""
+
+    sent: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    wall_time: float = 0.0
+    #: Submit-to-result latency of each completed request, seconds.
+    latencies: list[float] = field(default_factory=list)
+    #: Final per-request response payloads (request id -> body).
+    responses: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def lost(self) -> int:
+        """Requests that neither completed, failed, nor were rejected."""
+        return self.sent - self.completed - self.failed
+
+    def throughput(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.completed / self.wall_time
+
+    def percentile(self, q: float) -> float:
+        return quantile(sorted(self.latencies), q)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_429": self.rejected,
+            "lost": self.lost,
+            "wall_time_s": self.wall_time,
+            "throughput_rps": self.throughput(),
+            "p50_s": self.percentile(0.5),
+            "p99_s": self.percentile(0.99),
+        }
+
+
+async def _drive_one(
+    host: str,
+    port: int,
+    tenant: str,
+    kind: str,
+    path: str,
+    body: dict[str, Any],
+    result: LoadResult,
+    *,
+    lock: asyncio.Lock,
+    max_retries: int,
+    wait_timeout: float,
+    clock: Callable[[], float],
+) -> None:
+    submitted_at = clock()
+    attempt = 0
+    while True:
+        status, reply, _headers = await http_json(
+            host,
+            port,
+            "POST",
+            path,
+            body,
+            headers={"X-Tenant": tenant},
+            timeout=wait_timeout,
+        )
+        if status == 429:
+            async with lock:
+                result.rejected += 1
+            if attempt >= max_retries:
+                async with lock:
+                    result.failed += 1
+                return
+            attempt += 1
+            await asyncio.sleep(float(reply.get("retry_after", 0.05)))
+            continue
+        break
+    if status != 202:
+        async with lock:
+            result.failed += 1
+            result.responses[f"submit-error-{kind}-{id(body)}"] = reply
+        return
+    request_id = reply["request_id"]
+    status, reply, _headers = await http_json(
+        host,
+        port,
+        "GET",
+        f"/v1/result/{request_id}?wait={wait_timeout:g}",
+        timeout=wait_timeout * 2,
+    )
+    latency = clock() - submitted_at
+    async with lock:
+        result.responses[request_id] = reply
+        if status == 200 and reply.get("ok"):
+            result.completed += 1
+            result.latencies.append(latency)
+        else:
+            result.failed += 1
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    workload: Workload,
+    *,
+    total: int = 64,
+    rate: float = 200.0,
+    tenants: tuple[str, ...] = ("default",),
+    seed: int = 0,
+    max_retries: int = 50,
+    wait_timeout: float = 30.0,
+) -> LoadResult:
+    """Submit *total* arrivals at *rate*/s, round-robin over *tenants*.
+
+    Every arrival is an independent task: submit (retrying 429 yields
+    with the server's ``Retry-After`` up to *max_retries* times), then
+    bounded-block on ``/v1/result``.  Returns once every arrival's
+    task finished — the :class:`LoadResult` accounts for each one, so
+    ``result.lost == 0`` is the zero-lost-requests check."""
+    loop = asyncio.get_running_loop()
+    rng = random.Random(seed)
+    result = LoadResult()
+    lock = asyncio.Lock()
+    started = loop.time()
+    interarrival = 1.0 / rate if rate > 0 else 0.0
+    tasks: list[asyncio.Task] = []
+    for index in range(total):
+        target_time = started + index * interarrival
+        delay = target_time - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        kind, path, body = workload.pick(rng)
+        tenant = tenants[index % len(tenants)]
+        result.sent += 1
+        tasks.append(
+            loop.create_task(
+                _drive_one(
+                    host,
+                    port,
+                    tenant,
+                    kind,
+                    path,
+                    body,
+                    result,
+                    lock=lock,
+                    max_retries=max_retries,
+                    wait_timeout=wait_timeout,
+                    clock=loop.time,
+                )
+            )
+        )
+    await asyncio.gather(*tasks)
+    result.wall_time = loop.time() - started
+    return result
+
+
+def run_open_loop_sync(
+    host: str,
+    port: int,
+    workload: Workload,
+    **kwargs: Any,
+) -> LoadResult:
+    """Blocking wrapper over :func:`run_open_loop` (its own loop)."""
+    return asyncio.run(run_open_loop(host, port, workload, **kwargs))

@@ -1,0 +1,360 @@
+"""Prometheus text exposition of the §4 statistics module.
+
+The paper's statistical module "accumulates various information about
+global updates ... during the lifetime of a network".  This module
+turns those lifetime accumulators into live operational metrics: the
+gateway's ``GET /metrics`` renders every node's
+``lifetime_totals()`` through the naming table
+:data:`repro.core.statistics.PROMETHEUS_METRICS`, one ``{node=...}``
+labelled sample per node, alongside the gateway's own admission /
+dispatch / latency counters.
+
+Two halves, deliberately symmetric:
+
+* :func:`render_metrics` — produce Prometheus *text exposition format
+  0.0.4* (``# HELP`` / ``# TYPE`` comments, escaped label values, one
+  sample per line);
+* :func:`parse_metrics` — a strict parser of the same format, used by
+  the scrape-lint tests (and by :mod:`repro.service.loadgen`) so a
+  malformed rendering fails CI instead of a scrape in production.
+
+Only the subset of the format we emit is supported — no timestamps, no
+``# EOF`` (that is OpenMetrics), UTF-8 text.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.statistics import PROMETHEUS_METRICS
+from repro.errors import CoDBError
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*\Z"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"'
+    r'(?P<value>(?:[^"\\]|\\.)*)"\s*(?P<sep>,|\Z)'
+)
+_TYPES = frozenset({"counter", "gauge", "summary", "histogram", "untyped"})
+
+
+class MetricsFormatError(CoDBError):
+    """A /metrics payload violated the Prometheus text format."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        location = f" at line {line}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MetricFamily:
+    """One named metric with its samples (label-set -> value).
+
+    For ``type == "summary"`` the quantile samples live in
+    :attr:`samples` (with a ``quantile`` label) and the conventional
+    ``<name>_sum`` / ``<name>_count`` series render from
+    :attr:`sum_value` / :attr:`count_value` when set.
+    """
+
+    name: str
+    type: str
+    help: str
+    samples: list[tuple[dict[str, str], float]] = field(default_factory=list)
+    sum_value: float | None = None
+    count_value: float | None = None
+
+    def add(self, labels: dict[str, str], value: float) -> "MetricFamily":
+        self.samples.append((dict(labels), float(value)))
+        return self
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN never belongs in our counters
+        raise MetricsFormatError("refusing to render NaN sample")
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_families(families: Iterable[MetricFamily]) -> str:
+    """Render *families* as Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for family in families:
+        if not _NAME_RE.match(family.name):
+            raise MetricsFormatError(f"bad metric name {family.name!r}")
+        if family.name in seen:
+            raise MetricsFormatError(f"duplicate family {family.name!r}")
+        seen.add(family.name)
+        if family.type not in _TYPES:
+            raise MetricsFormatError(
+                f"bad type {family.type!r} for {family.name!r}"
+            )
+        if not family.samples and family.count_value is None:
+            continue
+        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for labels, value in family.samples:
+            if labels:
+                pairs = ",".join(
+                    f'{key}="{_escape_label_value(str(val))}"'
+                    for key, val in sorted(labels.items())
+                )
+                lines.append(
+                    f"{family.name}{{{pairs}}} {_format_value(value)}"
+                )
+            else:
+                lines.append(f"{family.name} {_format_value(value)}")
+        if family.type == "summary" and family.count_value is not None:
+            lines.append(
+                f"{family.name}_sum {_format_value(family.sum_value or 0.0)}"
+            )
+            lines.append(
+                f"{family.name}_count {_format_value(family.count_value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _fallback_name(key: str) -> str:
+    sanitised = re.sub(r"[^a-zA-Z0-9_]", "_", key)
+    return f"codb_node_{sanitised}"
+
+
+def node_families(
+    node_totals: dict[str, dict[str, Any]],
+) -> list[MetricFamily]:
+    """Families for every node's ``lifetime_totals()`` snapshot.
+
+    *node_totals* maps node name -> totals dict (the shape of
+    ``CoDBNetwork.lifetime_totals()`` and
+    ``ProcessNetwork.lifetime_totals()``).  Keys named in
+    :data:`PROMETHEUS_METRICS` use their declared name/type/help;
+    unknown numeric keys fall back to a ``codb_node_<key>`` gauge so
+    new counters are never silently dropped.  List-valued totals
+    (``unreachable_peers``) export their length.
+    """
+    families: dict[str, MetricFamily] = {}
+    for node in sorted(node_totals):
+        for key, raw in sorted(node_totals[node].items()):
+            if isinstance(raw, (list, tuple, set, frozenset)):
+                value = float(len(raw))
+            elif isinstance(raw, bool):
+                value = float(raw)
+            elif isinstance(raw, (int, float)):
+                value = float(raw)
+            else:
+                continue  # non-numeric diagnostic; not a metric
+            if key in PROMETHEUS_METRICS:
+                name, mtype, help_text = PROMETHEUS_METRICS[key]
+            else:
+                name, mtype, help_text = (
+                    _fallback_name(key),
+                    "gauge",
+                    f"lifetime_totals[{key!r}] (no declared mapping)",
+                )
+            family = families.setdefault(
+                name, MetricFamily(name, mtype, help_text)
+            )
+            family.add({"node": node}, value)
+    return list(families.values())
+
+
+def tenant_families(
+    tenant_totals: dict[str, dict[str, dict[str, int]]],
+) -> list[MetricFamily]:
+    """One family for per-node tenant submission counts.
+
+    *tenant_totals* maps node -> tenant -> kind -> count (the shape of
+    ``NodeStatistics.tenant_totals()`` gathered across nodes).
+    """
+    family = MetricFamily(
+        "codb_node_tenant_submissions_total",
+        "counter",
+        "Tenant-tagged submissions accepted by this node",
+    )
+    for node in sorted(tenant_totals):
+        for tenant in sorted(tenant_totals[node]):
+            for kind, count in sorted(tenant_totals[node][tenant].items()):
+                family.add(
+                    {"node": node, "tenant": tenant, "kind": kind}, count
+                )
+    return [family] if family.samples else []
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (empty -> 0.0)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def render_metrics(
+    node_totals: dict[str, dict[str, Any]],
+    *,
+    tenant_totals: dict[str, dict[str, dict[str, int]]] | None = None,
+    extra_families: Iterable[MetricFamily] = (),
+) -> str:
+    """Render the full /metrics payload.
+
+    The gateway passes its own counter families via *extra_families*;
+    callers that just want node statistics can omit everything else.
+    """
+    families: list[MetricFamily] = []
+    families.extend(node_families(node_totals))
+    if tenant_totals:
+        families.extend(tenant_families(tenant_totals))
+    families.extend(extra_families)
+    return render_families(families)
+
+
+# ----------------------------------------------------------------------
+# Parsing (the scrape lint)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ParsedMetrics:
+    """Validated scrape: name -> type, and (name, labels) -> value."""
+
+    types: dict[str, str]
+    helps: dict[str, str]
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float]
+
+    def value(self, name: str, **labels: str) -> float:
+        """The sample's value; raises ``KeyError`` when absent."""
+        return self.samples[(name, tuple(sorted(labels.items())))]
+
+    def names(self) -> set[str]:
+        return {name for name, _ in self.samples}
+
+
+def _parse_labels(raw: str, line_no: int) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    position = 0
+    while position < len(raw):
+        match = _LABEL_RE.match(raw, position)
+        if match is None:
+            raise MetricsFormatError(
+                f"malformed label block {raw!r}", line_no
+            )
+        value = match.group("value")
+        value = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        labels.append((match.group("name"), value))
+        position = match.end()
+        if match.group("sep") == "," and position >= len(raw):
+            raise MetricsFormatError(
+                f"trailing comma in label block {raw!r}", line_no
+            )
+    names = [name for name, _ in labels]
+    if len(names) != len(set(names)):
+        raise MetricsFormatError(f"duplicate label name in {raw!r}", line_no)
+    return tuple(sorted(labels))
+
+
+def parse_metrics(text: str) -> ParsedMetrics:
+    """Parse and validate Prometheus text format; raise on violations.
+
+    Enforced: well-formed ``# HELP`` / ``# TYPE`` comments, known
+    types, at most one HELP/TYPE per family with TYPE preceding its
+    samples, valid metric/label names, properly quoted+escaped label
+    values, parseable finite sample values, and no duplicate
+    (name, labels) sample.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    sampled: set[str] = set()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in {"HELP", "TYPE"}:
+                continue  # plain comment: legal, ignored
+            keyword, name = parts[1], parts[2]
+            if not _NAME_RE.match(name):
+                raise MetricsFormatError(
+                    f"bad metric name {name!r} in {keyword}", line_no
+                )
+            body = parts[3] if len(parts) > 3 else ""
+            if keyword == "HELP":
+                if name in helps:
+                    raise MetricsFormatError(
+                        f"second HELP for {name!r}", line_no
+                    )
+                helps[name] = body
+            else:
+                if name in types:
+                    raise MetricsFormatError(
+                        f"second TYPE for {name!r}", line_no
+                    )
+                if body not in _TYPES:
+                    raise MetricsFormatError(
+                        f"unknown type {body!r} for {name!r}", line_no
+                    )
+                if name in sampled:
+                    raise MetricsFormatError(
+                        f"TYPE for {name!r} after its samples", line_no
+                    )
+                types[name] = body
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise MetricsFormatError(f"malformed sample {line!r}", line_no)
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise MetricsFormatError(
+                f"bad sample value {match.group('value')!r}", line_no
+            ) from exc
+        if math.isnan(value) or math.isinf(value):
+            raise MetricsFormatError(
+                f"non-finite sample value in {line!r}", line_no
+            )
+        for label_name, _ in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise MetricsFormatError(
+                    f"bad label name {label_name!r}", line_no
+                )
+        key = (name, labels)
+        if key in samples:
+            raise MetricsFormatError(f"duplicate sample {line!r}", line_no)
+        samples[key] = value
+        sampled.add(name)
+        base = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+        if base in types and base != name:
+            continue  # summary/histogram series of a declared family
+        if types and name not in types and base not in types:
+            raise MetricsFormatError(
+                f"sample {name!r} has no preceding TYPE", line_no
+            )
+    return ParsedMetrics(types=types, helps=helps, samples=samples)

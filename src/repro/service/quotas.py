@@ -1,0 +1,178 @@
+"""Per-tenant admission quotas for the service gateway.
+
+The core engine already queues work fairly *per node*:
+``NodeConfig.max_active_sessions`` caps live coordination sessions and
+:class:`~repro.core.requests.AdmissionControl` defers the overflow in
+seniority order.  That protects a *peer* from overload, but nothing
+protects one *client* from another — a tenant submitting a burst of
+10 000 updates would fill every admission queue and starve everyone
+else behind it (classic head-of-line blocking, one layer up).
+
+:class:`TenantQuotas` closes that gap at the gateway: each tenant may
+have at most ``per_tenant`` requests live (admitted or queued in the
+network) at once.  The excess is not queued gateway-side at all — the
+submission is *yielded* back to the client as a retryable rejection
+(:class:`QuotaExceededError`, surfaced by the gateway as an HTTP 429
+with ``Retry-After``).  This is the service-level half of the paper's
+retract/yield admission message: under adversarial arrival skew the
+greedy tenant degrades, the polite tenants keep their slots, and no
+request ever waits behind another tenant's backlog.
+
+The class is a plain thread-safe counter — it is used from the asyncio
+event loop and from handle done-callbacks that fire on network
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import CoDBError
+
+DEFAULT_PER_TENANT = 16
+DEFAULT_RETRY_AFTER = 0.05
+
+
+class QuotaExceededError(CoDBError):
+    """A tenant is at its live-request cap; retry after a short backoff.
+
+    This is the *yield* half of the admission protocol: the request was
+    never submitted to the network, no slot was consumed, and the
+    caller may retry after :attr:`retry_after` seconds.
+    """
+
+    def __init__(self, tenant: str, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} has {limit} requests live "
+            f"(the per-tenant cap); retry after {retry_after:g}s"
+        )
+        self.tenant = tenant
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class TenantQuotas:
+    """Thread-safe per-tenant live-request accounting.
+
+    ``acquire`` takes a slot or raises :class:`QuotaExceededError`;
+    ``release`` returns it when the request settles (completes, fails,
+    or is retracted).  The gateway calls ``acquire`` *before* touching
+    the network and ``release`` exactly once from the request's
+    completion path, so a rejected submission can never leak a slot.
+
+    Parameters
+    ----------
+    per_tenant:
+        Maximum simultaneously-live requests per tenant.  ``0`` means
+        unlimited (accounting only).
+    retry_after:
+        Backoff hint carried by rejections (HTTP ``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        per_tenant: int = DEFAULT_PER_TENANT,
+        *,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if per_tenant < 0:
+            raise ValueError("per_tenant must be >= 0")
+        self.per_tenant = per_tenant
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._live: dict[str, int] = {}
+        self._peak: dict[str, int] = {}
+        self._admitted: dict[str, int] = {}
+        self._rejected: dict[str, int] = {}
+
+    @classmethod
+    def from_node_cap(
+        cls,
+        max_active_sessions: int,
+        tenants: int,
+        *,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> "TenantQuotas":
+        """Split a node's session cap evenly across *tenants*.
+
+        A gateway fronting a network whose nodes run
+        ``max_active_sessions=N`` can hand each of *t* expected tenants
+        ``max(1, N // t)`` live slots, so no single tenant can fill a
+        node's admission window on its own.
+        """
+        if tenants <= 0:
+            raise ValueError("tenants must be >= 1")
+        if max_active_sessions <= 0:  # uncapped nodes: default quota
+            return cls(retry_after=retry_after)
+        return cls(
+            max(1, max_active_sessions // tenants), retry_after=retry_after
+        )
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+
+    def acquire(self, tenant: str) -> None:
+        """Take a live slot for *tenant* or raise :class:`QuotaExceededError`."""
+        with self._lock:
+            live = self._live.get(tenant, 0)
+            if self.per_tenant and live >= self.per_tenant:
+                self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+                raise QuotaExceededError(
+                    tenant, self.per_tenant, self.retry_after
+                )
+            self._live[tenant] = live + 1
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            if live + 1 > self._peak.get(tenant, 0):
+                self._peak[tenant] = live + 1
+
+    def release(self, tenant: str) -> None:
+        """Return *tenant*'s slot; must pair 1:1 with a successful acquire."""
+        with self._lock:
+            live = self._live.get(tenant, 0)
+            if live <= 0:  # pragma: no cover - accounting bug guard
+                raise StatisticsImbalanceError(tenant)
+            if live == 1:
+                del self._live[tenant]
+            else:
+                self._live[tenant] = live - 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def live(self, tenant: str | None = None) -> int:
+        """Live requests for one tenant, or all tenants when ``None``."""
+        with self._lock:
+            if tenant is not None:
+                return self._live.get(tenant, 0)
+            return sum(self._live.values())
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Snapshot ``{tenant: {live, peak, admitted, rejected}}``."""
+        with self._lock:
+            tenants = (
+                set(self._live)
+                | set(self._peak)
+                | set(self._admitted)
+                | set(self._rejected)
+            )
+            return {
+                tenant: {
+                    "live": self._live.get(tenant, 0),
+                    "peak": self._peak.get(tenant, 0),
+                    "admitted": self._admitted.get(tenant, 0),
+                    "rejected": self._rejected.get(tenant, 0),
+                }
+                for tenant in sorted(tenants)
+            }
+
+
+class StatisticsImbalanceError(CoDBError):
+    """``release`` was called for a tenant with no live slot."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(
+            f"quota release for tenant {tenant!r} with no live request"
+        )
+        self.tenant = tenant

@@ -1,0 +1,121 @@
+"""Per-tenant admission quotas: slot accounting in isolation."""
+
+import pytest
+
+from repro.service.quotas import (
+    DEFAULT_PER_TENANT,
+    QuotaExceededError,
+    StatisticsImbalanceError,
+    TenantQuotas,
+)
+
+
+class TestSlotLifecycle:
+    def test_acquire_release_roundtrip(self):
+        quotas = TenantQuotas(2)
+        quotas.acquire("alpha")
+        quotas.acquire("alpha")
+        assert quotas.live("alpha") == 2
+        quotas.release("alpha")
+        assert quotas.live("alpha") == 1
+        quotas.release("alpha")
+        assert quotas.live("alpha") == 0
+        assert quotas.live() == 0
+
+    def test_cap_rejects_with_retry_after(self):
+        quotas = TenantQuotas(1, retry_after=0.25)
+        quotas.acquire("alpha")
+        with pytest.raises(QuotaExceededError) as excinfo:
+            quotas.acquire("alpha")
+        assert excinfo.value.tenant == "alpha"
+        assert excinfo.value.limit == 1
+        assert excinfo.value.retry_after == 0.25
+
+    def test_rejection_does_not_consume_a_slot(self):
+        quotas = TenantQuotas(1)
+        quotas.acquire("alpha")
+        for _ in range(5):
+            with pytest.raises(QuotaExceededError):
+                quotas.acquire("alpha")
+        # The slot count never moved: one release fully frees the tenant
+        # and the next acquire succeeds again.
+        assert quotas.live("alpha") == 1
+        quotas.release("alpha")
+        quotas.acquire("alpha")
+        assert quotas.live("alpha") == 1
+
+    def test_tenants_are_independent(self):
+        quotas = TenantQuotas(1)
+        quotas.acquire("alpha")
+        with pytest.raises(QuotaExceededError):
+            quotas.acquire("alpha")
+        quotas.acquire("beta")  # alpha's cap never blocks beta
+        assert quotas.live() == 2
+
+    def test_release_without_acquire_raises(self):
+        quotas = TenantQuotas(1)
+        with pytest.raises(StatisticsImbalanceError):
+            quotas.release("ghost")
+
+    def test_zero_cap_is_unlimited(self):
+        quotas = TenantQuotas(0)
+        for _ in range(100):
+            quotas.acquire("alpha")
+        assert quotas.live("alpha") == 100
+        assert quotas.counters()["alpha"]["rejected"] == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TenantQuotas(-1)
+
+
+class TestCounters:
+    def test_counters_snapshot(self):
+        quotas = TenantQuotas(2)
+        quotas.acquire("alpha")
+        quotas.acquire("alpha")
+        quotas.release("alpha")
+        quotas.acquire("beta")
+        quotas.acquire("beta")
+        with pytest.raises(QuotaExceededError):
+            quotas.acquire("beta")
+        counters = quotas.counters()
+        assert counters["alpha"] == {
+            "live": 1,
+            "peak": 2,
+            "admitted": 2,
+            "rejected": 0,
+        }
+        assert counters["beta"] == {
+            "live": 2,
+            "peak": 2,
+            "admitted": 2,
+            "rejected": 1,
+        }
+
+    def test_peak_survives_release(self):
+        quotas = TenantQuotas(4)
+        for _ in range(3):
+            quotas.acquire("alpha")
+        for _ in range(3):
+            quotas.release("alpha")
+        assert quotas.counters()["alpha"]["peak"] == 3
+        assert quotas.live("alpha") == 0
+
+
+class TestFromNodeCap:
+    def test_splits_session_cap_across_tenants(self):
+        quotas = TenantQuotas.from_node_cap(16, 4)
+        assert quotas.per_tenant == 4
+
+    def test_floor_of_one_slot(self):
+        quotas = TenantQuotas.from_node_cap(2, 8)
+        assert quotas.per_tenant == 1
+
+    def test_uncapped_nodes_fall_back_to_default(self):
+        quotas = TenantQuotas.from_node_cap(0, 4)
+        assert quotas.per_tenant == DEFAULT_PER_TENANT
+
+    def test_zero_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            TenantQuotas.from_node_cap(16, 0)
