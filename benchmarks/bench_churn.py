@@ -19,11 +19,23 @@ Three families over one chain workload:
   data must not re-ship rows the first one already taught each link's
   lifetime sent-memory: byte traffic drops, and the ablation
   (``resend_suppression=False``) pays the re-ship cost again.
+* **Crash-and-rejoin matrix** (``--rejoin``, real processes) —
+  SIGKILL the mid-chain worker after a full update, let the
+  supervisor restart it, and measure the crash → restart →
+  reconverge cycle: supervisor downtime, total recovery wall time,
+  and the second update's re-shipped bytes.  The gate is the warm
+  vs cold contrast: a *warm* rejoin (snapshot intact, memory digests
+  match) re-ships almost nothing and loses no rows, while a *cold*
+  restart (snapshot deleted before the kill) re-ships the whole
+  suffix again and loses the victim's own base facts.
 """
+
+import os
+import time
 
 import pytest
 
-from repro import CoDBNetwork, NodeConfig
+from repro import CoDBNetwork, NodeConfig, ProcessNetwork
 from repro.p2p.faults import FaultInjector, Partition
 from repro.workloads import FAULT_SCENARIO_NAMES, install_fault_scenario
 
@@ -220,3 +232,116 @@ def test_repeat_update_resend_suppression(benchmark, report, smoke):
     assert on[2] < off[2], "suppression must beat the ablation's repeat"
     assert on[3] > 0, "suppressed-row accounting must be visible"
     assert off[3] == 0
+
+
+# ----------------------------------------------------------------------
+# E14e — crash-and-rejoin over real processes (--rejoin)
+# ----------------------------------------------------------------------
+
+
+def _wait_for_restart(net, name, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if name in net.alive_workers() and any(
+            outage["worker"] == name for outage in net.outages
+        ):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"worker {name!r} was not restarted in time")
+
+
+def run_rejoin_cycle(cold, length, tuples):
+    """One crash → supervised restart → reconverge cycle.
+
+    *cold* deletes the victim's durable snapshot before the kill, so
+    the restarted worker rejoins with empty memory: the digests
+    mismatch, its peers clear their ``pushed`` memory toward it, and
+    the next update pays the full re-ship — the baseline a warm
+    rejoin is gated against."""
+    net = ProcessNetwork(seed=140, restart_limit=2, checkpoint_interval=1)
+    for i in range(length):
+        net.add_node(
+            f"N{i}",
+            "item(k: int)",
+            facts={"item": [(i * 100 + j,) for j in range(tuples)]},
+        )
+    for i in range(length - 1):
+        net.add_rule(f"N{i}:item(k) <- N{i + 1}:item(k)")
+    net.start()
+    try:
+        first = net.global_update("N0")
+        assert first.report.outcome == "complete"
+        victim = f"N{length // 2}"
+        if cold:
+            # Let the post-update checkpoint land, then lose it.
+            time.sleep(0.3)
+            os.remove(net._snapshot_path(victim))
+        started = time.perf_counter()
+        net.crash_worker(victim)
+        _wait_for_restart(net, victim)
+        second = net.global_update("N0")
+        recover_wall = time.perf_counter() - started
+        assert second.report.outcome == "complete"
+        downtime = next(
+            outage["downtime"]
+            for outage in net.outages
+            if outage["worker"] == victim
+        )
+        state = net.snapshot()
+        return {
+            "first_bytes": first.transport_bytes,
+            "reship_bytes": second.transport_bytes,
+            "downtime_s": downtime,
+            "recover_wall_s": recover_wall,
+            # The origin keeps what the first update materialised
+            # either way; the victim's own database tells warm from
+            # cold: its base facts only ever flowed upstream, so a
+            # cold restart loses them for good.
+            "origin_rows": len(state["N0"]["item"]),
+            "victim_rows": len(state[victim]["item"]),
+        }
+    finally:
+        net.stop()
+
+
+def test_rejoin_recovery_matrix(benchmark, report, smoke, rejoin):
+    """Warm rejoin (durable snapshot restored) vs cold restart
+    (snapshot lost): recovery wall time and re-shipped bytes."""
+    if not rejoin:
+        pytest.skip("crash-and-rejoin matrix is opt-in (--rejoin)")
+    length, tuples = sizes(smoke)
+
+    def run():
+        return {
+            "warm": run_rejoin_cycle(False, length, tuples),
+            "cold": run_rejoin_cycle(True, length, tuples),
+        }
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    warm, cold = cycles["warm"], cycles["cold"]
+    report.add_table(
+        ["restart", "first_bytes", "reship_bytes", "downtime_s",
+         "recover_wall_s", "origin_rows", "victim_rows"],
+        [
+            ["warm (snapshot)", warm["first_bytes"], warm["reship_bytes"],
+             f"{warm['downtime_s']:.3f}", f"{warm['recover_wall_s']:.3f}",
+             warm["origin_rows"], warm["victim_rows"]],
+            ["cold (no snapshot)", cold["first_bytes"], cold["reship_bytes"],
+             f"{cold['downtime_s']:.3f}", f"{cold['recover_wall_s']:.3f}",
+             cold["origin_rows"], cold["victim_rows"]],
+        ],
+        title=f"E14e: crash→restart→reconverge on a process chain of "
+              f"{length} ({tuples} tuples/node)",
+    )
+    # Warm rejoin: memory digests match, the snapshot restores the
+    # victim in full, (almost) nothing is re-shipped.  Cold restart:
+    # the victim comes back empty — the suffix is re-shipped and its
+    # own base facts (which only ever flowed upstream) are gone.
+    suffix = length - length // 2
+    assert warm["origin_rows"] == cold["origin_rows"] == tuples * length
+    assert warm["victim_rows"] == tuples * suffix
+    assert cold["victim_rows"] == tuples * (suffix - 1)
+    assert warm["reship_bytes"] < cold["reship_bytes"], (
+        "a warm rejoin must re-ship less than the cold-restart baseline"
+    )
+    assert warm["downtime_s"] > 0 and cold["downtime_s"] > 0

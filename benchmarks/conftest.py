@@ -48,6 +48,18 @@ def pytest_addoption(parser):
             "the threaded TCP runner; skips gracefully on <2 cores"
         ),
     )
+    parser.addoption(
+        "--rejoin",
+        action="store_true",
+        default=False,
+        help=(
+            "run the crash-and-rejoin recovery matrix (bench_churn.py): "
+            "SIGKILL a worker mid-chain, supervised restart from its "
+            "durable snapshot, and measure reconvergence wall time and "
+            "re-shipped bytes — warm rejoin vs a cold restart that "
+            "lost the snapshot"
+        ),
+    )
 
 
 @pytest.fixture
@@ -66,6 +78,12 @@ def storm(request):
 def processes(request):
     """Whether the process-runner scenarios were requested (--processes)."""
     return bool(request.config.getoption("--processes"))
+
+
+@pytest.fixture
+def rejoin(request):
+    """Whether the crash-and-rejoin scenarios were requested (--rejoin)."""
+    return bool(request.config.getoption("--rejoin"))
 
 _writers: dict[str, ReportWriter] = {}
 

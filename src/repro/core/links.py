@@ -39,6 +39,7 @@ membership uses the engine's type-strict value identity.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.core.rules import CoordinationRule
@@ -48,6 +49,25 @@ from repro.relational.values import Row, row_key
 INACTIVE = "inactive"
 OPEN = "open"
 CLOSED = "closed"
+
+
+def memory_digest(keys: set) -> tuple[int, int]:
+    """Order-independent fingerprint of a lifetime row-key set.
+
+    ``(cardinality, crc32 over the sorted key reprs)`` — cheap to
+    compute, cheap to ship, and deterministic across processes (reprs,
+    not ``hash()``, which PYTHONHASHSEED randomizes).  The rejoin
+    handshake compares the rejoiner's restored ``fired`` memory against
+    the surviving exporter's ``pushed`` memory per link: in steady
+    state the two sides record the same row flow, so equal digests mean
+    the rejoiner missed nothing and the exporter's send-dedup can stand;
+    any mismatch clears it so the next update conservatively re-ships
+    (the importer's ``fired`` set makes over-shipping harmless).
+    """
+    crc = 0
+    for text in sorted(repr(key) for key in keys):
+        crc = zlib.crc32(text.encode("utf-8"), crc)
+    return (len(keys), crc)
 
 
 @dataclass

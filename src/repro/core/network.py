@@ -195,6 +195,17 @@ class CoDBNetwork:
             for node in self.nodes.values():
                 node.set_rules(self.rule_file.rules)
 
+    def rejoin_node(self, name: str) -> CoDBNode:
+        """Drive a departed or crashed node's re-entry: the node
+        re-registers on the transport, handshakes with every surviving
+        acquaintance (lifetime-memory digests both ways, conservative
+        cache/interest resets), and re-arms its admission queue.  The
+        handshake traffic settles with the next :meth:`run` /
+        :meth:`drain`."""
+        node = self.nodes[name]
+        node.rejoin()
+        return node
+
     def rewire(self, rule_file: RuleFile | str) -> None:
         """Replace the network's rules at runtime (§4 dynamic topology)."""
         if isinstance(rule_file, str):

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 from repro.core.answercache import DEFAULT_CACHE_SIZE, AnswerCache
-from repro.core.links import LinkTable
+from repro.core.links import LinkTable, memory_digest
 from repro.core.push import PUSH_KIND, PushEngine
 from repro.core.query import QUERY_KINDS, QueryEngine
 from repro.core.requests import AdmissionControl, RequestHandle
@@ -282,6 +282,7 @@ class CoDBNode:
         self.endpoint.on("undeliverable", self._locked(self._on_undeliverable))
         self.endpoint.on("peer_down", self._locked(self._on_peer_down))
         self.endpoint.on("invalidation", self._locked(self._on_invalidation))
+        self.endpoint.on("rejoin", self._locked(self._on_rejoin))
 
     def _locked(self, handler):
         def wrapped(message: Message) -> None:
@@ -999,6 +1000,103 @@ class CoDBNode:
     def update_report(self, update_id: str) -> UpdateReport | None:
         """The per-node global update processing report (§4)."""
         return self.stats.report_for(update_id)
+
+    # ------------------------------------------------------------------
+    # Crash-and-rejoin lifecycle
+    # ------------------------------------------------------------------
+
+    def _rejoin_digests(self) -> dict[str, list[int]]:
+        """Per-outgoing-link fingerprints of the lifetime ``fired``
+        memory, keyed by rule id — what the rejoin handshake ships so
+        the exporter on the other side can decide whether its
+        ``pushed`` dedup still matches what this importer remembers."""
+        return {
+            rule_id: list(memory_digest(link.fired))
+            for rule_id, link in self.links.outgoing.items()
+        }
+
+    def rejoin(self) -> None:
+        """Re-enter the network after a crash or departure.
+
+        The node re-registers on the transport, conservatively resets
+        everything reachability-sensitive (answer cache floods, interest
+        registrations drop on both sides — exactly the partition-heal
+        fallbacks), then announces itself to every acquaintance with a
+        ``rejoin`` handshake carrying its lifetime-memory digests and
+        epoch vector.  Each survivor resynchronises its send-dedup
+        against the digests (see :meth:`_on_rejoin`) and answers with
+        its own, so both directions of every shared rule end
+        consistent.  Finally the admission queue is re-armed so work
+        deferred during the outage drains.
+
+        The restored ``fired`` memory is *never* cleared: it is what
+        keeps re-shipped rows from re-minting nulls.  A stale ``pushed``
+        memory only ever causes over-resending, which ``fired`` absorbs.
+        """
+        with self._lock:
+            self.detached = False
+            # Every acquaintance gets a fresh chance; a genuinely dead
+            # peer will bounce again and be re-recorded.
+            self._down_peers.clear()
+            self.cache.bump_all()
+            for link in self.links.outgoing.values():
+                link.registered = False
+            for link in self.links.incoming.values():
+                link.cache_interest = False
+                link.notified.clear()
+            peers = self.links.acquaintances()
+            payload = {
+                "digests": self._rejoin_digests(),
+                "epochs": dict(self.cache.epochs),
+                "ack": False,
+            }
+        self.endpoint.reattach()
+        for peer in peers:
+            self.endpoint.try_send(peer, "rejoin", payload)
+        with self._lock:
+            self.admission.drain()
+
+    def _on_rejoin(self, message: Message) -> None:
+        """A peer re-entered the network (or acked our own rejoin).
+
+        Symmetric resync: treat the peer as freshly reachable (flood
+        the cache, reset interest both ways — it may have missed
+        invalidations while gone), then compare each incoming link's
+        lifetime ``pushed`` memory against the digest of the peer's
+        restored ``fired`` memory for the same rule.  A match means the
+        peer missed nothing this side's dedup would suppress — the
+        warm-rejoin fast path.  Any mismatch clears ``pushed`` so the
+        next update re-ships everything; the peer's ``fired`` set makes
+        over-shipping harmless, while under-shipping would lose data.
+        """
+        peer = message.sender
+        payload = message.payload
+        self._down_peers.discard(peer)
+        self.cache.bump_all()
+        for link in self.links.outgoing.values():
+            if link.remote == peer:
+                link.registered = False
+        digests = payload.get("digests", {})
+        for link in self.links.incoming.values():
+            if link.remote != peer:
+                continue
+            link.cache_interest = False
+            link.notified.clear()
+            link.lease_remaining = 0
+            theirs = digests.get(link.rule_id)
+            if theirs is None or tuple(theirs) != memory_digest(link.pushed):
+                link.pushed.clear()
+        self.admission.drain()
+        if not payload.get("ack"):
+            self.endpoint.try_send(
+                peer,
+                "rejoin",
+                {
+                    "digests": self._rejoin_digests(),
+                    "epochs": dict(self.cache.epochs),
+                    "ack": True,
+                },
+            )
 
     # ------------------------------------------------------------------
 

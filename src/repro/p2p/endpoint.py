@@ -119,5 +119,13 @@ class Endpoint:
     def detach(self) -> None:
         self.transport.unregister(self.peer_id)
 
+    def reattach(self) -> None:
+        """Re-register after a :meth:`detach` — the rejoin handshake's
+        first step.  Handler registrations and the dedup log survive
+        (stale entries are harmless: the old incarnation's senders are
+        exactly the peers the rejoin protocol resynchronises with)."""
+        if not self.transport.is_registered(self.peer_id):
+            self.transport.register(self.peer_id, self._dispatch)
+
     def now(self) -> float:
         return self.transport.now()

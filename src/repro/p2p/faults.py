@@ -1,15 +1,17 @@
-"""Adversarial fault injection for the simulated transport.
+"""Adversarial fault injection, transport-agnostic.
 
 The paper claims termination "even if nodes and coordination rules
 appear or disappear during the computation" (§1) — but a transport
 that delivers every message reliably and in order never *tests* that
-claim.  This module makes the in-process simulator adversarial while
-keeping it byte-reproducible: a :class:`FaultInjector` composes
+claim.  This module makes any transport adversarial while keeping the
+fault schedule reproducible: a :class:`FaultInjector` composes
 pluggable :class:`FaultModel`\\ s (the structure follows the
 ``FaultModel``/``MobilityModel`` plug-ins of wireless-sensor
-simulators), each seeded independently, and the
-:class:`~repro.p2p.inproc.InProcessNetwork` consults it at two hook
-points:
+simulators), each seeded independently, and the transport —
+:class:`~repro.p2p.inproc.InProcessNetwork` *or*
+:class:`~repro.p2p.tcp.TcpNetwork` (and through it the process-per-node
+runner, whose workers install the same serialised model stack on their
+own transports) — consults it at two hook points:
 
 * **send** — every scheduled message gets a :class:`Verdict`: deliver
   (possibly several copies, possibly with extra delay) or *bounce*
@@ -51,19 +53,42 @@ The models:
   lets ``CoDBNetwork`` report ``outcome="partial"`` naming exactly
   the severed component instead of silently truncating the §4 report.
 
-Every model draws from its own ``random.Random`` seeded from the
-injector's seed and the model's position, so adding a model never
-perturbs another model's choices and two runs with the same seeds
-produce identical fault schedules.
+* :class:`LognormalDelay` / :class:`GilbertElliott` —
+  distribution-shaped weather replacing the Bernoulli-only models:
+  heavy-tailed per-message latency drawn from a lognormal, and bursty
+  loss from the classic two-state Gilbert–Elliott Markov channel
+  (losses cluster, as they do on real links, instead of arriving
+  independently).
+* :class:`ScheduledCrash` — crash-and-rejoin as a first-class fault
+  model: after the N-th matching delivery at the victim the crash
+  action fires (kill the node, SIGKILL the worker), and optionally a
+  rejoin action fires a counted number of deliveries later.  Timing is
+  event-count based like every other model, so the schedule is
+  identical under any latency model and on any transport.
+
+Every probabilistic model draws from a ``random.Random`` derived per
+message from the model's seed and the message's **edge stream
+position** — a per-(sender, recipient, kind) sequence number.  The
+draw therefore depends only on *how many messages of this kind have
+crossed this edge before*, never on cross-edge interleaving or thread
+timing, which is what makes the same seeded model stack produce
+**identical verdict traces** on the single-threaded simulator and on
+the multi-threaded TCP transport (and lets N worker processes each
+run their own copy of the stack while jointly behaving like one).
+Counter-based models (:class:`LinkFlap`, which counts attempts across
+both directions of a pair) remain deterministic on the simulator only.
 """
 
 from __future__ import annotations
 
+import math
 import random
+import threading
 import zlib
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable
 
+from repro.errors import ProtocolError
 from repro.p2p.messages import Message
 
 
@@ -89,17 +114,42 @@ class FaultModel:
     Subclasses override :meth:`on_send` (mutate the verdict) and/or
     :meth:`on_delivered` (observe deliveries — flap counters, mobility
     triggers).  ``bind`` is called by the injector with a dedicated
-    seeded RNG.
+    seeded RNG and the model's derived stream seed (what :meth:`draw`
+    keys per-message RNGs on).
     """
 
     name = "fault"
 
     def __init__(self) -> None:
         self.rng = random.Random(0)
+        self._stream_seed = 0
+        #: (sender, recipient, kind) -> messages seen on that edge.
+        self._edge_seq: dict[tuple[str, str, str], int] = {}
 
-    def bind(self, injector: "FaultInjector", rng: random.Random) -> None:
+    def bind(
+        self,
+        injector: "FaultInjector",
+        rng: random.Random,
+        stream_seed: int = 0,
+    ) -> None:
         self.injector = injector
         self.rng = rng
+        self._stream_seed = stream_seed
+
+    def draw(self, message: Message) -> random.Random:
+        """A per-message RNG keyed on the message's edge-stream
+        position.  The K-th ``kind`` message from A to B always gets
+        the same RNG under the same seed — regardless of transport,
+        thread timing, or which other models are installed — so seeded
+        verdict traces are identical across deployment modes."""
+        edge = (message.sender, message.recipient, message.kind)
+        sequence = self._edge_seq.get(edge, 0)
+        self._edge_seq[edge] = sequence + 1
+        key = (
+            f"{self._stream_seed}:{message.sender}>{message.recipient}"
+            f":{message.kind}:{sequence}"
+        )
+        return random.Random(zlib.crc32(key.encode()))
 
     def on_send(self, message: Message, verdict: Verdict) -> None:
         """Adjust *verdict* for a message about to be scheduled."""
@@ -110,6 +160,14 @@ class FaultModel:
     def stats(self) -> dict:
         """Counters for benchmarks ({} unless the model keeps any)."""
         return {}
+
+    def spec(self) -> dict:
+        """Serialisable constructor parameters (``{"model": name, ...}``)
+        for shipping the model to worker processes; raises for models
+        that hold callables or driver-side state."""
+        raise ProtocolError(
+            f"fault model {self.name!r} is not serialisable"
+        )
 
 
 class MessageLoss(FaultModel):
@@ -144,8 +202,9 @@ class MessageLoss(FaultModel):
     def on_send(self, message: Message, verdict: Verdict) -> None:
         if self.kinds is not None and message.kind not in self.kinds:
             return
+        rng = self.draw(message)
         attempts = 0
-        while attempts <= self.retries and self.rng.random() < self.probability:
+        while attempts <= self.retries and rng.random() < self.probability:
             attempts += 1
         if attempts == 0:
             return
@@ -162,6 +221,15 @@ class MessageLoss(FaultModel):
             "messages_lost": self.messages_lost,
             "retries_used": self.retries_used,
             "bounced": self.bounced,
+        }
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "probability": self.probability,
+            "retries": self.retries,
+            "retry_delay": self.retry_delay,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
         }
 
 
@@ -187,12 +255,20 @@ class Duplication(FaultModel):
     def on_send(self, message: Message, verdict: Verdict) -> None:
         if self.kinds is not None and message.kind not in self.kinds:
             return
-        if self.rng.random() < self.probability:
+        if self.draw(message).random() < self.probability:
             verdict.copies = max(verdict.copies, self.copies)
             self.duplicated += 1
 
     def stats(self) -> dict:
         return {"duplicated": self.duplicated}
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "probability": self.probability,
+            "copies": self.copies,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
+        }
 
 
 class Reorder(FaultModel):
@@ -214,12 +290,20 @@ class Reorder(FaultModel):
         self.delayed = 0
 
     def on_send(self, message: Message, verdict: Verdict) -> None:
-        if self.rng.random() < self.probability:
-            verdict.extra_delay += self.rng.uniform(0.0, self.max_extra)
+        rng = self.draw(message)
+        if rng.random() < self.probability:
+            verdict.extra_delay += rng.uniform(0.0, self.max_extra)
             self.delayed += 1
 
     def stats(self) -> dict:
         return {"delayed": self.delayed}
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "probability": self.probability,
+            "max_extra": self.max_extra,
+        }
 
 
 class ExtraDelay(FaultModel):
@@ -246,11 +330,170 @@ class ExtraDelay(FaultModel):
             return
         verdict.extra_delay += self.delay
         if self.jitter > 0.0:
-            verdict.extra_delay += self.rng.uniform(0.0, self.jitter)
+            verdict.extra_delay += self.draw(message).uniform(0.0, self.jitter)
         self.delayed += 1
 
     def stats(self) -> dict:
         return {"delayed": self.delayed}
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "delay": self.delay,
+            "jitter": self.jitter,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
+        }
+
+
+class LognormalDelay(FaultModel):
+    """Heavy-tailed per-message latency drawn from a lognormal.
+
+    Real network delay distributions are right-skewed: most messages
+    cross near the median, a long tail straggles.  ``median`` is the
+    distribution's median extra delay (the lognormal's ``exp(mu)``),
+    ``sigma`` its shape (0 = constant, ~1 = heavy tail), and ``cap``
+    clamps the tail so a single unlucky draw cannot stall a benchmark.
+    Deterministic per edge-stream position like every draw-based model.
+    """
+
+    name = "lognormal"
+
+    def __init__(
+        self,
+        *,
+        median: float = 0.002,
+        sigma: float = 0.5,
+        cap: float = 0.05,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        if median <= 0.0:
+            raise ValueError("lognormal median must be positive")
+        self.median = median
+        self.sigma = sigma
+        self.cap = cap
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.delayed = 0
+        self.capped = 0
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return
+        delay = self.draw(message).lognormvariate(
+            math.log(self.median), self.sigma
+        )
+        if delay > self.cap:
+            delay = self.cap
+            self.capped += 1
+        verdict.extra_delay += delay
+        self.delayed += 1
+
+    def stats(self) -> dict:
+        return {"delayed": self.delayed, "capped": self.capped}
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "median": self.median,
+            "sigma": self.sigma,
+            "cap": self.cap,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
+        }
+
+
+class GilbertElliott(FaultModel):
+    """Bursty loss: the two-state Gilbert–Elliott Markov channel.
+
+    Each (sender, recipient) edge carries its own channel state, GOOD
+    or BAD, stepped once per message on that edge: GOOD→BAD with
+    probability ``p_bad``, BAD→GOOD with ``p_recover``.  The loss
+    probability is ``loss_good`` in GOOD (usually 0) and ``loss_bad``
+    in BAD — so losses arrive in bursts while the edge sits in BAD,
+    the pattern independent Bernoulli loss cannot produce.  Losses use
+    the same retry-then-bounce semantics as :class:`MessageLoss`.
+
+    State transitions draw from the per-message edge stream, and the
+    state itself is a function of the edge's message *count* — both
+    transport-independent, so the burst schedule is identical on the
+    simulator and over TCP.
+    """
+
+    name = "gilbert"
+
+    def __init__(
+        self,
+        *,
+        p_bad: float = 0.05,
+        p_recover: float = 0.5,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+        retries: int = 3,
+        retry_delay: float = 0.002,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        self.p_bad = p_bad
+        self.p_recover = p_recover
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        #: (sender, recipient) -> channel is in the BAD state.
+        self._bad: dict[tuple[str, str], bool] = {}
+        self.bursts = 0
+        self.messages_lost = 0
+        self.retries_used = 0
+        self.bounced = 0
+
+    def on_send(self, message: Message, verdict: Verdict) -> None:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return
+        rng = self.draw(message)
+        edge = (message.sender, message.recipient)
+        bad = self._bad.get(edge, False)
+        if bad:
+            if rng.random() < self.p_recover:
+                bad = False
+        elif rng.random() < self.p_bad:
+            bad = True
+            self.bursts += 1
+        self._bad[edge] = bad
+        probability = self.loss_bad if bad else self.loss_good
+        if probability <= 0.0:
+            return
+        attempts = 0
+        while attempts <= self.retries and rng.random() < probability:
+            attempts += 1
+        if attempts == 0:
+            return
+        self.messages_lost += attempts
+        if attempts > self.retries:
+            verdict.bounce = True
+            self.bounced += 1
+        else:
+            self.retries_used += attempts
+            verdict.extra_delay += attempts * self.retry_delay
+
+    def stats(self) -> dict:
+        return {
+            "bursts": self.bursts,
+            "messages_lost": self.messages_lost,
+            "retries_used": self.retries_used,
+            "bounced": self.bounced,
+        }
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "p_bad": self.p_bad,
+            "p_recover": self.p_recover,
+            "loss_good": self.loss_good,
+            "loss_bad": self.loss_bad,
+            "retries": self.retries,
+            "retry_delay": self.retry_delay,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
+        }
 
 
 class LinkFlap(FaultModel):
@@ -289,6 +532,7 @@ class LinkFlap(FaultModel):
         if mode not in ("delay", "bounce"):
             raise ValueError(f"unknown flap mode {mode!r}")
         self.pair = frozenset((a, b))
+        self._ab = tuple(sorted((a, b)))
         self.down_every = down_every
         self.down_for = down_for
         self.mode = mode
@@ -325,6 +569,17 @@ class LinkFlap(FaultModel):
             "flaps": self.flaps,
             "bounced": self.bounced,
             "delayed": self.delayed,
+        }
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "a": self._ab[0],
+            "b": self._ab[1],
+            "down_every": self.down_every,
+            "down_for": self.down_for,
+            "mode": self.mode,
+            "outage_delay": self.outage_delay,
         }
 
 
@@ -396,6 +651,81 @@ class Partition(FaultModel):
         return {"active": self.active, "bounced": self.bounced}
 
 
+class ScheduledCrash(FaultModel):
+    """Crash-and-rejoin as a first-class, serialisable fault model.
+
+    Counts deliveries *to* ``victim`` (optionally only of ``kind``);
+    after the ``after``-th one the ``crash`` action fires — on the
+    in-process transport that is typically ``node.leave_network``, in a
+    worker process it is ``os.kill(os.getpid(), SIGKILL)`` so the
+    supervisor's restart path is exercised for real.  If
+    ``rejoin_after`` is set, the model then counts *any* subsequent
+    delivery anywhere (the victim is dead; nothing reaches it) and
+    fires the ``rejoin`` action after that many — event-count timing,
+    so the schedule is identical under any latency model.
+
+    The actions are host-side callables and do not serialise;
+    :meth:`spec` ships only the schedule, and each transport host wires
+    its own crash/rejoin actions when rebuilding from the spec.
+    """
+
+    name = "crash"
+
+    def __init__(
+        self,
+        victim: str,
+        *,
+        after: int = 1,
+        kind: str | None = None,
+        rejoin_after: int | None = None,
+        crash: Callable[[], None] | None = None,
+        rejoin: Callable[[], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self.victim = victim
+        self.after = after
+        self.kind = kind
+        self.rejoin_after = rejoin_after
+        self.crash = crash
+        self.rejoin = rejoin
+        self.crashed = False
+        self.rejoined = False
+        self._to_crash = after
+        self._to_rejoin = rejoin_after
+
+    def on_delivered(self, message: Message) -> None:
+        if not self.crashed:
+            if message.recipient != self.victim:
+                return
+            if self.kind is not None and message.kind != self.kind:
+                return
+            self._to_crash -= 1
+            if self._to_crash <= 0:
+                self.crashed = True
+                if self.crash is not None:
+                    self.crash()
+            return
+        if self.rejoined or self._to_rejoin is None:
+            return
+        self._to_rejoin -= 1
+        if self._to_rejoin <= 0:
+            self.rejoined = True
+            if self.rejoin is not None:
+                self.rejoin()
+
+    def stats(self) -> dict:
+        return {"crashed": self.crashed, "rejoined": self.rejoined}
+
+    def spec(self) -> dict:
+        return {
+            "model": self.name,
+            "victim": self.victim,
+            "after": self.after,
+            "kind": self.kind,
+            "rejoin_after": self.rejoin_after,
+        }
+
+
 @dataclass
 class _DeliveryHook:
     """One event-count trigger (see :meth:`FaultInjector.at_delivery`)."""
@@ -465,16 +795,23 @@ class FaultInjector:
         self.verdicts = 0
         self.bounces = 0
         self.copies_added = 0
+        # TcpNetwork consults verdicts from node threads and
+        # after_delivery from per-peer delivery threads; the simulator
+        # is single-threaded and pays only an uncontended acquire.
+        # Reentrant because a hook action may itself trigger sends.
+        self._lock = threading.RLock()
+        self.record_trace = False
+        self.trace: list[tuple] = []
+        self._trace_seq: dict[tuple[str, str, str], int] = {}
         for index, model in enumerate(self.models):
-            model.bind(self, random.Random(_derive_seed(seed, index, model.name)))
+            stream = _derive_seed(seed, index, model.name)
+            model.bind(self, random.Random(stream), stream_seed=stream)
 
     # -- composition ------------------------------------------------------
 
     def add_model(self, model: FaultModel) -> FaultModel:
-        model.bind(
-            self,
-            random.Random(_derive_seed(self.seed, len(self.models), model.name)),
-        )
+        stream = _derive_seed(self.seed, len(self.models), model.name)
+        model.bind(self, random.Random(stream), stream_seed=stream)
         self.models.append(model)
         return model
 
@@ -485,23 +822,50 @@ class FaultInjector:
 
     def verdict(self, message: Message) -> Verdict:
         """Combined verdict for one message about to be scheduled."""
-        verdict = Verdict()
-        for model in self.models:
-            model.on_send(message, verdict)
-        self.verdicts += 1
-        if verdict.bounce:
-            self.bounces += 1
-        elif verdict.copies > 1:
-            self.copies_added += verdict.copies - 1
-        return verdict
+        with self._lock:
+            verdict = Verdict()
+            for model in self.models:
+                model.on_send(message, verdict)
+            self.verdicts += 1
+            if verdict.bounce:
+                self.bounces += 1
+            elif verdict.copies > 1:
+                self.copies_added += verdict.copies - 1
+            if self.record_trace:
+                edge = (message.sender, message.recipient, message.kind)
+                sequence = self._trace_seq.get(edge, 0)
+                self._trace_seq[edge] = sequence + 1
+                self.trace.append(
+                    (
+                        message.sender,
+                        message.recipient,
+                        message.kind,
+                        sequence,
+                        verdict.copies,
+                        round(verdict.extra_delay, 9),
+                        verdict.bounce,
+                    )
+                )
+            return verdict
+
+    def start_trace(self) -> None:
+        """Begin recording one (edge, seq) -> verdict tuple per consulted
+        message.  Traces on different transports compare *sorted*: wall
+        time interleaves edges differently, but each edge's verdict
+        sequence is deterministic."""
+        with self._lock:
+            self.record_trace = True
+            self.trace = []
+            self._trace_seq = {}
 
     # -- delivery-side hook ------------------------------------------------
 
     def after_delivery(self, message: Message) -> None:
-        for model in self.models:
-            model.on_delivered(message)
-        fired = [hook for hook in self._hooks if hook.observe(message)]
-        self._hooks = [h for h in self._hooks if not h.done]
+        with self._lock:
+            for model in self.models:
+                model.on_delivered(message)
+            fired = [hook for hook in self._hooks if hook.observe(message)]
+            self._hooks = [h for h in self._hooks if not h.done]
         for hook in fired:
             hook.action()
 
@@ -565,3 +929,97 @@ class FaultInjector:
             if stats:
                 totals[model.name] = stats
         return totals
+
+    # -- serialisation -----------------------------------------------------
+
+    def spec(self) -> dict:
+        """Wire form of this injector: seed + per-model specs, in model
+        order (order matters — stream seeds derive from the index).
+        Raises :class:`ProtocolError` if any model is host-bound
+        (e.g. :class:`Partition`, whose sever/heal are driver calls)."""
+        return {
+            "seed": self.seed,
+            "models": [model.spec() for model in self.models],
+        }
+
+
+#: model name -> constructor keyword set, for spec round-tripping.
+_MODEL_CLASSES: dict[str, type[FaultModel]] = {
+    cls.name: cls
+    for cls in (
+        MessageLoss,
+        Duplication,
+        Reorder,
+        ExtraDelay,
+        LognormalDelay,
+        GilbertElliott,
+        LinkFlap,
+        ScheduledCrash,
+    )
+}
+
+
+def build_models(
+    specs: Iterable[dict],
+    *,
+    crash_actions: dict[str, Callable[[], None]] | None = None,
+    rejoin_actions: dict[str, Callable[[], None]] | None = None,
+) -> list[FaultModel]:
+    """Rebuild fault models from their :meth:`FaultModel.spec` forms.
+
+    ``crash_actions`` / ``rejoin_actions`` map a :class:`ScheduledCrash`
+    victim name to the host-side callable to fire — the schedule ships,
+    the action stays local (a worker kills its own process; the
+    simulator detaches the node).
+    """
+    models: list[FaultModel] = []
+    for spec in specs:
+        params = dict(spec)
+        name = params.pop("model")
+        cls = _MODEL_CLASSES.get(name)
+        if cls is None:
+            raise ProtocolError(f"unknown fault model {name!r}")
+        if cls is MessageLoss:
+            model: FaultModel = MessageLoss(
+                params.pop("probability"), **params
+            )
+        elif cls is Duplication:
+            model = Duplication(params.pop("probability"), **params)
+        elif cls is Reorder:
+            model = Reorder(params.pop("probability"), **params)
+        elif cls is LinkFlap:
+            model = LinkFlap(params.pop("a"), params.pop("b"), **params)
+        elif cls is ScheduledCrash:
+            victim = params.pop("victim")
+            model = ScheduledCrash(
+                victim,
+                crash=(crash_actions or {}).get(victim),
+                rejoin=(rejoin_actions or {}).get(victim),
+                **params,
+            )
+        else:
+            model = cls(**params)
+        models.append(model)
+    return models
+
+
+def injector_from_spec(
+    payload: dict,
+    *,
+    crash_actions: dict[str, Callable[[], None]] | None = None,
+    rejoin_actions: dict[str, Callable[[], None]] | None = None,
+) -> FaultInjector:
+    """Build a :class:`FaultInjector` from :meth:`FaultInjector.spec`
+    output.  Every host that rebuilds the same payload draws identical
+    per-edge verdict streams — N worker processes each running a copy
+    jointly behave like the simulator's single injector, because
+    verdicts are consulted only at the sender's host and deliveries
+    observed only at the recipient's."""
+    return FaultInjector(
+        *build_models(
+            payload.get("models", ()),
+            crash_actions=crash_actions,
+            rejoin_actions=rejoin_actions,
+        ),
+        seed=payload.get("seed", 0),
+    )

@@ -109,6 +109,7 @@ KINDS = (
     "topology_response",
     "peer_down",            # failure-detector announcement
     "undeliverable",        # bounced protocol mail (dynamic networks)
+    "rejoin",               # crash-and-rejoin handshake (resync digests)
 )
 
 

@@ -68,7 +68,11 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import queue
+import random
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import asdict
@@ -201,6 +205,10 @@ class ProcessNetwork:
         poll_timeout: float = 30.0,
         start_method: str | None = None,
         wire_codec: str = "json",
+        restart_limit: int = 0,
+        checkpoint_interval: int = 1,
+        snapshot_dir: str | None = None,
+        restart_backoff: float = 0.05,
     ) -> None:
         if wire_codec not in CODECS:
             raise ProtocolError(f"unknown wire codec {wire_codec!r}")
@@ -235,6 +243,29 @@ class ProcessNetwork:
         self._worker_totals: dict[str, dict[str, int]] = {}
         #: ``fatal`` events pushed by workers (delivery-thread errors).
         self.worker_errors: list[tuple[str, str]] = []
+        # -- supervision (crash-and-rejoin) ----------------------------
+        #: Supervised restarts allowed per worker; 0 = dead stays dead.
+        self.restart_limit = max(0, int(restart_limit))
+        #: Checkpoint every N completed sessions at each worker.
+        self.checkpoint_interval = max(1, int(checkpoint_interval))
+        self.restart_backoff = restart_backoff
+        self._restart_backoff_cap = 1.0
+        self._restart_rng = random.Random(seed ^ 0x5EED)
+        self._snapshot_dir_arg = snapshot_dir
+        self._snapshot_dir: str | None = None
+        self._snapshot_dir_owned = False
+        self._ctx = None
+        self._rules_payload: dict[str, Any] | None = None
+        self._fault_spec: dict[str, Any] | None = None
+        self._restarts: dict[str, int] = {}
+        self._restart_threads: list[threading.Thread] = []
+        #: update id -> workers that were down at some point while the
+        #: update was in flight (kept bounded; read by _update_outcome
+        #: so a post-restart assembly still reports the outage window).
+        self._outage_peers: dict[str, set[str]] = {}
+        #: Completed supervised restarts (diagnostics/benchmarks):
+        #: ``{"worker", "attempt", "downtime"}`` per restart.
+        self.outages: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # Building
@@ -306,6 +337,16 @@ class ProcessNetwork:
             raise ProtocolError("no nodes declared")
         self._started = True
         ctx = multiprocessing.get_context(self._start_method)
+        self._ctx = ctx
+        if self.restart_limit > 0 or self._snapshot_dir_arg is not None:
+            # Durable snapshots on: each worker checkpoints to its own
+            # file here, and a supervised restart restores from it.
+            if self._snapshot_dir_arg is None:
+                self._snapshot_dir = tempfile.mkdtemp(prefix="codb-snap-")
+                self._snapshot_dir_owned = True
+            else:
+                os.makedirs(self._snapshot_dir_arg, exist_ok=True)
+                self._snapshot_dir = self._snapshot_dir_arg
         try:
             # Overlapped boot: each worker gets its ``configure`` the
             # moment its process starts, so all N initialise
@@ -328,14 +369,7 @@ class ProcessNetwork:
                 worker.alive = True
                 self._workers[name] = worker
                 boot_cmds[name] = self._send_command(
-                    worker,
-                    "configure",
-                    name=worker.name,
-                    schema=worker.spec["schema"],
-                    config=worker.spec["config"],
-                    store=worker.spec["store"],
-                    seed=self.seed,
-                    wire_codec=self.wire_codec,
+                    worker, "configure", **self._configure_args(name)
                 )
             for worker in self._workers.values():
                 reply = self._collect_reply(
@@ -346,6 +380,7 @@ class ProcessNetwork:
                 name: worker.port for name, worker in self._workers.items()
             }
             rules_payload = self.rule_file.to_payload()
+            self._rules_payload = rules_payload
             # Same pipelining for the wiring round: every worker runs
             # its connect/load/set_rules sequence concurrently (each
             # pipe preserves command order, so per-worker sequencing
@@ -391,6 +426,30 @@ class ProcessNetwork:
             target=self._pump, name="codb-driver-pump", daemon=True
         )
         self._pump_thread.start()
+
+    def _snapshot_path(self, name: str) -> str | None:
+        if self._snapshot_dir is None:
+            return None
+        return os.path.join(self._snapshot_dir, f"{name}.snapshot.json")
+
+    def _configure_args(
+        self, name: str, incarnation: int = 0
+    ) -> dict[str, Any]:
+        worker = self._workers[name]
+        arguments: dict[str, Any] = {
+            "name": name,
+            "schema": worker.spec["schema"],
+            "config": worker.spec["config"],
+            "store": worker.spec["store"],
+            "seed": self.seed,
+            "wire_codec": self.wire_codec,
+        }
+        path = self._snapshot_path(name)
+        if path is not None:
+            arguments["snapshot_path"] = path
+            arguments["checkpoint_interval"] = self.checkpoint_interval
+            arguments["incarnation"] = incarnation
+        return arguments
 
     # ------------------------------------------------------------------
     # Control-channel plumbing
@@ -689,6 +748,18 @@ class ProcessNetwork:
                 target(error)
         if self._stopping:
             return
+        # Remember the outage for every update in flight right now:
+        # even if the worker restarts before the handle assembles its
+        # outcome, the report must still say this peer was unreachable
+        # during the session (the handle settles as ``partial``).
+        with self._lock:
+            for tracked in self._tracked.values():
+                if tracked.kind == "update":
+                    self._outage_peers.setdefault(
+                        tracked.request_id, set()
+                    ).add(worker.name)
+            while len(self._outage_peers) > 4096:
+                self._outage_peers.pop(next(iter(self._outage_peers)))
         # Failure-detector fan-out: every survivor's transport delivers
         # a peer_down for the corpse through its node's normal inbox.
         for survivor in self._workers.values():
@@ -700,6 +771,98 @@ class ProcessNetwork:
             if tracked.kind == "update":
                 self._maybe_probe(tracked.request_id)
         self._sync_handles()
+        # Supervised restart: bring the corpse back from its snapshot
+        # (off the pump thread — the restart does synchronous pipe
+        # round-trips).  ``restart_limit=0`` keeps dead-stays-dead.
+        if (
+            self.restart_limit > 0
+            and self._restarts.get(worker.name, 0) < self.restart_limit
+        ):
+            thread = threading.Thread(
+                target=self._supervised_restart,
+                args=(worker,),
+                name=f"codb-restart-{worker.name}",
+                daemon=True,
+            )
+            self._restart_threads.append(thread)
+            thread.start()
+
+    def _supervised_restart(self, worker: _WorkerProxy) -> None:
+        """Restart one crashed worker: backoff, respawn, restore, rejoin."""
+        name = worker.name
+        attempt = self._restarts.get(name, 0) + 1
+        self._restarts[name] = attempt
+        went_down = time.monotonic()
+        backoff = min(
+            self._restart_backoff_cap,
+            self.restart_backoff * (2 ** (attempt - 1)),
+        )
+        time.sleep(backoff * (0.5 + self._restart_rng.random() / 2))
+        if self._stopping or not self._running:
+            return
+        try:
+            self._respawn(worker, attempt)
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            self.worker_errors.append((name, f"restart failed: {exc!r}"))
+            worker.alive = False
+            process = worker.process
+            if process is not None and process.is_alive():
+                process.kill()
+            return
+        self.outages.append(
+            {
+                "worker": name,
+                "attempt": attempt,
+                "downtime": time.monotonic() - went_down,
+            }
+        )
+        self._sync_handles()
+
+    def _respawn(self, worker: _WorkerProxy, attempt: int) -> None:
+        """The restart sequence proper.  Runs on a restart thread while
+        ``worker.alive`` is still False, so the pump ignores this pipe
+        and the boot-style direct calls below own it exclusively.
+
+        Order matters: survivors must learn the new port (``connect``
+        overwrites and purges the stale one) *before* the ``rejoin``
+        handshake makes the restarted node talk to them — otherwise
+        their acks would chase a dead socket.  Fault models are NOT
+        re-installed: a fresh ScheduledCrash copy would count
+        deliveries and kill the victim all over again.
+        """
+        name = worker.name
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"codb-worker-{name}-r{attempt}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker.conn = parent_conn
+        worker.process = process
+        reply = self._direct_call(
+            worker, "configure", **self._configure_args(name, attempt)
+        )
+        worker.port = int(reply["port"])
+        peers = {
+            other.name: other.port
+            for other in self._workers.values()
+            if other.name != name and other.port is not None
+        }
+        self._direct_call(worker, "connect", peers=peers)
+        self._direct_call(
+            worker, "set_rules", rules=self._rules_payload or {"rules": []}
+        )
+        survivors = [
+            other for other in self._workers.values()
+            if other.alive and other.name != name
+        ]
+        if survivors:
+            self._call_many(survivors, "connect", peers={name: worker.port})
+        self._direct_call(worker, "rejoin")
+        worker.alive = True
 
     # ------------------------------------------------------------------
     # Completion predicates (driver-state only: the pump calls these)
@@ -718,6 +881,7 @@ class ProcessNetwork:
                 origin_worker is None
                 or not origin_worker.alive
                 or tracked.origin in self._completion.get(request_id, ())
+                or tracked.origin in self._outage_peers.get(request_id, ())
             )
             if not origin_settled:
                 return
@@ -756,11 +920,17 @@ class ProcessNetwork:
     def _update_done(self, request_id: str, origin: str) -> bool:
         completed = self._completion.get(request_id, ())
         nonparticipants = self._nonparticipants.get(request_id, ())
+        # A worker that crashed while this update was in flight is
+        # excluded from the predicate even after a supervised restart
+        # revived it: the new incarnation holds no session state for
+        # the update and would otherwise stall the handle forever.
+        outage = self._outage_peers.get(request_id, ())
         origin_worker = self._workers.get(origin)
         if (
             origin_worker is not None
             and origin_worker.alive
             and origin not in completed
+            and origin not in outage
         ):
             return False
         tracked = self._tracked.get(request_id)
@@ -770,6 +940,7 @@ class ProcessNetwork:
             worker.name in completed
             or worker.name in nonparticipants
             or worker.name == origin
+            or worker.name in outage
             for worker in self._workers.values()
             if worker.alive
         )
@@ -884,6 +1055,7 @@ class ProcessNetwork:
         dead = sorted(
             set(name for name, w in self._workers.items() if not w.alive)
             | {p for report in reports for p in report.unreachable_peers}
+            | self._outage_peers.get(update_id, set())
         )
         return UpdateOutcome(
             update_id=update_id,
@@ -1042,6 +1214,26 @@ class ProcessNetwork:
         worker = self._worker(name)
         worker.process.kill()
 
+    def install_faults(self, injector) -> None:
+        """Install a fault-model composition on every worker transport.
+
+        *injector* is a :class:`~repro.p2p.faults.FaultInjector` (or a
+        ``spec()`` payload).  Each worker rebuilds the injector from
+        the spec on its own :class:`~repro.p2p.tcp.TcpNetwork`; the
+        per-edge deterministic draw streams make the N copies agree,
+        so a verdict consulted at the sender's host matches what a
+        single shared injector would have said.  A
+        :class:`~repro.p2p.faults.ScheduledCrash` victim SIGKILLs its
+        own process, exercising the supervised-restart path for real.
+        """
+        spec = injector.spec() if hasattr(injector, "spec") else dict(injector)
+        self._fault_spec = spec
+        self._call_many(
+            [w for w in self._workers.values() if w.alive],
+            "install_faults",
+            spec=spec,
+        )
+
     def drain(self, timeout: float | None = None) -> None:
         """Block until every tracked in-flight request has completed.
 
@@ -1065,6 +1257,8 @@ class ProcessNetwork:
             return
         self._stopped = True
         self._stopping = True
+        for thread in self._restart_threads:
+            thread.join(timeout=2.0)
         for worker in self._workers.values():
             if not worker.alive:
                 continue
@@ -1091,6 +1285,8 @@ class ProcessNetwork:
                 worker.conn.close()
             except OSError:
                 pass
+        if self._snapshot_dir_owned and self._snapshot_dir is not None:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
         self.transport.notify_progress()
 
     def __enter__(self) -> "ProcessNetwork":

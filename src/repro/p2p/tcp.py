@@ -54,6 +54,7 @@ layers cannot tell a remote peer from a local one.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import struct
 import threading
@@ -193,6 +194,9 @@ class _PeerServer:
             try:
                 self.network.stats.record_delivery()
                 self.handler(message)
+                faults = self.network.faults
+                if faults is not None:
+                    faults.after_delivery(message)
             finally:
                 with self.network._inflight_lock:
                     self.network._inflight -= 1
@@ -232,7 +236,20 @@ class TcpNetwork(Transport):
     to JSON against any peer that does not also offer binary).
     """
 
-    def __init__(self, *, nodelay: bool = True, wire_codec: str = "json") -> None:
+    #: Transport-level notifications, exempt from fault verdicts on
+    #: every transport (losing the failure notification itself would
+    #: make faults unobservable).
+    CONTROL_KINDS = frozenset({"undeliverable", "peer_down"})
+
+    def __init__(
+        self,
+        *,
+        nodelay: bool = True,
+        wire_codec: str = "json",
+        connect_retries: int = 3,
+        connect_backoff: float = 0.05,
+        connect_backoff_cap: float = 0.5,
+    ) -> None:
         super().__init__()
         if wire_codec not in CODECS:
             raise ProtocolError(f"unknown wire codec {wire_codec!r}")
@@ -241,6 +258,10 @@ class TcpNetwork(Transport):
         self.stats = ThreadSafeTransportStats()
         self.nodelay = nodelay
         self.wire_codec = wire_codec
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self.connect_backoff_cap = connect_backoff_cap
+        self.faults = None
         #: Negotiated codec per outbound (sender, recipient) connection.
         self._codecs: dict[tuple[str, str], str] = {}
         self._servers: dict[str, _PeerServer] = {}
@@ -282,6 +303,64 @@ class TcpNetwork(Transport):
                 )
             )
 
+    # -- fault injection ---------------------------------------------------
+
+    def install_faults(self, injector) -> None:
+        """Install a :class:`~repro.p2p.faults.FaultInjector`: sends
+        consult its verdict (loss retries as delay, exhaustion bounces
+        an ``undeliverable`` to the sender, duplicates write extra
+        frames) and every handled delivery feeds its models and
+        event-count hooks — the same seam the simulator exposes, over
+        real sockets."""
+        self.faults = injector
+        injector.bind_transport(self)
+
+    def severed_pairs(self) -> frozenset:
+        return self.faults.severed_pairs() if self.faults else frozenset()
+
+    def announce_unreachable(self, peer: str, to: str) -> None:
+        """Failure-detector notice: tell locally hosted peer *to* that
+        *peer* is unreachable.  Silently skipped when *to* lives in
+        another process — that process's own injector copy announces
+        its side of the cut."""
+        server = self._servers.get(to)
+        if server is None:
+            return
+        with self._inflight_lock:
+            self._inflight += 1
+        server.inbox.put(
+            Message(
+                kind="peer_down",
+                sender=peer,
+                recipient=to,
+                payload={"peer": peer},
+            )
+        )
+
+    def _bounce(self, message: Message) -> None:
+        """Return an ``undeliverable`` notice for *message* to its
+        sender's local inbox (mirrors the simulator's bounce path;
+        never bounces a bounce)."""
+        if message.kind == "undeliverable":
+            return
+        server = self._servers.get(message.sender)
+        if server is None:
+            return
+        with self._inflight_lock:
+            self._inflight += 1
+        server.inbox.put(
+            Message(
+                kind="undeliverable",
+                sender=message.recipient,
+                recipient=message.sender,
+                payload={
+                    "kind": message.kind,
+                    "payload": message.payload,
+                    "recipient": message.recipient,
+                },
+            )
+        )
+
     # -- multi-process wiring ---------------------------------------------
 
     def add_remote_peer(self, peer_id: str, port: int) -> None:
@@ -291,12 +370,28 @@ class TcpNetwork(Transport):
         framing as local delivery; the protocol layers see no
         difference.  The driver of a process-per-node deployment calls
         this on every worker after exchanging listening ports.
+        Re-registering with a new port (the peer's process restarted)
+        drops any cached connections to the old incarnation.
         """
         if peer_id in self._servers:
             raise UnknownPeerError(
                 f"peer {peer_id!r} is hosted by this transport"
             )
+        previous = self._remote_ports.get(peer_id)
         self._remote_ports[peer_id] = port
+        if previous is not None and previous != port:
+            with self._connections_lock:
+                stale = [
+                    key for key in self._send_locks if key[1] == peer_id
+                ]
+                for key in stale:
+                    self._codecs.pop(key, None)
+                    connection = self._connections.pop(key, None)
+                    if connection is not None:
+                        try:
+                            connection.close()
+                        except OSError:
+                            pass
 
     def remove_remote_peer(self, peer_id: str) -> None:
         """Forget a remote peer (its process died or left): subsequent
@@ -355,34 +450,52 @@ class TcpNetwork(Transport):
         if not local and message.recipient not in self._remote_ports:
             raise UnknownPeerError(message.recipient)
         self.stats.record_send(message)
+        copies = 1
+        extra_delay = 0.0
+        if self.faults is not None and message.kind not in self.CONTROL_KINDS:
+            verdict = self.faults.verdict(message)
+            if verdict.bounce:
+                self._bounce(message)
+                return
+            copies = max(1, verdict.copies)
+            extra_delay = max(0.0, verdict.extra_delay)
         if local:
             # In-flight accounting is per process: a local recipient's
-            # handling decrements here; a remote recipient's transport
-            # counts the message at arrival instead.
+            # handling decrements here (once per injected copy); a
+            # remote recipient's transport counts arrivals instead.
             with self._inflight_lock:
-                self._inflight += 1
+                self._inflight += copies
         key = (message.sender, message.recipient)
         with self._connections_lock:
             send_lock = self._send_locks.setdefault(key, threading.Lock())
         # The per-pair lock keeps frames atomic when the main thread and
         # a handler thread send under the same (sender, recipient) pair.
         # The body is framed only once the connection (and with it the
-        # negotiated codec) is known.
+        # negotiated codec) is known.  An injected extra delay sleeps
+        # INSIDE the pair lock: later messages on the same pair cannot
+        # overtake the delayed one, mirroring the simulator's pair-
+        # horizon FIFO clamp.
         try:
             with send_lock:
+                if extra_delay > 0.0:
+                    time.sleep(extra_delay)
                 connection = self._connection_for(message.sender, message.recipient)
                 body = self._frame_body(key, message)
                 try:
-                    connection.sendall(_frame(body))
+                    for _ in range(copies):
+                        connection.sendall(_frame(body))
                 except OSError:
-                    # One reconnect attempt (the receiver may have restarted).
+                    # One reconnect attempt (the receiver may have
+                    # restarted).  Re-sending every copy is at-least-
+                    # once: endpoints dedup by message id.
                     with self._connections_lock:
                         self._connections.pop(key, None)
                         self._codecs.pop(key, None)
                     connection = self._connection_for(message.sender, message.recipient)
                     body = self._frame_body(key, message)
-                    connection.sendall(_frame(body))
-                self.stats.record_wire(len(body) + _LENGTH.size)
+                    for _ in range(copies):
+                        connection.sendall(_frame(body))
+                self.stats.record_wire((len(body) + _LENGTH.size) * copies)
         except OSError as exc:
             # A remote worker died between the port lookup and the
             # write: undo the local-recipient accounting (never taken
@@ -390,7 +503,7 @@ class TcpNetwork(Transport):
             # failure as an unknown peer, the engines' failure path.
             if local:
                 with self._inflight_lock:
-                    self._inflight -= 1
+                    self._inflight -= copies
             raise UnknownPeerError(message.recipient) from exc
 
     def _frame_body(self, key: tuple[str, str], message: Message) -> bytes:
@@ -398,14 +511,35 @@ class TcpNetwork(Transport):
             return message.to_binary()
         return message.to_wire()
 
+    def _connect_with_retry(self, recipient: str) -> socket.socket:
+        """Connect to *recipient*, retrying refused/reset connects with
+        capped exponential backoff + jitter — a restarting peer's
+        listening socket comes back within the budget, and its *new*
+        port is picked up because the rendezvous lookup re-runs on
+        every attempt.  Exhausting the budget re-raises the last
+        ``OSError`` (the caller maps it to ``UnknownPeerError``)."""
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection(
+                    ("127.0.0.1", self.port_of(recipient)), timeout=5.0
+                )
+            except OSError:
+                if attempt >= self.connect_retries:
+                    raise
+                backoff = min(
+                    self.connect_backoff_cap,
+                    self.connect_backoff * (2 ** attempt),
+                )
+                time.sleep(backoff * (0.5 + random.random() / 2))
+                attempt += 1
+
     def _connection_for(self, sender: str, recipient: str) -> socket.socket:
         key = (sender, recipient)
         with self._connections_lock:
             connection = self._connections.get(key)
             if connection is None:
-                connection = socket.create_connection(
-                    ("127.0.0.1", self.port_of(recipient)), timeout=5.0
-                )
+                connection = self._connect_with_retry(recipient)
                 if self.nodelay:
                     try:
                         connection.setsockopt(

@@ -62,6 +62,9 @@ COMMANDS = (
     "lifetime_totals",  # NodeStatistics.lifetime_totals()
     "transport_stats",  # the worker transport's traffic counters
     "peer_down",        # a sibling worker died: close links toward it
+    "install_faults",   # install a FaultInjector spec on the transport
+    "checkpoint",       # write a durable snapshot to the snapshot path
+    "rejoin",           # restore from snapshot + run the rejoin handshake
     "ping",             # liveness probe
     "shutdown",         # stop the transport and exit the process
 )

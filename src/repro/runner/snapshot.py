@@ -1,0 +1,170 @@
+"""Durable node snapshots for crash-and-rejoin.
+
+A snapshot captures everything a worker needs to resume *where it
+left off* rather than from the original fact file: the store's rows,
+the lifetime link memories (the importer-side ``fired`` and
+source-side ``pushed`` sets that make re-shipping idempotent), and
+the answer-cache epoch vector.  The supervisor
+(:class:`repro.p2p.procs.ProcessNetwork`) points each worker at a
+snapshot path; the worker rewrites it after every
+``checkpoint_interval`` completed sessions, and a restarted
+incarnation restores from it before running the
+:meth:`~repro.core.node.CoDBNode.rejoin` handshake.
+
+Snapshots are single JSON files written atomically (temp file +
+``os.replace``), so a crash mid-checkpoint leaves the previous
+snapshot intact.  Link-memory keys are row keys
+(:func:`repro.relational.values.row_key` tuples), whose elements may
+be scalars, tagged ``(tag, value)`` pairs for bools/floats, or
+:class:`~repro.relational.values.MarkedNull` — each gets an explicit
+JSON encoding here so the round trip is exact.
+
+What is deliberately NOT persisted: the marked-null counter.  A
+restarted worker mints nulls in a fresh incarnation namespace
+(``N0@TN~r1`` instead of ``N0@TN``), so labels can never collide with
+pre-crash nulls that survivors may still hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+from repro._util import stable_json
+from repro.errors import ProtocolError
+from repro.relational.values import (
+    MarkedNull,
+    decode_row,
+    encode_row,
+)
+
+#: JSON object key marking an encoded :class:`MarkedNull` key element.
+_NULL_KEY = "$null"
+
+
+def encode_key(key: tuple) -> list:
+    """Encode one lifetime-memory row key as a JSON-safe list."""
+    encoded: list[Any] = []
+    for part in key:
+        if isinstance(part, MarkedNull):
+            encoded.append({_NULL_KEY: part.label})
+        elif isinstance(part, tuple):
+            # A (tag, value) pair from ``value_key`` (bool/float tags).
+            encoded.append([part[0], part[1]])
+        else:
+            encoded.append(part)
+    return encoded
+
+
+def decode_key(encoded: list) -> tuple:
+    """Invert :func:`encode_key`."""
+    parts: list[Any] = []
+    for part in encoded:
+        if isinstance(part, dict):
+            if _NULL_KEY not in part:
+                raise ProtocolError(f"malformed snapshot key element: {part!r}")
+            parts.append(MarkedNull(part[_NULL_KEY]))
+        elif isinstance(part, list):
+            parts.append((part[0], part[1]))
+        else:
+            parts.append(part)
+    return tuple(parts)
+
+
+def snapshot_node(node, *, incarnation: int = 0) -> dict[str, Any]:
+    """Capture *node*'s durable state as a JSON-safe payload."""
+    with node._lock:
+        facts = {
+            relation: [encode_row(row) for row in rows]
+            for relation, rows in node.snapshot().items()
+        }
+        fired = {
+            rule_id: [encode_key(key) for key in sorted(link.fired, key=repr)]
+            for rule_id, link in node.links.outgoing.items()
+        }
+        pushed = {
+            rule_id: [encode_key(key) for key in sorted(link.pushed, key=repr)]
+            for rule_id, link in node.links.incoming.items()
+        }
+        epochs = dict(node.cache.epochs)
+    return {
+        "name": node.name,
+        "incarnation": incarnation,
+        "facts": facts,
+        "fired": fired,
+        "pushed": pushed,
+        "epochs": epochs,
+    }
+
+
+def restore_node(node, payload: dict[str, Any]) -> dict[str, int]:
+    """Restore a snapshot *payload* into a freshly configured node.
+
+    Must run AFTER ``set_rules`` (which rebuilds the link table) and
+    BEFORE the rejoin handshake (whose digests cover the restored
+    memories).  Returns counts for the caller's reply.
+    """
+    facts = {
+        relation: [decode_row(row) for row in rows]
+        for relation, rows in payload.get("facts", {}).items()
+    }
+    loaded = node.load_facts(facts) if facts else 0
+    restored_fired = 0
+    restored_pushed = 0
+    with node._lock:
+        for rule_id, keys in payload.get("fired", {}).items():
+            link = node.links.outgoing.get(rule_id)
+            if link is None:
+                continue
+            link.fired.update(decode_key(key) for key in keys)
+            restored_fired += len(keys)
+        for rule_id, keys in payload.get("pushed", {}).items():
+            link = node.links.incoming.get(rule_id)
+            if link is None:
+                continue
+            link.pushed.update(decode_key(key) for key in keys)
+            restored_pushed += len(keys)
+        for relation, epoch in payload.get("epochs", {}).items():
+            current = node.cache.epochs.get(relation, 0)
+            node.cache.epochs[relation] = max(current, int(epoch))
+    return {
+        "rows_loaded": loaded,
+        "fired_restored": restored_fired,
+        "pushed_restored": restored_pushed,
+    }
+
+
+def write_snapshot(path: str, payload: dict[str, Any]) -> None:
+    """Atomically write *payload* as stable JSON to *path*."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".snapshot-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(stable_json(payload))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: str) -> dict[str, Any] | None:
+    """Read a snapshot back, or ``None`` when no snapshot exists yet."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    try:
+        payload = json.loads(data)
+    except ValueError as exc:
+        raise ProtocolError(f"corrupt snapshot {path!r}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"corrupt snapshot {path!r}: not an object")
+    return payload

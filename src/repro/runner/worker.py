@@ -25,18 +25,22 @@ free.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 from typing import Any
 
 from repro.core.node import CoDBNode, NodeConfig
 from repro.core.rulefile import RuleFile
 from repro.errors import CoDBError, ProtocolError
+from repro.p2p.faults import injector_from_spec
 from repro.p2p.ids import IdAuthority
 from repro.p2p.tcp import TcpNetwork
+from repro.relational.nulls import NullFactory
 from repro.relational.parser import parse_query, parse_schema
 from repro.relational.values import decode_row, encode_row
 from repro.relational.wrapper import MemoryStore, SqliteStore
-from repro.runner import protocol
+from repro.runner import protocol, snapshot
 
 
 def _build_store(kind: str, schema):
@@ -58,6 +62,12 @@ class NodeWorker:
         self._running = True
         #: Pipe codec: follow whatever the driver last spoke to us.
         self._pipe_codec = "json"
+        #: Durable-snapshot knobs (set by ``configure``).
+        self.snapshot_path: str | None = None
+        self.checkpoint_interval = 1
+        self.incarnation = 0
+        self._checkpoint_lock = threading.Lock()
+        self._completions_since_checkpoint = 0
 
     # ------------------------------------------------------------------
     # Pipe plumbing
@@ -156,17 +166,19 @@ class NodeWorker:
                 relation: [decode_row(row) for row in rows]
                 for relation, rows in frame["facts"].items()
             }
-            return {"loaded": node.load_facts(facts)}
+            loaded = node.load_facts(facts)
+            if self.snapshot_path is not None:
+                self._write_checkpoint()
+            return {"loaded": loaded}
         if op == "set_rules":
             rule_file = RuleFile.from_payload(frame["rules"])
             node.set_rules(rule_file.rules)
             return {}
         if op == "insert":
-            return {
-                "inserted": node.insert(
-                    frame["relation"], decode_row(frame["row"])
-                )
-            }
+            inserted = node.insert(frame["relation"], decode_row(frame["row"]))
+            if inserted and self.snapshot_path is not None:
+                self._write_checkpoint()
+            return {"inserted": inserted}
         if op == "submit_update":
             return {
                 "request_id": node.submit_update_id(
@@ -218,7 +230,50 @@ class NodeWorker:
         if op == "peer_down":
             self.network.announce_peer_down(frame["peer"])
             return {}
+        if op == "install_faults":
+            # The only crash action a worker can host is its own: a
+            # ScheduledCrash fires where its victim's deliveries are
+            # observed, i.e. on the victim's own transport, and SIGKILL
+            # (no teardown, no flush) exercises the supervisor's real
+            # restart path.  Rejoin is driven by the supervisor, never
+            # in-process, so no rejoin actions are wired here.
+            injector = injector_from_spec(
+                frame["spec"],
+                crash_actions={node.name: self._kill_self},
+            )
+            self.network.install_faults(injector)
+            return {}
+        if op == "checkpoint":
+            return self._write_checkpoint()
+        if op == "rejoin":
+            payload = (
+                snapshot.read_snapshot(self.snapshot_path)
+                if self.snapshot_path is not None
+                else None
+            )
+            restored: dict[str, Any] = {}
+            if payload is not None:
+                # ``set_rules`` already ran (it rebuilds the link
+                # table, which would wipe these memories).
+                restored = snapshot.restore_node(node, payload)
+            node.rejoin()
+            if self.snapshot_path is not None:
+                self._write_checkpoint()
+            return {"restored": payload is not None, **restored}
         raise ProtocolError(f"unknown control command {op!r}")
+
+    def _kill_self(self) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def _write_checkpoint(self) -> dict[str, Any]:
+        if self.snapshot_path is None or self.node is None:
+            return {"written": False}
+        payload = snapshot.snapshot_node(
+            self.node, incarnation=self.incarnation
+        )
+        with self._checkpoint_lock:
+            snapshot.write_snapshot(self.snapshot_path, payload)
+        return {"written": True, "path": self.snapshot_path}
 
     def _configure(self, frame: dict[str, Any]) -> dict[str, Any]:
         if self.node is not None:
@@ -231,7 +286,22 @@ class NodeWorker:
         # admission seniority stays a network-wide TOTAL order because
         # ``requests._seniority`` tie-breaks equal counters on the
         # full id string, which every node orders identically.
-        ids = IdAuthority(int(frame.get("seed", 0)), namespace=f"codb-{name}")
+        self.snapshot_path = frame.get("snapshot_path")
+        self.checkpoint_interval = max(
+            1, int(frame.get("checkpoint_interval", 1))
+        )
+        self.incarnation = int(frame.get("incarnation", 0))
+        # A restarted incarnation mints ids and nulls in its own
+        # namespace (``codb-TN-r1`` / ``N0@TN~r1``): survivors may
+        # still hold the previous life's ids and null labels, and the
+        # fresh namespace guarantees no collision without persisting
+        # any counter in the snapshot.
+        namespace = (
+            f"codb-{name}-r{self.incarnation}"
+            if self.incarnation
+            else f"codb-{name}"
+        )
+        ids = IdAuthority(int(frame.get("seed", 0)), namespace=namespace)
         self.network = TcpNetwork(
             wire_codec=frame.get("wire_codec", "json")
         )
@@ -245,6 +315,8 @@ class NodeWorker:
             store=store,
             config=config,
         )
+        if self.incarnation:
+            self.node.nulls = NullFactory(f"{name}~r{self.incarnation}")
         self.node.completion_listeners.append(self._on_request_complete)
         return {"port": self.network.port_of(name)}
 
@@ -271,6 +343,21 @@ class NodeWorker:
 
     def _on_request_complete(self, kind: str, request_id: str) -> None:
         self._send_event("request_complete", kind=kind, request_id=request_id)
+        if self.snapshot_path is None:
+            return
+        # Event-count checkpointing: every ``checkpoint_interval``
+        # completed sessions, not wall-clock, so the durable state a
+        # seeded test restarts from is deterministic.
+        self._completions_since_checkpoint += 1
+        if self._completions_since_checkpoint < self.checkpoint_interval:
+            return
+        self._completions_since_checkpoint = 0
+        try:
+            self._write_checkpoint()
+        except Exception as exc:  # noqa: BLE001 - delivery thread
+            self._send_event(
+                "fatal", error=f"checkpoint failed: {exc}", thread=""
+            )
 
     def thread_excepthook(self, args) -> None:
         """A delivery (or accept/receive) thread raised: the node may

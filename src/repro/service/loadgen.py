@@ -260,7 +260,7 @@ async def _drive_one(
     submitted_at = clock()
     attempt = 0
     while True:
-        status, reply, _headers = await http_json(
+        status, reply, headers = await http_json(
             host,
             port,
             "POST",
@@ -277,7 +277,18 @@ async def _drive_one(
                     result.failed += 1
                 return
             attempt += 1
-            await asyncio.sleep(float(reply.get("retry_after", 0.05)))
+            # Honor the gateway's ``Retry-After`` header (the *yield*
+            # admission message); the JSON body's ``retry_after`` is
+            # the fallback for proxies that strip headers.
+            try:
+                backoff = float(
+                    headers.get(
+                        "retry-after", reply.get("retry_after", 0.05)
+                    )
+                )
+            except (TypeError, ValueError):
+                backoff = 0.05
+            await asyncio.sleep(max(0.0, backoff))
             continue
         break
     if status != 202:

@@ -43,6 +43,7 @@ def build_workload(
     *,
     items: int = 8,
     config: NodeConfig | None = None,
+    transport=None,
 ) -> CoDBNetwork:
     """Deterministic (topology, seed)-derived workload; two calls with
     the same arguments build byte-identical twins."""
@@ -56,6 +57,7 @@ def build_workload(
         seed=seed,
         with_superpeer=False,
         config=config or NodeConfig(subsumption_dedup=True),
+        **({} if transport is None else {"transport": transport}),
     )
     for name in names:
         facts = {"item": [(rng.randrange(40),) for _ in range(items)]}
@@ -383,3 +385,149 @@ class TestCacheDifferential:
             traces[cache] = trace
         for left, right in zip(traces[True], traces[False]):
             assert rows_equal_up_to_nulls(left, right)
+
+
+class TestCrashAndRejoin:
+    """The rejoin handshake: a departed node re-enters the network and
+    the next update round reconverges to the fault-free state."""
+
+    def test_rejoin_differential(self):
+        """leave → rejoin → update storm ≡ the run that never crashed."""
+        origins = pick_origins(5)
+        net = build_workload("chain", 5)
+        for origin in origins:
+            net.global_update(origin)
+        net.node("N2").leave_network()
+        net.run()  # peer_down notices settle
+        net.rejoin_node("N2")
+        net.run()  # rejoin handshake settles
+        outcomes = [net.global_update(origin) for origin in origins]
+        assert all(o.report.outcome == "complete" for o in outcomes)
+        assert_snapshots_equal_up_to_nulls(
+            net.snapshot(), clean_run("chain", 5, origins + origins)
+        )
+
+    def test_warm_rejoin_keeps_pushed_memory(self):
+        """When both sides' lifetime memories agree (digest match), the
+        rejoin is warm: no ``pushed`` set is cleared, so the next round
+        re-ships nothing that already arrived."""
+        net = build_workload("chain", 7)
+        net.global_update("N0")
+        kept = {
+            rule_id: set(link.pushed)
+            for name in net.nodes
+            for rule_id, link in net.node(name).links.incoming.items()
+            if link.remote == "N2" or net.node(name).name == "N2"
+        }
+        assert any(kept.values()), "workload shipped nothing toward N2"
+        net.node("N2").leave_network()
+        net.run()
+        net.rejoin_node("N2")
+        net.run()
+        for name in net.nodes:
+            for rule_id, link in net.node(name).links.incoming.items():
+                if rule_id in kept:
+                    assert set(link.pushed) == kept[rule_id], (
+                        f"warm rejoin cleared pushed memory of {rule_id}"
+                    )
+
+    def test_mismatched_memory_clears_pushed_and_reships(self):
+        """A rejoiner whose restored ``fired`` memory diverged (here:
+        wiped, the cold-restart case) makes every counterpart clear its
+        ``pushed`` set — conservative over-shipping, absorbed by the
+        importer-side dedup."""
+        net = build_workload("chain", 9)
+        net.global_update("N0")
+        net.node("N2").leave_network()
+        net.run()
+        rejoiner = net.node("N2")
+        for link in rejoiner.links.outgoing.values():
+            link.fired.clear()  # simulate losing the snapshot
+        net.rejoin_node("N2")
+        net.run()
+        for link in net.node("N1").links.incoming.values():
+            if link.remote == "N2":
+                assert not link.pushed, "digest mismatch must clear pushed"
+        outcome = net.global_update("N0")
+        assert outcome.report.outcome == "complete"
+        assert_snapshots_equal_up_to_nulls(
+            net.snapshot(), clean_run("chain", 9, ["N0", "N0"])
+        )
+
+    def test_rejoin_during_live_update_session(self):
+        """The rejoin handshake lands while another update session is
+        still in flight: the session terminates, and the next round is
+        differential-equal to fault-free (event-count timing — the
+        crash fires two update_request deliveries in, the rejoin four
+        deliveries later)."""
+        origins = pick_origins(13)
+        net = build_workload("cycle", 13)
+        injector = FaultInjector(seed=13)
+        net.transport.install_faults(injector)
+        injector.at_delivery(
+            lambda: net.node("N2").leave_network(), kind="update_request", count=2
+        )
+        injector.at_delivery(lambda: net.rejoin_node("N2"), count=6)
+        for origin in origins:
+            net.global_update(origin)  # terminates — no hang
+        net.run()
+        outcomes = [net.global_update(origin) for origin in origins]
+        assert all(o.report.outcome == "complete" for o in outcomes)
+        assert_snapshots_equal_up_to_nulls(
+            net.snapshot(), clean_run("cycle", 13, origins + origins)
+        )
+
+
+class TestVerdictTracesAcrossTransports:
+    """Acceptance anchor: the same FaultModel composition, rebuilt from
+    its serialised spec, produces identical verdict traces on the
+    in-process and TCP transports (per-edge deterministic draw
+    streams; sorted comparison because TCP delivery threads interleave
+    the *observation* order, not the verdicts)."""
+
+    def composition_spec(self, seed: int) -> dict:
+        from repro.p2p.faults import (
+            Duplication,
+            ExtraDelay,
+            GilbertElliott,
+            LognormalDelay,
+            MessageLoss,
+        )
+
+        return FaultInjector(
+            MessageLoss(0.15, retries=2),
+            Duplication(0.2),
+            ExtraDelay(0.001),
+            LognormalDelay(median=0.001, sigma=0.5, cap=0.005),
+            GilbertElliott(
+                p_bad=0.1, p_recover=0.5, loss_bad=0.3, retries=3,
+                retry_delay=0.001,
+            ),
+            seed=seed,
+        ).spec()
+
+    def run_trace(self, seed: int, transport=None) -> list:
+        import json
+
+        from repro.p2p.faults import injector_from_spec
+
+        net = build_workload("chain", seed, transport=transport)
+        spec = json.loads(json.dumps(self.composition_spec(seed)))
+        injector = injector_from_spec(spec)
+        net.transport.install_faults(injector)
+        injector.start_trace()
+        net.global_update("N0")
+        net.global_update("N2")
+        trace = sorted(injector.trace)
+        if transport is not None:
+            net.transport.stop()
+        return trace
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_traces_identical_in_process_vs_tcp(self, seed):
+        from repro import TcpNetwork
+
+        in_process = self.run_trace(seed)
+        tcp = self.run_trace(seed, TcpNetwork())
+        assert in_process, "composition produced no verdicts"
+        assert in_process == tcp

@@ -350,3 +350,179 @@ class TestDeliveryHooks:
         assert "B" not in net.peers()
         with pytest.raises(UnknownPeerError):
             a.send("B", "data", {"i": 1})
+
+
+class TestLatencyAndChannelModels:
+    """LognormalDelay and GilbertElliott: realistic weather shapes."""
+
+    def test_lognormal_delays_every_message_and_caps(self):
+        from repro.p2p.faults import LognormalDelay
+
+        model = LognormalDelay(median=0.004, sigma=1.0, cap=0.005)
+        net, injector = make_net(model, seed=2)
+        log = []
+        a = attach(net, "A", log)
+        attach(net, "B", log)
+        for i in range(40):
+            a.send("B", "data", {"i": i})
+        net.run_until_idle()
+        assert len(log) == 40  # latency, never loss
+        totals = injector.totals()["lognormal"]
+        assert totals["delayed"] == 40
+        assert totals["capped"] > 0  # median ≈ cap: the tail was cut
+
+    def test_lognormal_rejects_bad_median(self):
+        from repro.p2p.faults import LognormalDelay
+
+        with pytest.raises(ValueError):
+            LognormalDelay(median=0.0)
+
+    def test_gilbert_burst_losses_bounce_and_recover(self):
+        from repro.p2p.faults import GilbertElliott
+
+        model = GilbertElliott(
+            p_bad=0.3, p_recover=0.3, loss_good=0.0, loss_bad=1.0, retries=0
+        )
+        net, injector = make_net(model, seed=5)
+        log = []
+        a = attach(net, "A", log)
+        attach(net, "B", log)
+        for i in range(60):
+            a.send("B", "data", {"i": i})
+        net.run_until_idle()
+        totals = injector.totals()["gilbert"]
+        assert totals["bursts"] > 0
+        assert totals["bounced"] > 0  # bad-state losses with no retries
+        delivered = [m for m in log if m.kind == "data"]
+        assert 0 < len(delivered) < 60  # good-state traffic still flowed
+
+    def test_gilbert_retries_absorb_into_delay(self):
+        from repro.p2p.faults import GilbertElliott
+
+        model = GilbertElliott(
+            p_bad=0.3, p_recover=0.5, loss_bad=0.6,
+            retries=8, retry_delay=0.001,
+        )
+        net, injector = make_net(model, seed=6)
+        log = []
+        a = attach(net, "A", log)
+        attach(net, "B", log)
+        for i in range(50):
+            a.send("B", "data", {"i": i})
+        net.run_until_idle()
+        totals = injector.totals()["gilbert"]
+        assert len(log) == 50  # deep retry budget: all absorbed
+        assert totals["retries_used"] > 0
+
+    def test_channel_state_is_per_edge(self):
+        from repro.p2p.faults import GilbertElliott
+
+        # A->B weather must not perturb A->C: per-edge Markov state.
+        model = GilbertElliott(p_bad=1.0, p_recover=0.0, loss_bad=1.0,
+                               retries=0)
+        net, injector = make_net(model, seed=1)
+        log = []
+        a = attach(net, "A", log)
+        attach(net, "B", log)
+        attach(net, "C", log)
+        a.send("B", "data", {"i": 0})  # drives A->B into BAD
+        net.run_until_idle()
+        a.send("C", "data", {"i": 1})  # A->C starts in its own GOOD
+        net.run_until_idle()
+        # Both edges entered BAD on their first step (p_bad=1), so both
+        # bounced — but each kept its own state dict entry.
+        assert len(model._bad) == 2
+        assert [m.kind for m in log] == ["undeliverable", "undeliverable"]
+
+
+class TestSpecRoundTrip:
+    """FaultInjector.spec() → JSON → injector_from_spec rebuilds a
+    composition whose verdicts (and trace) are identical."""
+
+    def build_models(self):
+        from repro.p2p.faults import (
+            Duplication,
+            ExtraDelay,
+            GilbertElliott,
+            LognormalDelay,
+            MessageLoss,
+            Reorder,
+        )
+
+        return [
+            MessageLoss(0.2, retries=1),
+            Duplication(0.25),
+            Reorder(0.5, max_extra=0.005),
+            ExtraDelay(0.001),
+            LognormalDelay(median=0.001, sigma=0.7, cap=0.01),
+            GilbertElliott(p_bad=0.2, p_recover=0.4, loss_bad=0.5,
+                           retries=2),
+        ]
+
+    def drive(self, injector):
+        net = InProcessNetwork(seed=0, faults=injector)
+        log = []
+        a = attach(net, "A", log)
+        b = attach(net, "B", log)
+        attach(net, "C", log)
+        injector.start_trace()
+        for i in range(30):
+            a.send("B", "data", {"i": i})
+            b.send("C", "ack", {"i": i})
+        net.run_until_idle()
+        return list(injector.trace)
+
+    def test_rebuilt_injector_produces_identical_trace(self):
+        import json
+
+        from repro.p2p.faults import injector_from_spec
+
+        original = FaultInjector(*self.build_models(), seed=17)
+        payload = json.loads(json.dumps(original.spec()))
+        rebuilt = injector_from_spec(payload)
+        assert self.drive(original) == self.drive(rebuilt)
+        assert self.drive(rebuilt) != self.drive(
+            injector_from_spec(dict(payload, seed=18))
+        )
+
+    def test_scheduled_crash_spec_ships_schedule_not_actions(self):
+        import json
+
+        from repro.p2p.faults import ScheduledCrash, injector_from_spec
+
+        fired = []
+        original = FaultInjector(
+            ScheduledCrash("B", after=2, rejoin_after=3), seed=0
+        )
+        payload = json.loads(json.dumps(original.spec()))
+        rebuilt = injector_from_spec(
+            payload,
+            crash_actions={"B": lambda: fired.append("crash")},
+            rejoin_actions={"B": lambda: fired.append("rejoin")},
+        )
+        model = rebuilt.models[0]
+        assert model.victim == "B"
+        assert model.after == 2
+        assert model.rejoin_after == 3
+        net = InProcessNetwork(seed=0, faults=rebuilt)
+        log = []
+        a = attach(net, "A", log)
+        attach(net, "B", log)
+        for i in range(8):
+            a.send("B", "data", {"i": i})
+            net.run_until_idle()
+        assert fired == ["crash", "rejoin"]
+
+    def test_partition_is_not_serialisable(self):
+        from repro.errors import ProtocolError as PE
+
+        injector = FaultInjector(Partition([("A",), ("B",)]), seed=0)
+        with pytest.raises(PE):
+            injector.spec()
+
+    def test_unknown_model_rejected(self):
+        from repro.errors import ProtocolError as PE
+        from repro.p2p.faults import build_models
+
+        with pytest.raises(PE):
+            build_models([{"model": "gremlin"}])

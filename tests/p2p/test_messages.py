@@ -77,6 +77,11 @@ KIND_PAYLOADS = {
         "recipient": "BZ",
         "payload": {"update_id": "update-ab12cd-0000"},
     },
+    "rejoin": {
+        "digests": {"r1": [3, 123456789]},
+        "epochs": {"G": 2},
+        "ack": False,
+    },
 }
 
 

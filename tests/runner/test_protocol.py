@@ -52,6 +52,14 @@ COMMAND_ARGUMENTS = {
     "lifetime_totals": {},
     "transport_stats": {},
     "peer_down": {"peer": "BZ"},
+    "install_faults": {
+        "spec": {
+            "seed": 7,
+            "models": [{"model": "loss", "probability": 0.2, "retries": 2}],
+        }
+    },
+    "checkpoint": {},
+    "rejoin": {},
     "ping": {},
     "shutdown": {},
 }
